@@ -1,0 +1,105 @@
+//! End-to-end methodology benchmarks and ablations: the sign-off flow, the
+//! arc-label-policy ablation, and the simplified (§5) methodology — the
+//! design-choice studies called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use svt_bench::{build_design, signoff_simulator, Design};
+use svt_core::{ArcLabelPolicy, SignoffFlow, SignoffOptions};
+use svt_stdcell::{expand_library, ExpandOptions, ExpandedLibrary, Library};
+
+fn setup() -> (Library, ExpandedLibrary, Design) {
+    let library = Library::svt90();
+    let sim = signoff_simulator();
+    let expanded =
+        expand_library(&library, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
+    let design = build_design(&library, "c432");
+    (library, expanded, design)
+}
+
+fn bench_signoff_flow(c: &mut Criterion) {
+    let (library, expanded, design) = setup();
+    let mut group = c.benchmark_group("signoff_flow");
+    group.sample_size(10);
+    for (name, options) in [
+        ("full_context", SignoffOptions::default()),
+        (
+            "simplified_s5",
+            SignoffOptions {
+                use_context_library: false,
+                ..SignoffOptions::default()
+            },
+        ),
+    ] {
+        let flow = SignoffFlow::new(&library, &expanded, options);
+        // Log the accuracy half of the ablation alongside the runtime half.
+        let cmp = flow
+            .run(&design.mapped, &design.placement)
+            .expect("flow succeeds");
+        eprintln!(
+            "signoff_flow/{name}: uncertainty reduction {:.1}%",
+            cmp.uncertainty_reduction_pct()
+        );
+        group.bench_with_input(BenchmarkId::new("variant", name), name, |b, _| {
+            b.iter(|| {
+                flow.run(&design.mapped, &design.placement)
+                    .expect("flow succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_label_policy_ablation(c: &mut Criterion) {
+    let (library, expanded, design) = setup();
+    let mut group = c.benchmark_group("label_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("majority", ArcLabelPolicy::Majority),
+        ("unanimous", ArcLabelPolicy::Unanimous),
+    ] {
+        let flow = SignoffFlow::new(
+            &library,
+            &expanded,
+            SignoffOptions {
+                policy,
+                ..SignoffOptions::default()
+            },
+        );
+        let cmp = flow
+            .run(&design.mapped, &design.placement)
+            .expect("flow succeeds");
+        eprintln!(
+            "label_policy/{name}: uncertainty reduction {:.1}%",
+            cmp.uncertainty_reduction_pct()
+        );
+        group.bench_with_input(BenchmarkId::new("policy", name), name, |b, _| {
+            b.iter(|| {
+                flow.run(&design.mapped, &design.placement)
+                    .expect("flow succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_library_expansion(c: &mut Criterion) {
+    let library = Library::svt90();
+    let sim = signoff_simulator();
+    let mut group = c.benchmark_group("expand_library");
+    group.sample_size(10);
+    group.bench_function("fast_grid", |b| {
+        b.iter(|| {
+            expand_library(&library, &sim, &ExpandOptions::fast()).expect("expansion succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signoff_flow,
+    bench_label_policy_ablation,
+    bench_library_expansion
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! OPC benchmarks: model-based correction cost vs pattern size and the
+//! sweep-count-vs-residual ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use svt_litho::Process;
+use svt_opc::{audit_pattern, CutlinePattern, EpeStats, ModelOpc, OpcLine, OpcOptions};
+
+fn mixed_pattern(gates: usize) -> CutlinePattern {
+    // Alternating dense/sparse spacings, the OPC-stressing mixture.
+    let mut p = CutlinePattern::new(-2048.0, 4096.0);
+    let mut x = -((gates / 2) as f64) * 350.0;
+    for k in 0..gates {
+        p.push(OpcLine::gate(x, 90.0));
+        x += if k % 2 == 0 { 250.0 } else { 480.0 };
+    }
+    p
+}
+
+fn bench_correct_by_size(c: &mut Criterion) {
+    let sim = Process::nm90().simulator();
+    let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
+    let mut group = c.benchmark_group("model_opc_correct");
+    group.sample_size(20);
+    for &gates in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("gates", gates), &gates, |b, &n| {
+            b.iter_batched(
+                || mixed_pattern(n),
+                |mut p| opc.correct(&mut p).expect("correction succeeds"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: how does the sweep cap trade residual error for runtime?
+fn bench_sweep_ablation(c: &mut Criterion) {
+    let sim = Process::nm90().simulator();
+    let mut group = c.benchmark_group("sweep_ablation");
+    group.sample_size(15);
+    for &sweeps in &[2usize, 4, 8] {
+        let opc = ModelOpc::with_production_model(
+            &sim,
+            OpcOptions {
+                max_sweeps: sweeps,
+                ..OpcOptions::default()
+            },
+        );
+        // Report the sign-off residual once per configuration so the bench
+        // log doubles as the accuracy half of the ablation.
+        let mut p = mixed_pattern(6);
+        opc.correct(&mut p).expect("correction succeeds");
+        let stats = EpeStats::from_audits(
+            &audit_pattern(&sim, &p, 0.0, 1.0).expect("audit succeeds"),
+        );
+        eprintln!(
+            "sweep_ablation: max_sweeps={sweeps} -> sign-off rms {:.2} nm, max {:.2} nm",
+            stats.rms_nm, stats.max_abs_nm
+        );
+        group.bench_with_input(BenchmarkId::new("max_sweeps", sweeps), &sweeps, |b, _| {
+            b.iter_batched(
+                || mixed_pattern(6),
+                |mut p| opc.correct(&mut p).expect("correction succeeds"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correct_by_size, bench_sweep_ablation);
+criterion_main!(benches);

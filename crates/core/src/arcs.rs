@@ -1,0 +1,136 @@
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceClass;
+
+/// Through-focus label of a timing arc (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArcLabel {
+    /// Dominated by dense devices: CD (and delay) only grows with defocus.
+    Smile,
+    /// Dominated by isolated devices: CD only shrinks with defocus.
+    Frown,
+    /// Mixed or balanced devices: focus effects partially cancel, both
+    /// corners tighten.
+    SelfCompensated,
+}
+
+/// How device classes combine into an arc label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArcLabelPolicy {
+    /// The paper's policy (§3.2 footnote 6): "the majority determines the
+    /// nature"; ties are self-compensated.
+    #[default]
+    Majority,
+    /// Conservative ablation policy: the arc takes a label only when *all*
+    /// devices agree; any mixture is self-compensated. Weakens the corner
+    /// trimming but never overstates it.
+    Unanimous,
+}
+
+/// Labels a timing arc from the classes of the devices in its worst-case
+/// transition.
+///
+/// # Panics
+///
+/// Panics on an empty device list (arcs always involve devices).
+#[must_use]
+pub fn label_arc(classes: &[DeviceClass], policy: ArcLabelPolicy) -> ArcLabel {
+    assert!(!classes.is_empty(), "arc with no devices cannot be labeled");
+    let dense = classes
+        .iter()
+        .filter(|&&c| c == DeviceClass::Dense)
+        .count();
+    let iso = classes
+        .iter()
+        .filter(|&&c| c == DeviceClass::Isolated)
+        .count();
+    match policy {
+        ArcLabelPolicy::Majority => {
+            if dense > iso && dense * 2 > classes.len() {
+                ArcLabel::Smile
+            } else if iso > dense && iso * 2 > classes.len() {
+                ArcLabel::Frown
+            } else {
+                ArcLabel::SelfCompensated
+            }
+        }
+        ArcLabelPolicy::Unanimous => {
+            if dense == classes.len() {
+                ArcLabel::Smile
+            } else if iso == classes.len() {
+                ArcLabel::Frown
+            } else {
+                ArcLabel::SelfCompensated
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DeviceClass::{Dense, Isolated, SelfCompensated};
+
+    #[test]
+    fn majority_rules() {
+        // Paper's example: two isolated + one dense = frowning.
+        assert_eq!(
+            label_arc(&[Isolated, Isolated, Dense], ArcLabelPolicy::Majority),
+            ArcLabel::Frown
+        );
+        assert_eq!(
+            label_arc(&[Dense, Dense, Isolated], ArcLabelPolicy::Majority),
+            ArcLabel::Smile
+        );
+        assert_eq!(
+            label_arc(&[Dense, Isolated], ArcLabelPolicy::Majority),
+            ArcLabel::SelfCompensated
+        );
+        // Self-compensated devices dilute the majority.
+        assert_eq!(
+            label_arc(
+                &[Dense, SelfCompensated, SelfCompensated, Isolated],
+                ArcLabelPolicy::Majority
+            ),
+            ArcLabel::SelfCompensated
+        );
+        assert_eq!(
+            label_arc(&[Dense, SelfCompensated, Dense], ArcLabelPolicy::Majority),
+            ArcLabel::Smile
+        );
+    }
+
+    #[test]
+    fn majority_requires_an_absolute_majority() {
+        // 2 dense, 1 iso, 2 selfcomp: dense > iso but not > half.
+        assert_eq!(
+            label_arc(
+                &[Dense, Dense, Isolated, SelfCompensated, SelfCompensated],
+                ArcLabelPolicy::Majority
+            ),
+            ArcLabel::SelfCompensated
+        );
+    }
+
+    #[test]
+    fn unanimous_is_stricter() {
+        assert_eq!(
+            label_arc(&[Dense, Dense], ArcLabelPolicy::Unanimous),
+            ArcLabel::Smile
+        );
+        assert_eq!(
+            label_arc(&[Isolated], ArcLabelPolicy::Unanimous),
+            ArcLabel::Frown
+        );
+        assert_eq!(
+            label_arc(&[Dense, Dense, Isolated], ArcLabelPolicy::Unanimous),
+            ArcLabel::SelfCompensated
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no devices")]
+    fn empty_device_list_panics() {
+        let _ = label_arc(&[], ArcLabelPolicy::Majority);
+    }
+}

@@ -1,0 +1,209 @@
+use serde::{Deserialize, Serialize};
+
+use crate::ArcLabel;
+
+/// The gate-length corner positions of one timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CornerLengths {
+    /// Best-case (fastest) gate length in nanometres.
+    pub bc_nm: f64,
+    /// Nominal gate length in nanometres.
+    pub nom_nm: f64,
+    /// Worst-case (slowest) gate length in nanometres.
+    pub wc_nm: f64,
+}
+
+impl CornerLengths {
+    /// Best-case to worst-case spread.
+    #[must_use]
+    pub fn spread_nm(&self) -> f64 {
+        self.wc_nm - self.bc_nm
+    }
+}
+
+/// The gate-length variation budget of paper §3.3/§4.
+///
+/// `delta_fraction` is the total one-sided corner excursion as a fraction
+/// of the nominal gate length (traditional corners sit at
+/// `L_nom ± delta`). `pitch_fraction` and `focus_fraction` are the shares
+/// of that excursion attributed to systematic through-pitch and
+/// through-focus variation; the paper assumes 30 % each ("Assuming
+/// lvar_focus and lvar_pitch each to be 30% of the total gate length
+/// variation", §4, after [8]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationBudget {
+    /// One-sided total excursion as a fraction of nominal L.
+    pub delta_fraction: f64,
+    /// `lvar_pitch / delta`.
+    pub pitch_fraction: f64,
+    /// `lvar_focus / delta`.
+    pub focus_fraction: f64,
+}
+
+impl Default for VariationBudget {
+    fn default() -> VariationBudget {
+        VariationBudget {
+            delta_fraction: 0.15,
+            pitch_fraction: 0.30,
+            focus_fraction: 0.30,
+        }
+    }
+}
+
+impl VariationBudget {
+    /// Creates a budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all fractions are in `[0, 1]` and the systematic
+    /// shares sum to at most 1.
+    #[must_use]
+    pub fn new(delta_fraction: f64, pitch_fraction: f64, focus_fraction: f64) -> VariationBudget {
+        assert!(
+            (0.0..=1.0).contains(&delta_fraction)
+                && (0.0..=1.0).contains(&pitch_fraction)
+                && (0.0..=1.0).contains(&focus_fraction),
+            "fractions must be in [0, 1]"
+        );
+        assert!(
+            pitch_fraction + focus_fraction <= 1.0 + 1e-12,
+            "systematic shares cannot exceed the total budget"
+        );
+        VariationBudget {
+            delta_fraction,
+            pitch_fraction,
+            focus_fraction,
+        }
+    }
+
+    /// The one-sided total excursion `Δ` at a nominal gate length.
+    #[must_use]
+    pub fn delta_nm(&self, l_nom_nm: f64) -> f64 {
+        self.delta_fraction * l_nom_nm
+    }
+
+    /// `lvar_pitch` at a nominal gate length.
+    #[must_use]
+    pub fn lvar_pitch_nm(&self, l_nom_nm: f64) -> f64 {
+        self.pitch_fraction * self.delta_nm(l_nom_nm)
+    }
+
+    /// `lvar_focus` at a nominal gate length.
+    #[must_use]
+    pub fn lvar_focus_nm(&self, l_nom_nm: f64) -> f64 {
+        self.focus_fraction * self.delta_nm(l_nom_nm)
+    }
+
+    /// Traditional corners: `L_nom ± Δ`, context-blind.
+    #[must_use]
+    pub fn traditional_corners(&self, l_nom_nm: f64) -> CornerLengths {
+        let d = self.delta_nm(l_nom_nm);
+        CornerLengths {
+            bc_nm: l_nom_nm - d,
+            nom_nm: l_nom_nm,
+            wc_nm: l_nom_nm + d,
+        }
+    }
+
+    /// Systematic-variation aware corners for an arc (paper eqs. 1–5).
+    ///
+    /// `l_nom_new_nm` is the iso-dense aware nominal gate length of the arc
+    /// (the in-context printed CD). Equation 1 removes `lvar_pitch` from
+    /// both sides; equations 2–5 then trim the side of the focus excursion
+    /// that the arc's label makes impossible.
+    #[must_use]
+    pub fn aware_corners(&self, l_nom_new_nm: f64, label: ArcLabel) -> CornerLengths {
+        // Eq. 1: the residual (non-pitch) excursion around the new nominal.
+        let residual = self.delta_nm(l_nom_new_nm) - self.lvar_pitch_nm(l_nom_new_nm);
+        let mut wc = l_nom_new_nm + residual;
+        let mut bc = l_nom_new_nm - residual;
+        let focus = self.lvar_focus_nm(l_nom_new_nm);
+        match label {
+            // Eq. 2: dense lines cannot thin with defocus — trim BC.
+            ArcLabel::Smile => bc += focus,
+            // Eq. 3: isolated lines cannot thicken — trim WC.
+            ArcLabel::Frown => wc -= focus,
+            // Eqs. 4–5: both sides tighten.
+            ArcLabel::SelfCompensated => {
+                wc -= focus;
+                bc += focus;
+            }
+        }
+        CornerLengths {
+            bc_nm: bc,
+            nom_nm: l_nom_new_nm,
+            wc_nm: wc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> VariationBudget {
+        VariationBudget::default()
+    }
+
+    #[test]
+    fn traditional_corners_are_symmetric() {
+        let c = budget().traditional_corners(90.0);
+        assert!((c.wc_nm - 103.5).abs() < 1e-12);
+        assert!((c.bc_nm - 76.5).abs() < 1e-12);
+        assert!((c.spread_nm() - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_removes_pitch_from_both_sides() {
+        let b = budget();
+        let c = b.aware_corners(90.0, ArcLabel::Smile);
+        // Residual = Δ − lvar_pitch = 13.5 − 4.05 = 9.45.
+        assert!((c.wc_nm - (90.0 + 9.45)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn focus_trims_follow_the_label() {
+        let b = budget();
+        let smile = b.aware_corners(90.0, ArcLabel::Smile);
+        let frown = b.aware_corners(90.0, ArcLabel::Frown);
+        let selfc = b.aware_corners(90.0, ArcLabel::SelfCompensated);
+        // lvar_focus = 4.05.
+        assert!((smile.bc_nm - (90.0 - 9.45 + 4.05)).abs() < 1e-12);
+        assert!((smile.wc_nm - (90.0 + 9.45)).abs() < 1e-12);
+        assert!((frown.wc_nm - (90.0 + 9.45 - 4.05)).abs() < 1e-12);
+        assert!((frown.bc_nm - (90.0 - 9.45)).abs() < 1e-12);
+        assert!((selfc.spread_nm() - (smile.spread_nm() - 4.05)).abs() < 1e-12);
+        // All aware spreads beat the traditional one.
+        let trad = b.traditional_corners(90.0);
+        for c in [smile, frown, selfc] {
+            assert!(c.spread_nm() < trad.spread_nm());
+            assert!(c.bc_nm <= c.nom_nm && c.nom_nm <= c.wc_nm);
+        }
+    }
+
+    #[test]
+    fn aware_spread_reduction_matches_hand_arithmetic() {
+        // Spread_trad = 2Δ; spread_smile = 2(Δ − lvar_pitch) − lvar_focus.
+        // With 30%/30% shares: 2Δ(1 − 0.3) − 0.3Δ = Δ(2·0.7 − 0.3) = 1.1Δ.
+        // Reduction = 1 − 1.1/2 = 45%.
+        let b = budget();
+        let trad = b.traditional_corners(90.0).spread_nm();
+        let smile = b.aware_corners(90.0, ArcLabel::Smile).spread_nm();
+        let reduction = 1.0 - smile / trad;
+        assert!((reduction - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_degenerates_cleanly() {
+        let b = VariationBudget::new(0.0, 0.0, 0.0);
+        let c = b.aware_corners(90.0, ArcLabel::Frown);
+        assert_eq!(c.bc_nm, 90.0);
+        assert_eq!(c.wc_nm, 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the total budget")]
+    fn oversubscribed_budget_is_rejected() {
+        let _ = VariationBudget::new(0.15, 0.7, 0.7);
+    }
+}

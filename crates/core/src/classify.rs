@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+
+use svt_place::DeviceSite;
+
+/// Through-focus behaviour class of a placed device (paper §3.2, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Both neighbors inside the contacted pitch: the device prints dense
+    /// and *smiles* through focus (CD only grows with defocus).
+    Dense,
+    /// Both neighbors at or beyond the contacted pitch (or absent): the
+    /// device prints isolated and *frowns* (CD only shrinks).
+    Isolated,
+    /// One dense and one isolated side: focus effects partially cancel.
+    SelfCompensated,
+}
+
+/// Classifies a device from its left/right neighbor-poly spacings.
+///
+/// "We assume dense spacing to be less than the contacted pitch and
+/// anything larger to be isolated" (paper §3.2, footnote 5): a side is
+/// dense when the local line *pitch* — neighbor spacing plus the gate
+/// length — is below the contacted pitch. A missing neighbor (`None`)
+/// counts as isolated on that side.
+#[must_use]
+pub fn classify_device(
+    left_space_nm: Option<f64>,
+    right_space_nm: Option<f64>,
+    contacted_pitch_nm: f64,
+    gate_length_nm: f64,
+) -> DeviceClass {
+    let dense = |s: Option<f64>| {
+        s.map(|v| v + gate_length_nm < contacted_pitch_nm)
+            .unwrap_or(false)
+    };
+    match (dense(left_space_nm), dense(right_space_nm)) {
+        (true, true) => DeviceClass::Dense,
+        (false, false) => DeviceClass::Isolated,
+        _ => DeviceClass::SelfCompensated,
+    }
+}
+
+/// Classifies every device site of a placement, preserving order. Each
+/// site's own printed span width is used as its gate length.
+#[must_use]
+pub fn classify_sites(sites: &[DeviceSite], contacted_pitch_nm: f64) -> Vec<DeviceClass> {
+    sites
+        .iter()
+        .map(|s| {
+            classify_device(
+                s.left_space,
+                s.right_space,
+                contacted_pitch_nm,
+                s.span_abs.1 - s.span_abs.0,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+    use svt_place::{place, PlacementOptions};
+    use svt_stdcell::Library;
+
+    const CP: f64 = 300.0;
+    const L: f64 = 90.0;
+
+    #[test]
+    fn boundary_cases_use_strict_less_than() {
+        // Dense side: space + L < 300, i.e. space < 210.
+        assert_eq!(
+            classify_device(Some(209.9), Some(209.9), CP, L),
+            DeviceClass::Dense
+        );
+        assert_eq!(
+            classify_device(Some(210.0), Some(210.0), CP, L),
+            DeviceClass::Isolated
+        );
+        assert_eq!(
+            classify_device(Some(209.9), Some(210.0), CP, L),
+            DeviceClass::SelfCompensated
+        );
+    }
+
+    #[test]
+    fn missing_neighbors_are_isolated_sides() {
+        assert_eq!(classify_device(None, None, CP, L), DeviceClass::Isolated);
+        assert_eq!(
+            classify_device(Some(100.0), None, CP, L),
+            DeviceClass::SelfCompensated
+        );
+    }
+
+    #[test]
+    fn placed_benchmark_has_all_three_classes() {
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c432").unwrap());
+        let mapped = technology_map(&n, &lib).unwrap();
+        let placement = place(&mapped, &lib, &PlacementOptions::default()).unwrap();
+        let sites = placement.device_sites(&mapped, &lib).unwrap();
+        let classes = classify_sites(&sites, CP);
+        assert_eq!(classes.len(), sites.len());
+        let count = |c: DeviceClass| classes.iter().filter(|&&x| x == c).count();
+        assert!(count(DeviceClass::Dense) > 0, "no dense devices");
+        assert!(count(DeviceClass::Isolated) > 0, "no isolated devices");
+        assert!(
+            count(DeviceClass::SelfCompensated) > 0,
+            "no self-compensated devices"
+        );
+    }
+
+    #[test]
+    fn majority_of_devices_are_isolated_in_sparse_placements() {
+        // Paper §4: "majority of the devices in the layout are isolated
+        // (due to the whitespace distribution or the cell layout itself)".
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c880").unwrap());
+        let mapped = technology_map(&n, &lib).unwrap();
+        let placement = place(
+            &mapped,
+            &lib,
+            &PlacementOptions {
+                utilization: 0.6,
+                ..PlacementOptions::default()
+            },
+        )
+        .unwrap();
+        let sites = placement.device_sites(&mapped, &lib).unwrap();
+        let classes = classify_sites(&sites, CP);
+        let iso = classes
+            .iter()
+            .filter(|&&c| c == DeviceClass::Isolated)
+            .count();
+        assert!(
+            iso * 2 > classes.len(),
+            "expect an isolated majority: {iso}/{}",
+            classes.len()
+        );
+    }
+}

@@ -1,0 +1,560 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use svt_netlist::MappedNetlist;
+use svt_place::{DeviceSite, Placement, PlacementOptions};
+use svt_sta::{analyze, CellBinding, StaError, TimingOptions};
+use svt_stdcell::{
+    Cell, CellContext, CharacterizeOptions, CharacterizedCell, ExpandedLibrary, Library,
+    StdcellError, TimingArc,
+};
+
+use crate::{classify_device, label_arc, ArcLabelPolicy, DeviceClass, VariationBudget};
+
+/// A process corner of the gate-length axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Corner {
+    /// Fastest (shortest gates).
+    BestCase,
+    /// Nominal.
+    Nominal,
+    /// Slowest (longest gates).
+    WorstCase,
+}
+
+impl Corner {
+    /// All corners, fast to slow.
+    pub const ALL: [Corner; 3] = [Corner::BestCase, Corner::Nominal, Corner::WorstCase];
+}
+
+/// Circuit delay at the three corners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CornerTiming {
+    /// Best-case circuit delay (ns).
+    pub bc_ns: f64,
+    /// Nominal circuit delay (ns).
+    pub nom_ns: f64,
+    /// Worst-case circuit delay (ns).
+    pub wc_ns: f64,
+}
+
+impl CornerTiming {
+    /// Best-case to worst-case timing spread.
+    #[must_use]
+    pub fn spread_ns(&self) -> f64 {
+        self.wc_ns - self.bc_ns
+    }
+}
+
+/// The Table 2 result for one testcase: traditional vs systematic-variation
+/// aware corner timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignoffComparison {
+    /// Testcase name.
+    pub testcase: String,
+    /// Mapped instance count.
+    pub gates: usize,
+    /// Traditional (context-blind) corner timing.
+    pub traditional: CornerTiming,
+    /// Systematic-variation aware corner timing.
+    pub aware: CornerTiming,
+}
+
+impl SignoffComparison {
+    /// Percent reduction in best-case→worst-case timing uncertainty — the
+    /// paper's headline metric (28–40 % in Table 2).
+    #[must_use]
+    pub fn uncertainty_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.aware.spread_ns() / self.traditional.spread_ns())
+    }
+}
+
+/// Options of the sign-off comparison flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignoffOptions {
+    /// Placement options (whitespace statistics drive the context mix).
+    pub placement: PlacementOptions,
+    /// STA boundary conditions.
+    pub timing: TimingOptions,
+    /// Variation budget (Δ, lvar_pitch, lvar_focus shares).
+    pub budget: VariationBudget,
+    /// Arc labeling policy.
+    pub policy: ArcLabelPolicy,
+    /// Characterization options (nominal L, delay sensitivity).
+    pub characterize: CharacterizeOptions,
+    /// Contacted pitch separating dense from isolated devices.
+    pub contacted_pitch_nm: f64,
+    /// When false, runs the paper's §5 simplified methodology: boundary
+    /// context is ignored and every instance uses the fully isolated
+    /// library version (no 81-way expansion benefit on nominal CDs).
+    pub use_context_library: bool,
+    /// Delay derate (± fraction) of the non-gate-length process-corner
+    /// components — Vth, oxide thickness, mobility — which both
+    /// methodologies worst-case identically ("the corner case libraries
+    /// are constructed with just the process corners", paper §4; the
+    /// methodology removes only the systematic *gate length* part). This
+    /// is what keeps the observed uncertainty reduction below the pure
+    /// L-space bound.
+    pub residual_process_derate: f64,
+}
+
+impl Default for SignoffOptions {
+    fn default() -> SignoffOptions {
+        SignoffOptions {
+            placement: PlacementOptions::default(),
+            timing: TimingOptions::default(),
+            budget: VariationBudget::default(),
+            policy: ArcLabelPolicy::default(),
+            characterize: CharacterizeOptions::default(),
+            contacted_pitch_nm: 300.0,
+            use_context_library: true,
+            residual_process_derate: 0.09,
+        }
+    }
+}
+
+/// Errors of the sign-off flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Placement query failed.
+    Place(svt_place::PlaceError),
+    /// Timing analysis failed.
+    Sta(StaError),
+    /// Characterization failed.
+    Stdcell(StdcellError),
+    /// OPC or lithography simulation failed.
+    Opc(svt_opc::OpcError),
+    /// Inputs were inconsistent.
+    Inconsistent {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Place(e) => write!(f, "placement query failed: {e}"),
+            FlowError::Sta(e) => write!(f, "timing analysis failed: {e}"),
+            FlowError::Stdcell(e) => write!(f, "characterization failed: {e}"),
+            FlowError::Opc(e) => write!(f, "OPC failed: {e}"),
+            FlowError::Inconsistent { reason } => write!(f, "inconsistent flow inputs: {reason}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Place(e) => Some(e),
+            FlowError::Sta(e) => Some(e),
+            FlowError::Stdcell(e) => Some(e),
+            FlowError::Opc(e) => Some(e),
+            FlowError::Inconsistent { .. } => None,
+        }
+    }
+}
+
+impl From<svt_opc::OpcError> for FlowError {
+    fn from(e: svt_opc::OpcError) -> FlowError {
+        FlowError::Opc(e)
+    }
+}
+
+impl From<svt_place::PlaceError> for FlowError {
+    fn from(e: svt_place::PlaceError) -> FlowError {
+        FlowError::Place(e)
+    }
+}
+
+impl From<StaError> for FlowError {
+    fn from(e: StaError) -> FlowError {
+        FlowError::Sta(e)
+    }
+}
+
+impl From<StdcellError> for FlowError {
+    fn from(e: StdcellError) -> FlowError {
+        FlowError::Stdcell(e)
+    }
+}
+
+/// Characterizes one placed instance at a systematic-variation aware
+/// corner.
+///
+/// Each arc is scaled independently: its iso-dense aware nominal length is
+/// the mean in-context printed CD of its devices, its label comes from the
+/// devices' iso/dense classes, and the corner value follows paper
+/// eqs. 1–5.
+///
+/// # Errors
+///
+/// Returns [`StdcellError::InvalidCharacterization`] if the length or class
+/// vectors do not match the cell's devices.
+#[allow(clippy::too_many_arguments)] // the corner recipe genuinely has this many inputs
+pub fn characterize_corner(
+    cell: &Cell,
+    ctx_lengths_nm: &[f64],
+    device_classes: &[DeviceClass],
+    budget: &VariationBudget,
+    policy: ArcLabelPolicy,
+    corner: Corner,
+    variant_name: &str,
+    options: CharacterizeOptions,
+) -> Result<CharacterizedCell, StdcellError> {
+    let n = cell.layout().devices().len();
+    if ctx_lengths_nm.len() != n || device_classes.len() != n {
+        return Err(StdcellError::InvalidCharacterization {
+            cell: cell.name().into(),
+            reason: format!(
+                "expected {n} lengths and classes, got {} and {}",
+                ctx_lengths_nm.len(),
+                device_classes.len()
+            ),
+        });
+    }
+    let arcs = cell
+        .arcs()
+        .iter()
+        .map(|arc| {
+            let mean_l = arc
+                .devices
+                .iter()
+                .map(|d| ctx_lengths_nm[d.0])
+                .sum::<f64>()
+                / arc.devices.len() as f64;
+            let classes: Vec<DeviceClass> =
+                arc.devices.iter().map(|d| device_classes[d.0]).collect();
+            let label = label_arc(&classes, policy);
+            let corners = budget.aware_corners(mean_l, label);
+            let l_eff = match corner {
+                Corner::BestCase => corners.bc_nm,
+                Corner::Nominal => corners.nom_nm,
+                Corner::WorstCase => corners.wc_nm,
+            };
+            let factor =
+                1.0 + options.delay_sensitivity * (l_eff / options.nominal_length_nm - 1.0);
+            TimingArc {
+                from_pin: arc.from_pin.clone(),
+                to_pin: arc.to_pin.clone(),
+                delay: arc.delay.scaled(factor),
+                output_slew: arc.output_slew.scaled(factor),
+                devices: arc.devices.clone(),
+            }
+        })
+        .collect();
+    Ok(CharacterizedCell {
+        cell_name: cell.name().into(),
+        variant_name: variant_name.into(),
+        device_lengths_nm: ctx_lengths_nm.to_vec(),
+        pins: cell.pins().to_vec(),
+        arcs,
+    })
+}
+
+/// The end-to-end sign-off comparison flow of paper §4 (Table 2).
+#[derive(Debug, Clone)]
+pub struct SignoffFlow<'a> {
+    library: &'a Library,
+    expanded: &'a ExpandedLibrary,
+    options: SignoffOptions,
+}
+
+impl<'a> SignoffFlow<'a> {
+    /// Creates a flow over a base library and its context expansion.
+    #[must_use]
+    pub fn new(
+        library: &'a Library,
+        expanded: &'a ExpandedLibrary,
+        options: SignoffOptions,
+    ) -> SignoffFlow<'a> {
+        SignoffFlow {
+            library,
+            expanded,
+            options,
+        }
+    }
+
+    /// The flow options.
+    #[must_use]
+    pub fn options(&self) -> &SignoffOptions {
+        &self.options
+    }
+
+    /// Runs traditional and systematic-variation aware corner STA on a
+    /// placed netlist and reports both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-query, characterization, and STA failures; see
+    /// [`FlowError`].
+    pub fn run(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+    ) -> Result<SignoffComparison, FlowError> {
+        let traditional = self.traditional_timing(netlist)?;
+        let aware = self.aware_timing(netlist, placement)?;
+        Ok(SignoffComparison {
+            testcase: netlist.name().to_string(),
+            gates: netlist.instances().len(),
+            traditional,
+            aware,
+        })
+    }
+
+    /// Traditional corner timing: every device at `L_nom`, `L_nom ± Δ`,
+    /// plus the non-gate-length corner derate.
+    fn traditional_timing(&self, netlist: &MappedNetlist) -> Result<CornerTiming, FlowError> {
+        let l_nom = self.options.characterize.nominal_length_nm;
+        let corners = self.options.budget.traditional_corners(l_nom);
+        let delay_at = |l: f64| -> Result<f64, FlowError> {
+            let binding = CellBinding::uniform_scaled(netlist, self.library, l)?;
+            Ok(analyze(netlist, &binding, &self.options.timing)?.circuit_delay_ns())
+        };
+        Ok(self.apply_residual_derate(CornerTiming {
+            bc_ns: delay_at(corners.bc_nm)?,
+            nom_ns: delay_at(corners.nom_nm)?,
+            wc_ns: delay_at(corners.wc_nm)?,
+        }))
+    }
+
+    /// Applies the non-gate-length process-corner derate to BC/WC. Every
+    /// cell delay scales uniformly, so the circuit delay scales exactly.
+    fn apply_residual_derate(&self, timing: CornerTiming) -> CornerTiming {
+        let d = self.options.residual_process_derate;
+        CornerTiming {
+            bc_ns: timing.bc_ns * (1.0 - d),
+            nom_ns: timing.nom_ns,
+            wc_ns: timing.wc_ns * (1.0 + d),
+        }
+    }
+
+    /// Aware corner timing: in-context nominal CDs plus per-arc eq. 1–5
+    /// corners.
+    fn aware_timing(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+    ) -> Result<CornerTiming, FlowError> {
+        let contexts = placement.instance_contexts(netlist, self.library)?;
+        if contexts.len() != netlist.instances().len() {
+            return Err(FlowError::Inconsistent {
+                reason: "placement does not cover the netlist".into(),
+            });
+        }
+
+        // Per-instance device classes from the placed spacings.
+        let sites = placement.device_sites(netlist, self.library)?;
+        let mut classes: Vec<Vec<DeviceClass>> = netlist
+            .instances()
+            .iter()
+            .map(|inst| {
+                let n = self
+                    .library
+                    .cell(&inst.cell)
+                    .map(|c| c.layout().devices().len())
+                    .unwrap_or(0);
+                vec![DeviceClass::Isolated; n]
+            })
+            .collect();
+        for site in &sites {
+            classes[site.instance][site.device.0] = classify_site(site, &self.options);
+        }
+
+        let mut timings = HashMap::new();
+        for corner in Corner::ALL {
+            let mut cells = Vec::with_capacity(netlist.instances().len());
+            for (idx, inst) in netlist.instances().iter().enumerate() {
+                let cell = self.library.cell(&inst.cell).ok_or_else(|| {
+                    FlowError::Inconsistent {
+                        reason: format!("unknown cell `{}`", inst.cell),
+                    }
+                })?;
+                let context = if self.options.use_context_library {
+                    contexts[idx]
+                } else {
+                    CellContext::default()
+                };
+                let variant = self
+                    .expanded
+                    .variant(&inst.cell, context)
+                    .ok_or_else(|| FlowError::Inconsistent {
+                        reason: format!(
+                            "expanded library lacks {} in context {}",
+                            inst.cell,
+                            context.code()
+                        ),
+                    })?;
+                let name = format!("{}_{:?}", variant.variant_name, corner);
+                cells.push(characterize_corner(
+                    cell,
+                    &variant.device_lengths_nm,
+                    &classes[idx],
+                    &self.options.budget,
+                    self.options.policy,
+                    corner,
+                    &name,
+                    self.options.characterize,
+                )?);
+            }
+            let binding = CellBinding::new(netlist, cells)?;
+            let report = analyze(netlist, &binding, &self.options.timing)?;
+            timings.insert(corner_key(corner), report.circuit_delay_ns());
+        }
+
+        Ok(self.apply_residual_derate(CornerTiming {
+            bc_ns: timings["bc"],
+            nom_ns: timings["nom"],
+            wc_ns: timings["wc"],
+        }))
+    }
+}
+
+fn corner_key(corner: Corner) -> &'static str {
+    match corner {
+        Corner::BestCase => "bc",
+        Corner::Nominal => "nom",
+        Corner::WorstCase => "wc",
+    }
+}
+
+fn classify_site(site: &DeviceSite, options: &SignoffOptions) -> DeviceClass {
+    classify_device(
+        site.left_space,
+        site.right_space,
+        options.contacted_pitch_nm,
+        site.span_abs.1 - site.span_abs.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_litho::Process;
+    use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+    use svt_place::place;
+    use svt_stdcell::{expand_library, ExpandOptions};
+
+    fn setup() -> (Library, ExpandedLibrary, MappedNetlist, Placement) {
+        let lib = Library::svt90();
+        let sim = Process::nm90().simulator();
+        let expanded = expand_library(&lib, &sim, &ExpandOptions::fast()).unwrap();
+        let netlist = generate_benchmark(&BenchmarkProfile::iscas85("c432").unwrap());
+        let mapped = technology_map(&netlist, &lib).unwrap();
+        let placement = place(&mapped, &lib, &PlacementOptions::default()).unwrap();
+        (lib, expanded, mapped, placement)
+    }
+
+    #[test]
+    fn aware_flow_tightens_the_spread() {
+        let (lib, expanded, mapped, placement) = setup();
+        let flow = SignoffFlow::new(&lib, &expanded, SignoffOptions::default());
+        let cmp = flow.run(&mapped, &placement).unwrap();
+        assert!(cmp.traditional.bc_ns < cmp.traditional.nom_ns);
+        assert!(cmp.traditional.nom_ns < cmp.traditional.wc_ns);
+        assert!(cmp.aware.bc_ns <= cmp.aware.nom_ns + 1e-12);
+        assert!(cmp.aware.nom_ns <= cmp.aware.wc_ns + 1e-12);
+        let reduction = cmp.uncertainty_reduction_pct();
+        assert!(
+            reduction > 15.0 && reduction < 70.0,
+            "uncertainty reduction {reduction}% out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn simplified_flow_still_tightens_but_less_contextually() {
+        let (lib, expanded, mapped, placement) = setup();
+        let full = SignoffFlow::new(&lib, &expanded, SignoffOptions::default());
+        let simple = SignoffFlow::new(
+            &lib,
+            &expanded,
+            SignoffOptions {
+                use_context_library: false,
+                ..SignoffOptions::default()
+            },
+        );
+        let r_full = full.run(&mapped, &placement).unwrap();
+        let r_simple = simple.run(&mapped, &placement).unwrap();
+        assert!(r_simple.uncertainty_reduction_pct() > 10.0);
+        // Same traditional baseline in both flows.
+        assert!((r_full.traditional.wc_ns - r_simple.traditional.wc_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_characterization_orders_tables() {
+        let lib = Library::svt90();
+        let nand = lib.cell("NAND2X1").unwrap();
+        let n = nand.layout().devices().len();
+        let lengths = vec![92.0; n];
+        let classes = vec![DeviceClass::Dense; n];
+        let opts = CharacterizeOptions::default();
+        let budget = VariationBudget::default();
+        let by_corner = |corner: Corner| {
+            characterize_corner(
+                nand,
+                &lengths,
+                &classes,
+                &budget,
+                ArcLabelPolicy::Majority,
+                corner,
+                "t",
+                opts,
+            )
+            .unwrap()
+            .arcs[0]
+                .delay
+                .lookup(0.05, 0.01)
+        };
+        let bc = by_corner(Corner::BestCase);
+        let nom = by_corner(Corner::Nominal);
+        let wc = by_corner(Corner::WorstCase);
+        assert!(bc < nom && nom < wc, "{bc} {nom} {wc}");
+    }
+
+    #[test]
+    fn corner_characterization_validates_inputs() {
+        let lib = Library::svt90();
+        let inv = lib.cell("INVX1").unwrap();
+        let err = characterize_corner(
+            inv,
+            &[90.0],
+            &[DeviceClass::Dense, DeviceClass::Dense],
+            &VariationBudget::default(),
+            ArcLabelPolicy::Majority,
+            Corner::Nominal,
+            "t",
+            CharacterizeOptions::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn frown_arcs_have_lower_wc_than_smile_arcs() {
+        let lib = Library::svt90();
+        let inv = lib.cell("INVX1").unwrap();
+        let opts = CharacterizeOptions::default();
+        let budget = VariationBudget::default();
+        let wc_of = |class: DeviceClass| {
+            characterize_corner(
+                inv,
+                &[90.0, 90.0],
+                &[class, class],
+                &budget,
+                ArcLabelPolicy::Majority,
+                Corner::WorstCase,
+                "t",
+                opts,
+            )
+            .unwrap()
+            .arcs[0]
+                .delay
+                .lookup(0.05, 0.01)
+        };
+        assert!(wc_of(DeviceClass::Isolated) < wc_of(DeviceClass::Dense));
+    }
+}

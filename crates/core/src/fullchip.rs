@@ -1,0 +1,502 @@
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use svt_litho::{LithoError, LithoSimulator};
+use svt_netlist::MappedNetlist;
+use svt_opc::{CutlinePattern, ModelOpc, OpcLine, OpcOptions};
+use svt_place::{DeviceSite, Placement};
+use svt_stdcell::{Library, Region};
+
+use crate::flow::FlowError;
+
+/// One device after full-chip OPC sign-off simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrintedDevice {
+    /// The placed device.
+    pub site: DeviceSite,
+    /// Printed device CD from the sign-off simulator, or `None` if the
+    /// gate failed to print (catastrophic — should not happen post-OPC).
+    pub printed_cd_nm: Option<f64>,
+}
+
+/// The outcome of full-chip OPC on a placed design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullChipResult {
+    /// Design name.
+    pub design: String,
+    /// All devices with their sign-off printed CDs.
+    pub devices: Vec<PrintedDevice>,
+    /// Wall-clock OPC + audit runtime.
+    pub runtime: Duration,
+    /// Number of row cutlines whose OPC converged within tolerance.
+    pub converged_rows: usize,
+    /// Total row cutlines corrected.
+    pub total_rows: usize,
+}
+
+impl FullChipResult {
+    /// Signed percent CD error per printed device versus the drawn target
+    /// — the population of paper Fig. 7.
+    #[must_use]
+    pub fn percent_errors(&self, drawn_cd_nm: f64) -> Vec<f64> {
+        self.devices
+            .iter()
+            .filter_map(|d| d.printed_cd_nm)
+            .map(|cd| 100.0 * (cd - drawn_cd_nm) / drawn_cd_nm)
+            .collect()
+    }
+}
+
+/// Full-chip model-based OPC: every placed row cutline is corrected in its
+/// true context ("OPC can be performed on the layout and lithography
+/// simulations … for each device", paper §3.1) — the accurate but expensive
+/// flow that Table 1 compares library-based OPC against.
+#[derive(Debug, Clone)]
+pub struct FullChipOpc<'a> {
+    signoff: &'a LithoSimulator,
+    opc: ModelOpc,
+    window_margin_nm: f64,
+}
+
+impl<'a> FullChipOpc<'a> {
+    /// Creates the flow with a production (degraded-model) OPC engine
+    /// derived from the sign-off simulator.
+    #[must_use]
+    pub fn new(signoff: &'a LithoSimulator, opc_options: OpcOptions) -> FullChipOpc<'a> {
+        FullChipOpc {
+            signoff,
+            opc: ModelOpc::with_production_model(signoff, opc_options),
+            window_margin_nm: 1600.0,
+        }
+    }
+
+    /// The OPC engine in use.
+    #[must_use]
+    pub fn opc(&self) -> &ModelOpc {
+        &self.opc
+    }
+
+    /// Corrects and audits every row cutline of the placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPC and placement-query failures; see [`FlowError`].
+    pub fn run(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+        library: &Library,
+    ) -> Result<FullChipResult, FlowError> {
+        let started = Instant::now();
+        let sites = placement.device_sites(netlist, library)?;
+        let mut devices = Vec::with_capacity(sites.len());
+        let mut converged_rows = 0;
+        let mut total_rows = 0;
+
+        for row in placement.rows() {
+            for region in [Region::P, Region::N] {
+                // Sites of this cutline, left to right — the same order as
+                // `row_poly_pattern`.
+                let mut cut_sites: Vec<&DeviceSite> = sites
+                    .iter()
+                    .filter(|s| s.row == row.index && s.region == region)
+                    .collect();
+                if cut_sites.is_empty() {
+                    continue;
+                }
+                cut_sites.sort_by(|a, b| a.span_abs.0.total_cmp(&b.span_abs.0));
+                total_rows += 1;
+
+                let x_lo = cut_sites[0].span_abs.0 - self.window_margin_nm;
+                let x_hi = cut_sites[cut_sites.len() - 1].span_abs.1 + self.window_margin_nm;
+                let mut pattern = CutlinePattern::new(x_lo, x_hi - x_lo);
+                for s in &cut_sites {
+                    let (lo, hi) = s.span_abs;
+                    pattern.push(OpcLine::gate((lo + hi) / 2.0, hi - lo));
+                }
+                let report = self.opc.correct(&mut pattern)?;
+                if report.converged {
+                    converged_rows += 1;
+                }
+
+                // Sign-off audit of the corrected cutline.
+                let chrome = pattern.chrome();
+                let mask = svt_litho::MaskCutline::from_lines(
+                    x_lo,
+                    x_hi - x_lo,
+                    self.signoff.config().grid_nm(),
+                    &chrome,
+                )
+                .map_err(svt_opc::OpcError::from)?;
+                let image = self.signoff.aerial_image(&mask, 0.0);
+                for s in &cut_sites {
+                    let center = (s.span_abs.0 + s.span_abs.1) / 2.0;
+                    let printed =
+                        svt_litho::measure_cd_at(&image, center, self.signoff.resist(), 1.0)
+                            .and_then(|p| self.signoff.device_cd(p));
+                    let printed_cd_nm = match printed {
+                        Ok(cd) => Some(cd),
+                        Err(LithoError::FeatureNotPrinted { .. }) => None,
+                        Err(e) => return Err(svt_opc::OpcError::from(e).into()),
+                    };
+                    devices.push(PrintedDevice {
+                        site: (*s).clone(),
+                        printed_cd_nm,
+                    });
+                }
+            }
+        }
+
+        Ok(FullChipResult {
+            design: netlist.name().to_string(),
+            devices,
+            runtime: started.elapsed(),
+            converged_rows,
+            total_rows,
+        })
+    }
+}
+
+/// Library-based OPC at chip scale: each cell *master* is corrected once
+/// in its dummy environment, the chip mask is assembled from the corrected
+/// masters, and the assembled mask is audited with the sign-off simulator.
+/// This is the fast flow of paper Table 1 — correction cost is per master,
+/// not per instance.
+#[derive(Debug, Clone)]
+pub struct LibraryAssembledOpc<'a> {
+    signoff: &'a LithoSimulator,
+    library_opc: svt_opc::LibraryOpc,
+    window_margin_nm: f64,
+}
+
+impl<'a> LibraryAssembledOpc<'a> {
+    /// Creates the flow (production-model OPC, Fig. 3 dummy environment).
+    #[must_use]
+    pub fn new(signoff: &'a LithoSimulator, opc_options: OpcOptions) -> LibraryAssembledOpc<'a> {
+        let opc = ModelOpc::with_production_model(signoff, opc_options);
+        LibraryAssembledOpc {
+            signoff,
+            library_opc: svt_opc::LibraryOpc::new(opc, 150.0, 90.0),
+            window_margin_nm: 1600.0,
+        }
+    }
+
+    /// Corrects every master used by the netlist (the one-time library
+    /// cost), returning the corrected mask widths per `(cell, region)` in
+    /// row order, plus the wall-clock time spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPC failures.
+    pub fn correct_masters(
+        &self,
+        netlist: &MappedNetlist,
+        library: &Library,
+    ) -> Result<(MasterMasks, Duration), FlowError> {
+        let started = Instant::now();
+        let mut masks: MasterMasks = std::collections::BTreeMap::new();
+        for inst in netlist.instances() {
+            let Some(cell) = library.cell(&inst.cell) else {
+                continue;
+            };
+            for region in [Region::P, Region::N] {
+                let key = (cell.name().to_string(), region);
+                if masks.contains_key(&key) {
+                    continue;
+                }
+                let layout = cell.layout();
+                let gates: Vec<(f64, f64)> = layout
+                    .row_spans(region)
+                    .iter()
+                    .map(|&(_, (lo, hi))| ((lo + hi) / 2.0, hi - lo))
+                    .collect();
+                let corrected = self
+                    .library_opc
+                    .correct_cell(&gates, 0.0, layout.width_nm())?;
+                masks.insert(
+                    key,
+                    corrected.gates.iter().map(|g| g.mask_width).collect(),
+                );
+            }
+        }
+        Ok((masks, started.elapsed()))
+    }
+
+    /// Assembles the chip mask from corrected masters and audits every
+    /// device with the sign-off simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-query and simulation failures.
+    pub fn run(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+        library: &Library,
+        masks: &MasterMasks,
+    ) -> Result<FullChipResult, FlowError> {
+        let started = Instant::now();
+        let sites = placement.device_sites(netlist, library)?;
+        let mut devices = Vec::with_capacity(sites.len());
+        let mut total_rows = 0;
+
+        for row in placement.rows() {
+            for region in [Region::P, Region::N] {
+                let mut cut_sites: Vec<&DeviceSite> = sites
+                    .iter()
+                    .filter(|s| s.row == row.index && s.region == region)
+                    .collect();
+                if cut_sites.is_empty() {
+                    continue;
+                }
+                cut_sites.sort_by(|a, b| a.span_abs.0.total_cmp(&b.span_abs.0));
+                total_rows += 1;
+
+                let x_lo = cut_sites[0].span_abs.0 - self.window_margin_nm;
+                let x_hi = cut_sites[cut_sites.len() - 1].span_abs.1 + self.window_margin_nm;
+                // Chrome lines from the corrected master widths, centered
+                // on the drawn device centers.
+                let mut lines = Vec::with_capacity(cut_sites.len());
+                for s in &cut_sites {
+                    let cell_name = &netlist.instances()[s.instance].cell;
+                    let cell = library.cell(cell_name).ok_or_else(|| {
+                        FlowError::Inconsistent {
+                            reason: format!("unknown cell `{cell_name}`"),
+                        }
+                    })?;
+                    let order: Vec<_> = cell.layout().row_spans(region);
+                    let pos = order
+                        .iter()
+                        .position(|(id, _)| *id == s.device)
+                        .ok_or_else(|| FlowError::Inconsistent {
+                            reason: format!("device missing from `{cell_name}` row"),
+                        })?;
+                    let width = masks
+                        .get(&(cell_name.clone(), region))
+                        .and_then(|w| w.get(pos))
+                        .copied()
+                        .ok_or_else(|| FlowError::Inconsistent {
+                            reason: format!("no corrected mask for `{cell_name}` {region:?}"),
+                        })?;
+                    let center = (s.span_abs.0 + s.span_abs.1) / 2.0;
+                    lines.push((center - width / 2.0, center + width / 2.0));
+                }
+
+                let mask = svt_litho::MaskCutline::from_lines(
+                    x_lo,
+                    x_hi - x_lo,
+                    self.signoff.config().grid_nm(),
+                    &lines,
+                )
+                .map_err(svt_opc::OpcError::from)?;
+                let image = self.signoff.aerial_image(&mask, 0.0);
+                for s in &cut_sites {
+                    let center = (s.span_abs.0 + s.span_abs.1) / 2.0;
+                    let printed =
+                        svt_litho::measure_cd_at(&image, center, self.signoff.resist(), 1.0)
+                            .and_then(|p| self.signoff.device_cd(p));
+                    let printed_cd_nm = match printed {
+                        Ok(cd) => Some(cd),
+                        Err(LithoError::FeatureNotPrinted { .. }) => None,
+                        Err(e) => return Err(svt_opc::OpcError::from(e).into()),
+                    };
+                    devices.push(PrintedDevice {
+                        site: (*s).clone(),
+                        printed_cd_nm,
+                    });
+                }
+            }
+        }
+
+        Ok(FullChipResult {
+            design: netlist.name().to_string(),
+            devices,
+            runtime: started.elapsed(),
+            converged_rows: total_rows,
+            total_rows,
+        })
+    }
+}
+
+/// Corrected mask widths per `(cell, region)`, in row (left-to-right)
+/// device order.
+pub type MasterMasks = std::collections::BTreeMap<(String, Region), Vec<f64>>;
+
+/// Table 1 row: agreement between the printed CDs of the library-assembled
+/// mask and the full-chip-OPC mask, device by device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowComparison {
+    /// Devices compared (printed in both flows).
+    pub total: usize,
+    /// Devices with |error| < 1 % of the full-chip CD.
+    pub within_1pct: usize,
+    /// Devices with |error| < 3 %.
+    pub within_3pct: usize,
+    /// Devices with |error| < 6 %.
+    pub within_6pct: usize,
+}
+
+impl FlowComparison {
+    /// `N-i%` of Table 1: percent of devices within `i`% error.
+    #[must_use]
+    pub fn pct_within(&self, count: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compares the device-by-device printed CDs of two flows over the same
+/// placement (paper Table 1: "N-i% denotes % of devices with less than i%
+/// error compared to full-chip OPC").
+///
+/// # Errors
+///
+/// Returns [`FlowError::Inconsistent`] if the results cover different
+/// device sets.
+pub fn compare_opc_flows(
+    full: &FullChipResult,
+    library_flow: &FullChipResult,
+) -> Result<FlowComparison, FlowError> {
+    if full.devices.len() != library_flow.devices.len() {
+        return Err(FlowError::Inconsistent {
+            reason: format!(
+                "flows cover {} vs {} devices",
+                full.devices.len(),
+                library_flow.devices.len()
+            ),
+        });
+    }
+    let mut cmp = FlowComparison {
+        total: 0,
+        within_1pct: 0,
+        within_3pct: 0,
+        within_6pct: 0,
+    };
+    for (a, b) in full.devices.iter().zip(&library_flow.devices) {
+        if a.site.instance != b.site.instance || a.site.device != b.site.device {
+            return Err(FlowError::Inconsistent {
+                reason: "flow results are not device-aligned".into(),
+            });
+        }
+        let (Some(full_cd), Some(lib_cd)) = (a.printed_cd_nm, b.printed_cd_nm) else {
+            continue;
+        };
+        let err_pct = 100.0 * (lib_cd - full_cd).abs() / full_cd;
+        cmp.total += 1;
+        if err_pct < 1.0 {
+            cmp.within_1pct += 1;
+        }
+        if err_pct < 3.0 {
+            cmp.within_3pct += 1;
+        }
+        if err_pct < 6.0 {
+            cmp.within_6pct += 1;
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_litho::Process;
+    use svt_netlist::{generate_benchmark, technology_map};
+    use svt_place::{place, PlacementOptions};
+    fn small_design() -> (Library, MappedNetlist, Placement) {
+        let lib = Library::svt90();
+        // A small custom circuit keeps the full-chip OPC test fast.
+        let profile = svt_netlist::BenchmarkProfile::custom("tiny", 6, 3, 24, 7);
+        let n = generate_benchmark(&profile);
+        let mapped = technology_map(&n, &lib).unwrap();
+        let placement = place(&mapped, &lib, &PlacementOptions::default()).unwrap();
+        (lib, mapped, placement)
+    }
+
+    #[test]
+    fn full_chip_opc_prints_every_device_near_target() {
+        let (lib, mapped, placement) = small_design();
+        let sim = Process::nm90().simulator();
+        let flow = FullChipOpc::new(&sim, OpcOptions::default());
+        let result = flow.run(&mapped, &placement, &lib).unwrap();
+        let expected: usize = mapped
+            .instances()
+            .iter()
+            .map(|i| lib.cell(&i.cell).unwrap().layout().devices().len())
+            .sum();
+        assert_eq!(result.devices.len(), expected);
+        let errors = result.percent_errors(90.0);
+        assert_eq!(errors.len(), expected, "all devices print");
+        let worst = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
+        assert!(worst < 20.0, "worst post-OPC error {worst}% too large");
+        assert!(result.total_rows > 0);
+        assert!(result.runtime > Duration::ZERO);
+    }
+
+    #[test]
+    fn library_flow_tracks_full_chip_flow() {
+        let (lib, mapped, placement) = small_design();
+        let sim = Process::nm90().simulator();
+        let full = FullChipOpc::new(&sim, OpcOptions::default())
+            .run(&mapped, &placement, &lib)
+            .unwrap();
+        let assembler = LibraryAssembledOpc::new(&sim, OpcOptions::default());
+        let (masks, master_time) = assembler.correct_masters(&mapped, &lib).unwrap();
+        let library_flow = assembler.run(&mapped, &placement, &lib, &masks).unwrap();
+        assert!(master_time > Duration::ZERO);
+        assert_eq!(library_flow.devices.len(), full.devices.len());
+        let cmp = compare_opc_flows(&full, &library_flow).unwrap();
+        assert_eq!(cmp.total, full.devices.len());
+        assert!(cmp.within_6pct >= cmp.within_3pct);
+        assert!(cmp.within_3pct >= cmp.within_1pct);
+        // Paper Table 1: nearly all devices within 6% of full-chip OPC.
+        assert!(
+            cmp.pct_within(cmp.within_6pct) > 85.0,
+            "library OPC should track full-chip within 6% for most devices, got {:.1}%",
+            cmp.pct_within(cmp.within_6pct)
+        );
+        // And a solid share within 1%.
+        assert!(
+            cmp.pct_within(cmp.within_1pct) > 20.0,
+            "N-1% too low: {:.1}%",
+            cmp.pct_within(cmp.within_1pct)
+        );
+        // The assembled-library audit is much cheaper than full-chip OPC.
+        assert!(library_flow.runtime < full.runtime);
+    }
+
+    #[test]
+    fn percent_errors_skip_unprinted_devices() {
+        let site = DeviceSite {
+            instance: 0,
+            device: svt_stdcell::DeviceId(0),
+            region: Region::P,
+            row: 0,
+            span_abs: (0.0, 90.0),
+            left_space: None,
+            right_space: None,
+        };
+        let result = FullChipResult {
+            design: "x".into(),
+            devices: vec![
+                PrintedDevice {
+                    site: site.clone(),
+                    printed_cd_nm: Some(99.0),
+                },
+                PrintedDevice {
+                    site,
+                    printed_cd_nm: None,
+                },
+            ],
+            runtime: Duration::ZERO,
+            converged_rows: 1,
+            total_rows: 1,
+        };
+        let errors = result.percent_errors(90.0);
+        assert_eq!(errors.len(), 1);
+        assert!((errors[0] - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! The systematic-variation aware timing methodology of Gupta & Heng
+//! (DAC 2004) — the primary contribution this workspace reproduces.
+//!
+//! Traditional corner sign-off assumes every gate can simultaneously sit at
+//! the extreme of the full gate-length variation budget. Two large parts of
+//! that budget are *systematic* and predictable from layout:
+//!
+//! * **Through-pitch** (iso-dense) variation is fixed once placement is
+//!   known — handled by characterizing each cell in its placement context
+//!   (the 81-version expanded library) and removing `lvar_pitch` from both
+//!   corners (paper eq. 1).
+//! * **Through-focus** variation has a known *sign* per device: dense
+//!   devices smile (only get slower), isolated devices frown (only get
+//!   faster) — handled by labeling arcs and trimming the impossible side of
+//!   the corner (paper eqs. 2–5).
+//!
+//! The crate provides:
+//!
+//! * [`DeviceClass`] / [`classify_device`] — iso/dense/self-compensated
+//!   classification from placed neighbor spacings (paper §3.2, Fig. 5),
+//! * [`ArcLabel`] / [`label_arc`] — smile/frown/self-compensated arc labels
+//!   with the paper's majority policy (and a stricter ablation policy),
+//! * [`VariationBudget`] / [`CornerLengths`] — the corner arithmetic of
+//!   paper §3.3,
+//! * [`characterize_corner`] — per-arc corner characterization of a placed
+//!   instance,
+//! * [`SignoffFlow`] — the end-to-end Table 2 experiment: map → place →
+//!   expand → in-context corner STA vs traditional corner STA,
+//! * [`FullChipOpc`] / [`compare_opc_flows`] — the full-chip OPC audit used
+//!   by Table 1 and Fig. 7.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_core::{classify_device, ArcLabel, DeviceClass, VariationBudget};
+//!
+//! let budget = VariationBudget::default();
+//! let (contacted, l) = (300.0, 90.0);
+//! assert_eq!(classify_device(Some(150.0), Some(180.0), contacted, l), DeviceClass::Dense);
+//! assert_eq!(classify_device(None, Some(800.0), contacted, l), DeviceClass::Isolated);
+//! assert_eq!(
+//!     classify_device(Some(150.0), Some(700.0), contacted, l),
+//!     DeviceClass::SelfCompensated
+//! );
+//! // Traditional spread is ±Δ; the aware smile corner gives back
+//! // lvar_pitch on both sides and lvar_focus on the best-case side.
+//! let t = budget.traditional_corners(90.0);
+//! let s = budget.aware_corners(90.0, ArcLabel::Smile);
+//! assert!(s.wc_nm < t.wc_nm && s.bc_nm > t.bc_nm);
+//! ```
+
+mod arcs;
+mod budget;
+mod classify;
+mod flow;
+mod fullchip;
+mod parasitics;
+mod statistical;
+
+pub use arcs::{label_arc, ArcLabel, ArcLabelPolicy};
+pub use budget::{CornerLengths, VariationBudget};
+pub use classify::{classify_device, classify_sites, DeviceClass};
+pub use flow::{
+    characterize_corner, Corner, CornerTiming, SignoffComparison, SignoffFlow, SignoffOptions,
+};
+pub use fullchip::{
+    compare_opc_flows, FlowComparison, FullChipOpc, FullChipResult, LibraryAssembledOpc,
+    MasterMasks, PrintedDevice,
+};
+pub use parasitics::{hpwl_wire_caps, DEFAULT_CAP_PER_NM_PF};
+pub use statistical::{
+    DelayDistribution, GateLengthModel, MonteCarloOptions, MonteCarloSta,
+};

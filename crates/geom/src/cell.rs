@@ -1,0 +1,320 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeomError, Layer, Nm, Rect, Shape, Transform};
+
+/// A layout cell: a named collection of shapes within an outline.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{CellLayout, Layer, Nm, Rect, Shape};
+///
+/// let mut cell = CellLayout::new("INVX1", Rect::new(Nm(0), Nm(0), Nm(600), Nm(2400)));
+/// cell.push(Shape::new(Layer::Poly, Rect::new(Nm(255), Nm(200), Nm(345), Nm(2200))));
+/// assert_eq!(cell.shapes_on(Layer::Poly).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellLayout {
+    name: String,
+    outline: Rect,
+    shapes: Vec<Shape>,
+}
+
+impl CellLayout {
+    /// Creates an empty cell with the given outline (placement boundary).
+    #[must_use]
+    pub fn new(name: impl Into<String>, outline: Rect) -> CellLayout {
+        CellLayout {
+            name: name.into(),
+            outline,
+            shapes: Vec::new(),
+        }
+    }
+
+    /// Cell name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Placement outline.
+    #[must_use]
+    pub fn outline(&self) -> Rect {
+        self.outline
+    }
+
+    /// Placement width of the cell.
+    #[must_use]
+    pub fn width(&self) -> Nm {
+        self.outline.width()
+    }
+
+    /// Placement height of the cell.
+    #[must_use]
+    pub fn height(&self) -> Nm {
+        self.outline.height()
+    }
+
+    /// Adds a shape.
+    pub fn push(&mut self, shape: Shape) {
+        self.shapes.push(shape);
+    }
+
+    /// All shapes.
+    #[must_use]
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Mutable access to the shapes (used by OPC to bias edges in place).
+    #[must_use]
+    pub fn shapes_mut(&mut self) -> &mut [Shape] {
+        &mut self.shapes
+    }
+
+    /// Shapes on one layer.
+    pub fn shapes_on(&self, layer: Layer) -> impl Iterator<Item = &Shape> {
+        self.shapes.iter().filter(move |s| s.layer == layer)
+    }
+
+    /// Validates that every shape lies within the outline expanded by
+    /// `margin` (OPC dummies may legally hang outside the placement outline
+    /// by up to the radius of influence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::ShapeOutsideOutline`] naming the first offending
+    /// shape.
+    pub fn validate(&self, margin: Nm) -> Result<(), GeomError> {
+        let bounds = self.outline.expanded(margin);
+        for (i, s) in self.shapes.iter().enumerate() {
+            let r = s.rect;
+            if !(bounds.contains(r.lo()) && bounds.contains(r.hi())) {
+                return Err(GeomError::ShapeOutsideOutline {
+                    cell: self.name.clone(),
+                    index: i,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A placed instance of a cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Instance name (unique within a layout).
+    pub name: String,
+    /// Name of the master cell.
+    pub cell: String,
+    /// Placement transform.
+    pub transform: Transform,
+}
+
+impl Instance {
+    /// Creates an instance.
+    #[must_use]
+    pub fn new(name: impl Into<String>, cell: impl Into<String>, transform: Transform) -> Instance {
+        Instance {
+            name: name.into(),
+            cell: cell.into(),
+            transform,
+        }
+    }
+
+    /// The chip-coordinate bounding box of the placed instance.
+    #[must_use]
+    pub fn placed_bbox(&self) -> Rect {
+        let w = self.transform.cell_width;
+        let h = self.transform.cell_height;
+        self.transform
+            .apply_rect(Rect::new(Nm(0), Nm(0), w, h))
+    }
+}
+
+/// A flat top-level layout: cell masters plus placed instances.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    cells: Vec<CellLayout>,
+    instances: Vec<Instance>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    #[must_use]
+    pub fn new() -> Layout {
+        Layout::default()
+    }
+
+    /// Registers a cell master. Replaces any master with the same name.
+    pub fn add_cell(&mut self, cell: CellLayout) {
+        if let Some(existing) = self.cells.iter_mut().find(|c| c.name() == cell.name()) {
+            *existing = cell;
+        } else {
+            self.cells.push(cell);
+        }
+    }
+
+    /// Adds a placed instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::UnknownCell`] if the referenced master has not
+    /// been registered.
+    pub fn add_instance(&mut self, instance: Instance) -> Result<(), GeomError> {
+        if self.cell(&instance.cell).is_none() {
+            return Err(GeomError::UnknownCell {
+                cell: instance.cell.clone(),
+            });
+        }
+        self.instances.push(instance);
+        Ok(())
+    }
+
+    /// Looks up a cell master by name.
+    #[must_use]
+    pub fn cell(&self, name: &str) -> Option<&CellLayout> {
+        self.cells.iter().find(|c| c.name() == name)
+    }
+
+    /// All registered cell masters.
+    #[must_use]
+    pub fn cells(&self) -> &[CellLayout] {
+        &self.cells
+    }
+
+    /// All placed instances.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Flattens every imaged shape of every instance into chip coordinates.
+    ///
+    /// Only shapes on layers for which [`Layer::images`] holds are returned;
+    /// the result is the photomask content the lithography engine consumes.
+    #[must_use]
+    pub fn flatten_mask(&self) -> Vec<Shape> {
+        let mut out = Vec::new();
+        for inst in &self.instances {
+            let Some(master) = self.cell(&inst.cell) else {
+                continue;
+            };
+            for s in master.shapes().iter().filter(|s| s.layer.images()) {
+                out.push(Shape::new(s.layer, inst.transform.apply_rect(s.rect)));
+            }
+        }
+        out
+    }
+
+    /// Bounding box of all placed instances, if any are placed.
+    #[must_use]
+    pub fn bbox(&self) -> Option<Rect> {
+        self.instances
+            .iter()
+            .map(Instance::placed_bbox)
+            .reduce(|a, b| a.hull(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Orientation, Point};
+
+    fn inv_master() -> CellLayout {
+        let mut c = CellLayout::new("INVX1", Rect::new(Nm(0), Nm(0), Nm(600), Nm(2400)));
+        c.push(Shape::new(
+            Layer::Poly,
+            Rect::new(Nm(255), Nm(200), Nm(345), Nm(2200)),
+        ));
+        c.push(Shape::new(
+            Layer::Diffusion,
+            Rect::new(Nm(100), Nm(300), Nm(500), Nm(1000)),
+        ));
+        c
+    }
+
+    #[test]
+    fn validate_accepts_contained_shapes() {
+        assert!(inv_master().validate(Nm(0)).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_escaped_shape() {
+        let mut c = inv_master();
+        c.push(Shape::new(
+            Layer::Poly,
+            Rect::new(Nm(-700), Nm(0), Nm(-650), Nm(100)),
+        ));
+        let err = c.validate(Nm(600)).unwrap_err();
+        assert!(matches!(err, GeomError::ShapeOutsideOutline { index: 2, .. }));
+        // But a dummy hanging out within the margin is fine.
+        let mut c2 = inv_master();
+        c2.push(Shape::new(
+            Layer::DummyPoly,
+            Rect::new(Nm(-300), Nm(200), Nm(-210), Nm(2200)),
+        ));
+        assert!(c2.validate(Nm(600)).is_ok());
+        assert!(c2.validate(Nm(0)).is_err());
+    }
+
+    #[test]
+    fn layout_rejects_unknown_master() {
+        let mut l = Layout::new();
+        let t = Transform::at(Point::ORIGIN, Nm(600), Nm(2400));
+        let err = l.add_instance(Instance::new("u1", "INVX1", t)).unwrap_err();
+        assert!(matches!(err, GeomError::UnknownCell { .. }));
+    }
+
+    #[test]
+    fn flatten_applies_transform_and_filters_layers() {
+        let mut l = Layout::new();
+        l.add_cell(inv_master());
+        let t = Transform::new(
+            Point::new(Nm(1000), Nm(0)),
+            Orientation::MY,
+            Nm(600),
+            Nm(2400),
+        );
+        l.add_instance(Instance::new("u1", "INVX1", t)).unwrap();
+        let mask = l.flatten_mask();
+        // Diffusion does not image: only the poly gate remains.
+        assert_eq!(mask.len(), 1);
+        assert_eq!(mask[0].layer, Layer::Poly);
+        // MY: x spans [600-345, 600-255] = [255, 345] -> +1000.
+        assert_eq!(mask[0].rect, Rect::new(Nm(1255), Nm(200), Nm(1345), Nm(2200)));
+    }
+
+    #[test]
+    fn add_cell_replaces_same_name() {
+        let mut l = Layout::new();
+        l.add_cell(inv_master());
+        let replacement = CellLayout::new("INVX1", Rect::new(Nm(0), Nm(0), Nm(900), Nm(2400)));
+        l.add_cell(replacement.clone());
+        assert_eq!(l.cells().len(), 1);
+        assert_eq!(l.cell("INVX1"), Some(&replacement));
+    }
+
+    #[test]
+    fn bbox_covers_all_instances() {
+        let mut l = Layout::new();
+        l.add_cell(inv_master());
+        let w = Nm(600);
+        let h = Nm(2400);
+        l.add_instance(Instance::new(
+            "u1",
+            "INVX1",
+            Transform::at(Point::ORIGIN, w, h),
+        ))
+        .unwrap();
+        l.add_instance(Instance::new(
+            "u2",
+            "INVX1",
+            Transform::at(Point::new(Nm(2000), Nm(2400)), w, h),
+        ))
+        .unwrap();
+        assert_eq!(l.bbox(), Some(Rect::new(Nm(0), Nm(0), Nm(2600), Nm(4800))));
+        assert_eq!(Layout::new().bbox(), None);
+    }
+}

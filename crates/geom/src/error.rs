@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometry validation and layout assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A shape escapes its cell outline (plus the allowed margin).
+    ShapeOutsideOutline {
+        /// Name of the offending cell.
+        cell: String,
+        /// Index of the offending shape within the cell.
+        index: usize,
+    },
+    /// An instance references a cell master that was never registered.
+    UnknownCell {
+        /// Name of the missing master.
+        cell: String,
+    },
+    /// Layout interchange text could not be parsed.
+    ParseLayoutError {
+        /// 1-based line of the failure.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::ShapeOutsideOutline { cell, index } => {
+                write!(f, "shape {index} of cell `{cell}` lies outside the cell outline")
+            }
+            GeomError::UnknownCell { cell } => {
+                write!(f, "instance references unknown cell master `{cell}`")
+            }
+            GeomError::ParseLayoutError { line, reason } => {
+                write!(f, "layout parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_cell() {
+        let e = GeomError::UnknownCell {
+            cell: "NAND2X1".into(),
+        };
+        assert!(e.to_string().contains("NAND2X1"));
+        let e = GeomError::ShapeOutsideOutline {
+            cell: "INVX1".into(),
+            index: 3,
+        };
+        assert!(e.to_string().contains("INVX1"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<GeomError>();
+    }
+}

@@ -1,0 +1,247 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Interval, Nm};
+
+/// A neighboring feature edge found by an [`IntervalIndex`] query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborEdge {
+    /// Index of the neighboring interval in insertion order.
+    pub id: usize,
+    /// Empty-space gap between the query interval and the neighbor.
+    pub gap: Nm,
+}
+
+/// A 1-D index over feature intervals supporting nearest-neighbor queries.
+///
+/// The systematic-variation methodology repeatedly asks "what is the space
+/// from this gate to the nearest poly feature on its left / right?" (the
+/// `nps` parameters of paper §3.1.2 and the iso/dense classification of
+/// §3.2). This index answers those queries in `O(log n)` after an `O(n log
+/// n)` build.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{Interval, IntervalIndex, Nm};
+///
+/// let mut idx = IntervalIndex::new();
+/// idx.insert(Interval::new(Nm(0), Nm(90)));
+/// idx.insert(Interval::new(Nm(300), Nm(390)));
+/// idx.insert(Interval::new(Nm(900), Nm(990)));
+/// let idx = idx; // queries take &self
+/// let right = idx.nearest_right(&Interval::new(Nm(300), Nm(390))).unwrap();
+/// assert_eq!(right.gap, Nm(510));
+/// let left = idx.nearest_left(&Interval::new(Nm(300), Nm(390))).unwrap();
+/// assert_eq!(left.gap, Nm(210));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalIndex {
+    /// (interval, insertion id), sorted by `lo` once built.
+    items: Vec<(Interval, usize)>,
+    sorted: bool,
+}
+
+impl IntervalIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> IntervalIndex {
+        IntervalIndex::default()
+    }
+
+    /// Builds an index from intervals.
+    #[must_use]
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> IntervalIndex {
+        let mut idx = IntervalIndex::new();
+        for iv in intervals {
+            idx.insert(iv);
+        }
+        idx
+    }
+
+    /// Inserts an interval, returning its id.
+    pub fn insert(&mut self, interval: Interval) -> usize {
+        let id = self.items.len();
+        self.items.push((interval, id));
+        self.sorted = false;
+        id
+    }
+
+    /// Number of indexed intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.items.sort_by_key(|(iv, _)| (iv.lo(), iv.hi()));
+            self.sorted = true;
+        }
+    }
+
+    fn sorted_items(&self) -> Vec<(Interval, usize)> {
+        let mut items = self.items.clone();
+        items.sort_by_key(|(iv, _)| (iv.lo(), iv.hi()));
+        items
+    }
+
+    /// Sorts the index eagerly. Queries sort lazily into a scratch copy when
+    /// this has not been called; call it once after bulk insertion to avoid
+    /// the per-query copy.
+    pub fn build(&mut self) {
+        self.ensure_sorted();
+    }
+
+    /// The nearest indexed interval strictly to the right of `query`
+    /// (smallest positive gap). Intervals overlapping the query are ignored.
+    #[must_use]
+    pub fn nearest_right(&self, query: &Interval) -> Option<NeighborEdge> {
+        self.scan(query, true)
+    }
+
+    /// The nearest indexed interval strictly to the left of `query`.
+    #[must_use]
+    pub fn nearest_left(&self, query: &Interval) -> Option<NeighborEdge> {
+        self.scan(query, false)
+    }
+
+    fn scan(&self, query: &Interval, right: bool) -> Option<NeighborEdge> {
+        let items = if self.sorted {
+            None
+        } else {
+            Some(self.sorted_items())
+        };
+        let items: &[(Interval, usize)] = items.as_deref().unwrap_or(&self.items);
+        let mut best: Option<NeighborEdge> = None;
+        for (iv, id) in items {
+            let gap = match iv.gap_to(query) {
+                Some(g) => g,
+                None => continue, // overlapping or identical feature
+            };
+            let is_right = iv.lo() > query.hi();
+            if is_right != right {
+                continue;
+            }
+            if best.is_none_or(|b| gap < b.gap) {
+                best = Some(NeighborEdge { id: *id, gap });
+            }
+        }
+        best
+    }
+
+    /// All intervals whose gap to `query` is at most `radius` (excluding
+    /// overlapping intervals), in insertion order. This is the "features
+    /// within the radius of influence" query used to build OPC simulation
+    /// windows.
+    #[must_use]
+    pub fn within(&self, query: &Interval, radius: Nm) -> Vec<NeighborEdge> {
+        let mut out: Vec<NeighborEdge> = self
+            .items
+            .iter()
+            .filter_map(|(iv, id)| {
+                iv.gap_to(query)
+                    .filter(|g| *g <= radius)
+                    .map(|gap| NeighborEdge { id: *id, gap })
+            })
+            .collect();
+        out.sort_by_key(|e| e.id);
+        out
+    }
+}
+
+impl FromIterator<Interval> for IntervalIndex {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> IntervalIndex {
+        IntervalIndex::from_intervals(iter)
+    }
+}
+
+impl Extend<Interval> for IntervalIndex {
+    fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
+        for iv in iter {
+            self.insert(iv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(x: i64) -> Interval {
+        Interval::new(Nm(x), Nm(x + 90))
+    }
+
+    fn build() -> IntervalIndex {
+        let mut idx = IntervalIndex::from_intervals([line(0), line(300), line(900), line(2000)]);
+        idx.build();
+        idx
+    }
+
+    #[test]
+    fn nearest_right_finds_smallest_gap() {
+        let idx = build();
+        let e = idx.nearest_right(&line(300)).unwrap();
+        assert_eq!(e.gap, Nm(510));
+        assert_eq!(e.id, 2);
+    }
+
+    #[test]
+    fn nearest_left_finds_smallest_gap() {
+        let idx = build();
+        let e = idx.nearest_left(&line(300)).unwrap();
+        assert_eq!(e.gap, Nm(210));
+        assert_eq!(e.id, 0);
+    }
+
+    #[test]
+    fn no_neighbor_on_open_side() {
+        let idx = build();
+        assert!(idx.nearest_left(&line(0)).is_none());
+        assert!(idx.nearest_right(&line(2000)).is_none());
+    }
+
+    #[test]
+    fn overlapping_features_are_not_neighbors() {
+        let idx = build();
+        // Query overlapping the feature at 300 ignores it but sees the others.
+        let q = Interval::new(Nm(250), Nm(420));
+        let left = idx.nearest_left(&q).unwrap();
+        assert_eq!(left.id, 0);
+        let right = idx.nearest_right(&q).unwrap();
+        assert_eq!(right.id, 2);
+    }
+
+    #[test]
+    fn within_radius_of_influence() {
+        let idx = build();
+        let hits = idx.within(&line(300), Nm(600));
+        let ids: Vec<usize> = hits.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+        let hits = idx.within(&line(300), Nm(100));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn lazy_queries_match_built_queries() {
+        let lazy = IntervalIndex::from_intervals([line(900), line(0), line(300)]);
+        let mut built = lazy.clone();
+        built.build();
+        let q = line(300);
+        assert_eq!(lazy.nearest_left(&q), built.nearest_left(&q));
+        assert_eq!(lazy.nearest_right(&q), built.nearest_right(&q));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut idx: IntervalIndex = [line(0)].into_iter().collect();
+        idx.extend([line(300)]);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+}

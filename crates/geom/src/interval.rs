@@ -1,0 +1,210 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nm;
+
+/// A closed 1-D interval `[lo, hi]` on the nanometre grid.
+///
+/// Intervals describe the horizontal extent of poly features along a gate
+/// cutline; the lithography and spacing code reasons almost entirely in one
+/// dimension (the paper's proximity model is through-*pitch*).
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{Interval, Nm};
+///
+/// let a = Interval::new(Nm(0), Nm(90));
+/// let b = Interval::new(Nm(240), Nm(330));
+/// assert_eq!(a.gap_to(&b), Some(Nm(150)));
+/// assert_eq!(a.center(), Nm(45));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Nm,
+    hi: Nm,
+}
+
+impl Interval {
+    /// Creates an interval from its endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Nm, hi: Nm) -> Interval {
+        assert!(lo <= hi, "inverted interval: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Creates the interval of a feature of width `width` centered at
+    /// `center`. Odd widths are grown by one grid unit on the high side.
+    #[must_use]
+    pub fn centered(center: Nm, width: Nm) -> Interval {
+        let half = width / 2;
+        Interval::new(center - half, center - half + width)
+    }
+
+    /// Low endpoint.
+    #[must_use]
+    pub fn lo(&self) -> Nm {
+        self.lo
+    }
+
+    /// High endpoint.
+    #[must_use]
+    pub fn hi(&self) -> Nm {
+        self.hi
+    }
+
+    /// Length `hi - lo`.
+    #[must_use]
+    pub fn len(&self) -> Nm {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is a single point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Midpoint (rounded toward `lo`).
+    #[must_use]
+    pub fn center(&self) -> Nm {
+        self.lo + (self.hi - self.lo) / 2
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(&self, x: Nm) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether two closed intervals share at least one point.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The empty-space gap between two disjoint intervals, or `None` if they
+    /// overlap or touch.
+    #[must_use]
+    pub fn gap_to(&self, other: &Interval) -> Option<Nm> {
+        if other.lo > self.hi {
+            Some(other.lo - self.hi)
+        } else if self.lo > other.hi {
+            Some(self.lo - other.hi)
+        } else {
+            None
+        }
+    }
+
+    /// The intersection of two intervals, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// The smallest interval covering both inputs.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Translates by `dx`.
+    #[must_use]
+    pub fn shifted(&self, dx: Nm) -> Interval {
+        Interval::new(self.lo + dx, self.hi + dx)
+    }
+
+    /// Grows both ends outward by `amount` (negative shrinks; the interval
+    /// collapses to its center rather than inverting).
+    #[must_use]
+    pub fn expanded(&self, amount: Nm) -> Interval {
+        let lo = self.lo - amount;
+        let hi = self.hi + amount;
+        if lo > hi {
+            let c = self.center();
+            Interval::new(c, c)
+        } else {
+            Interval::new(lo, hi)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let iv = Interval::new(Nm(10), Nm(100));
+        assert_eq!(iv.lo(), Nm(10));
+        assert_eq!(iv.hi(), Nm(100));
+        assert_eq!(iv.len(), Nm(90));
+        assert_eq!(iv.center(), Nm(55));
+        assert!(!iv.is_empty());
+        assert!(Interval::new(Nm(5), Nm(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn rejects_inverted() {
+        let _ = Interval::new(Nm(2), Nm(1));
+    }
+
+    #[test]
+    fn centered_has_requested_width() {
+        let iv = Interval::centered(Nm(100), Nm(90));
+        assert_eq!(iv.len(), Nm(90));
+        assert!(iv.contains(Nm(100)));
+    }
+
+    #[test]
+    fn gap_is_symmetric_and_none_on_overlap() {
+        let a = Interval::new(Nm(0), Nm(90));
+        let b = Interval::new(Nm(240), Nm(330));
+        assert_eq!(a.gap_to(&b), Some(Nm(150)));
+        assert_eq!(b.gap_to(&a), Some(Nm(150)));
+        let c = Interval::new(Nm(50), Nm(60));
+        assert_eq!(a.gap_to(&c), None);
+        // Touching intervals have zero gap.
+        let d = Interval::new(Nm(90), Nm(120));
+        assert_eq!(a.gap_to(&d), None);
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Interval::new(Nm(0), Nm(90));
+        let b = Interval::new(Nm(60), Nm(120));
+        assert_eq!(a.intersection(&b), Some(Interval::new(Nm(60), Nm(90))));
+        assert_eq!(a.hull(&b), Interval::new(Nm(0), Nm(120)));
+        let far = Interval::new(Nm(500), Nm(600));
+        assert_eq!(a.intersection(&far), None);
+    }
+
+    #[test]
+    fn expanded_clamps_to_center() {
+        let a = Interval::new(Nm(0), Nm(90));
+        assert_eq!(a.expanded(Nm(10)), Interval::new(Nm(-10), Nm(100)));
+        let collapsed = a.expanded(Nm(-100));
+        assert!(collapsed.is_empty());
+        assert_eq!(collapsed.lo(), a.center());
+    }
+
+    #[test]
+    fn shifted_translates() {
+        let a = Interval::new(Nm(0), Nm(90)).shifted(Nm(300));
+        assert_eq!(a, Interval::new(Nm(300), Nm(390)));
+    }
+}

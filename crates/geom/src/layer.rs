@@ -1,0 +1,93 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Mask / layout layers used by the workspace.
+///
+/// The paper's methodology only manipulates the polysilicon level, but the
+/// cell generator also emits diffusion (to locate devices: a device exists
+/// where poly crosses diffusion) and the OPC engine emits dummy poly and
+/// sub-resolution assist features that participate in imaging but must not
+/// print.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::Layer;
+///
+/// assert!(Layer::Poly.images());
+/// assert!(Layer::Sraf.images());
+/// assert!(!Layer::Diffusion.images());
+/// assert!(!Layer::Sraf.prints());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Polysilicon gate level — the level the methodology corrects and times.
+    Poly,
+    /// Active / diffusion; poly over diffusion defines a device.
+    Diffusion,
+    /// Dummy poly inserted to emulate a placement environment during
+    /// library-based OPC (paper Fig. 3). Images like poly but carries no
+    /// device.
+    DummyPoly,
+    /// Sub-resolution assist feature (scatter bar): on the mask, images, but
+    /// must never print.
+    Sraf,
+    /// Cell outline / placement boundary (non-mask).
+    Outline,
+}
+
+impl Layer {
+    /// Whether shapes on this layer appear on the photomask and contribute
+    /// to the aerial image.
+    #[must_use]
+    pub fn images(self) -> bool {
+        matches!(self, Layer::Poly | Layer::DummyPoly | Layer::Sraf)
+    }
+
+    /// Whether features on this layer are intended to print on wafer.
+    #[must_use]
+    pub fn prints(self) -> bool {
+        matches!(self, Layer::Poly | Layer::DummyPoly)
+    }
+
+    /// Whether the layer belongs to the mask data set (as opposed to
+    /// annotation layers like the cell outline).
+    #[must_use]
+    pub fn is_mask_layer(self) -> bool {
+        !matches!(self, Layer::Outline)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Layer::Poly => "poly",
+            Layer::Diffusion => "diffusion",
+            Layer::DummyPoly => "dummy-poly",
+            Layer::Sraf => "sraf",
+            Layer::Outline => "outline",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imaging_and_printing_flags() {
+        assert!(Layer::Poly.images() && Layer::Poly.prints());
+        assert!(Layer::DummyPoly.images() && Layer::DummyPoly.prints());
+        assert!(Layer::Sraf.images() && !Layer::Sraf.prints());
+        assert!(!Layer::Diffusion.images());
+        assert!(!Layer::Outline.is_mask_layer());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layer::Sraf.to_string(), "sraf");
+        assert_eq!(Layer::DummyPoly.to_string(), "dummy-poly");
+    }
+}

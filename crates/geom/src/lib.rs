@@ -1,0 +1,47 @@
+//! Geometry substrate for the `svt` workspace.
+//!
+//! All mask-level geometry in this workspace is expressed on an integer
+//! nanometre grid ([`Nm`]), matching the database units of a typical 90 nm
+//! layout database. The crate provides the primitives the lithography, OPC,
+//! standard-cell, and placement crates build on:
+//!
+//! * [`Nm`], [`Point`], [`Rect`], [`Interval`] — coordinate primitives,
+//! * [`Layer`] and [`Shape`] — the mask layer model,
+//! * [`CellLayout`] and [`Instance`] — hierarchical layout,
+//! * [`IntervalIndex`] — fast nearest-edge queries along a cut direction
+//!   (used for neighbor-poly-spacing extraction and iso/dense
+//!   classification).
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_geom::{Nm, Rect, Layer, Shape};
+//!
+//! let gate = Rect::new(Nm(0), Nm(0), Nm(90), Nm(600));
+//! assert_eq!(gate.width(), Nm(90));
+//! let shape = Shape::new(Layer::Poly, gate);
+//! assert!(shape.layer.is_mask_layer());
+//! ```
+
+mod cell;
+mod error;
+mod index;
+mod interval;
+mod layer;
+mod point;
+mod rect;
+mod shape;
+pub mod text_format;
+mod transform;
+mod units;
+
+pub use cell::{CellLayout, Instance, Layout};
+pub use error::GeomError;
+pub use index::{IntervalIndex, NeighborEdge};
+pub use interval::Interval;
+pub use layer::Layer;
+pub use point::Point;
+pub use rect::Rect;
+pub use shape::Shape;
+pub use transform::{Orientation, Transform};
+pub use units::Nm;

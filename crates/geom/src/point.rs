@@ -1,0 +1,78 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nm;
+
+/// A point on the nanometre grid.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{Nm, Point};
+///
+/// let p = Point::new(Nm(10), Nm(20)) + Point::new(Nm(1), Nm(2));
+/// assert_eq!(p, Point::new(Nm(11), Nm(22)));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Nm,
+    /// Vertical coordinate.
+    pub y: Nm,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point {
+        x: Nm::ZERO,
+        y: Nm::ZERO,
+    };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub fn new(x: Nm, y: Nm) -> Point {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_are_componentwise() {
+        let a = Point::new(Nm(5), Nm(-3));
+        let b = Point::new(Nm(2), Nm(10));
+        assert_eq!(a + b, Point::new(Nm(7), Nm(7)));
+        assert_eq!(a - b, Point::new(Nm(3), Nm(-13)));
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        assert_eq!(Point::ORIGIN, Point::new(Nm(0), Nm(0)));
+    }
+}

@@ -1,0 +1,217 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Interval, Nm, Point};
+
+/// An axis-aligned rectangle on the nanometre grid.
+///
+/// Rectangles are the only polygon the workspace needs: poly gates, dummy
+/// fill, diffusion, SRAFs and cell outlines are all rectilinear and, after
+/// fracturing, rectangular.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{Nm, Rect};
+///
+/// let gate = Rect::new(Nm(0), Nm(0), Nm(90), Nm(600));
+/// assert_eq!(gate.width(), Nm(90));
+/// assert_eq!(gate.height(), Nm(600));
+/// assert_eq!(gate.area(), 54_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0 > x1` or `y0 > y1`.
+    #[must_use]
+    pub fn new(x0: Nm, y0: Nm, x1: Nm, y1: Nm) -> Rect {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rect: ({x0},{y0})-({x1},{y1})");
+        Rect {
+            lo: Point::new(x0, y0),
+            hi: Point::new(x1, y1),
+        }
+    }
+
+    /// Creates a rectangle from its horizontal and vertical spans.
+    #[must_use]
+    pub fn from_spans(x: Interval, y: Interval) -> Rect {
+        Rect::new(x.lo(), y.lo(), x.hi(), y.hi())
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Horizontal span.
+    #[must_use]
+    pub fn x_span(&self) -> Interval {
+        Interval::new(self.lo.x, self.hi.x)
+    }
+
+    /// Vertical span.
+    #[must_use]
+    pub fn y_span(&self) -> Interval {
+        Interval::new(self.lo.y, self.hi.y)
+    }
+
+    /// Width along x.
+    #[must_use]
+    pub fn width(&self) -> Nm {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along y.
+    #[must_use]
+    pub fn height(&self) -> Nm {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in nm².
+    #[must_use]
+    pub fn area(&self) -> i64 {
+        self.width().0 * self.height().0
+    }
+
+    /// Center point (rounded toward the lower-left).
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(self.x_span().center(), self.y_span().center())
+    }
+
+    /// Whether a point lies in the closed rectangle.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.x_span().contains(p.x) && self.y_span().contains(p.y)
+    }
+
+    /// Whether the closed rectangles share at least one point.
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_span().overlaps(&other.x_span()) && self.y_span().overlaps(&other.y_span())
+    }
+
+    /// The intersection rectangle, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x_span().intersection(&other.x_span())?;
+        let y = self.y_span().intersection(&other.y_span())?;
+        Some(Rect::from_spans(x, y))
+    }
+
+    /// The smallest rectangle covering both inputs.
+    #[must_use]
+    pub fn hull(&self, other: &Rect) -> Rect {
+        Rect::from_spans(
+            self.x_span().hull(&other.x_span()),
+            self.y_span().hull(&other.y_span()),
+        )
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[must_use]
+    pub fn shifted(&self, dx: Nm, dy: Nm) -> Rect {
+        Rect::new(
+            self.lo.x + dx,
+            self.lo.y + dy,
+            self.hi.x + dx,
+            self.hi.y + dy,
+        )
+    }
+
+    /// Grows all four sides outward by `amount` (negative shrinks; spans
+    /// collapse to their centers rather than inverting).
+    #[must_use]
+    pub fn expanded(&self, amount: Nm) -> Rect {
+        Rect::from_spans(
+            self.x_span().expanded(amount),
+            self.y_span().expanded(amount),
+        )
+    }
+
+    /// Replaces the horizontal span, keeping the vertical one — the mask
+    /// operation performed by 1-D edge-bias OPC on a vertical line.
+    #[must_use]
+    pub fn with_x_span(&self, x: Interval) -> Rect {
+        Rect::from_spans(x, self.y_span())
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}@{}", self.width(), self.height(), self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Nm(x0), Nm(y0), Nm(x1), Nm(y1))
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = r(10, 20, 100, 620);
+        assert_eq!(g.width(), Nm(90));
+        assert_eq!(g.height(), Nm(600));
+        assert_eq!(g.area(), 54_000);
+        assert_eq!(g.center(), Point::new(Nm(55), Nm(320)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rect")]
+    fn rejects_inverted() {
+        let _ = r(5, 0, 0, 5);
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let g = r(0, 0, 90, 600);
+        assert!(g.contains(Point::new(Nm(0), Nm(0))));
+        assert!(g.contains(Point::new(Nm(90), Nm(600))));
+        assert!(!g.contains(Point::new(Nm(91), Nm(0))));
+        assert!(g.overlaps(&r(80, 500, 200, 700)));
+        assert!(!g.overlaps(&r(100, 0, 200, 600)));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = r(0, 0, 90, 600);
+        let b = r(60, 300, 200, 900);
+        assert_eq!(a.intersection(&b), Some(r(60, 300, 90, 600)));
+        assert_eq!(a.hull(&b), r(0, 0, 200, 900));
+        assert_eq!(a.intersection(&r(500, 0, 600, 100)), None);
+    }
+
+    #[test]
+    fn shift_and_expand() {
+        let a = r(0, 0, 90, 600);
+        assert_eq!(a.shifted(Nm(300), Nm(-100)), r(300, -100, 390, 500));
+        assert_eq!(a.expanded(Nm(10)), r(-10, -10, 100, 610));
+    }
+
+    #[test]
+    fn with_x_span_keeps_height() {
+        let a = r(0, 0, 90, 600);
+        let biased = a.with_x_span(Interval::new(Nm(-5), Nm(95)));
+        assert_eq!(biased, r(-5, 0, 95, 600));
+    }
+}

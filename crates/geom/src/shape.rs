@@ -1,0 +1,56 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, Nm, Rect};
+
+/// A rectangle on a layout layer.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{Layer, Nm, Rect, Shape};
+///
+/// let gate = Shape::new(Layer::Poly, Rect::new(Nm(0), Nm(0), Nm(90), Nm(600)));
+/// assert_eq!(gate.rect.width(), Nm(90));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Layer the rectangle lives on.
+    pub layer: Layer,
+    /// The rectangle geometry.
+    pub rect: Rect,
+}
+
+impl Shape {
+    /// Creates a shape.
+    #[must_use]
+    pub fn new(layer: Layer, rect: Rect) -> Shape {
+        Shape { layer, rect }
+    }
+
+    /// The same shape translated by `(dx, dy)`.
+    #[must_use]
+    pub fn shifted(&self, dx: Nm, dy: Nm) -> Shape {
+        Shape::new(self.layer, self.rect.shifted(dx, dy))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.layer, self.rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_moves_rect_only() {
+        let s = Shape::new(Layer::Poly, Rect::new(Nm(0), Nm(0), Nm(90), Nm(600)));
+        let t = s.shifted(Nm(300), Nm(0));
+        assert_eq!(t.layer, Layer::Poly);
+        assert_eq!(t.rect, Rect::new(Nm(300), Nm(0), Nm(390), Nm(600)));
+    }
+}

@@ -1,0 +1,185 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Nm, Point, Rect};
+
+/// Placement orientation of a cell instance.
+///
+/// Standard-cell placement uses `R0` and `MY` in alternating rows (flip about
+/// the y-axis for row abutment) plus the x-mirrored variants for power-rail
+/// sharing. Rotations by 90° are not used by row-based placement and are not
+/// supported.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orientation {
+    /// No mirroring.
+    #[default]
+    R0,
+    /// Mirrored about the y-axis (x → width − x).
+    MY,
+    /// Mirrored about the x-axis (y → height − y).
+    MX,
+    /// Rotated 180° (both mirrors).
+    R180,
+}
+
+impl Orientation {
+    /// Whether x-coordinates are mirrored.
+    #[must_use]
+    pub fn flips_x(self) -> bool {
+        matches!(self, Orientation::MY | Orientation::R180)
+    }
+
+    /// Whether y-coordinates are mirrored.
+    #[must_use]
+    pub fn flips_y(self) -> bool {
+        matches!(self, Orientation::MX | Orientation::R180)
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::MY => "MY",
+            Orientation::MX => "MX",
+            Orientation::R180 => "R180",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A placement transform: orient within the cell's bounding box, then
+/// translate.
+///
+/// The mirror is taken about the cell-local bounding box `(0,0)-(w,h)` so
+/// that a placed instance always occupies `origin + (0,0)-(w,h)`, matching
+/// DEF semantics.
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::{Nm, Orientation, Point, Rect, Transform};
+///
+/// let t = Transform::new(Point::new(Nm(1000), Nm(0)), Orientation::MY, Nm(400), Nm(800));
+/// let local = Rect::new(Nm(0), Nm(0), Nm(90), Nm(800));
+/// let placed = t.apply_rect(local);
+/// assert_eq!(placed, Rect::new(Nm(1310), Nm(0), Nm(1400), Nm(800)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transform {
+    /// Placement origin (lower-left of the placed bounding box).
+    pub origin: Point,
+    /// Orientation applied before translation.
+    pub orientation: Orientation,
+    /// Cell bounding-box width used as the mirror axis offset.
+    pub cell_width: Nm,
+    /// Cell bounding-box height used as the mirror axis offset.
+    pub cell_height: Nm,
+}
+
+impl Transform {
+    /// Creates a transform for a cell of the given bounding-box size.
+    #[must_use]
+    pub fn new(origin: Point, orientation: Orientation, cell_width: Nm, cell_height: Nm) -> Transform {
+        Transform {
+            origin,
+            orientation,
+            cell_width,
+            cell_height,
+        }
+    }
+
+    /// Identity placement at `origin` for an un-mirrored cell.
+    #[must_use]
+    pub fn at(origin: Point, cell_width: Nm, cell_height: Nm) -> Transform {
+        Transform::new(origin, Orientation::R0, cell_width, cell_height)
+    }
+
+    /// Maps a cell-local point to chip coordinates.
+    #[must_use]
+    pub fn apply_point(&self, p: Point) -> Point {
+        let x = if self.orientation.flips_x() {
+            self.cell_width - p.x
+        } else {
+            p.x
+        };
+        let y = if self.orientation.flips_y() {
+            self.cell_height - p.y
+        } else {
+            p.y
+        };
+        Point::new(x + self.origin.x, y + self.origin.y)
+    }
+
+    /// Maps a cell-local rectangle to chip coordinates.
+    #[must_use]
+    pub fn apply_rect(&self, r: Rect) -> Rect {
+        let a = self.apply_point(r.lo());
+        let b = self.apply_point(r.hi());
+        Rect::new(
+            a.x.min(b.x),
+            a.y.min(b.y),
+            a.x.max(b.x),
+            a.y.max(b.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(orient: Orientation) -> Transform {
+        Transform::new(Point::new(Nm(1000), Nm(2000)), orient, Nm(400), Nm(800))
+    }
+
+    #[test]
+    fn r0_translates_only() {
+        let r = Rect::new(Nm(10), Nm(20), Nm(100), Nm(620));
+        assert_eq!(
+            t(Orientation::R0).apply_rect(r),
+            Rect::new(Nm(1010), Nm(2020), Nm(1100), Nm(2620))
+        );
+    }
+
+    #[test]
+    fn my_mirrors_x_within_bbox() {
+        let r = Rect::new(Nm(10), Nm(20), Nm(100), Nm(620));
+        // x' spans [400-100, 400-10] = [300, 390]
+        assert_eq!(
+            t(Orientation::MY).apply_rect(r),
+            Rect::new(Nm(1300), Nm(2020), Nm(1390), Nm(2620))
+        );
+    }
+
+    #[test]
+    fn mx_mirrors_y_within_bbox() {
+        let r = Rect::new(Nm(10), Nm(20), Nm(100), Nm(620));
+        assert_eq!(
+            t(Orientation::MX).apply_rect(r),
+            Rect::new(Nm(1010), Nm(2180), Nm(1100), Nm(2780))
+        );
+    }
+
+    #[test]
+    fn r180_mirrors_both() {
+        let r = Rect::new(Nm(0), Nm(0), Nm(400), Nm(800));
+        // Full bbox maps to itself under any orientation.
+        for o in [Orientation::R0, Orientation::MY, Orientation::MX, Orientation::R180] {
+            assert_eq!(
+                t(o).apply_rect(r),
+                Rect::new(Nm(1000), Nm(2000), Nm(1400), Nm(2800)),
+                "orientation {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_flags() {
+        assert!(!Orientation::R0.flips_x() && !Orientation::R0.flips_y());
+        assert!(Orientation::MY.flips_x() && !Orientation::MY.flips_y());
+        assert!(!Orientation::MX.flips_x() && Orientation::MX.flips_y());
+        assert!(Orientation::R180.flips_x() && Orientation::R180.flips_y());
+    }
+}

@@ -1,0 +1,214 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A length on the integer nanometre database grid.
+///
+/// Every mask coordinate in the workspace is an `Nm`. The newtype keeps
+/// nanometres from being confused with the floating-point micron and
+/// normalized-frequency quantities used inside the lithography engine
+/// (C-NEWTYPE).
+///
+/// # Examples
+///
+/// ```
+/// use svt_geom::Nm;
+///
+/// let pitch = Nm(300);
+/// let space = pitch - Nm(90);
+/// assert_eq!(space, Nm(210));
+/// assert_eq!(pitch.to_um(), 0.3);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Nm(pub i64);
+
+impl Nm {
+    /// Zero length.
+    pub const ZERO: Nm = Nm(0);
+
+    /// The largest representable length, used as an "infinite spacing"
+    /// sentinel when a device has no neighbor within the simulation window.
+    pub const MAX: Nm = Nm(i64::MAX);
+
+    /// Converts a floating-point nanometre value, rounding to the grid.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use svt_geom::Nm;
+    /// assert_eq!(Nm::from_f64(89.6), Nm(90));
+    /// ```
+    #[must_use]
+    pub fn from_f64(nm: f64) -> Nm {
+        Nm(nm.round() as i64)
+    }
+
+    /// The value in nanometres as a float, for analog computations.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The value in microns.
+    #[must_use]
+    pub fn to_um(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Nm {
+        Nm(self.0.abs())
+    }
+
+    /// The smaller of two lengths.
+    #[must_use]
+    pub fn min(self, other: Nm) -> Nm {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two lengths.
+    #[must_use]
+    pub fn max(self, other: Nm) -> Nm {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Nm, hi: Nm) -> Nm {
+        assert!(lo <= hi, "invalid clamp range: {lo} > {hi}");
+        self.max(lo).min(hi)
+    }
+}
+
+impl fmt::Display for Nm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.0)
+    }
+}
+
+impl Add for Nm {
+    type Output = Nm;
+    fn add(self, rhs: Nm) -> Nm {
+        Nm(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nm {
+    fn add_assign(&mut self, rhs: Nm) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nm {
+    type Output = Nm;
+    fn sub(self, rhs: Nm) -> Nm {
+        Nm(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nm {
+    fn sub_assign(&mut self, rhs: Nm) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Nm {
+    type Output = Nm;
+    fn neg(self) -> Nm {
+        Nm(-self.0)
+    }
+}
+
+impl Mul<i64> for Nm {
+    type Output = Nm;
+    fn mul(self, rhs: i64) -> Nm {
+        Nm(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Nm {
+    type Output = Nm;
+    fn div(self, rhs: i64) -> Nm {
+        Nm(self.0 / rhs)
+    }
+}
+
+impl Rem<i64> for Nm {
+    type Output = Nm;
+    fn rem(self, rhs: i64) -> Nm {
+        Nm(self.0 % rhs)
+    }
+}
+
+impl Sum for Nm {
+    fn sum<I: Iterator<Item = Nm>>(iter: I) -> Nm {
+        iter.fold(Nm::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Nm(300);
+        let b = Nm(90);
+        assert_eq!(a + b, Nm(390));
+        assert_eq!(a - b, Nm(210));
+        assert_eq!(-b, Nm(-90));
+        assert_eq!(b * 3, Nm(270));
+        assert_eq!(a / 3, Nm(100));
+        assert_eq!(a % 7, Nm(6));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Nm::from_f64(129.5), Nm(130));
+        assert_eq!(Nm::from_f64(-0.4), Nm(0));
+        assert_eq!(Nm(250).to_um(), 0.25);
+        assert_eq!(Nm(-90).abs(), Nm(90));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Nm(3).min(Nm(7)), Nm(3));
+        assert_eq!(Nm(3).max(Nm(7)), Nm(7));
+        assert_eq!(Nm(9).clamp(Nm(0), Nm(5)), Nm(5));
+        assert_eq!(Nm(-9).clamp(Nm(0), Nm(5)), Nm(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp range")]
+    fn clamp_rejects_inverted_range() {
+        let _ = Nm(1).clamp(Nm(5), Nm(0));
+    }
+
+    #[test]
+    fn sum_of_lengths() {
+        let total: Nm = [Nm(1), Nm(2), Nm(3)].into_iter().sum();
+        assert_eq!(total, Nm(6));
+    }
+
+    #[test]
+    fn display_is_suffixed() {
+        assert_eq!(Nm(600).to_string(), "600nm");
+    }
+}

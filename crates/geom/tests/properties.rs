@@ -1,0 +1,124 @@
+//! Property-based tests of the geometry substrate.
+
+use proptest::prelude::*;
+
+use svt_geom::{Interval, IntervalIndex, Nm, Orientation, Point, Rect, Transform};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -10_000i64..10_000,
+        -10_000i64..10_000,
+        0i64..5_000,
+        0i64..5_000,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Applying the same mirror twice is the identity.
+    #[test]
+    fn mirrors_are_involutions(
+        x in 0i64..2_000, y in 0i64..2_000, w in 10i64..400, h in 10i64..400,
+        cw in 2_500i64..5_000, ch in 2_500i64..5_000,
+        orient_idx in 0usize..4,
+    ) {
+        let orient = [Orientation::R0, Orientation::MY, Orientation::MX, Orientation::R180][orient_idx];
+        let t = Transform::new(Point::ORIGIN, orient, Nm(cw), Nm(ch));
+        let r = Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h));
+        let twice = t.apply_rect(t.apply_rect(r));
+        prop_assert_eq!(twice, r, "{:?} twice must be identity", orient);
+    }
+
+    /// Any orientation preserves rectangle dimensions.
+    #[test]
+    fn transforms_preserve_dimensions(
+        x in 0i64..2_000, y in 0i64..2_000, w in 0i64..400, h in 0i64..400,
+        ox in -5_000i64..5_000, oy in -5_000i64..5_000,
+        orient_idx in 0usize..4,
+    ) {
+        let orient = [Orientation::R0, Orientation::MY, Orientation::MX, Orientation::R180][orient_idx];
+        let t = Transform::new(Point::new(Nm(ox), Nm(oy)), orient, Nm(2_500), Nm(2_500));
+        let r = Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h));
+        let placed = t.apply_rect(r);
+        prop_assert_eq!(placed.width(), r.width());
+        prop_assert_eq!(placed.height(), r.height());
+    }
+
+    /// Rect intersection is commutative, contained, and consistent with
+    /// overlap.
+    #[test]
+    fn rect_intersection_properties(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.overlaps(&b));
+                prop_assert!(i.width() <= a.width() && i.width() <= b.width());
+                prop_assert!(i.height() <= a.height() && i.height() <= b.height());
+                prop_assert!(a.contains(i.lo()) && a.contains(i.hi()));
+                prop_assert!(b.contains(i.lo()) && b.contains(i.hi()));
+            }
+            None => prop_assert!(!a.overlaps(&b)),
+        }
+    }
+
+    /// The hull contains both inputs and is the smallest such rect on the
+    /// corners.
+    #[test]
+    fn hull_contains_both(a in arb_rect(), b in arb_rect()) {
+        let h = a.hull(&b);
+        for r in [a, b] {
+            prop_assert!(h.contains(r.lo()) && h.contains(r.hi()));
+        }
+        prop_assert!(h.width() <= a.width() + b.width() + (a.lo().x - b.lo().x).abs() + (a.hi().x - b.hi().x).abs());
+    }
+
+    /// `within(radius)` returns exactly the intervals whose gap qualifies.
+    #[test]
+    fn within_matches_definition(
+        starts in prop::collection::vec(0i64..30_000, 1..30),
+        q in 0i64..30_000,
+        radius in 0i64..2_000,
+    ) {
+        let intervals: Vec<Interval> = starts.iter().map(|&s| Interval::new(Nm(s), Nm(s + 90))).collect();
+        let index: IntervalIndex = intervals.iter().copied().collect();
+        let query = Interval::new(Nm(q), Nm(q + 90));
+        let hits = index.within(&query, Nm(radius));
+        for (i, iv) in intervals.iter().enumerate() {
+            let expected = iv.gap_to(&query).map(|g| g <= Nm(radius)).unwrap_or(false);
+            let got = hits.iter().any(|e| e.id == i);
+            prop_assert_eq!(expected, got, "interval {} mismatch", i);
+        }
+    }
+
+    /// Nearest-left and nearest-right never return overlapping intervals
+    /// and always return the minimal gap on their side.
+    #[test]
+    fn nearest_queries_are_minimal(
+        starts in prop::collection::vec(0i64..30_000, 1..30),
+        q in 0i64..30_000,
+    ) {
+        let intervals: Vec<Interval> = starts.iter().map(|&s| Interval::new(Nm(s), Nm(s + 90))).collect();
+        let index: IntervalIndex = intervals.iter().copied().collect();
+        let query = Interval::new(Nm(q), Nm(q + 90));
+        if let Some(e) = index.nearest_right(&query) {
+            let iv = intervals[e.id];
+            prop_assert!(iv.lo() > query.hi());
+            for other in &intervals {
+                if other.lo() > query.hi() {
+                    prop_assert!(other.lo() - query.hi() >= e.gap);
+                }
+            }
+        }
+    }
+
+    /// Interval expansion then shrink by the same amount round-trips for
+    /// non-degenerate cases.
+    #[test]
+    fn expand_shrink_round_trip(lo in -5_000i64..5_000, len in 10i64..2_000, amt in 0i64..500) {
+        let iv = Interval::new(Nm(lo), Nm(lo + len));
+        let round = iv.expanded(Nm(amt)).expanded(Nm(-amt));
+        prop_assert_eq!(round, iv);
+    }
+}

@@ -1,0 +1,186 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{LithoError, LithoSimulator};
+
+/// CD versus defocus at a fixed dose for one pattern — one curve of a
+/// Bossung plot (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BossungCurve {
+    /// Relative exposure dose of this curve (1.0 = nominal).
+    pub dose: f64,
+    /// `(defocus_nm, cd_nm)` samples in ascending defocus order.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl BossungCurve {
+    /// CD at nominal focus (the sample closest to zero defocus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    #[must_use]
+    pub fn cd_at_focus(&self) -> f64 {
+        self.samples
+            .iter()
+            .min_by(|a, b| a.0.abs().total_cmp(&b.0.abs()))
+            .expect("empty Bossung curve")
+            .1
+    }
+
+    /// The maximum CD deviation from the in-focus CD over the curve — the
+    /// `lvar_focus` contribution of this pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    #[must_use]
+    pub fn max_focus_excursion(&self) -> f64 {
+        let nominal = self.cd_at_focus();
+        self.samples
+            .iter()
+            .map(|&(_, cd)| (cd - nominal).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the curve smiles (CD grows away from focus, the dense-line
+    /// signature) rather than frowns (isolated-line signature). Judged at
+    /// the extreme defocus samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve has fewer than two samples.
+    #[must_use]
+    pub fn is_smiling(&self) -> bool {
+        assert!(self.samples.len() >= 2, "need at least two Bossung samples");
+        let nominal = self.cd_at_focus();
+        let first = self.samples.first().expect("nonempty").1;
+        let last = self.samples.last().expect("nonempty").1;
+        0.5 * (first + last) > nominal
+    }
+}
+
+/// A family of Bossung curves over several doses for one pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BossungFamily {
+    /// Drawn line width in nanometres.
+    pub drawn_width_nm: f64,
+    /// Pitch in nanometres; `None` for an isolated line.
+    pub pitch_nm: Option<f64>,
+    /// One curve per dose.
+    pub curves: Vec<BossungCurve>,
+}
+
+/// Computes a Bossung family: CD through focus for each dose.
+///
+/// `pitch_nm = None` simulates an isolated line; otherwise an equal-pitch
+/// array. Focus points where the feature fails to print are skipped (deep
+/// defocus can wash out marginal features), so curves may be shorter than
+/// `focus_nm`.
+///
+/// # Errors
+///
+/// Returns an error only if *no* focus point of some dose prints, which
+/// indicates a misconfigured pattern rather than normal process-window
+/// behaviour.
+pub fn bossung(
+    sim: &LithoSimulator,
+    width_nm: f64,
+    pitch_nm: Option<f64>,
+    focus_nm: &[f64],
+    doses: &[f64],
+) -> Result<BossungFamily, LithoError> {
+    let mut focus: Vec<f64> = focus_nm.to_vec();
+    focus.sort_by(f64::total_cmp);
+    let mut curves = Vec::with_capacity(doses.len());
+    for &dose in doses {
+        let mut samples = Vec::with_capacity(focus.len());
+        for &z in &focus {
+            let printed = match pitch_nm {
+                Some(p) => sim.print_line_array(width_nm, p, z, dose),
+                None => sim.print_isolated_line(width_nm, z, dose),
+            };
+            match printed {
+                Ok(cd) => samples.push((z, cd)),
+                Err(LithoError::FeatureNotPrinted { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if samples.is_empty() {
+            return Err(LithoError::FeatureNotPrinted { at: 0.0 });
+        }
+        curves.push(BossungCurve { dose, samples });
+    }
+    Ok(BossungFamily {
+        drawn_width_nm: width_nm,
+        pitch_nm,
+        curves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Process;
+
+    fn sim() -> LithoSimulator {
+        let p = Process::nm90();
+        p.simulator()
+    }
+
+    fn focus_grid() -> Vec<f64> {
+        (-6..=6).map(|i| i as f64 * 50.0).collect()
+    }
+
+    #[test]
+    fn family_has_one_curve_per_dose() {
+        let fam = bossung(&sim(), 90.0, Some(240.0), &focus_grid(), &[0.95, 1.0, 1.05]).unwrap();
+        assert_eq!(fam.curves.len(), 3);
+        assert_eq!(fam.pitch_nm, Some(240.0));
+        for c in &fam.curves {
+            assert!(c.samples.len() >= 5, "curve at dose {} too short", c.dose);
+        }
+    }
+
+    #[test]
+    fn curves_are_even_in_focus() {
+        let fam = bossung(&sim(), 90.0, Some(240.0), &focus_grid(), &[1.0]).unwrap();
+        let c = &fam.curves[0];
+        for &(z, cd) in &c.samples {
+            let mirrored = c
+                .samples
+                .iter()
+                .find(|&&(z2, _)| (z2 + z).abs() < 1e-9)
+                .map(|&(_, cd2)| cd2);
+            if let Some(cd2) = mirrored {
+                assert!((cd - cd2).abs() < 0.2, "focus asymmetry at ±{z}: {cd} vs {cd2}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_iso_have_opposite_focus_signatures() {
+        let s = sim();
+        let dense = bossung(&s, 90.0, Some(240.0), &focus_grid(), &[1.0]).unwrap();
+        let iso = bossung(&s, 90.0, None, &focus_grid(), &[1.0]).unwrap();
+        let dense_smiles = dense.curves[0].is_smiling();
+        let iso_smiles = iso.curves[0].is_smiling();
+        assert_ne!(
+            dense_smiles, iso_smiles,
+            "dense and isolated must have opposite Bossung curvature (dense smiling={dense_smiles})"
+        );
+    }
+
+    #[test]
+    fn focus_excursion_is_positive() {
+        let fam = bossung(&sim(), 90.0, Some(240.0), &focus_grid(), &[1.0]).unwrap();
+        assert!(fam.curves[0].max_focus_excursion() > 0.1);
+    }
+
+    #[test]
+    fn higher_dose_prints_thinner_lines_at_all_focus() {
+        let fam = bossung(&sim(), 90.0, Some(240.0), &focus_grid(), &[0.9, 1.1]).unwrap();
+        let low = fam.curves[0].cd_at_focus();
+        let high = fam.curves[1].cd_at_focus();
+        assert!(low > high, "dose 0.9 CD {low} should exceed dose 1.1 CD {high}");
+    }
+}

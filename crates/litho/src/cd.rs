@@ -1,0 +1,244 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{AerialImage, LithoError};
+
+/// Constant-threshold resist model with dose scaling.
+///
+/// A positive resist develops away wherever the delivered exposure exceeds
+/// the threshold; the resist line survives where the aerial intensity is
+/// below it. Increasing the exposure dose scales the delivered intensity, so
+/// the effective threshold in clear-field-normalized units is
+/// `threshold / dose`.
+///
+/// # Examples
+///
+/// ```
+/// use svt_litho::ThresholdResist;
+///
+/// let resist = ThresholdResist::new(0.3);
+/// assert_eq!(resist.effective_threshold(1.0), 0.3);
+/// assert!(resist.effective_threshold(1.1) < 0.3); // overdose shrinks lines
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdResist {
+    threshold: f64,
+}
+
+impl ThresholdResist {
+    /// Creates a resist with a clear-field-normalized threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold < 1`.
+    #[must_use]
+    pub fn new(threshold: f64) -> ThresholdResist {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "resist threshold {threshold} must be in (0, 1)"
+        );
+        ThresholdResist { threshold }
+    }
+
+    /// The nominal threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The effective threshold at a relative exposure dose (1.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dose ≤ 0`.
+    #[must_use]
+    pub fn effective_threshold(&self, dose: f64) -> f64 {
+        assert!(dose > 0.0, "dose {dose} must be positive");
+        self.threshold / dose
+    }
+}
+
+/// A printed (resist) feature measured from an aerial image.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrintedCd {
+    /// Left resist edge in nanometres (sub-grid interpolated).
+    pub left_edge: f64,
+    /// Right resist edge in nanometres.
+    pub right_edge: f64,
+}
+
+impl PrintedCd {
+    /// The printed critical dimension.
+    #[must_use]
+    pub fn cd(&self) -> f64 {
+        self.right_edge - self.left_edge
+    }
+
+    /// The feature center.
+    #[must_use]
+    pub fn center(&self) -> f64 {
+        0.5 * (self.left_edge + self.right_edge)
+    }
+}
+
+/// Measures the printed line around `center_x` in an aerial image.
+///
+/// Starting from the sample closest to `center_x` (which must be inside the
+/// resist line, i.e. below the effective threshold), the function walks
+/// outward until the intensity crosses the threshold and interpolates the
+/// crossing linearly between samples for sub-grid edge placement.
+///
+/// # Errors
+///
+/// * [`LithoError::FeatureNotPrinted`] if the intensity at `center_x` is at
+///   or above the effective threshold (the line washed away).
+/// * [`LithoError::EdgeOutsideWindow`] if either edge search runs off the
+///   simulated window.
+pub fn measure_cd_at(
+    image: &AerialImage,
+    center_x: f64,
+    resist: ThresholdResist,
+    dose: f64,
+) -> Result<PrintedCd, LithoError> {
+    let th = resist.effective_threshold(dose);
+    let start = image.index_of(center_x)?;
+    let samples = image.samples();
+    if samples[start] >= th {
+        return Err(LithoError::FeatureNotPrinted { at: center_x });
+    }
+
+    // Walk right to the first sample at/above threshold.
+    let mut right = start;
+    loop {
+        if right + 1 >= samples.len() {
+            return Err(LithoError::EdgeOutsideWindow { at: center_x });
+        }
+        right += 1;
+        if samples[right] >= th {
+            break;
+        }
+    }
+    // Walk left likewise.
+    let mut left = start;
+    loop {
+        if left == 0 {
+            return Err(LithoError::EdgeOutsideWindow { at: center_x });
+        }
+        left -= 1;
+        if samples[left] >= th {
+            break;
+        }
+    }
+
+    let right_edge = cross(image, right - 1, right, th);
+    let left_edge = cross(image, left, left + 1, th);
+    Ok(PrintedCd {
+        left_edge,
+        right_edge,
+    })
+}
+
+/// Linear interpolation of the threshold crossing between samples `a` and
+/// `a+1 = b`.
+fn cross(image: &AerialImage, a: usize, b: usize, th: f64) -> f64 {
+    let ia = image.samples()[a];
+    let ib = image.samples()[b];
+    let frac = if (ib - ia).abs() < f64::EPSILON {
+        0.5
+    } else {
+        ((th - ia) / (ib - ia)).clamp(0.0, 1.0)
+    };
+    image.position(a) + frac * image.dx()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Illumination, ImagingConfig, MaskCutline, Pupil};
+
+    fn image_of_line(width: f64, defocus: f64) -> AerialImage {
+        let cfg = ImagingConfig::new(
+            Pupil::new(193.0, 0.7).unwrap(),
+            Illumination::annular(0.55, 0.85).unwrap(),
+            16,
+            2.0,
+        );
+        let mask =
+            MaskCutline::from_lines(-2048.0, 4096.0, 2.0, &[(-width / 2.0, width / 2.0)]).unwrap();
+        cfg.aerial_image(&mask, defocus)
+    }
+
+    #[test]
+    fn resist_validation() {
+        let r = ThresholdResist::new(0.3);
+        assert_eq!(r.threshold(), 0.3);
+        assert!((r.effective_threshold(1.2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn resist_rejects_out_of_range() {
+        let _ = ThresholdResist::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn dose_must_be_positive() {
+        let _ = ThresholdResist::new(0.3).effective_threshold(0.0);
+    }
+
+    #[test]
+    fn measures_a_plausible_cd() {
+        let img = image_of_line(130.0, 0.0);
+        let printed = measure_cd_at(&img, 0.0, ThresholdResist::new(0.3), 1.0).unwrap();
+        let cd = printed.cd();
+        assert!(cd > 60.0 && cd < 220.0, "CD {cd} implausible for 130 nm line");
+        // Symmetric mask -> centered feature.
+        assert!(printed.center().abs() < 1.0);
+        assert!(printed.left_edge < 0.0 && printed.right_edge > 0.0);
+    }
+
+    #[test]
+    fn higher_dose_shrinks_dark_lines() {
+        let img = image_of_line(130.0, 0.0);
+        let r = ThresholdResist::new(0.3);
+        let nominal = measure_cd_at(&img, 0.0, r, 1.0).unwrap().cd();
+        let overdosed = measure_cd_at(&img, 0.0, r, 1.15).unwrap().cd();
+        assert!(
+            overdosed < nominal,
+            "overdose must shrink the line: {nominal} -> {overdosed}"
+        );
+    }
+
+    #[test]
+    fn unprinted_feature_is_an_error() {
+        let img = image_of_line(130.0, 0.0);
+        // Measure in the clear field, far from the line.
+        let err = measure_cd_at(&img, 900.0, ThresholdResist::new(0.3), 1.0).unwrap_err();
+        assert!(matches!(err, LithoError::FeatureNotPrinted { .. }));
+    }
+
+    #[test]
+    fn tiny_feature_washes_away() {
+        let img = image_of_line(8.0, 0.0);
+        let err = measure_cd_at(&img, 0.0, ThresholdResist::new(0.3), 1.0);
+        assert!(
+            err.is_err(),
+            "an 8 nm line at λ=193 nm cannot print, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn subgrid_edges_move_with_mask_bias() {
+        // Two masks differing by 1 nm of width on a 2 nm grid must yield
+        // different CDs thanks to area-weighted sampling + interpolation.
+        let cd = |w: f64| {
+            measure_cd_at(&image_of_line(w, 0.0), 0.0, ThresholdResist::new(0.3), 1.0)
+                .unwrap()
+                .cd()
+        };
+        let a = cd(130.0);
+        let b = cd(131.0);
+        assert!(b > a, "1 nm mask bias must grow the printed CD: {a} vs {b}");
+        assert!(b - a < 3.0, "MEEF should be modest for 130 nm lines");
+    }
+}

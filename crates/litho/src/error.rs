@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the lithography engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LithoError {
+    /// An illumination source description was out of range.
+    InvalidSource {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Lens parameters were out of range.
+    InvalidOptics {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A mask window description was degenerate.
+    InvalidWindow {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The intensity never crossed the resist threshold around the requested
+    /// measurement site — the feature failed to print.
+    FeatureNotPrinted {
+        /// Measurement abscissa in nanometres.
+        at: f64,
+    },
+    /// The feature printed but one of its edges fell outside the simulated
+    /// window, so its CD cannot be trusted.
+    EdgeOutsideWindow {
+        /// Measurement abscissa in nanometres.
+        at: f64,
+    },
+    /// Model calibration failed to bracket the target CD.
+    CalibrationFailed {
+        /// Target CD in nanometres.
+        target_cd: f64,
+    },
+}
+
+impl fmt::Display for LithoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LithoError::InvalidSource { reason } => write!(f, "invalid source: {reason}"),
+            LithoError::InvalidOptics { reason } => write!(f, "invalid optics: {reason}"),
+            LithoError::InvalidWindow { reason } => write!(f, "invalid mask window: {reason}"),
+            LithoError::FeatureNotPrinted { at } => {
+                write!(f, "no printed feature at x = {at} nm (intensity above threshold)")
+            }
+            LithoError::EdgeOutsideWindow { at } => {
+                write!(f, "printed feature at x = {at} nm extends beyond the simulation window")
+            }
+            LithoError::CalibrationFailed { target_cd } => {
+                write!(f, "resist calibration could not reach target CD {target_cd} nm")
+            }
+        }
+    }
+}
+
+impl Error for LithoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = LithoError::FeatureNotPrinted { at: 450.0 };
+        assert!(e.to_string().contains("450"));
+        let e = LithoError::InvalidSource {
+            reason: "sigma 2".into(),
+        };
+        assert!(e.to_string().contains("sigma 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<LithoError>();
+    }
+}

@@ -1,0 +1,303 @@
+use serde::{Deserialize, Serialize};
+
+use crate::fft::{self, bin_frequency};
+use crate::source::SourcePoint;
+use crate::{Complex, Illumination, LithoError, MaskCutline, Pupil};
+
+/// Configuration of the partially coherent imaging system.
+///
+/// # Examples
+///
+/// ```
+/// use svt_litho::{Illumination, ImagingConfig, Pupil};
+///
+/// let config = ImagingConfig::new(
+///     Pupil::new(193.0, 0.7)?,
+///     Illumination::annular(0.55, 0.85)?,
+///     24,
+///     2.0,
+/// );
+/// assert_eq!(config.grid_nm(), 2.0);
+/// # Ok::<(), svt_litho::LithoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImagingConfig {
+    pupil: Pupil,
+    source: Illumination,
+    source_samples: usize,
+    grid_nm: f64,
+}
+
+impl ImagingConfig {
+    /// Creates an imaging configuration.
+    ///
+    /// `source_samples` controls the Abbe source discretization (accuracy vs
+    /// runtime; 16–32 is ample for 1-D work) and `grid_nm` the spatial
+    /// sampling of mask and image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_samples < 2` or `grid_nm ≤ 0`.
+    #[must_use]
+    pub fn new(pupil: Pupil, source: Illumination, source_samples: usize, grid_nm: f64) -> ImagingConfig {
+        assert!(source_samples >= 2, "need at least 2 source samples");
+        assert!(grid_nm > 0.0, "grid must be positive");
+        ImagingConfig {
+            pupil,
+            source,
+            source_samples,
+            grid_nm,
+        }
+    }
+
+    /// The lens pupil.
+    #[must_use]
+    pub fn pupil(&self) -> Pupil {
+        self.pupil
+    }
+
+    /// The illumination source.
+    #[must_use]
+    pub fn source(&self) -> Illumination {
+        self.source
+    }
+
+    /// Source discretization point count.
+    #[must_use]
+    pub fn source_samples(&self) -> usize {
+        self.source_samples
+    }
+
+    /// Spatial sampling pitch in nanometres.
+    #[must_use]
+    pub fn grid_nm(&self) -> f64 {
+        self.grid_nm
+    }
+
+    /// Returns a copy with a different source sampling density (used by the
+    /// accuracy-vs-runtime ablation bench).
+    #[must_use]
+    pub fn with_source_samples(mut self, n: usize) -> ImagingConfig {
+        assert!(n >= 2, "need at least 2 source samples");
+        self.source_samples = n;
+        self
+    }
+
+    /// Returns a copy with a different spatial grid (runtime/accuracy
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is not positive.
+    #[must_use]
+    pub fn with_grid(mut self, grid_nm: f64) -> ImagingConfig {
+        assert!(grid_nm > 0.0, "grid must be positive");
+        self.grid_nm = grid_nm;
+        self
+    }
+
+    /// Returns a copy with a different illumination source (model
+    /// miscalibration studies).
+    #[must_use]
+    pub fn with_source(mut self, source: Illumination) -> ImagingConfig {
+        self.source = source;
+        self
+    }
+
+    /// Computes the aerial image of a mask cutline at the given defocus.
+    ///
+    /// Abbe's method: for each sampled source point `s`, the mask spectrum is
+    /// filtered by the pupil shifted to `f + s·NA/λ` (with the defocus phase
+    /// evaluated at the *shifted* frequency, i.e. the true propagation
+    /// angle), transformed back to space, and the intensities `|A_s(x)|²`
+    /// are accumulated with the source weights. A fully clear mask images to
+    /// intensity 1 everywhere, which anchors the resist-threshold scale.
+    #[must_use]
+    pub fn aerial_image(&self, mask: &MaskCutline, defocus_nm: f64) -> AerialImage {
+        let n = mask.samples().len();
+        let window = mask.length();
+
+        // Mask spectrum (unnormalized forward FFT).
+        let mut spectrum: Vec<Complex> = mask.samples().iter().map(|&t| Complex::from(t)).collect();
+        fft::forward(&mut spectrum);
+
+        let f_cutoff = self.pupil.cutoff();
+        let points: Vec<SourcePoint> = self.source.sample_1d(self.source_samples);
+
+        let mut intensity = vec![0.0f64; n];
+        let mut field = vec![Complex::ZERO; n];
+        for p in &points {
+            let f_shift = p.s * f_cutoff;
+            for (k, out) in field.iter_mut().enumerate() {
+                let f = bin_frequency(k, n, window);
+                *out = spectrum[k] * self.pupil.transfer(f + f_shift, defocus_nm);
+            }
+            fft::inverse(&mut field);
+            for (i, a) in field.iter().enumerate() {
+                intensity[i] += p.weight * a.norm_sqr();
+            }
+        }
+
+        AerialImage {
+            x0: mask.x0(),
+            dx: mask.dx(),
+            intensity,
+        }
+    }
+}
+
+/// A sampled aerial-image intensity profile.
+///
+/// Intensity 1.0 corresponds to the clear-field exposure at nominal dose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AerialImage {
+    x0: f64,
+    dx: f64,
+    intensity: Vec<f64>,
+}
+
+impl AerialImage {
+    /// Window start coordinate.
+    #[must_use]
+    pub fn x0(&self) -> f64 {
+        self.x0
+    }
+
+    /// Sample pitch in nanometres.
+    #[must_use]
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// The intensity samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.intensity
+    }
+
+    /// The coordinate of sample `k`.
+    #[must_use]
+    pub fn position(&self, k: usize) -> f64 {
+        self.x0 + k as f64 * self.dx
+    }
+
+    /// The sample index closest to `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::EdgeOutsideWindow`] if `x` is outside the
+    /// window.
+    pub fn index_of(&self, x: f64) -> Result<usize, LithoError> {
+        let idx = ((x - self.x0) / self.dx).round();
+        if idx < 0.0 || idx as usize >= self.intensity.len() {
+            return Err(LithoError::EdgeOutsideWindow { at: x });
+        }
+        Ok(idx as usize)
+    }
+
+    /// Linearly interpolated intensity at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::EdgeOutsideWindow`] if `x` is outside the
+    /// window.
+    pub fn intensity_at(&self, x: f64) -> Result<f64, LithoError> {
+        let t = (x - self.x0) / self.dx;
+        if t < 0.0 || t > (self.intensity.len() - 1) as f64 {
+            return Err(LithoError::EdgeOutsideWindow { at: x });
+        }
+        let i = t.floor() as usize;
+        let frac = t - i as f64;
+        if i + 1 >= self.intensity.len() {
+            return Ok(self.intensity[i]);
+        }
+        Ok(self.intensity[i] * (1.0 - frac) + self.intensity[i + 1] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ImagingConfig {
+        ImagingConfig::new(
+            Pupil::new(193.0, 0.7).unwrap(),
+            Illumination::annular(0.55, 0.85).unwrap(),
+            16,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn clear_field_images_to_unity() {
+        let mask = MaskCutline::from_lines(0.0, 1024.0, 2.0, &[]).unwrap();
+        let img = config().aerial_image(&mask, 0.0);
+        for &i in img.samples() {
+            assert!((i - 1.0).abs() < 1e-9, "clear field intensity {i}");
+        }
+    }
+
+    #[test]
+    fn clear_field_is_unity_even_defocused() {
+        let mask = MaskCutline::from_lines(0.0, 1024.0, 2.0, &[]).unwrap();
+        let img = config().aerial_image(&mask, 300.0);
+        for &i in img.samples() {
+            assert!((i - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chrome_line_creates_a_dip_at_its_center() {
+        let mask = MaskCutline::from_lines(-1024.0, 2048.0, 2.0, &[(-65.0, 65.0)]).unwrap();
+        let img = config().aerial_image(&mask, 0.0);
+        let center = img.intensity_at(0.0).unwrap();
+        let far = img.intensity_at(800.0).unwrap();
+        assert!(center < 0.3, "center intensity {center} should be dark");
+        assert!(far > 0.8, "far field {far} should be bright");
+    }
+
+    #[test]
+    fn image_is_symmetric_for_symmetric_mask() {
+        let mask = MaskCutline::from_lines(-1024.0, 2048.0, 2.0, &[(-65.0, 65.0)]).unwrap();
+        let img = config().aerial_image(&mask, 150.0);
+        for x in [50.0, 100.0, 200.0, 400.0] {
+            let a = img.intensity_at(x).unwrap();
+            let b = img.intensity_at(-x).unwrap();
+            assert!((a - b).abs() < 1e-6, "asymmetry at ±{x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn defocus_degrades_contrast() {
+        let mask = MaskCutline::from_lines(-1024.0, 2048.0, 2.0, &[(-65.0, 65.0)]).unwrap();
+        let cfg = config();
+        let focused = cfg.aerial_image(&mask, 0.0);
+        let blurred = cfg.aerial_image(&mask, 400.0);
+        let c0 = focused.intensity_at(0.0).unwrap();
+        let c1 = blurred.intensity_at(0.0).unwrap();
+        assert!(c1 > c0, "defocus should lift the dark-line floor: {c0} -> {c1}");
+    }
+
+    #[test]
+    fn intensity_interpolation_and_bounds() {
+        let mask = MaskCutline::from_lines(0.0, 64.0, 2.0, &[]).unwrap();
+        let img = config().aerial_image(&mask, 0.0);
+        assert!(img.intensity_at(3.0).is_ok());
+        assert!(img.intensity_at(-1.0).is_err());
+        assert!(img.intensity_at(1e6).is_err());
+        assert!(img.index_of(4.0).is_ok());
+        assert!(img.index_of(-5.0).is_err());
+        assert_eq!(img.position(0), 0.0);
+    }
+
+    #[test]
+    fn denser_source_sampling_converges() {
+        let mask = MaskCutline::from_lines(-1024.0, 2048.0, 2.0, &[(-65.0, 65.0)]).unwrap();
+        let coarse = config().with_source_samples(8).aerial_image(&mask, 100.0);
+        let fine = config().with_source_samples(64).aerial_image(&mask, 100.0);
+        let finer = config().with_source_samples(128).aerial_image(&mask, 100.0);
+        let d_coarse = (coarse.intensity_at(0.0).unwrap() - finer.intensity_at(0.0).unwrap()).abs();
+        let d_fine = (fine.intensity_at(0.0).unwrap() - finer.intensity_at(0.0).unwrap()).abs();
+        assert!(d_fine <= d_coarse + 1e-12, "refinement must not diverge");
+    }
+}

@@ -1,0 +1,243 @@
+//! Aerial-image quality metrics: contrast, NILS, MEEF, and depth of focus.
+//!
+//! These are the standard lithographer's figures of merit; the workspace
+//! uses them to sanity-check patterns (a printable gate needs NILS ≳ 1.5)
+//! and to quantify how SRAFs widen the usable focus window.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AerialImage, LithoError, LithoSimulator, PrintedCd};
+
+/// Image-quality numbers for one printed feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImageMetrics {
+    /// Michelson contrast `(Imax − Imin)/(Imax + Imin)` in the local
+    /// window around the feature.
+    pub contrast: f64,
+    /// Normalized image log-slope at the feature edges, averaged over both
+    /// edges: `CD · |dI/dx| / I` at the resist threshold crossing.
+    pub nils: f64,
+    /// Minimum intensity inside the feature (the dark floor).
+    pub i_min: f64,
+    /// Maximum intensity in the neighboring clear region.
+    pub i_max: f64,
+}
+
+/// Computes image metrics for a printed feature.
+///
+/// The local window extends half a radius of influence (±300 nm) around
+/// the feature center.
+///
+/// # Errors
+///
+/// Returns [`LithoError::EdgeOutsideWindow`] if the analysis window falls
+/// outside the simulated image.
+pub fn image_metrics(
+    image: &AerialImage,
+    printed: PrintedCd,
+    threshold: f64,
+) -> Result<ImageMetrics, LithoError> {
+    let center = printed.center();
+    let half_window = 300.0;
+    let mut i_min = f64::INFINITY;
+    let mut i_max = f64::NEG_INFINITY;
+    let mut x = center - half_window;
+    while x <= center + half_window {
+        let v = image.intensity_at(x)?;
+        i_min = i_min.min(v);
+        i_max = i_max.max(v);
+        x += image.dx();
+    }
+    let contrast = if i_max + i_min > 0.0 {
+        (i_max - i_min) / (i_max + i_min)
+    } else {
+        0.0
+    };
+
+    // Central-difference slope at each resist edge.
+    let h = image.dx();
+    let slope_at = |edge: f64| -> Result<f64, LithoError> {
+        let a = image.intensity_at(edge - h)?;
+        let b = image.intensity_at(edge + h)?;
+        Ok((b - a) / (2.0 * h))
+    };
+    let s_left = slope_at(printed.left_edge)?.abs();
+    let s_right = slope_at(printed.right_edge)?.abs();
+    let cd = printed.cd();
+    let nils = cd * 0.5 * (s_left + s_right) / threshold;
+
+    Ok(ImageMetrics {
+        contrast,
+        nils,
+        i_min,
+        i_max,
+    })
+}
+
+/// Mask-error enhancement factor of a pattern: `dCD_wafer / dCD_mask`,
+/// estimated by a central finite difference of `±delta_mask_nm` on the
+/// measured line's mask width.
+///
+/// `lines` are the chrome intervals; `target_index` selects the line whose
+/// MEEF is measured.
+///
+/// # Errors
+///
+/// Propagates simulation and metrology failures.
+///
+/// # Panics
+///
+/// Panics if `target_index` is out of range.
+pub fn meef(
+    sim: &LithoSimulator,
+    x0: f64,
+    length: f64,
+    lines: &[(f64, f64)],
+    target_index: usize,
+    delta_mask_nm: f64,
+) -> Result<f64, LithoError> {
+    assert!(target_index < lines.len(), "target line out of range");
+    let perturbed = |d: f64| -> Vec<(f64, f64)> {
+        let mut v = lines.to_vec();
+        let (lo, hi) = v[target_index];
+        v[target_index] = (lo - d / 2.0, hi + d / 2.0);
+        v
+    };
+    let center = {
+        let (lo, hi) = lines[target_index];
+        (lo + hi) / 2.0
+    };
+    let plus = sim
+        .print_pattern(x0, length, &perturbed(delta_mask_nm), center, 0.0, 1.0)?
+        .cd();
+    let minus = sim
+        .print_pattern(x0, length, &perturbed(-delta_mask_nm), center, 0.0, 1.0)?
+        .cd();
+    Ok((plus - minus) / (2.0 * delta_mask_nm))
+}
+
+/// Depth of focus: the largest symmetric defocus range `±z` over which the
+/// printed device CD stays within `±tolerance_nm` of its in-focus value.
+/// Scans in `step_nm` increments up to `max_defocus_nm`.
+///
+/// # Errors
+///
+/// Propagates failures at focus; features washing away off focus terminate
+/// the scan instead of erroring.
+#[allow(clippy::too_many_arguments)] // a process-window sweep has this many knobs
+pub fn depth_of_focus(
+    sim: &LithoSimulator,
+    x0: f64,
+    length: f64,
+    lines: &[(f64, f64)],
+    measure_x: f64,
+    tolerance_nm: f64,
+    step_nm: f64,
+    max_defocus_nm: f64,
+) -> Result<f64, LithoError> {
+    let printed = sim.print_pattern(x0, length, lines, measure_x, 0.0, 1.0)?;
+    let nominal = sim.device_cd(printed)?;
+    let mut dof = 0.0;
+    let mut z = step_nm;
+    while z <= max_defocus_nm {
+        let ok = |zz: f64| -> bool {
+            sim.print_pattern(x0, length, lines, measure_x, zz, 1.0)
+                .ok()
+                .and_then(|p| sim.device_cd(p).ok())
+                .map(|cd| (cd - nominal).abs() <= tolerance_nm)
+                .unwrap_or(false)
+        };
+        if ok(z) && ok(-z) {
+            dof = z;
+            z += step_nm;
+        } else {
+            break;
+        }
+    }
+    Ok(2.0 * dof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MaskCutline, Process};
+
+    fn setup() -> (LithoSimulator, Vec<(f64, f64)>) {
+        let sim = Process::nm90().simulator();
+        (sim, vec![(-45.0, 45.0)])
+    }
+
+    #[test]
+    fn metrics_of_a_healthy_line_are_sane() {
+        let (sim, lines) = setup();
+        let mask = MaskCutline::from_lines(-2048.0, 4096.0, 2.0, &lines).expect("mask");
+        let image = sim.aerial_image(&mask, 0.0);
+        let printed = svt_litho_measure(&sim, &image);
+        let m = image_metrics(&image, printed, sim.resist().threshold()).expect("metrics");
+        assert!(m.contrast > 0.5, "contrast {}", m.contrast);
+        assert!(m.nils > 1.0, "NILS {}", m.nils);
+        assert!(m.i_min < sim.resist().threshold());
+        assert!(m.i_max > sim.resist().threshold());
+    }
+
+    fn svt_litho_measure(sim: &LithoSimulator, image: &AerialImage) -> PrintedCd {
+        crate::measure_cd_at(image, 0.0, sim.resist(), 1.0).expect("prints")
+    }
+
+    #[test]
+    fn defocus_degrades_contrast_and_nils() {
+        let (sim, lines) = setup();
+        let mask = MaskCutline::from_lines(-2048.0, 4096.0, 2.0, &lines).expect("mask");
+        let th = sim.resist().threshold();
+        let at = |z: f64| {
+            let image = sim.aerial_image(&mask, z);
+            let printed = svt_litho_measure(&sim, &image);
+            image_metrics(&image, printed, th).expect("metrics")
+        };
+        let focused = at(0.0);
+        let blurred = at(250.0);
+        assert!(blurred.nils < focused.nils);
+        assert!(blurred.contrast <= focused.contrast + 1e-9);
+    }
+
+    #[test]
+    fn meef_is_near_unity_for_relaxed_lines() {
+        let (sim, lines) = setup();
+        let m = meef(&sim, -2048.0, 4096.0, &lines, 0, 2.0).expect("meef");
+        assert!(m > 0.4 && m < 3.5, "MEEF {m} implausible for a 90 nm iso line");
+    }
+
+    #[test]
+    fn dense_meef_exceeds_isolated_meef_or_is_comparable() {
+        let sim = Process::nm90().simulator();
+        let iso = vec![(-45.0, 45.0)];
+        let dense: Vec<(f64, f64)> = (-3..=3)
+            .map(|k| {
+                let c = k as f64 * 240.0;
+                (c - 45.0, c + 45.0)
+            })
+            .collect();
+        let m_iso = meef(&sim, -2048.0, 4096.0, &iso, 0, 2.0).expect("meef");
+        let m_dense = meef(&sim, -2048.0, 4096.0, &dense, 3, 2.0).expect("meef");
+        // At the resolution limit, dense features amplify mask errors.
+        assert!(m_dense > 0.8 * m_iso, "dense {m_dense} vs iso {m_iso}");
+    }
+
+    #[test]
+    fn dof_shrinks_for_marginal_tolerances() {
+        let (sim, lines) = setup();
+        let tight = depth_of_focus(&sim, -2048.0, 4096.0, &lines, 0.0, 5.0, 50.0, 500.0)
+            .expect("dof");
+        let loose = depth_of_focus(&sim, -2048.0, 4096.0, &lines, 0.0, 20.0, 50.0, 500.0)
+            .expect("dof");
+        assert!(loose >= tight, "loose tolerance must not shrink DOF");
+        assert!(loose > 0.0, "a 90 nm iso line has nonzero DOF at ±20 nm");
+    }
+
+    #[test]
+    #[should_panic(expected = "target line out of range")]
+    fn meef_checks_bounds() {
+        let (sim, lines) = setup();
+        let _ = meef(&sim, -2048.0, 4096.0, &lines, 5, 2.0);
+    }
+}

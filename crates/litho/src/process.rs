@@ -1,0 +1,235 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Illumination, ImagingConfig, Pupil, ThresholdResist};
+
+/// The process assumptions of the reproduced 90 nm-class technology.
+///
+/// This bundles the optical column (193 nm annular-illumination stepper at
+/// NA = 0.7, as in paper Fig. 1), the resist model, and the design rules the
+/// methodology quotes: a ~600 nm radius of influence, a 300 nm contacted
+/// pitch separating "dense" from "isolated" devices, and a ±300 nm focus
+/// corner range.
+///
+/// # Examples
+///
+/// ```
+/// use svt_litho::Process;
+///
+/// let p = Process::nm90();
+/// assert_eq!(p.gate_length_nm(), 90.0);
+/// assert_eq!(p.radius_of_influence_nm(), 600.0);
+/// let config = p.imaging();
+/// assert_eq!(config.pupil().na(), 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Process {
+    wavelength_nm: f64,
+    na: f64,
+    sigma_in: f64,
+    sigma_out: f64,
+    source_samples: usize,
+    grid_nm: f64,
+    resist_threshold: f64,
+    etch_bias_nm: f64,
+    gate_length_nm: f64,
+    min_space_nm: f64,
+    contacted_pitch_nm: f64,
+    radius_of_influence_nm: f64,
+    focus_corner_nm: f64,
+}
+
+impl Process {
+    /// The 90 nm-class process used throughout the reproduction: λ=193 nm,
+    /// NA=0.7, annular 0.55/0.85 illumination, 90 nm drawn gates at a 150 nm
+    /// minimum space (paper Fig. 2's dense pattern), 300 nm contacted pitch,
+    /// 600 nm radius of influence, ±300 nm focus corners.
+    #[must_use]
+    pub fn nm90() -> Process {
+        Process {
+            wavelength_nm: 193.0,
+            na: 0.7,
+            sigma_in: 0.55,
+            sigma_out: 0.85,
+            source_samples: 24,
+            grid_nm: 2.0,
+            resist_threshold: 0.52,
+            etch_bias_nm: 40.0,
+            gate_length_nm: 90.0,
+            min_space_nm: 150.0,
+            contacted_pitch_nm: 300.0,
+            radius_of_influence_nm: 600.0,
+            focus_corner_nm: 300.0,
+        }
+    }
+
+    /// The 130 nm-drawn-CD configuration of paper Fig. 1 (same optical
+    /// column, larger drawn gate).
+    #[must_use]
+    pub fn nm130() -> Process {
+        let mut p = Process::nm90();
+        p.gate_length_nm = 130.0;
+        p.min_space_nm = 170.0;
+        p
+    }
+
+    /// Exposure wavelength in nanometres.
+    #[must_use]
+    pub fn wavelength_nm(&self) -> f64 {
+        self.wavelength_nm
+    }
+
+    /// Numerical aperture.
+    #[must_use]
+    pub fn na(&self) -> f64 {
+        self.na
+    }
+
+    /// Drawn gate length (target CD) in nanometres.
+    #[must_use]
+    pub fn gate_length_nm(&self) -> f64 {
+        self.gate_length_nm
+    }
+
+    /// Minimum poly space in nanometres.
+    #[must_use]
+    pub fn min_space_nm(&self) -> f64 {
+        self.min_space_nm
+    }
+
+    /// Minimum (dense) poly pitch: gate length + minimum space.
+    #[must_use]
+    pub fn min_pitch_nm(&self) -> f64 {
+        self.gate_length_nm + self.min_space_nm
+    }
+
+    /// Contacted poly pitch: the iso/dense classification boundary of the
+    /// methodology (paper §3.2: "dense spacing is less than the
+    /// contacted pitch, anything larger is isolated").
+    #[must_use]
+    pub fn contacted_pitch_nm(&self) -> f64 {
+        self.contacted_pitch_nm
+    }
+
+    /// Optical radius of influence: features farther away have negligible
+    /// impact on printing (paper quotes <600 nm for 193 nm steppers).
+    #[must_use]
+    pub fn radius_of_influence_nm(&self) -> f64 {
+        self.radius_of_influence_nm
+    }
+
+    /// The focus-corner excursion (±) in nanometres used for through-focus
+    /// characterization.
+    #[must_use]
+    pub fn focus_corner_nm(&self) -> f64 {
+        self.focus_corner_nm
+    }
+
+    /// Simulation grid in nanometres.
+    #[must_use]
+    pub fn grid_nm(&self) -> f64 {
+        self.grid_nm
+    }
+
+    /// Builds the imaging configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored optical parameters are inconsistent; the named
+    /// constructors always produce valid parameters.
+    #[must_use]
+    pub fn imaging(&self) -> ImagingConfig {
+        let pupil =
+            Pupil::new(self.wavelength_nm, self.na).expect("process optics are valid by construction");
+        let source = Illumination::annular(self.sigma_in, self.sigma_out)
+            .expect("process source is valid by construction");
+        ImagingConfig::new(pupil, source, self.source_samples, self.grid_nm)
+    }
+
+    /// The resist model.
+    #[must_use]
+    pub fn resist(&self) -> ThresholdResist {
+        ThresholdResist::new(self.resist_threshold)
+    }
+
+    /// The resist-to-device etch bias in nanometres: the resist line prints
+    /// wider than the final gate by this amount and the etch trims it back.
+    ///
+    /// The bias is what makes dense lines *smile* through focus in a
+    /// constant-threshold model: the resist line targets
+    /// `gate CD + etch bias`, which exceeds the half-pitch of the dense
+    /// pattern, so defocus (contrast loss) pinches the space and widens the
+    /// line. Isolated lines keep frowning regardless. This reproduces the
+    /// smile/frown dichotomy of paper Fig. 2 with purely physical knobs.
+    #[must_use]
+    pub fn etch_bias_nm(&self) -> f64 {
+        self.etch_bias_nm
+    }
+
+    /// Returns a copy with a different resist threshold (used by model
+    /// calibration).
+    #[must_use]
+    pub fn with_resist_threshold(mut self, threshold: f64) -> Process {
+        self.resist_threshold = threshold;
+        self
+    }
+
+    /// Returns a copy with a coarser or finer simulation grid (runtime
+    /// ablation).
+    #[must_use]
+    pub fn with_grid_nm(mut self, grid_nm: f64) -> Process {
+        assert!(grid_nm > 0.0, "grid must be positive");
+        self.grid_nm = grid_nm;
+        self
+    }
+
+    /// Builds the fully configured lithography simulator for this process
+    /// (imaging column, resist, etch bias).
+    #[must_use]
+    pub fn simulator(&self) -> crate::LithoSimulator {
+        crate::LithoSimulator::new(self.imaging())
+            .with_resist(self.resist())
+            .with_etch_bias(self.etch_bias_nm)
+    }
+}
+
+impl Default for Process {
+    fn default() -> Process {
+        Process::nm90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nm90_constants_match_paper() {
+        let p = Process::nm90();
+        assert_eq!(p.wavelength_nm(), 193.0);
+        assert_eq!(p.na(), 0.7);
+        assert_eq!(p.min_pitch_nm(), 240.0); // 90 nm line + 150 nm space (Fig. 2)
+        assert_eq!(p.contacted_pitch_nm(), 300.0);
+        assert_eq!(p.focus_corner_nm(), 300.0);
+    }
+
+    #[test]
+    fn nm130_changes_only_the_drawn_cd_rules() {
+        let p = Process::nm130();
+        assert_eq!(p.gate_length_nm(), 130.0);
+        assert_eq!(p.wavelength_nm(), 193.0);
+        assert_eq!(p.min_pitch_nm(), 300.0);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = Process::nm90().with_resist_threshold(0.25).with_grid_nm(4.0);
+        assert_eq!(p.resist().threshold(), 0.25);
+        assert_eq!(p.grid_nm(), 4.0);
+        assert_eq!(p.imaging().grid_nm(), 4.0);
+    }
+
+    #[test]
+    fn default_is_nm90() {
+        assert_eq!(Process::default(), Process::nm90());
+    }
+}

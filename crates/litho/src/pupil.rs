@@ -1,0 +1,162 @@
+use std::f64::consts::PI;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Complex, LithoError};
+
+/// The projection-lens pupil: a hard aperture at the numerical-aperture edge
+/// with an exact (non-paraxial) defocus phase aberration.
+///
+/// For a plane-wave component with in-plane spatial frequency `f` (cycles per
+/// nm), the propagation direction satisfies `sin θ = λ·f`. A defocus of `z`
+/// nanometres adds the optical-path phase
+///
+/// `φ(f) = (2π·z/λ)·(√(1 − (λf)²) − 1)`,
+///
+/// which reduces to the familiar paraxial `−π·λ·z·f²` for small angles but
+/// stays accurate at the NA = 0.7 angles the 90 nm process uses.
+///
+/// # Examples
+///
+/// ```
+/// use svt_litho::Pupil;
+///
+/// let pupil = Pupil::new(193.0, 0.7)?;
+/// assert!(pupil.passes(0.003));            // well inside NA/λ
+/// assert!(!pupil.passes(0.004));           // cut off (NA/λ ≈ 0.00363)
+/// let h = pupil.transfer(0.002, 200.0);    // 200 nm defocus
+/// assert!((h.norm() - 1.0).abs() < 1e-12); // phase-only aberration
+/// # Ok::<(), svt_litho::LithoError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pupil {
+    wavelength_nm: f64,
+    na: f64,
+}
+
+impl Pupil {
+    /// Creates a pupil for the given exposure wavelength (nm) and numerical
+    /// aperture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::InvalidOptics`] unless `wavelength > 0` and
+    /// `0 < NA < 1`.
+    pub fn new(wavelength_nm: f64, na: f64) -> Result<Pupil, LithoError> {
+        if wavelength_nm <= 0.0 || na <= 0.0 || na >= 1.0 {
+            return Err(LithoError::InvalidOptics {
+                reason: format!("wavelength {wavelength_nm} nm / NA {na} out of range"),
+            });
+        }
+        Ok(Pupil { wavelength_nm, na })
+    }
+
+    /// Exposure wavelength in nanometres.
+    #[must_use]
+    pub fn wavelength_nm(&self) -> f64 {
+        self.wavelength_nm
+    }
+
+    /// Numerical aperture.
+    #[must_use]
+    pub fn na(&self) -> f64 {
+        self.na
+    }
+
+    /// The pupil cutoff frequency `NA/λ` in cycles per nanometre.
+    #[must_use]
+    pub fn cutoff(&self) -> f64 {
+        self.na / self.wavelength_nm
+    }
+
+    /// Whether a spatial frequency is inside the aperture.
+    #[must_use]
+    pub fn passes(&self, f: f64) -> bool {
+        f.abs() <= self.cutoff()
+    }
+
+    /// The complex pupil transfer at spatial frequency `f` with `defocus_nm`
+    /// of focus error. Zero outside the aperture; a unit phasor inside.
+    #[must_use]
+    pub fn transfer(&self, f: f64, defocus_nm: f64) -> Complex {
+        if !self.passes(f) {
+            return Complex::ZERO;
+        }
+        if defocus_nm == 0.0 {
+            return Complex::ONE;
+        }
+        let sin_theta = (self.wavelength_nm * f).clamp(-1.0, 1.0);
+        let cos_theta = (1.0 - sin_theta * sin_theta).sqrt();
+        let phase = 2.0 * PI * defocus_nm / self.wavelength_nm * (cos_theta - 1.0);
+        Complex::cis(phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pupil() -> Pupil {
+        Pupil::new(193.0, 0.7).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Pupil::new(193.0, 0.7).is_ok());
+        assert!(Pupil::new(0.0, 0.7).is_err());
+        assert!(Pupil::new(193.0, 0.0).is_err());
+        assert!(Pupil::new(193.0, 1.0).is_err());
+        assert!(Pupil::new(-193.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn cutoff_matches_na_over_lambda() {
+        let p = pupil();
+        assert!((p.cutoff() - 0.7 / 193.0).abs() < 1e-15);
+        assert!(p.passes(p.cutoff()));
+        assert!(!p.passes(p.cutoff() * 1.001));
+        assert!(p.passes(-p.cutoff() * 0.5));
+    }
+
+    #[test]
+    fn in_focus_transfer_is_unity() {
+        let p = pupil();
+        assert_eq!(p.transfer(0.001, 0.0), Complex::ONE);
+        assert_eq!(p.transfer(1.0, 0.0), Complex::ZERO);
+    }
+
+    #[test]
+    fn defocus_is_phase_only_and_even_in_f() {
+        let p = pupil();
+        let h1 = p.transfer(0.002, 150.0);
+        let h2 = p.transfer(-0.002, 150.0);
+        assert!((h1.norm() - 1.0).abs() < 1e-12);
+        assert!((h1 - h2).norm() < 1e-12, "defocus phase must be even in f");
+    }
+
+    #[test]
+    fn defocus_phase_grows_with_angle() {
+        let p = pupil();
+        let z = 300.0;
+        let phase_at = |f: f64| {
+            let h = p.transfer(f, z);
+            h.im.atan2(h.re).abs()
+        };
+        // Zero phase on axis, growing magnitude toward the aperture edge.
+        assert!(phase_at(0.0) < 1e-12);
+        assert!(phase_at(0.003) > phase_at(0.001));
+    }
+
+    #[test]
+    fn defocus_phase_matches_paraxial_for_small_angles() {
+        let p = pupil();
+        let f = 5e-4; // sinθ ≈ 0.0965, still smallish
+        let z = 100.0;
+        let exact = p.transfer(f, z);
+        let paraxial = Complex::cis(-PI * p.wavelength_nm() * z * f * f);
+        assert!(
+            (exact - paraxial).norm() < 1e-3,
+            "exact {exact} vs paraxial {paraxial}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{LithoError, LithoSimulator};
+
+/// One point of a through-pitch CD characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PitchCdPoint {
+    /// Line pitch in nanometres.
+    pub pitch_nm: f64,
+    /// Printed CD of the center line in nanometres.
+    pub cd_nm: f64,
+}
+
+/// A through-pitch CD curve (paper Fig. 1): printed linewidth versus pitch
+/// for a fixed drawn width.
+///
+/// # Examples
+///
+/// ```
+/// use svt_litho::{pitch_sweep, LithoSimulator, Process};
+///
+/// let p = Process::nm130();
+/// let sim = p.simulator();
+/// let curve = pitch_sweep(&sim, 130.0, &[300.0, 400.0, 600.0], 0.0, 1.0)?;
+/// assert_eq!(curve.points().len(), 3);
+/// assert!(curve.cd_range() >= 0.0);
+/// # Ok::<(), svt_litho::LithoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PitchCdCurve {
+    drawn_width_nm: f64,
+    points: Vec<PitchCdPoint>,
+}
+
+impl PitchCdCurve {
+    /// Drawn line width of the sweep.
+    #[must_use]
+    pub fn drawn_width_nm(&self) -> f64 {
+        self.drawn_width_nm
+    }
+
+    /// The sweep points in ascending pitch order.
+    #[must_use]
+    pub fn points(&self) -> &[PitchCdPoint] {
+        &self.points
+    }
+
+    /// Total CD excursion over the sweep (max − min).
+    #[must_use]
+    pub fn cd_range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in &self.points {
+            lo = lo.min(p.cd_nm);
+            hi = hi.max(p.cd_nm);
+        }
+        if self.points.is_empty() {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+
+    /// Linear interpolation of CD at an arbitrary pitch (clamped to the
+    /// sweep range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    #[must_use]
+    pub fn cd_at(&self, pitch_nm: f64) -> f64 {
+        assert!(!self.points.is_empty(), "empty pitch-CD curve");
+        let pts = &self.points;
+        if pitch_nm <= pts[0].pitch_nm {
+            return pts[0].cd_nm;
+        }
+        if pitch_nm >= pts[pts.len() - 1].pitch_nm {
+            return pts[pts.len() - 1].cd_nm;
+        }
+        let i = pts.partition_point(|p| p.pitch_nm <= pitch_nm) - 1;
+        let (a, b) = (pts[i], pts[i + 1]);
+        let t = (pitch_nm - a.pitch_nm) / (b.pitch_nm - a.pitch_nm);
+        a.cd_nm * (1.0 - t) + b.cd_nm * t
+    }
+}
+
+/// Sweeps printed CD versus pitch for equal-width parallel lines.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure; see
+/// [`LithoSimulator::print_line_array`].
+pub fn pitch_sweep(
+    sim: &LithoSimulator,
+    width_nm: f64,
+    pitches_nm: &[f64],
+    defocus_nm: f64,
+    dose: f64,
+) -> Result<PitchCdCurve, LithoError> {
+    let mut points = Vec::with_capacity(pitches_nm.len());
+    for &pitch in pitches_nm {
+        let cd_nm = sim.print_line_array(width_nm, pitch, defocus_nm, dose)?;
+        points.push(PitchCdPoint { pitch_nm: pitch, cd_nm });
+    }
+    points.sort_by(|a, b| a.pitch_nm.total_cmp(&b.pitch_nm));
+    Ok(PitchCdCurve {
+        drawn_width_nm: width_nm,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Process;
+
+    fn sim() -> LithoSimulator {
+        let p = Process::nm90();
+        p.simulator()
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_complete() {
+        let curve = pitch_sweep(&sim(), 90.0, &[600.0, 240.0, 400.0], 0.0, 1.0).unwrap();
+        let pitches: Vec<f64> = curve.points().iter().map(|p| p.pitch_nm).collect();
+        assert_eq!(pitches, vec![240.0, 400.0, 600.0]);
+        assert_eq!(curve.drawn_width_nm(), 90.0);
+    }
+
+    #[test]
+    fn cd_varies_systematically_with_pitch() {
+        let pitches: Vec<f64> = (0..8).map(|i| 240.0 + 60.0 * i as f64).collect();
+        let curve = pitch_sweep(&sim(), 90.0, &pitches, 0.0, 1.0).unwrap();
+        assert!(
+            curve.cd_range() > 1.0,
+            "expect several nm of through-pitch variation, got {}",
+            curve.cd_range()
+        );
+    }
+
+    #[test]
+    fn interpolation_clamps_and_interpolates() {
+        let curve = pitch_sweep(&sim(), 90.0, &[240.0, 480.0], 0.0, 1.0).unwrap();
+        let a = curve.points()[0].cd_nm;
+        let b = curve.points()[1].cd_nm;
+        assert_eq!(curve.cd_at(100.0), a);
+        assert_eq!(curve.cd_at(900.0), b);
+        let mid = curve.cd_at(360.0);
+        assert!((mid - 0.5 * (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pitch-CD curve")]
+    fn empty_curve_panics_on_query() {
+        let curve = pitch_sweep(&sim(), 90.0, &[], 0.0, 1.0).unwrap();
+        let _ = curve.cd_at(300.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Physical invariants of the imaging engine, property-tested over random
+//! mask patterns.
+
+use proptest::prelude::*;
+
+use svt_litho::{MaskCutline, Process};
+
+/// Random non-overlapping chrome lines inside a safe window.
+fn arb_lines() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        prop::collection::vec((40.0f64..140.0, 80.0f64..600.0), 1..7),
+        -800.0f64..-400.0,
+    )
+        .prop_map(|(segments, start)| {
+            let mut lines = Vec::new();
+            let mut x = start;
+            for (w, s) in segments {
+                lines.push((x, x + w));
+                x += w + s;
+            }
+            lines
+        })
+        .prop_filter("stay inside the window", |lines| {
+            lines.last().map(|&(_, hi)| hi < 1500.0).unwrap_or(false)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Aerial intensity is non-negative and bounded (partial coherence can
+    /// ring above the clear-field level, but only modestly).
+    #[test]
+    fn intensity_is_bounded(lines in arb_lines(), defocus in -300.0f64..300.0) {
+        let sim = Process::nm90().simulator();
+        let mask = MaskCutline::from_lines(-2048.0, 4096.0, 4.0, &lines).unwrap();
+        let image = sim.aerial_image(&mask, defocus);
+        for &v in image.samples() {
+            prop_assert!(v >= -1e-9, "negative intensity {v}");
+            prop_assert!(v < 2.0, "implausible intensity {v}");
+        }
+    }
+
+    /// Mirroring the mask mirrors the image.
+    #[test]
+    fn imaging_commutes_with_mirroring(lines in arb_lines()) {
+        let sim = Process::nm90().simulator();
+        let mirrored: Vec<(f64, f64)> = lines.iter().map(|&(lo, hi)| (-hi, -lo)).collect();
+        let mask_a = MaskCutline::from_lines(-2048.0, 4096.0, 4.0, &lines).unwrap();
+        let mask_b = MaskCutline::from_lines(-2048.0, 4096.0, 4.0, &mirrored).unwrap();
+        let img_a = sim.aerial_image(&mask_a, 120.0);
+        let img_b = sim.aerial_image(&mask_b, 120.0);
+        for x in [-700.0, -300.0, -50.0, 0.0, 80.0, 400.0] {
+            let a = img_a.intensity_at(x).unwrap();
+            let b = img_b.intensity_at(-x).unwrap();
+            prop_assert!((a - b).abs() < 1e-6, "mirror mismatch at {x}: {a} vs {b}");
+        }
+    }
+
+    /// Defocus is symmetric for an aberration-free pupil: ±z give the same
+    /// image.
+    #[test]
+    fn defocus_is_even(lines in arb_lines(), z in 0.0f64..350.0) {
+        let sim = Process::nm90().simulator();
+        let mask = MaskCutline::from_lines(-2048.0, 4096.0, 4.0, &lines).unwrap();
+        let plus = sim.aerial_image(&mask, z);
+        let minus = sim.aerial_image(&mask, -z);
+        for x in [-500.0, 0.0, 250.0] {
+            let a = plus.intensity_at(x).unwrap();
+            let b = minus.intensity_at(x).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Adding chrome anywhere never increases the total transmitted energy.
+    #[test]
+    fn chrome_only_absorbs(lines in arb_lines()) {
+        let sim = Process::nm90().simulator();
+        let empty = MaskCutline::from_lines(-2048.0, 4096.0, 4.0, &[]).unwrap();
+        let with_chrome = MaskCutline::from_lines(-2048.0, 4096.0, 4.0, &lines).unwrap();
+        let e = |m: &MaskCutline| -> f64 {
+            sim.aerial_image(m, 0.0).samples().iter().sum()
+        };
+        prop_assert!(e(&with_chrome) < e(&empty));
+    }
+}

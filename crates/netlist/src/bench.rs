@@ -1,0 +1,215 @@
+//! The ISCAS85 `.bench` text format.
+//!
+//! ```text
+//! # c17 example
+//! INPUT(G1)
+//! INPUT(G2)
+//! OUTPUT(G22)
+//! G22 = NAND(G1, G2)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_netlist::bench;
+//!
+//! let text = "# tiny\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+//! let netlist = bench::parse(text)?;
+//! assert_eq!(netlist.gates().len(), 1);
+//! let round_trip = bench::parse(&bench::write(&netlist))?;
+//! assert_eq!(round_trip, netlist);
+//! # Ok::<(), svt_netlist::NetlistError>(())
+//! ```
+
+use crate::{Gate, GateKind, Netlist, NetlistError};
+
+/// Serializes a netlist as `.bench` text.
+#[must_use]
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        netlist.inputs().len(),
+        netlist.outputs().len(),
+        netlist.gates().len()
+    ));
+    for pi in netlist.inputs() {
+        out.push_str(&format!("INPUT({pi})\n"));
+    }
+    for po in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({po})\n"));
+    }
+    for g in netlist.gates() {
+        out.push_str(&format!("{} = {}({})\n", g.output, g.kind, g.inputs.join(", ")));
+    }
+    out
+}
+
+/// Parses `.bench` text. The circuit name is taken from the first comment
+/// line, if any.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBenchError`] with the failing line on
+/// malformed text, and [`NetlistError::InvalidNetlist`] if the parsed
+/// structure is inconsistent.
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let mut name: Option<String> = None;
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut gates = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if name.is_none() {
+                let c = comment.trim();
+                if !c.is_empty() {
+                    name = Some(c.split_whitespace().next().unwrap_or("bench").to_string());
+                }
+            }
+            continue;
+        }
+        let err = |reason: &str| NetlistError::ParseBenchError {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        if let Some(rest) = strip_keyword(line, "INPUT") {
+            inputs.push(parse_paren_name(rest).ok_or_else(|| err("malformed INPUT()"))?);
+        } else if let Some(rest) = strip_keyword(line, "OUTPUT") {
+            outputs.push(parse_paren_name(rest).ok_or_else(|| err("malformed OUTPUT()"))?);
+        } else {
+            // `out = KIND(in1, in2, …)`
+            let (lhs, rhs) = line.split_once('=').ok_or_else(|| err("expected `=`"))?;
+            let output = lhs.trim();
+            if output.is_empty() {
+                return Err(err("empty gate output name"));
+            }
+            let rhs = rhs.trim();
+            let open = rhs.find('(').ok_or_else(|| err("expected `(`"))?;
+            let close = rhs.rfind(')').ok_or_else(|| err("expected `)`"))?;
+            if close < open {
+                return Err(err("mismatched parentheses"));
+            }
+            let kind: GateKind = rhs[..open]
+                .trim()
+                .parse()
+                .map_err(|e: NetlistError| NetlistError::ParseBenchError {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
+            let args: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let gate = Gate::new(output, kind, args).map_err(|e| NetlistError::ParseBenchError {
+                line: lineno,
+                reason: e.to_string(),
+            })?;
+            gates.push(gate);
+        }
+    }
+
+    Netlist::new(name.unwrap_or_else(|| "bench".into()), inputs, outputs, gates)
+}
+
+fn strip_keyword<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?;
+    // Keyword must be followed directly by the parenthesized name.
+    rest.trim_start().starts_with('(').then_some(rest)
+}
+
+fn parse_paren_name(rest: &str) -> Option<String> {
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    let name = inner.trim();
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn parses_the_classic_c17() {
+        let n = parse(C17).unwrap();
+        assert_eq!(n.name(), "c17");
+        assert_eq!(n.inputs().len(), 5);
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.gates().len(), 6);
+        assert_eq!(n.stats().depth, 3);
+    }
+
+    #[test]
+    fn c17_evaluates_correctly() {
+        use std::collections::HashMap;
+        let n = parse(C17).unwrap();
+        let mut a: HashMap<String, bool> = HashMap::new();
+        for (pi, v) in [("G1", true), ("G2", false), ("G3", true), ("G6", true), ("G7", false)] {
+            a.insert(pi.into(), v);
+        }
+        // G10 = !(1&1)=0, G11 = !(1&1)=0, G16 = !(0&0)=1, G19 = !(0&0)=1,
+        // G22 = !(0&1)=1, G23 = !(1&1)=0.
+        assert_eq!(n.evaluate(&a).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let n = parse(C17).unwrap();
+        let text = write(&n);
+        let n2 = parse(&text).unwrap();
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n";
+        match parse(text) {
+            Err(NetlistError::ParseBenchError { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("INPUT a\n").is_err());
+        assert!(parse("x NAND(a,b)\n").is_err());
+        assert!(parse("INPUT(a)\nOUTPUT(z)\nz = NAND(a)\n").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_blank_lines_are_tolerated() {
+        let text = "  # spaced \n\n INPUT( a )\n OUTPUT( z )\n z  =  NOT( a )\n";
+        let n = parse(text).unwrap();
+        assert_eq!(n.name(), "spaced");
+        assert_eq!(n.inputs()[0], "a");
+    }
+
+    #[test]
+    fn semantic_errors_surface_after_parsing() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = NOT(ghost)\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::InvalidNetlist { .. })
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction, parsing, and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate kind keyword was not recognized.
+    UnknownGateKind {
+        /// The offending keyword.
+        kind: String,
+    },
+    /// A gate definition was malformed.
+    InvalidGate {
+        /// Output signal of the offending gate.
+        gate: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The netlist as a whole was inconsistent (undriven signal, duplicate
+    /// driver, combinational cycle, …).
+    InvalidNetlist {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// `.bench` text could not be parsed.
+    ParseBenchError {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Technology mapping hit a gate it cannot implement.
+    UnmappableGate {
+        /// Output signal of the offending gate.
+        gate: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownGateKind { kind } => write!(f, "unknown gate kind `{kind}`"),
+            NetlistError::InvalidGate { gate, reason } => {
+                write!(f, "invalid gate `{gate}`: {reason}")
+            }
+            NetlistError::InvalidNetlist { reason } => write!(f, "invalid netlist: {reason}"),
+            NetlistError::ParseBenchError { line, reason } => {
+                write!(f, "bench parse error at line {line}: {reason}")
+            }
+            NetlistError::UnmappableGate { gate, reason } => {
+                write!(f, "cannot map gate `{gate}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = NetlistError::ParseBenchError {
+            line: 7,
+            reason: "missing `=`".into(),
+        };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<NetlistError>();
+    }
+}

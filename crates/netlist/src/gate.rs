@@ -1,0 +1,194 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NetlistError;
+
+/// Gate types of the ISCAS85 `.bench` vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buff,
+    /// Two-or-more-input exclusive OR.
+    Xor,
+    /// Complemented XOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// All kinds.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Not,
+        GateKind::Buff,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Whether exactly one input is allowed.
+    #[must_use]
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buff)
+    }
+
+    /// Evaluates the gate on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count is invalid for the kind.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        if self.is_unary() {
+            assert_eq!(inputs.len(), 1, "{self} takes exactly one input");
+        } else {
+            assert!(inputs.len() >= 2, "{self} takes at least two inputs");
+        }
+        match self {
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Not => !inputs[0],
+            GateKind::Buff => inputs[0],
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Not => "NOT",
+            GateKind::Buff => "BUFF",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = NetlistError;
+
+    fn from_str(s: &str) -> Result<GateKind, NetlistError> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUFF" | "BUF" => Ok(GateKind::Buff),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            other => Err(NetlistError::UnknownGateKind {
+                kind: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// One gate of a netlist: `output = KIND(inputs…)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Output signal name (unique in the netlist).
+    pub output: String,
+    /// Gate kind.
+    pub kind: GateKind,
+    /// Input signal names.
+    pub inputs: Vec<String>,
+}
+
+impl Gate {
+    /// Creates a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidGate`] if the input count is invalid
+    /// for the kind.
+    pub fn new(
+        output: impl Into<String>,
+        kind: GateKind,
+        inputs: Vec<String>,
+    ) -> Result<Gate, NetlistError> {
+        let output = output.into();
+        let ok = if kind.is_unary() {
+            inputs.len() == 1
+        } else {
+            inputs.len() >= 2
+        };
+        if !ok {
+            return Err(NetlistError::InvalidGate {
+                gate: output,
+                reason: format!("{kind} cannot take {} inputs", inputs.len()),
+            });
+        }
+        Ok(Gate {
+            output,
+            kind,
+            inputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for kind in GateKind::ALL {
+            let parsed: GateKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("inv".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert_eq!("buf".parse::<GateKind>().unwrap(), GateKind::Buff);
+        assert!("MUX".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn truth_tables() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buff.eval(&[true]));
+        assert!(GateKind::Xor.eval(&[true, false, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        assert!(Gate::new("g", GateKind::Not, vec!["a".into()]).is_ok());
+        assert!(Gate::new("g", GateKind::Not, vec!["a".into(), "b".into()]).is_err());
+        assert!(Gate::new("g", GateKind::Nand, vec!["a".into()]).is_err());
+        assert!(Gate::new("g", GateKind::Nand, vec!["a".into(), "b".into(), "c".into()]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn eval_checks_arity() {
+        let _ = GateKind::Nand.eval(&[true]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Gate-level netlists for the `svt` workspace.
+//!
+//! The paper's evaluation synthesizes ISCAS85 benchmark circuits onto the
+//! 10-cell library and times them. This crate provides the chain up to
+//! technology mapping:
+//!
+//! * [`Netlist`] — a validated combinational gate network in the ISCAS85
+//!   `.bench` vocabulary (AND/NAND/OR/NOR/NOT/BUFF/XOR/XNOR),
+//! * [`bench`] — parser and writer for the `.bench` text format,
+//! * [`generate_benchmark`] — a deterministic, seeded generator producing
+//!   circuits with the published ISCAS85 gate/PI/PO counts (the original
+//!   netlists are not redistributable in this offline environment; the
+//!   methodology only depends on circuit scale, depth, and connectivity
+//!   statistics, which the generator reproduces — see DESIGN.md),
+//! * [`technology_map`] — structural mapping onto the svt90 cell library,
+//!   producing the [`MappedNetlist`] the placer and timer consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+//! use svt_stdcell::Library;
+//!
+//! let profile = BenchmarkProfile::iscas85("c432").expect("known benchmark");
+//! let netlist = generate_benchmark(&profile);
+//! assert_eq!(netlist.gates().len(), 160);
+//! let lib = Library::svt90();
+//! let mapped = technology_map(&netlist, &lib)?;
+//! assert!(mapped.instances().len() >= netlist.gates().len());
+//! # Ok::<(), svt_netlist::NetlistError>(())
+//! ```
+
+pub mod bench;
+mod error;
+mod gate;
+mod generator;
+mod mapped;
+mod netlist;
+mod techmap;
+pub mod verilog;
+
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind};
+pub use generator::{generate_benchmark, BenchmarkProfile, ISCAS85_PROFILES};
+pub use mapped::{MappedInstance, MappedNetlist};
+pub use netlist::{Netlist, NetlistStats};
+pub use techmap::technology_map;

@@ -1,0 +1,308 @@
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use svt_stdcell::Library;
+
+use crate::NetlistError;
+
+/// One placed-and-routable cell instance of a mapped netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedInstance {
+    /// Instance name, unique in the netlist.
+    pub name: String,
+    /// Library cell name (e.g. `NAND2X1`).
+    pub cell: String,
+    /// `(pin, net)` connections; inputs in library pin order, then the
+    /// output.
+    pub connections: Vec<(String, String)>,
+}
+
+impl MappedInstance {
+    /// The net connected to a pin, if any.
+    #[must_use]
+    pub fn net_of(&self, pin: &str) -> Option<&str> {
+        self.connections
+            .iter()
+            .find(|(p, _)| p == pin)
+            .map(|(_, n)| n.as_str())
+    }
+}
+
+/// A technology-mapped netlist: instances of library cells connected by
+/// nets.
+///
+/// # Examples
+///
+/// ```
+/// use svt_netlist::{bench, technology_map};
+/// use svt_stdcell::Library;
+///
+/// let n = bench::parse("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let mapped = technology_map(&n, &Library::svt90())?;
+/// assert_eq!(mapped.instances().len(), 1);
+/// assert_eq!(mapped.instances()[0].cell, "INVX1");
+/// # Ok::<(), svt_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedNetlist {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    instances: Vec<MappedInstance>,
+}
+
+impl MappedNetlist {
+    /// Creates and validates a mapped netlist against a library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetlist`] on unknown cells, missing
+    /// or extra pin connections, multiply driven nets, or undriven loads.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        instances: Vec<MappedInstance>,
+        library: &Library,
+    ) -> Result<MappedNetlist, NetlistError> {
+        let netlist = MappedNetlist {
+            name: name.into(),
+            inputs,
+            outputs,
+            instances,
+        };
+        netlist.validate(library)?;
+        Ok(netlist)
+    }
+
+    fn validate(&self, library: &Library) -> Result<(), NetlistError> {
+        let mut driven: HashSet<&str> = self.inputs.iter().map(String::as_str).collect();
+        let mut names: HashSet<&str> = HashSet::new();
+        for inst in &self.instances {
+            if !names.insert(&inst.name) {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("duplicate instance name `{}`", inst.name),
+                });
+            }
+            let cell = library
+                .cell(&inst.cell)
+                .ok_or_else(|| NetlistError::InvalidNetlist {
+                    reason: format!("instance `{}` uses unknown cell `{}`", inst.name, inst.cell),
+                })?;
+            for pin in cell.pins() {
+                if inst.net_of(&pin.name).is_none() {
+                    return Err(NetlistError::InvalidNetlist {
+                        reason: format!(
+                            "instance `{}` leaves pin `{}` unconnected",
+                            inst.name, pin.name
+                        ),
+                    });
+                }
+            }
+            if inst.connections.len() != cell.pins().len() {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("instance `{}` has extra connections", inst.name),
+                });
+            }
+            let out_net = inst
+                .net_of(&cell.output_pin().name)
+                .expect("checked above");
+            if !driven.insert(out_net) {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("net `{out_net}` has multiple drivers"),
+                });
+            }
+        }
+        for inst in &self.instances {
+            let cell = library.cell(&inst.cell).expect("checked above");
+            for pin in cell.input_pins() {
+                let net = inst.net_of(&pin.name).expect("checked above");
+                if !driven.contains(net) {
+                    return Err(NetlistError::InvalidNetlist {
+                        reason: format!("instance `{}` input net `{net}` is undriven", inst.name),
+                    });
+                }
+            }
+        }
+        for po in &self.outputs {
+            if !driven.contains(po.as_str()) {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("primary output `{po}` is undriven"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primary inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// The instances.
+    #[must_use]
+    pub fn instances(&self) -> &[MappedInstance] {
+        &self.instances
+    }
+
+    /// An instance by name.
+    #[must_use]
+    pub fn instance(&self, name: &str) -> Option<&MappedInstance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+
+    /// For every net: the `(instance index, input pin)` sinks, keyed by net
+    /// name. Used for load computation and timing-graph construction.
+    #[must_use]
+    pub fn net_sinks(&self, library: &Library) -> HashMap<String, Vec<(usize, String)>> {
+        let mut sinks: HashMap<String, Vec<(usize, String)>> = HashMap::new();
+        for (idx, inst) in self.instances.iter().enumerate() {
+            let Some(cell) = library.cell(&inst.cell) else {
+                continue;
+            };
+            for pin in cell.input_pins() {
+                if let Some(net) = inst.net_of(&pin.name) {
+                    sinks
+                        .entry(net.to_string())
+                        .or_default()
+                        .push((idx, pin.name.clone()));
+                }
+            }
+        }
+        sinks
+    }
+
+    /// The driving `(instance index, output pin)` of every instance-driven
+    /// net.
+    #[must_use]
+    pub fn net_drivers(&self, library: &Library) -> HashMap<String, (usize, String)> {
+        let mut drivers = HashMap::new();
+        for (idx, inst) in self.instances.iter().enumerate() {
+            let Some(cell) = library.cell(&inst.cell) else {
+                continue;
+            };
+            let out = &cell.output_pin().name;
+            if let Some(net) = inst.net_of(out) {
+                drivers.insert(net.to_string(), (idx, out.clone()));
+            }
+        }
+        drivers
+    }
+
+    /// Cell-usage counts, for area/profile reporting.
+    #[must_use]
+    pub fn cell_usage(&self) -> HashMap<String, usize> {
+        let mut usage: HashMap<String, usize> = HashMap::new();
+        for inst in &self.instances {
+            *usage.entry(inst.cell.clone()).or_default() += 1;
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(name: &str, cell: &str, conns: &[(&str, &str)]) -> MappedInstance {
+        MappedInstance {
+            name: name.into(),
+            cell: cell.into(),
+            connections: conns
+                .iter()
+                .map(|(p, n)| (p.to_string(), n.to_string()))
+                .collect(),
+        }
+    }
+
+    fn lib() -> Library {
+        Library::svt90()
+    }
+
+    #[test]
+    fn valid_netlist_constructs() {
+        let m = MappedNetlist::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec!["z".into()],
+            vec![
+                inst("u1", "NAND2X1", &[("A", "a"), ("B", "b"), ("Z", "n1")]),
+                inst("u2", "INVX1", &[("A", "n1"), ("Z", "z")]),
+            ],
+            &lib(),
+        )
+        .unwrap();
+        assert_eq!(m.instances().len(), 2);
+        assert!(m.instance("u1").is_some());
+        assert_eq!(m.cell_usage().get("INVX1"), Some(&1));
+        let sinks = m.net_sinks(&lib());
+        assert_eq!(sinks.get("n1").map(Vec::len), Some(1));
+        let drivers = m.net_drivers(&lib());
+        assert_eq!(drivers.get("z").map(|(i, _)| *i), Some(1));
+    }
+
+    #[test]
+    fn unknown_cell_is_rejected() {
+        let err = MappedNetlist::new(
+            "t",
+            vec!["a".into()],
+            vec!["z".into()],
+            vec![inst("u1", "MYSTERY", &[("A", "a"), ("Z", "z")])],
+            &lib(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unconnected_pin_is_rejected() {
+        let err = MappedNetlist::new(
+            "t",
+            vec!["a".into()],
+            vec!["z".into()],
+            vec![inst("u1", "NAND2X1", &[("A", "a"), ("Z", "z")])],
+            &lib(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn double_driver_is_rejected() {
+        let err = MappedNetlist::new(
+            "t",
+            vec!["a".into()],
+            vec!["z".into()],
+            vec![
+                inst("u1", "INVX1", &[("A", "a"), ("Z", "z")]),
+                inst("u2", "INVX1", &[("A", "a"), ("Z", "z")]),
+            ],
+            &lib(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn undriven_load_is_rejected() {
+        let err = MappedNetlist::new(
+            "t",
+            vec!["a".into()],
+            vec!["z".into()],
+            vec![inst("u1", "INVX1", &[("A", "ghost"), ("Z", "z")])],
+            &lib(),
+        );
+        assert!(err.is_err());
+    }
+}

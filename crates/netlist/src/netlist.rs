@@ -1,0 +1,405 @@
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Gate, NetlistError};
+
+/// A validated combinational gate network in the `.bench` vocabulary.
+///
+/// Invariants enforced at construction:
+/// * every signal has exactly one driver (a primary input or one gate),
+/// * every gate input and primary output is driven,
+/// * the network is acyclic.
+///
+/// # Examples
+///
+/// ```
+/// use svt_netlist::{Gate, GateKind, Netlist};
+///
+/// let netlist = Netlist::new(
+///     "half_adder",
+///     vec!["a".into(), "b".into()],
+///     vec!["sum".into(), "carry".into()],
+///     vec![
+///         Gate::new("sum", GateKind::Xor, vec!["a".into(), "b".into()])?,
+///         Gate::new("carry", GateKind::And, vec!["a".into(), "b".into()])?,
+///     ],
+/// )?;
+/// assert_eq!(netlist.stats().depth, 1);
+/// # Ok::<(), svt_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    gates: Vec<Gate>,
+}
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// Longest input-to-output path length in gates.
+    pub depth: usize,
+    /// Gate count per kind.
+    pub by_kind: BTreeMap<String, usize>,
+}
+
+impl Netlist {
+    /// Creates and validates a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetlist`] on duplicate drivers,
+    /// undriven signals, or combinational cycles.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        gates: Vec<Gate>,
+    ) -> Result<Netlist, NetlistError> {
+        let netlist = Netlist {
+            name: name.into(),
+            inputs,
+            outputs,
+            gates,
+        };
+        netlist.validate()?;
+        Ok(netlist)
+    }
+
+    fn validate(&self) -> Result<(), NetlistError> {
+        let mut drivers: HashSet<&str> = HashSet::new();
+        for pi in &self.inputs {
+            if !drivers.insert(pi) {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("duplicate primary input `{pi}`"),
+                });
+            }
+        }
+        for g in &self.gates {
+            if !drivers.insert(&g.output) {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("signal `{}` has multiple drivers", g.output),
+                });
+            }
+        }
+        for g in &self.gates {
+            for i in &g.inputs {
+                if !drivers.contains(i.as_str()) {
+                    return Err(NetlistError::InvalidNetlist {
+                        reason: format!("gate `{}` input `{i}` is undriven", g.output),
+                    });
+                }
+            }
+        }
+        for po in &self.outputs {
+            if !drivers.contains(po.as_str()) {
+                return Err(NetlistError::InvalidNetlist {
+                    reason: format!("primary output `{po}` is undriven"),
+                });
+            }
+        }
+        // Cycle check via the topological order.
+        self.try_topological_order()?;
+        Ok(())
+    }
+
+    /// Circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primary inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Gates in definition order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving a signal, if any (primary inputs have none).
+    #[must_use]
+    pub fn driver(&self, signal: &str) -> Option<&Gate> {
+        self.gates.iter().find(|g| g.output == signal)
+    }
+
+    fn try_topological_order(&self) -> Result<Vec<usize>, NetlistError> {
+        let index: HashMap<&str, usize> = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.output.as_str(), i))
+            .collect();
+        let mut state = vec![0u8; self.gates.len()]; // 0 new, 1 visiting, 2 done
+        let mut order = Vec::with_capacity(self.gates.len());
+        // Iterative DFS to avoid recursion limits on deep circuits.
+        for start in 0..self.gates.len() {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            state[start] = 1;
+            while let Some(&(node, edge)) = stack.last() {
+                let gate = &self.gates[node];
+                if edge < gate.inputs.len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    if let Some(&child) = index.get(gate.inputs[edge].as_str()) {
+                        match state[child] {
+                            0 => {
+                                state[child] = 1;
+                                stack.push((child, 0));
+                            }
+                            1 => {
+                                return Err(NetlistError::InvalidNetlist {
+                                    reason: format!(
+                                        "combinational cycle through `{}`",
+                                        self.gates[child].output
+                                    ),
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    state[node] = 2;
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Gate indices in topological (inputs-before-users) order.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for netlists built through [`Netlist::new`], which
+    /// rejects cycles.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<usize> {
+        self.try_topological_order()
+            .expect("Netlist::new rejects cyclic netlists")
+    }
+
+    /// Logic level of every gate (primary inputs at level 0; a gate is one
+    /// above its deepest input), keyed by gate index.
+    #[must_use]
+    pub fn levels(&self) -> Vec<usize> {
+        let index: HashMap<&str, usize> = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.output.as_str(), i))
+            .collect();
+        let order = self.topological_order();
+        let mut level = vec![0usize; self.gates.len()];
+        for &gi in &order {
+            let deepest = self.gates[gi]
+                .inputs
+                .iter()
+                .filter_map(|i| index.get(i.as_str()).map(|&ci| level[ci]))
+                .max()
+                .unwrap_or(0);
+            level[gi] = deepest + 1;
+        }
+        level
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        for g in &self.gates {
+            *by_kind.entry(g.kind.to_string()).or_default() += 1;
+        }
+        NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            gates: self.gates.len(),
+            depth: self.levels().into_iter().max().unwrap_or(0),
+            by_kind,
+        }
+    }
+
+    /// Evaluates the circuit on an input assignment, returning the value of
+    /// every primary output in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetlist`] if the assignment misses a
+    /// primary input.
+    pub fn evaluate(
+        &self,
+        assignment: &HashMap<String, bool>,
+    ) -> Result<Vec<bool>, NetlistError> {
+        let mut values: HashMap<&str, bool> = HashMap::new();
+        for pi in &self.inputs {
+            let v = assignment
+                .get(pi)
+                .ok_or_else(|| NetlistError::InvalidNetlist {
+                    reason: format!("assignment missing input `{pi}`"),
+                })?;
+            values.insert(pi, *v);
+        }
+        for &gi in &self.topological_order() {
+            let g = &self.gates[gi];
+            let ins: Vec<bool> = g
+                .inputs
+                .iter()
+                .map(|i| *values.get(i.as_str()).expect("topological order"))
+                .collect();
+            values.insert(&g.output, g.kind.eval(&ins));
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|o| *values.get(o.as_str()).expect("validated drivers"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn gate(out: &str, kind: GateKind, ins: &[&str]) -> Gate {
+        Gate::new(out, kind, ins.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    fn adder() -> Netlist {
+        Netlist::new(
+            "half_adder",
+            vec!["a".into(), "b".into()],
+            vec!["sum".into(), "carry".into()],
+            vec![
+                gate("sum", GateKind::Xor, &["a", "b"]),
+                gate("carry", GateKind::And, &["a", "b"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        // Duplicate driver.
+        let err = Netlist::new(
+            "bad",
+            vec!["a".into()],
+            vec!["x".into()],
+            vec![
+                gate("x", GateKind::Not, &["a"]),
+                gate("x", GateKind::Buff, &["a"]),
+            ],
+        );
+        assert!(err.is_err());
+        // Undriven input.
+        let err = Netlist::new(
+            "bad",
+            vec!["a".into()],
+            vec!["x".into()],
+            vec![gate("x", GateKind::And, &["a", "ghost"])],
+        );
+        assert!(err.is_err());
+        // Undriven output.
+        let err = Netlist::new("bad", vec!["a".into()], vec!["zz".into()], vec![]);
+        assert!(err.is_err());
+        // Cycle.
+        let err = Netlist::new(
+            "bad",
+            vec!["a".into()],
+            vec!["x".into()],
+            vec![
+                gate("x", GateKind::And, &["a", "y"]),
+                gate("y", GateKind::Not, &["x"]),
+            ],
+        );
+        assert!(matches!(err, Err(NetlistError::InvalidNetlist { reason }) if reason.contains("cycle")));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let n = Netlist::new(
+            "chain",
+            vec!["a".into()],
+            vec!["z".into()],
+            vec![
+                gate("z", GateKind::Not, &["y"]),
+                gate("y", GateKind::Not, &["x"]),
+                gate("x", GateKind::Not, &["a"]),
+            ],
+        )
+        .unwrap();
+        let order = n.topological_order();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&i| n.gates()[i].output == name)
+                .unwrap()
+        };
+        assert!(pos("x") < pos("y"));
+        assert!(pos("y") < pos("z"));
+        assert_eq!(n.stats().depth, 3);
+    }
+
+    #[test]
+    fn evaluation_matches_logic() {
+        let n = adder();
+        let mut assign = HashMap::new();
+        assign.insert("a".to_string(), true);
+        assign.insert("b".to_string(), true);
+        assert_eq!(n.evaluate(&assign).unwrap(), vec![false, true]);
+        assign.insert("b".to_string(), false);
+        assert_eq!(n.evaluate(&assign).unwrap(), vec![true, false]);
+        assign.remove("a");
+        assert!(n.evaluate(&assign).is_err());
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let s = adder().stats();
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.by_kind.get("XOR"), Some(&1));
+        assert_eq!(s.by_kind.get("AND"), Some(&1));
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 2);
+    }
+
+    #[test]
+    fn primary_output_can_be_an_input() {
+        // A feed-through: PO driven directly by a PI.
+        let n = Netlist::new(
+            "wire",
+            vec!["a".into()],
+            vec!["a".into()],
+            vec![],
+        );
+        assert!(n.is_ok());
+    }
+
+    #[test]
+    fn driver_lookup() {
+        let n = adder();
+        assert_eq!(n.driver("sum").unwrap().kind, GateKind::Xor);
+        assert!(n.driver("a").is_none());
+    }
+}

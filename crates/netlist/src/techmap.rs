@@ -1,0 +1,346 @@
+use svt_stdcell::Library;
+
+use crate::{GateKind, MappedInstance, MappedNetlist, Netlist, NetlistError};
+
+/// Structurally maps a `.bench`-vocabulary netlist onto the svt90 library.
+///
+/// Mapping rules ("synthesize ISCAS85 benchmark circuits with the 10
+/// cells", paper §4):
+///
+/// * `NOT` → `INVX1`; `BUFF` → `BUFX2`
+/// * `NAND` of 2–4 inputs → `NANDnX1`; wider NANDs decompose into an AND
+///   tree followed by a final NAND
+/// * `AND` → NAND + INVX1
+/// * `NOR` of 2–3 inputs → `NORnX1`; wider NORs decompose likewise
+/// * `OR` → NOR + INVX1
+/// * `XOR(a,b)` → `NOR2X1` + `AOI21X1` (`!((a·b) + !(a+b))`); wider XORs
+///   chain; `XNOR(a,b)` → `NAND2X1` + `OAI21X1` (`!((a+b)·!(a·b))`)
+/// * a post-pass upsizes `INVX1` instances driving four or more loads to
+///   `INVX2`
+///
+/// Intermediate nets are named `<output>__m<k>` and instances `u<k>`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnmappableGate`] for arities the decomposition
+/// cannot handle (none exist for valid netlists) and
+/// [`NetlistError::InvalidNetlist`] if the result fails validation.
+pub fn technology_map(netlist: &Netlist, library: &Library) -> Result<MappedNetlist, NetlistError> {
+    let mut mapper = Mapper {
+        library,
+        instances: Vec::new(),
+        fresh: 0,
+    };
+    for gate in netlist.gates() {
+        mapper.map_gate(&gate.output, gate.kind, &gate.inputs)?;
+    }
+    upsize_inverters(&mut mapper.instances, library);
+    MappedNetlist::new(
+        netlist.name(),
+        netlist.inputs().to_vec(),
+        netlist.outputs().to_vec(),
+        mapper.instances,
+        library,
+    )
+}
+
+/// Replaces `INVX1` instances driving four or more input pins with the
+/// double-strength `INVX2` (same A/Z interface).
+fn upsize_inverters(instances: &mut [MappedInstance], library: &Library) {
+    use std::collections::HashMap;
+    let mut fanout: HashMap<&str, usize> = HashMap::new();
+    for inst in instances.iter() {
+        let Some(cell) = library.cell(&inst.cell) else {
+            continue;
+        };
+        for pin in cell.input_pins() {
+            if let Some(net) = inst.net_of(&pin.name) {
+                *fanout.entry(net).or_default() += 1;
+            }
+        }
+    }
+    let upsized: Vec<usize> = instances
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| {
+            inst.cell == "INVX1"
+                && inst
+                    .net_of("Z")
+                    .map(|net| fanout.get(net).copied().unwrap_or(0) >= 4)
+                    .unwrap_or(false)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for i in upsized {
+        instances[i].cell = "INVX2".to_string();
+    }
+}
+
+struct Mapper<'a> {
+    library: &'a Library,
+    instances: Vec<MappedInstance>,
+    fresh: usize,
+}
+
+impl Mapper<'_> {
+    fn fresh_net(&mut self, base: &str) -> String {
+        let id = self.fresh;
+        self.fresh += 1;
+        format!("{base}__m{id}")
+    }
+
+    fn emit(&mut self, cell: &str, inputs: &[String], output: &str) {
+        let cell_def = self
+            .library
+            .cell(cell)
+            .unwrap_or_else(|| panic!("svt90 library is missing `{cell}`"));
+        let mut connections: Vec<(String, String)> = cell_def
+            .input_pins()
+            .zip(inputs)
+            .map(|(pin, net)| (pin.name.clone(), net.clone()))
+            .collect();
+        assert_eq!(
+            connections.len(),
+            inputs.len(),
+            "cell `{cell}` pin count mismatch for {inputs:?}"
+        );
+        connections.push((cell_def.output_pin().name.clone(), output.to_string()));
+        let name = format!("u{}", self.instances.len());
+        self.instances.push(MappedInstance {
+            name,
+            cell: cell.to_string(),
+            connections,
+        });
+    }
+
+    fn map_gate(
+        &mut self,
+        output: &str,
+        kind: GateKind,
+        inputs: &[String],
+    ) -> Result<(), NetlistError> {
+        match kind {
+            GateKind::Not => self.emit("INVX1", inputs, output),
+            GateKind::Buff => self.emit("BUFX2", inputs, output),
+            GateKind::Nand => self.nand_into(output, inputs)?,
+            GateKind::And => {
+                let n = self.fresh_net(output);
+                self.nand_into(&n, inputs)?;
+                self.emit("INVX1", &[n], output);
+            }
+            GateKind::Nor => self.nor_into(output, inputs)?,
+            GateKind::Or => {
+                let n = self.fresh_net(output);
+                self.nor_into(&n, inputs)?;
+                self.emit("INVX1", &[n], output);
+            }
+            GateKind::Xor => self.xor_into(output, inputs)?,
+            GateKind::Xnor => {
+                if inputs.len() == 2 {
+                    // XNOR(a,b) = !((a+b)·!(a·b)) = OAI21(a, b, NAND(a,b)).
+                    let t = self.fresh_net(output);
+                    self.emit("NAND2X1", inputs, &t);
+                    self.emit("OAI21X1", &[inputs[0].clone(), inputs[1].clone(), t], output);
+                } else {
+                    let n = self.fresh_net(output);
+                    self.xor_into(&n, inputs)?;
+                    self.emit("INVX1", &[n], output);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// NAND of any arity ≥ 2 into `output`.
+    fn nand_into(&mut self, output: &str, inputs: &[String]) -> Result<(), NetlistError> {
+        match inputs.len() {
+            0 | 1 => Err(NetlistError::UnmappableGate {
+                gate: output.to_string(),
+                reason: format!("NAND of {} inputs", inputs.len()),
+            }),
+            2 => {
+                self.emit("NAND2X1", inputs, output);
+                Ok(())
+            }
+            3 => {
+                self.emit("NAND3X1", inputs, output);
+                Ok(())
+            }
+            4 => {
+                self.emit("NAND4X1", inputs, output);
+                Ok(())
+            }
+            _ => {
+                // AND the first 4, then NAND the reduced list.
+                let head = self.fresh_net(output);
+                let nand_head = self.fresh_net(output);
+                self.emit("NAND4X1", &inputs[..4], &nand_head);
+                self.emit("INVX1", &[nand_head], &head);
+                let mut rest = vec![head];
+                rest.extend_from_slice(&inputs[4..]);
+                self.nand_into(output, &rest)
+            }
+        }
+    }
+
+    /// NOR of any arity ≥ 2 into `output`.
+    fn nor_into(&mut self, output: &str, inputs: &[String]) -> Result<(), NetlistError> {
+        match inputs.len() {
+            0 | 1 => Err(NetlistError::UnmappableGate {
+                gate: output.to_string(),
+                reason: format!("NOR of {} inputs", inputs.len()),
+            }),
+            2 => {
+                self.emit("NOR2X1", inputs, output);
+                Ok(())
+            }
+            3 => {
+                self.emit("NOR3X1", inputs, output);
+                Ok(())
+            }
+            _ => {
+                // OR the first 3, then NOR the reduced list.
+                let head = self.fresh_net(output);
+                let nor_head = self.fresh_net(output);
+                self.emit("NOR3X1", &inputs[..3], &nor_head);
+                self.emit("INVX1", &[nor_head], &head);
+                let mut rest = vec![head];
+                rest.extend_from_slice(&inputs[3..]);
+                self.nor_into(output, &rest)
+            }
+        }
+    }
+
+    /// XOR of any arity ≥ 2 into `output`: two-input XORs chained.
+    fn xor_into(&mut self, output: &str, inputs: &[String]) -> Result<(), NetlistError> {
+        if inputs.len() < 2 {
+            return Err(NetlistError::UnmappableGate {
+                gate: output.to_string(),
+                reason: format!("XOR of {} inputs", inputs.len()),
+            });
+        }
+        let mut acc = inputs[0].clone();
+        for (k, b) in inputs[1..].iter().enumerate() {
+            let target = if k + 2 == inputs.len() {
+                output.to_string()
+            } else {
+                self.fresh_net(output)
+            };
+            self.xor2_into(&target, &acc, b);
+            acc = target;
+        }
+        Ok(())
+    }
+
+    /// Two-input XOR via the complex gate:
+    /// `XOR(a,b) = !((a·b) + !(a+b)) = AOI21(a, b, NOR(a,b))`.
+    fn xor2_into(&mut self, output: &str, a: &str, b: &str) {
+        let t = self.fresh_net(output);
+        self.emit("NOR2X1", &[a.to_string(), b.to_string()], &t);
+        self.emit("AOI21X1", &[a.to_string(), b.to_string(), t], output);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench, generate_benchmark, BenchmarkProfile, Gate};
+
+    fn lib() -> Library {
+        Library::svt90()
+    }
+
+    fn map_one(kind: GateKind, arity: usize) -> MappedNetlist {
+        let inputs: Vec<String> = (0..arity).map(|i| format!("i{i}")).collect();
+        let n = Netlist::new(
+            "t",
+            inputs.clone(),
+            vec!["z".into()],
+            vec![Gate::new("z", kind, inputs).unwrap()],
+        )
+        .unwrap();
+        technology_map(&n, &lib()).unwrap()
+    }
+
+    #[test]
+    fn direct_mappings_use_single_cells() {
+        assert_eq!(map_one(GateKind::Not, 1).instances()[0].cell, "INVX1");
+        assert_eq!(map_one(GateKind::Buff, 1).instances()[0].cell, "BUFX2");
+        assert_eq!(map_one(GateKind::Nand, 2).instances()[0].cell, "NAND2X1");
+        assert_eq!(map_one(GateKind::Nand, 3).instances()[0].cell, "NAND3X1");
+        assert_eq!(map_one(GateKind::Nand, 4).instances()[0].cell, "NAND4X1");
+        assert_eq!(map_one(GateKind::Nor, 2).instances()[0].cell, "NOR2X1");
+        assert_eq!(map_one(GateKind::Nor, 3).instances()[0].cell, "NOR3X1");
+    }
+
+    #[test]
+    fn composite_mappings_decompose() {
+        assert_eq!(map_one(GateKind::And, 2).instances().len(), 2);
+        assert_eq!(map_one(GateKind::Or, 3).instances().len(), 2);
+        // XOR = NOR2 + AOI21; XNOR = NAND2 + OAI21.
+        let xor = map_one(GateKind::Xor, 2);
+        assert_eq!(xor.instances().len(), 2);
+        assert!(xor.instances().iter().any(|i| i.cell == "AOI21X1"));
+        let xnor = map_one(GateKind::Xnor, 2);
+        assert_eq!(xnor.instances().len(), 2);
+        assert!(xnor.instances().iter().any(|i| i.cell == "OAI21X1"));
+        // 3-input XOR chains two 2-input XORs.
+        assert_eq!(map_one(GateKind::Xor, 3).instances().len(), 4);
+        // NAND6 = NAND4 + INV + NAND3(head, i4, i5).
+        let m = map_one(GateKind::Nand, 6);
+        assert_eq!(m.instances().len(), 3);
+        // NOR5 = NOR3 + INV + NOR3(head, i3, i4).
+        let m = map_one(GateKind::Nor, 5);
+        assert_eq!(m.instances().len(), 3);
+    }
+
+    #[test]
+    fn mapping_preserves_logic_on_c17() {
+        // The mapped netlist is structural; spot-check by evaluating the
+        // bench netlist and checking instance connectivity shape.
+        let text = "# c17\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nINPUT(G6)\nINPUT(G7)\nOUTPUT(G22)\nOUTPUT(G23)\nG10 = NAND(G1, G3)\nG11 = NAND(G3, G6)\nG16 = NAND(G2, G11)\nG19 = NAND(G11, G7)\nG22 = NAND(G10, G16)\nG23 = NAND(G16, G19)\n";
+        let n = bench::parse(text).unwrap();
+        let m = technology_map(&n, &lib()).unwrap();
+        assert_eq!(m.instances().len(), 6);
+        assert!(m.instances().iter().all(|i| i.cell == "NAND2X1"));
+        // Every net in the original netlist exists in the mapped one.
+        let drivers = m.net_drivers(&lib());
+        for g in n.gates() {
+            assert!(drivers.contains_key(&g.output), "missing net {}", g.output);
+        }
+    }
+
+    #[test]
+    fn high_fanout_inverters_are_upsized() {
+        // One inverter driving four other inverters.
+        let inputs = vec!["a".to_string()];
+        let mut gates = vec![Gate::new("n", GateKind::Not, inputs.clone()).unwrap()];
+        let mut outs = Vec::new();
+        for k in 0..4 {
+            let name = format!("z{k}");
+            gates.push(Gate::new(&name, GateKind::Not, vec!["n".into()]).unwrap());
+            outs.push(name);
+        }
+        let n = Netlist::new("fan", inputs, outs, gates).unwrap();
+        let m = technology_map(&n, &lib()).unwrap();
+        let driver = m
+            .instances()
+            .iter()
+            .find(|i| i.net_of("Z") == Some("n"))
+            .unwrap();
+        assert_eq!(driver.cell, "INVX2");
+        // The leaf inverters stay X1.
+        assert!(m.instances().iter().any(|i| i.cell == "INVX1"));
+    }
+
+    #[test]
+    fn full_benchmark_maps_and_validates() {
+        let p = BenchmarkProfile::iscas85("c432").unwrap();
+        let n = generate_benchmark(&p);
+        let m = technology_map(&n, &lib()).unwrap();
+        // Mapping only adds instances (XOR decomposition etc.).
+        assert!(m.instances().len() >= n.gates().len());
+        let usage = m.cell_usage();
+        assert!(usage.keys().all(|c| lib().cell(c).is_some()));
+    }
+}

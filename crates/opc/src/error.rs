@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use svt_litho::LithoError;
+
+/// Errors produced by the OPC engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpcError {
+    /// The underlying lithography simulation failed.
+    Litho(LithoError),
+    /// A pattern was structurally invalid (overlapping lines, line outside
+    /// the window, …).
+    InvalidPattern {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A gate failed to print even at the starting mask dimensions, so
+    /// there is no CD to iterate on.
+    UncorrectableLine {
+        /// Center of the offending line in nanometres.
+        center: f64,
+    },
+}
+
+impl fmt::Display for OpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpcError::Litho(e) => write!(f, "lithography simulation failed: {e}"),
+            OpcError::InvalidPattern { reason } => write!(f, "invalid OPC pattern: {reason}"),
+            OpcError::UncorrectableLine { center } => {
+                write!(f, "gate at x = {center} nm does not print and cannot be corrected")
+            }
+        }
+    }
+}
+
+impl Error for OpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OpcError::Litho(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LithoError> for OpcError {
+    fn from(e: LithoError) -> OpcError {
+        OpcError::Litho(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn litho_errors_wrap_with_source() {
+        let e = OpcError::from(LithoError::FeatureNotPrinted { at: 10.0 });
+        assert!(e.to_string().contains("lithography"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<OpcError>();
+    }
+}

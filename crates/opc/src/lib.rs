@@ -1,0 +1,59 @@
+//! Optical proximity correction for the `svt` workspace.
+//!
+//! The DAC 2004 methodology depends on three OPC capabilities, all rebuilt
+//! here on top of the [`svt_litho`] imaging engine:
+//!
+//! * **Model-based OPC** ([`ModelOpc`]) — iterative symmetric edge biasing
+//!   of gate lines against a lithography model, with the mask-rule
+//!   constraints (mask grid, minimum width, minimum space) and iteration
+//!   caps that leave the *residual systematic through-pitch error* the
+//!   paper's Fig. 7 measures. Production-style flows drive the correction
+//!   with a deliberately cheaper model than sign-off simulation
+//!   (fewer source samples, coarser grid), exactly the model-fidelity gap
+//!   the paper lists among the reasons "OPC … is never able to correct the
+//!   design perfectly".
+//! * **Library-based OPC** ([`LibraryOpc`]) — per-cell-master correction in
+//!   a dummy-poly placement environment (paper Fig. 3, after reference
+//!   [7]), the fast alternative Table 1 compares against full-chip OPC.
+//! * **SRAF insertion** ([`insert_srafs`]) — sub-resolution assist features
+//!   for wide spaces (paper §2 and the §6 future-work extension), with
+//!   printability checking.
+//!
+//! [`audit_pattern`] closes the loop: it measures every corrected gate with
+//! the sign-off simulator and reports the error statistics used by the
+//! Table 1 / Fig. 7 experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_litho::Process;
+//! use svt_opc::{CutlinePattern, ModelOpc, OpcLine, OpcOptions};
+//!
+//! let process = Process::nm90();
+//! let sim = process.simulator();
+//! // Three 90 nm gates at mixed spacings.
+//! let mut pattern = CutlinePattern::new(-2048.0, 4096.0);
+//! for center in [-400.0, 0.0, 240.0] {
+//!     pattern.push(OpcLine::gate(center, 90.0));
+//! }
+//! let opc = ModelOpc::new(sim.clone(), OpcOptions::default());
+//! let report = opc.correct(&mut pattern)?;
+//! assert!(report.converged, "3-line pattern should converge");
+//! # Ok::<(), svt_opc::OpcError>(())
+//! ```
+
+mod error;
+mod library;
+mod model;
+mod pattern;
+mod rule;
+mod sraf;
+mod verify;
+
+pub use error::OpcError;
+pub use library::{CorrectedCutline, LibraryOpc};
+pub use model::{ModelOpc, OpcOptions, OpcReport};
+pub use pattern::{CutlinePattern, LineKind, OpcLine};
+pub use rule::RuleOpc;
+pub use sraf::{insert_srafs, srafs_print, SrafOptions};
+pub use verify::{audit_pattern, error_histogram, EpeStats, HistogramBin, LineAudit};

@@ -1,0 +1,274 @@
+use serde::{Deserialize, Serialize};
+
+use crate::OpcError;
+
+/// What a line on an OPC cutline represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineKind {
+    /// A device gate: has a CD target and is corrected.
+    Gate,
+    /// Dummy poly emulating a neighboring cell (paper Fig. 3): images but
+    /// is not corrected and has no CD target of interest.
+    Dummy,
+    /// A sub-resolution assist feature: images, must not print.
+    Assist,
+}
+
+/// One vertical poly line on an OPC cutline.
+///
+/// The drawn center is fixed by the design; OPC adjusts `mask_width`
+/// symmetrically about it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpcLine {
+    /// Fixed line center in nanometres.
+    pub center: f64,
+    /// Target printed device CD in nanometres (meaningful for gates).
+    pub target_cd: f64,
+    /// Current mask width in nanometres.
+    pub mask_width: f64,
+    /// Role of the line.
+    pub kind: LineKind,
+}
+
+impl OpcLine {
+    /// A correctable gate with mask initialized at the drawn width.
+    #[must_use]
+    pub fn gate(center: f64, drawn_cd: f64) -> OpcLine {
+        OpcLine {
+            center,
+            target_cd: drawn_cd,
+            mask_width: drawn_cd,
+            kind: LineKind::Gate,
+        }
+    }
+
+    /// A dummy environment line.
+    #[must_use]
+    pub fn dummy(center: f64, width: f64) -> OpcLine {
+        OpcLine {
+            center,
+            target_cd: width,
+            mask_width: width,
+            kind: LineKind::Dummy,
+        }
+    }
+
+    /// An assist feature.
+    #[must_use]
+    pub fn assist(center: f64, width: f64) -> OpcLine {
+        OpcLine {
+            center,
+            target_cd: 0.0,
+            mask_width: width,
+            kind: LineKind::Assist,
+        }
+    }
+
+    /// The current mask interval `(lo, hi)`.
+    #[must_use]
+    pub fn mask_span(&self) -> (f64, f64) {
+        (
+            self.center - self.mask_width / 2.0,
+            self.center + self.mask_width / 2.0,
+        )
+    }
+
+    /// Whether OPC may move this line's edges.
+    #[must_use]
+    pub fn correctable(&self) -> bool {
+        self.kind == LineKind::Gate
+    }
+}
+
+/// A 1-D OPC working set: lines within a simulation window.
+///
+/// # Examples
+///
+/// ```
+/// use svt_opc::{CutlinePattern, OpcLine};
+///
+/// let mut p = CutlinePattern::new(-1024.0, 2048.0);
+/// p.push(OpcLine::gate(0.0, 90.0));
+/// p.push(OpcLine::dummy(-300.0, 90.0));
+/// assert_eq!(p.lines().len(), 2);
+/// assert!(p.validate(60.0).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutlinePattern {
+    x0: f64,
+    length: f64,
+    lines: Vec<OpcLine>,
+}
+
+impl CutlinePattern {
+    /// Creates an empty pattern over the window `[x0, x0 + length]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length ≤ 0`.
+    #[must_use]
+    pub fn new(x0: f64, length: f64) -> CutlinePattern {
+        assert!(length > 0.0, "window length must be positive");
+        CutlinePattern {
+            x0,
+            length,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Window start.
+    #[must_use]
+    pub fn x0(&self) -> f64 {
+        self.x0
+    }
+
+    /// Window length.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Adds a line, keeping lines sorted by center.
+    pub fn push(&mut self, line: OpcLine) {
+        let at = self
+            .lines
+            .partition_point(|l| l.center <= line.center);
+        self.lines.insert(at, line);
+    }
+
+    /// The lines, sorted by center.
+    #[must_use]
+    pub fn lines(&self) -> &[OpcLine] {
+        &self.lines
+    }
+
+    /// Mutable access for the correction loop.
+    #[must_use]
+    pub fn lines_mut(&mut self) -> &mut [OpcLine] {
+        &mut self.lines
+    }
+
+    /// The chrome intervals of the current mask state, for simulation.
+    #[must_use]
+    pub fn chrome(&self) -> Vec<(f64, f64)> {
+        self.lines.iter().map(OpcLine::mask_span).collect()
+    }
+
+    /// The indices of correctable gate lines.
+    #[must_use]
+    pub fn gate_indices(&self) -> Vec<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.correctable())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The mask-edge-to-edge space to the previous/next line of line `i`
+    /// (`None` when there is no neighbor).
+    #[must_use]
+    pub fn neighbor_spaces(&self, i: usize) -> (Option<f64>, Option<f64>) {
+        let (lo, hi) = self.lines[i].mask_span();
+        let left = (i > 0).then(|| lo - self.lines[i - 1].mask_span().1);
+        let right = (i + 1 < self.lines.len()).then(|| self.lines[i + 1].mask_span().0 - hi);
+        (left, right)
+    }
+
+    /// Validates the pattern: all mask shapes inside the window and no two
+    /// lines closer than `min_space` (mask rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpcError::InvalidPattern`] naming the first violation.
+    pub fn validate(&self, min_space: f64) -> Result<(), OpcError> {
+        for (i, l) in self.lines.iter().enumerate() {
+            let (lo, hi) = l.mask_span();
+            if lo < self.x0 || hi > self.x0 + self.length {
+                return Err(OpcError::InvalidPattern {
+                    reason: format!("line {i} at {} escapes the window", l.center),
+                });
+            }
+            if l.mask_width <= 0.0 {
+                return Err(OpcError::InvalidPattern {
+                    reason: format!("line {i} has non-positive mask width {}", l.mask_width),
+                });
+            }
+            if i > 0 {
+                let prev_hi = self.lines[i - 1].mask_span().1;
+                if lo - prev_hi < min_space {
+                    return Err(OpcError::InvalidPattern {
+                        reason: format!(
+                            "lines {} and {i} violate the {min_space} nm mask space rule",
+                            i - 1
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_lines_sorted() {
+        let mut p = CutlinePattern::new(-1000.0, 2000.0);
+        p.push(OpcLine::gate(300.0, 90.0));
+        p.push(OpcLine::gate(-300.0, 90.0));
+        p.push(OpcLine::gate(0.0, 90.0));
+        let centers: Vec<f64> = p.lines().iter().map(|l| l.center).collect();
+        assert_eq!(centers, vec![-300.0, 0.0, 300.0]);
+    }
+
+    #[test]
+    fn neighbor_spaces_reflect_mask_edges() {
+        let mut p = CutlinePattern::new(-1000.0, 2000.0);
+        p.push(OpcLine::gate(-300.0, 90.0));
+        p.push(OpcLine::gate(0.0, 90.0));
+        let (l, r) = p.neighbor_spaces(1);
+        assert_eq!(l, Some(210.0)); // 300 - 45 - 45
+        assert_eq!(r, None);
+        let (l0, _) = p.neighbor_spaces(0);
+        assert_eq!(l0, None);
+    }
+
+    #[test]
+    fn validate_catches_window_escape_and_spacing() {
+        let mut p = CutlinePattern::new(-100.0, 200.0);
+        p.push(OpcLine::gate(80.0, 90.0)); // hi edge at 125 > 100
+        assert!(p.validate(60.0).is_err());
+
+        let mut p = CutlinePattern::new(-1000.0, 2000.0);
+        p.push(OpcLine::gate(0.0, 90.0));
+        p.push(OpcLine::gate(120.0, 90.0)); // space = 30 < 60
+        assert!(p.validate(60.0).is_err());
+        assert!(p.validate(20.0).is_ok());
+    }
+
+    #[test]
+    fn kinds_control_correctability() {
+        assert!(OpcLine::gate(0.0, 90.0).correctable());
+        assert!(!OpcLine::dummy(0.0, 90.0).correctable());
+        assert!(!OpcLine::assist(0.0, 40.0).correctable());
+    }
+
+    #[test]
+    fn chrome_matches_mask_spans() {
+        let mut p = CutlinePattern::new(-1000.0, 2000.0);
+        p.push(OpcLine::gate(0.0, 90.0));
+        assert_eq!(p.chrome(), vec![(-45.0, 45.0)]);
+    }
+
+    #[test]
+    fn gate_indices_filter_kinds() {
+        let mut p = CutlinePattern::new(-1000.0, 2000.0);
+        p.push(OpcLine::dummy(-300.0, 90.0));
+        p.push(OpcLine::gate(0.0, 90.0));
+        p.push(OpcLine::assist(200.0, 40.0));
+        assert_eq!(p.gate_indices(), vec![1]);
+    }
+}

@@ -1,0 +1,236 @@
+use serde::{Deserialize, Serialize};
+
+use svt_litho::{LithoError, LithoSimulator};
+
+use crate::{CutlinePattern, OpcError};
+
+/// Rule-based OPC: a precomputed bias lookup keyed by neighbor-spacing
+/// bins.
+///
+/// The pre-model-OPC technique: characterize the printing bias of a gate
+/// as a function of its (left, right) spacing once, then correct layouts
+/// by table lookup with no simulation in the loop. Fast and simple, but it
+/// ignores second neighbors and asymmetric coupling — the accuracy gap to
+/// [`crate::ModelOpc`] is quantified in the OPC benches.
+///
+/// # Examples
+///
+/// ```
+/// use svt_litho::Process;
+/// use svt_opc::{CutlinePattern, OpcLine, RuleOpc};
+///
+/// let sim = Process::nm90().simulator();
+/// let rules = RuleOpc::characterize(&sim, 90.0, &[150.0, 250.0, 400.0, 700.0])?;
+/// let mut pattern = CutlinePattern::new(-2048.0, 4096.0);
+/// pattern.push(OpcLine::gate(0.0, 90.0));
+/// rules.correct(&mut pattern);
+/// let corrected = pattern.lines()[0].mask_width;
+/// assert!(corrected != 90.0, "an isolated gate needs bias");
+/// # Ok::<(), svt_opc::OpcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleOpc {
+    drawn_cd_nm: f64,
+    /// Spacing bin edges, ascending; the last bin extends to infinity.
+    spacings_nm: Vec<f64>,
+    /// `bias[i][j]`: mask bias (nm, added to the drawn width) for left
+    /// spacing bin `i` and right spacing bin `j`.
+    bias_nm: Vec<Vec<f64>>,
+}
+
+impl RuleOpc {
+    /// Characterizes the bias table by simulation: for each spacing pair,
+    /// find the symmetric mask bias that prints the drawn CD (secant
+    /// iteration against the given model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpcError::InvalidPattern`] for a degenerate spacing grid
+    /// and propagates simulation failures.
+    pub fn characterize(
+        model: &LithoSimulator,
+        drawn_cd_nm: f64,
+        spacings_nm: &[f64],
+    ) -> Result<RuleOpc, OpcError> {
+        if spacings_nm.len() < 2 || spacings_nm.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(OpcError::InvalidPattern {
+                reason: "rule table needs at least two increasing spacings".into(),
+            });
+        }
+        let mut bias = Vec::with_capacity(spacings_nm.len());
+        for &left in spacings_nm {
+            let mut row = Vec::with_capacity(spacings_nm.len());
+            for &right in spacings_nm {
+                row.push(Self::solve_bias(model, drawn_cd_nm, left, right)?);
+            }
+            bias.push(row);
+        }
+        Ok(RuleOpc {
+            drawn_cd_nm,
+            spacings_nm: spacings_nm.to_vec(),
+            bias_nm: bias,
+        })
+    }
+
+    /// Finds the symmetric mask bias printing `drawn` between neighbors at
+    /// the given spacings (secant iteration, ~6 sims).
+    fn solve_bias(
+        model: &LithoSimulator,
+        drawn: f64,
+        left: f64,
+        right: f64,
+    ) -> Result<f64, OpcError> {
+        let print = |bias: f64| -> Result<f64, LithoError> {
+            let w = drawn + bias;
+            model.print_with_neighbors(w, Some(left + drawn - w), Some(right + drawn - w), 0.0, 1.0)
+        };
+        let mut b0 = 0.0;
+        let mut f0 = print(b0)? - drawn;
+        let mut b1 = -f0.signum() * 4.0;
+        for _ in 0..8 {
+            let f1 = print(b1)? - drawn;
+            if f1.abs() < 0.05 || (f1 - f0).abs() < 1e-9 {
+                return Ok(b1);
+            }
+            let b2 = b1 - f1 * (b1 - b0) / (f1 - f0);
+            b0 = b1;
+            f0 = f1;
+            b1 = b2.clamp(-40.0, 40.0);
+        }
+        Ok(b1)
+    }
+
+    /// The drawn CD the table was characterized for.
+    #[must_use]
+    pub fn drawn_cd_nm(&self) -> f64 {
+        self.drawn_cd_nm
+    }
+
+    /// The bias for a gate with the given neighbor spacings (`None` = no
+    /// neighbor; uses the widest bin).
+    #[must_use]
+    pub fn bias_for(&self, left_nm: Option<f64>, right_nm: Option<f64>) -> f64 {
+        let bin = |s: Option<f64>| -> usize {
+            match s {
+                None => self.spacings_nm.len() - 1,
+                Some(v) => {
+                    // The bin whose characterized spacing is nearest.
+                    self.spacings_nm
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            (*a - v).abs().total_cmp(&(*b - v).abs())
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                }
+            }
+        };
+        self.bias_nm[bin(left_nm)][bin(right_nm)]
+    }
+
+    /// Applies the rule table to every gate of a pattern (dummies and
+    /// assists untouched), returning the number of gates biased.
+    pub fn correct(&self, pattern: &mut CutlinePattern) -> usize {
+        let gates = pattern.gate_indices();
+        let mut corrected = 0;
+        for &i in &gates {
+            let (left, right) = pattern.neighbor_spaces(i);
+            let bias = self.bias_for(left, right);
+            let line = pattern.lines()[i];
+            pattern.lines_mut()[i].mask_width = (line.target_cd + bias).max(10.0);
+            corrected += 1;
+        }
+        corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpcLine;
+    use svt_litho::Process;
+
+    fn rules() -> (LithoSimulator, RuleOpc) {
+        let sim = Process::nm90().simulator();
+        let table =
+            RuleOpc::characterize(&sim, 90.0, &[150.0, 250.0, 400.0, 700.0]).expect("builds");
+        (sim, table)
+    }
+
+    #[test]
+    fn characterized_biases_print_to_size_in_their_own_context() {
+        let (sim, table) = rules();
+        for (left, right) in [(150.0, 150.0), (400.0, 700.0), (700.0, 700.0)] {
+            let bias = table.bias_for(Some(left), Some(right));
+            let w = 90.0 + bias;
+            let cd = sim
+                .print_with_neighbors(w, Some(left + 90.0 - w), Some(right + 90.0 - w), 0.0, 1.0)
+                .expect("prints");
+            assert!(
+                (cd - 90.0).abs() < 1.0,
+                "rule bias {bias:.2} at ({left},{right}) prints {cd:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_depends_on_context() {
+        let (_, table) = rules();
+        let dense = table.bias_for(Some(150.0), Some(150.0));
+        let iso = table.bias_for(None, None);
+        assert!(
+            (dense - iso).abs() > 0.5,
+            "dense {dense:.2} vs iso {iso:.2} bias must differ"
+        );
+    }
+
+    #[test]
+    fn correct_biases_only_gates() {
+        let (_, table) = rules();
+        let mut p = CutlinePattern::new(-2048.0, 4096.0);
+        p.push(OpcLine::gate(0.0, 90.0));
+        p.push(OpcLine::dummy(-300.0, 90.0));
+        let n = table.correct(&mut p);
+        assert_eq!(n, 1);
+        let dummy = p.lines().iter().find(|l| !l.correctable()).expect("dummy");
+        assert_eq!(dummy.mask_width, 90.0);
+    }
+
+    #[test]
+    fn rule_opc_is_less_accurate_than_model_opc_off_grid() {
+        use crate::{audit_pattern, EpeStats, ModelOpc, OpcOptions};
+        let (sim, table) = rules();
+        // A pattern whose spacings fall between the characterized bins and
+        // whose second neighbors matter.
+        let mk = || {
+            let mut p = CutlinePattern::new(-2048.0, 4096.0);
+            for c in [-520.0, -200.0, 90.0, 640.0] {
+                p.push(OpcLine::gate(c, 90.0));
+            }
+            p
+        };
+        let mut ruled = mk();
+        table.correct(&mut ruled);
+        let mut modeled = mk();
+        ModelOpc::new(sim.clone(), OpcOptions::default())
+            .correct(&mut modeled)
+            .expect("model OPC succeeds");
+        let rms = |p: &CutlinePattern| {
+            EpeStats::from_audits(&audit_pattern(&sim, p, 0.0, 1.0).expect("audit")).rms_nm
+        };
+        assert!(
+            rms(&modeled) < rms(&ruled),
+            "model OPC should beat rules: {:.2} vs {:.2}",
+            rms(&modeled),
+            rms(&ruled)
+        );
+    }
+
+    #[test]
+    fn degenerate_grids_are_rejected() {
+        let sim = Process::nm90().simulator();
+        assert!(RuleOpc::characterize(&sim, 90.0, &[300.0]).is_err());
+        assert!(RuleOpc::characterize(&sim, 90.0, &[400.0, 300.0]).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+use serde::{Deserialize, Serialize};
+
+use svt_litho::{LithoError, LithoSimulator, MaskCutline};
+
+use crate::{CutlinePattern, LineKind, OpcError, OpcLine};
+
+/// Sub-resolution assist feature insertion rules.
+///
+/// SRAFs (scatter bars) surround isolated features with sub-resolution
+/// lines so the isolated feature images more like a dense one, pulling its
+/// Bossung behaviour toward the dense smile (paper §2: assist features
+/// mitigate, but never remove, the through-focus dichotomy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SrafOptions {
+    /// Minimum clear space (nm) before an assist is inserted.
+    pub min_space_nm: f64,
+    /// Assist bar width (must be sub-resolution).
+    pub bar_width_nm: f64,
+    /// Edge-to-edge distance from the main feature to the assist bar.
+    pub bar_offset_nm: f64,
+}
+
+impl Default for SrafOptions {
+    fn default() -> SrafOptions {
+        SrafOptions {
+            min_space_nm: 450.0,
+            bar_width_nm: 30.0,
+            bar_offset_nm: 140.0,
+        }
+    }
+}
+
+/// Inserts assist bars into every qualifying space of the pattern,
+/// returning how many were added.
+///
+/// A bar is placed beside each gate edge that faces a space of at least
+/// `min_space_nm` (including the open space at the window ends, with a
+/// margin). Bars are never placed closer than `bar_offset_nm` to any
+/// feature.
+pub fn insert_srafs(pattern: &mut CutlinePattern, options: SrafOptions) -> usize {
+    let lines: Vec<OpcLine> = pattern.lines().to_vec();
+    let mut added = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if line.kind == LineKind::Assist {
+            continue;
+        }
+        let (lo, hi) = line.mask_span();
+        // Space to the left.
+        let left_space = if i == 0 {
+            lo - pattern.x0()
+        } else {
+            lo - lines[i - 1].mask_span().1
+        };
+        // Only the right-hand owner of a shared space inserts, to avoid
+        // double bars; the leftmost line also owns its left space.
+        if left_space >= options.min_space_nm {
+            let center = lo - options.bar_offset_nm - options.bar_width_nm / 2.0;
+            pattern.push(OpcLine::assist(center, options.bar_width_nm));
+            added += 1;
+        }
+        let right_space = if i + 1 == lines.len() {
+            pattern.x0() + pattern.length() - hi
+        } else {
+            lines[i + 1].mask_span().0 - hi
+        };
+        // Interior right spaces are someone else's left space unless this
+        // is the last line.
+        if i + 1 == lines.len() && right_space >= options.min_space_nm {
+            let center = hi + options.bar_offset_nm + options.bar_width_nm / 2.0;
+            pattern.push(OpcLine::assist(center, options.bar_width_nm));
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Checks whether any assist feature of the pattern prints (develops a
+/// resist feature) at the given defocus and dose. A sound SRAF recipe
+/// returns `false` across the process window.
+///
+/// # Errors
+///
+/// Returns [`OpcError::Litho`] if the simulation itself fails.
+pub fn srafs_print(
+    sim: &LithoSimulator,
+    pattern: &CutlinePattern,
+    defocus_nm: f64,
+    dose: f64,
+) -> Result<bool, OpcError> {
+    let mask = MaskCutline::from_lines(
+        pattern.x0(),
+        pattern.length(),
+        sim.config().grid_nm(),
+        &pattern.chrome(),
+    )?;
+    let image = sim.aerial_image(&mask, defocus_nm);
+    for line in pattern.lines() {
+        if line.kind != LineKind::Assist {
+            continue;
+        }
+        match svt_litho::measure_cd_at(&image, line.center, sim.resist(), dose) {
+            Ok(printed) => {
+                // A resist blob narrower than the etch bias disappears in
+                // etch; anything wider counts as printing.
+                if printed.cd() > sim.etch_bias_nm() {
+                    return Ok(true);
+                }
+            }
+            Err(LithoError::FeatureNotPrinted { .. }) => continue,
+            // The assist sits inside the main feature's resist region —
+            // that counts as printing (it merged with the feature).
+            Err(LithoError::EdgeOutsideWindow { .. }) => return Ok(true),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_litho::Process;
+
+    fn iso_gate_pattern() -> CutlinePattern {
+        let mut p = CutlinePattern::new(-2048.0, 4096.0);
+        p.push(OpcLine::gate(0.0, 90.0));
+        p
+    }
+
+    #[test]
+    fn isolated_gate_gets_two_bars() {
+        let mut p = iso_gate_pattern();
+        let added = insert_srafs(&mut p, SrafOptions::default());
+        assert_eq!(added, 2);
+        let assists: Vec<&OpcLine> = p
+            .lines()
+            .iter()
+            .filter(|l| l.kind == LineKind::Assist)
+            .collect();
+        assert_eq!(assists.len(), 2);
+        // Bars flank the gate symmetrically.
+        let sum: f64 = assists.iter().map(|l| l.center).sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_pattern_gets_no_bars() {
+        let mut p = CutlinePattern::new(-600.0, 1200.0);
+        p.push(OpcLine::gate(-240.0, 90.0));
+        p.push(OpcLine::gate(0.0, 90.0));
+        p.push(OpcLine::gate(240.0, 90.0));
+        // Window ends are close, interior spaces are 150 nm.
+        let added = insert_srafs(&mut p, SrafOptions::default());
+        assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn shared_spaces_get_exactly_one_bar() {
+        let mut p = CutlinePattern::new(-2048.0, 4096.0);
+        p.push(OpcLine::gate(-400.0, 90.0));
+        p.push(OpcLine::gate(400.0, 90.0)); // 710 nm space between them
+        let added = insert_srafs(&mut p, SrafOptions::default());
+        // left window space, shared middle space, right window space = 3.
+        assert_eq!(added, 3);
+    }
+
+    #[test]
+    fn default_bars_do_not_print() {
+        let sim = Process::nm90().simulator();
+        let mut p = iso_gate_pattern();
+        insert_srafs(&mut p, SrafOptions::default());
+        for z in [0.0, 150.0, 300.0] {
+            assert!(
+                !srafs_print(&sim, &p, z, 1.0).unwrap(),
+                "30 nm bars printed at defocus {z}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bars_do_print() {
+        let sim = Process::nm90().simulator();
+        let mut p = iso_gate_pattern();
+        insert_srafs(
+            &mut p,
+            SrafOptions {
+                bar_width_nm: 120.0,
+                bar_offset_nm: 300.0,
+                ..SrafOptions::default()
+            },
+        );
+        assert!(
+            srafs_print(&sim, &p, 0.0, 1.0).unwrap(),
+            "120 nm bars must print — they are above resolution"
+        );
+    }
+
+    #[test]
+    fn srafs_reduce_iso_focus_sensitivity() {
+        let sim = Process::nm90().simulator();
+        let bare = iso_gate_pattern();
+        let mut assisted = iso_gate_pattern();
+        insert_srafs(&mut assisted, SrafOptions::default());
+
+        let cd = |p: &CutlinePattern, z: f64| {
+            sim.print_device_cd(p.x0(), p.length(), &p.chrome(), 0.0, z, 1.0)
+                .unwrap()
+        };
+        let bare_delta = (cd(&bare, 250.0) - cd(&bare, 0.0)).abs();
+        let assisted_delta = (cd(&assisted, 250.0) - cd(&assisted, 0.0)).abs();
+        assert!(
+            assisted_delta < bare_delta,
+            "SRAFs should stabilize focus: bare Δ{bare_delta:.2} vs assisted Δ{assisted_delta:.2}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+use serde::{Deserialize, Serialize};
+
+use svt_litho::{LithoError, LithoSimulator, MaskCutline};
+
+use crate::{CutlinePattern, LineKind, OpcError};
+
+/// Sign-off measurement of one gate of a corrected pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineAudit {
+    /// Gate center in nanometres.
+    pub center: f64,
+    /// Target device CD.
+    pub target_cd_nm: f64,
+    /// Printed device CD as seen by the sign-off simulator, or `None` if
+    /// the gate failed to print.
+    pub printed_cd_nm: Option<f64>,
+}
+
+impl LineAudit {
+    /// Signed CD error `printed − target` in nanometres, if printed.
+    #[must_use]
+    pub fn error_nm(&self) -> Option<f64> {
+        self.printed_cd_nm.map(|cd| cd - self.target_cd_nm)
+    }
+
+    /// Signed CD error as a percentage of the target.
+    #[must_use]
+    pub fn error_pct(&self) -> Option<f64> {
+        self.error_nm().map(|e| 100.0 * e / self.target_cd_nm)
+    }
+}
+
+/// Aggregate CD-error statistics of an audit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpeStats {
+    /// Gates measured (printing gates only).
+    pub count: usize,
+    /// Gates that failed to print.
+    pub failures: usize,
+    /// Mean signed error in nanometres.
+    pub mean_nm: f64,
+    /// Root-mean-square error in nanometres.
+    pub rms_nm: f64,
+    /// Worst absolute error in nanometres.
+    pub max_abs_nm: f64,
+}
+
+impl EpeStats {
+    /// Computes statistics from audits.
+    #[must_use]
+    pub fn from_audits(audits: &[LineAudit]) -> EpeStats {
+        let errors: Vec<f64> = audits.iter().filter_map(LineAudit::error_nm).collect();
+        let failures = audits.len() - errors.len();
+        if errors.is_empty() {
+            return EpeStats {
+                count: 0,
+                failures,
+                mean_nm: 0.0,
+                rms_nm: 0.0,
+                max_abs_nm: 0.0,
+            };
+        }
+        let n = errors.len() as f64;
+        let mean = errors.iter().sum::<f64>() / n;
+        let rms = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        let max_abs = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
+        EpeStats {
+            count: errors.len(),
+            failures,
+            mean_nm: mean,
+            rms_nm: rms,
+            max_abs_nm: max_abs,
+        }
+    }
+}
+
+/// One bin of a CD-error histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Bin center (percent CD error).
+    pub center_pct: f64,
+    /// Number of devices in the bin.
+    pub count: usize,
+}
+
+/// Measures every gate of a pattern with the sign-off simulator at the
+/// given process condition.
+///
+/// # Errors
+///
+/// Returns [`OpcError::Litho`] on simulator failures other than
+/// non-printing gates (those are recorded as `printed_cd_nm = None`).
+pub fn audit_pattern(
+    sim: &LithoSimulator,
+    pattern: &CutlinePattern,
+    defocus_nm: f64,
+    dose: f64,
+) -> Result<Vec<LineAudit>, OpcError> {
+    let mask = MaskCutline::from_lines(
+        pattern.x0(),
+        pattern.length(),
+        sim.config().grid_nm(),
+        &pattern.chrome(),
+    )?;
+    let image = sim.aerial_image(&mask, defocus_nm);
+    let mut audits = Vec::new();
+    for line in pattern.lines() {
+        if line.kind != LineKind::Gate {
+            continue;
+        }
+        let printed = svt_litho::measure_cd_at(&image, line.center, sim.resist(), dose)
+            .and_then(|p| sim.device_cd(p));
+        let printed_cd_nm = match printed {
+            Ok(cd) => Some(cd),
+            Err(LithoError::FeatureNotPrinted { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        audits.push(LineAudit {
+            center: line.center,
+            target_cd_nm: line.target_cd,
+            printed_cd_nm,
+        });
+    }
+    Ok(audits)
+}
+
+/// Bins percent CD errors into a histogram with bins of `bin_width_pct`
+/// centered on multiples of the width (the form of paper Fig. 7).
+///
+/// # Panics
+///
+/// Panics if `bin_width_pct ≤ 0`.
+#[must_use]
+pub fn error_histogram(errors_pct: &[f64], bin_width_pct: f64) -> Vec<HistogramBin> {
+    assert!(bin_width_pct > 0.0, "bin width must be positive");
+    use std::collections::BTreeMap;
+    let mut bins: BTreeMap<i64, usize> = BTreeMap::new();
+    for &e in errors_pct {
+        let idx = (e / bin_width_pct).round() as i64;
+        *bins.entry(idx).or_default() += 1;
+    }
+    bins.into_iter()
+        .map(|(idx, count)| HistogramBin {
+            center_pct: idx as f64 * bin_width_pct,
+            count,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelOpc, OpcLine, OpcOptions};
+    use svt_litho::Process;
+
+    #[test]
+    fn audit_reports_every_gate() {
+        let sim = Process::nm90().simulator();
+        let mut p = CutlinePattern::new(-2048.0, 4096.0);
+        p.push(OpcLine::gate(-300.0, 90.0));
+        p.push(OpcLine::gate(0.0, 90.0));
+        p.push(OpcLine::dummy(500.0, 90.0));
+        let audits = audit_pattern(&sim, &p, 0.0, 1.0).unwrap();
+        assert_eq!(audits.len(), 2, "dummies are not audited");
+        for a in &audits {
+            assert!(a.printed_cd_nm.is_some());
+            assert!(a.error_pct().unwrap().abs() < 40.0);
+        }
+    }
+
+    #[test]
+    fn corrected_pattern_audits_tighter_than_uncorrected() {
+        let sim = Process::nm90().simulator();
+        let mk = || {
+            let mut p = CutlinePattern::new(-2048.0, 4096.0);
+            for c in [-300.0, 0.0, 240.0, 800.0] {
+                p.push(OpcLine::gate(c, 90.0));
+            }
+            p
+        };
+        let raw = mk();
+        let mut corrected = mk();
+        ModelOpc::new(sim.clone(), OpcOptions::default())
+            .correct(&mut corrected)
+            .unwrap();
+        let raw_stats = EpeStats::from_audits(&audit_pattern(&sim, &raw, 0.0, 1.0).unwrap());
+        let fixed_stats =
+            EpeStats::from_audits(&audit_pattern(&sim, &corrected, 0.0, 1.0).unwrap());
+        assert!(
+            fixed_stats.rms_nm < raw_stats.rms_nm,
+            "OPC must tighten the audit: {raw_stats:?} -> {fixed_stats:?}"
+        );
+    }
+
+    #[test]
+    fn stats_handle_failures_and_empty_sets() {
+        let audits = vec![
+            LineAudit {
+                center: 0.0,
+                target_cd_nm: 90.0,
+                printed_cd_nm: Some(93.0),
+            },
+            LineAudit {
+                center: 300.0,
+                target_cd_nm: 90.0,
+                printed_cd_nm: None,
+            },
+        ];
+        let s = EpeStats::from_audits(&audits);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.failures, 1);
+        assert!((s.mean_nm - 3.0).abs() < 1e-12);
+        assert!((s.max_abs_nm - 3.0).abs() < 1e-12);
+
+        let empty = EpeStats::from_audits(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean_nm, 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_are_centered() {
+        let errors = [0.2, 1.8, 2.2, -3.9, -4.1];
+        let bins = error_histogram(&errors, 2.0);
+        let get = |c: f64| bins.iter().find(|b| b.center_pct == c).map(|b| b.count);
+        assert_eq!(get(0.0), Some(1));
+        assert_eq!(get(2.0), Some(2));
+        assert_eq!(get(-4.0), Some(2));
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, errors.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn histogram_rejects_zero_width() {
+        let _ = error_histogram(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! A DEF-flavoured text format for placements.
+//!
+//! ```text
+//! DESIGN c432 ;
+//! UNITS NANOMETERS ;
+//! ROW row0 0 ;
+//! ROW row1 2400 ;
+//! COMPONENT u0 NAND2X1 ROW 0 X 1230 ;
+//! END DESIGN
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_netlist::{bench, technology_map};
+//! use svt_place::{def, place, PlacementOptions};
+//! use svt_stdcell::Library;
+//!
+//! let lib = Library::svt90();
+//! let n = bench::parse("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+//! let mapped = technology_map(&n, &lib)?;
+//! let placement = place(&mapped, &lib, &PlacementOptions::default())?;
+//! let text = def::write(&placement, &mapped);
+//! let round_trip = def::parse(&text, &mapped)?;
+//! assert_eq!(round_trip, placement);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use svt_netlist::MappedNetlist;
+
+use crate::{PlaceError, PlacedInstance, Placement, PlacementRow};
+
+/// Serializes a placement.
+#[must_use]
+pub fn write(placement: &Placement, netlist: &MappedNetlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("DESIGN {} ;\n", placement.design()));
+    out.push_str("UNITS NANOMETERS ;\n");
+    for row in placement.rows() {
+        out.push_str(&format!("ROW row{} {} ;\n", row.index, row.y_nm));
+    }
+    for row in placement.rows() {
+        for &m in &row.members {
+            let p = &placement.placed()[m];
+            let name = &netlist.instances()[p.instance].name;
+            out.push_str(&format!(
+                "COMPONENT {name} {} ROW {} X {} ;\n",
+                p.cell, p.row, p.x_nm
+            ));
+        }
+    }
+    out.push_str("END DESIGN\n");
+    out
+}
+
+/// Parses DEF-flavoured text back into a placement attached to `netlist`.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::ParseDefError`] on malformed text and
+/// [`PlaceError::Mismatch`] when a component does not exist in the netlist.
+pub fn parse(text: &str, netlist: &MappedNetlist) -> Result<Placement, PlaceError> {
+    let mut design = String::new();
+    let mut rows: Vec<PlacementRow> = Vec::new();
+    let mut placed: Vec<PlacedInstance> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| PlaceError::ParseDefError {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["DESIGN", name, ";"] => design = (*name).to_string(),
+            ["UNITS", "NANOMETERS", ";"] => {}
+            ["ROW", _name, y, ";"] => {
+                let y_nm: f64 = y.parse().map_err(|_| err("bad row y"))?;
+                rows.push(PlacementRow {
+                    index: rows.len(),
+                    y_nm,
+                    members: Vec::new(),
+                });
+            }
+            ["COMPONENT", name, cell, "ROW", row, "X", x, ";"] => {
+                let row: usize = row.parse().map_err(|_| err("bad row index"))?;
+                let x_nm: f64 = x.parse().map_err(|_| err("bad x"))?;
+                let instance = netlist
+                    .instances()
+                    .iter()
+                    .position(|i| i.name == *name)
+                    .ok_or_else(|| PlaceError::Mismatch {
+                        reason: format!("component `{name}` not in netlist"),
+                    })?;
+                if netlist.instances()[instance].cell != *cell {
+                    return Err(PlaceError::Mismatch {
+                        reason: format!(
+                            "component `{name}` is a {} in the netlist, {cell} in the DEF",
+                            netlist.instances()[instance].cell
+                        ),
+                    });
+                }
+                if row >= rows.len() {
+                    return Err(err("component references an undeclared row"));
+                }
+                rows[row].members.push(placed.len());
+                placed.push(PlacedInstance {
+                    instance,
+                    cell: (*cell).to_string(),
+                    row,
+                    x_nm,
+                });
+            }
+            ["END", "DESIGN"] => break,
+            _ => return Err(err("unrecognized statement")),
+        }
+    }
+
+    // Keep row members sorted by x, matching the placer's invariant.
+    for row in &mut rows {
+        row.members
+            .sort_by(|&a, &b| placed[a].x_nm.total_cmp(&placed[b].x_nm));
+    }
+    Ok(Placement::from_parts(design, placed, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, PlacementOptions};
+    use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+    use svt_stdcell::Library;
+
+    fn setup() -> (MappedNetlist, Placement) {
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c432").unwrap());
+        let mapped = technology_map(&n, &lib).unwrap();
+        let placement = place(&mapped, &lib, &PlacementOptions::default()).unwrap();
+        (mapped, placement)
+    }
+
+    #[test]
+    fn round_trip_preserves_placement() {
+        let (mapped, placement) = setup();
+        let text = write(&placement, &mapped);
+        let parsed = parse(&text, &mapped).unwrap();
+        assert_eq!(parsed, placement);
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let (mapped, _) = setup();
+        match parse("DESIGN x ;\nGARBAGE\n", &mapped) {
+            Err(PlaceError::ParseDefError { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_component_is_a_mismatch() {
+        let (mapped, _) = setup();
+        let text = "DESIGN x ;\nROW row0 0 ;\nCOMPONENT nope INVX1 ROW 0 X 0 ;\nEND DESIGN\n";
+        assert!(matches!(
+            parse(text, &mapped),
+            Err(PlaceError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_cell_is_a_mismatch() {
+        let (mapped, placement) = setup();
+        let text = write(&placement, &mapped);
+        // Swap a cell name to force a mismatch.
+        let broken = text.replacen("NAND2X1", "NOR2X1", 1);
+        if broken != text {
+            assert!(parse(&broken, &mapped).is_err());
+        }
+    }
+
+    #[test]
+    fn undeclared_row_is_rejected() {
+        let (mapped, _) = setup();
+        let name = &mapped.instances()[0].name;
+        let cell = &mapped.instances()[0].cell;
+        let text = format!("DESIGN x ;\nCOMPONENT {name} {cell} ROW 0 X 0 ;\nEND DESIGN\n");
+        assert!(parse(&text, &mapped).is_err());
+    }
+}

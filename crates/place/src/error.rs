@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by placement and the DEF-flavoured format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// An instance references a cell the library does not contain.
+    UnknownCell {
+        /// Instance name.
+        instance: String,
+        /// Missing cell name.
+        cell: String,
+    },
+    /// Placement options were out of range.
+    InvalidOptions {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// DEF-flavoured text could not be parsed.
+    ParseDefError {
+        /// 1-based line of the failure.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A parsed placement does not match the netlist it is being attached
+    /// to.
+    Mismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::UnknownCell { instance, cell } => {
+                write!(f, "instance `{instance}` uses unknown cell `{cell}`")
+            }
+            PlaceError::InvalidOptions { reason } => write!(f, "invalid placement options: {reason}"),
+            PlaceError::ParseDefError { line, reason } => {
+                write!(f, "def parse error at line {line}: {reason}")
+            }
+            PlaceError::Mismatch { reason } => write!(f, "placement/netlist mismatch: {reason}"),
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = PlaceError::UnknownCell {
+            instance: "u7".into(),
+            cell: "GHOST".into(),
+        };
+        assert!(e.to_string().contains("u7") && e.to_string().contains("GHOST"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<PlaceError>();
+    }
+}

@@ -1,0 +1,533 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use svt_netlist::MappedNetlist;
+use svt_stdcell::Library;
+
+use crate::report::{NetTiming, TimingReport};
+use crate::{CellBinding, StaError};
+
+/// Late (setup, max-arrival) or early (hold, min-arrival) analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnalysisMode {
+    /// Max arrivals, worst (largest) slews — the sign-off default.
+    #[default]
+    Late,
+    /// Min arrivals, best (smallest) slews.
+    Early,
+}
+
+/// Boundary conditions and parasitic assumptions of an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingOptions {
+    /// Transition time driven into every primary input (ns).
+    pub primary_input_slew_ns: f64,
+    /// Capacitive load on every primary output (pF).
+    pub output_load_pf: f64,
+    /// Lumped wire capacitance added per fanout (pF).
+    pub wire_cap_per_fanout_pf: f64,
+    /// Analysis mode.
+    pub mode: AnalysisMode,
+    /// Clock period for required-time and slack computation; `None` skips
+    /// the backward pass (meaningful in late mode).
+    pub clock_period_ns: Option<f64>,
+}
+
+impl Default for TimingOptions {
+    fn default() -> TimingOptions {
+        TimingOptions {
+            primary_input_slew_ns: 0.05,
+            output_load_pf: 0.004,
+            wire_cap_per_fanout_pf: 0.0006,
+            mode: AnalysisMode::Late,
+            clock_period_ns: None,
+        }
+    }
+}
+
+/// Runs static timing analysis on a bound netlist.
+///
+/// Levelized propagation: nets driven by primary inputs start at arrival 0
+/// with the boundary slew; every instance is evaluated once all its input
+/// nets are resolved; each arc contributes `arrival(input) + delay(slew,
+/// load)`; arrivals and slews merge by max (late) or min (early).
+///
+/// # Errors
+///
+/// * [`StaError::InvalidOptions`] for non-positive boundary conditions,
+/// * [`StaError::CombinationalCycle`] if the netlist cannot be levelized,
+/// * [`StaError::MissingTiming`] when a bound variant lacks an arc for a
+///   connected input pin.
+pub fn analyze(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+) -> Result<TimingReport, StaError> {
+    analyze_with_wire_caps(netlist, binding, options, &HashMap::new())
+}
+
+/// Like [`analyze`], with explicit per-net wire capacitances (pF) added on
+/// top of the per-fanout lump — the hook for placement-extracted
+/// parasitics (see `svt_core::hpwl_wire_caps`). Nets absent from the map
+/// get only the per-fanout lump.
+///
+/// # Errors
+///
+/// See [`analyze`].
+pub fn analyze_with_wire_caps(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    wire_caps_pf: &HashMap<String, f64>,
+) -> Result<TimingReport, StaError> {
+    if options.primary_input_slew_ns <= 0.0
+        || options.output_load_pf < 0.0
+        || options.wire_cap_per_fanout_pf < 0.0
+    {
+        return Err(StaError::InvalidOptions {
+            reason: "boundary slew must be positive and loads non-negative".into(),
+        });
+    }
+    if binding.cells().len() != netlist.instances().len() {
+        return Err(StaError::InvalidBinding {
+            reason: "binding does not cover the netlist".into(),
+        });
+    }
+
+    // Net loads: sink pin caps + wire cap per fanout + PO load.
+    let mut loads: HashMap<String, f64> = HashMap::new();
+    for (idx, inst) in netlist.instances().iter().enumerate() {
+        let cell = binding.cell(idx);
+        for pin in &cell.pins {
+            if pin.capacitance_pf > 0.0 {
+                if let Some(net) = inst.net_of(&pin.name) {
+                    *loads.entry(net.to_string()).or_default() +=
+                        pin.capacitance_pf + options.wire_cap_per_fanout_pf;
+                }
+            }
+        }
+    }
+    for po in netlist.outputs() {
+        *loads.entry(po.clone()).or_default() += options.output_load_pf;
+    }
+    for (net, cap) in wire_caps_pf {
+        if *cap < 0.0 {
+            return Err(StaError::InvalidOptions {
+                reason: format!("negative wire cap on net `{net}`"),
+            });
+        }
+        *loads.entry(net.clone()).or_default() += cap;
+    }
+
+    // Net timing state.
+    let mut nets: HashMap<String, NetTiming> = HashMap::new();
+    for pi in netlist.inputs() {
+        nets.insert(
+            pi.clone(),
+            NetTiming {
+                arrival_ns: 0.0,
+                slew_ns: options.primary_input_slew_ns,
+                from: None,
+            },
+        );
+    }
+
+    // Levelize instances by input readiness (Kahn's algorithm over the
+    // instance graph).
+    let mut pending: Vec<usize> = Vec::new();
+    let mut unresolved: Vec<usize> = Vec::with_capacity(netlist.instances().len());
+    for (idx, inst) in netlist.instances().iter().enumerate() {
+        let cell = binding.cell(idx);
+        let count = input_pins(cell)
+            .filter(|pin| {
+                inst.net_of(pin)
+                    .map(|net| !nets.contains_key(net))
+                    .unwrap_or(false)
+            })
+            .count();
+        unresolved.push(count);
+        if count == 0 {
+            pending.push(idx);
+        }
+    }
+
+    // Net -> sink instances, for readiness decrements.
+    let mut net_users: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, inst) in netlist.instances().iter().enumerate() {
+        let cell = binding.cell(idx);
+        for pin in input_pins(cell) {
+            if let Some(net) = inst.net_of(&pin) {
+                net_users.entry(net).or_default().push(idx);
+            }
+        }
+    }
+
+    let pick = |a: f64, b: f64| match options.mode {
+        AnalysisMode::Late => a.max(b),
+        AnalysisMode::Early => a.min(b),
+    };
+
+    let mut evaluated = 0usize;
+    let mut completion_order: Vec<usize> = Vec::with_capacity(netlist.instances().len());
+    // (input net, delay) per evaluated arc, keyed by instance, for the
+    // backward required-time pass.
+    let mut arc_delays: Vec<Vec<(String, f64)>> = vec![Vec::new(); netlist.instances().len()];
+    while let Some(idx) = pending.pop() {
+        evaluated += 1;
+        completion_order.push(idx);
+        let inst = &netlist.instances()[idx];
+        let cell = binding.cell(idx);
+        let out_pin = cell
+            .pins
+            .iter()
+            .find(|p| p.capacitance_pf == 0.0)
+            .ok_or_else(|| StaError::MissingTiming {
+                instance: inst.name.clone(),
+                reason: "variant has no output pin".into(),
+            })?;
+        let out_net = inst.net_of(&out_pin.name).ok_or_else(|| StaError::MissingTiming {
+            instance: inst.name.clone(),
+            reason: "output pin unconnected".into(),
+        })?;
+        let load = loads.get(out_net).copied().unwrap_or(0.0);
+
+        let mut best: Option<NetTiming> = None;
+        let mut merged_slew: Option<f64> = None;
+        for pin in input_pins(cell) {
+            let in_net = inst.net_of(&pin).ok_or_else(|| StaError::MissingTiming {
+                instance: inst.name.clone(),
+                reason: format!("input pin `{pin}` unconnected"),
+            })?;
+            let upstream = nets
+                .get(in_net)
+                .expect("readiness counting guarantees resolved inputs");
+            let arc = cell.arc_from(&pin).ok_or_else(|| StaError::MissingTiming {
+                instance: inst.name.clone(),
+                reason: format!("no arc from pin `{pin}`"),
+            })?;
+            let delay = arc.delay.lookup(upstream.slew_ns, load);
+            let slew = arc.output_slew.lookup(upstream.slew_ns, load);
+            let arrival = upstream.arrival_ns + delay;
+            arc_delays[idx].push((in_net.to_string(), delay));
+            // Slew merges independently of the arrival winner (classic
+            // worst-slew propagation).
+            merged_slew = Some(match merged_slew {
+                None => slew,
+                Some(s) => pick(s, slew),
+            });
+            let replace = match &best {
+                None => true,
+                Some(cur) => pick(cur.arrival_ns, arrival) == arrival,
+            };
+            if replace {
+                best = Some(NetTiming {
+                    arrival_ns: arrival,
+                    slew_ns: slew,
+                    from: Some((idx, pin.clone(), in_net.to_string())),
+                });
+            }
+        }
+        let mut timing = best.ok_or_else(|| StaError::MissingTiming {
+            instance: inst.name.clone(),
+            reason: "no input pins".into(),
+        })?;
+        timing.slew_ns = merged_slew.expect("best implies at least one arc");
+        nets.insert(out_net.to_string(), timing);
+        if let Some(users) = net_users.get(out_net) {
+            for &u in users {
+                unresolved[u] -= 1;
+                if unresolved[u] == 0 {
+                    pending.push(u);
+                }
+            }
+        }
+    }
+
+    if evaluated != netlist.instances().len() {
+        // Some instance never became ready: a cycle.
+        let stuck = netlist
+            .instances()
+            .iter()
+            .enumerate()
+            .find(|(i, _)| unresolved[*i] > 0)
+            .map(|(_, inst)| inst.name.clone())
+            .unwrap_or_default();
+        return Err(StaError::CombinationalCycle { net: stuck });
+    }
+
+    // Backward required-time pass (late mode) against the clock period.
+    let mut required: HashMap<String, f64> = HashMap::new();
+    if let Some(period) = options.clock_period_ns {
+        for po in netlist.outputs() {
+            let entry = required.entry(po.clone()).or_insert(period);
+            *entry = entry.min(period);
+        }
+        for &idx in completion_order.iter().rev() {
+            let inst = &netlist.instances()[idx];
+            let cell = binding.cell(idx);
+            let out_pin = cell
+                .pins
+                .iter()
+                .find(|p| p.capacitance_pf == 0.0)
+                .expect("validated in the forward pass");
+            let Some(out_net) = inst.net_of(&out_pin.name) else {
+                continue;
+            };
+            let Some(&r_out) = required.get(out_net) else {
+                continue; // net drives nothing timed
+            };
+            for (in_net, delay) in &arc_delays[idx] {
+                let candidate = r_out - delay;
+                required
+                    .entry(in_net.clone())
+                    .and_modify(|r| *r = r.min(candidate))
+                    .or_insert(candidate);
+            }
+        }
+    }
+
+    Ok(TimingReport::new(
+        netlist.name().to_string(),
+        nets,
+        netlist.outputs().to_vec(),
+        options.mode,
+        required,
+    ))
+}
+
+/// Input pin names of a characterized cell.
+fn input_pins(cell: &svt_stdcell::CharacterizedCell) -> impl Iterator<Item = String> + '_ {
+    cell.pins
+        .iter()
+        .filter(|p| p.capacitance_pf > 0.0)
+        .map(|p| p.name.clone())
+}
+
+/// Convenience: nominal-corner analysis straight from a library.
+///
+/// # Errors
+///
+/// See [`CellBinding::nominal`] and [`analyze`].
+pub fn analyze_nominal(
+    netlist: &MappedNetlist,
+    library: &Library,
+    options: &TimingOptions,
+) -> Result<TimingReport, StaError> {
+    let binding = CellBinding::nominal(netlist, library)?;
+    analyze(netlist, &binding, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_netlist::{bench, generate_benchmark, technology_map, BenchmarkProfile};
+    use svt_stdcell::Library;
+
+    fn mapped(text: &str) -> (MappedNetlist, Library) {
+        let lib = Library::svt90();
+        let n = bench::parse(text).unwrap();
+        (technology_map(&n, &lib).unwrap(), lib)
+    }
+
+    #[test]
+    fn single_gate_delay_matches_table() {
+        let (m, lib) = mapped("# t\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n");
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let opts = TimingOptions::default();
+        let report = analyze(&m, &binding, &opts).unwrap();
+        let expected = binding.cell(0).arcs[0]
+            .delay
+            .lookup(opts.primary_input_slew_ns, opts.output_load_pf);
+        assert!((report.circuit_delay_ns() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_accumulates_delay() {
+        let (m, lib) = mapped(
+            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n",
+        );
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let report = analyze(&m, &binding, &TimingOptions::default()).unwrap();
+        let one = {
+            let (m1, lib) = mapped("# one\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+            let b1 = CellBinding::nominal(&m1, &lib).unwrap();
+            analyze(&m1, &b1, &TimingOptions::default())
+                .unwrap()
+                .circuit_delay_ns()
+        };
+        assert!(report.circuit_delay_ns() > 2.0 * one);
+    }
+
+    #[test]
+    fn late_takes_the_slower_input() {
+        // z = NAND(a, y) where y = NOT(NOT(a)) is two levels deeper.
+        let (m, lib) = mapped(
+            "# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n",
+        );
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let report = analyze(&m, &binding, &TimingOptions::default()).unwrap();
+        // Critical path must come through y (pin B of the NAND).
+        let path = report.critical_path();
+        assert!(path.len() >= 3, "path {path:?}");
+        let early = analyze(
+            &m,
+            &binding,
+            &TimingOptions {
+                mode: AnalysisMode::Early,
+                ..TimingOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(early.circuit_delay_ns() < report.circuit_delay_ns());
+    }
+
+    #[test]
+    fn fanout_load_slows_the_driver() {
+        let light = mapped("# f1\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+        let heavy = mapped(
+            "# f4\nINPUT(a)\nOUTPUT(z)\nOUTPUT(q1)\nOUTPUT(q2)\nz = NOT(a)\nq1 = NOT(z)\nq2 = NOT(z)\n",
+        );
+        let d = |pair: &(MappedNetlist, Library)| {
+            let b = CellBinding::nominal(&pair.0, &pair.1).unwrap();
+            let r = analyze(&pair.0, &b, &TimingOptions::default()).unwrap();
+            r.arrival_of("z").unwrap()
+        };
+        assert!(d(&heavy) > d(&light), "fanout must add load");
+    }
+
+    #[test]
+    fn corner_bindings_order_correctly() {
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c432").unwrap());
+        let m = technology_map(&n, &lib).unwrap();
+        let opts = TimingOptions::default();
+        let delay_at = |l: f64| {
+            let b = CellBinding::uniform_scaled(&m, &lib, l).unwrap();
+            analyze(&m, &b, &opts).unwrap().circuit_delay_ns()
+        };
+        let bc = delay_at(81.0);
+        let nom = delay_at(90.0);
+        let wc = delay_at(99.0);
+        assert!(bc < nom && nom < wc, "corners must order: {bc} {nom} {wc}");
+        // Linear delay model: corners should bracket nominal roughly
+        // symmetrically.
+        let up = wc / nom;
+        let down = nom / bc;
+        assert!((up - down).abs() < 0.06, "asymmetric corners: {up} vs {down}");
+    }
+
+    #[test]
+    fn options_are_validated() {
+        let (m, lib) = mapped("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        let bad = TimingOptions {
+            primary_input_slew_ns: 0.0,
+            ..TimingOptions::default()
+        };
+        assert!(analyze(&m, &b, &bad).is_err());
+    }
+
+    #[test]
+    fn benchmark_scale_analysis_completes() {
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c880").unwrap());
+        let m = technology_map(&n, &lib).unwrap();
+        let report = analyze_nominal(&m, &lib, &TimingOptions::default()).unwrap();
+        assert!(report.circuit_delay_ns() > 0.1, "c880 should be nontrivially deep");
+        let path = report.critical_path();
+        assert!(path.len() > 5);
+        // Arrivals along the path are non-decreasing.
+        for w in path.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns + 1e-12);
+        }
+    }
+}
+// Additional slack-propagation tests live below the original suite so the
+// forward-path tests stay untouched.
+#[cfg(test)]
+mod slack_tests {
+    use super::*;
+    use svt_netlist::bench;
+    use svt_netlist::technology_map;
+    use svt_stdcell::Library;
+
+    fn mapped(text: &str) -> (MappedNetlist, Library) {
+        let lib = Library::svt90();
+        let n = bench::parse(text).unwrap();
+        (technology_map(&n, &lib).unwrap(), lib)
+    }
+
+    fn with_clock(period: f64) -> TimingOptions {
+        TimingOptions {
+            clock_period_ns: Some(period),
+            ..TimingOptions::default()
+        }
+    }
+
+    #[test]
+    fn po_slack_matches_period_minus_arrival() {
+        let (m, lib) = mapped("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        let r = analyze(&m, &b, &with_clock(1.0)).unwrap();
+        let slack = r.slack_of("z").unwrap();
+        assert!((slack - (1.0 - r.arrival_of("z").unwrap())).abs() < 1e-12);
+        assert!(slack > 0.0);
+    }
+
+    #[test]
+    fn required_times_decrease_upstream() {
+        let (m, lib) = mapped(
+            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n",
+        );
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        let r = analyze(&m, &b, &with_clock(2.0)).unwrap();
+        let rq = |net: &str| r.required_of(net).unwrap();
+        assert!(rq("a") < rq("x"));
+        assert!(rq("x") < rq("y"));
+        assert!(rq("y") < rq("z"));
+        assert!((rq("z") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_is_constant_along_the_critical_path() {
+        let (m, lib) = mapped(
+            "# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n",
+        );
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        let r = analyze(&m, &b, &with_clock(1.0)).unwrap();
+        let path = r.critical_path();
+        let slacks: Vec<f64> = path
+            .iter()
+            .filter_map(|s| r.slack_of(&s.net))
+            .collect();
+        assert!(slacks.len() >= 2);
+        for w in slacks.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "slack must be flat on the critical path: {slacks:?}");
+        }
+        // The worst net slack is the critical path's slack.
+        let worst = r.worst_net_slack_ns().unwrap();
+        assert!((worst - slacks[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_clock_yields_negative_slack() {
+        let (m, lib) = mapped(
+            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n",
+        );
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        let r = analyze(&m, &b, &with_clock(0.01)).unwrap();
+        assert!(r.worst_net_slack_ns().unwrap() < 0.0);
+        assert!(r.total_negative_slack_ns().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn no_clock_means_no_slacks() {
+        let (m, lib) = mapped("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        let r = analyze(&m, &b, &TimingOptions::default()).unwrap();
+        assert_eq!(r.slack_of("z"), None);
+        assert_eq!(r.worst_net_slack_ns(), None);
+        assert_eq!(r.total_negative_slack_ns(), None);
+    }
+}

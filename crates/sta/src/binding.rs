@@ -1,0 +1,154 @@
+use svt_netlist::MappedNetlist;
+use svt_stdcell::{characterize, CharacterizeOptions, CharacterizedCell, Library};
+
+use crate::StaError;
+
+/// Assignment of one characterized cell variant to every netlist instance.
+///
+/// The systematic-variation flow binds each instance to its placement
+/// context's variant ("substituting the correct version of the timing model
+/// for each cell based on its placement", paper §4); traditional corner
+/// analysis binds every instance of the same master to the same corner
+/// variant. Either way the timer itself is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellBinding {
+    cells: Vec<CharacterizedCell>,
+}
+
+impl CellBinding {
+    /// Binds explicit variants, index-aligned with the netlist instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidBinding`] if the count differs from the
+    /// instance count or a variant's master does not match the instance's
+    /// cell.
+    pub fn new(netlist: &MappedNetlist, cells: Vec<CharacterizedCell>) -> Result<CellBinding, StaError> {
+        if cells.len() != netlist.instances().len() {
+            return Err(StaError::InvalidBinding {
+                reason: format!(
+                    "{} variants for {} instances",
+                    cells.len(),
+                    netlist.instances().len()
+                ),
+            });
+        }
+        for (inst, cell) in netlist.instances().iter().zip(&cells) {
+            if inst.cell != cell.cell_name {
+                return Err(StaError::InvalidBinding {
+                    reason: format!(
+                        "instance `{}` is a {} but was bound to a {} variant",
+                        inst.name, inst.cell, cell.cell_name
+                    ),
+                });
+            }
+        }
+        Ok(CellBinding { cells })
+    }
+
+    /// Binds every instance to its master characterized at the nominal
+    /// drawn gate length — the baseline "perfect printing" timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidBinding`] if an instance uses a cell the
+    /// library does not contain.
+    pub fn nominal(netlist: &MappedNetlist, library: &Library) -> Result<CellBinding, StaError> {
+        Self::uniform_scaled(netlist, library, 90.0)
+    }
+
+    /// Binds every instance to its master characterized with *all* devices
+    /// at `gate_length_nm` — the traditional corner model ("worst-case gate
+    /// length is assumed to be the maximum possible gate length variation",
+    /// paper §3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidBinding`] if an instance uses a cell the
+    /// library does not contain, or characterization fails.
+    pub fn uniform_scaled(
+        netlist: &MappedNetlist,
+        library: &Library,
+        gate_length_nm: f64,
+    ) -> Result<CellBinding, StaError> {
+        let opts = CharacterizeOptions::default();
+        let mut cells = Vec::with_capacity(netlist.instances().len());
+        for inst in netlist.instances() {
+            let cell = library.cell(&inst.cell).ok_or_else(|| StaError::InvalidBinding {
+                reason: format!("instance `{}` uses unknown cell `{}`", inst.name, inst.cell),
+            })?;
+            let lengths = vec![gate_length_nm; cell.layout().devices().len()];
+            let variant = format!("{}_L{gate_length_nm}", cell.name());
+            let characterized = characterize(cell, &lengths, &variant, opts).map_err(|e| {
+                StaError::InvalidBinding {
+                    reason: format!("characterization failed for `{}`: {e}", inst.name),
+                }
+            })?;
+            cells.push(characterized);
+        }
+        CellBinding::new(netlist, cells)
+    }
+
+    /// The variant bound to instance `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn cell(&self, idx: usize) -> &CharacterizedCell {
+        &self.cells[idx]
+    }
+
+    /// All bound variants, instance-aligned.
+    #[must_use]
+    pub fn cells(&self) -> &[CharacterizedCell] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_netlist::{bench, technology_map};
+
+    fn setup() -> (MappedNetlist, Library) {
+        let lib = Library::svt90();
+        let n = bench::parse("# t\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n").unwrap();
+        (technology_map(&n, &lib).unwrap(), lib)
+    }
+
+    #[test]
+    fn nominal_binding_covers_all_instances() {
+        let (m, lib) = setup();
+        let b = CellBinding::nominal(&m, &lib).unwrap();
+        assert_eq!(b.cells().len(), m.instances().len());
+        assert_eq!(b.cell(0).cell_name, "NAND2X1");
+    }
+
+    #[test]
+    fn scaled_binding_is_slower_at_longer_gates() {
+        let (m, lib) = setup();
+        let nom = CellBinding::nominal(&m, &lib).unwrap();
+        let wc = CellBinding::uniform_scaled(&m, &lib, 99.0).unwrap();
+        let d_nom = nom.cell(0).arcs[0].delay.lookup(0.05, 0.01);
+        let d_wc = wc.cell(0).arcs[0].delay.lookup(0.05, 0.01);
+        assert!(d_wc > d_nom);
+    }
+
+    #[test]
+    fn mismatched_binding_is_rejected() {
+        let (m, lib) = setup();
+        // Wrong count.
+        assert!(CellBinding::new(&m, vec![]).is_err());
+        // Wrong master.
+        let inv = lib.cell("INVX1").unwrap();
+        let wrong = characterize(
+            inv,
+            &vec![90.0; inv.layout().devices().len()],
+            "INVX1_x",
+            CharacterizeOptions::default(),
+        )
+        .unwrap();
+        assert!(CellBinding::new(&m, vec![wrong]).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the timing engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// A binding does not cover or match the netlist.
+    InvalidBinding {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The bound netlist contains a combinational cycle.
+    CombinationalCycle {
+        /// A net on the cycle.
+        net: String,
+    },
+    /// The analysis options were out of range.
+    InvalidOptions {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A characterized cell is missing an arc or pin the netlist needs.
+    MissingTiming {
+        /// Instance name.
+        instance: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::InvalidBinding { reason } => write!(f, "invalid cell binding: {reason}"),
+            StaError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            StaError::InvalidOptions { reason } => write!(f, "invalid timing options: {reason}"),
+            StaError::MissingTiming { instance, reason } => {
+                write!(f, "instance `{instance}` lacks timing data: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = StaError::CombinationalCycle { net: "n42".into() };
+        assert!(e.to_string().contains("n42"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<StaError>();
+    }
+}

@@ -1,0 +1,345 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::AnalysisMode;
+
+/// Resolved timing of one net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct NetTiming {
+    /// Arrival time in nanoseconds.
+    pub arrival_ns: f64,
+    /// Transition time in nanoseconds.
+    pub slew_ns: f64,
+    /// `(instance index, input pin, upstream net)` that set the arrival;
+    /// `None` for primary inputs.
+    pub from: Option<(usize, String, String)>,
+}
+
+/// One step of a reported timing path, ending on `net`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Net the step arrives on.
+    pub net: String,
+    /// Driving instance index (`None` for the primary-input step).
+    pub instance: Option<usize>,
+    /// Input pin of the driving instance the path came through.
+    pub through_pin: Option<String>,
+    /// Arrival time at the net.
+    pub arrival_ns: f64,
+}
+
+/// The result of one timing analysis.
+///
+/// # Examples
+///
+/// ```
+/// use svt_netlist::{bench, technology_map};
+/// use svt_sta::{analyze, CellBinding, TimingOptions};
+/// use svt_stdcell::Library;
+///
+/// let lib = Library::svt90();
+/// let n = bench::parse("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let mapped = technology_map(&n, &lib)?;
+/// let binding = CellBinding::nominal(&mapped, &lib)?;
+/// let report = analyze(&mapped, &binding, &TimingOptions::default())?;
+/// let slack = report.worst_slack_ns(1.0);
+/// assert!(slack > 0.0, "an inverter easily makes a 1 ns clock");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    design: String,
+    nets: HashMap<String, NetTiming>,
+    outputs: Vec<String>,
+    mode: AnalysisMode,
+    /// Required times per net (present when a clock period was given).
+    required: HashMap<String, f64>,
+}
+
+impl TimingReport {
+    pub(crate) fn new(
+        design: String,
+        nets: HashMap<String, NetTiming>,
+        outputs: Vec<String>,
+        mode: AnalysisMode,
+        required: HashMap<String, f64>,
+    ) -> TimingReport {
+        TimingReport {
+            design,
+            nets,
+            outputs,
+            mode,
+            required,
+        }
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// The analysis mode the report was produced in.
+    #[must_use]
+    pub fn mode(&self) -> AnalysisMode {
+        self.mode
+    }
+
+    /// The arrival time of a net, if it was analyzed.
+    #[must_use]
+    pub fn arrival_of(&self, net: &str) -> Option<f64> {
+        self.nets.get(net).map(|t| t.arrival_ns)
+    }
+
+    /// The slew of a net, if it was analyzed.
+    #[must_use]
+    pub fn slew_of(&self, net: &str) -> Option<f64> {
+        self.nets.get(net).map(|t| t.slew_ns)
+    }
+
+    /// Arrival per primary output, in output order.
+    #[must_use]
+    pub fn po_arrivals(&self) -> Vec<(String, f64)> {
+        self.outputs
+            .iter()
+            .map(|po| {
+                (
+                    po.clone(),
+                    self.nets.get(po).map(|t| t.arrival_ns).unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// The circuit delay: the extreme primary-output arrival (max in late
+    /// mode, min in early mode).
+    #[must_use]
+    pub fn circuit_delay_ns(&self) -> f64 {
+        let arrivals = self.po_arrivals();
+        match self.mode {
+            AnalysisMode::Late => arrivals.iter().map(|(_, a)| *a).fold(0.0, f64::max),
+            AnalysisMode::Early => arrivals
+                .iter()
+                .map(|(_, a)| *a)
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// The primary output setting the circuit delay.
+    #[must_use]
+    pub fn critical_output(&self) -> Option<String> {
+        let target = self.circuit_delay_ns();
+        self.po_arrivals()
+            .into_iter()
+            .find(|(_, a)| (*a - target).abs() < 1e-12)
+            .map(|(po, _)| po)
+    }
+
+    /// Walks the critical path backward from the critical output to a
+    /// primary input. Steps are returned source-first.
+    #[must_use]
+    pub fn critical_path(&self) -> Vec<PathStep> {
+        let Some(mut net) = self.critical_output() else {
+            return Vec::new();
+        };
+        let mut steps = Vec::new();
+        while let Some(timing) = self.nets.get(&net) {
+            steps.push(PathStep {
+                net: net.clone(),
+                instance: timing.from.as_ref().map(|(i, _, _)| *i),
+                through_pin: timing.from.as_ref().map(|(_, p, _)| p.clone()),
+                arrival_ns: timing.arrival_ns,
+            });
+            match &timing.from {
+                Some((_, _, upstream)) => net = upstream.clone(),
+                None => break,
+            }
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// The required time of a net (available when the analysis ran with a
+    /// clock period).
+    #[must_use]
+    pub fn required_of(&self, net: &str) -> Option<f64> {
+        self.required.get(net).copied()
+    }
+
+    /// The slack of a net: `required − arrival`. `None` when the net has
+    /// no required time (no clock period, or the net drives nothing
+    /// timed).
+    #[must_use]
+    pub fn slack_of(&self, net: &str) -> Option<f64> {
+        Some(self.required_of(net)? - self.arrival_of(net)?)
+    }
+
+    /// The worst (most negative) slack over all nets with required times,
+    /// if the analysis ran with a clock period.
+    #[must_use]
+    pub fn worst_net_slack_ns(&self) -> Option<f64> {
+        self.required
+            .keys()
+            .filter_map(|net| self.slack_of(net))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Total negative slack over primary outputs, if a clock period was
+    /// given.
+    #[must_use]
+    pub fn total_negative_slack_ns(&self) -> Option<f64> {
+        if self.required.is_empty() {
+            return None;
+        }
+        Some(
+            self.outputs
+                .iter()
+                .filter_map(|po| self.slack_of(po))
+                .filter(|s| *s < 0.0)
+                .sum(),
+        )
+    }
+
+    /// Worst slack against a clock period: `period − circuit delay` in late
+    /// mode.
+    #[must_use]
+    pub fn worst_slack_ns(&self, clock_period_ns: f64) -> f64 {
+        clock_period_ns - self.circuit_delay_ns()
+    }
+
+    /// Per-output slack against a clock period, output order preserved.
+    #[must_use]
+    pub fn output_slacks_ns(&self, clock_period_ns: f64) -> Vec<(String, f64)> {
+        self.po_arrivals()
+            .into_iter()
+            .map(|(po, a)| (po, clock_period_ns - a))
+            .collect()
+    }
+}
+
+/// Formats the critical path as a classic sign-off text report
+/// (startpoint → per-stage increments → endpoint, with slack when the
+/// analysis ran against a clock period).
+///
+/// # Examples
+///
+/// ```
+/// use svt_netlist::{bench, technology_map};
+/// use svt_sta::{analyze, format_path_report, CellBinding, TimingOptions};
+/// use svt_stdcell::Library;
+///
+/// let lib = Library::svt90();
+/// let n = bench::parse("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")?;
+/// let mapped = technology_map(&n, &lib)?;
+/// let binding = CellBinding::nominal(&mapped, &lib)?;
+/// let opts = TimingOptions { clock_period_ns: Some(1.0), ..TimingOptions::default() };
+/// let report = analyze(&mapped, &binding, &opts)?;
+/// let text = format_path_report(&report, &mapped, &binding);
+/// assert!(text.contains("Startpoint"));
+/// assert!(text.contains("slack"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn format_path_report(
+    report: &TimingReport,
+    netlist: &svt_netlist::MappedNetlist,
+    binding: &crate::CellBinding,
+) -> String {
+    use std::fmt::Write as _;
+    let path = report.critical_path();
+    let mut out = String::new();
+    let _ = writeln!(out, "Design: {}", report.design());
+    match path.first() {
+        Some(first) => {
+            let _ = writeln!(out, "Startpoint: {} (primary input)", first.net);
+        }
+        None => {
+            out.push_str("No timed paths.\n");
+            return out;
+        }
+    }
+    if let Some(last) = path.last() {
+        let _ = writeln!(out, "Endpoint:   {} (primary output)", last.net);
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<24} {:<20} {:>9} {:>9}",
+        "point", "cell (through pin)", "incr", "arrival"
+    );
+    let mut prev = 0.0;
+    for step in &path {
+        let through = match (step.instance, &step.through_pin) {
+            (Some(idx), Some(pin)) => {
+                let inst = &netlist.instances()[idx];
+                format!("{} ({}/{})", binding.cell(idx).cell_name, inst.name, pin)
+            }
+            _ => "(input)".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:<20} {:>9.4} {:>9.4}",
+            step.net,
+            through,
+            step.arrival_ns - prev,
+            step.arrival_ns
+        );
+        prev = step.arrival_ns;
+    }
+    let _ = writeln!(out, "\ndata arrival time {:>30.4}", prev);
+    if let Some(last) = path.last() {
+        if let Some(required) = report.required_of(&last.net) {
+            let _ = writeln!(out, "data required time {:>29.4}", required);
+            let _ = writeln!(out, "slack {:>42.4}", required - prev);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod report_format_tests {
+    use super::*;
+    use crate::{analyze, CellBinding, TimingOptions};
+    use svt_netlist::{bench, technology_map};
+    use svt_stdcell::Library;
+
+    #[test]
+    fn report_lists_every_stage_in_order() {
+        let lib = Library::svt90();
+        let n = bench::parse(
+            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NAND(a, x)\nz = NOT(y)\n",
+        )
+        .unwrap();
+        let mapped = technology_map(&n, &lib).unwrap();
+        let binding = CellBinding::nominal(&mapped, &lib).unwrap();
+        let opts = TimingOptions {
+            clock_period_ns: Some(1.0),
+            ..TimingOptions::default()
+        };
+        let report = analyze(&mapped, &binding, &opts).unwrap();
+        let text = format_path_report(&report, &mapped, &binding);
+        assert!(text.contains("Startpoint: a"));
+        assert!(text.contains("Endpoint:   z"));
+        // Stages appear in arrival order in the table body.
+        let body = text.split("arrival").nth(1).expect("table header present");
+        let pos = |s: &str| body.find(s).unwrap_or_else(|| panic!("missing {s} in:\n{text}"));
+        assert!(pos("\nx ") < pos("\ny "));
+        assert!(pos("\ny ") < pos("\nz "));
+        assert!(text.contains("slack"));
+        // Increments sum to the arrival.
+        let arrival = report.circuit_delay_ns();
+        assert!(text.contains(&format!("{arrival:.4}")));
+    }
+
+    #[test]
+    fn report_without_clock_omits_slack() {
+        let lib = Library::svt90();
+        let n = bench::parse("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+        let mapped = technology_map(&n, &lib).unwrap();
+        let binding = CellBinding::nominal(&mapped, &lib).unwrap();
+        let report = analyze(&mapped, &binding, &TimingOptions::default()).unwrap();
+        let text = format_path_report(&report, &mapped, &binding);
+        assert!(!text.contains("slack"));
+        assert!(text.contains("data arrival time"));
+    }
+}

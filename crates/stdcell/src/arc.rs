@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceId, NldmTable};
+
+/// A combinational timing arc: input pin to output pin, with its base NLDM
+/// tables and the devices involved in the worst-case transition.
+///
+/// The device list is what the systematic-variation methodology consumes:
+/// arcs are labeled smile / frown / self-compensated by the iso/dense
+/// classification of these devices (paper §3.2), and arc delay scales with
+/// their mean printed gate length (paper §3.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingArc {
+    /// Input pin name.
+    pub from_pin: String,
+    /// Output pin name.
+    pub to_pin: String,
+    /// Base delay table at nominal gate length (ns).
+    pub delay: NldmTable,
+    /// Base output-slew table at nominal gate length (ns).
+    pub output_slew: NldmTable,
+    /// Devices participating in the worst-case transition of this arc.
+    pub devices: Vec<DeviceId>,
+}
+
+impl TimingArc {
+    /// Creates an arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device list is empty — an arc with no devices cannot
+    /// be classified by the methodology.
+    #[must_use]
+    pub fn new(
+        from_pin: impl Into<String>,
+        to_pin: impl Into<String>,
+        delay: NldmTable,
+        output_slew: NldmTable,
+        devices: Vec<DeviceId>,
+    ) -> TimingArc {
+        assert!(!devices.is_empty(), "timing arc needs at least one device");
+        TimingArc {
+            from_pin: from_pin.into(),
+            to_pin: to_pin.into(),
+            delay,
+            output_slew,
+            devices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_table() -> NldmTable {
+        NldmTable::new(vec![0.1], vec![0.01], vec![vec![0.05]]).unwrap()
+    }
+
+    #[test]
+    fn arc_carries_pins_and_devices() {
+        let arc = TimingArc::new("A", "Z", tiny_table(), tiny_table(), vec![DeviceId(0)]);
+        assert_eq!(arc.from_pin, "A");
+        assert_eq!(arc.to_pin, "Z");
+        assert_eq!(arc.devices, vec![DeviceId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_device_list_is_rejected() {
+        let _ = TimingArc::new("A", "Z", tiny_table(), tiny_table(), vec![]);
+    }
+}

@@ -1,0 +1,251 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CellAbstract, StdcellError, TimingArc};
+
+/// Pin direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Cell input.
+    Input,
+    /// Cell output.
+    Output,
+}
+
+/// A logical cell pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Pin name (`A`, `B`, `Z`, …).
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Input capacitance in picofarads (0 for outputs).
+    pub capacitance_pf: f64,
+}
+
+impl Pin {
+    /// An input pin.
+    #[must_use]
+    pub fn input(name: impl Into<String>, capacitance_pf: f64) -> Pin {
+        Pin {
+            name: name.into(),
+            direction: Direction::Input,
+            capacitance_pf,
+        }
+    }
+
+    /// An output pin.
+    #[must_use]
+    pub fn output(name: impl Into<String>) -> Pin {
+        Pin {
+            name: name.into(),
+            direction: Direction::Output,
+            capacitance_pf: 0.0,
+        }
+    }
+}
+
+/// A standard cell: logic interface, timing arcs, and poly-level layout.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stdcell::Library;
+///
+/// let lib = Library::svt90();
+/// let inv = lib.cell("INVX1").expect("INVX1 exists");
+/// assert_eq!(inv.output_pin().name, "Z");
+/// assert_eq!(inv.arcs().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    name: String,
+    pins: Vec<Pin>,
+    arcs: Vec<TimingArc>,
+    layout: CellAbstract,
+}
+
+impl Cell {
+    /// Creates a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StdcellError::InvalidCell`] unless the cell has exactly one
+    /// output pin, at least one input pin, every arc references existing
+    /// pins, and arc device ids are valid for the layout.
+    pub fn new(
+        name: impl Into<String>,
+        pins: Vec<Pin>,
+        arcs: Vec<TimingArc>,
+        layout: CellAbstract,
+    ) -> Result<Cell, StdcellError> {
+        let name = name.into();
+        let outputs = pins
+            .iter()
+            .filter(|p| p.direction == Direction::Output)
+            .count();
+        let inputs = pins
+            .iter()
+            .filter(|p| p.direction == Direction::Input)
+            .count();
+        if outputs != 1 || inputs == 0 {
+            return Err(StdcellError::InvalidCell {
+                cell: name,
+                reason: format!("need 1 output and ≥1 input, got {outputs}/{inputs}"),
+            });
+        }
+        for arc in &arcs {
+            let from_ok = pins
+                .iter()
+                .any(|p| p.name == arc.from_pin && p.direction == Direction::Input);
+            let to_ok = pins
+                .iter()
+                .any(|p| p.name == arc.to_pin && p.direction == Direction::Output);
+            if !from_ok || !to_ok {
+                return Err(StdcellError::InvalidCell {
+                    cell: name,
+                    reason: format!("arc {}->{} references unknown pins", arc.from_pin, arc.to_pin),
+                });
+            }
+            if arc
+                .devices
+                .iter()
+                .any(|d| d.0 >= layout.devices().len())
+            {
+                return Err(StdcellError::InvalidCell {
+                    cell: name,
+                    reason: format!("arc {}->{} references a missing device", arc.from_pin, arc.to_pin),
+                });
+            }
+        }
+        Ok(Cell {
+            name,
+            pins,
+            arcs,
+            layout,
+        })
+    }
+
+    /// Cell name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All pins.
+    #[must_use]
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// A pin by name.
+    #[must_use]
+    pub fn pin(&self, name: &str) -> Option<&Pin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+
+    /// The input pins.
+    pub fn input_pins(&self) -> impl Iterator<Item = &Pin> {
+        self.pins
+            .iter()
+            .filter(|p| p.direction == Direction::Input)
+    }
+
+    /// The single output pin.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for cells built through [`Cell::new`], which enforces
+    /// exactly one output.
+    #[must_use]
+    pub fn output_pin(&self) -> &Pin {
+        self.pins
+            .iter()
+            .find(|p| p.direction == Direction::Output)
+            .expect("Cell::new enforces one output pin")
+    }
+
+    /// The timing arcs.
+    #[must_use]
+    pub fn arcs(&self) -> &[TimingArc] {
+        &self.arcs
+    }
+
+    /// The arc from a given input pin, if any.
+    #[must_use]
+    pub fn arc_from(&self, input: &str) -> Option<&TimingArc> {
+        self.arcs.iter().find(|a| a.from_pin == input)
+    }
+
+    /// The poly-level layout abstract.
+    #[must_use]
+    pub fn layout(&self) -> &CellAbstract {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::columnar_cell;
+    use crate::{DeviceId, NldmTable};
+
+    fn tiny() -> NldmTable {
+        NldmTable::new(vec![0.1], vec![0.01], vec![vec![0.05]]).unwrap()
+    }
+
+    fn inv_parts() -> (Vec<Pin>, Vec<TimingArc>, CellAbstract) {
+        let pins = vec![Pin::input("A", 0.002), Pin::output("Z")];
+        let arcs = vec![TimingArc::new(
+            "A",
+            "Z",
+            tiny(),
+            tiny(),
+            vec![DeviceId(0), DeviceId(1)],
+        )];
+        (pins, arcs, columnar_cell("INVT", 1, 90.0, 300.0, 205.0))
+    }
+
+    #[test]
+    fn valid_cell_constructs() {
+        let (pins, arcs, layout) = inv_parts();
+        let cell = Cell::new("INVT", pins, arcs, layout).unwrap();
+        assert_eq!(cell.input_pins().count(), 1);
+        assert_eq!(cell.output_pin().name, "Z");
+        assert!(cell.arc_from("A").is_some());
+        assert!(cell.arc_from("B").is_none());
+        assert!(cell.pin("A").is_some());
+    }
+
+    #[test]
+    fn missing_output_is_rejected() {
+        let (_, arcs, layout) = inv_parts();
+        let pins = vec![Pin::input("A", 0.002)];
+        assert!(Cell::new("INVT", pins, arcs, layout).is_err());
+    }
+
+    #[test]
+    fn arc_with_unknown_pin_is_rejected() {
+        let (pins, _, layout) = inv_parts();
+        let arcs = vec![TimingArc::new(
+            "B",
+            "Z",
+            tiny(),
+            tiny(),
+            vec![DeviceId(0)],
+        )];
+        assert!(Cell::new("INVT", pins, arcs, layout).is_err());
+    }
+
+    #[test]
+    fn arc_with_bad_device_is_rejected() {
+        let (pins, _, layout) = inv_parts();
+        let arcs = vec![TimingArc::new(
+            "A",
+            "Z",
+            tiny(),
+            tiny(),
+            vec![DeviceId(99)],
+        )];
+        assert!(Cell::new("INVT", pins, arcs, layout).is_err());
+    }
+}

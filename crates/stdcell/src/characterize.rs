@@ -1,0 +1,218 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Cell, Pin, StdcellError, TimingArc};
+
+/// Options of the gate-length-scaled characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizeOptions {
+    /// Nominal (drawn) gate length the base tables were characterized at.
+    pub nominal_length_nm: f64,
+    /// Sensitivity of delay to relative gate-length change. The paper
+    /// assumes delay varies linearly with gate length (§3.1.2), i.e. a
+    /// sensitivity of 1: a 10 % longer gate is 10 % slower.
+    pub delay_sensitivity: f64,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> CharacterizeOptions {
+        CharacterizeOptions {
+            nominal_length_nm: 90.0,
+            delay_sensitivity: 1.0,
+        }
+    }
+}
+
+/// A cell characterized at specific per-device printed gate lengths — one
+/// of the "81 versions of each cell in the original library" (paper §3.1.2)
+/// or a process-corner variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizedCell {
+    /// Master cell name (e.g. `NAND2X1`).
+    pub cell_name: String,
+    /// Variant name (e.g. `NAND2X1_ctx0121`).
+    pub variant_name: String,
+    /// Printed gate length per device, aligned with
+    /// [`crate::CellAbstract::devices`].
+    pub device_lengths_nm: Vec<f64>,
+    /// Pins (capacitances unchanged from the master).
+    pub pins: Vec<Pin>,
+    /// Arcs with delay/slew tables scaled to the printed lengths.
+    pub arcs: Vec<TimingArc>,
+}
+
+impl CharacterizedCell {
+    /// The arc from a given input pin, if any.
+    #[must_use]
+    pub fn arc_from(&self, input: &str) -> Option<&TimingArc> {
+        self.arcs.iter().find(|a| a.from_pin == input)
+    }
+
+    /// A pin by name.
+    #[must_use]
+    pub fn pin(&self, name: &str) -> Option<&Pin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+}
+
+/// Characterizes a cell at the given per-device printed gate lengths.
+///
+/// Each arc's delay and output-slew tables are scaled by
+/// `1 + sensitivity · (L̄/L₀ − 1)` where `L̄` is the mean printed length of
+/// the devices involved in the arc — the linear approximation of paper
+/// §3.1.2 ("delay of any timing arc … linearly proportional to the gate
+/// lengths of the devices involved in the transition").
+///
+/// # Errors
+///
+/// Returns [`StdcellError::InvalidCharacterization`] if the length vector
+/// does not match the cell's device count or contains non-positive values.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stdcell::{characterize, CharacterizeOptions, Library};
+///
+/// let lib = Library::svt90();
+/// let inv = lib.cell("INVX1").expect("INVX1 exists");
+/// let nominal = vec![90.0; inv.layout().devices().len()];
+/// let slow = vec![99.0; inv.layout().devices().len()];
+/// let opts = CharacterizeOptions::default();
+/// let nom = characterize(inv, &nominal, "INVX1_nom", opts)?;
+/// let wc = characterize(inv, &slow, "INVX1_wc", opts)?;
+/// let d_nom = nom.arcs[0].delay.lookup(0.05, 0.01);
+/// let d_wc = wc.arcs[0].delay.lookup(0.05, 0.01);
+/// assert!((d_wc / d_nom - 1.1).abs() < 1e-9, "10% longer gate = 10% slower");
+/// # Ok::<(), svt_stdcell::StdcellError>(())
+/// ```
+pub fn characterize(
+    cell: &Cell,
+    device_lengths_nm: &[f64],
+    variant_name: &str,
+    options: CharacterizeOptions,
+) -> Result<CharacterizedCell, StdcellError> {
+    let n = cell.layout().devices().len();
+    if device_lengths_nm.len() != n {
+        return Err(StdcellError::InvalidCharacterization {
+            cell: cell.name().into(),
+            reason: format!("expected {n} device lengths, got {}", device_lengths_nm.len()),
+        });
+    }
+    if device_lengths_nm.iter().any(|&l| l <= 0.0) {
+        return Err(StdcellError::InvalidCharacterization {
+            cell: cell.name().into(),
+            reason: "device lengths must be positive".into(),
+        });
+    }
+
+    let arcs = cell
+        .arcs()
+        .iter()
+        .map(|arc| {
+            let mean_l = arc
+                .devices
+                .iter()
+                .map(|d| device_lengths_nm[d.0])
+                .sum::<f64>()
+                / arc.devices.len() as f64;
+            let factor =
+                1.0 + options.delay_sensitivity * (mean_l / options.nominal_length_nm - 1.0);
+            TimingArc {
+                from_pin: arc.from_pin.clone(),
+                to_pin: arc.to_pin.clone(),
+                delay: arc.delay.scaled(factor),
+                output_slew: arc.output_slew.scaled(factor),
+                devices: arc.devices.clone(),
+            }
+        })
+        .collect();
+
+    Ok(CharacterizedCell {
+        cell_name: cell.name().into(),
+        variant_name: variant_name.into(),
+        device_lengths_nm: device_lengths_nm.to_vec(),
+        pins: cell.pins().to_vec(),
+        arcs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Library;
+
+    #[test]
+    fn nominal_lengths_leave_tables_unchanged() {
+        let lib = Library::svt90();
+        let nand = lib.cell("NAND2X1").unwrap();
+        let lengths = vec![90.0; nand.layout().devices().len()];
+        let c = characterize(nand, &lengths, "NAND2X1_nom", CharacterizeOptions::default())
+            .unwrap();
+        for (orig, scaled) in nand.arcs().iter().zip(&c.arcs) {
+            assert!(
+                (orig.delay.lookup(0.05, 0.01) - scaled.delay.lookup(0.05, 0.01)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn shorter_gates_are_faster() {
+        let lib = Library::svt90();
+        let inv = lib.cell("INVX1").unwrap();
+        let short = vec![81.0; 2];
+        let c = characterize(inv, &short, "INVX1_bc", CharacterizeOptions::default()).unwrap();
+        let base = inv.arcs()[0].delay.lookup(0.05, 0.01);
+        let fast = c.arcs[0].delay.lookup(0.05, 0.01);
+        assert!((fast / base - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_arc_scaling_uses_only_arc_devices() {
+        let lib = Library::svt90();
+        let aoi = lib.cell("AOI21X1").unwrap();
+        // Slow down only column 2's devices (the C arc), keep others nominal.
+        let mut lengths = vec![90.0; aoi.layout().devices().len()];
+        for (id, _) in aoi.layout().devices_of_column(2) {
+            lengths[id.0] = 108.0;
+        }
+        let c = characterize(aoi, &lengths, "AOI21X1_x", CharacterizeOptions::default()).unwrap();
+        let base_a = aoi.arc_from("A").unwrap().delay.lookup(0.05, 0.01);
+        let base_c = aoi.arc_from("C").unwrap().delay.lookup(0.05, 0.01);
+        let new_a = c.arc_from("A").unwrap().delay.lookup(0.05, 0.01);
+        let new_c = c.arc_from("C").unwrap().delay.lookup(0.05, 0.01);
+        assert!((new_a - base_a).abs() < 1e-12, "A arc untouched");
+        assert!((new_c / base_c - 1.2).abs() < 1e-9, "C arc 20% slower");
+    }
+
+    #[test]
+    fn sensitivity_knob_scales_the_effect() {
+        let lib = Library::svt90();
+        let inv = lib.cell("INVX1").unwrap();
+        let opts = CharacterizeOptions {
+            delay_sensitivity: 0.5,
+            ..CharacterizeOptions::default()
+        };
+        let c = characterize(inv, &[99.0, 99.0], "INVX1_half", opts).unwrap();
+        let base = inv.arcs()[0].delay.lookup(0.05, 0.01);
+        assert!((c.arcs[0].delay.lookup(0.05, 0.01) / base - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_length_counts_are_rejected() {
+        let lib = Library::svt90();
+        let inv = lib.cell("INVX1").unwrap();
+        assert!(characterize(inv, &[90.0], "x", CharacterizeOptions::default()).is_err());
+        assert!(characterize(inv, &[90.0, -1.0], "x", CharacterizeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn accessors_find_pins_and_arcs() {
+        let lib = Library::svt90();
+        let nand = lib.cell("NAND2X1").unwrap();
+        let lengths = vec![90.0; nand.layout().devices().len()];
+        let c = characterize(nand, &lengths, "v", CharacterizeOptions::default()).unwrap();
+        assert!(c.arc_from("A").is_some());
+        assert!(c.arc_from("Q").is_none());
+        assert!(c.pin("B").is_some());
+        assert_eq!(c.variant_name, "v");
+    }
+}

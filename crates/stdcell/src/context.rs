@@ -1,0 +1,198 @@
+use serde::{Deserialize, Serialize};
+
+/// One of the three neighbor-spacing bins of the expanded library
+/// (paper §4: nps values are binned into {200–400, 400–600, ≥600} nm).
+///
+/// "Since dense geometries print larger in the process, we use the lower of
+/// the bin extremes to be pessimistic in our timing estimates" — each bin
+/// therefore exposes a representative spacing at its dense edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContextBin {
+    /// Neighbor poly within 200–400 nm.
+    Dense,
+    /// Neighbor poly within 400–600 nm.
+    Medium,
+    /// No neighbor poly within the 600 nm radius of influence.
+    Isolated,
+}
+
+impl ContextBin {
+    /// All bins, dense to isolated.
+    pub const ALL: [ContextBin; 3] = [ContextBin::Dense, ContextBin::Medium, ContextBin::Isolated];
+
+    /// Bins a neighbor-poly spacing (edge to edge, nm). `None` spacing
+    /// (no neighbor in the window) is isolated.
+    #[must_use]
+    pub fn from_spacing(spacing_nm: Option<f64>) -> ContextBin {
+        match spacing_nm {
+            Some(s) if s < 400.0 => ContextBin::Dense,
+            Some(s) if s < 600.0 => ContextBin::Medium,
+            _ => ContextBin::Isolated,
+        }
+    }
+
+    /// The representative (pessimistic, dense-edge) spacing of the bin in
+    /// nanometres; `None` for isolated (beyond the radius of influence).
+    #[must_use]
+    pub fn representative_spacing_nm(self) -> Option<f64> {
+        match self {
+            ContextBin::Dense => Some(200.0),
+            ContextBin::Medium => Some(400.0),
+            ContextBin::Isolated => None,
+        }
+    }
+
+    /// A stable single-character code used in expanded-cell names.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            ContextBin::Dense => '0',
+            ContextBin::Medium => '1',
+            ContextBin::Isolated => '2',
+        }
+    }
+
+    /// Parses a bin code.
+    #[must_use]
+    pub fn from_code(c: char) -> Option<ContextBin> {
+        match c {
+            '0' => Some(ContextBin::Dense),
+            '1' => Some(ContextBin::Medium),
+            '2' => Some(ContextBin::Isolated),
+            _ => None,
+        }
+    }
+}
+
+/// A placement context of a cell: the four binned neighbor-poly spacings
+/// `nps_LT`, `nps_RT`, `nps_LB`, `nps_RB` of paper §3.1.2.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stdcell::{CellContext, ContextBin};
+///
+/// assert_eq!(CellContext::enumerate().count(), 81);
+/// let ctx = CellContext::uniform(ContextBin::Isolated);
+/// assert_eq!(ctx.code(), "2222");
+/// assert_eq!(CellContext::from_code("0121"), Some(CellContext::new(
+///     ContextBin::Dense, ContextBin::Medium, ContextBin::Isolated, ContextBin::Medium,
+/// )));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellContext {
+    /// Left-top (p-row, left side) neighbor spacing bin.
+    pub lt: ContextBin,
+    /// Right-top bin.
+    pub rt: ContextBin,
+    /// Left-bottom (n-row) bin.
+    pub lb: ContextBin,
+    /// Right-bottom bin.
+    pub rb: ContextBin,
+}
+
+impl CellContext {
+    /// Creates a context from its four bins (LT, RT, LB, RB order).
+    #[must_use]
+    pub fn new(lt: ContextBin, rt: ContextBin, lb: ContextBin, rb: ContextBin) -> CellContext {
+        CellContext { lt, rt, lb, rb }
+    }
+
+    /// The same bin on all four corners.
+    #[must_use]
+    pub fn uniform(bin: ContextBin) -> CellContext {
+        CellContext::new(bin, bin, bin, bin)
+    }
+
+    /// Enumerates all 3⁴ = 81 contexts in a stable order.
+    pub fn enumerate() -> impl Iterator<Item = CellContext> {
+        ContextBin::ALL.into_iter().flat_map(|lt| {
+            ContextBin::ALL.into_iter().flat_map(move |rt| {
+                ContextBin::ALL.into_iter().flat_map(move |lb| {
+                    ContextBin::ALL
+                        .into_iter()
+                        .map(move |rb| CellContext::new(lt, rt, lb, rb))
+                })
+            })
+        })
+    }
+
+    /// Four-character code (LT RT LB RB), used to suffix expanded cell
+    /// names, e.g. `NAND2X1_ctx0121`.
+    #[must_use]
+    pub fn code(&self) -> String {
+        [self.lt, self.rt, self.lb, self.rb]
+            .iter()
+            .map(|b| b.code())
+            .collect()
+    }
+
+    /// Parses a four-character code.
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<CellContext> {
+        let mut chars = code.chars();
+        let lt = ContextBin::from_code(chars.next()?)?;
+        let rt = ContextBin::from_code(chars.next()?)?;
+        let lb = ContextBin::from_code(chars.next()?)?;
+        let rb = ContextBin::from_code(chars.next()?)?;
+        if chars.next().is_some() {
+            return None;
+        }
+        Some(CellContext::new(lt, rt, lb, rb))
+    }
+}
+
+impl Default for CellContext {
+    /// The fully isolated context — the pessimism-free default when no
+    /// placement information exists.
+    fn default() -> CellContext {
+        CellContext::uniform(ContextBin::Isolated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_binning_matches_paper_edges() {
+        assert_eq!(ContextBin::from_spacing(Some(200.0)), ContextBin::Dense);
+        assert_eq!(ContextBin::from_spacing(Some(399.9)), ContextBin::Dense);
+        assert_eq!(ContextBin::from_spacing(Some(400.0)), ContextBin::Medium);
+        assert_eq!(ContextBin::from_spacing(Some(599.9)), ContextBin::Medium);
+        assert_eq!(ContextBin::from_spacing(Some(600.0)), ContextBin::Isolated);
+        assert_eq!(ContextBin::from_spacing(None), ContextBin::Isolated);
+    }
+
+    #[test]
+    fn representative_spacings_are_dense_edges() {
+        assert_eq!(ContextBin::Dense.representative_spacing_nm(), Some(200.0));
+        assert_eq!(ContextBin::Medium.representative_spacing_nm(), Some(400.0));
+        assert_eq!(ContextBin::Isolated.representative_spacing_nm(), None);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_unique() {
+        let all: Vec<CellContext> = CellContext::enumerate().collect();
+        assert_eq!(all.len(), 81);
+        let mut codes: Vec<String> = all.iter().map(CellContext::code).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 81);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for ctx in CellContext::enumerate() {
+            assert_eq!(CellContext::from_code(&ctx.code()), Some(ctx));
+        }
+        assert_eq!(CellContext::from_code("012"), None);
+        assert_eq!(CellContext::from_code("01234"), None);
+        assert_eq!(CellContext::from_code("01x1"), None);
+    }
+
+    #[test]
+    fn default_is_isolated() {
+        assert_eq!(CellContext::default(), CellContext::uniform(ContextBin::Isolated));
+    }
+}

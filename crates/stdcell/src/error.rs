@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the standard-cell crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StdcellError {
+    /// An NLDM table description was malformed.
+    InvalidTable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A cell definition was inconsistent.
+    InvalidCell {
+        /// Offending cell name.
+        cell: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A characterization input was inconsistent with the cell.
+    InvalidCharacterization {
+        /// Offending cell name.
+        cell: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The Liberty-flavoured text could not be parsed.
+    ParseLibertyError {
+        /// Line number (1-based) of the failure.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The lithography / OPC stage of library expansion failed.
+    Expansion {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StdcellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StdcellError::InvalidTable { reason } => write!(f, "invalid NLDM table: {reason}"),
+            StdcellError::InvalidCell { cell, reason } => {
+                write!(f, "invalid cell `{cell}`: {reason}")
+            }
+            StdcellError::InvalidCharacterization { cell, reason } => {
+                write!(f, "cannot characterize `{cell}`: {reason}")
+            }
+            StdcellError::ParseLibertyError { line, reason } => {
+                write!(f, "liberty parse error at line {line}: {reason}")
+            }
+            StdcellError::Expansion { reason } => {
+                write!(f, "library expansion failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StdcellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = StdcellError::ParseLibertyError {
+            line: 42,
+            reason: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("42"));
+        let e = StdcellError::InvalidCell {
+            cell: "NAND2X1".into(),
+            reason: "no output".into(),
+        };
+        assert!(e.to_string().contains("NAND2X1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<StdcellError>();
+    }
+}

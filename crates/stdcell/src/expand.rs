@@ -1,0 +1,479 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use svt_litho::LithoSimulator;
+use svt_opc::{LibraryOpc, ModelOpc, OpcOptions};
+
+use crate::{
+    characterize, CellContext, CharacterizeOptions, CharacterizedCell, Library,
+    Region, StdcellError,
+};
+
+/// A post-OPC printed-CD lookup table over (left, right) neighbor-poly
+/// spacing — the "look-up table which matches pitch to printed CD" of paper
+/// §3.1.1, used for cell-boundary devices.
+///
+/// Each entry is built by running model-based OPC on a three-line pattern
+/// (the device flanked at the requested spacings) and measuring the printed
+/// device CD with the sign-off simulator. Spacings at or beyond the radius
+/// of influence are represented by an "isolated" sentinel column/row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PitchCdTable {
+    /// Grid of characterized spacings (nm), ascending; the last entry acts
+    /// as the isolated sentinel.
+    spacings_nm: Vec<f64>,
+    /// `cd[i][j]` for left spacing `spacings_nm[i]`, right `spacings_nm[j]`.
+    cd_nm: Vec<Vec<f64>>,
+    drawn_cd_nm: f64,
+}
+
+impl PitchCdTable {
+    /// Builds the table by OPC + sign-off simulation on every spacing pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StdcellError::Expansion`] if any pattern fails to correct
+    /// or print.
+    pub fn build(
+        signoff: &LithoSimulator,
+        opc: &ModelOpc,
+        drawn_cd_nm: f64,
+        spacings_nm: &[f64],
+    ) -> Result<PitchCdTable, StdcellError> {
+        if spacings_nm.len() < 2 || spacings_nm.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StdcellError::Expansion {
+                reason: "need at least two strictly increasing spacings".into(),
+            });
+        }
+        let mut cd = Vec::with_capacity(spacings_nm.len());
+        for &left in spacings_nm {
+            let mut row = Vec::with_capacity(spacings_nm.len());
+            for &right in spacings_nm {
+                row.push(Self::entry(signoff, opc, drawn_cd_nm, left, right)?);
+            }
+            cd.push(row);
+        }
+        Ok(PitchCdTable {
+            spacings_nm: spacings_nm.to_vec(),
+            cd_nm: cd,
+            drawn_cd_nm,
+        })
+    }
+
+    fn entry(
+        signoff: &LithoSimulator,
+        opc: &ModelOpc,
+        drawn: f64,
+        left: f64,
+        right: f64,
+    ) -> Result<f64, StdcellError> {
+        use svt_opc::{CutlinePattern, OpcLine};
+        let mut pattern = CutlinePattern::new(-2048.0, 4096.0);
+        pattern.push(OpcLine::gate(0.0, drawn));
+        pattern.push(OpcLine::dummy(-(left + drawn), drawn));
+        pattern.push(OpcLine::dummy(right + drawn, drawn));
+        opc.correct(&mut pattern).map_err(|e| StdcellError::Expansion {
+            reason: format!("OPC failed at spacings ({left}, {right}): {e}"),
+        })?;
+        signoff
+            .print_device_cd(pattern.x0(), pattern.length(), &pattern.chrome(), 0.0, 0.0, 1.0)
+            .map_err(|e| StdcellError::Expansion {
+                reason: format!("sign-off failed at spacings ({left}, {right}): {e}"),
+            })
+    }
+
+    /// Drawn CD the table was characterized for.
+    #[must_use]
+    pub fn drawn_cd_nm(&self) -> f64 {
+        self.drawn_cd_nm
+    }
+
+    /// The characterized spacing grid.
+    #[must_use]
+    pub fn spacings_nm(&self) -> &[f64] {
+        &self.spacings_nm
+    }
+
+    /// Printed CD for a device with the given neighbor spacings (`None` =
+    /// no neighbor within the radius of influence). Bilinear interpolation
+    /// inside the grid; spacings clamp to the grid ends.
+    #[must_use]
+    pub fn cd_at(&self, left_nm: Option<f64>, right_nm: Option<f64>) -> f64 {
+        let iso = *self.spacings_nm.last().expect("validated nonempty");
+        let l = left_nm.unwrap_or(iso).clamp(self.spacings_nm[0], iso);
+        let r = right_nm.unwrap_or(iso).clamp(self.spacings_nm[0], iso);
+        let (i, ti) = segment(&self.spacings_nm, l);
+        let (j, tj) = segment(&self.spacings_nm, r);
+        let v00 = self.cd_nm[i][j];
+        let v01 = self.cd_nm[i][j + 1];
+        let v10 = self.cd_nm[i + 1][j];
+        let v11 = self.cd_nm[i + 1][j + 1];
+        let a = v00 + (v01 - v00) * tj;
+        let b = v10 + (v11 - v10) * tj;
+        a + (b - a) * ti
+    }
+
+    /// Half-range of the CD variation across the table — the `lvar_pitch`
+    /// contribution of paper §3.3 ("denote the total range of CD variation
+    /// after OPC by ±lvar_pitch").
+    #[must_use]
+    pub fn lvar_pitch(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &self.cd_nm {
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (hi - lo) / 2.0
+    }
+}
+
+fn segment(axis: &[f64], x: f64) -> (usize, f64) {
+    let i = match axis.partition_point(|&a| a <= x) {
+        0 => 0,
+        k if k >= axis.len() => axis.len() - 2,
+        k => k - 1,
+    };
+    let t = ((x - axis[i]) / (axis[i + 1] - axis[i])).clamp(0.0, 1.0);
+    (i, t)
+}
+
+/// Options of the expanded-library build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpandOptions {
+    /// Spacing grid of the boundary-device CD table.
+    pub table_spacings_nm: Vec<f64>,
+    /// OPC engine options.
+    pub opc: OpcOptions,
+    /// Characterization options.
+    pub characterize: CharacterizeOptions,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> ExpandOptions {
+        ExpandOptions {
+            table_spacings_nm: vec![150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 700.0],
+            opc: OpcOptions::default(),
+            characterize: CharacterizeOptions::default(),
+        }
+    }
+}
+
+impl ExpandOptions {
+    /// A cheap configuration for tests and quick experiments.
+    #[must_use]
+    pub fn fast() -> ExpandOptions {
+        ExpandOptions {
+            table_spacings_nm: vec![200.0, 400.0, 700.0],
+            ..ExpandOptions::default()
+        }
+    }
+}
+
+/// The context-expanded library: every cell of the base library
+/// characterized in all 81 placement contexts, "a `.lib` which has 81
+/// versions of each cell in the original library" (paper §3.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpandedLibrary {
+    library_name: String,
+    pitch_table: PitchCdTable,
+    /// Library-OPC printed CD per device of each cell (interior baseline).
+    base_cds: BTreeMap<String, Vec<f64>>,
+    variants: BTreeMap<String, CharacterizedCell>,
+}
+
+impl ExpandedLibrary {
+    /// Name of the base library.
+    #[must_use]
+    pub fn library_name(&self) -> &str {
+        &self.library_name
+    }
+
+    /// The boundary-device CD lookup table.
+    #[must_use]
+    pub fn pitch_table(&self) -> &PitchCdTable {
+        &self.pitch_table
+    }
+
+    /// The library-OPC printed CDs of a cell (aligned with its devices).
+    #[must_use]
+    pub fn base_cds(&self, cell: &str) -> Option<&[f64]> {
+        self.base_cds.get(cell).map(Vec::as_slice)
+    }
+
+    /// The characterized variant of a cell in a placement context.
+    #[must_use]
+    pub fn variant(&self, cell: &str, context: CellContext) -> Option<&CharacterizedCell> {
+        self.variants.get(&variant_name(cell, context))
+    }
+
+    /// All variants (≈ 81 × cell count).
+    pub fn variants(&self) -> impl Iterator<Item = &CharacterizedCell> {
+        self.variants.values()
+    }
+
+    /// Number of variants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether the library is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+}
+
+/// The canonical variant name of a cell in a context.
+#[must_use]
+pub fn variant_name(cell: &str, context: CellContext) -> String {
+    format!("{cell}_ctx{}", context.code())
+}
+
+/// Builds the context-expanded library.
+///
+/// Pipeline (paper §3.1):
+/// 1. library-based OPC of every cell master in a dummy environment —
+///    interior devices get their printed CD from this step;
+/// 2. a through-pitch CD table for boundary devices;
+/// 3. for each of the 81 contexts, boundary-device CDs are re-read from the
+///    table at the context's representative (pessimistic) spacings and the
+///    cell is re-characterized.
+///
+/// # Errors
+///
+/// Returns [`StdcellError::Expansion`] when OPC or simulation fails.
+pub fn expand_library(
+    library: &Library,
+    signoff: &LithoSimulator,
+    options: &ExpandOptions,
+) -> Result<ExpandedLibrary, StdcellError> {
+    let opc = ModelOpc::with_production_model(signoff, options.opc);
+    let pitch_table = PitchCdTable::build(
+        signoff,
+        &opc,
+        options.characterize.nominal_length_nm,
+        &options.table_spacings_nm,
+    )?;
+    let library_opc = LibraryOpc::new(opc, 150.0, options.characterize.nominal_length_nm);
+
+    let mut base_cds = BTreeMap::new();
+    let mut variants = BTreeMap::new();
+
+    for cell in library.cells() {
+        let layout = cell.layout();
+        let mut cds = vec![options.characterize.nominal_length_nm; layout.devices().len()];
+        // Library OPC row by row: each device row has its own cutline.
+        for region in [Region::P, Region::N] {
+            let gates: Vec<(f64, f64)> = layout
+                .row_spans(region)
+                .iter()
+                .map(|&(_, (lo, hi))| ((lo + hi) / 2.0, hi - lo))
+                .collect();
+            let ids: Vec<usize> = layout.row_spans(region).iter().map(|&(id, _)| id.0).collect();
+            let corrected = library_opc
+                .correct_cell(&gates, 0.0, layout.width_nm())
+                .map_err(|e| StdcellError::Expansion {
+                    reason: format!("library OPC failed for `{}` {region:?} row: {e}", cell.name()),
+                })?;
+            for (k, &cd) in corrected.printed_cd_nm.iter().enumerate() {
+                cds[ids[k]] = cd;
+            }
+        }
+        base_cds.insert(cell.name().to_string(), cds.clone());
+
+        // Identify the four boundary devices (leftmost/rightmost per row)
+        // and the in-cell spacing on their interior side.
+        let corners = boundary_corners(layout);
+
+        for context in CellContext::enumerate() {
+            let mut lengths = cds.clone();
+            for corner in &corners {
+                let bin = match (corner.left_is_outside, corner.region) {
+                    (true, Region::P) => context.lt,
+                    (true, Region::N) => context.lb,
+                    (false, Region::P) => context.rt,
+                    (false, Region::N) => context.rb,
+                };
+                // nps is measured device edge to neighbor poly, so the
+                // bin's representative spacing is used directly.
+                let outside = bin.representative_spacing_nm();
+                let (left, right) = if corner.left_is_outside {
+                    (outside, Some(corner.inside_space_nm))
+                } else {
+                    (Some(corner.inside_space_nm), outside)
+                };
+                lengths[corner.device_index] = pitch_table.cd_at(left, right);
+            }
+            let name = variant_name(cell.name(), context);
+            let characterized = characterize(cell, &lengths, &name, options.characterize)?;
+            variants.insert(name, characterized);
+        }
+    }
+
+    Ok(ExpandedLibrary {
+        library_name: library.name().to_string(),
+        pitch_table,
+        base_cds,
+        variants,
+    })
+}
+
+/// A boundary device of a cell: which device, which row, which side faces
+/// the neighboring cell, and the known in-cell spacing on its interior
+/// side.
+struct BoundaryCorner {
+    device_index: usize,
+    region: Region,
+    left_is_outside: bool,
+    inside_space_nm: f64,
+}
+
+fn boundary_corners(layout: &crate::CellAbstract) -> Vec<BoundaryCorner> {
+    let mut corners = Vec::with_capacity(4);
+    for region in [Region::P, Region::N] {
+        let spaces = layout.in_row_spaces(region);
+        if spaces.is_empty() {
+            continue;
+        }
+        let first = spaces[0];
+        let last = spaces[spaces.len() - 1];
+        // With a single device per row the same device owns both corners;
+        // both are emitted and the right-corner lookup runs last.
+        corners.push(BoundaryCorner {
+            device_index: first.0 .0,
+            region,
+            left_is_outside: true,
+            inside_space_nm: first.2,
+        });
+        corners.push(BoundaryCorner {
+            device_index: last.0 .0,
+            region,
+            left_is_outside: false,
+            inside_space_nm: last.1,
+        });
+    }
+    corners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContextBin;
+    use svt_litho::Process;
+
+    fn signoff() -> LithoSimulator {
+        Process::nm90().simulator()
+    }
+
+    fn small_library() -> Library {
+        // Expansion over the full 10-cell library is exercised by the
+        // experiment binaries; tests use a 2-cell subset for speed.
+        let full = Library::svt90();
+        let cells: Vec<_> = full
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.name(), "INVX1" | "NAND2X1"))
+            .cloned()
+            .collect();
+        Library::from_cells("svt90_sub", cells)
+    }
+
+    #[test]
+    fn pitch_table_varies_with_spacing() {
+        let sim = signoff();
+        let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
+        let table = PitchCdTable::build(&sim, &opc, 90.0, &[200.0, 400.0, 700.0]).unwrap();
+        assert!(table.lvar_pitch() > 0.1, "lvar_pitch {}", table.lvar_pitch());
+        assert!(table.lvar_pitch() < 10.0, "lvar_pitch {}", table.lvar_pitch());
+        // Interpolation stays within the corner values.
+        let mid = table.cd_at(Some(300.0), Some(300.0));
+        assert!(mid > 70.0 && mid < 110.0);
+        // Isolated sentinel works.
+        let iso = table.cd_at(None, None);
+        assert!((iso - table.cd_at(Some(700.0), Some(700.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pitch_table_rejects_bad_grids() {
+        let sim = signoff();
+        let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
+        assert!(PitchCdTable::build(&sim, &opc, 90.0, &[300.0]).is_err());
+        assert!(PitchCdTable::build(&sim, &opc, 90.0, &[400.0, 300.0]).is_err());
+    }
+
+    #[test]
+    fn expansion_produces_81_variants_per_cell() {
+        let lib = small_library();
+        let expanded = expand_library(&lib, &signoff(), &ExpandOptions::fast()).unwrap();
+        assert_eq!(expanded.len(), 2 * 81);
+        assert!(!expanded.is_empty());
+        let ctx = CellContext::default();
+        let v = expanded.variant("INVX1", ctx).unwrap();
+        assert_eq!(v.cell_name, "INVX1");
+        assert_eq!(v.variant_name, variant_name("INVX1", ctx));
+        assert!(expanded.variant("NORX9", ctx).is_none());
+    }
+
+    #[test]
+    fn context_changes_boundary_device_lengths_only() {
+        let lib = small_library();
+        let expanded = expand_library(&lib, &signoff(), &ExpandOptions::fast()).unwrap();
+        let dense = expanded
+            .variant("NAND2X1", CellContext::uniform(ContextBin::Dense))
+            .unwrap();
+        let iso = expanded
+            .variant("NAND2X1", CellContext::uniform(ContextBin::Isolated))
+            .unwrap();
+        let differing: usize = dense
+            .device_lengths_nm
+            .iter()
+            .zip(&iso.device_lengths_nm)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(differing > 0, "contexts must matter");
+        // NAND2 has 4 devices, all of which are boundary devices (2 per
+        // row), so up to 4 may differ — but never more.
+        assert!(differing <= 4);
+    }
+
+    #[test]
+    fn dense_context_is_slower_or_faster_consistently() {
+        // Whatever the sign of the iso-dense bias, a context change must
+        // change arc delay through the device lengths.
+        let lib = small_library();
+        let expanded = expand_library(&lib, &signoff(), &ExpandOptions::fast()).unwrap();
+        let dense = expanded
+            .variant("INVX1", CellContext::uniform(ContextBin::Dense))
+            .unwrap();
+        let iso = expanded
+            .variant("INVX1", CellContext::uniform(ContextBin::Isolated))
+            .unwrap();
+        let d_dense = dense.arcs[0].delay.lookup(0.05, 0.01);
+        let d_iso = iso.arcs[0].delay.lookup(0.05, 0.01);
+        assert!(
+            (d_dense - d_iso).abs() > 1e-6,
+            "dense {d_dense} vs iso {d_iso} should differ"
+        );
+    }
+
+    #[test]
+    fn base_cds_are_near_target_after_library_opc() {
+        let lib = small_library();
+        let expanded = expand_library(&lib, &signoff(), &ExpandOptions::fast()).unwrap();
+        for cell in lib.cells() {
+            let cds = expanded.base_cds(cell.name()).unwrap();
+            for &cd in cds {
+                assert!(
+                    (cd - 90.0).abs() < 8.0,
+                    "{}: library-OPC CD {cd} too far from target",
+                    cell.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,423 @@
+use serde::{Deserialize, Serialize};
+
+use svt_geom::{CellLayout, Layer, Nm, Rect, Shape};
+
+/// Which device row of the cell a gate segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// PMOS row (top of the cell).
+    P,
+    /// NMOS row (bottom of the cell).
+    N,
+}
+
+/// Index of a device within its cell's device list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+/// One transistor gate segment on a cell cutline.
+///
+/// A device is where a vertical poly line crosses a diffusion row. The
+/// paper's methodology is entirely 1-D: what matters about a device is its
+/// x-interval on its row's cutline (its drawn gate length and position) and
+/// which logical gate column it implements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Logical gate column (one per independently switched poly line).
+    pub column: usize,
+    /// Device row.
+    pub region: Region,
+    /// Gate center x in cell-local nanometres.
+    pub center_nm: f64,
+    /// Drawn gate length in nanometres.
+    pub length_nm: f64,
+}
+
+impl Device {
+    /// Gate x-span `(lo, hi)`.
+    #[must_use]
+    pub fn span(&self) -> (f64, f64) {
+        (
+            self.center_nm - self.length_nm / 2.0,
+            self.center_nm + self.length_nm / 2.0,
+        )
+    }
+}
+
+/// The four cell-boundary spacings of paper §3.1.3: distance from the cell
+/// outline to the closest device on each corner (left/right × top/bottom).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundarySpacings {
+    /// Left outline to leftmost p-device edge.
+    pub s_lt: f64,
+    /// Left outline to leftmost n-device edge.
+    pub s_lb: f64,
+    /// Rightmost p-device edge to right outline.
+    pub s_rt: f64,
+    /// Rightmost n-device edge to right outline.
+    pub s_rb: f64,
+}
+
+/// The poly-level abstract of a standard cell: outline, device rows, and
+/// gate segments.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stdcell::Library;
+///
+/// let lib = Library::svt90();
+/// let inv = lib.cell("INVX1").expect("INVX1 exists");
+/// let abs = inv.layout();
+/// assert_eq!(abs.devices().len(), 2); // one P and one N gate
+/// let s = abs.boundary_spacings();
+/// assert!(s.s_lt > 0.0 && s.s_rb > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellAbstract {
+    name: String,
+    width_nm: f64,
+    height_nm: f64,
+    devices: Vec<Device>,
+}
+
+impl CellAbstract {
+    /// Standard cell height of the svt90 library (nm).
+    pub const CELL_HEIGHT_NM: f64 = 2400.0;
+    /// y-coordinate of the p-row cutline.
+    pub const P_CUTLINE_Y_NM: f64 = 1800.0;
+    /// y-coordinate of the n-row cutline.
+    pub const N_CUTLINE_Y_NM: f64 = 600.0;
+
+    /// Creates an abstract. Devices are sorted by `(region, center)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outline is degenerate or a device escapes it.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width_nm: f64, devices: Vec<Device>) -> CellAbstract {
+        assert!(width_nm > 0.0, "cell width must be positive");
+        let name = name.into();
+        for d in &devices {
+            let (lo, hi) = d.span();
+            assert!(
+                lo > 0.0 && hi < width_nm,
+                "device at {} escapes cell `{name}` of width {width_nm}",
+                d.center_nm
+            );
+        }
+        let mut devices = devices;
+        devices.sort_by(|a, b| {
+            (a.region, a.center_nm)
+                .partial_cmp(&(b.region, b.center_nm))
+                .expect("device coordinates are finite")
+        });
+        CellAbstract {
+            name,
+            width_nm,
+            height_nm: Self::CELL_HEIGHT_NM,
+            devices,
+        }
+    }
+
+    /// Cell name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Placement width in nanometres.
+    #[must_use]
+    pub fn width_nm(&self) -> f64 {
+        self.width_nm
+    }
+
+    /// Placement height in nanometres.
+    #[must_use]
+    pub fn height_nm(&self) -> f64 {
+        self.height_nm
+    }
+
+    /// All devices, sorted by `(region, center)`.
+    #[must_use]
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The devices of one row, in left-to-right order.
+    pub fn devices_in(&self, region: Region) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.region == region)
+            .map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// Devices implementing a logical gate column.
+    pub fn devices_of_column(&self, column: usize) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.column == column)
+            .map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// The boundary spacings of paper §3.1.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device row is empty (every svt90 cell populates
+    /// both rows).
+    #[must_use]
+    pub fn boundary_spacings(&self) -> BoundarySpacings {
+        let row = |region: Region| -> (f64, f64) {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (_, d) in self.devices_in(region) {
+                let (a, b) = d.span();
+                lo = lo.min(a);
+                hi = hi.max(b);
+            }
+            assert!(lo.is_finite(), "cell `{}` has an empty {region:?} row", self.name);
+            (lo, hi)
+        };
+        let (p_lo, p_hi) = row(Region::P);
+        let (n_lo, n_hi) = row(Region::N);
+        BoundarySpacings {
+            s_lt: p_lo,
+            s_lb: n_lo,
+            s_rt: self.width_nm - p_hi,
+            s_rb: self.width_nm - n_hi,
+        }
+    }
+
+    /// The x-interval gate spans of one row, for cutline simulation,
+    /// left-to-right, paired with their device ids.
+    #[must_use]
+    pub fn row_spans(&self, region: Region) -> Vec<(DeviceId, (f64, f64))> {
+        self.devices_in(region)
+            .map(|(id, d)| (id, d.span()))
+            .collect()
+    }
+
+    /// Space between adjacent devices of one row (mask edge to edge), and
+    /// to the cell outline at the row ends, for each device:
+    /// `(left_space, right_space)` where outline distances come back too.
+    #[must_use]
+    pub fn in_row_spaces(&self, region: Region) -> Vec<(DeviceId, f64, f64)> {
+        let spans = self.row_spans(region);
+        spans
+            .iter()
+            .enumerate()
+            .map(|(k, &(id, (lo, hi)))| {
+                let left = if k == 0 { lo } else { lo - spans[k - 1].1 .1 };
+                let right = if k + 1 == spans.len() {
+                    self.width_nm - hi
+                } else {
+                    spans[k + 1].1 .0 - hi
+                };
+                (id, left, right)
+            })
+            .collect()
+    }
+
+    /// Renders the abstract as a [`CellLayout`] on the geometry layers
+    /// (poly gates + diffusion rows + outline), for mask assembly and
+    /// visualization.
+    #[must_use]
+    pub fn to_cell_layout(&self) -> CellLayout {
+        let w = Nm::from_f64(self.width_nm);
+        let h = Nm::from_f64(self.height_nm);
+        let mut cell = CellLayout::new(self.name.clone(), Rect::new(Nm(0), Nm(0), w, h));
+        // Diffusion rows.
+        let p_y = Nm::from_f64(Self::P_CUTLINE_Y_NM);
+        let n_y = Nm::from_f64(Self::N_CUTLINE_Y_NM);
+        let half_diff = Nm(300);
+        cell.push(Shape::new(
+            Layer::Diffusion,
+            Rect::new(Nm(100), p_y - half_diff, w - Nm(100), p_y + half_diff),
+        ));
+        cell.push(Shape::new(
+            Layer::Diffusion,
+            Rect::new(Nm(100), n_y - half_diff, w - Nm(100), n_y + half_diff),
+        ));
+        // Gate poly: one rect per device spanning its diffusion row plus
+        // end caps.
+        for d in &self.devices {
+            let (lo, hi) = d.span();
+            let (y0, y1) = match d.region {
+                Region::P => (p_y - half_diff - Nm(100), p_y + half_diff + Nm(100)),
+                Region::N => (n_y - half_diff - Nm(100), n_y + half_diff + Nm(100)),
+            };
+            cell.push(Shape::new(
+                Layer::Poly,
+                Rect::new(Nm::from_f64(lo), y0, Nm::from_f64(hi), y1),
+            ));
+        }
+        cell
+    }
+}
+
+/// Builds a simple multi-column cell: `columns` poly lines at `pitch_nm`,
+/// aligned p/n rows, first gate at `edge_nm` from the left outline and the
+/// same margin on the right. Used by the library constructors.
+pub(crate) fn columnar_cell(
+    name: &str,
+    columns: usize,
+    gate_len_nm: f64,
+    pitch_nm: f64,
+    edge_nm: f64,
+) -> CellAbstract {
+    columnar_cell_with_offsets(name, columns, gate_len_nm, pitch_nm, edge_nm, &[])
+}
+
+/// Builds a cell whose p-row and n-row use *different* gate pitches —
+/// real layout practice: series stacks (the NAND n-stack, the NOR p-stack)
+/// carry no contacts between gates and pack at sub-contacted pitch, while
+/// the parallel row needs contact space. Both rows are centered in the
+/// cell, which makes the four boundary spacings naturally distinct.
+pub(crate) fn two_pitch_cell(
+    name: &str,
+    columns: usize,
+    gate_len_nm: f64,
+    p_pitch_nm: f64,
+    n_pitch_nm: f64,
+    edge_nm: f64,
+) -> CellAbstract {
+    assert!(columns >= 1);
+    let extent = |pitch: f64| (columns - 1) as f64 * pitch + gate_len_nm;
+    let p_extent = extent(p_pitch_nm);
+    let n_extent = extent(n_pitch_nm);
+    let width = 2.0 * edge_nm + p_extent.max(n_extent);
+    let mut devices = Vec::with_capacity(2 * columns);
+    for (region, pitch, ext) in [
+        (Region::P, p_pitch_nm, p_extent),
+        (Region::N, n_pitch_nm, n_extent),
+    ] {
+        let start = (width - ext) / 2.0 + gate_len_nm / 2.0;
+        for c in 0..columns {
+            devices.push(Device {
+                column: c,
+                region,
+                center_nm: start + c as f64 * pitch,
+                length_nm: gate_len_nm,
+            });
+        }
+    }
+    CellAbstract::new(name, width, devices)
+}
+
+/// Like [`columnar_cell`], but offsets the *n*-row gate of the listed
+/// columns by `(column, dx)` — the poly jogs that make top and bottom
+/// boundary spacings differ (paper §3.1.2, footnote 3).
+pub(crate) fn columnar_cell_with_offsets(
+    name: &str,
+    columns: usize,
+    gate_len_nm: f64,
+    pitch_nm: f64,
+    edge_nm: f64,
+    n_offsets: &[(usize, f64)],
+) -> CellAbstract {
+    assert!(columns >= 1);
+    let width = 2.0 * edge_nm + (columns - 1) as f64 * pitch_nm + gate_len_nm;
+    let mut devices = Vec::with_capacity(2 * columns);
+    for c in 0..columns {
+        let x = edge_nm + gate_len_nm / 2.0 + c as f64 * pitch_nm;
+        devices.push(Device {
+            column: c,
+            region: Region::P,
+            center_nm: x,
+            length_nm: gate_len_nm,
+        });
+        let dx = n_offsets
+            .iter()
+            .find(|(col, _)| *col == c)
+            .map(|(_, dx)| *dx)
+            .unwrap_or(0.0);
+        devices.push(Device {
+            column: c,
+            region: Region::N,
+            center_nm: x + dx,
+            length_nm: gate_len_nm,
+        });
+    }
+    CellAbstract::new(name, width, devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand2_like() -> CellAbstract {
+        columnar_cell("NAND2T", 2, 90.0, 300.0, 205.0)
+    }
+
+    #[test]
+    fn columnar_geometry_is_consistent() {
+        let c = nand2_like();
+        assert_eq!(c.devices().len(), 4);
+        assert_eq!(c.width_nm(), 2.0 * 205.0 + 300.0 + 90.0);
+        let s = c.boundary_spacings();
+        assert_eq!(s.s_lt, 205.0);
+        assert_eq!(s.s_lb, 205.0);
+        assert_eq!(s.s_rt, 205.0);
+        assert_eq!(s.s_rb, 205.0);
+    }
+
+    #[test]
+    fn n_offsets_skew_bottom_spacings() {
+        let c = columnar_cell_with_offsets("SKEW", 2, 90.0, 300.0, 205.0, &[(1, 60.0)]);
+        let s = c.boundary_spacings();
+        assert_eq!(s.s_lt, s.s_lb, "left column is unskewed");
+        assert!(s.s_rb < s.s_rt, "offset n gate moves toward the right edge");
+        assert!((s.s_rt - s.s_rb - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_row_spaces_cover_neighbors_and_outline() {
+        let c = nand2_like();
+        let spaces = c.in_row_spaces(Region::P);
+        assert_eq!(spaces.len(), 2);
+        let (_, l0, r0) = spaces[0];
+        assert_eq!(l0, 205.0);
+        assert_eq!(r0, 300.0 - 90.0); // pitch minus gate length
+        let (_, l1, r1) = spaces[1];
+        assert_eq!(l1, 210.0);
+        assert_eq!(r1, 205.0);
+    }
+
+    #[test]
+    fn row_iteration_is_left_to_right() {
+        let c = nand2_like();
+        let xs: Vec<f64> = c.devices_in(Region::N).map(|(_, d)| d.center_nm).collect();
+        assert!(xs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn devices_of_column_spans_both_rows() {
+        let c = nand2_like();
+        let regions: Vec<Region> = c.devices_of_column(1).map(|(_, d)| d.region).collect();
+        assert_eq!(regions.len(), 2);
+        assert!(regions.contains(&Region::P) && regions.contains(&Region::N));
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes cell")]
+    fn device_outside_outline_is_rejected() {
+        let d = Device {
+            column: 0,
+            region: Region::P,
+            center_nm: 10.0,
+            length_nm: 90.0,
+        };
+        let _ = CellAbstract::new("BAD", 600.0, vec![d]);
+    }
+
+    #[test]
+    fn geometry_export_has_poly_and_diffusion() {
+        let layout = nand2_like().to_cell_layout();
+        assert_eq!(layout.shapes_on(Layer::Poly).count(), 4);
+        assert_eq!(layout.shapes_on(Layer::Diffusion).count(), 2);
+        assert!(layout.validate(Nm(0)).is_ok());
+    }
+}

@@ -1,0 +1,53 @@
+//! The 90 nm-class standard-cell library of the `svt` workspace.
+//!
+//! The paper's experiment takes "the 10 most frequently used cells in a
+//! 90 nm standard-cell library", applies library-based OPC to them,
+//! characterizes 81 context versions of each (3 bins × 4 neighbor-spacing
+//! parameters), and times placed circuits against the expanded library.
+//! This crate provides every piece of that chain:
+//!
+//! * [`CellAbstract`] / [`Device`] — procedural poly-level layouts of the
+//!   10 cells on two device cutlines (p and n), including boundary-device
+//!   spacings (`s_LT`, `s_LB`, `s_RT`, `s_RB` of paper §3.1.3),
+//! * [`Cell`], [`Library`] — logic pins, timing arcs with their device
+//!   lists, and the base NLDM ([`NldmTable`]) characterization,
+//! * [`CellContext`] / [`ContextBin`] — the 3⁴ = 81 placement contexts,
+//! * [`characterize`] — gate-length-scaled table generation (delay linear
+//!   in gate length, paper §3.1.2),
+//! * [`ExpandedLibrary`] — the full 81-version context library built from
+//!   library-OPC printed CDs and a through-pitch CD lookup,
+//! * [`liberty`] — a Liberty-flavoured text format writer and parser so the
+//!   expanded libraries can round-trip to disk.
+//!
+//! # Examples
+//!
+//! ```
+//! use svt_stdcell::Library;
+//!
+//! let lib = Library::svt90();
+//! assert_eq!(lib.cells().len(), 10);
+//! let nand = lib.cell("NAND2X1").expect("NAND2X1 exists");
+//! assert_eq!(nand.input_pins().count(), 2);
+//! assert!(!nand.arcs().is_empty());
+//! ```
+
+mod arc;
+mod cell;
+mod characterize;
+mod context;
+mod error;
+mod expand;
+mod layout;
+pub mod liberty;
+mod library;
+mod nldm;
+
+pub use arc::TimingArc;
+pub use cell::{Cell, Direction, Pin};
+pub use characterize::{characterize, CharacterizeOptions, CharacterizedCell};
+pub use context::{CellContext, ContextBin};
+pub use error::StdcellError;
+pub use expand::{expand_library, ExpandOptions, ExpandedLibrary, PitchCdTable};
+pub use layout::{BoundarySpacings, CellAbstract, Device, DeviceId, Region};
+pub use library::Library;
+pub use nldm::NldmTable;

@@ -1,0 +1,457 @@
+use serde::{Deserialize, Serialize};
+
+use crate::layout::{columnar_cell, columnar_cell_with_offsets, two_pitch_cell};
+use crate::{Cell, CellAbstract, DeviceId, NldmTable, Pin, Region, StdcellError, TimingArc};
+
+/// The svt90 standard-cell library: the "10 most frequently used cells" of
+/// the paper's experiment.
+///
+/// | Cell | Function | Gate columns | Notes |
+/// |---|---|---|---|
+/// | INVX1 | inverter | 1 | |
+/// | INVX2 | inverter, 2 fingers | 2 | dense 240 nm finger pitch |
+/// | BUFX2 | buffer (2 stages) | 2 | sparse 360 nm stage pitch |
+/// | NAND2X1 / NAND3X1 / NAND4X1 | NAND | 2 / 3 / 4 | |
+/// | NOR2X1 / NOR3X1 | NOR | 2 / 3 | 320 nm pitch |
+/// | AOI21X1 / OAI21X1 | and-or / or-and invert | 3 | jogged n-poly |
+///
+/// # Examples
+///
+/// ```
+/// use svt_stdcell::Library;
+///
+/// let lib = Library::svt90();
+/// assert!(lib.cell("NAND3X1").is_some());
+/// assert!(lib.cell("DFFX1").is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+}
+
+/// Electrical recipe of one cell used to synthesize its base NLDM tables.
+struct Recipe {
+    /// Drive resistance in ns/pF.
+    drive_r: f64,
+    /// Intrinsic delay in ns.
+    intrinsic: f64,
+    /// Delay sensitivity to input slew (dimensionless).
+    slew_gain: f64,
+    /// Input pin capacitance in pF.
+    pin_cap: f64,
+}
+
+impl Library {
+    /// Builds the svt90 library.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the construction is validated by tests; invalid
+    /// internal definitions would be a bug.
+    #[must_use]
+    pub fn svt90() -> Library {
+        let cells = vec![
+            build_inverter("INVX1", 1, 300.0, 205.0, Recipe {
+                drive_r: 2.8,
+                intrinsic: 0.020,
+                slew_gain: 0.16,
+                pin_cap: 0.0020,
+            }),
+            build_inverter("INVX2", 2, 240.0, 165.0, Recipe {
+                drive_r: 1.5,
+                intrinsic: 0.018,
+                slew_gain: 0.14,
+                pin_cap: 0.0039,
+            }),
+            build_buffer("BUFX2", Recipe {
+                drive_r: 1.6,
+                intrinsic: 0.042,
+                slew_gain: 0.10,
+                pin_cap: 0.0021,
+            }),
+            build_nand("NAND2X1", 2, 300.0, 205.0, Recipe {
+                drive_r: 3.0,
+                intrinsic: 0.026,
+                slew_gain: 0.18,
+                pin_cap: 0.0023,
+            }),
+            build_nand("NAND3X1", 3, 300.0, 205.0, Recipe {
+                drive_r: 3.3,
+                intrinsic: 0.031,
+                slew_gain: 0.20,
+                pin_cap: 0.0024,
+            }),
+            build_nand("NAND4X1", 4, 280.0, 165.0, Recipe {
+                drive_r: 3.6,
+                intrinsic: 0.036,
+                slew_gain: 0.22,
+                pin_cap: 0.0025,
+            }),
+            build_nor("NOR2X1", 2, 320.0, 235.0, Recipe {
+                drive_r: 3.4,
+                intrinsic: 0.029,
+                slew_gain: 0.19,
+                pin_cap: 0.0022,
+            }),
+            build_nor("NOR3X1", 3, 320.0, 235.0, Recipe {
+                drive_r: 3.8,
+                intrinsic: 0.035,
+                slew_gain: 0.21,
+                pin_cap: 0.0023,
+            }),
+            build_aoi21("AOI21X1", Recipe {
+                drive_r: 3.5,
+                intrinsic: 0.033,
+                slew_gain: 0.20,
+                pin_cap: 0.0024,
+            }),
+            build_oai21("OAI21X1", Recipe {
+                drive_r: 3.5,
+                intrinsic: 0.034,
+                slew_gain: 0.20,
+                pin_cap: 0.0024,
+            }),
+        ];
+        Library {
+            name: "svt90".into(),
+            cells,
+        }
+    }
+
+    /// Creates a library from explicit cells (used for sub-libraries in
+    /// tests and experiments).
+    #[must_use]
+    pub fn from_cells(name: impl Into<String>, cells: Vec<Cell>) -> Library {
+        Library {
+            name: name.into(),
+            cells,
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All cells.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// A cell by name.
+    #[must_use]
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name() == name)
+    }
+
+    /// The inverter used as the default mapping target.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the svt90 library.
+    #[must_use]
+    pub fn inverter(&self) -> &Cell {
+        self.cell("INVX1").expect("svt90 always has INVX1")
+    }
+}
+
+impl Default for Library {
+    fn default() -> Library {
+        Library::svt90()
+    }
+}
+
+/// NLDM axes shared by the whole library.
+fn slew_axis() -> Vec<f64> {
+    vec![0.008, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8]
+}
+
+fn load_axis() -> Vec<f64> {
+    vec![0.0005, 0.002, 0.005, 0.012, 0.025, 0.05, 0.1]
+}
+
+/// Base delay/slew tables from an electrical recipe. `stack` scales the
+/// drive resistance for series stacks (NAND n-stack, NOR p-stack).
+fn tables(recipe: &Recipe, stack: f64) -> (NldmTable, NldmTable) {
+    let r = recipe.drive_r * stack;
+    let t0 = recipe.intrinsic;
+    let ks = recipe.slew_gain;
+    let delay = NldmTable::from_fn(slew_axis(), load_axis(), |s, c| {
+        t0 + ks * s + r * c + 0.8 * s * c
+    })
+    .expect("axes are valid by construction");
+    let slew = NldmTable::from_fn(slew_axis(), load_axis(), |s, c| {
+        0.6 * t0 + 0.10 * s + 1.9 * r * c
+    })
+    .expect("axes are valid by construction");
+    (delay, slew)
+}
+
+/// Device ids of one column.
+fn column_devices(layout: &CellAbstract, column: usize) -> (DeviceId, DeviceId) {
+    let mut p = None;
+    let mut n = None;
+    for (id, d) in layout.devices_of_column(column) {
+        match d.region {
+            Region::P => p = Some(id),
+            Region::N => n = Some(id),
+        }
+    }
+    (
+        p.expect("column has a P device"),
+        n.expect("column has an N device"),
+    )
+}
+
+fn expect_cell(result: Result<Cell, StdcellError>) -> Cell {
+    result.expect("library cell definitions are valid by construction")
+}
+
+fn input_names(count: usize) -> Vec<&'static str> {
+    const NAMES: [&str; 4] = ["A", "B", "C", "D"];
+    NAMES[..count].to_vec()
+}
+
+/// Inverter: every finger is driven by A; the arc involves all devices.
+fn build_inverter(name: &str, fingers: usize, pitch: f64, edge: f64, recipe: Recipe) -> Cell {
+    let layout = columnar_cell(name, fingers, 90.0, pitch, edge);
+    let devices: Vec<DeviceId> = (0..fingers)
+        .flat_map(|c| {
+            let (p, n) = column_devices(&layout, c);
+            [p, n]
+        })
+        .collect();
+    let (delay, slew) = tables(&recipe, 1.0);
+    let pins = vec![Pin::input("A", recipe.pin_cap), Pin::output("Z")];
+    let arcs = vec![TimingArc::new("A", "Z", delay, slew, devices)];
+    expect_cell(Cell::new(name, pins, arcs, layout))
+}
+
+/// Buffer: input inverter (column 0) drives output inverter (column 1);
+/// the single arc crosses both stages.
+fn build_buffer(name: &str, recipe: Recipe) -> Cell {
+    let layout = columnar_cell(name, 2, 90.0, 360.0, 255.0);
+    let (p0, n0) = column_devices(&layout, 0);
+    let (p1, n1) = column_devices(&layout, 1);
+    let (delay, slew) = tables(&recipe, 1.0);
+    let pins = vec![Pin::input("A", recipe.pin_cap), Pin::output("Z")];
+    let arcs = vec![TimingArc::new("A", "Z", delay, slew, vec![p0, n0, p1, n1])];
+    expect_cell(Cell::new(name, pins, arcs, layout))
+}
+
+/// NAND: parallel p devices (contacted pitch), series n stack packed at
+/// sub-contacted pitch (no contacts land between series gates); the arc
+/// from input `i` involves its p device plus the whole n stack.
+fn build_nand(name: &str, inputs: usize, pitch: f64, edge: f64, recipe: Recipe) -> Cell {
+    let layout = if inputs >= 2 {
+        two_pitch_cell(name, inputs, 90.0, pitch, 260.0, edge)
+    } else {
+        columnar_cell(name, inputs, 90.0, pitch, edge)
+    };
+    let (delay, slew) = tables(&recipe, 1.0 + 0.25 * (inputs as f64 - 1.0));
+    let mut pins: Vec<Pin> = input_names(inputs)
+        .iter()
+        .map(|n| Pin::input(*n, recipe.pin_cap))
+        .collect();
+    pins.push(Pin::output("Z"));
+    let arcs = input_names(inputs)
+        .iter()
+        .enumerate()
+        .map(|(i, pin)| {
+            let (p, _) = column_devices(&layout, i);
+            let mut devs = vec![p];
+            for c in 0..inputs {
+                devs.push(column_devices(&layout, c).1);
+            }
+            TimingArc::new(*pin, "Z", delay.clone(), slew.clone(), devs)
+        })
+        .collect();
+    expect_cell(Cell::new(name, pins, arcs, layout))
+}
+
+/// NOR: series p stack at sub-contacted pitch, parallel n devices at the
+/// contacted pitch.
+fn build_nor(name: &str, inputs: usize, pitch: f64, edge: f64, recipe: Recipe) -> Cell {
+    let layout = if inputs >= 2 {
+        two_pitch_cell(name, inputs, 90.0, 260.0, pitch, edge)
+    } else {
+        columnar_cell(name, inputs, 90.0, pitch, edge)
+    };
+    let (delay, slew) = tables(&recipe, 1.0 + 0.45 * (inputs as f64 - 1.0));
+    let mut pins: Vec<Pin> = input_names(inputs)
+        .iter()
+        .map(|n| Pin::input(*n, recipe.pin_cap))
+        .collect();
+    pins.push(Pin::output("Z"));
+    let arcs = input_names(inputs)
+        .iter()
+        .enumerate()
+        .map(|(i, pin)| {
+            let (_, n) = column_devices(&layout, i);
+            let mut devs = vec![n];
+            for c in 0..inputs {
+                devs.push(column_devices(&layout, c).0);
+            }
+            TimingArc::new(*pin, "Z", delay.clone(), slew.clone(), devs)
+        })
+        .collect();
+    expect_cell(Cell::new(name, pins, arcs, layout))
+}
+
+/// AOI21: Z = !((A·B) + C). Jogged n-poly on column 2 skews the bottom
+/// boundary spacing.
+fn build_aoi21(name: &str, recipe: Recipe) -> Cell {
+    let layout = columnar_cell_with_offsets(name, 3, 90.0, 300.0, 185.0, &[(2, 60.0)]);
+    let (delay, slew) = tables(&recipe, 1.4);
+    let pins = vec![
+        Pin::input("A", recipe.pin_cap),
+        Pin::input("B", recipe.pin_cap),
+        Pin::input("C", recipe.pin_cap),
+        Pin::output("Z"),
+    ];
+    let dev = |c: usize| column_devices(&layout, c);
+    let arcs = vec![
+        TimingArc::new("A", "Z", delay.clone(), slew.clone(), {
+            let (pa, na) = dev(0);
+            let (_, nb) = dev(1);
+            vec![pa, na, nb]
+        }),
+        TimingArc::new("B", "Z", delay.clone(), slew.clone(), {
+            let (pb, nb) = dev(1);
+            let (_, na) = dev(0);
+            vec![pb, nb, na]
+        }),
+        TimingArc::new("C", "Z", delay, slew, {
+            let (pc, nc) = dev(2);
+            vec![pc, nc]
+        }),
+    ];
+    expect_cell(Cell::new(name, pins, arcs, layout))
+}
+
+/// OAI21: Z = !((A + B)·C). Jogged n-poly on column 0.
+fn build_oai21(name: &str, recipe: Recipe) -> Cell {
+    let layout = columnar_cell_with_offsets(name, 3, 90.0, 300.0, 215.0, &[(0, 55.0)]);
+    let (delay, slew) = tables(&recipe, 1.4);
+    let pins = vec![
+        Pin::input("A", recipe.pin_cap),
+        Pin::input("B", recipe.pin_cap),
+        Pin::input("C", recipe.pin_cap),
+        Pin::output("Z"),
+    ];
+    let dev = |c: usize| column_devices(&layout, c);
+    let arcs = vec![
+        TimingArc::new("A", "Z", delay.clone(), slew.clone(), {
+            let (pa, na) = dev(0);
+            let (pb, _) = dev(1);
+            vec![pa, na, pb]
+        }),
+        TimingArc::new("B", "Z", delay.clone(), slew.clone(), {
+            let (pb, nb) = dev(1);
+            let (pa, _) = dev(0);
+            vec![pb, nb, pa]
+        }),
+        TimingArc::new("C", "Z", delay, slew, {
+            let (pc, nc) = dev(2);
+            vec![pc, nc]
+        }),
+    ];
+    expect_cell(Cell::new(name, pins, arcs, layout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    #[test]
+    fn library_has_ten_valid_cells() {
+        let lib = Library::svt90();
+        assert_eq!(lib.cells().len(), 10);
+        for cell in lib.cells() {
+            assert_eq!(
+                cell.pins()
+                    .iter()
+                    .filter(|p| p.direction == Direction::Output)
+                    .count(),
+                1,
+                "{}",
+                cell.name()
+            );
+            assert_eq!(
+                cell.arcs().len(),
+                cell.input_pins().count(),
+                "{} has one arc per input",
+                cell.name()
+            );
+        }
+    }
+
+    #[test]
+    fn arc_delays_are_monotone_in_load_and_slew() {
+        let lib = Library::svt90();
+        for cell in lib.cells() {
+            for arc in cell.arcs() {
+                let fast = arc.delay.lookup(0.02, 0.002);
+                let loaded = arc.delay.lookup(0.02, 0.05);
+                let slow_in = arc.delay.lookup(0.4, 0.002);
+                assert!(loaded > fast, "{} load monotonicity", cell.name());
+                assert!(slow_in > fast, "{} slew monotonicity", cell.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_stacks_are_slower() {
+        let lib = Library::svt90();
+        let d = |name: &str| {
+            lib.cell(name).unwrap().arcs()[0]
+                .delay
+                .lookup(0.05, 0.012)
+        };
+        assert!(d("NAND3X1") > d("NAND2X1"));
+        assert!(d("NAND4X1") > d("NAND3X1"));
+        assert!(d("NOR3X1") > d("NOR2X1"));
+        assert!(d("INVX2") < d("INVX1"), "X2 drives harder");
+    }
+
+    #[test]
+    fn jogged_cells_have_asymmetric_boundaries() {
+        let lib = Library::svt90();
+        for name in ["AOI21X1", "OAI21X1"] {
+            let s = lib.cell(name).unwrap().layout().boundary_spacings();
+            assert!(
+                (s.s_lt - s.s_lb).abs() > 1.0 || (s.s_rt - s.s_rb).abs() > 1.0,
+                "{name} should have a jog"
+            );
+        }
+    }
+
+    #[test]
+    fn all_cell_widths_are_positive_and_distinct_enough() {
+        let lib = Library::svt90();
+        let mut widths: Vec<f64> = lib.cells().iter().map(|c| c.layout().width_nm()).collect();
+        widths.sort_by(f64::total_cmp);
+        assert!(widths[0] > 400.0);
+        assert!(widths.last().unwrap() > &1000.0, "NAND4 is wide");
+    }
+
+    #[test]
+    fn nand_arcs_include_the_full_n_stack() {
+        let lib = Library::svt90();
+        let nand3 = lib.cell("NAND3X1").unwrap();
+        let arc = nand3.arc_from("B").unwrap();
+        // 1 p device + 3 n devices.
+        assert_eq!(arc.devices.len(), 4);
+    }
+
+    #[test]
+    fn inverter_accessor_returns_invx1() {
+        let lib = Library::svt90();
+        assert_eq!(lib.inverter().name(), "INVX1");
+        assert_eq!(Library::default(), lib);
+    }
+}

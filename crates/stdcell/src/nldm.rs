@@ -1,0 +1,244 @@
+use serde::{Deserialize, Serialize};
+
+use crate::StdcellError;
+
+/// A non-linear delay-model lookup table: values over an input-slew axis
+/// and an output-load axis, with bilinear interpolation inside the grid and
+/// linear extrapolation at the edges (matching mainstream STA semantics).
+///
+/// Units are nanoseconds for slews/delays and picofarads for loads.
+///
+/// # Examples
+///
+/// ```
+/// use svt_stdcell::NldmTable;
+///
+/// let t = NldmTable::new(
+///     vec![0.02, 0.1],
+///     vec![0.001, 0.01],
+///     vec![vec![0.05, 0.09], vec![0.07, 0.11]],
+/// )?;
+/// let mid = t.lookup(0.06, 0.0055);
+/// assert!(mid > 0.05 && mid < 0.11);
+/// # Ok::<(), svt_stdcell::StdcellError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NldmTable {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    /// `values[i][j]` at `slew_axis[i]`, `load_axis[j]`.
+    values: Vec<Vec<f64>>,
+}
+
+impl NldmTable {
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StdcellError::InvalidTable`] unless both axes are strictly
+    /// increasing, non-empty, and the value matrix has matching dimensions.
+    pub fn new(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<NldmTable, StdcellError> {
+        fn increasing(axis: &[f64]) -> bool {
+            !axis.is_empty() && axis.windows(2).all(|w| w[0] < w[1])
+        }
+        if !increasing(&slew_axis) || !increasing(&load_axis) {
+            return Err(StdcellError::InvalidTable {
+                reason: "axes must be non-empty and strictly increasing".into(),
+            });
+        }
+        if values.len() != slew_axis.len()
+            || values.iter().any(|row| row.len() != load_axis.len())
+        {
+            return Err(StdcellError::InvalidTable {
+                reason: format!(
+                    "value matrix must be {}x{}",
+                    slew_axis.len(),
+                    load_axis.len()
+                ),
+            });
+        }
+        Ok(NldmTable {
+            slew_axis,
+            load_axis,
+            values,
+        })
+    }
+
+    /// Builds a table by evaluating `f(slew, load)` on the axis grid.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`NldmTable::new`].
+    pub fn from_fn<F: Fn(f64, f64) -> f64>(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        f: F,
+    ) -> Result<NldmTable, StdcellError> {
+        let values = slew_axis
+            .iter()
+            .map(|&s| load_axis.iter().map(|&c| f(s, c)).collect())
+            .collect();
+        NldmTable::new(slew_axis, load_axis, values)
+    }
+
+    /// The input-slew axis (ns).
+    #[must_use]
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The output-load axis (pF).
+    #[must_use]
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+
+    /// The value matrix.
+    #[must_use]
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// Bilinear lookup with edge extrapolation.
+    #[must_use]
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (i, ti) = segment(&self.slew_axis, slew);
+        let (j, tj) = segment(&self.load_axis, load);
+        if self.slew_axis.len() == 1 && self.load_axis.len() == 1 {
+            return self.values[0][0];
+        }
+        if self.slew_axis.len() == 1 {
+            return lerp(self.values[0][j], self.values[0][j + 1], tj);
+        }
+        if self.load_axis.len() == 1 {
+            return lerp(self.values[i][0], self.values[i + 1][0], ti);
+        }
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j + 1];
+        let v10 = self.values[i + 1][j];
+        let v11 = self.values[i + 1][j + 1];
+        lerp(lerp(v00, v01, tj), lerp(v10, v11, tj), ti)
+    }
+
+    /// Returns a copy with every value multiplied by `factor` — the linear
+    /// gate-length scaling of paper §3.1.2.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> NldmTable {
+        NldmTable {
+            slew_axis: self.slew_axis.clone(),
+            load_axis: self.load_axis.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|row| row.iter().map(|v| v * factor).collect())
+                .collect(),
+        }
+    }
+
+    /// The maximum table value (a cheap upper bound used in sanity checks).
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Locates `x` on `axis`: returns the segment index `i` and the (possibly
+/// out-of-[0,1]) interpolation parameter toward `i + 1`. Single-point axes
+/// return `(0, 0.0)`.
+fn segment(axis: &[f64], x: f64) -> (usize, f64) {
+    if axis.len() == 1 {
+        return (0, 0.0);
+    }
+    let i = match axis.partition_point(|&a| a <= x) {
+        0 => 0,
+        k if k >= axis.len() => axis.len() - 2,
+        k => k - 1,
+    };
+    let t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, t)
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NldmTable {
+        NldmTable::new(
+            vec![0.02, 0.1, 0.3],
+            vec![0.001, 0.01, 0.05],
+            vec![
+                vec![0.05, 0.09, 0.25],
+                vec![0.07, 0.11, 0.27],
+                vec![0.13, 0.17, 0.33],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_grid_points_round_trip() {
+        let t = table();
+        assert_eq!(t.lookup(0.02, 0.001), 0.05);
+        assert_eq!(t.lookup(0.3, 0.05), 0.33);
+        assert_eq!(t.lookup(0.1, 0.01), 0.11);
+    }
+
+    #[test]
+    fn interior_interpolation_is_bilinear() {
+        let t = table();
+        // Midpoint of the first cell: average of the four corners.
+        let v = t.lookup(0.06, 0.0055);
+        assert!((v - (0.05 + 0.09 + 0.07 + 0.11) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_extends_edge_slopes() {
+        let t = table();
+        // Below the slew axis: slope between rows 0 and 1 continues.
+        let inside = t.lookup(0.02, 0.001);
+        let below = t.lookup(0.0, 0.001);
+        assert!(below < inside, "extrapolation should continue downward");
+        // Above the load axis.
+        let above = t.lookup(0.02, 0.1);
+        assert!(above > t.lookup(0.02, 0.05));
+    }
+
+    #[test]
+    fn scaling_multiplies_all_values() {
+        let t = table().scaled(1.1);
+        assert!((t.lookup(0.02, 0.001) - 0.055).abs() < 1e-12);
+        assert!((t.max_value() - 0.33 * 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(NldmTable::new(vec![], vec![0.1], vec![]).is_err());
+        assert!(NldmTable::new(vec![0.2, 0.1], vec![0.1], vec![vec![1.0], vec![1.0]]).is_err());
+        assert!(NldmTable::new(vec![0.1], vec![0.1], vec![vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn degenerate_single_point_axes() {
+        let t = NldmTable::new(vec![0.1], vec![0.01], vec![vec![0.5]]).unwrap();
+        assert_eq!(t.lookup(0.7, 9.0), 0.5);
+        let t = NldmTable::new(vec![0.1], vec![0.01, 0.02], vec![vec![0.5, 0.7]]).unwrap();
+        assert!((t.lookup(0.7, 0.015) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_matches_direct_evaluation() {
+        let t = NldmTable::from_fn(vec![0.1, 0.2], vec![0.01, 0.02], |s, c| s + c).unwrap();
+        assert!((t.lookup(0.1, 0.02) - 0.12).abs() < 1e-12);
+    }
+}

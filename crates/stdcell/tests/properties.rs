@@ -1,0 +1,94 @@
+//! Property-based tests of characterization and the context machinery.
+
+use proptest::prelude::*;
+
+use svt_stdcell::{characterize, CellContext, CharacterizeOptions, ContextBin, Library};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arc delay is exactly linear in the mean gate length of its devices
+    /// (the paper's §3.1.2 model), for every cell and arbitrary lengths.
+    #[test]
+    fn delay_is_linear_in_mean_length(
+        cell_idx in 0usize..10,
+        scale in 0.7f64..1.3,
+        slew in 0.01f64..0.6,
+        load in 0.001f64..0.08,
+    ) {
+        let lib = Library::svt90();
+        let cell = &lib.cells()[cell_idx];
+        let n = cell.layout().devices().len();
+        let lengths: Vec<f64> = vec![90.0 * scale; n];
+        let c = characterize(cell, &lengths, "p", CharacterizeOptions::default()).unwrap();
+        for (orig, scaled) in cell.arcs().iter().zip(&c.arcs) {
+            let base = orig.delay.lookup(slew, load);
+            let got = scaled.delay.lookup(slew, load);
+            // factor = 1 + (scale·90/90 − 1) = scale.
+            prop_assert!((got - base * scale).abs() < 1e-9 * (1.0 + base));
+        }
+    }
+
+    /// Characterization at mixed lengths equals characterization at the
+    /// per-arc mean.
+    #[test]
+    fn per_arc_mean_is_what_matters(
+        jitter in prop::collection::vec(-8.0f64..8.0, 8),
+    ) {
+        let lib = Library::svt90();
+        let cell = lib.cell("NAND2X1").unwrap();
+        let n = cell.layout().devices().len();
+        let lengths: Vec<f64> = (0..n).map(|i| 90.0 + jitter[i % jitter.len()]).collect();
+        let c = characterize(cell, &lengths, "p", CharacterizeOptions::default()).unwrap();
+        for (orig, scaled) in cell.arcs().iter().zip(&c.arcs) {
+            let mean: f64 = orig.devices.iter().map(|d| lengths[d.0]).sum::<f64>()
+                / orig.devices.len() as f64;
+            let uniform = characterize(
+                cell,
+                &vec![mean; n],
+                "u",
+                CharacterizeOptions::default(),
+            )
+            .unwrap();
+            let matching = uniform
+                .arcs
+                .iter()
+                .find(|a| a.from_pin == orig.from_pin)
+                .unwrap();
+            let a = scaled.delay.lookup(0.05, 0.01);
+            let b = matching.delay.lookup(0.05, 0.01);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Context codes round-trip for arbitrary bin choices.
+    #[test]
+    fn context_codes_round_trip(lt in 0usize..3, rt in 0usize..3, lb in 0usize..3, rb in 0usize..3) {
+        let bin = |i: usize| ContextBin::ALL[i];
+        let ctx = CellContext::new(bin(lt), bin(rt), bin(lb), bin(rb));
+        prop_assert_eq!(CellContext::from_code(&ctx.code()), Some(ctx));
+    }
+
+    /// Spacing binning is monotone: larger spacing never yields a denser
+    /// bin.
+    #[test]
+    fn binning_is_monotone(a in 0.0f64..1200.0, b in 0.0f64..1200.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let bin_lo = ContextBin::from_spacing(Some(lo));
+        let bin_hi = ContextBin::from_spacing(Some(hi));
+        prop_assert!(bin_lo <= bin_hi, "{bin_lo:?} vs {bin_hi:?} for {lo} <= {hi}");
+    }
+
+    /// Boundary spacings are always positive and consistent with the cell
+    /// width for every library cell.
+    #[test]
+    fn boundary_spacings_are_consistent(cell_idx in 0usize..10) {
+        let lib = Library::svt90();
+        let cell = &lib.cells()[cell_idx];
+        let s = cell.layout().boundary_spacings();
+        let w = cell.layout().width_nm();
+        for v in [s.s_lt, s.s_lb, s.s_rt, s.s_rb] {
+            prop_assert!(v > 0.0 && v < w);
+        }
+    }
+}

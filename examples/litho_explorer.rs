@@ -1,0 +1,65 @@
+//! Explore the lithography substrate: through-pitch CD curves (paper
+//! Fig. 1) and Bossung through-focus families (paper Fig. 2) as text plots.
+//!
+//! ```text
+//! cargo run --release --example litho_explorer
+//! ```
+
+use svt::litho::{bossung, pitch_sweep, Process};
+
+fn bar(value: f64, lo: f64, hi: f64) -> String {
+    let width = 48usize;
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let n = (t * width as f64).round() as usize;
+    format!("{}*", "-".repeat(n))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 1 conditions: 130 nm drawn lines, annular 193 nm / NA 0.7.
+    let p130 = Process::nm130();
+    let sim = p130.simulator();
+    let pitches: Vec<f64> = (0..14).map(|i| 300.0 + 100.0 * i as f64).collect();
+    let curve = pitch_sweep(&sim, 130.0, &pitches, 0.0, 1.0)?;
+    let (lo, hi) = curve
+        .points()
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), pt| {
+            (lo.min(pt.cd_nm), hi.max(pt.cd_nm))
+        });
+    println!("printed CD vs pitch (drawn 130 nm, no OPC) — paper Fig. 1 conditions");
+    for pt in curve.points() {
+        println!(
+            "  pitch {:>5.0} nm  CD {:>6.1} nm  {}",
+            pt.pitch_nm,
+            pt.cd_nm,
+            bar(pt.cd_nm, lo, hi)
+        );
+    }
+    println!(
+        "  total through-pitch range: {:.1} nm ({:.1}% of drawn)\n",
+        curve.cd_range(),
+        100.0 * curve.cd_range() / 130.0
+    );
+
+    // Fig. 2 conditions: 90 nm lines, dense (150 nm space) vs isolated,
+    // several exposure doses, focus ±300 nm.
+    let p90 = Process::nm90();
+    let sim = p90.simulator();
+    let focus: Vec<f64> = (-4..=4).map(|i| i as f64 * 75.0).collect();
+    let doses = [0.96, 1.0, 1.04];
+    for (label, pitch) in [("dense 90/150", Some(240.0)), ("isolated 90", None)] {
+        let family = bossung(&sim, 90.0, pitch, &focus, &doses)?;
+        println!("Bossung family: {label} — paper Fig. 2 conditions");
+        for c in &family.curves {
+            let shape = if c.is_smiling() { "smile" } else { "frown" };
+            let cds: Vec<String> = c
+                .samples
+                .iter()
+                .map(|(_, cd)| format!("{cd:>5.1}"))
+                .collect();
+            println!("  dose {:>4.2} [{shape}]  CD(nm): {}", c.dose, cds.join(" "));
+        }
+        println!();
+    }
+    Ok(())
+}

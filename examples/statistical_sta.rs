@@ -1,0 +1,75 @@
+//! Statistical timing (paper §6 future work): Monte-Carlo circuit-delay
+//! distributions under the simplistic Gaussian gate-length model versus the
+//! systematic-variation aware model, compared against the corner spreads.
+//!
+//! ```text
+//! cargo run --release --example statistical_sta [benchmark] [samples]
+//! ```
+
+use svt::core::{
+    GateLengthModel, MonteCarloOptions, MonteCarloSta, SignoffFlow, SignoffOptions,
+};
+use svt::litho::Process;
+use svt::netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+use svt::place::{place, PlacementOptions};
+use svt::stdcell::{expand_library, ExpandOptions, Library};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "c432".into());
+    let samples: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let library = Library::svt90();
+    let sim = Process::nm90().simulator();
+    let expanded = expand_library(&library, &sim, &ExpandOptions::default())?;
+    let profile = BenchmarkProfile::iscas85(&name).ok_or("unknown benchmark")?;
+    let netlist = generate_benchmark(&profile);
+    let mapped = technology_map(&netlist, &library)?;
+    let placement = place(&mapped, &library, &PlacementOptions::default())?;
+
+    // Corner reference.
+    let flow = SignoffFlow::new(&library, &expanded, SignoffOptions::default());
+    let corners = flow.run(&mapped, &placement)?;
+
+    // Monte-Carlo under both models.
+    let mc = MonteCarloSta::new(
+        &library,
+        &expanded,
+        MonteCarloOptions {
+            samples,
+            ..MonteCarloOptions::default()
+        },
+    );
+    println!("sampling {samples} dies of {name} under two gate-length models…");
+    let gaussian = mc.sample(&mapped, &placement, GateLengthModel::SimplisticGaussian)?;
+    let aware = mc.sample(&mapped, &placement, GateLengthModel::SystematicAware)?;
+
+    println!("\n{:<26} {:>9} {:>9} {:>9} {:>9}", "model", "mean", "sigma", "q0.1%", "q99.9%");
+    for d in [&gaussian, &aware] {
+        println!(
+            "{:<26} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            format!("{:?}", d.model),
+            d.mean_ns(),
+            d.std_ns(),
+            d.quantile_ns(0.001),
+            d.quantile_ns(0.999)
+        );
+    }
+    println!(
+        "\ncorner spreads: traditional {:.4} ns, aware {:.4} ns",
+        corners.traditional.spread_ns(),
+        corners.aware.spread_ns()
+    );
+    println!(
+        "statistical spreads (0.1%→99.9%): Gaussian {:.4} ns, aware {:.4} ns",
+        gaussian.spread_ns(),
+        aware.spread_ns()
+    );
+    println!(
+        "\nThe independent Gaussian averages out along paths (optimistic); the aware\n\
+         model keeps die-shared focus/dose correlations yet stays far inside the\n\
+         corner spread — corner analysis invents {:.0}% extra uncertainty.",
+        100.0 * (1.0 - aware.spread_ns() / corners.traditional.spread_ns())
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Multi-benchmark corner sign-off: traditional vs systematic-variation
+//! aware STA, including the paper's §5 simplified (context-free) variant.
+//!
+//! ```text
+//! cargo run --release --example timing_signoff [benchmark ...]
+//! ```
+
+use svt::core::{SignoffFlow, SignoffOptions};
+use svt::litho::Process;
+use svt::netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+use svt::place::{place, PlacementOptions};
+use svt::stdcell::{expand_library, ExpandOptions, Library};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks: Vec<String> = if args.is_empty() {
+        vec!["c432".into(), "c880".into(), "c1355".into()]
+    } else {
+        args
+    };
+
+    let library = Library::svt90();
+    let sim = Process::nm90().simulator();
+    let expanded = expand_library(&library, &sim, &ExpandOptions::default())?;
+
+    let full = SignoffFlow::new(&library, &expanded, SignoffOptions::default());
+    let simplified = SignoffFlow::new(
+        &library,
+        &expanded,
+        SignoffOptions {
+            use_context_library: false,
+            ..SignoffOptions::default()
+        },
+    );
+
+    println!(
+        "{:<8} {:>6}  {:>22}  {:>22}  {:>7}  {:>9}",
+        "case", "gates", "traditional nom/bc/wc", "aware nom/bc/wc", "reduct.", "simplified"
+    );
+    for name in &benchmarks {
+        let Some(profile) = BenchmarkProfile::iscas85(name) else {
+            eprintln!("unknown benchmark `{name}` (know: c432..c7552)");
+            continue;
+        };
+        let netlist = generate_benchmark(&profile);
+        let mapped = technology_map(&netlist, &library)?;
+        let placement = place(&mapped, &library, &PlacementOptions::default())?;
+        let cmp = full.run(&mapped, &placement)?;
+        let cmp_simple = simplified.run(&mapped, &placement)?;
+        println!(
+            "{:<8} {:>6}  {:>6.3}/{:>6.3}/{:>6.3}  {:>6.3}/{:>6.3}/{:>6.3}  {:>6.1}%  {:>8.1}%",
+            cmp.testcase,
+            cmp.gates,
+            cmp.traditional.nom_ns,
+            cmp.traditional.bc_ns,
+            cmp.traditional.wc_ns,
+            cmp.aware.nom_ns,
+            cmp.aware.bc_ns,
+            cmp.aware.wc_ns,
+            cmp.uncertainty_reduction_pct(),
+            cmp_simple.uncertainty_reduction_pct(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Round trips through the workspace's three text formats on realistic
+//! (benchmark-scale) data: `.bench` netlists, DEF-flavoured placements,
+//! and Liberty-flavoured timing libraries.
+
+use svt::litho::Process;
+use svt::netlist::{bench, generate_benchmark, technology_map, BenchmarkProfile};
+use svt::place::{def, place, PlacementOptions};
+use svt::stdcell::{
+    expand_library, liberty, CellContext, ExpandOptions, Library,
+};
+
+#[test]
+fn bench_format_round_trips_a_generated_benchmark() {
+    let netlist = generate_benchmark(&BenchmarkProfile::iscas85("c880").expect("profile"));
+    let text = bench::write(&netlist);
+    let parsed = bench::parse(&text).expect("parse succeeds");
+    assert_eq!(parsed, netlist);
+    // The serialized form is line-oriented and carries every gate.
+    assert!(text.lines().count() >= netlist.gates().len());
+}
+
+#[test]
+fn def_format_round_trips_a_placement() {
+    let library = Library::svt90();
+    let netlist = generate_benchmark(&BenchmarkProfile::iscas85("c432").expect("profile"));
+    let mapped = technology_map(&netlist, &library).expect("mapping succeeds");
+    let placement = place(&mapped, &library, &PlacementOptions::default()).expect("placement");
+    let text = def::write(&placement, &mapped);
+    let parsed = def::parse(&text, &mapped).expect("parse succeeds");
+    assert_eq!(parsed, placement);
+    // And the parsed placement still answers context queries identically.
+    let a = placement
+        .instance_contexts(&mapped, &library)
+        .expect("contexts");
+    let b = parsed.instance_contexts(&mapped, &library).expect("contexts");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn liberty_round_trips_an_expanded_library_slice() {
+    let library = Library::svt90();
+    let sim = Process::nm90().simulator();
+    let expanded =
+        expand_library(&library, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
+
+    // Take one full cell's worth of variants (81 entries).
+    let cells: Vec<_> = CellContext::enumerate()
+        .map(|ctx| {
+            expanded
+                .variant("NAND2X1", ctx)
+                .expect("variant exists")
+                .clone()
+        })
+        .collect();
+    assert_eq!(cells.len(), 81);
+    let text = liberty::write_library("svt90_nand2_expanded", &cells);
+    let (name, parsed) = liberty::parse_library(&text).expect("parse succeeds");
+    assert_eq!(name, "svt90_nand2_expanded");
+    assert_eq!(parsed, cells);
+    // Spot-check that a characterized lookup survives the trip bit-exactly.
+    let before = cells[40].arcs[0].delay.lookup(0.07, 0.02);
+    let after = parsed[40].arcs[0].delay.lookup(0.07, 0.02);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn formats_reject_cross_contamination() {
+    let library = Library::svt90();
+    let netlist = generate_benchmark(&BenchmarkProfile::custom("x", 4, 2, 10, 5));
+    let mapped = technology_map(&netlist, &library).expect("mapping succeeds");
+    // Liberty text is not a bench netlist.
+    let lib_text = liberty::write_library("l", &[]);
+    assert!(bench::parse(&lib_text).is_err());
+    // Bench text is not DEF.
+    let bench_text = bench::write(&netlist);
+    assert!(def::parse(&bench_text, &mapped).is_err());
+}

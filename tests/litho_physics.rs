@@ -1,0 +1,96 @@
+//! Cross-crate physical invariants of the lithography + OPC substrate —
+//! the behaviours the paper's methodology is premised on.
+
+use svt::litho::{bossung, pitch_sweep, FocusExposureMatrix, Process};
+use svt::opc::{insert_srafs, CutlinePattern, ModelOpc, OpcLine, OpcOptions, SrafOptions};
+
+#[test]
+fn calibrated_process_prints_the_dense_anchor_to_size() {
+    let sim = Process::nm90()
+        .simulator()
+        .calibrated_to(90.0, 240.0)
+        .expect("calibration succeeds");
+    let cd = sim
+        .print_line_array(90.0, 240.0, 0.0, 1.0)
+        .expect("anchor prints");
+    assert!((cd - 90.0).abs() < 0.05, "anchor CD {cd}");
+}
+
+#[test]
+fn through_pitch_variation_has_a_radius_of_influence() {
+    let sim = Process::nm90().simulator();
+    let near: Vec<f64> = (0..6).map(|i| 240.0 + 60.0 * i as f64).collect();
+    let far: Vec<f64> = (0..4).map(|i| 800.0 + 150.0 * i as f64).collect();
+    let near_curve = pitch_sweep(&sim, 90.0, &near, 0.0, 1.0).expect("sweep succeeds");
+    let far_curve = pitch_sweep(&sim, 90.0, &far, 0.0, 1.0).expect("sweep succeeds");
+    assert!(
+        near_curve.cd_range() > 2.0 * far_curve.cd_range(),
+        "inside-ROI range {:.2} should dwarf outside-ROI range {:.2}",
+        near_curve.cd_range(),
+        far_curve.cd_range()
+    );
+}
+
+#[test]
+fn dense_smiles_and_iso_frowns_through_focus() {
+    let sim = Process::nm90().simulator();
+    let focus: Vec<f64> = (-4..=4).map(|i| i as f64 * 75.0).collect();
+    let dense = bossung(&sim, 90.0, Some(240.0), &focus, &[1.0]).expect("dense bossung");
+    let iso = bossung(&sim, 90.0, None, &focus, &[1.0]).expect("iso bossung");
+    assert!(dense.curves[0].is_smiling(), "dense must smile");
+    assert!(!iso.curves[0].is_smiling(), "iso must frown");
+}
+
+#[test]
+fn fem_and_methodology_agree_on_the_focus_dichotomy() {
+    let sim = Process::nm90().simulator();
+    let focus: Vec<f64> = (-3..=3).map(|i| i as f64 * 100.0).collect();
+    let fem = FocusExposureMatrix::build(
+        &sim,
+        90.0,
+        &[240.0, f64::INFINITY],
+        &focus,
+        &[1.0],
+    )
+    .expect("FEM builds");
+    assert_eq!(fem.smiles_at(240.0), Some(true));
+    assert_eq!(fem.smiles_at(f64::INFINITY), Some(false));
+    assert!(fem.lvar_focus() > 1.0);
+}
+
+#[test]
+fn opc_then_srafs_stabilize_an_isolated_gate() {
+    let sim = Process::nm90().simulator();
+    let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
+
+    let mut pattern = CutlinePattern::new(-2048.0, 4096.0);
+    pattern.push(OpcLine::gate(0.0, 90.0));
+    insert_srafs(&mut pattern, SrafOptions::default());
+    opc.correct(&mut pattern).expect("correction succeeds");
+
+    // After OPC the gate prints near target at focus…
+    let at_focus = sim
+        .print_device_cd(pattern.x0(), pattern.length(), &pattern.chrome(), 0.0, 0.0, 1.0)
+        .expect("prints at focus");
+    assert!((at_focus - 90.0).abs() < 6.0, "post-OPC CD {at_focus}");
+    // …and the assisted gate survives a 250 nm defocus without washing out.
+    let defocused = sim
+        .print_device_cd(pattern.x0(), pattern.length(), &pattern.chrome(), 0.0, 250.0, 1.0)
+        .expect("prints through focus");
+    assert!(defocused > 40.0, "defocused CD {defocused}");
+}
+
+#[test]
+fn dose_moves_cd_monotonically_everywhere() {
+    let sim = Process::nm90().simulator();
+    for pitch in [240.0, 360.0, 600.0] {
+        let mut last = f64::INFINITY;
+        for dose in [0.92, 1.0, 1.08] {
+            let cd = sim
+                .print_line_array(90.0, pitch, 0.0, dose)
+                .expect("prints");
+            assert!(cd < last, "dose must shrink lines at pitch {pitch}");
+            last = cd;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration of the two chip-scale OPC flows (full-chip vs
+//! library-assembled) and their audit machinery — the substrate of the
+//! paper's Table 1 and Fig. 7.
+
+use svt::core::{compare_opc_flows, FullChipOpc, LibraryAssembledOpc};
+use svt::litho::Process;
+use svt::netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+use svt::opc::OpcOptions;
+use svt::place::{place, PlacementOptions};
+use svt::stdcell::Library;
+
+fn tiny_design() -> (
+    Library,
+    svt::netlist::MappedNetlist,
+    svt::place::Placement,
+) {
+    let library = Library::svt90();
+    let netlist = generate_benchmark(&BenchmarkProfile::custom("tiny", 6, 3, 20, 11));
+    let mapped = technology_map(&netlist, &library).expect("mapping succeeds");
+    let placement = place(&mapped, &library, &PlacementOptions::default()).expect("placement");
+    (library, mapped, placement)
+}
+
+#[test]
+fn both_flows_print_every_device_and_stay_close() {
+    let (library, mapped, placement) = tiny_design();
+    let sim = Process::nm90().simulator();
+
+    let full = FullChipOpc::new(&sim, OpcOptions::default())
+        .run(&mapped, &placement, &library)
+        .expect("full-chip OPC succeeds");
+    let assembler = LibraryAssembledOpc::new(&sim, OpcOptions::default());
+    let (masks, _) = assembler
+        .correct_masters(&mapped, &library)
+        .expect("master correction succeeds");
+    let lib_flow = assembler
+        .run(&mapped, &placement, &library, &masks)
+        .expect("assembled audit succeeds");
+
+    assert_eq!(full.devices.len(), lib_flow.devices.len());
+    assert!(full.devices.iter().all(|d| d.printed_cd_nm.is_some()));
+    assert!(lib_flow.devices.iter().all(|d| d.printed_cd_nm.is_some()));
+
+    let cmp = compare_opc_flows(&full, &lib_flow).expect("comparable");
+    assert_eq!(cmp.total, full.devices.len());
+    // Table 1 shape: nearly everything within 6%.
+    assert!(
+        cmp.pct_within(cmp.within_6pct) > 90.0,
+        "N-6% = {:.1}%",
+        cmp.pct_within(cmp.within_6pct)
+    );
+}
+
+#[test]
+fn post_opc_errors_are_bounded_and_centered() {
+    let (library, mapped, placement) = tiny_design();
+    let sim = Process::nm90().simulator();
+    let full = FullChipOpc::new(&sim, OpcOptions::default())
+        .run(&mapped, &placement, &library)
+        .expect("full-chip OPC succeeds");
+    let errors = full.percent_errors(90.0);
+    assert_eq!(errors.len(), full.devices.len());
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    let worst = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
+    assert!(mean.abs() < 6.0, "post-OPC mean bias {mean:.2}%");
+    assert!(worst < 25.0, "post-OPC worst error {worst:.2}%");
+}
+
+#[test]
+fn master_masks_cover_every_used_cell_and_region() {
+    let (library, mapped, _) = tiny_design();
+    let sim = Process::nm90().simulator();
+    let assembler = LibraryAssembledOpc::new(&sim, OpcOptions::default());
+    let (masks, _) = assembler
+        .correct_masters(&mapped, &library)
+        .expect("master correction succeeds");
+    for inst in mapped.instances() {
+        let cell = library.cell(&inst.cell).expect("cell exists");
+        for region in [svt::stdcell::Region::P, svt::stdcell::Region::N] {
+            let widths = masks
+                .get(&(inst.cell.clone(), region))
+                .unwrap_or_else(|| panic!("no mask for {} {region:?}", inst.cell));
+            assert_eq!(
+                widths.len(),
+                cell.layout().row_spans(region).len(),
+                "mask width count mismatch for {}",
+                inst.cell
+            );
+            for &w in widths {
+                assert!((40.0..=160.0).contains(&w), "implausible mask width {w}");
+            }
+        }
+    }
+}
+
+#[test]
+fn flow_comparison_rejects_mismatched_results() {
+    let (library, mapped, placement) = tiny_design();
+    let sim = Process::nm90().simulator();
+    let full = FullChipOpc::new(&sim, OpcOptions::default())
+        .run(&mapped, &placement, &library)
+        .expect("full-chip OPC succeeds");
+    let mut truncated = full.clone();
+    truncated.devices.pop();
+    assert!(compare_opc_flows(&full, &truncated).is_err());
+}

@@ -1,0 +1,197 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+
+use svt::core::{classify_device, label_arc, ArcLabelPolicy, DeviceClass, VariationBudget};
+use svt::geom::{Interval, IntervalIndex, Nm};
+use svt::litho::{fft, Complex, MaskCutline};
+use svt::netlist::{bench, generate_benchmark, technology_map, BenchmarkProfile};
+use svt::stdcell::Library;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT forward→inverse is the identity on arbitrary signals.
+    #[test]
+    fn fft_round_trips(values in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..200)) {
+        let n = values.len().next_power_of_two();
+        let mut data: Vec<Complex> = values.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        data.resize(n, Complex::ZERO);
+        let original = data.clone();
+        fft::forward(&mut data);
+        fft::inverse(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    /// Parseval: the FFT preserves signal energy (up to the 1/N convention).
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec(-10.0f64..10.0, 1..100)) {
+        let n = values.len().next_power_of_two();
+        let mut data: Vec<Complex> = values.iter().map(|&re| Complex::from(re)).collect();
+        data.resize(n, Complex::ZERO);
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        fft::forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+    }
+
+    /// Interval intersection is commutative and contained in both inputs.
+    #[test]
+    fn interval_intersection_properties(
+        a_lo in -10_000i64..10_000, a_len in 0i64..5_000,
+        b_lo in -10_000i64..10_000, b_len in 0i64..5_000,
+    ) {
+        let a = Interval::new(Nm(a_lo), Nm(a_lo + a_len));
+        let b = Interval::new(Nm(b_lo), Nm(b_lo + b_len));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.lo() >= a.lo() && i.hi() <= a.hi());
+            prop_assert!(i.lo() >= b.lo() && i.hi() <= b.hi());
+            prop_assert!(a.overlaps(&b));
+        } else {
+            prop_assert!(!a.overlaps(&b));
+            prop_assert!(a.gap_to(&b).is_some());
+        }
+    }
+
+    /// Nearest-neighbor queries agree with a brute-force scan.
+    #[test]
+    fn interval_index_matches_brute_force(
+        starts in prop::collection::vec(0i64..20_000, 1..40),
+        query_lo in 0i64..20_000,
+    ) {
+        let intervals: Vec<Interval> =
+            starts.iter().map(|&s| Interval::new(Nm(s), Nm(s + 90))).collect();
+        let index: IntervalIndex = intervals.iter().copied().collect();
+        let query = Interval::new(Nm(query_lo), Nm(query_lo + 90));
+        let brute_left = intervals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, iv)| {
+                iv.gap_to(&query)
+                    .filter(|_| iv.hi() < query.lo())
+                    .map(|g| (g, i))
+            })
+            .min_by_key(|&(g, _)| g);
+        let got = index.nearest_left(&query);
+        prop_assert_eq!(got.map(|e| e.gap), brute_left.map(|(g, _)| g));
+    }
+
+    /// NLDM interpolation stays within the convex hull of its cell corners
+    /// inside the grid.
+    #[test]
+    fn nldm_interpolation_is_bounded(
+        slew in 0.008f64..0.8,
+        load in 0.0005f64..0.1,
+    ) {
+        let lib = Library::svt90();
+        let arc = &lib.cell("NAND2X1").unwrap().arcs()[0];
+        let table = &arc.delay;
+        let v = table.lookup(slew, load);
+        let min = table.values().iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
+        let max = table.max_value();
+        prop_assert!(v >= min - 1e-12 && v <= max + 1e-12, "{v} outside [{min}, {max}]");
+    }
+
+    /// Table scaling commutes with lookup.
+    #[test]
+    fn nldm_scaling_commutes(
+        factor in 0.5f64..2.0,
+        slew in 0.01f64..0.6,
+        load in 0.001f64..0.08,
+    ) {
+        let lib = Library::svt90();
+        let table = &lib.cell("INVX1").unwrap().arcs()[0].delay;
+        let a = table.scaled(factor).lookup(slew, load);
+        let b = table.lookup(slew, load) * factor;
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    /// Generated benchmarks of arbitrary size are valid, map onto the
+    /// library, and round-trip through the bench format.
+    #[test]
+    fn generated_netlists_are_valid_and_mappable(
+        inputs in 2usize..12,
+        gates in 4usize..60,
+        seed in 0u64..1000,
+    ) {
+        let outputs = 1 + gates / 10;
+        let profile = BenchmarkProfile::custom("p", inputs, outputs.min(gates), gates, seed);
+        let netlist = generate_benchmark(&profile);
+        prop_assert_eq!(netlist.gates().len(), gates);
+        let text = bench::write(&netlist);
+        prop_assert_eq!(bench::parse(&text).expect("round trip"), netlist.clone());
+        let lib = Library::svt90();
+        let mapped = technology_map(&netlist, &lib).expect("mappable");
+        prop_assert!(mapped.instances().len() >= gates);
+    }
+
+    /// Aware corners never widen the traditional spread and preserve
+    /// BC ≤ nom ≤ WC for any budget and label.
+    #[test]
+    fn aware_corners_only_remove_pessimism(
+        delta in 0.01f64..0.3,
+        pitch_share in 0.0f64..0.5,
+        focus_share in 0.0f64..0.5,
+        l_nom in 60.0f64..130.0,
+        label_idx in 0usize..3,
+    ) {
+        use svt::core::ArcLabel;
+        let budget = VariationBudget::new(delta, pitch_share, focus_share);
+        let label = [ArcLabel::Smile, ArcLabel::Frown, ArcLabel::SelfCompensated][label_idx];
+        let aware = budget.aware_corners(l_nom, label);
+        let trad = budget.traditional_corners(l_nom);
+        prop_assert!(aware.spread_nm() <= trad.spread_nm() + 1e-12);
+        prop_assert!(aware.bc_nm <= aware.nom_nm + 1e-12);
+        prop_assert!(aware.nom_nm <= aware.wc_nm + 1e-12);
+    }
+
+    /// Device classification is symmetric in its two sides.
+    #[test]
+    fn classification_is_symmetric(
+        left in prop::option::of(0.0f64..1000.0),
+        right in prop::option::of(0.0f64..1000.0),
+    ) {
+        let a = classify_device(left, right, 300.0, 90.0);
+        let b = classify_device(right, left, 300.0, 90.0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Arc labels are permutation-invariant.
+    #[test]
+    fn arc_labels_are_permutation_invariant(
+        mut classes in prop::collection::vec(0usize..3, 1..8),
+        swap_a in 0usize..8,
+        swap_b in 0usize..8,
+    ) {
+        let to_class = |i: usize| [DeviceClass::Dense, DeviceClass::Isolated, DeviceClass::SelfCompensated][i];
+        let original: Vec<DeviceClass> = classes.iter().map(|&i| to_class(i)).collect();
+        let before = label_arc(&original, ArcLabelPolicy::Majority);
+        let n = classes.len();
+        classes.swap(swap_a % n, swap_b % n);
+        let permuted: Vec<DeviceClass> = classes.iter().map(|&i| to_class(i)).collect();
+        prop_assert_eq!(before, label_arc(&permuted, ArcLabelPolicy::Majority));
+    }
+
+    /// Mask sampling conserves chrome area for non-overlapping lines.
+    #[test]
+    fn mask_conserves_chrome_area(
+        widths in prop::collection::vec(10.0f64..150.0, 1..8),
+        spaces in prop::collection::vec(60.0f64..500.0, 8),
+    ) {
+        let mut lines = Vec::new();
+        let mut x = -900.0;
+        for (w, s) in widths.iter().zip(&spaces) {
+            lines.push((x, x + w));
+            x += w + s;
+        }
+        prop_assume!(x < 900.0);
+        let mask = MaskCutline::from_lines(-2048.0, 4096.0, 2.0, &lines).expect("valid mask");
+        let opaque: f64 = mask.samples().iter().map(|t| (1.0 - t) * mask.dx()).sum();
+        let drawn: f64 = widths.iter().sum();
+        prop_assert!((opaque - drawn).abs() < 1e-6, "{opaque} vs {drawn}");
+    }
+}
