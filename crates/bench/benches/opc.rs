@@ -51,9 +51,8 @@ fn bench_sweep_ablation(c: &mut Criterion) {
         // log doubles as the accuracy half of the ablation.
         let mut p = mixed_pattern(6);
         opc.correct(&mut p).expect("correction succeeds");
-        let stats = EpeStats::from_audits(
-            &audit_pattern(&sim, &p, 0.0, 1.0).expect("audit succeeds"),
-        );
+        let stats =
+            EpeStats::from_audits(&audit_pattern(&sim, &p, 0.0, 1.0).expect("audit succeeds"));
         eprintln!(
             "sweep_ablation: max_sweeps={sweeps} -> sign-off rms {:.2} nm, max {:.2} nm",
             stats.rms_nm, stats.max_abs_nm

@@ -1,0 +1,154 @@
+//! End-to-end pipeline benchmark for the execution layer (thread pool +
+//! memo caches): aerial imaging, library expansion, FEM build, and full
+//! signoff, each timed at 1 worker against 8 workers and with cold
+//! against warm caches. Emits `BENCH_pipeline.json` at the repo root.
+//!
+//! Timing uses `std::time::Instant` only — no external bench harness —
+//! so the binary runs in the offline build. Cache state is controlled
+//! explicitly via `svt_litho::clear_litho_caches`, and every number is
+//! labelled cold/warm so single-core hosts (where pure thread-level
+//! speedup is impossible) still report honestly.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use svt_core::{SignoffFlow, SignoffOptions};
+use svt_litho::{clear_litho_caches, FocusExposureMatrix, MaskCutline, Process};
+use svt_stdcell::{clear_expand_caches, expand_library, ExpandOptions, Library};
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn clear_all_caches() {
+    clear_litho_caches();
+    clear_expand_caches();
+}
+
+fn main() {
+    let threads_available = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads_available\": {threads_available},");
+
+    let process = Process::nm90();
+    let sim = process.simulator();
+
+    // ---- Aerial image: transfer-table + FFT-plan caches -----------------
+    println!("[1/4] aerial image (cold vs warm transfer tables)...");
+    clear_litho_caches();
+    let lines: Vec<(f64, f64)> = (-6..=6)
+        .map(|k| {
+            let c = f64::from(k) * 250.0;
+            (c - 45.0, c + 45.0)
+        })
+        .collect();
+    let mask = MaskCutline::from_lines(-2048.0, 4096.0, 2.0, &lines).expect("valid mask");
+    let start = Instant::now();
+    let cold_img = sim.aerial_image(&mask, 120.0);
+    let aerial_cold_ms = ms(start);
+    let reps = 20;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let warm_img = sim.aerial_image(&mask, 120.0);
+        assert_eq!(warm_img, cold_img, "warm aerial image must be identical");
+    }
+    let aerial_warm_ms = ms(start) / f64::from(reps);
+    let _ = writeln!(
+        json,
+        "  \"aerial_image\": {{ \"cold_ms\": {aerial_cold_ms:.3}, \"warm_ms\": {aerial_warm_ms:.3}, \"speedup_warm_vs_cold\": {:.2} }},",
+        aerial_cold_ms / aerial_warm_ms
+    );
+
+    // ---- Library expansion: pool + CD memo ------------------------------
+    // Default ExpandOptions (7-spacing table), 4 cells.
+    println!("[2/4] expand_library, 4 cells, default options...");
+    let full = Library::svt90();
+    let cells: Vec<_> = full
+        .cells()
+        .iter()
+        .filter(|c| matches!(c.name(), "INVX1" | "INVX2" | "NAND2X1" | "NOR2X1"))
+        .cloned()
+        .collect();
+    let lib4 = Library::from_cells("svt90_bench4", cells);
+    let opts = |threads: Option<usize>| ExpandOptions {
+        threads,
+        ..ExpandOptions::default()
+    };
+
+    clear_all_caches();
+    let start = Instant::now();
+    let expanded_1t = expand_library(&lib4, &sim, &opts(Some(1))).expect("expansion succeeds");
+    let expand_1t_cold_ms = ms(start);
+
+    let start = Instant::now();
+    let expanded_8t_warm = expand_library(&lib4, &sim, &opts(Some(8))).expect("expansion succeeds");
+    let expand_8t_warm_ms = ms(start);
+
+    clear_all_caches();
+    let start = Instant::now();
+    let expanded_8t_cold = expand_library(&lib4, &sim, &opts(Some(8))).expect("expansion succeeds");
+    let expand_8t_cold_ms = ms(start);
+
+    assert_eq!(
+        expanded_1t, expanded_8t_warm,
+        "thread count changed results"
+    );
+    assert_eq!(expanded_1t, expanded_8t_cold, "cache state changed results");
+    let _ = writeln!(
+        json,
+        "  \"expand_library\": {{ \"cells\": 4, \"variants\": {}, \"threads_1_cold_ms\": {expand_1t_cold_ms:.3}, \"threads_8_cold_ms\": {expand_8t_cold_ms:.3}, \"threads_8_warm_ms\": {expand_8t_warm_ms:.3}, \"speedup_8t_warm_vs_1t_cold\": {:.2} }},",
+        expanded_1t.len(),
+        expand_1t_cold_ms / expand_8t_warm_ms
+    );
+
+    // ---- Focus-exposure matrix: CD memo ---------------------------------
+    println!("[3/4] focus-exposure matrix (cold vs warm rebuild)...");
+    let focus: Vec<f64> = (-4..=4).map(|i| f64::from(i) * 75.0).collect();
+    let pitches = [240.0, 320.0, 480.0, f64::INFINITY];
+    let doses = [0.95, 1.0, 1.05];
+    clear_litho_caches();
+    let start = Instant::now();
+    let fem_cold = FocusExposureMatrix::build(&sim, 90.0, &pitches, &focus, &doses)
+        .expect("FEM build succeeds");
+    let fem_cold_ms = ms(start);
+    let start = Instant::now();
+    let fem_warm = FocusExposureMatrix::build(&sim, 90.0, &pitches, &focus, &doses)
+        .expect("FEM rebuild succeeds");
+    let fem_warm_ms = ms(start);
+    assert_eq!(fem_cold, fem_warm, "warm FEM rebuild must be identical");
+    let _ = writeln!(
+        json,
+        "  \"fem_build\": {{ \"pitches\": {}, \"cold_ms\": {fem_cold_ms:.3}, \"warm_ms\": {fem_warm_ms:.3}, \"speedup_warm_vs_cold\": {:.2} }},",
+        pitches.len(),
+        fem_cold_ms / fem_warm_ms
+    );
+
+    // ---- Full signoff ----------------------------------------------------
+    println!("[4/4] full signoff flow on c432...");
+    let expanded = expand_library(&full, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
+    let design = svt_bench::build_design(&full, "c432");
+    let run_with = |threads: usize| {
+        std::env::set_var("SVT_THREADS", threads.to_string());
+        let flow = SignoffFlow::new(&full, &expanded, SignoffOptions::default());
+        let start = Instant::now();
+        let cmp = flow
+            .run(&design.mapped, &design.placement)
+            .expect("signoff succeeds");
+        (ms(start), cmp)
+    };
+    let (signoff_1t_ms, cmp_1t) = run_with(1);
+    let (signoff_8t_ms, cmp_8t) = run_with(8);
+    std::env::remove_var("SVT_THREADS");
+    assert_eq!(cmp_1t, cmp_8t, "thread count changed signoff results");
+    let _ = writeln!(
+        json,
+        "  \"signoff_c432\": {{ \"gates\": {}, \"threads_1_ms\": {signoff_1t_ms:.3}, \"threads_8_ms\": {signoff_8t_ms:.3}, \"uncertainty_reduction_pct\": {:.2} }}",
+        cmp_1t.gates,
+        cmp_1t.uncertainty_reduction_pct()
+    );
+
+    json.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, &json).expect("write BENCH_pipeline.json");
+    println!("--- BENCH_pipeline.json ---\n{json}");
+}

@@ -41,14 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 col += 1;
             }
             let _ = col;
-            println!(
-                "   {}",
-                if curve.is_smiling() { "smile" } else { "frown" }
-            );
+            println!("   {}", if curve.is_smiling() { "smile" } else { "frown" });
         }
     }
-    println!(
-        "\n# Expected shape (paper): dense smiles (CD grows off focus), isolated frowns."
-    );
+    println!("\n# Expected shape (paper): dense smiles (CD grows off focus), isolated frowns.");
     Ok(())
 }

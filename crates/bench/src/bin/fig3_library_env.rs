@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cell = library.cell("NAND2X1").expect("NAND2X1 exists");
     let layout = cell.layout();
 
-    println!("# Fig. 3 — library-based OPC environment for {}", cell.name());
+    println!(
+        "# Fig. 3 — library-based OPC environment for {}",
+        cell.name()
+    );
     println!(
         "cell outline: {:.0} x {:.0} nm; boundary spacings s_LT={:.0} s_LB={:.0} s_RT={:.0} s_RB={:.0}",
         layout.width_nm(),

@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c432".into());
     let library = Library::svt90();
     let design = build_design(&library, &name);
-    let sites = design
-        .placement
-        .device_sites(&design.mapped, &library)?;
+    let sites = design.placement.device_sites(&design.mapped, &library)?;
     let classes = classify_sites(&sites, 300.0);
 
     let count = |c: DeviceClass| classes.iter().filter(|&&x| x == c).count();
@@ -28,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("self-compensated", DeviceClass::SelfCompensated),
     ] {
         let n = count(class);
-        println!("{label:<18} {n:>6} ({:.1}%)", 100.0 * n as f64 / total as f64);
+        println!(
+            "{label:<18} {n:>6} ({:.1}%)",
+            100.0 * n as f64 / total as f64
+        );
     }
 
     // Arc labels: per instance, per arc, with the paper's majority policy.
@@ -51,11 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (idx, inst) in design.mapped.instances().iter().enumerate() {
         let cell = library.cell(&inst.cell).expect("mapped cells exist");
         for arc in cell.arcs() {
-            let arc_classes: Vec<DeviceClass> = arc
-                .devices
-                .iter()
-                .map(|d| per_device[idx][d.0])
-                .collect();
+            let arc_classes: Vec<DeviceClass> =
+                arc.devices.iter().map(|d| per_device[idx][d.0]).collect();
             match label_arc(&arc_classes, ArcLabelPolicy::Majority) {
                 ArcLabel::Smile => arc_counts[0] += 1,
                 ArcLabel::Frown => arc_counts[1] += 1,
@@ -70,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("frown (isolated)", arc_counts[1]),
         ("self-compensated", arc_counts[2]),
     ] {
-        println!("{label:<18} {n:>6} ({:.1}%)", 100.0 * n as f64 / arcs as f64);
+        println!(
+            "{label:<18} {n:>6} ({:.1}%)",
+            100.0 * n as f64 / arcs as f64
+        );
     }
     Ok(())
 }

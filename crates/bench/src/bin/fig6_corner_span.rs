@@ -35,13 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // lvar_focus from the FEM over pitches from minimum to just above the
     // contacted pitch (±300 nm focus).
     let focus: Vec<f64> = (-4..=4).map(|i| i as f64 * 75.0).collect();
-    let fem = FocusExposureMatrix::build(
-        &sim,
-        drawn,
-        &[240.0, 280.0, 320.0],
-        &focus,
-        &[1.0],
-    )?;
+    let fem = FocusExposureMatrix::build(&sim, drawn, &[240.0, 280.0, 320.0], &focus, &[1.0])?;
     let lvar_focus = fem.lvar_focus();
     println!("measured lvar_focus (FEM, ±300 nm):            {lvar_focus:.2} nm");
 

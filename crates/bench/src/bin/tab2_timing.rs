@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let library = Library::svt90();
     let sim = signoff_simulator();
-    eprintln!("expanding library (81 contexts x {} cells)…", library.cells().len());
+    eprintln!(
+        "expanding library (81 contexts x {} cells)…",
+        library.cells().len()
+    );
     let expanded = expand_library(&library, &sim, &ExpandOptions::default())?;
 
     let flow = SignoffFlow::new(

@@ -36,10 +36,7 @@ pub enum ArcLabelPolicy {
 #[must_use]
 pub fn label_arc(classes: &[DeviceClass], policy: ArcLabelPolicy) -> ArcLabel {
     assert!(!classes.is_empty(), "arc with no devices cannot be labeled");
-    let dense = classes
-        .iter()
-        .filter(|&&c| c == DeviceClass::Dense)
-        .count();
+    let dense = classes.iter().filter(|&&c| c == DeviceClass::Dense).count();
     let iso = classes
         .iter()
         .filter(|&&c| c == DeviceClass::Isolated)

@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use svt_exec::try_par_map;
 use svt_netlist::MappedNetlist;
 use svt_place::{DeviceSite, Placement, PlacementOptions};
 use svt_sta::{analyze, CellBinding, StaError, TimingOptions};
@@ -221,11 +222,7 @@ pub fn characterize_corner(
         .arcs()
         .iter()
         .map(|arc| {
-            let mean_l = arc
-                .devices
-                .iter()
-                .map(|d| ctx_lengths_nm[d.0])
-                .sum::<f64>()
+            let mean_l = arc.devices.iter().map(|d| ctx_lengths_nm[d.0]).sum::<f64>()
                 / arc.devices.len() as f64;
             let classes: Vec<DeviceClass> =
                 arc.devices.iter().map(|d| device_classes[d.0]).collect();
@@ -308,18 +305,20 @@ impl<'a> SignoffFlow<'a> {
     }
 
     /// Traditional corner timing: every device at `L_nom`, `L_nom ± Δ`,
-    /// plus the non-gate-length corner derate.
+    /// plus the non-gate-length corner derate. The three corner analyses
+    /// are independent and run across the worker pool.
     fn traditional_timing(&self, netlist: &MappedNetlist) -> Result<CornerTiming, FlowError> {
         let l_nom = self.options.characterize.nominal_length_nm;
         let corners = self.options.budget.traditional_corners(l_nom);
-        let delay_at = |l: f64| -> Result<f64, FlowError> {
+        let lengths = [corners.bc_nm, corners.nom_nm, corners.wc_nm];
+        let delays = try_par_map(&lengths, |&l| -> Result<f64, FlowError> {
             let binding = CellBinding::uniform_scaled(netlist, self.library, l)?;
             Ok(analyze(netlist, &binding, &self.options.timing)?.circuit_delay_ns())
-        };
+        })?;
         Ok(self.apply_residual_derate(CornerTiming {
-            bc_ns: delay_at(corners.bc_nm)?,
-            nom_ns: delay_at(corners.nom_nm)?,
-            wc_ns: delay_at(corners.wc_nm)?,
+            bc_ns: delays[0],
+            nom_ns: delays[1],
+            wc_ns: delays[2],
         }))
     }
 
@@ -366,42 +365,51 @@ impl<'a> SignoffFlow<'a> {
             classes[site.instance][site.device.0] = classify_site(site, &self.options);
         }
 
+        // Per-corner in-context characterization, parallel over instances.
+        // Each instance's characterized cell depends only on its own
+        // context and classes; results land in instance order, so the
+        // binding (and the analyzed delay) is identical to the sequential
+        // loop.
+        let instance_indices: Vec<usize> = (0..netlist.instances().len()).collect();
         let mut timings = HashMap::new();
         for corner in Corner::ALL {
-            let mut cells = Vec::with_capacity(netlist.instances().len());
-            for (idx, inst) in netlist.instances().iter().enumerate() {
-                let cell = self.library.cell(&inst.cell).ok_or_else(|| {
-                    FlowError::Inconsistent {
-                        reason: format!("unknown cell `{}`", inst.cell),
-                    }
-                })?;
-                let context = if self.options.use_context_library {
-                    contexts[idx]
-                } else {
-                    CellContext::default()
-                };
-                let variant = self
-                    .expanded
-                    .variant(&inst.cell, context)
-                    .ok_or_else(|| FlowError::Inconsistent {
-                        reason: format!(
-                            "expanded library lacks {} in context {}",
-                            inst.cell,
-                            context.code()
-                        ),
+            let cells = try_par_map(
+                &instance_indices,
+                |&idx| -> Result<CharacterizedCell, FlowError> {
+                    let inst = &netlist.instances()[idx];
+                    let cell =
+                        self.library
+                            .cell(&inst.cell)
+                            .ok_or_else(|| FlowError::Inconsistent {
+                                reason: format!("unknown cell `{}`", inst.cell),
+                            })?;
+                    let context = if self.options.use_context_library {
+                        contexts[idx]
+                    } else {
+                        CellContext::default()
+                    };
+                    let variant = self.expanded.variant(&inst.cell, context).ok_or_else(|| {
+                        FlowError::Inconsistent {
+                            reason: format!(
+                                "expanded library lacks {} in context {}",
+                                inst.cell,
+                                context.code()
+                            ),
+                        }
                     })?;
-                let name = format!("{}_{:?}", variant.variant_name, corner);
-                cells.push(characterize_corner(
-                    cell,
-                    &variant.device_lengths_nm,
-                    &classes[idx],
-                    &self.options.budget,
-                    self.options.policy,
-                    corner,
-                    &name,
-                    self.options.characterize,
-                )?);
-            }
+                    let name = format!("{}_{:?}", variant.variant_name, corner);
+                    Ok(characterize_corner(
+                        cell,
+                        &variant.device_lengths_nm,
+                        &classes[idx],
+                        &self.options.budget,
+                        self.options.policy,
+                        corner,
+                        &name,
+                        self.options.characterize,
+                    )?)
+                },
+            )?;
             let binding = CellBinding::new(netlist, cells)?;
             let report = analyze(netlist, &binding, &self.options.timing)?;
             timings.insert(corner_key(corner), report.circuit_delay_ns());

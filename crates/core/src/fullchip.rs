@@ -214,10 +214,7 @@ impl<'a> LibraryAssembledOpc<'a> {
                 let corrected = self
                     .library_opc
                     .correct_cell(&gates, 0.0, layout.width_nm())?;
-                masks.insert(
-                    key,
-                    corrected.gates.iter().map(|g| g.mask_width).collect(),
-                );
+                masks.insert(key, corrected.gates.iter().map(|g| g.mask_width).collect());
             }
         }
         Ok((masks, started.elapsed()))
@@ -260,11 +257,11 @@ impl<'a> LibraryAssembledOpc<'a> {
                 let mut lines = Vec::with_capacity(cut_sites.len());
                 for s in &cut_sites {
                     let cell_name = &netlist.instances()[s.instance].cell;
-                    let cell = library.cell(cell_name).ok_or_else(|| {
-                        FlowError::Inconsistent {
+                    let cell = library
+                        .cell(cell_name)
+                        .ok_or_else(|| FlowError::Inconsistent {
                             reason: format!("unknown cell `{cell_name}`"),
-                        }
-                    })?;
+                        })?;
                     let order: Vec<_> = cell.layout().row_spans(region);
                     let pos = order
                         .iter()

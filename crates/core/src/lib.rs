@@ -68,6 +68,4 @@ pub use fullchip::{
     MasterMasks, PrintedDevice,
 };
 pub use parasitics::{hpwl_wire_caps, DEFAULT_CAP_PER_NM_PF};
-pub use statistical::{
-    DelayDistribution, GateLengthModel, MonteCarloOptions, MonteCarloSta,
-};
+pub use statistical::{DelayDistribution, GateLengthModel, MonteCarloOptions, MonteCarloSta};

@@ -48,8 +48,8 @@ pub fn hpwl_wire_caps(
                 reason: format!("unknown cell `{}`", inst.cell),
             })?;
         let x = placed.x_nm + cell.layout().width_nm() / 2.0;
-        let y = placed.row as f64 * CellAbstract::CELL_HEIGHT_NM
-            + CellAbstract::CELL_HEIGHT_NM / 2.0;
+        let y =
+            placed.row as f64 * CellAbstract::CELL_HEIGHT_NM + CellAbstract::CELL_HEIGHT_NM / 2.0;
         centers[placed.instance] = Some((x, y));
     }
 
@@ -60,9 +60,12 @@ pub fn hpwl_wire_caps(
             reason: format!("instance `{}` is not placed", inst.name),
         })?;
         for (_, net) in &inst.connections {
-            let e = extents
-                .entry(net.clone())
-                .or_insert((f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY));
+            let e = extents.entry(net.clone()).or_insert((
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ));
             e.0 = e.0.min(x);
             e.1 = e.1.max(x);
             e.2 = e.2.min(y);
@@ -114,12 +117,20 @@ mod tests {
         let caps = hpwl_wire_caps(&mapped, &placement, &library, DEFAULT_CAP_PER_NM_PF).unwrap();
         let binding = CellBinding::nominal(&mapped, &library).unwrap();
         let opts = TimingOptions::default();
-        let bare = analyze(&mapped, &binding, &opts).unwrap().circuit_delay_ns();
+        let bare = analyze(&mapped, &binding, &opts)
+            .unwrap()
+            .circuit_delay_ns();
         let loaded = analyze_with_wire_caps(&mapped, &binding, &opts, &caps)
             .unwrap()
             .circuit_delay_ns();
-        assert!(loaded > bare, "wire load must slow timing: {bare} -> {loaded}");
-        assert!(loaded < 3.0 * bare, "wire load {loaded} implausibly dominant vs {bare}");
+        assert!(
+            loaded > bare,
+            "wire load must slow timing: {bare} -> {loaded}"
+        );
+        assert!(
+            loaded < 3.0 * bare,
+            "wire load {loaded} implausibly dominant vs {bare}"
+        );
     }
 
     #[test]
@@ -152,6 +163,8 @@ mod tests {
         let binding = CellBinding::nominal(&mapped, &library).unwrap();
         let mut caps = HashMap::new();
         caps.insert("nonexistent".to_string(), -1.0);
-        assert!(analyze_with_wire_caps(&mapped, &binding, &TimingOptions::default(), &caps).is_err());
+        assert!(
+            analyze_with_wire_caps(&mapped, &binding, &TimingOptions::default(), &caps).is_err()
+        );
     }
 }

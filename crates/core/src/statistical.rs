@@ -224,11 +224,12 @@ impl<'a> MonteCarloSta<'a> {
 
             let mut cells = Vec::with_capacity(netlist.instances().len());
             for (idx, inst) in netlist.instances().iter().enumerate() {
-                let cell = self.library.cell(&inst.cell).ok_or_else(|| {
-                    FlowError::Inconsistent {
-                        reason: format!("unknown cell `{}`", inst.cell),
-                    }
-                })?;
+                let cell =
+                    self.library
+                        .cell(&inst.cell)
+                        .ok_or_else(|| FlowError::Inconsistent {
+                            reason: format!("unknown cell `{}`", inst.cell),
+                        })?;
                 let n = cell.layout().devices().len();
                 let lengths: Vec<f64> = match model {
                     GateLengthModel::SimplisticGaussian => (0..n)
@@ -250,9 +251,7 @@ impl<'a> MonteCarloSta<'a> {
                                     DeviceClass::Isolated => -focus_shift,
                                     DeviceClass::SelfCompensated => 0.0,
                                 };
-                                base + signed_focus
-                                    + dose_shift
-                                    + sigma_residual * normal(&mut rng)
+                                base + signed_focus + dose_shift + sigma_residual * normal(&mut rng)
                             })
                             .collect()
                     }
@@ -299,8 +298,7 @@ mod tests {
             expand_library(&library, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
         let netlist = generate_benchmark(&BenchmarkProfile::custom("mc", 6, 3, 30, 5));
         let mapped = technology_map(&netlist, &library).expect("mapping succeeds");
-        let placement =
-            place(&mapped, &library, &PlacementOptions::default()).expect("placement");
+        let placement = place(&mapped, &library, &PlacementOptions::default()).expect("placement");
         (library, expanded, mapped, placement)
     }
 

@@ -1,0 +1,232 @@
+//! Sharded, lock-striped memoization cache.
+//!
+//! `MemoCache<K, V>` spreads entries over a fixed power-of-two number of
+//! `Mutex<HashMap>` shards selected by key hash, so concurrent workers
+//! rarely contend on the same lock. The value factory in
+//! [`MemoCache::get_or_insert_with`] runs *outside* any lock — two threads
+//! racing on the same missing key may both compute, and the first writer
+//! wins; this is safe because memoized computations are pure, and it keeps
+//! an expensive simulation from serializing every other shard user.
+//!
+//! Hashing uses the std `DefaultHasher` via `BuildHasherDefault`, which is
+//! deterministic across runs (no per-process random state), so shard
+//! assignment — and therefore eviction behaviour — is reproducible.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+type Shard<K, V> = Mutex<HashMap<K, V, BuildHasherDefault<DefaultHasher>>>;
+
+/// Snapshot of cache activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the factory.
+    pub misses: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` when the cache is untouched.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = self.hits as f64 / total as f64;
+            rate
+        }
+    }
+}
+
+/// A sharded memoization cache for pure computations.
+pub struct MemoCache<K, V> {
+    shards: Vec<Shard<K, V>>,
+    /// Entry cap per shard; a full shard is cleared before inserting
+    /// (wholesale reset is cheaper and more predictable than LRU for the
+    /// sweep-style workloads this serves).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default shard count; power of two so hash bits select shards evenly.
+const DEFAULT_SHARDS: usize = 16;
+/// Default per-shard entry cap (≈64k entries total at 16 shards).
+const DEFAULT_SHARD_CAPACITY: usize = 4096;
+
+impl<K: Hash + Eq, V: Clone> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY)
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
+    /// Creates a cache with `shards` lock stripes (rounded up to a power
+    /// of two, minimum 1) holding at most `shard_capacity` entries each.
+    #[must_use]
+    pub fn new(shards: usize, shard_capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        MemoCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shard_capacity: shard_capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Shard<K, V> {
+        let hash = BuildHasherDefault::<DefaultHasher>::default().hash_one(key);
+        // Shard index from the high bits: the low bits also pick the
+        // bucket inside the shard's HashMap, and reusing them would leave
+        // every map populated in only 1/shards of its buckets.
+        let idx = (hash >> 32) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Returns the cached value for `key`, running `compute` on a miss.
+    ///
+    /// `compute` executes outside the shard lock; on a race the first
+    /// completed insert wins and later computations of the same key are
+    /// discarded (all callers still receive a value for the key).
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
+        let shard = self.shard_for(&key);
+        if let Some(value) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return value.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut map = shard.lock().expect("cache shard poisoned");
+        if let Some(existing) = map.get(&key) {
+            // Lost the race; keep the first writer's value so every caller
+            // observes one canonical result per key.
+            return existing.clone();
+        }
+        if map.len() >= self.shard_capacity {
+            map.clear();
+        }
+        map.insert(key, value.clone());
+        value
+    }
+
+    /// Stores a precomputed value without touching the hit/miss counters
+    /// (for fallible computations where only successes are cacheable). An
+    /// existing entry wins, mirroring [`MemoCache::get_or_insert_with`].
+    pub fn insert(&self, key: K, value: V) {
+        let mut map = self.shard_for(&key).lock().expect("cache shard poisoned");
+        if map.contains_key(&key) {
+            return;
+        }
+        if map.len() >= self.shard_capacity {
+            map.clear();
+        }
+        map.insert(key, value);
+    }
+
+    /// Returns the cached value without computing, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let hit = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn hit_returns_identical_value_without_recompute() {
+        let cache: MemoCache<(i64, i64), f64> = MemoCache::default();
+        let computed = AtomicUsize::new(0);
+        let f = |x: f64| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            x.sin() * 1e-9 + x
+        };
+        let a = cache.get_or_insert_with((90, 250), || f(90.0));
+        let b = cache.get_or_insert_with((90, 250), || f(90.0));
+        assert_eq!(a.to_bits(), b.to_bits(), "hit must be bit-identical");
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "second call was a hit");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(8, 1024);
+        for k in 0..2000u64 {
+            assert_eq!(cache.get_or_insert_with(k, || k * 3), k * 3);
+        }
+        for k in 0..2000u64 {
+            assert_eq!(cache.get(&k), Some(k * 3), "key {k}");
+        }
+    }
+
+    #[test]
+    fn capacity_cap_clears_full_shards() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(1, 4);
+        for k in 0..100u64 {
+            cache.get_or_insert_with(k, || k);
+        }
+        assert!(cache.stats().entries <= 4, "cap must bound residency");
+        // Still correct after eviction: recompute yields the same value.
+        assert_eq!(cache.get_or_insert_with(0, || 0), 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: MemoCache<u64, u64> = MemoCache::default();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let key = (i + t) % 200;
+                        assert_eq!(cache.get_or_insert_with(key, || key * 7), key * 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 200);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

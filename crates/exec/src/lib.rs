@@ -1,0 +1,24 @@
+//! Execution layer for the svt pipeline.
+//!
+//! Two building blocks shared by every hot path in the workspace:
+//!
+//! * [`pool`] — a scoped worker pool over `std::thread` with a
+//!   [`par_map`](pool::par_map)-style API. Results land in pre-indexed
+//!   slots, so output ordering (and therefore any downstream
+//!   floating-point accumulation order) is identical to the sequential
+//!   path regardless of which worker ran which item.
+//! * [`cache`] — a sharded, lock-striped memoization cache
+//!   ([`cache::MemoCache`]) for expensive simulation results, plus the
+//!   [`quant`] helpers used to build stable keys from `f64` parameters.
+//!
+//! Thread count resolution: an explicit override always wins, then the
+//! `SVT_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+pub mod cache;
+pub mod pool;
+pub mod quant;
+
+pub use cache::{CacheStats, MemoCache};
+pub use pool::{par_map, par_map_threads, resolve_threads, try_par_map, try_par_map_threads};
+pub use quant::{qf64, quantize_f64, unquantize_f64};

@@ -1,0 +1,233 @@
+//! Scoped worker pool with a deterministic `par_map` API.
+//!
+//! Design notes:
+//!
+//! * Workers are spawned per call inside `std::thread::scope`, so borrowed
+//!   inputs work without `'static` bounds and no pool object needs to be
+//!   kept alive between calls.
+//! * Work is distributed dynamically through one shared atomic index;
+//!   each result is written into the slot of its *input* index, so the
+//!   output order is exactly the input order no matter how items were
+//!   scheduled. Per-item computation is untouched, which keeps
+//!   floating-point results bit-identical to the sequential path.
+//! * A panicking task does not deadlock the pool: every task runs under
+//!   `catch_unwind`, the first panic stops further scheduling, all workers
+//!   are joined, and the panic is then resumed on the caller thread.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "SVT_THREADS";
+
+/// Resolves the worker count: explicit override, then `SVT_THREADS`, then
+/// `available_parallelism()`, clamped to at least 1.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` on the resolved number of worker threads.
+///
+/// Output `i` is always `f(items[i])`: results are written into
+/// pre-indexed slots, so ordering matches the sequential loop exactly.
+///
+/// # Panics
+///
+/// If any task panics, the panic is resumed on the caller thread after all
+/// workers have been joined (no deadlock, no lost worker).
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    par_map_threads(resolve_threads(None), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (`<= 1` runs inline).
+pub fn par_map_threads<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    match try_par_map_threads(threads, items, |item| Ok::<R, Never>(f(item))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`par_map`]: stops early on the first error *by input index*
+/// (the same error a sequential `for` loop would have returned first).
+///
+/// # Errors
+///
+/// Returns the error produced by the lowest-indexed failing item.
+pub fn try_par_map<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> + Sync>(
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, E> {
+    try_par_map_threads(resolve_threads(None), items, f)
+}
+
+/// [`try_par_map`] with an explicit thread count (`<= 1` runs inline).
+pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> + Sync>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, E> {
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // One slot per input index; workers only ever touch their own claimed
+    // slots, the Mutex is for moving results across the scope boundary.
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Lowest failing index seen so far; `n` means "none". Also doubles as
+    // the early-exit signal: workers stop claiming past a known failure.
+    let first_bad = AtomicUsize::new(n);
+
+    let panic_payload = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| -> Result<(), Box<dyn std::any::Any + Send>> {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n || i > first_bad.load(Ordering::Acquire) {
+                            return Ok(());
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(result) => {
+                                if result.is_err() {
+                                    first_bad.fetch_min(i, Ordering::AcqRel);
+                                }
+                                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                            }
+                            Err(payload) => {
+                                // Stop all scheduling and hand the panic to
+                                // the caller, which resumes it only after
+                                // every worker has been joined.
+                                next.store(n, Ordering::Relaxed);
+                                first_bad.fetch_min(i, Ordering::AcqRel);
+                                return Err(payload);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut payload = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) | Err(_) => {}
+                Ok(Err(p)) => payload = Some(payload.unwrap_or(p)),
+            }
+        }
+        payload
+    });
+
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+
+    let bad = first_bad.load(Ordering::Acquire);
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let value = slot.into_inner().expect("result slot poisoned");
+        match value {
+            Some(Ok(r)) if i < bad => out.push(r),
+            Some(Err(e)) if i == bad => return Err(e),
+            // Items at or past a failure may legitimately be unevaluated.
+            _ if i >= bad => break,
+            _ => unreachable!("slot {i} missing despite no earlier failure"),
+        }
+    }
+    if bad < n {
+        // The failing item bailed before its slot was filled only in the
+        // panic path, which was resumed above; reaching here means the
+        // error slot existed and returned already.
+        unreachable!("failure at {bad} produced no error value");
+    }
+    Ok(out)
+}
+
+/// Uninhabited error type for the infallible wrapper.
+enum Never {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn matches_sequential_output_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = par_map_threads(threads, &items, |x| x * x + 1);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(8, &empty, |x| x + 1).is_empty());
+        assert_eq!(par_map_threads(8, &[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let result =
+            try_par_map_threads(4, &items, |&x| if x % 10 == 7 { Err(x) } else { Ok(x * 2) });
+        assert_eq!(result, Err(7), "sequential semantics: first error wins");
+    }
+
+    #[test]
+    fn pool_survives_panicking_task() {
+        let items: Vec<u32> = (0..32).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_threads(4, &items, |&x| {
+                if x == 13 {
+                    panic!("task boom");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task boom");
+
+        // Pool must be reusable afterwards — nothing deadlocked or leaked.
+        let ok = par_map_threads(4, &items, |&x| x + 1);
+        assert_eq!(ok, (1..33).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map_threads(8, &items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "explicit zero clamps to 1");
+        assert!(resolve_threads(None) >= 1);
+    }
+}

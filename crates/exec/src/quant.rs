@@ -1,0 +1,95 @@
+//! Stable cache keys from floating-point simulation parameters.
+//!
+//! Two regimes, chosen per use site:
+//!
+//! * **Exact** — [`qf64`] keys on the raw bit pattern. Used when the cached
+//!   value is a pure function of the exact input (e.g. pupil-transfer
+//!   tables keyed by defocus), so no two distinct inputs may share a key.
+//! * **Quantized** — [`quantize_f64`] snaps a parameter to a micro-unit
+//!   grid (1e-6 of the parameter's unit). The cached computation must then
+//!   be run on the *reconstructed* value ([`unquantize_f64`]), never the
+//!   original: every input that lands in a bucket maps to one
+//!   representative, so the result is independent of which caller filled
+//!   the cache first. For the nm/% magnitudes used across the pipeline the
+//!   snap error is far below physical meaning (attometers, 1e-6 %).
+
+/// Quantization scale: buckets of one millionth of the parameter's unit.
+pub const QUANT_SCALE: f64 = 1e6;
+
+/// Exact key for an `f64`: its bit pattern, with `-0.0` folded into `0.0`
+/// so the two zero representations share a cache line.
+#[must_use]
+pub fn qf64(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Snaps `x` to the micro-unit grid, returning the integer bucket.
+///
+/// # Panics
+///
+/// Panics on non-finite input — NaN/inf parameters indicate an upstream
+/// bug and must never silently collide in a cache bucket.
+#[must_use]
+pub fn quantize_f64(x: f64) -> i64 {
+    assert!(x.is_finite(), "cannot quantize non-finite parameter {x}");
+    #[allow(clippy::cast_possible_truncation)]
+    let bucket = (x * QUANT_SCALE).round() as i64;
+    bucket
+}
+
+/// Reconstructs the representative value of a bucket.
+///
+/// All cached computation must use this value, not the caller's raw input;
+/// that makes memoized results independent of fill order.
+#[must_use]
+pub fn unquantize_f64(bucket: i64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    let x = bucket as f64 / QUANT_SCALE;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_round_trips_typical_values() {
+        for &x in &[0.0, 90.0, 250.5, 1e4, -35.75, 0.000_001] {
+            let q = quantize_f64(x);
+            assert!(
+                (unquantize_f64(q) - x).abs() <= 0.5 / QUANT_SCALE,
+                "{x} snapped too far"
+            );
+        }
+        // Values already on the grid reconstruct exactly.
+        assert_eq!(unquantize_f64(quantize_f64(90.0)), 90.0);
+        assert_eq!(unquantize_f64(quantize_f64(-120.25)), -120.25);
+    }
+
+    #[test]
+    fn nearby_values_share_a_bucket_and_representative() {
+        let a = 90.0;
+        let b = 90.0 + 1e-9;
+        assert_eq!(quantize_f64(a), quantize_f64(b));
+        assert_eq!(
+            unquantize_f64(quantize_f64(a)),
+            unquantize_f64(quantize_f64(b))
+        );
+    }
+
+    #[test]
+    fn exact_keys_distinguish_but_merge_zeros() {
+        assert_ne!(qf64(1.0), qf64(1.0 + f64::EPSILON));
+        assert_eq!(qf64(0.0), qf64(-0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        let _ = quantize_f64(f64::NAN);
+    }
+}

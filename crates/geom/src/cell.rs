@@ -127,8 +127,7 @@ impl Instance {
     pub fn placed_bbox(&self) -> Rect {
         let w = self.transform.cell_width;
         let h = self.transform.cell_height;
-        self.transform
-            .apply_rect(Rect::new(Nm(0), Nm(0), w, h))
+        self.transform.apply_rect(Rect::new(Nm(0), Nm(0), w, h))
     }
 }
 
@@ -248,7 +247,10 @@ mod tests {
             Rect::new(Nm(-700), Nm(0), Nm(-650), Nm(100)),
         ));
         let err = c.validate(Nm(600)).unwrap_err();
-        assert!(matches!(err, GeomError::ShapeOutsideOutline { index: 2, .. }));
+        assert!(matches!(
+            err,
+            GeomError::ShapeOutsideOutline { index: 2, .. }
+        ));
         // But a dummy hanging out within the margin is fine.
         let mut c2 = inv_master();
         c2.push(Shape::new(
@@ -283,7 +285,10 @@ mod tests {
         assert_eq!(mask.len(), 1);
         assert_eq!(mask[0].layer, Layer::Poly);
         // MY: x spans [600-345, 600-255] = [255, 345] -> +1000.
-        assert_eq!(mask[0].rect, Rect::new(Nm(1255), Nm(200), Nm(1345), Nm(2200)));
+        assert_eq!(
+            mask[0].rect,
+            Rect::new(Nm(1255), Nm(200), Nm(1345), Nm(2200))
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl fmt::Display for GeomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeomError::ShapeOutsideOutline { cell, index } => {
-                write!(f, "shape {index} of cell `{cell}` lies outside the cell outline")
+                write!(
+                    f,
+                    "shape {index} of cell `{cell}` lies outside the cell outline"
+                )
             }
             GeomError::UnknownCell { cell } => {
                 write!(f, "instance references unknown cell master `{cell}`")

@@ -34,7 +34,10 @@ impl Rect {
     /// Panics if `x0 > x1` or `y0 > y1`.
     #[must_use]
     pub fn new(x0: Nm, y0: Nm, x1: Nm, y1: Nm) -> Rect {
-        assert!(x0 <= x1 && y0 <= y1, "inverted rect: ({x0},{y0})-({x1},{y1})");
+        assert!(
+            x0 <= x1 && y0 <= y1,
+            "inverted rect: ({x0},{y0})-({x1},{y1})"
+        );
         Rect {
             lo: Point::new(x0, y0),
             hi: Point::new(x1, y1),

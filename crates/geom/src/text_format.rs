@@ -30,7 +30,9 @@
 
 use std::fmt::Write as _;
 
-use crate::{CellLayout, GeomError, Instance, Layer, Layout, Nm, Orientation, Point, Rect, Shape, Transform};
+use crate::{
+    CellLayout, GeomError, Instance, Layer, Layout, Nm, Orientation, Point, Rect, Shape, Transform,
+};
 
 fn layer_name(layer: Layer) -> &'static str {
     match layer {
@@ -161,8 +163,7 @@ pub fn parse_layout(text: &str) -> Result<Layout, GeomError> {
                 let cell = current
                     .as_mut()
                     .ok_or_else(|| err(lineno, "RECT outside a CELL"))?;
-                let layer =
-                    parse_layer(layer).ok_or_else(|| err(lineno, "unknown layer"))?;
+                let layer = parse_layer(layer).ok_or_else(|| err(lineno, "unknown layer"))?;
                 cell.push(Shape::new(
                     layer,
                     Rect::new(
@@ -187,8 +188,8 @@ pub fn parse_layout(text: &str) -> Result<Layout, GeomError> {
                     .cell(cell)
                     .ok_or_else(|| err(lineno, "instance of undeclared cell"))?;
                 let (w, h) = (master.width(), master.height());
-                let orientation = parse_orientation(orient)
-                    .ok_or_else(|| err(lineno, "unknown orientation"))?;
+                let orientation =
+                    parse_orientation(orient).ok_or_else(|| err(lineno, "unknown orientation"))?;
                 let t = Transform::new(
                     Point::new(Nm(int(lineno, x)?), Nm(int(lineno, y)?)),
                     orientation,
@@ -248,10 +249,21 @@ mod tests {
 
     #[test]
     fn all_layers_and_orientations_round_trip() {
-        for layer in [Layer::Poly, Layer::Diffusion, Layer::DummyPoly, Layer::Sraf, Layer::Outline] {
+        for layer in [
+            Layer::Poly,
+            Layer::Diffusion,
+            Layer::DummyPoly,
+            Layer::Sraf,
+            Layer::Outline,
+        ] {
             assert_eq!(parse_layer(layer_name(layer)), Some(layer));
         }
-        for o in [Orientation::R0, Orientation::MY, Orientation::MX, Orientation::R180] {
+        for o in [
+            Orientation::R0,
+            Orientation::MY,
+            Orientation::MX,
+            Orientation::R180,
+        ] {
             assert_eq!(parse_orientation(orientation_name(o)), Some(o));
         }
     }
@@ -263,8 +275,14 @@ mod tests {
             Err(GeomError::ParseLayoutError { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
-        assert!(parse_layout("LAYOUT\nCELL A 0 0 10 10\nEND\n").is_err(), "unterminated cell");
-        assert!(parse_layout("LAYOUT\nINST u X 0 0 R0\nEND\n").is_err(), "undeclared master");
+        assert!(
+            parse_layout("LAYOUT\nCELL A 0 0 10 10\nEND\n").is_err(),
+            "unterminated cell"
+        );
+        assert!(
+            parse_layout("LAYOUT\nINST u X 0 0 R0\nEND\n").is_err(),
+            "undeclared master"
+        );
         assert!(parse_layout("LAYOUT\nGARBAGE\nEND\n").is_err());
         assert!(parse_layout("LAYOUT\nCELL A 0 0 ten 10\nENDCELL\nEND\n").is_err());
     }

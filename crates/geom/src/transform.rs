@@ -81,7 +81,12 @@ pub struct Transform {
 impl Transform {
     /// Creates a transform for a cell of the given bounding-box size.
     #[must_use]
-    pub fn new(origin: Point, orientation: Orientation, cell_width: Nm, cell_height: Nm) -> Transform {
+    pub fn new(
+        origin: Point,
+        orientation: Orientation,
+        cell_width: Nm,
+        cell_height: Nm,
+    ) -> Transform {
         Transform {
             origin,
             orientation,
@@ -117,12 +122,7 @@ impl Transform {
     pub fn apply_rect(&self, r: Rect) -> Rect {
         let a = self.apply_point(r.lo());
         let b = self.apply_point(r.hi());
-        Rect::new(
-            a.x.min(b.x),
-            a.y.min(b.y),
-            a.x.max(b.x),
-            a.y.max(b.y),
-        )
+        Rect::new(a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y))
     }
 }
 
@@ -166,7 +166,12 @@ mod tests {
     fn r180_mirrors_both() {
         let r = Rect::new(Nm(0), Nm(0), Nm(400), Nm(800));
         // Full bbox maps to itself under any orientation.
-        for o in [Orientation::R0, Orientation::MY, Orientation::MX, Orientation::R180] {
+        for o in [
+            Orientation::R0,
+            Orientation::MY,
+            Orientation::MX,
+            Orientation::R180,
+        ] {
             assert_eq!(
                 t(o).apply_rect(r),
                 Rect::new(Nm(1000), Nm(2000), Nm(1400), Nm(2800)),

@@ -152,7 +152,10 @@ mod tests {
                 .find(|&&(z2, _)| (z2 + z).abs() < 1e-9)
                 .map(|&(_, cd2)| cd2);
             if let Some(cd2) = mirrored {
-                assert!((cd - cd2).abs() < 0.2, "focus asymmetry at ±{z}: {cd} vs {cd2}");
+                assert!(
+                    (cd - cd2).abs() < 0.2,
+                    "focus asymmetry at ±{z}: {cd} vs {cd2}"
+                );
             }
         }
     }
@@ -181,6 +184,9 @@ mod tests {
         let fam = bossung(&sim(), 90.0, Some(240.0), &focus_grid(), &[0.9, 1.1]).unwrap();
         let low = fam.curves[0].cd_at_focus();
         let high = fam.curves[1].cd_at_focus();
-        assert!(low > high, "dose 0.9 CD {low} should exceed dose 1.1 CD {high}");
+        assert!(
+            low > high,
+            "dose 0.9 CD {low} should exceed dose 1.1 CD {high}"
+        );
     }
 }

@@ -191,7 +191,10 @@ mod tests {
         let img = image_of_line(130.0, 0.0);
         let printed = measure_cd_at(&img, 0.0, ThresholdResist::new(0.3), 1.0).unwrap();
         let cd = printed.cd();
-        assert!(cd > 60.0 && cd < 220.0, "CD {cd} implausible for 130 nm line");
+        assert!(
+            cd > 60.0 && cd < 220.0,
+            "CD {cd} implausible for 130 nm line"
+        );
         // Symmetric mask -> centered feature.
         assert!(printed.center().abs() < 1.0);
         assert!(printed.left_edge < 0.0 && printed.right_edge > 0.0);

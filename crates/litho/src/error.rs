@@ -46,13 +46,22 @@ impl fmt::Display for LithoError {
             LithoError::InvalidOptics { reason } => write!(f, "invalid optics: {reason}"),
             LithoError::InvalidWindow { reason } => write!(f, "invalid mask window: {reason}"),
             LithoError::FeatureNotPrinted { at } => {
-                write!(f, "no printed feature at x = {at} nm (intensity above threshold)")
+                write!(
+                    f,
+                    "no printed feature at x = {at} nm (intensity above threshold)"
+                )
             }
             LithoError::EdgeOutsideWindow { at } => {
-                write!(f, "printed feature at x = {at} nm extends beyond the simulation window")
+                write!(
+                    f,
+                    "printed feature at x = {at} nm extends beyond the simulation window"
+                )
             }
             LithoError::CalibrationFailed { target_cd } => {
-                write!(f, "resist calibration could not reach target CD {target_cd} nm")
+                write!(
+                    f,
+                    "resist calibration could not reach target CD {target_cd} nm"
+                )
             }
         }
     }

@@ -1,4 +1,5 @@
 use serde::{Deserialize, Serialize};
+use svt_exec::try_par_map;
 
 use crate::bossung::{bossung, BossungFamily};
 use crate::{LithoError, LithoSimulator};
@@ -44,12 +45,14 @@ pub struct FocusExposureMatrix {
 }
 
 impl FocusExposureMatrix {
-    /// Builds the matrix by simulating a Bossung family for every pitch.
-    /// Use `f64::INFINITY` in `pitches_nm` to include an isolated line.
+    /// Builds the matrix by simulating a Bossung family for every pitch,
+    /// with pitches distributed across the worker pool. Use
+    /// `f64::INFINITY` in `pitches_nm` to include an isolated line.
     ///
     /// # Errors
     ///
-    /// Propagates the first simulation failure.
+    /// Propagates the first simulation failure (by pitch order, matching
+    /// the sequential loop).
     pub fn build(
         sim: &LithoSimulator,
         width_nm: f64,
@@ -57,11 +60,10 @@ impl FocusExposureMatrix {
         focus_nm: &[f64],
         doses: &[f64],
     ) -> Result<FocusExposureMatrix, LithoError> {
-        let mut families = Vec::with_capacity(pitches_nm.len());
-        for &pitch in pitches_nm {
+        let families = try_par_map(pitches_nm, |&pitch| {
             let p = if pitch.is_finite() { Some(pitch) } else { None };
-            families.push(bossung(sim, width_nm, p, focus_nm, doses)?);
-        }
+            bossung(sim, width_nm, p, focus_nm, doses)
+        })?;
         Ok(FocusExposureMatrix {
             drawn_width_nm: width_nm,
             families,

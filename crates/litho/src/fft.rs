@@ -9,10 +9,58 @@
 //!
 //! Convention: [`forward`] computes `X[k] = Σ_n x[n]·e^{-2πi kn/N}` (no
 //! scaling); [`inverse`] computes `x[n] = (1/N)·Σ_k X[k]·e^{+2πi kn/N}`.
+//!
+//! Transforms of the same length share a cached [`Plan`] (bit-reversal
+//! permutation plus per-stage twiddle tables), so the trigonometry is paid
+//! once per size instead of once per call. Twiddles are tabulated directly
+//! as `cis(-2πk/len)` rather than by repeated multiplication, which is
+//! also slightly more accurate than the incremental recurrence.
 
 use std::f64::consts::PI;
+use std::sync::{Arc, OnceLock};
+
+use svt_exec::MemoCache;
 
 use crate::Complex;
+
+/// Precomputed machinery for one transform length.
+struct Plan {
+    /// `bitrev[i]` is the bit-reversed index of `i`.
+    bitrev: Vec<u32>,
+    /// `stages[s]` holds the `len/2` forward twiddles `cis(-2πk/len)` for
+    /// butterfly length `len = 2^(s+1)`; the inverse pass conjugates them.
+    stages: Vec<Vec<Complex>>,
+}
+
+impl Plan {
+    fn build(n: usize) -> Plan {
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                #[allow(clippy::cast_possible_truncation)]
+                let j = (i.reverse_bits() >> (usize::BITS - bits)) as u32;
+                j
+            })
+            .collect();
+        let mut stages = Vec::with_capacity(bits as usize);
+        let mut len = 2usize;
+        while len <= n {
+            let ang = -2.0 * PI / len as f64;
+            stages.push((0..len / 2).map(|k| Complex::cis(ang * k as f64)).collect());
+            len <<= 1;
+        }
+        Plan { bitrev, stages }
+    }
+}
+
+/// Cached plans keyed by transform length. Aerial imaging uses a handful
+/// of sizes (one per mask window), so this stays tiny.
+fn plan_for(n: usize) -> Arc<Plan> {
+    static PLANS: OnceLock<MemoCache<usize, Arc<Plan>>> = OnceLock::new();
+    PLANS
+        .get_or_init(|| MemoCache::new(4, 64))
+        .get_or_insert_with(n, || Arc::new(Plan::build(n)))
+}
 
 /// Returns the smallest power of two `≥ n` (and `≥ 1`).
 ///
@@ -57,31 +105,29 @@ fn transform(data: &mut [Complex], sign: f64) {
         return;
     }
 
+    let plan = plan_for(n);
+
     // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
+    for (i, &rev) in plan.bitrev.iter().enumerate() {
+        let j = rev as usize;
         if j > i {
             data.swap(i, j);
         }
     }
 
-    // Butterflies.
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex::cis(ang);
+    // Butterflies, twiddles from the per-stage tables.
+    let inverse_pass = sign > 0.0;
+    for (stage, twiddles) in plan.stages.iter().enumerate() {
+        let len = 2usize << stage;
         for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
+            for (k, &tw) in twiddles.iter().enumerate() {
+                let w = if inverse_pass { tw.conj() } else { tw };
                 let u = data[start + k];
                 let v = data[start + k + len / 2] * w;
                 data[start + k] = u + v;
                 data[start + k + len / 2] = u - v;
-                w *= wlen;
             }
         }
-        len <<= 1;
     }
 }
 

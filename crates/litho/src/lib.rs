@@ -51,7 +51,16 @@ pub use cd::{measure_cd_at, PrintedCd, ThresholdResist};
 pub use complex::Complex;
 pub use error::LithoError;
 pub use fem::{FemPoint, FocusExposureMatrix};
-pub use imaging::{AerialImage, ImagingConfig};
+pub use imaging::{clear_imaging_caches, transfer_cache_stats, AerialImage, ImagingConfig};
+pub use simulator::{cd_cache_stats, clear_cd_cache};
+
+/// Drops every cache in the crate: FFT plans are kept (they are tiny and
+/// size-keyed), pupil-transfer tables, sampled sources, and memoized CDs
+/// are cleared. Benchmarks call this between cold-cache measurements.
+pub fn clear_litho_caches() {
+    clear_imaging_caches();
+    clear_cd_cache();
+}
 pub use mask::MaskCutline;
 pub use metrics::{depth_of_focus, image_metrics, meef, ImageMetrics};
 pub use process::Process;

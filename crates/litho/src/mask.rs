@@ -180,7 +180,10 @@ mod tests {
         for off in 1..n / 4 {
             let a = m.samples()[center - off];
             let b = m.samples()[center + off];
-            assert!((a - b).abs() < 1e-12, "asymmetry at offset {off}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "asymmetry at offset {off}: {a} vs {b}"
+            );
         }
     }
 

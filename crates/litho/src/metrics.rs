@@ -204,7 +204,10 @@ mod tests {
     fn meef_is_near_unity_for_relaxed_lines() {
         let (sim, lines) = setup();
         let m = meef(&sim, -2048.0, 4096.0, &lines, 0, 2.0).expect("meef");
-        assert!(m > 0.4 && m < 3.5, "MEEF {m} implausible for a 90 nm iso line");
+        assert!(
+            m > 0.4 && m < 3.5,
+            "MEEF {m} implausible for a 90 nm iso line"
+        );
     }
 
     #[test]
@@ -226,10 +229,10 @@ mod tests {
     #[test]
     fn dof_shrinks_for_marginal_tolerances() {
         let (sim, lines) = setup();
-        let tight = depth_of_focus(&sim, -2048.0, 4096.0, &lines, 0.0, 5.0, 50.0, 500.0)
-            .expect("dof");
-        let loose = depth_of_focus(&sim, -2048.0, 4096.0, &lines, 0.0, 20.0, 50.0, 500.0)
-            .expect("dof");
+        let tight =
+            depth_of_focus(&sim, -2048.0, 4096.0, &lines, 0.0, 5.0, 50.0, 500.0).expect("dof");
+        let loose =
+            depth_of_focus(&sim, -2048.0, 4096.0, &lines, 0.0, 20.0, 50.0, 500.0).expect("dof");
         assert!(loose >= tight, "loose tolerance must not shrink DOF");
         assert!(loose > 0.0, "a 90 nm iso line has nonzero DOF at ±20 nm");
     }

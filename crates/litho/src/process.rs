@@ -138,8 +138,8 @@ impl Process {
     /// constructors always produce valid parameters.
     #[must_use]
     pub fn imaging(&self) -> ImagingConfig {
-        let pupil =
-            Pupil::new(self.wavelength_nm, self.na).expect("process optics are valid by construction");
+        let pupil = Pupil::new(self.wavelength_nm, self.na)
+            .expect("process optics are valid by construction");
         let source = Illumination::annular(self.sigma_in, self.sigma_out)
             .expect("process source is valid by construction");
         ImagingConfig::new(pupil, source, self.source_samples, self.grid_nm)
@@ -222,7 +222,9 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let p = Process::nm90().with_resist_threshold(0.25).with_grid_nm(4.0);
+        let p = Process::nm90()
+            .with_resist_threshold(0.25)
+            .with_grid_nm(4.0);
         assert_eq!(p.resist().threshold(), 0.25);
         assert_eq!(p.grid_nm(), 4.0);
         assert_eq!(p.imaging().grid_nm(), 4.0);

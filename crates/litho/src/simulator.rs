@@ -1,7 +1,34 @@
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
+use svt_exec::{qf64, quantize_f64, unquantize_f64, CacheStats, MemoCache};
 
 use crate::cd::{measure_cd_at, PrintedCd, ThresholdResist};
-use crate::{AerialImage, ImagingConfig, LithoError, MaskCutline};
+use crate::{AerialImage, Illumination, ImagingConfig, LithoError, MaskCutline};
+
+/// Memo key for a printed CD: pattern kind, full simulator identity (exact
+/// bit patterns of every field that influences the image), and the four
+/// quantized pattern parameters.
+type CdKey = (u8, [u64; 9], i64, i64, i64, i64);
+
+const PATTERN_LINE_ARRAY: u8 = 0;
+const PATTERN_ISOLATED: u8 = 1;
+
+fn cd_cache() -> &'static MemoCache<CdKey, f64> {
+    static CACHE: OnceLock<MemoCache<CdKey, f64>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::default)
+}
+
+/// Hit/miss counters of the printed-CD memo cache.
+#[must_use]
+pub fn cd_cache_stats() -> CacheStats {
+    cd_cache().stats()
+}
+
+/// Drops every cached printed-CD result.
+pub fn clear_cd_cache() {
+    cd_cache().clear();
+}
 
 /// High-level lithography simulator: imaging + resist + etch + CD metrology.
 ///
@@ -149,8 +176,78 @@ impl LithoSimulator {
         self.device_cd(printed)
     }
 
+    /// Exact identity of every simulator field that influences a printed
+    /// CD, embedded in memo keys so distinct simulators never share one.
+    /// Downstream crates (OPC, library expansion) fold this into their own
+    /// cache keys for the same reason.
+    #[must_use]
+    pub fn identity(&self) -> [u64; 9] {
+        let (tag, sigma_a, sigma_b) = match self.config.source() {
+            Illumination::Conventional { sigma } => (0u64, qf64(sigma), 0),
+            Illumination::Annular {
+                sigma_in,
+                sigma_out,
+            } => (1, qf64(sigma_in), qf64(sigma_out)),
+        };
+        [
+            qf64(self.config.pupil().wavelength_nm()),
+            qf64(self.config.pupil().na()),
+            tag,
+            sigma_a,
+            sigma_b,
+            self.config.source_samples() as u64,
+            qf64(self.config.grid_nm()),
+            qf64(self.resist.threshold()),
+            qf64(self.etch_bias_nm),
+        ]
+    }
+
+    /// Memoizes a printed-CD computation on the quantized parameter grid.
+    ///
+    /// `compute` receives the bucket *representatives*, never the raw
+    /// inputs: every parameter set that lands in a bucket maps to one
+    /// canonical result, making cached values independent of fill order.
+    /// Errors are never cached; non-finite parameters bypass the cache so
+    /// the underlying computation reports them in its own terms.
+    fn memoized_cd(
+        &self,
+        kind: u8,
+        width_nm: f64,
+        pitch_nm: f64,
+        defocus_nm: f64,
+        dose: f64,
+        compute: impl FnOnce(&LithoSimulator, f64, f64, f64, f64) -> Result<f64, LithoError>,
+    ) -> Result<f64, LithoError> {
+        let finite = width_nm.is_finite()
+            && pitch_nm.is_finite()
+            && defocus_nm.is_finite()
+            && dose.is_finite();
+        if !finite {
+            return compute(self, width_nm, pitch_nm, defocus_nm, dose);
+        }
+        let qw = quantize_f64(width_nm);
+        let qp = quantize_f64(pitch_nm);
+        let qf = quantize_f64(defocus_nm);
+        let qd = quantize_f64(dose);
+        let key = (kind, self.identity(), qw, qp, qf, qd);
+        let cache = cd_cache();
+        if let Some(cd) = cache.get(&key) {
+            return Ok(cd);
+        }
+        let cd = compute(
+            self,
+            unquantize_f64(qw),
+            unquantize_f64(qp),
+            unquantize_f64(qf),
+            unquantize_f64(qd),
+        )?;
+        cache.insert(key, cd);
+        Ok(cd)
+    }
+
     /// Prints an isolated line of the given drawn width centered at 0 and
-    /// returns its device CD.
+    /// returns its device CD. Results are memoized on the quantized
+    /// `(width, defocus, dose)` grid.
     ///
     /// # Errors
     ///
@@ -161,14 +258,23 @@ impl LithoSimulator {
         defocus_nm: f64,
         dose: f64,
     ) -> Result<f64, LithoError> {
-        let lines = [(-width_nm / 2.0, width_nm / 2.0)];
-        self.print_device_cd(
-            -Self::HALF_WINDOW_NM,
-            2.0 * Self::HALF_WINDOW_NM,
-            &lines,
+        self.memoized_cd(
+            PATTERN_ISOLATED,
+            width_nm,
             0.0,
             defocus_nm,
             dose,
+            |sim, width_nm, _, defocus_nm, dose| {
+                let lines = [(-width_nm / 2.0, width_nm / 2.0)];
+                sim.print_device_cd(
+                    -Self::HALF_WINDOW_NM,
+                    2.0 * Self::HALF_WINDOW_NM,
+                    &lines,
+                    0.0,
+                    defocus_nm,
+                    dose,
+                )
+            },
         )
     }
 
@@ -180,7 +286,8 @@ impl LithoSimulator {
     /// # Errors
     ///
     /// Returns [`LithoError::InvalidWindow`] if `pitch ≤ width`; otherwise
-    /// see [`LithoSimulator::print_device_cd`].
+    /// see [`LithoSimulator::print_device_cd`]. Results are memoized on the
+    /// quantized `(width, pitch, defocus, dose)` grid.
     pub fn print_line_array(
         &self,
         width_nm: f64,
@@ -193,22 +300,32 @@ impl LithoSimulator {
                 reason: format!("pitch {pitch_nm} must exceed line width {width_nm}"),
             });
         }
-        // Fill the window with neighbors, leaving a clear margin at the ends.
-        let margin = 700.0;
-        let count = ((Self::HALF_WINDOW_NM - margin) / pitch_nm).floor() as i64;
-        let lines: Vec<(f64, f64)> = (-count..=count)
-            .map(|k| {
-                let c = k as f64 * pitch_nm;
-                (c - width_nm / 2.0, c + width_nm / 2.0)
-            })
-            .collect();
-        self.print_device_cd(
-            -Self::HALF_WINDOW_NM,
-            2.0 * Self::HALF_WINDOW_NM,
-            &lines,
-            0.0,
+        self.memoized_cd(
+            PATTERN_LINE_ARRAY,
+            width_nm,
+            pitch_nm,
             defocus_nm,
             dose,
+            |sim, width_nm, pitch_nm, defocus_nm, dose| {
+                // Fill the window with neighbors, leaving a clear margin at
+                // the ends.
+                let margin = 700.0;
+                let count = ((Self::HALF_WINDOW_NM - margin) / pitch_nm).floor() as i64;
+                let lines: Vec<(f64, f64)> = (-count..=count)
+                    .map(|k| {
+                        let c = k as f64 * pitch_nm;
+                        (c - width_nm / 2.0, c + width_nm / 2.0)
+                    })
+                    .collect();
+                sim.print_device_cd(
+                    -Self::HALF_WINDOW_NM,
+                    2.0 * Self::HALF_WINDOW_NM,
+                    &lines,
+                    0.0,
+                    defocus_nm,
+                    dose,
+                )
+            },
         )
     }
 
@@ -279,7 +396,9 @@ impl LithoSimulator {
             }
         };
         if compare(&self, lo)? != Ordering::Less || compare(&self, hi)? != Ordering::Greater {
-            return Err(LithoError::CalibrationFailed { target_cd: width_nm });
+            return Err(LithoError::CalibrationFailed {
+                target_cd: width_nm,
+            });
         }
         for _ in 0..48 {
             let mid = 0.5 * (lo + hi);
@@ -299,7 +418,9 @@ impl LithoSimulator {
         // calibrated threshold actually prints to size.
         let check = self.print_line_array(width_nm, pitch_nm, 0.0, 1.0)?;
         if (check - width_nm).abs() > 0.5 {
-            return Err(LithoError::CalibrationFailed { target_cd: width_nm });
+            return Err(LithoError::CalibrationFailed {
+                target_cd: width_nm,
+            });
         }
         Ok(self)
     }
@@ -321,15 +442,45 @@ mod tests {
         let semi = s.print_line_array(90.0, 300.0, 0.0, 1.0).unwrap();
         let sparse = s.print_line_array(90.0, 600.0, 0.0, 1.0).unwrap();
         let iso = s.print_isolated_line(90.0, 0.0, 1.0).unwrap();
-        for (name, cd) in [("dense", dense), ("semi", semi), ("sparse", sparse), ("iso", iso)] {
+        for (name, cd) in [
+            ("dense", dense),
+            ("semi", semi),
+            ("sparse", sparse),
+            ("iso", iso),
+        ] {
             assert!(cd > 40.0 && cd < 180.0, "{name} CD {cd} implausible");
         }
-        assert!((semi - sparse).abs() > 0.5, "no through-pitch bias: {semi} vs {sparse}");
+        assert!(
+            (semi - sparse).abs() > 0.5,
+            "no through-pitch bias: {semi} vs {sparse}"
+        );
     }
 
     #[test]
     fn line_array_requires_pitch_above_width() {
         assert!(sim().print_line_array(90.0, 80.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn memoized_cd_hit_is_bit_identical() {
+        let s = sim();
+        // Parameters no other test uses, so the first call is a miss.
+        let a = s.print_line_array(91.0, 310.0, 25.0, 1.02).unwrap();
+        let hits_before = cd_cache_stats().hits;
+        let b = s.print_line_array(91.0, 310.0, 25.0, 1.02).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "cache hit changed the CD");
+        assert!(
+            cd_cache_stats().hits > hits_before,
+            "repeat call missed the cache"
+        );
+        // A perturbation below the 1e-6 nm quantum lands in the same bucket
+        // and returns the exact cached value.
+        let c = s.print_line_array(91.0 + 1e-9, 310.0, 25.0, 1.02).unwrap();
+        assert_eq!(
+            a.to_bits(),
+            c.to_bits(),
+            "sub-quantum key missed the bucket"
+        );
     }
 
     #[test]

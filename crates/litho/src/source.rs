@@ -209,7 +209,10 @@ mod tests {
             .filter(|p| p.s.abs() > 0.4)
             .map(|p| p.weight)
             .sum();
-        assert!(off_axis > 0.5, "annulus should weight |s| > 0.4 heavily, got {off_axis}");
+        assert!(
+            off_axis > 0.5,
+            "annulus should weight |s| > 0.4 heavily, got {off_axis}"
+        );
     }
 
     #[test]

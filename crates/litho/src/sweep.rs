@@ -1,4 +1,5 @@
 use serde::{Deserialize, Serialize};
+use svt_exec::try_par_map;
 
 use crate::{LithoError, LithoSimulator};
 
@@ -96,11 +97,13 @@ pub fn pitch_sweep(
     defocus_nm: f64,
     dose: f64,
 ) -> Result<PitchCdCurve, LithoError> {
-    let mut points = Vec::with_capacity(pitches_nm.len());
-    for &pitch in pitches_nm {
+    let mut points = try_par_map(pitches_nm, |&pitch| {
         let cd_nm = sim.print_line_array(width_nm, pitch, defocus_nm, dose)?;
-        points.push(PitchCdPoint { pitch_nm: pitch, cd_nm });
-    }
+        Ok(PitchCdPoint {
+            pitch_nm: pitch,
+            cd_nm,
+        })
+    })?;
     points.sort_by(|a, b| a.pitch_nm.total_cmp(&b.pitch_nm));
     Ok(PitchCdCurve {
         drawn_width_nm: width_nm,

@@ -41,7 +41,12 @@ pub fn write(netlist: &Netlist) -> String {
         out.push_str(&format!("OUTPUT({po})\n"));
     }
     for g in netlist.gates() {
-        out.push_str(&format!("{} = {}({})\n", g.output, g.kind, g.inputs.join(", ")));
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            g.output,
+            g.kind,
+            g.inputs.join(", ")
+        ));
     }
     out
 }
@@ -96,27 +101,32 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
             if close < open {
                 return Err(err("mismatched parentheses"));
             }
-            let kind: GateKind = rhs[..open]
-                .trim()
-                .parse()
-                .map_err(|e: NetlistError| NetlistError::ParseBenchError {
+            let kind: GateKind = rhs[..open].trim().parse().map_err(|e: NetlistError| {
+                NetlistError::ParseBenchError {
                     line: lineno,
                     reason: e.to_string(),
-                })?;
+                }
+            })?;
             let args: Vec<String> = rhs[open + 1..close]
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
-            let gate = Gate::new(output, kind, args).map_err(|e| NetlistError::ParseBenchError {
-                line: lineno,
-                reason: e.to_string(),
-            })?;
+            let gate =
+                Gate::new(output, kind, args).map_err(|e| NetlistError::ParseBenchError {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
             gates.push(gate);
         }
     }
 
-    Netlist::new(name.unwrap_or_else(|| "bench".into()), inputs, outputs, gates)
+    Netlist::new(
+        name.unwrap_or_else(|| "bench".into()),
+        inputs,
+        outputs,
+        gates,
+    )
 }
 
 fn strip_keyword<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -168,7 +178,13 @@ G23 = NAND(G16, G19)
         use std::collections::HashMap;
         let n = parse(C17).unwrap();
         let mut a: HashMap<String, bool> = HashMap::new();
-        for (pi, v) in [("G1", true), ("G2", false), ("G3", true), ("G6", true), ("G7", false)] {
+        for (pi, v) in [
+            ("G1", true),
+            ("G2", false),
+            ("G3", true),
+            ("G6", true),
+            ("G7", false),
+        ] {
             a.insert(pi.into(), v);
         }
         // G10 = !(1&1)=0, G11 = !(1&1)=0, G16 = !(0&0)=1, G19 = !(0&0)=1,

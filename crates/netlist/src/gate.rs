@@ -183,7 +183,12 @@ mod tests {
         assert!(Gate::new("g", GateKind::Not, vec!["a".into()]).is_ok());
         assert!(Gate::new("g", GateKind::Not, vec!["a".into(), "b".into()]).is_err());
         assert!(Gate::new("g", GateKind::Nand, vec!["a".into()]).is_err());
-        assert!(Gate::new("g", GateKind::Nand, vec!["a".into(), "b".into(), "c".into()]).is_ok());
+        assert!(Gate::new(
+            "g",
+            GateKind::Nand,
+            vec!["a".into(), "b".into(), "c".into()]
+        )
+        .is_ok());
     }
 
     #[test]

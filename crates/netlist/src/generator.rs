@@ -64,7 +64,13 @@ impl BenchmarkProfile {
     ///
     /// Panics unless `inputs ≥ 1`, `outputs ≥ 1`, and `gates ≥ outputs`.
     #[must_use]
-    pub fn custom(name: &str, inputs: usize, outputs: usize, gates: usize, seed: u64) -> BenchmarkProfile {
+    pub fn custom(
+        name: &str,
+        inputs: usize,
+        outputs: usize,
+        gates: usize,
+        seed: u64,
+    ) -> BenchmarkProfile {
         assert!(inputs >= 1 && outputs >= 1, "need at least one PI and PO");
         assert!(gates >= outputs, "need at least one gate per output");
         BenchmarkProfile {
@@ -143,7 +149,7 @@ pub fn generate_benchmark(profile: &BenchmarkProfile) -> Netlist {
         } else {
             // 2–4 inputs; 2 dominates, matching ISCAS statistics.
             let wanted = *[2usize, 2, 2, 3, 3, 4]
-                .get(rng.gen_range(0..6))
+                .get(rng.gen_range(0usize..6))
                 .expect("index in range");
             wanted.min(signals.len())
         };
@@ -255,7 +261,10 @@ mod tests {
         let nands = stats.by_kind.get("NAND").copied().unwrap_or(0);
         for (kind, count) in &stats.by_kind {
             if kind != "NAND" {
-                assert!(nands >= *count, "NAND ({nands}) must dominate {kind} ({count})");
+                assert!(
+                    nands >= *count,
+                    "NAND ({nands}) must dominate {kind} ({count})"
+                );
             }
         }
     }

@@ -105,9 +105,7 @@ impl MappedNetlist {
                     reason: format!("instance `{}` has extra connections", inst.name),
                 });
             }
-            let out_net = inst
-                .net_of(&cell.output_pin().name)
-                .expect("checked above");
+            let out_net = inst.net_of(&cell.output_pin().name).expect("checked above");
             if !driven.insert(out_net) {
                 return Err(NetlistError::InvalidNetlist {
                     reason: format!("net `{out_net}` has multiple drivers"),

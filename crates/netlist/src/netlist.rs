@@ -247,10 +247,7 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::InvalidNetlist`] if the assignment misses a
     /// primary input.
-    pub fn evaluate(
-        &self,
-        assignment: &HashMap<String, bool>,
-    ) -> Result<Vec<bool>, NetlistError> {
+    pub fn evaluate(&self, assignment: &HashMap<String, bool>) -> Result<Vec<bool>, NetlistError> {
         let mut values: HashMap<&str, bool> = HashMap::new();
         for pi in &self.inputs {
             let v = assignment
@@ -333,7 +330,9 @@ mod tests {
                 gate("y", GateKind::Not, &["x"]),
             ],
         );
-        assert!(matches!(err, Err(NetlistError::InvalidNetlist { reason }) if reason.contains("cycle")));
+        assert!(
+            matches!(err, Err(NetlistError::InvalidNetlist { reason }) if reason.contains("cycle"))
+        );
     }
 
     #[test]
@@ -387,12 +386,7 @@ mod tests {
     #[test]
     fn primary_output_can_be_an_input() {
         // A feed-through: PO driven directly by a PI.
-        let n = Netlist::new(
-            "wire",
-            vec!["a".into()],
-            vec!["a".into()],
-            vec![],
-        );
+        let n = Netlist::new("wire", vec!["a".into()], vec!["a".into()], vec![]);
         assert!(n.is_ok());
     }
 

@@ -140,7 +140,11 @@ impl Mapper<'_> {
                     // XNOR(a,b) = !((a+b)·!(a·b)) = OAI21(a, b, NAND(a,b)).
                     let t = self.fresh_net(output);
                     self.emit("NAND2X1", inputs, &t);
-                    self.emit("OAI21X1", &[inputs[0].clone(), inputs[1].clone(), t], output);
+                    self.emit(
+                        "OAI21X1",
+                        &[inputs[0].clone(), inputs[1].clone(), t],
+                        output,
+                    );
                 } else {
                     let n = self.fresh_net(output);
                     self.xor_into(&n, inputs)?;

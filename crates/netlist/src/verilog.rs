@@ -39,7 +39,13 @@ use crate::{MappedInstance, MappedNetlist, NetlistError};
 /// names are already clean; this guards against exotic bench names.
 fn ident(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -53,7 +59,11 @@ pub fn write(netlist: &MappedNetlist, library: &Library) -> String {
         .chain(netlist.outputs())
         .map(|n| ident(n))
         .collect();
-    out.push_str(&format!("module {} ({});\n", ident(netlist.name()), ports.join(", ")));
+    out.push_str(&format!(
+        "module {} ({});\n",
+        ident(netlist.name()),
+        ports.join(", ")
+    ));
     for pi in netlist.inputs() {
         out.push_str(&format!("  input {};\n", ident(pi)));
     }
@@ -81,7 +91,12 @@ pub fn write(netlist: &MappedNetlist, library: &Library) -> String {
             .iter()
             .map(|(pin, net)| format!(".{pin}({})", ident(net)))
             .collect();
-        out.push_str(&format!("  {} {} ({});\n", inst.cell, ident(&inst.name), conns.join(", ")));
+        out.push_str(&format!(
+            "  {} {} ({});\n",
+            inst.cell,
+            ident(&inst.name),
+            conns.join(", ")
+        ));
     }
     out.push_str("endmodule\n");
     let _ = library; // the writer needs no library data; kept for symmetry
@@ -138,7 +153,9 @@ pub fn parse(text: &str, library: &Library) -> Result<MappedNetlist, NetlistErro
         }
         if let Some(rest) = stmt.strip_prefix("module") {
             let rest = rest.trim();
-            let open = rest.find('(').ok_or_else(|| err(line, "module missing ports"))?;
+            let open = rest
+                .find('(')
+                .ok_or_else(|| err(line, "module missing ports"))?;
             name = rest[..open].trim().to_string();
             // Port list is re-derived from input/output declarations.
             continue;
@@ -170,8 +187,12 @@ pub fn parse(text: &str, library: &Library) -> Result<MappedNetlist, NetlistErro
             continue; // wires are implied by connections
         }
         // Instance: `CELL name ( .PIN(net), … )`.
-        let open = stmt.find('(').ok_or_else(|| err(line, "instance missing `(`"))?;
-        let close = stmt.rfind(')').ok_or_else(|| err(line, "instance missing `)`"))?;
+        let open = stmt
+            .find('(')
+            .ok_or_else(|| err(line, "instance missing `(`"))?;
+        let close = stmt
+            .rfind(')')
+            .ok_or_else(|| err(line, "instance missing `)`"))?;
         if close < open {
             return Err(err(line, "mismatched parentheses"));
         }
@@ -188,8 +209,12 @@ pub fn parse(text: &str, library: &Library) -> Result<MappedNetlist, NetlistErro
             let conn = conn
                 .strip_prefix('.')
                 .ok_or_else(|| err(line, "expected named connection `.PIN(net)`"))?;
-            let p_open = conn.find('(').ok_or_else(|| err(line, "connection missing `(`"))?;
-            let p_close = conn.rfind(')').ok_or_else(|| err(line, "connection missing `)`"))?;
+            let p_open = conn
+                .find('(')
+                .ok_or_else(|| err(line, "connection missing `(`"))?;
+            let p_close = conn
+                .rfind(')')
+                .ok_or_else(|| err(line, "connection missing `)`"))?;
             let pin = conn[..p_open].trim().to_string();
             let net = conn[p_open + 1..p_close].trim().to_string();
             if pin.is_empty() || net.is_empty() {
@@ -220,10 +245,8 @@ mod tests {
     }
 
     fn sample() -> MappedNetlist {
-        let n = bench::parse(
-            "# t\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = NAND(a, b)\nz = NOT(x)\n",
-        )
-        .unwrap();
+        let n = bench::parse("# t\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = NAND(a, b)\nz = NOT(x)\n")
+            .unwrap();
         technology_map(&n, &lib()).unwrap()
     }
 
@@ -279,7 +302,8 @@ endmodule
         let text = "module t (a, z);\n input a;\n output z;\n INVX1 u0 (a, z);\nendmodule\n";
         assert!(parse(text, &lib()).is_err());
         // Unknown cells are semantic errors.
-        let text = "module t (a, z);\n input a;\n output z;\n GHOST u0 (.A(a), .Z(z));\nendmodule\n";
+        let text =
+            "module t (a, z);\n input a;\n output z;\n GHOST u0 (.A(a), .Z(z));\nendmodule\n";
         assert!(matches!(
             parse(text, &lib()),
             Err(NetlistError::InvalidNetlist { .. })

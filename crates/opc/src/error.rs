@@ -29,7 +29,10 @@ impl fmt::Display for OpcError {
             OpcError::Litho(e) => write!(f, "lithography simulation failed: {e}"),
             OpcError::InvalidPattern { reason } => write!(f, "invalid OPC pattern: {reason}"),
             OpcError::UncorrectableLine { center } => {
-                write!(f, "gate at x = {center} nm does not print and cannot be corrected")
+                write!(
+                    f,
+                    "gate at x = {center} nm does not print and cannot be corrected"
+                )
             }
         }
     }

@@ -71,6 +71,17 @@ impl LibraryOpc {
         &self.opc
     }
 
+    /// Exact fingerprint of the engine and dummy environment, for embedding
+    /// in downstream memo-cache keys.
+    #[must_use]
+    pub fn identity(&self) -> [u64; 17] {
+        let mut id = [0u64; 17];
+        id[..15].copy_from_slice(&self.opc.identity());
+        id[15] = svt_exec::qf64(self.dummy_space_nm);
+        id[16] = svt_exec::qf64(self.dummy_width_nm);
+        id
+    }
+
     /// Corrects one cell master given its gate `(center, drawn_cd)` list and
     /// its cell bounds `[cell_lo, cell_hi]` along the cutline.
     ///

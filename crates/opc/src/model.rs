@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use svt_exec::qf64;
 use svt_litho::{LithoError, LithoSimulator, MaskCutline};
 
 use crate::{CutlinePattern, OpcError};
@@ -113,6 +114,22 @@ impl ModelOpc {
         &self.model
     }
 
+    /// Exact fingerprint of the correction model and every option that
+    /// influences a corrected mask, for embedding in downstream memo-cache
+    /// keys (engines with any differing parameter never share an entry).
+    #[must_use]
+    pub fn identity(&self) -> [u64; 15] {
+        let mut id = [0u64; 15];
+        id[..9].copy_from_slice(&self.model.identity());
+        id[9] = self.options.max_sweeps as u64;
+        id[10] = qf64(self.options.damping);
+        id[11] = qf64(self.options.mask_grid_nm);
+        id[12] = qf64(self.options.min_mask_width_nm);
+        id[13] = qf64(self.options.min_mask_space_nm);
+        id[14] = qf64(self.options.tolerance_nm);
+        id
+    }
+
     /// Runs model-based OPC on the pattern in place at nominal focus and
     /// dose, returning the convergence report.
     ///
@@ -142,13 +159,9 @@ impl ModelOpc {
             max_error = 0.0f64;
             for &i in &gates {
                 let line = pattern.lines()[i];
-                let printed = svt_litho::measure_cd_at(
-                    &image,
-                    line.center,
-                    self.model.resist(),
-                    1.0,
-                )
-                .and_then(|p| self.model.device_cd(p));
+                let printed =
+                    svt_litho::measure_cd_at(&image, line.center, self.model.resist(), 1.0)
+                        .and_then(|p| self.model.device_cd(p));
                 let cd = match printed {
                     Ok(cd) => cd,
                     Err(LithoError::FeatureNotPrinted { .. }) => {
@@ -174,9 +187,8 @@ impl ModelOpc {
         let image = self.image_of(pattern, 0.0)?;
         for &i in &gates {
             let line = pattern.lines()[i];
-            let printed =
-                svt_litho::measure_cd_at(&image, line.center, self.model.resist(), 1.0)
-                    .and_then(|p| self.model.device_cd(p));
+            let printed = svt_litho::measure_cd_at(&image, line.center, self.model.resist(), 1.0)
+                .and_then(|p| self.model.device_cd(p));
             if matches!(printed, Err(LithoError::FeatureNotPrinted { .. })) {
                 return Err(OpcError::UncorrectableLine {
                     center: line.center,
@@ -200,16 +212,19 @@ impl ModelOpc {
         let max_width = {
             let line = pattern.lines()[i];
             let (l, r) = pattern.neighbor_spaces(i);
-            let slack_l = l.map(|s| s - opts.min_mask_space_nm).unwrap_or(f64::INFINITY);
-            let slack_r = r.map(|s| s - opts.min_mask_space_nm).unwrap_or(f64::INFINITY);
+            let slack_l = l
+                .map(|s| s - opts.min_mask_space_nm)
+                .unwrap_or(f64::INFINITY);
+            let slack_r = r
+                .map(|s| s - opts.min_mask_space_nm)
+                .unwrap_or(f64::INFINITY);
             // Width grows symmetrically: each side consumes half the growth.
             let max_growth = 2.0 * slack_l.min(slack_r).max(0.0);
             line.mask_width + max_growth
         };
         let snapped = (new_width / (2.0 * opts.mask_grid_nm)).round() * 2.0 * opts.mask_grid_nm;
         // Snap the bound *down* to the grid so the clamp cannot un-snap.
-        let max_snapped =
-            (max_width / (2.0 * opts.mask_grid_nm)).floor() * 2.0 * opts.mask_grid_nm;
+        let max_snapped = (max_width / (2.0 * opts.mask_grid_nm)).floor() * 2.0 * opts.mask_grid_nm;
         let clamped = snapped.clamp(
             opts.min_mask_width_nm,
             max_snapped.max(opts.min_mask_width_nm),
@@ -322,7 +337,10 @@ mod tests {
             let w = l.mask_width;
             assert!(w >= opts.min_mask_width_nm);
             let q = w / (2.0 * opts.mask_grid_nm);
-            assert!((q - q.round()).abs() < 1e-9, "width {w} not on the mask grid");
+            assert!(
+                (q - q.round()).abs() < 1e-9,
+                "width {w} not on the mask grid"
+            );
         }
         // Spaces stay legal.
         assert!(p.validate(opts.min_mask_space_nm).is_ok());

@@ -130,9 +130,7 @@ impl CutlinePattern {
 
     /// Adds a line, keeping lines sorted by center.
     pub fn push(&mut self, line: OpcLine) {
-        let at = self
-            .lines
-            .partition_point(|l| l.center <= line.center);
+        let at = self.lines.partition_point(|l| l.center <= line.center);
         self.lines.insert(at, line);
     }
 

@@ -118,9 +118,7 @@ impl RuleOpc {
                     self.spacings_nm
                         .iter()
                         .enumerate()
-                        .min_by(|(_, a), (_, b)| {
-                            (*a - v).abs().total_cmp(&(*b - v).abs())
-                        })
+                        .min_by(|(_, a), (_, b)| (*a - v).abs().total_cmp(&(*b - v).abs()))
                         .map(|(i, _)| i)
                         .unwrap_or(0)
                 }

@@ -38,7 +38,9 @@ impl fmt::Display for PlaceError {
             PlaceError::UnknownCell { instance, cell } => {
                 write!(f, "instance `{instance}` uses unknown cell `{cell}`")
             }
-            PlaceError::InvalidOptions { reason } => write!(f, "invalid placement options: {reason}"),
+            PlaceError::InvalidOptions { reason } => {
+                write!(f, "invalid placement options: {reason}")
+            }
             PlaceError::ParseDefError { line, reason } => {
                 write!(f, "def parse error at line {line}: {reason}")
             }

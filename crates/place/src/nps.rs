@@ -148,10 +148,12 @@ impl Placement {
                 for &m in &row.members {
                     let p = &self.placed()[m];
                     let inst = &netlist.instances()[p.instance];
-                    let cell = library.cell(&inst.cell).ok_or_else(|| PlaceError::UnknownCell {
-                        instance: inst.name.clone(),
-                        cell: inst.cell.clone(),
-                    })?;
+                    let cell = library
+                        .cell(&inst.cell)
+                        .ok_or_else(|| PlaceError::UnknownCell {
+                            instance: inst.name.clone(),
+                            cell: inst.cell.clone(),
+                        })?;
                     for (id, d) in cell.layout().devices_in(region) {
                         let (lo, hi) = d.span();
                         row_sites.push(DeviceSite {
@@ -204,10 +206,12 @@ impl Placement {
         for &m in &row.members {
             let p = &self.placed()[m];
             let inst = &netlist.instances()[p.instance];
-            let cell = library.cell(&inst.cell).ok_or_else(|| PlaceError::UnknownCell {
-                instance: inst.name.clone(),
-                cell: inst.cell.clone(),
-            })?;
+            let cell = library
+                .cell(&inst.cell)
+                .ok_or_else(|| PlaceError::UnknownCell {
+                    instance: inst.name.clone(),
+                    cell: inst.cell.clone(),
+                })?;
             for (_, d) in cell.layout().devices_in(region) {
                 let (lo, hi) = d.span();
                 spans.push((p.x_nm + lo, p.x_nm + hi));
@@ -286,10 +290,8 @@ mod tests {
     fn nps_matches_manual_computation_for_a_pair() {
         use svt_netlist::bench;
         let lib = Library::svt90();
-        let n = bench::parse(
-            "# two\nINPUT(a)\nOUTPUT(z)\nOUTPUT(y)\nz = NOT(a)\ny = NOT(z)\n",
-        )
-        .unwrap();
+        let n = bench::parse("# two\nINPUT(a)\nOUTPUT(z)\nOUTPUT(y)\nz = NOT(a)\ny = NOT(z)\n")
+            .unwrap();
         let mapped = technology_map(&n, &lib).unwrap();
         let placement = place(&mapped, &lib, &PlacementOptions::default()).unwrap();
         let nps = placement.instance_nps(&mapped, &lib).unwrap();

@@ -171,10 +171,12 @@ pub fn place(
     let mut total_width = 0.0;
     let mut widths = Vec::with_capacity(netlist.instances().len());
     for inst in netlist.instances() {
-        let cell = library.cell(&inst.cell).ok_or_else(|| PlaceError::UnknownCell {
-            instance: inst.name.clone(),
-            cell: inst.cell.clone(),
-        })?;
+        let cell = library
+            .cell(&inst.cell)
+            .ok_or_else(|| PlaceError::UnknownCell {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+            })?;
         let w = cell.layout().width_nm();
         widths.push(w);
         total_width += w;

@@ -186,10 +186,12 @@ pub fn analyze_with_wire_caps(
                 instance: inst.name.clone(),
                 reason: "variant has no output pin".into(),
             })?;
-        let out_net = inst.net_of(&out_pin.name).ok_or_else(|| StaError::MissingTiming {
-            instance: inst.name.clone(),
-            reason: "output pin unconnected".into(),
-        })?;
+        let out_net = inst
+            .net_of(&out_pin.name)
+            .ok_or_else(|| StaError::MissingTiming {
+                instance: inst.name.clone(),
+                reason: "output pin unconnected".into(),
+            })?;
         let load = loads.get(out_net).copied().unwrap_or(0.0);
 
         let mut best: Option<NetTiming> = None;
@@ -344,9 +346,7 @@ mod tests {
 
     #[test]
     fn chain_accumulates_delay() {
-        let (m, lib) = mapped(
-            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n",
-        );
+        let (m, lib) = mapped("# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n");
         let binding = CellBinding::nominal(&m, &lib).unwrap();
         let report = analyze(&m, &binding, &TimingOptions::default()).unwrap();
         let one = {
@@ -362,9 +362,8 @@ mod tests {
     #[test]
     fn late_takes_the_slower_input() {
         // z = NAND(a, y) where y = NOT(NOT(a)) is two levels deeper.
-        let (m, lib) = mapped(
-            "# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n",
-        );
+        let (m, lib) =
+            mapped("# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n");
         let binding = CellBinding::nominal(&m, &lib).unwrap();
         let report = analyze(&m, &binding, &TimingOptions::default()).unwrap();
         // Critical path must come through y (pin B of the NAND).
@@ -414,7 +413,10 @@ mod tests {
         // symmetrically.
         let up = wc / nom;
         let down = nom / bc;
-        assert!((up - down).abs() < 0.06, "asymmetric corners: {up} vs {down}");
+        assert!(
+            (up - down).abs() < 0.06,
+            "asymmetric corners: {up} vs {down}"
+        );
     }
 
     #[test]
@@ -434,7 +436,10 @@ mod tests {
         let n = generate_benchmark(&BenchmarkProfile::iscas85("c880").unwrap());
         let m = technology_map(&n, &lib).unwrap();
         let report = analyze_nominal(&m, &lib, &TimingOptions::default()).unwrap();
-        assert!(report.circuit_delay_ns() > 0.1, "c880 should be nontrivially deep");
+        assert!(
+            report.circuit_delay_ns() > 0.1,
+            "c880 should be nontrivially deep"
+        );
         let path = report.critical_path();
         assert!(path.len() > 5);
         // Arrivals along the path are non-decreasing.
@@ -477,9 +482,7 @@ mod slack_tests {
 
     #[test]
     fn required_times_decrease_upstream() {
-        let (m, lib) = mapped(
-            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n",
-        );
+        let (m, lib) = mapped("# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n");
         let b = CellBinding::nominal(&m, &lib).unwrap();
         let r = analyze(&m, &b, &with_clock(2.0)).unwrap();
         let rq = |net: &str| r.required_of(net).unwrap();
@@ -491,19 +494,18 @@ mod slack_tests {
 
     #[test]
     fn slack_is_constant_along_the_critical_path() {
-        let (m, lib) = mapped(
-            "# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n",
-        );
+        let (m, lib) =
+            mapped("# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n");
         let b = CellBinding::nominal(&m, &lib).unwrap();
         let r = analyze(&m, &b, &with_clock(1.0)).unwrap();
         let path = r.critical_path();
-        let slacks: Vec<f64> = path
-            .iter()
-            .filter_map(|s| r.slack_of(&s.net))
-            .collect();
+        let slacks: Vec<f64> = path.iter().filter_map(|s| r.slack_of(&s.net)).collect();
         assert!(slacks.len() >= 2);
         for w in slacks.windows(2) {
-            assert!((w[0] - w[1]).abs() < 1e-9, "slack must be flat on the critical path: {slacks:?}");
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "slack must be flat on the critical path: {slacks:?}"
+            );
         }
         // The worst net slack is the critical path's slack.
         let worst = r.worst_net_slack_ns().unwrap();
@@ -512,9 +514,7 @@ mod slack_tests {
 
     #[test]
     fn infeasible_clock_yields_negative_slack() {
-        let (m, lib) = mapped(
-            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n",
-        );
+        let (m, lib) = mapped("# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NOT(y)\n");
         let b = CellBinding::nominal(&m, &lib).unwrap();
         let r = analyze(&m, &b, &with_clock(0.01)).unwrap();
         assert!(r.worst_net_slack_ns().unwrap() < 0.0);

@@ -23,7 +23,10 @@ impl CellBinding {
     /// Returns [`StaError::InvalidBinding`] if the count differs from the
     /// instance count or a variant's master does not match the instance's
     /// cell.
-    pub fn new(netlist: &MappedNetlist, cells: Vec<CharacterizedCell>) -> Result<CellBinding, StaError> {
+    pub fn new(
+        netlist: &MappedNetlist,
+        cells: Vec<CharacterizedCell>,
+    ) -> Result<CellBinding, StaError> {
         if cells.len() != netlist.instances().len() {
             return Err(StaError::InvalidBinding {
                 reason: format!(
@@ -74,9 +77,11 @@ impl CellBinding {
         let opts = CharacterizeOptions::default();
         let mut cells = Vec::with_capacity(netlist.instances().len());
         for inst in netlist.instances() {
-            let cell = library.cell(&inst.cell).ok_or_else(|| StaError::InvalidBinding {
-                reason: format!("instance `{}` uses unknown cell `{}`", inst.name, inst.cell),
-            })?;
+            let cell = library
+                .cell(&inst.cell)
+                .ok_or_else(|| StaError::InvalidBinding {
+                    reason: format!("instance `{}` uses unknown cell `{}`", inst.name, inst.cell),
+                })?;
             let lengths = vec![gate_length_nm; cell.layout().devices().len()];
             let variant = format!("{}_L{gate_length_nm}", cell.name());
             let characterized = characterize(cell, &lengths, &variant, opts).map_err(|e| {

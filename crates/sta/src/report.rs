@@ -306,10 +306,9 @@ mod report_format_tests {
     #[test]
     fn report_lists_every_stage_in_order() {
         let lib = Library::svt90();
-        let n = bench::parse(
-            "# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NAND(a, x)\nz = NOT(y)\n",
-        )
-        .unwrap();
+        let n =
+            bench::parse("# chain\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NAND(a, x)\nz = NOT(y)\n")
+                .unwrap();
         let mapped = technology_map(&n, &lib).unwrap();
         let binding = CellBinding::nominal(&mapped, &lib).unwrap();
         let opts = TimingOptions {
@@ -322,7 +321,10 @@ mod report_format_tests {
         assert!(text.contains("Endpoint:   z"));
         // Stages appear in arrival order in the table body.
         let body = text.split("arrival").nth(1).expect("table header present");
-        let pos = |s: &str| body.find(s).unwrap_or_else(|| panic!("missing {s} in:\n{text}"));
+        let pos = |s: &str| {
+            body.find(s)
+                .unwrap_or_else(|| panic!("missing {s} in:\n{text}"))
+        };
         assert!(pos("\nx ") < pos("\ny "));
         assert!(pos("\ny ") < pos("\nz "));
         assert!(text.contains("slack"));

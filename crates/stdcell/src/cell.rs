@@ -103,17 +103,19 @@ impl Cell {
             if !from_ok || !to_ok {
                 return Err(StdcellError::InvalidCell {
                     cell: name,
-                    reason: format!("arc {}->{} references unknown pins", arc.from_pin, arc.to_pin),
+                    reason: format!(
+                        "arc {}->{} references unknown pins",
+                        arc.from_pin, arc.to_pin
+                    ),
                 });
             }
-            if arc
-                .devices
-                .iter()
-                .any(|d| d.0 >= layout.devices().len())
-            {
+            if arc.devices.iter().any(|d| d.0 >= layout.devices().len()) {
                 return Err(StdcellError::InvalidCell {
                     cell: name,
-                    reason: format!("arc {}->{} references a missing device", arc.from_pin, arc.to_pin),
+                    reason: format!(
+                        "arc {}->{} references a missing device",
+                        arc.from_pin, arc.to_pin
+                    ),
                 });
             }
         }
@@ -145,9 +147,7 @@ impl Cell {
 
     /// The input pins.
     pub fn input_pins(&self) -> impl Iterator<Item = &Pin> {
-        self.pins
-            .iter()
-            .filter(|p| p.direction == Direction::Input)
+        self.pins.iter().filter(|p| p.direction == Direction::Input)
     }
 
     /// The single output pin.
@@ -226,26 +226,14 @@ mod tests {
     #[test]
     fn arc_with_unknown_pin_is_rejected() {
         let (pins, _, layout) = inv_parts();
-        let arcs = vec![TimingArc::new(
-            "B",
-            "Z",
-            tiny(),
-            tiny(),
-            vec![DeviceId(0)],
-        )];
+        let arcs = vec![TimingArc::new("B", "Z", tiny(), tiny(), vec![DeviceId(0)])];
         assert!(Cell::new("INVT", pins, arcs, layout).is_err());
     }
 
     #[test]
     fn arc_with_bad_device_is_rejected() {
         let (pins, _, layout) = inv_parts();
-        let arcs = vec![TimingArc::new(
-            "A",
-            "Z",
-            tiny(),
-            tiny(),
-            vec![DeviceId(99)],
-        )];
+        let arcs = vec![TimingArc::new("A", "Z", tiny(), tiny(), vec![DeviceId(99)])];
         assert!(Cell::new("INVT", pins, arcs, layout).is_err());
     }
 }

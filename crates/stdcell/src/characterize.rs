@@ -94,7 +94,10 @@ pub fn characterize(
     if device_lengths_nm.len() != n {
         return Err(StdcellError::InvalidCharacterization {
             cell: cell.name().into(),
-            reason: format!("expected {n} device lengths, got {}", device_lengths_nm.len()),
+            reason: format!(
+                "expected {n} device lengths, got {}",
+                device_lengths_nm.len()
+            ),
         });
     }
     if device_lengths_nm.iter().any(|&l| l <= 0.0) {
@@ -145,8 +148,13 @@ mod tests {
         let lib = Library::svt90();
         let nand = lib.cell("NAND2X1").unwrap();
         let lengths = vec![90.0; nand.layout().devices().len()];
-        let c = characterize(nand, &lengths, "NAND2X1_nom", CharacterizeOptions::default())
-            .unwrap();
+        let c = characterize(
+            nand,
+            &lengths,
+            "NAND2X1_nom",
+            CharacterizeOptions::default(),
+        )
+        .unwrap();
         for (orig, scaled) in nand.arcs().iter().zip(&c.arcs) {
             assert!(
                 (orig.delay.lookup(0.05, 0.01) - scaled.delay.lookup(0.05, 0.01)).abs() < 1e-12

@@ -193,6 +193,9 @@ mod tests {
 
     #[test]
     fn default_is_isolated() {
-        assert_eq!(CellContext::default(), CellContext::uniform(ContextBin::Isolated));
+        assert_eq!(
+            CellContext::default(),
+            CellContext::uniform(ContextBin::Isolated)
+        );
     }
 }

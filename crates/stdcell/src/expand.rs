@@ -1,13 +1,15 @@
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use svt_exec::{qf64, resolve_threads, try_par_map_threads, MemoCache};
 use svt_litho::LithoSimulator;
 use svt_opc::{LibraryOpc, ModelOpc, OpcOptions};
 
 use crate::{
-    characterize, CellContext, CharacterizeOptions, CharacterizedCell, Library,
-    Region, StdcellError,
+    characterize, CellContext, CharacterizeOptions, CharacterizedCell, Library, Region,
+    StdcellError,
 };
 
 /// A post-OPC printed-CD lookup table over (left, right) neighbor-poly
@@ -41,19 +43,38 @@ impl PitchCdTable {
         drawn_cd_nm: f64,
         spacings_nm: &[f64],
     ) -> Result<PitchCdTable, StdcellError> {
+        Self::build_with_threads(signoff, opc, drawn_cd_nm, spacings_nm, None)
+    }
+
+    /// [`PitchCdTable::build`] with an explicit worker-thread count
+    /// (`None` resolves via `SVT_THREADS` / available parallelism). All
+    /// spacing pairs are simulated independently across the pool; the
+    /// table layout is identical to the sequential nested loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`PitchCdTable::build`].
+    pub fn build_with_threads(
+        signoff: &LithoSimulator,
+        opc: &ModelOpc,
+        drawn_cd_nm: f64,
+        spacings_nm: &[f64],
+        threads: Option<usize>,
+    ) -> Result<PitchCdTable, StdcellError> {
         if spacings_nm.len() < 2 || spacings_nm.windows(2).any(|w| w[0] >= w[1]) {
             return Err(StdcellError::Expansion {
                 reason: "need at least two strictly increasing spacings".into(),
             });
         }
-        let mut cd = Vec::with_capacity(spacings_nm.len());
-        for &left in spacings_nm {
-            let mut row = Vec::with_capacity(spacings_nm.len());
-            for &right in spacings_nm {
-                row.push(Self::entry(signoff, opc, drawn_cd_nm, left, right)?);
-            }
-            cd.push(row);
-        }
+        let n = spacings_nm.len();
+        let pairs: Vec<(f64, f64)> = spacings_nm
+            .iter()
+            .flat_map(|&left| spacings_nm.iter().map(move |&right| (left, right)))
+            .collect();
+        let flat = try_par_map_threads(resolve_threads(threads), &pairs, |&(left, right)| {
+            Self::entry(signoff, opc, drawn_cd_nm, left, right)
+        })?;
+        let cd = flat.chunks(n).map(<[f64]>::to_vec).collect();
         Ok(PitchCdTable {
             spacings_nm: spacings_nm.to_vec(),
             cd_nm: cd,
@@ -68,16 +89,49 @@ impl PitchCdTable {
         left: f64,
         right: f64,
     ) -> Result<f64, StdcellError> {
+        // OPC + sign-off on the three-line pattern is the dominant cost of
+        // a table build; identical (engine, geometry) inputs always print
+        // the same CD, so rebuilds hit the memo. Failures are never cached.
+        let key = (
+            signoff.identity(),
+            opc.identity(),
+            qf64(drawn),
+            qf64(left),
+            qf64(right),
+        );
+        if let Some(cd) = pair_cache().get(&key) {
+            return Ok(cd);
+        }
+        let cd = Self::entry_uncached(signoff, opc, drawn, left, right)?;
+        pair_cache().insert(key, cd);
+        Ok(cd)
+    }
+
+    fn entry_uncached(
+        signoff: &LithoSimulator,
+        opc: &ModelOpc,
+        drawn: f64,
+        left: f64,
+        right: f64,
+    ) -> Result<f64, StdcellError> {
         use svt_opc::{CutlinePattern, OpcLine};
         let mut pattern = CutlinePattern::new(-2048.0, 4096.0);
         pattern.push(OpcLine::gate(0.0, drawn));
         pattern.push(OpcLine::dummy(-(left + drawn), drawn));
         pattern.push(OpcLine::dummy(right + drawn, drawn));
-        opc.correct(&mut pattern).map_err(|e| StdcellError::Expansion {
-            reason: format!("OPC failed at spacings ({left}, {right}): {e}"),
-        })?;
+        opc.correct(&mut pattern)
+            .map_err(|e| StdcellError::Expansion {
+                reason: format!("OPC failed at spacings ({left}, {right}): {e}"),
+            })?;
         signoff
-            .print_device_cd(pattern.x0(), pattern.length(), &pattern.chrome(), 0.0, 0.0, 1.0)
+            .print_device_cd(
+                pattern.x0(),
+                pattern.length(),
+                &pattern.chrome(),
+                0.0,
+                0.0,
+                1.0,
+            )
             .map_err(|e| StdcellError::Expansion {
                 reason: format!("sign-off failed at spacings ({left}, {right}): {e}"),
             })
@@ -131,6 +185,33 @@ impl PitchCdTable {
     }
 }
 
+/// Key of one pitch-table entry: sign-off identity, OPC-engine identity,
+/// and exact bits of (drawn, left spacing, right spacing).
+type PairKey = ([u64; 9], [u64; 15], u64, u64, u64);
+
+fn pair_cache() -> &'static MemoCache<PairKey, f64> {
+    static CACHE: OnceLock<MemoCache<PairKey, f64>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::default)
+}
+
+/// Key of one library-OPC row: engine identity, exact bits of every gate
+/// `(center, drawn)`, and the cell width (`cell_lo` is always 0 here).
+type RowKey = ([u64; 17], Vec<(u64, u64)>, u64);
+
+fn row_cache() -> &'static MemoCache<RowKey, Vec<f64>> {
+    static CACHE: OnceLock<MemoCache<RowKey, Vec<f64>>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::default)
+}
+
+/// Drops the expansion memo caches (pitch-table entries and library-OPC
+/// row CDs). Benchmarks call this between cold-cache measurements; cached
+/// values are bit-identical to recomputed ones, so results never depend on
+/// cache state.
+pub fn clear_expand_caches() {
+    pair_cache().clear();
+    row_cache().clear();
+}
+
 fn segment(axis: &[f64], x: f64) -> (usize, f64) {
     let i = match axis.partition_point(|&a| a <= x) {
         0 => 0,
@@ -150,6 +231,10 @@ pub struct ExpandOptions {
     pub opc: OpcOptions,
     /// Characterization options.
     pub characterize: CharacterizeOptions,
+    /// Worker-thread count for the expansion (`None` resolves via the
+    /// `SVT_THREADS` environment variable, then available parallelism).
+    /// Results are identical for every thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpandOptions {
@@ -158,6 +243,7 @@ impl Default for ExpandOptions {
             table_spacings_nm: vec![150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 700.0],
             opc: OpcOptions::default(),
             characterize: CharacterizeOptions::default(),
+            threads: None,
         }
     }
 }
@@ -252,68 +338,101 @@ pub fn expand_library(
     signoff: &LithoSimulator,
     options: &ExpandOptions,
 ) -> Result<ExpandedLibrary, StdcellError> {
+    let threads = resolve_threads(options.threads);
     let opc = ModelOpc::with_production_model(signoff, options.opc);
-    let pitch_table = PitchCdTable::build(
+    let pitch_table = PitchCdTable::build_with_threads(
         signoff,
         &opc,
         options.characterize.nominal_length_nm,
         &options.table_spacings_nm,
+        options.threads,
     )?;
     let library_opc = LibraryOpc::new(opc, 150.0, options.characterize.nominal_length_nm);
 
-    let mut base_cds = BTreeMap::new();
-    let mut variants = BTreeMap::new();
-
-    for cell in library.cells() {
-        let layout = cell.layout();
-        let mut cds = vec![options.characterize.nominal_length_nm; layout.devices().len()];
-        // Library OPC row by row: each device row has its own cutline.
-        for region in [Region::P, Region::N] {
-            let gates: Vec<(f64, f64)> = layout
-                .row_spans(region)
-                .iter()
-                .map(|&(_, (lo, hi))| ((lo + hi) / 2.0, hi - lo))
-                .collect();
-            let ids: Vec<usize> = layout.row_spans(region).iter().map(|&(id, _)| id.0).collect();
-            let corrected = library_opc
-                .correct_cell(&gates, 0.0, layout.width_nm())
-                .map_err(|e| StdcellError::Expansion {
-                    reason: format!("library OPC failed for `{}` {region:?} row: {e}", cell.name()),
-                })?;
-            for (k, &cd) in corrected.printed_cd_nm.iter().enumerate() {
-                cds[ids[k]] = cd;
-            }
-        }
-        base_cds.insert(cell.name().to_string(), cds.clone());
-
-        // Identify the four boundary devices (leftmost/rightmost per row)
-        // and the in-cell spacing on their interior side.
-        let corners = boundary_corners(layout);
-
-        for context in CellContext::enumerate() {
-            let mut lengths = cds.clone();
-            for corner in &corners {
-                let bin = match (corner.left_is_outside, corner.region) {
-                    (true, Region::P) => context.lt,
-                    (true, Region::N) => context.lb,
-                    (false, Region::P) => context.rt,
-                    (false, Region::N) => context.rb,
-                };
-                // nps is measured device edge to neighbor poly, so the
-                // bin's representative spacing is used directly.
-                let outside = bin.representative_spacing_nm();
-                let (left, right) = if corner.left_is_outside {
-                    (outside, Some(corner.inside_space_nm))
+    // Phase 1 — library OPC, parallel over cells. Each cell's printed
+    // baseline CDs and its boundary corners are independent of every
+    // other cell.
+    let cells = library.cells();
+    let prepped: Vec<(Vec<f64>, Vec<BoundaryCorner>)> =
+        try_par_map_threads(threads, cells, |cell| {
+            let layout = cell.layout();
+            let mut cds = vec![options.characterize.nominal_length_nm; layout.devices().len()];
+            // Library OPC row by row: each device row has its own cutline.
+            for region in [Region::P, Region::N] {
+                let gates: Vec<(f64, f64)> = layout
+                    .row_spans(region)
+                    .iter()
+                    .map(|&(_, (lo, hi))| ((lo + hi) / 2.0, hi - lo))
+                    .collect();
+                let ids: Vec<usize> = layout
+                    .row_spans(region)
+                    .iter()
+                    .map(|&(id, _)| id.0)
+                    .collect();
+                let key: RowKey = (
+                    library_opc.identity(),
+                    gates.iter().map(|&(c, w)| (qf64(c), qf64(w))).collect(),
+                    qf64(layout.width_nm()),
+                );
+                let printed = if let Some(cached) = row_cache().get(&key) {
+                    cached
                 } else {
-                    (Some(corner.inside_space_nm), outside)
+                    let corrected = library_opc
+                        .correct_cell(&gates, 0.0, layout.width_nm())
+                        .map_err(|e| StdcellError::Expansion {
+                            reason: format!(
+                                "library OPC failed for `{}` {region:?} row: {e}",
+                                cell.name()
+                            ),
+                        })?;
+                    row_cache().insert(key, corrected.printed_cd_nm.clone());
+                    corrected.printed_cd_nm
                 };
-                lengths[corner.device_index] = pitch_table.cd_at(left, right);
+                for (k, &cd) in printed.iter().enumerate() {
+                    cds[ids[k]] = cd;
+                }
             }
-            let name = variant_name(cell.name(), context);
-            let characterized = characterize(cell, &lengths, &name, options.characterize)?;
-            variants.insert(name, characterized);
+            // Identify the four boundary devices (leftmost/rightmost per row)
+            // and the in-cell spacing on their interior side.
+            Ok((cds, boundary_corners(layout)))
+        })?;
+
+    // Phase 2 — characterization, parallel over cell × context pairs.
+    let work: Vec<(usize, CellContext)> = (0..cells.len())
+        .flat_map(|ci| CellContext::enumerate().map(move |context| (ci, context)))
+        .collect();
+    let characterized = try_par_map_threads(threads, &work, |&(ci, context)| {
+        let cell = &cells[ci];
+        let (cds, corners) = &prepped[ci];
+        let mut lengths = cds.clone();
+        for corner in corners {
+            let bin = match (corner.left_is_outside, corner.region) {
+                (true, Region::P) => context.lt,
+                (true, Region::N) => context.lb,
+                (false, Region::P) => context.rt,
+                (false, Region::N) => context.rb,
+            };
+            // nps is measured device edge to neighbor poly, so the
+            // bin's representative spacing is used directly.
+            let outside = bin.representative_spacing_nm();
+            let (left, right) = if corner.left_is_outside {
+                (outside, Some(corner.inside_space_nm))
+            } else {
+                (Some(corner.inside_space_nm), outside)
+            };
+            lengths[corner.device_index] = pitch_table.cd_at(left, right);
         }
-    }
+        let name = variant_name(cell.name(), context);
+        let cell_variant = characterize(cell, &lengths, &name, options.characterize)?;
+        Ok((name, cell_variant))
+    })?;
+
+    let base_cds: BTreeMap<String, Vec<f64>> = cells
+        .iter()
+        .zip(&prepped)
+        .map(|(cell, (cds, _))| (cell.name().to_string(), cds.clone()))
+        .collect();
+    let variants: BTreeMap<String, CharacterizedCell> = characterized.into_iter().collect();
 
     Ok(ExpandedLibrary {
         library_name: library.name().to_string(),
@@ -384,12 +503,56 @@ mod tests {
     }
 
     #[test]
+    fn parallel_expansion_matches_sequential() {
+        let sim = signoff();
+        let lib = small_library();
+        let seq = expand_library(
+            &lib,
+            &sim,
+            &ExpandOptions {
+                threads: Some(1),
+                ..ExpandOptions::fast()
+            },
+        )
+        .unwrap();
+        let par = expand_library(
+            &lib,
+            &sim,
+            &ExpandOptions {
+                threads: Some(4),
+                ..ExpandOptions::fast()
+            },
+        )
+        .unwrap();
+        // Bit-for-bit: worker count must not change a single CD or arc.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn warm_pitch_table_rebuild_is_identical() {
+        let sim = signoff();
+        let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
+        let spacings = [200.0, 400.0, 700.0];
+        let cold = PitchCdTable::build(&sim, &opc, 90.0, &spacings).unwrap();
+        let warm = PitchCdTable::build(&sim, &opc, 90.0, &spacings).unwrap();
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
     fn pitch_table_varies_with_spacing() {
         let sim = signoff();
         let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
         let table = PitchCdTable::build(&sim, &opc, 90.0, &[200.0, 400.0, 700.0]).unwrap();
-        assert!(table.lvar_pitch() > 0.1, "lvar_pitch {}", table.lvar_pitch());
-        assert!(table.lvar_pitch() < 10.0, "lvar_pitch {}", table.lvar_pitch());
+        assert!(
+            table.lvar_pitch() > 0.1,
+            "lvar_pitch {}",
+            table.lvar_pitch()
+        );
+        assert!(
+            table.lvar_pitch() < 10.0,
+            "lvar_pitch {}",
+            table.lvar_pitch()
+        );
         // Interpolation stays within the corner values.
         let mid = table.cd_at(Some(300.0), Some(300.0));
         assert!(mid > 70.0 && mid < 110.0);

@@ -178,7 +178,11 @@ impl CellAbstract {
                 lo = lo.min(a);
                 hi = hi.max(b);
             }
-            assert!(lo.is_finite(), "cell `{}` has an empty {region:?} row", self.name);
+            assert!(
+                lo.is_finite(),
+                "cell `{}` has an empty {region:?} row",
+                self.name
+            );
             (lo, hi)
         };
         let (p_lo, p_hi) = row(Region::P);

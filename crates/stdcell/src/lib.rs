@@ -47,7 +47,9 @@ pub use cell::{Cell, Direction, Pin};
 pub use characterize::{characterize, CharacterizeOptions, CharacterizedCell};
 pub use context::{CellContext, ContextBin};
 pub use error::StdcellError;
-pub use expand::{expand_library, ExpandOptions, ExpandedLibrary, PitchCdTable};
+pub use expand::{
+    clear_expand_caches, expand_library, ExpandOptions, ExpandedLibrary, PitchCdTable,
+};
 pub use layout::{BoundarySpacings, CellAbstract, Device, DeviceId, Region};
 pub use library::Library;
 pub use nldm::NldmTable;

@@ -39,7 +39,7 @@
 //! # Ok::<(), svt_stdcell::StdcellError>(())
 //! ```
 
-use crate::{CharacterizedCell, Direction, DeviceId, NldmTable, Pin, StdcellError, TimingArc};
+use crate::{CharacterizedCell, DeviceId, Direction, NldmTable, Pin, StdcellError, TimingArc};
 
 /// Serializes characterized cells as Liberty-flavoured text.
 #[must_use]
@@ -153,7 +153,11 @@ enum Token {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, reason: impl Into<String>) -> StdcellError {
@@ -266,7 +270,11 @@ impl<'a> Parser<'a> {
     fn group(&mut self) -> Result<Group, StdcellError> {
         let name = match self.bump()? {
             Token::Ident(s) => s,
-            other => return Err(self.lexer.error(format!("expected group name, got {other:?}"))),
+            other => {
+                return Err(self
+                    .lexer
+                    .error(format!("expected group name, got {other:?}")))
+            }
         };
         self.expect(&Token::LParen)?;
         let mut args = Vec::new();
@@ -566,12 +574,11 @@ fn interpret_arc(group: &Group, to_pin: &str) -> Result<TimingArc, StdcellError>
     let from_pin = attr(group, "related_pin")
         .ok_or_else(|| semantic("timing missing related_pin"))?
         .to_string();
-    let devices: Vec<DeviceId> = parse_floats(
-        attr(group, "devices").ok_or_else(|| semantic("timing missing devices"))?,
-    )?
-    .into_iter()
-    .map(|v| DeviceId(v as usize))
-    .collect();
+    let devices: Vec<DeviceId> =
+        parse_floats(attr(group, "devices").ok_or_else(|| semantic("timing missing devices"))?)?
+            .into_iter()
+            .map(|v| DeviceId(v as usize))
+            .collect();
     let delay = interpret_table(
         group
             .children
@@ -586,7 +593,13 @@ fn interpret_arc(group: &Group, to_pin: &str) -> Result<TimingArc, StdcellError>
             .find(|g| g.name == "output_slew")
             .ok_or_else(|| semantic("timing missing output_slew"))?,
     )?;
-    Ok(TimingArc::new(from_pin, to_pin, delay, output_slew, devices))
+    Ok(TimingArc::new(
+        from_pin,
+        to_pin,
+        delay,
+        output_slew,
+        devices,
+    ))
 }
 
 fn interpret_table(group: &Group) -> Result<NldmTable, StdcellError> {
@@ -609,8 +622,11 @@ fn interpret_table(group: &Group) -> Result<NldmTable, StdcellError> {
             .first()
             .ok_or_else(|| semantic("index_2 empty"))?,
     )?;
-    let values: Result<Vec<Vec<f64>>, StdcellError> =
-        stmt("values")?.args.iter().map(|row| parse_floats(row)).collect();
+    let values: Result<Vec<Vec<f64>>, StdcellError> = stmt("values")?
+        .args
+        .iter()
+        .map(|row| parse_floats(row))
+        .collect();
     NldmTable::new(index_1, index_2, values?)
 }
 

@@ -52,66 +52,117 @@ impl Library {
     #[must_use]
     pub fn svt90() -> Library {
         let cells = vec![
-            build_inverter("INVX1", 1, 300.0, 205.0, Recipe {
-                drive_r: 2.8,
-                intrinsic: 0.020,
-                slew_gain: 0.16,
-                pin_cap: 0.0020,
-            }),
-            build_inverter("INVX2", 2, 240.0, 165.0, Recipe {
-                drive_r: 1.5,
-                intrinsic: 0.018,
-                slew_gain: 0.14,
-                pin_cap: 0.0039,
-            }),
-            build_buffer("BUFX2", Recipe {
-                drive_r: 1.6,
-                intrinsic: 0.042,
-                slew_gain: 0.10,
-                pin_cap: 0.0021,
-            }),
-            build_nand("NAND2X1", 2, 300.0, 205.0, Recipe {
-                drive_r: 3.0,
-                intrinsic: 0.026,
-                slew_gain: 0.18,
-                pin_cap: 0.0023,
-            }),
-            build_nand("NAND3X1", 3, 300.0, 205.0, Recipe {
-                drive_r: 3.3,
-                intrinsic: 0.031,
-                slew_gain: 0.20,
-                pin_cap: 0.0024,
-            }),
-            build_nand("NAND4X1", 4, 280.0, 165.0, Recipe {
-                drive_r: 3.6,
-                intrinsic: 0.036,
-                slew_gain: 0.22,
-                pin_cap: 0.0025,
-            }),
-            build_nor("NOR2X1", 2, 320.0, 235.0, Recipe {
-                drive_r: 3.4,
-                intrinsic: 0.029,
-                slew_gain: 0.19,
-                pin_cap: 0.0022,
-            }),
-            build_nor("NOR3X1", 3, 320.0, 235.0, Recipe {
-                drive_r: 3.8,
-                intrinsic: 0.035,
-                slew_gain: 0.21,
-                pin_cap: 0.0023,
-            }),
-            build_aoi21("AOI21X1", Recipe {
-                drive_r: 3.5,
-                intrinsic: 0.033,
-                slew_gain: 0.20,
-                pin_cap: 0.0024,
-            }),
-            build_oai21("OAI21X1", Recipe {
-                drive_r: 3.5,
-                intrinsic: 0.034,
-                slew_gain: 0.20,
-                pin_cap: 0.0024,
-            }),
+            build_inverter(
+                "INVX1",
+                1,
+                300.0,
+                205.0,
+                Recipe {
+                    drive_r: 2.8,
+                    intrinsic: 0.020,
+                    slew_gain: 0.16,
+                    pin_cap: 0.0020,
+                },
+            ),
+            build_inverter(
+                "INVX2",
+                2,
+                240.0,
+                165.0,
+                Recipe {
+                    drive_r: 1.5,
+                    intrinsic: 0.018,
+                    slew_gain: 0.14,
+                    pin_cap: 0.0039,
+                },
+            ),
+            build_buffer(
+                "BUFX2",
+                Recipe {
+                    drive_r: 1.6,
+                    intrinsic: 0.042,
+                    slew_gain: 0.10,
+                    pin_cap: 0.0021,
+                },
+            ),
+            build_nand(
+                "NAND2X1",
+                2,
+                300.0,
+                205.0,
+                Recipe {
+                    drive_r: 3.0,
+                    intrinsic: 0.026,
+                    slew_gain: 0.18,
+                    pin_cap: 0.0023,
+                },
+            ),
+            build_nand(
+                "NAND3X1",
+                3,
+                300.0,
+                205.0,
+                Recipe {
+                    drive_r: 3.3,
+                    intrinsic: 0.031,
+                    slew_gain: 0.20,
+                    pin_cap: 0.0024,
+                },
+            ),
+            build_nand(
+                "NAND4X1",
+                4,
+                280.0,
+                165.0,
+                Recipe {
+                    drive_r: 3.6,
+                    intrinsic: 0.036,
+                    slew_gain: 0.22,
+                    pin_cap: 0.0025,
+                },
+            ),
+            build_nor(
+                "NOR2X1",
+                2,
+                320.0,
+                235.0,
+                Recipe {
+                    drive_r: 3.4,
+                    intrinsic: 0.029,
+                    slew_gain: 0.19,
+                    pin_cap: 0.0022,
+                },
+            ),
+            build_nor(
+                "NOR3X1",
+                3,
+                320.0,
+                235.0,
+                Recipe {
+                    drive_r: 3.8,
+                    intrinsic: 0.035,
+                    slew_gain: 0.21,
+                    pin_cap: 0.0023,
+                },
+            ),
+            build_aoi21(
+                "AOI21X1",
+                Recipe {
+                    drive_r: 3.5,
+                    intrinsic: 0.033,
+                    slew_gain: 0.20,
+                    pin_cap: 0.0024,
+                },
+            ),
+            build_oai21(
+                "OAI21X1",
+                Recipe {
+                    drive_r: 3.5,
+                    intrinsic: 0.034,
+                    slew_gain: 0.20,
+                    pin_cap: 0.0024,
+                },
+            ),
         ];
         Library {
             name: "svt90".into(),
@@ -407,11 +458,7 @@ mod tests {
     #[test]
     fn bigger_stacks_are_slower() {
         let lib = Library::svt90();
-        let d = |name: &str| {
-            lib.cell(name).unwrap().arcs()[0]
-                .delay
-                .lookup(0.05, 0.012)
-        };
+        let d = |name: &str| lib.cell(name).unwrap().arcs()[0].delay.lookup(0.05, 0.012);
         assert!(d("NAND3X1") > d("NAND2X1"));
         assert!(d("NAND4X1") > d("NAND3X1"));
         assert!(d("NOR3X1") > d("NOR2X1"));

@@ -50,8 +50,7 @@ impl NldmTable {
                 reason: "axes must be non-empty and strictly increasing".into(),
             });
         }
-        if values.len() != slew_axis.len()
-            || values.iter().any(|row| row.len() != load_axis.len())
+        if values.len() != slew_axis.len() || values.iter().any(|row| row.len() != load_axis.len())
         {
             return Err(StdcellError::InvalidTable {
                 reason: format!(

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|(_, cd)| format!("{cd:>5.1}"))
                 .collect();
-            println!("  dose {:>4.2} [{shape}]  CD(nm): {}", c.dose, cds.join(" "));
+            println!(
+                "  dose {:>4.2} [{shape}]  CD(nm): {}",
+                c.dose,
+                cds.join(" ")
+            );
         }
         println!();
     }

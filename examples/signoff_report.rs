@@ -7,8 +7,8 @@
 //! ```
 
 use svt::core::{
-    hpwl_wire_caps, GateLengthModel, MonteCarloOptions, MonteCarloSta, SignoffFlow,
-    SignoffOptions, DEFAULT_CAP_PER_NM_PF,
+    hpwl_wire_caps, GateLengthModel, MonteCarloOptions, MonteCarloSta, SignoffFlow, SignoffOptions,
+    DEFAULT_CAP_PER_NM_PF,
 };
 use svt::litho::Process;
 use svt::netlist::{generate_benchmark, technology_map, verilog, BenchmarkProfile};
@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Placement-extracted wire parasitics feed the timer.
     let wire_caps = hpwl_wire_caps(&mapped, &placement, &library, DEFAULT_CAP_PER_NM_PF)?;
     let total_wire: f64 = wire_caps.values().sum();
-    println!("extracted {} nets, total wire cap {:.3} pF", wire_caps.len(), total_wire);
+    println!(
+        "extracted {} nets, total wire cap {:.3} pF",
+        wire_caps.len(),
+        total_wire
+    );
 
     let binding = CellBinding::nominal(&mapped, &library)?;
     let opts = TimingOptions {

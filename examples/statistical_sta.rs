@@ -6,9 +6,7 @@
 //! cargo run --release --example statistical_sta [benchmark] [samples]
 //! ```
 
-use svt::core::{
-    GateLengthModel, MonteCarloOptions, MonteCarloSta, SignoffFlow, SignoffOptions,
-};
+use svt::core::{GateLengthModel, MonteCarloOptions, MonteCarloSta, SignoffFlow, SignoffOptions};
 use svt::litho::Process;
 use svt::netlist::{generate_benchmark, technology_map, BenchmarkProfile};
 use svt::place::{place, PlacementOptions};
@@ -44,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gaussian = mc.sample(&mapped, &placement, GateLengthModel::SimplisticGaussian)?;
     let aware = mc.sample(&mapped, &placement, GateLengthModel::SystematicAware)?;
 
-    println!("\n{:<26} {:>9} {:>9} {:>9} {:>9}", "model", "mean", "sigma", "q0.1%", "q99.9%");
+    println!(
+        "\n{:<26} {:>9} {:>9} {:>9} {:>9}",
+        "model", "mean", "sigma", "q0.1%", "q99.9%"
+    );
     for d in [&gaussian, &aware] {
         println!(
             "{:<26} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",

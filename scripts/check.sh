@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, offline build, and the full test suite.
+# Everything must pass before a commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build + root-package tests"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== full workspace tests"
+cargo test --workspace -q --offline
+
+echo "All checks passed."

@@ -5,9 +5,7 @@
 use svt::litho::Process;
 use svt::netlist::{bench, generate_benchmark, technology_map, BenchmarkProfile};
 use svt::place::{def, place, PlacementOptions};
-use svt::stdcell::{
-    expand_library, liberty, CellContext, ExpandOptions, Library,
-};
+use svt::stdcell::{expand_library, liberty, CellContext, ExpandOptions, Library};
 
 #[test]
 fn bench_format_round_trips_a_generated_benchmark() {
@@ -32,7 +30,9 @@ fn def_format_round_trips_a_placement() {
     let a = placement
         .instance_contexts(&mapped, &library)
         .expect("contexts");
-    let b = parsed.instance_contexts(&mapped, &library).expect("contexts");
+    let b = parsed
+        .instance_contexts(&mapped, &library)
+        .expect("contexts");
     assert_eq!(a, b);
 }
 

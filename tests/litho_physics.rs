@@ -45,14 +45,8 @@ fn dense_smiles_and_iso_frowns_through_focus() {
 fn fem_and_methodology_agree_on_the_focus_dichotomy() {
     let sim = Process::nm90().simulator();
     let focus: Vec<f64> = (-3..=3).map(|i| i as f64 * 100.0).collect();
-    let fem = FocusExposureMatrix::build(
-        &sim,
-        90.0,
-        &[240.0, f64::INFINITY],
-        &focus,
-        &[1.0],
-    )
-    .expect("FEM builds");
+    let fem = FocusExposureMatrix::build(&sim, 90.0, &[240.0, f64::INFINITY], &focus, &[1.0])
+        .expect("FEM builds");
     assert_eq!(fem.smiles_at(240.0), Some(true));
     assert_eq!(fem.smiles_at(f64::INFINITY), Some(false));
     assert!(fem.lvar_focus() > 1.0);
@@ -70,12 +64,26 @@ fn opc_then_srafs_stabilize_an_isolated_gate() {
 
     // After OPC the gate prints near target at focus…
     let at_focus = sim
-        .print_device_cd(pattern.x0(), pattern.length(), &pattern.chrome(), 0.0, 0.0, 1.0)
+        .print_device_cd(
+            pattern.x0(),
+            pattern.length(),
+            &pattern.chrome(),
+            0.0,
+            0.0,
+            1.0,
+        )
         .expect("prints at focus");
     assert!((at_focus - 90.0).abs() < 6.0, "post-OPC CD {at_focus}");
     // …and the assisted gate survives a 250 nm defocus without washing out.
     let defocused = sim
-        .print_device_cd(pattern.x0(), pattern.length(), &pattern.chrome(), 0.0, 250.0, 1.0)
+        .print_device_cd(
+            pattern.x0(),
+            pattern.length(),
+            &pattern.chrome(),
+            0.0,
+            250.0,
+            1.0,
+        )
         .expect("prints through focus");
     assert!(defocused > 40.0, "defocused CD {defocused}");
 }

@@ -9,11 +9,7 @@ use svt::opc::OpcOptions;
 use svt::place::{place, PlacementOptions};
 use svt::stdcell::Library;
 
-fn tiny_design() -> (
-    Library,
-    svt::netlist::MappedNetlist,
-    svt::place::Placement,
-) {
+fn tiny_design() -> (Library, svt::netlist::MappedNetlist, svt::place::Placement) {
     let library = Library::svt90();
     let netlist = generate_benchmark(&BenchmarkProfile::custom("tiny", 6, 3, 20, 11));
     let mapped = technology_map(&netlist, &library).expect("mapping succeeds");

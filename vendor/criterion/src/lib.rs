@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! The build environment cannot fetch crates, so the real `criterion` is
+//! unavailable. This vendored replacement keeps every `[[bench]]` target
+//! compiling and runnable with `cargo bench`: it implements the same
+//! surface the workspace benches use (`Criterion`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros) but measures with plain `std::time::Instant` and prints one
+//! mean-time line per benchmark instead of doing statistical analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measurement batch.
+    PerIteration,
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Prevents the optimizer from eliding a value (re-export of the std
+/// implementation the real criterion also defers to on recent toolchains).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The measurement context handed to bench closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock duration of one routine call, recorded by `iter`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / u32::try_from(self.samples).unwrap_or(u32::MAX);
+    }
+
+    /// Times `routine` with a fresh `setup` product per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total / u32::try_from(self.samples).unwrap_or(u32::MAX);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured calls per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench driver.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let label = id.to_string();
+        let samples = self.default_samples;
+        self.run_one(&label, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: u64, mut f: F) {
+        let mut bencher = Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {label:<50} {:>12.3} ms/iter ({samples} samples)",
+            bencher.elapsed.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_runs_routines() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 10);
+
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        let mut batched = 0u64;
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &v| {
+            b.iter_batched(|| v, |x| batched += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(batched, 21);
+    }
+}

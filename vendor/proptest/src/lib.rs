@@ -1,0 +1,439 @@
+//! Offline mini re-implementation of the `proptest` API surface this
+//! workspace uses.
+//!
+//! The build environment has no registry access, so the real `proptest`
+//! cannot be resolved. This vendored harness keeps the workspace's
+//! property tests compiling and running unchanged: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_filter`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::option::of`, and the
+//! `prop_assert*`/`prop_assume` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the ordinary assert message;
+//! * deterministic seeding — each test derives its RNG stream from its own
+//!   name, so failures reproduce exactly across runs;
+//! * rejection (via `prop_filter`/`prop_assume`) resamples the whole input
+//!   tuple, with a generous attempt budget before giving up.
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned through `Err` when `prop_assume!` rejects a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test identifier so failures replay across
+    /// runs.
+    #[must_use]
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut state = 0xB5AD_4ECE_DA1C_E2A9u64;
+        for b in name.bytes() {
+            state = state.rotate_left(7) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % span) as usize
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use super::TestRng;
+
+    /// A recipe for random values (shrink-free subset of
+    /// `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value; `None` means the draw was rejected by a filter
+        /// and the caller should resample.
+        fn gen_sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing the predicate; `reason` labels the filter
+        /// in exhaustion panics.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_sample(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.gen_sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        #[allow(dead_code)] // diagnostic label, reported on exhaustion by the runner
+        pub(crate) reason: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.gen_sample(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    Some((self.start as i128 + off as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_sample(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty strategy range");
+            Some(self.start + (self.end - self.start) * rng.next_f64())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.gen_sample(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod prop {
+    //! The `prop::` strategy constructors.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+
+        /// A size specification: an exact count or a half-open range.
+        pub trait IntoSizeRange {
+            /// Inclusive `(min, max)` bounds.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self)
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        /// Strategy for `Vec`s of `elem` with the given size spec.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { elem, min, max }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                let len = rng.usize_inclusive(self.min, self.max);
+                (0..len).map(|_| self.elem.gen_sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+
+        /// Strategy yielding `None` about a quarter of the time, otherwise
+        /// `Some` of the inner strategy.
+        pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+            OfStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OfStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OfStrategy<S> {
+            type Value = Option<S::Value>;
+            fn gen_sample(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+                if rng.next_u64().is_multiple_of(4) {
+                    Some(None)
+                } else {
+                    self.inner.gen_sample(rng).map(Some)
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts inside a property (panics with the failing message; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case (it is resampled and not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(binding in strategy, …)
+/// { body }` is rewritten into a zero-argument test running `cases`
+/// accepted samples. The `#[test]` attribute is written by the caller (as
+/// with real proptest) and passed through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).saturating_add(1000),
+                    "property `{}` rejected too many samples ({} attempts for {} cases)",
+                    stringify!($name),
+                    attempts,
+                    accepted,
+                );
+                $(
+                    let $pat = match $crate::strategy::Strategy::gen_sample(&($strat), &mut rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => continue,
+                    };
+                )+
+                let outcome: ::core::result::Result<(), $crate::Rejected> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        let s = (0i64..10, -1.0f64..1.0);
+        for _ in 0..200 {
+            let (i, f) = Strategy::gen_sample(&s, &mut rng).unwrap();
+            assert!((0..10).contains(&i));
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let mut rng = crate::TestRng::deterministic("mapfilter");
+        let s = (0usize..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("keep multiples of 4", |x| x % 4 == 0);
+        let mut kept = 0;
+        for _ in 0..200 {
+            if let Some(v) = Strategy::gen_sample(&s, &mut rng) {
+                assert!(v % 4 == 0);
+                kept += 1;
+            }
+        }
+        assert!(kept > 50, "filter should keep about half, kept {kept}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::TestRng::deterministic("vecsize");
+        let ranged = prop::collection::vec(0u32..5, 1..7);
+        let exact = prop::collection::vec(0.0f64..1.0, 8);
+        for _ in 0..100 {
+            let v = Strategy::gen_sample(&ranged, &mut rng).unwrap();
+            assert!((1..=6).contains(&v.len()));
+            let e = Strategy::gen_sample(&exact, &mut rng).unwrap();
+            assert_eq!(e.len(), 8);
+        }
+    }
+
+    #[test]
+    fn option_of_mixes_none_and_some() {
+        let mut rng = crate::TestRng::deterministic("optionof");
+        let s = prop::option::of(0.0f64..100.0);
+        let draws: Vec<_> = (0..200)
+            .map(|_| Strategy::gen_sample(&s, &mut rng).unwrap())
+            .collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: bindings, assume, and asserts.
+        #[test]
+        #[allow(unused_mut)]
+        fn macro_smoke(mut a in 0i64..100, b in 0i64..100, v in prop::collection::vec(0u8..255, 0..5)) {
+            prop_assume!(a != b);
+            a += 1;
+            prop_assert!(a != b + 1);
+            prop_assert_ne!(a - 1, b);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

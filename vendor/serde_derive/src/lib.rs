@@ -1,0 +1,23 @@
+//! No-op replacements for `serde_derive`'s `Serialize`/`Deserialize` derive
+//! macros.
+//!
+//! The workspace builds in an environment with no access to crates.io, so
+//! the real `serde` cannot be fetched. The codebase only uses the derives as
+//! declarative markers (nothing serializes through serde at runtime — the
+//! text formats ship their own writers), so emitting no impl at all is
+//! sufficient. `attributes(serde)` is declared so any future
+//! `#[serde(...)]` field attributes still parse.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
