@@ -1,7 +1,9 @@
 //! End-to-end pipeline benchmark for the execution layer (thread pool +
-//! memo caches): aerial imaging, library expansion, FEM build, and full
-//! signoff, each timed at 1 worker against 8 workers and with cold
-//! against warm caches. Emits `BENCH_pipeline.json` at the repo root.
+//! memo caches): aerial imaging, library expansion, FEM build, full
+//! signoff, and the observability layer's overhead, each timed at 1
+//! worker against 8 workers and with cold against warm caches. Emits
+//! `BENCH_pipeline.json` at the repo root, including a full `svt-obs`
+//! snapshot of the traced sign-off run.
 //!
 //! Timing uses `std::time::Instant` only — no external bench harness —
 //! so the binary runs in the offline build. Cache state is controlled
@@ -14,6 +16,7 @@ use std::time::Instant;
 
 use svt_core::{SignoffFlow, SignoffOptions};
 use svt_litho::{clear_litho_caches, FocusExposureMatrix, MaskCutline, Process};
+use svt_obs::TraceMode;
 use svt_stdcell::{clear_expand_caches, expand_library, ExpandOptions, Library};
 
 fn ms(from: Instant) -> f64 {
@@ -34,7 +37,7 @@ fn main() {
     let sim = process.simulator();
 
     // ---- Aerial image: transfer-table + FFT-plan caches -----------------
-    println!("[1/4] aerial image (cold vs warm transfer tables)...");
+    println!("[1/5] aerial image (cold vs warm transfer tables)...");
     clear_litho_caches();
     let lines: Vec<(f64, f64)> = (-6..=6)
         .map(|k| {
@@ -61,7 +64,7 @@ fn main() {
 
     // ---- Library expansion: pool + CD memo ------------------------------
     // Default ExpandOptions (7-spacing table), 4 cells.
-    println!("[2/4] expand_library, 4 cells, default options...");
+    println!("[2/5] expand_library, 4 cells, default options...");
     let full = Library::svt90();
     let cells: Vec<_> = full
         .cells()
@@ -102,7 +105,7 @@ fn main() {
     );
 
     // ---- Focus-exposure matrix: CD memo ---------------------------------
-    println!("[3/4] focus-exposure matrix (cold vs warm rebuild)...");
+    println!("[3/5] focus-exposure matrix (cold vs warm rebuild)...");
     let focus: Vec<f64> = (-4..=4).map(|i| f64::from(i) * 75.0).collect();
     let pitches = [240.0, 320.0, 480.0, f64::INFINITY];
     let doses = [0.95, 1.0, 1.05];
@@ -124,7 +127,7 @@ fn main() {
     );
 
     // ---- Full signoff ----------------------------------------------------
-    println!("[4/4] full signoff flow on c432...");
+    println!("[4/5] full signoff flow on c432...");
     let expanded = expand_library(&full, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
     let design = svt_bench::build_design(&full, "c432");
     let run_with = |threads: usize| {
@@ -142,10 +145,51 @@ fn main() {
     assert_eq!(cmp_1t, cmp_8t, "thread count changed signoff results");
     let _ = writeln!(
         json,
-        "  \"signoff_c432\": {{ \"gates\": {}, \"threads_1_ms\": {signoff_1t_ms:.3}, \"threads_8_ms\": {signoff_8t_ms:.3}, \"uncertainty_reduction_pct\": {:.2} }}",
+        "  \"signoff_c432\": {{ \"gates\": {}, \"threads_1_ms\": {signoff_1t_ms:.3}, \"threads_8_ms\": {signoff_8t_ms:.3}, \"uncertainty_reduction_pct\": {:.2} }},",
         cmp_1t.gates,
         cmp_1t.uncertainty_reduction_pct()
     );
+
+    // ---- Observability overhead -----------------------------------------
+    // The full sign-off flow, traced and untraced: it crosses thousands of
+    // span sites per run (per-corner, per-instance) plus the pool counters
+    // and memo probes, so the delta bounds what tracing costs a real run.
+    // The off path must stay within noise of free (a single relaxed atomic
+    // load per call site); the measured percentage is recorded so
+    // regressions show up in the committed JSON.
+    println!("[5/5] observability overhead (SVT_TRACE=off vs summary)...");
+    let overhead_reps = 10;
+    let flow = SignoffFlow::new(&full, &expanded, SignoffOptions::default());
+    let time_trace = |mode: TraceMode| {
+        svt_obs::set_mode(mode);
+        let start = Instant::now();
+        for _ in 0..overhead_reps {
+            let cmp = flow
+                .run(&design.mapped, &design.placement)
+                .expect("signoff succeeds");
+            assert_eq!(cmp, cmp_1t, "trace mode changed signoff results");
+        }
+        ms(start) / f64::from(overhead_reps)
+    };
+    let obs_off_ms = time_trace(TraceMode::Off);
+    let obs_summary_ms = time_trace(TraceMode::Summary);
+    let obs_overhead_pct = 100.0 * (obs_summary_ms - obs_off_ms) / obs_off_ms;
+    let _ = writeln!(
+        json,
+        "  \"obs_overhead\": {{ \"workload\": \"signoff_c432\", \"trace_off_ms\": {obs_off_ms:.3}, \"trace_summary_ms\": {obs_summary_ms:.3}, \"summary_overhead_pct\": {obs_overhead_pct:.2} }},"
+    );
+
+    // One traced sign-off run, snapshotted into the report so the committed
+    // JSON shows the span tree and cache hit rates of the real pipeline.
+    svt_obs::registry().reset_metrics();
+    svt_obs::set_mode(TraceMode::Summary);
+    let cmp_traced = flow
+        .run(&design.mapped, &design.placement)
+        .expect("traced signoff succeeds");
+    assert_eq!(cmp_1t, cmp_traced, "trace mode changed signoff results");
+    svt_obs::set_mode(TraceMode::Off);
+    let snapshot = svt_obs::registry().snapshot().to_json();
+    let _ = writeln!(json, "  \"observability\": {}", snapshot.trim_end());
 
     json.push_str("}\n");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");

@@ -6,18 +6,16 @@
 //! cargo run --release -p svt-bench --bin fig1_pitch_cd
 //! ```
 
-use svt_litho::{pitch_sweep, Process};
+use svt_bench::figures;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let process = Process::nm130();
-    let sim = process.simulator();
-    let drawn = 130.0;
-    let pitches: Vec<f64> = (0..=24).map(|i| 300.0 + 62.5 * i as f64).collect();
-    let curve = pitch_sweep(&sim, drawn, &pitches, 0.0, 1.0)?;
+    svt_obs::reinit_from_env();
+    let data = figures::fig1()?;
+    let drawn = data.drawn_nm;
 
     println!("# Fig. 1 — printed CD vs pitch (drawn {drawn} nm, annular 0.55/0.85, λ=193, NA=0.7)");
     println!("{:>8} {:>10} {:>8}", "pitch", "CD(nm)", "bias(nm)");
-    for p in curve.points() {
+    for p in data.curve.points() {
         println!(
             "{:>8.1} {:>10.2} {:>8.2}",
             p.pitch_nm,
@@ -27,32 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "# through-pitch CD range: {:.2} nm ({:.1}% of drawn)",
-        curve.cd_range(),
-        100.0 * curve.cd_range() / drawn
+        data.curve.cd_range(),
+        100.0 * data.curve.cd_range() / drawn
     );
-
-    // The radius of influence: CD variation within the last 600 nm of
-    // spacing vs beyond it.
-    let near: Vec<f64> = curve
-        .points()
-        .iter()
-        .filter(|p| p.pitch_nm - drawn < 600.0)
-        .map(|p| p.cd_nm)
-        .collect();
-    let far: Vec<f64> = curve
-        .points()
-        .iter()
-        .filter(|p| p.pitch_nm - drawn >= 600.0)
-        .map(|p| p.cd_nm)
-        .collect();
-    let range = |v: &[f64]| {
-        v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
-            - v.iter().fold(f64::INFINITY, |a, &b| a.min(b))
-    };
     println!(
         "# CD range with spacing < 600 nm: {:.2} nm; beyond 600 nm: {:.2} nm (radius of influence)",
-        range(&near),
-        range(&far)
+        data.near_range, data.far_range
     );
+    svt_obs::emit_if_enabled();
     Ok(())
 }

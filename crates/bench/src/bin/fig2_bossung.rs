@@ -6,28 +6,26 @@
 //! cargo run --release -p svt-bench --bin fig2_bossung
 //! ```
 
-use svt_litho::{bossung, Process};
+use svt_bench::figures;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sim = Process::nm90().simulator();
-    let focus: Vec<f64> = (-6..=6).map(|i| i as f64 * 50.0).collect();
-    let doses = [0.94, 0.97, 1.0, 1.03, 1.06];
+    svt_obs::reinit_from_env();
+    let data = figures::fig2()?;
+    let focus: Vec<f64> = (-6..=6).map(|i| f64::from(i) * 50.0).collect();
 
     println!("# Fig. 2 — Bossung: CD vs defocus (193 nm stepper, annular 0.55/0.85)");
-    for (label, pitch) in [
-        ("dense 90 nm lines / 150 nm space", Some(240.0)),
-        ("isolated 90 nm lines", None),
+    for (label, family) in [
+        ("dense 90 nm lines / 150 nm space", &data.dense),
+        ("isolated 90 nm lines", &data.isolated),
     ] {
         println!("\n## {label}");
         print!("{:>6}", "dose");
         for z in &focus {
-            print!(" {:>7.0}", z);
+            print!(" {z:>7.0}");
         }
         println!("   shape");
-        let family = bossung(&sim, 90.0, pitch, &focus, &doses)?;
         for curve in &family.curves {
             print!("{:>6.2}", curve.dose);
-            let mut col = 0usize;
             for &z in &focus {
                 let cd = curve
                     .samples
@@ -38,12 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Some(cd) => print!(" {cd:>7.1}"),
                     None => print!(" {:>7}", "-"),
                 }
-                col += 1;
             }
-            let _ = col;
             println!("   {}", if curve.is_smiling() { "smile" } else { "frown" });
         }
     }
     println!("\n# Expected shape (paper): dense smiles (CD grows off focus), isolated frowns.");
+    svt_obs::emit_if_enabled();
     Ok(())
 }

@@ -11,6 +11,7 @@ use svt_opc::{LibraryOpc, ModelOpc, OpcOptions};
 use svt_stdcell::{Library, Region};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    svt_obs::reinit_from_env();
     let sim = signoff_simulator();
     let library = Library::svt90();
     let cell = library.cell("NAND2X1").expect("NAND2X1 exists");
@@ -51,5 +52,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             corrected.report.sweeps, corrected.report.max_error_nm, corrected.report.converged
         );
     }
+    svt_obs::emit_if_enabled();
     Ok(())
 }

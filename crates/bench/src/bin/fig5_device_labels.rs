@@ -11,6 +11,7 @@ use svt_core::{classify_sites, label_arc, ArcLabel, ArcLabelPolicy, DeviceClass}
 use svt_stdcell::Library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    svt_obs::reinit_from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "c432".into());
     let library = Library::svt90();
     let design = build_design(&library, &name);
@@ -73,5 +74,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * n as f64 / arcs as f64
         );
     }
+    svt_obs::emit_if_enabled();
     Ok(())
 }

@@ -8,90 +8,57 @@
 //! cargo run --release -p svt-bench --bin fig6_corner_span
 //! ```
 
-use svt_bench::signoff_simulator;
-use svt_core::{ArcLabel, VariationBudget};
-use svt_litho::FocusExposureMatrix;
-use svt_opc::{ModelOpc, OpcOptions};
-use svt_stdcell::PitchCdTable;
+use svt_bench::figures;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sim = signoff_simulator();
-    let drawn = 90.0;
+    svt_obs::reinit_from_env();
+    let data = figures::fig6()?;
+    let drawn = data.drawn_nm;
 
-    // lvar_pitch from the post-OPC through-pitch table (paper §3.3: "draw
-    // test layouts … corrected with the standard OPC flow and CD is
-    // measured").
-    let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
-    let table = PitchCdTable::build(
-        &sim,
-        &opc,
-        drawn,
-        &[150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 700.0],
-    )?;
-    let lvar_pitch = table.lvar_pitch();
     println!("# Fig. 6 — corner span decomposition at drawn CD {drawn} nm");
-    println!("measured lvar_pitch (post-OPC, through-pitch): {lvar_pitch:.2} nm");
+    println!(
+        "measured lvar_pitch (post-OPC, through-pitch): {:.2} nm",
+        data.lvar_pitch
+    );
+    println!(
+        "measured lvar_focus (FEM, ±300 nm):            {:.2} nm",
+        data.lvar_focus
+    );
 
-    // lvar_focus from the FEM over pitches from minimum to just above the
-    // contacted pitch (±300 nm focus).
-    let focus: Vec<f64> = (-4..=4).map(|i| i as f64 * 75.0).collect();
-    let fem = FocusExposureMatrix::build(&sim, drawn, &[240.0, 280.0, 320.0], &focus, &[1.0])?;
-    let lvar_focus = fem.lvar_focus();
-    println!("measured lvar_focus (FEM, ±300 nm):            {lvar_focus:.2} nm");
-
-    // The artificial Bossung of Fig. 6: per-pitch smile/frown signatures.
     println!("\npitch   smiles?");
-    for pitch in [240.0, 280.0, 320.0] {
+    for &(pitch, smiles) in &data.smiles {
         println!(
             "{:>5.0}   {}",
             pitch,
-            fem.smiles_at(pitch)
+            smiles
                 .map(|s| if s { "smile (dense)" } else { "frown" })
                 .unwrap_or("-")
         );
     }
 
-    // Corner spans: naive full span vs eq. 1–5 spans, using the measured
-    // systematic components inside the default ±15% budget.
     let delta = 0.15 * drawn;
-    let budget = VariationBudget::new(
-        0.15,
-        (lvar_pitch / delta).min(0.5),
-        (lvar_focus / delta).min(0.5),
-    );
     println!(
         "\nbudget: Δ = {delta:.2} nm, pitch share {:.0}%, focus share {:.0}%",
-        100.0 * budget.pitch_fraction,
-        100.0 * budget.focus_fraction
+        100.0 * data.pitch_fraction,
+        100.0 * data.focus_fraction
     );
-    let naive = budget.traditional_corners(drawn);
     println!(
         "\n{:<22} {:>8} {:>8} {:>9}",
         "corner model", "BC(nm)", "WC(nm)", "span(nm)"
     );
-    println!(
-        "{:<22} {:>8.2} {:>8.2} {:>9.2}",
-        "traditional (2Δ)",
-        naive.bc_nm,
-        naive.wc_nm,
-        naive.spread_nm()
-    );
-    for (name, label) in [
-        ("aware, smiling arc", ArcLabel::Smile),
-        ("aware, frowning arc", ArcLabel::Frown),
-        ("aware, self-comp arc", ArcLabel::SelfCompensated),
-    ] {
-        let c = budget.aware_corners(drawn, label);
-        println!(
-            "{:<22} {:>8.2} {:>8.2} {:>9.2}",
-            name,
-            c.bc_nm,
-            c.wc_nm,
-            c.spread_nm()
-        );
+    for &(name, bc, wc, span) in &data.corners {
+        let pretty = match name {
+            "traditional" => "traditional (2Δ)",
+            "aware_smile" => "aware, smiling arc",
+            "aware_frown" => "aware, frowning arc",
+            "aware_selfcomp" => "aware, self-comp arc",
+            other => other,
+        };
+        println!("{pretty:<22} {bc:>8.2} {wc:>8.2} {span:>9.2}");
     }
     println!(
         "\n# Paper's point: the naive span 2(lvar_pitch + lvar_focus + residual) is too\n# pessimistic; accounting for systematics removes 2·lvar_pitch everywhere and\n# lvar_focus from the impossible side of each arc."
     );
+    svt_obs::emit_if_enabled();
     Ok(())
 }

@@ -11,6 +11,7 @@ use svt_opc::{error_histogram, OpcOptions};
 use svt_stdcell::Library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    svt_obs::reinit_from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "c3540".into());
     let library = Library::svt90();
     let sim = signoff_simulator();
@@ -52,5 +53,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
     let worst = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
     println!("\n# mean error {mean:+.2}%, worst |{worst:.2}|% (paper observed up to ~20%)");
+    svt_obs::emit_if_enabled();
     Ok(())
 }

@@ -12,6 +12,7 @@ use svt_opc::OpcOptions;
 use svt_stdcell::Library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    svt_obs::reinit_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let testcases: Vec<String> = if args.is_empty() {
         PAPER_TESTCASES.iter().map(|s| s.to_string()).collect()
@@ -64,5 +65,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n# Paper shape: ~50% of devices within 1%, nearly all within 6%, and the\n# full-chip runtime grows with design size while library OPC cost is one-time\n# (its per-design column above is assembly + sign-off audit only)."
     );
+    svt_obs::emit_if_enabled();
     Ok(())
 }

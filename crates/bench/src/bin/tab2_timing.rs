@@ -16,6 +16,7 @@ use svt_core::{SignoffFlow, SignoffOptions};
 use svt_stdcell::{expand_library, ExpandOptions, Library};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    svt_obs::reinit_from_env();
     let mut testcases: Vec<String> = Vec::new();
     let mut simplified = false;
     let mut args = std::env::args().skip(1);
@@ -76,5 +77,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\n# Paper shape: 28–40% reduction in BC→WC timing spread.");
+    svt_obs::emit_if_enabled();
     Ok(())
 }

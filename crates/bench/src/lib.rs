@@ -10,6 +10,8 @@ use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile, MappedNe
 use svt_place::{place, Placement, PlacementOptions};
 use svt_stdcell::Library;
 
+pub mod figures;
+
 /// A synthesized and placed benchmark, ready for OPC or timing work.
 #[derive(Debug, Clone)]
 pub struct Design {

@@ -294,6 +294,7 @@ impl<'a> SignoffFlow<'a> {
         netlist: &MappedNetlist,
         placement: &Placement,
     ) -> Result<SignoffComparison, FlowError> {
+        let _span = svt_obs::span("core.signoff");
         let traditional = self.traditional_timing(netlist)?;
         let aware = self.aware_timing(netlist, placement)?;
         Ok(SignoffComparison {
@@ -308,10 +309,12 @@ impl<'a> SignoffFlow<'a> {
     /// plus the non-gate-length corner derate. The three corner analyses
     /// are independent and run across the worker pool.
     fn traditional_timing(&self, netlist: &MappedNetlist) -> Result<CornerTiming, FlowError> {
+        let _span = svt_obs::span("core.signoff.traditional");
         let l_nom = self.options.characterize.nominal_length_nm;
         let corners = self.options.budget.traditional_corners(l_nom);
         let lengths = [corners.bc_nm, corners.nom_nm, corners.wc_nm];
         let delays = try_par_map(&lengths, |&l| -> Result<f64, FlowError> {
+            let _corner = svt_obs::span("core.signoff.traditional.corner");
             let binding = CellBinding::uniform_scaled(netlist, self.library, l)?;
             Ok(analyze(netlist, &binding, &self.options.timing)?.circuit_delay_ns())
         })?;
@@ -340,6 +343,7 @@ impl<'a> SignoffFlow<'a> {
         netlist: &MappedNetlist,
         placement: &Placement,
     ) -> Result<CornerTiming, FlowError> {
+        let _span = svt_obs::span("core.signoff.aware");
         let contexts = placement.instance_contexts(netlist, self.library)?;
         if contexts.len() != netlist.instances().len() {
             return Err(FlowError::Inconsistent {
@@ -373,9 +377,14 @@ impl<'a> SignoffFlow<'a> {
         let instance_indices: Vec<usize> = (0..netlist.instances().len()).collect();
         let mut timings = HashMap::new();
         for corner in Corner::ALL {
+            let _corner_span = svt_obs::span("core.signoff.aware.corner");
+            if svt_obs::enabled() {
+                svt_obs::counter!("core.signoff.instances").add(instance_indices.len() as u64);
+            }
             let cells = try_par_map(
                 &instance_indices,
                 |&idx| -> Result<CharacterizedCell, FlowError> {
+                    let _inst = svt_obs::span("core.signoff.aware.instance");
                     let inst = &netlist.instances()[idx];
                     let cell =
                         self.library

@@ -26,6 +26,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to run the factory.
     pub misses: u64,
+    /// Entries written into the cache.
+    pub inserts: u64,
+    /// Entries dropped by capacity resets.
+    pub evictions: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
 }
@@ -54,6 +58,8 @@ pub struct MemoCache<K, V> {
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Default shard count; power of two so hash bits select shards evenly.
@@ -78,6 +84,8 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             shard_capacity: shard_capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -110,9 +118,12 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             return existing.clone();
         }
         if map.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
             map.clear();
         }
         map.insert(key, value.clone());
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         value
     }
 
@@ -125,9 +136,12 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             return;
         }
         if map.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
             map.clear();
         }
         map.insert(key, value);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Returns the cached value without computing, if present.
@@ -153,11 +167,13 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
         }
     }
 
-    /// Current hit/miss/entry counters.
+    /// Current hit/miss/insert/eviction/entry counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -165,6 +181,33 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
                 .sum(),
         }
     }
+}
+
+impl From<CacheStats> for svt_obs::CacheCounters {
+    fn from(s: CacheStats) -> svt_obs::CacheCounters {
+        svt_obs::CacheCounters {
+            hits: s.hits,
+            misses: s.misses,
+            inserts: s.inserts,
+            evictions: s.evictions,
+            entries: s.entries,
+        }
+    }
+}
+
+/// Registers `cache` as a named telemetry probe on the `svt-obs` registry.
+///
+/// The probe reads the cache's own live counters only when a snapshot is
+/// taken, so instrumentation costs the cache nothing on its hot path.
+/// Re-registration replaces the probe, so calling this from a `OnceLock`
+/// initializer (the usual pattern for global caches) is safe even when the
+/// initializer re-runs after a test clears state.
+pub fn register_cache_telemetry<K, V>(name: &str, cache: &'static MemoCache<K, V>)
+where
+    K: Hash + Eq + Send,
+    V: Clone + Send,
+{
+    svt_obs::register_cache(name, || cache.stats().into());
 }
 
 #[cfg(test)]
@@ -186,6 +229,7 @@ mod tests {
         assert_eq!(computed.load(Ordering::Relaxed), 1, "second call was a hit");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.inserts, stats.evictions), (1, 0));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -207,6 +251,12 @@ mod tests {
             cache.get_or_insert_with(k, || k);
         }
         assert!(cache.stats().entries <= 4, "cap must bound residency");
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 100, "every miss inserted");
+        assert!(
+            stats.evictions >= stats.inserts - 4,
+            "capacity resets must account for dropped entries"
+        );
         // Still correct after eviction: recompute yields the same value.
         assert_eq!(cache.get_or_insert_with(0, || 0), 0);
     }

@@ -19,6 +19,6 @@ pub mod cache;
 pub mod pool;
 pub mod quant;
 
-pub use cache::{CacheStats, MemoCache};
+pub use cache::{register_cache_telemetry, CacheStats, MemoCache};
 pub use pool::{par_map, par_map_threads, resolve_threads, try_par_map, try_par_map_threads};
 pub use quant::{qf64, quantize_f64, unquantize_f64};

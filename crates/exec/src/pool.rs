@@ -15,8 +15,11 @@
 //!   are joined, and the panic is then resumed on the caller thread.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use svt_obs::{counter, gauge, histogram};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "SVT_THREADS";
@@ -83,8 +86,25 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
 ) -> Result<Vec<R>, E> {
     let n = items.len();
     let workers = threads.min(n);
+    // Telemetry is sampled once per batch: when `SVT_TRACE=off` the whole
+    // instrumentation collapses to this one relaxed load plus a branch, and
+    // per-item work is untouched either way (results stay bit-identical).
+    let telemetry = svt_obs::enabled();
+    if telemetry {
+        counter!("exec.pool.batches").incr();
+        counter!("exec.pool.tasks").add(n as u64);
+        gauge!("exec.pool.workers").set(i64::try_from(workers.max(1)).unwrap_or(i64::MAX));
+    }
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        if !telemetry {
+            return items.iter().map(f).collect();
+        }
+        let start = Instant::now();
+        let out: Result<Vec<R>, E> = items.iter().map(&f).collect();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        counter!("exec.pool.wall_ns").add(ns);
+        counter!("exec.pool.busy_ns").add(ns);
+        return out;
     }
 
     // One slot per input index; workers only ever touch their own claimed
@@ -94,6 +114,9 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
     // Lowest failing index seen so far; `n` means "none". Also doubles as
     // the early-exit signal: workers stop claiming past a known failure.
     let first_bad = AtomicUsize::new(n);
+    // Nanoseconds workers spent inside `f`; only updated under telemetry.
+    let busy_ns = AtomicU64::new(0);
+    let batch_start = telemetry.then(Instant::now);
 
     let panic_payload = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -104,7 +127,14 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
                         if i >= n || i > first_bad.load(Ordering::Acquire) {
                             return Ok(());
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                        let task_start = telemetry.then(Instant::now);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                        if let Some(start) = task_start {
+                            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            histogram!("exec.pool.task_ns").record(ns);
+                            busy_ns.fetch_add(ns, Ordering::Relaxed);
+                        }
+                        match outcome {
                             Ok(result) => {
                                 if result.is_err() {
                                     first_bad.fetch_min(i, Ordering::AcqRel);
@@ -133,6 +163,17 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
         }
         payload
     });
+
+    if let Some(start) = batch_start {
+        let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let busy = busy_ns.load(Ordering::Relaxed);
+        counter!("exec.pool.wall_ns").add(wall);
+        counter!("exec.pool.busy_ns").add(busy);
+        // Idle = worker-seconds not spent in `f`: scheduling overhead plus
+        // tail latency while the last tasks drain.
+        let idle = (wall.saturating_mul(workers as u64)).saturating_sub(busy);
+        counter!("exec.pool.idle_ns").add(idle);
+    }
 
     if let Some(payload) = panic_payload {
         resume_unwind(payload);

@@ -1,0 +1,120 @@
+//! Fault-injection tests of the worker pool: panicking tasks, repeated
+//! reuse after failure, and degenerate `SVT_THREADS` configurations.
+
+use std::panic::catch_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use svt_exec::{par_map_threads, resolve_threads, try_par_map_threads};
+
+#[test]
+fn panic_propagates_after_join_without_poisoning_pool() {
+    let items: Vec<u32> = (0..64).collect();
+    let started = AtomicUsize::new(0);
+    let caught = catch_unwind(|| {
+        par_map_threads(4, &items, |&x| {
+            started.fetch_add(1, Ordering::Relaxed);
+            assert!(x != 21, "injected failure");
+            x * 2
+        })
+    });
+    let payload = caught.expect_err("the task panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("injected failure"), "wrong payload: {msg}");
+    // The panic came from a genuinely started task, and scheduling stopped
+    // early rather than running the full input set to completion.
+    assert!(started.load(Ordering::Relaxed) >= 1);
+
+    // The pool is per-call state: failure leaves nothing poisoned, and the
+    // very next call computes the full, correctly ordered result.
+    let ok = par_map_threads(4, &items, |&x| x * 2);
+    assert_eq!(ok, items.iter().map(|x| x * 2).collect::<Vec<u32>>());
+}
+
+#[test]
+fn repeated_panics_never_wedge_the_pool() {
+    let items: Vec<u32> = (0..16).collect();
+    for round in 0..10 {
+        let caught = catch_unwind(|| {
+            par_map_threads(3, &items, |&x| {
+                assert!(x != round % 16, "round {round}");
+                x
+            })
+        });
+        assert!(caught.is_err(), "round {round} should panic");
+    }
+    assert_eq!(par_map_threads(3, &items, |&x| x + 1).len(), 16);
+}
+
+#[test]
+fn lower_index_panic_beats_higher_index_error() {
+    // Items are claimed in index order, so a panic at a lower index than
+    // any error runs before the error can short-circuit scheduling — it
+    // must surface as a panic (sequential semantics), not be masked by the
+    // later Err.
+    let items: Vec<u32> = (0..32).collect();
+    let caught = catch_unwind(|| {
+        try_par_map_threads(4, &items, |&x| {
+            if x == 2 {
+                panic!("task panic");
+            }
+            if x == 20 {
+                return Err("task error");
+            }
+            Ok(x)
+        })
+    });
+    assert!(
+        caught.is_err(),
+        "panic must propagate even alongside errors"
+    );
+}
+
+#[test]
+fn oversubscribed_thread_counts_degrade_gracefully() {
+    // Far more workers than items, and far more than cores: the pool must
+    // clamp to the work available and still produce ordered output.
+    let items: Vec<u64> = (0..7).collect();
+    let out = par_map_threads(512, &items, |&x| x * x);
+    assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36]);
+
+    let empty: Vec<u64> = Vec::new();
+    assert!(par_map_threads(512, &empty, |&x| x).is_empty());
+}
+
+#[test]
+fn env_thread_overrides_fall_back_sanely() {
+    // All SVT_THREADS mutation lives in this one test: integration tests
+    // run in their own process, but sibling #[test] fns share it.
+    let restore = std::env::var("SVT_THREADS").ok();
+
+    // Zero is not a usable worker count: the env override is ignored and
+    // resolution falls through to available parallelism (>= 1).
+    std::env::set_var("SVT_THREADS", "0");
+    assert!(resolve_threads(None) >= 1);
+
+    // Garbage is ignored the same way.
+    std::env::set_var("SVT_THREADS", "not-a-number");
+    assert!(resolve_threads(None) >= 1);
+
+    // A huge override is accepted (the pool clamps per call to the item
+    // count), and the map still runs correctly.
+    std::env::set_var("SVT_THREADS", "10000");
+    assert_eq!(resolve_threads(None), 10000);
+    let items: Vec<u32> = (0..5).collect();
+    assert_eq!(
+        par_map_threads(resolve_threads(None), &items, |&x| x + 1).len(),
+        5
+    );
+
+    // Explicit overrides beat the environment.
+    assert_eq!(resolve_threads(Some(2)), 2);
+
+    match restore {
+        Some(v) => std::env::set_var("SVT_THREADS", v),
+        None => std::env::remove_var("SVT_THREADS"),
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the quantized `f64` cache-key helpers.
+//!
+//! The memoization layer's correctness rests on three invariants:
+//! every value in a bucket maps to the same representative (fill-order
+//! independence), distinct buckets never collide, and degenerate floats
+//! (`-0.0`, subnormals, non-finite) behave predictably.
+
+use proptest::prelude::*;
+use svt_exec::{qf64, quantize_f64, unquantize_f64};
+
+/// Magnitude bound for quantized parameters: well past any nm / % / dose
+/// value the pipeline quantizes, while the f64 ulp stays below the 1e-6
+/// grid step (the grid loses meaning past ~4.5e9, where ulp > 1e-6).
+const RANGE: f64 = 1e7;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// A bucket's representative re-quantizes into the same bucket, so
+    /// computing on the representative (as the cache contract requires)
+    /// is a fixed point.
+    #[test]
+    fn bucket_representative_is_a_fixed_point(x in -RANGE..RANGE) {
+        let bucket = quantize_f64(x);
+        let rep = unquantize_f64(bucket);
+        prop_assert_eq!(quantize_f64(rep), bucket, "representative of {} moved buckets", x);
+        // And the representative is within half a grid step of the input
+        // (plus a few ulps of float error at the input's magnitude).
+        let tol = 0.5e-6 + 4.0 * x.abs() * f64::EPSILON;
+        prop_assert!((rep - x).abs() <= tol, "{} snapped to {}", x, rep);
+    }
+
+    /// Two values quantizing to the same bucket share one representative
+    /// bit pattern — cache results cannot depend on which caller filled
+    /// the entry.
+    #[test]
+    fn same_bucket_means_identical_representative(x in -RANGE..RANGE, jitter in -0.49f64..0.49) {
+        let y = x + jitter * 1e-6;
+        prop_assume!(quantize_f64(x) == quantize_f64(y));
+        let rx = unquantize_f64(quantize_f64(x));
+        let ry = unquantize_f64(quantize_f64(y));
+        prop_assert_eq!(rx.to_bits(), ry.to_bits());
+    }
+
+    /// Distinct buckets never collide, and bucket order follows value
+    /// order: the key space is a faithful 1e-6 grid.
+    #[test]
+    fn distinct_buckets_never_collide(
+        a in -10_000_000_000_000i64..10_000_000_000_000,
+        b in -10_000_000_000_000i64..10_000_000_000_000,
+    ) {
+        prop_assume!(a != b);
+        let xa = unquantize_f64(a);
+        let xb = unquantize_f64(b);
+        prop_assert_eq!(quantize_f64(xa), a);
+        prop_assert_eq!(quantize_f64(xb), b);
+        prop_assert_ne!(quantize_f64(xa), quantize_f64(xb));
+        prop_assert_eq!(a < b, xa < xb, "bucket order must follow value order");
+    }
+
+    /// Exact keys are injective on normal values up to the signed-zero
+    /// fold: different bit patterns give different keys.
+    #[test]
+    fn exact_keys_are_injective(x in -RANGE..RANGE, y in -RANGE..RANGE) {
+        prop_assume!(x != 0.0 && y != 0.0);
+        if x.to_bits() == y.to_bits() {
+            prop_assert_eq!(qf64(x), qf64(y));
+        } else {
+            prop_assert_ne!(qf64(x), qf64(y));
+        }
+    }
+}
+
+#[test]
+fn signed_zero_folds_into_one_key_and_bucket() {
+    assert_eq!(qf64(0.0), qf64(-0.0), "exact keys merge the two zeros");
+    assert_eq!(quantize_f64(0.0), 0);
+    assert_eq!(quantize_f64(-0.0), 0, "-0.0 lands in the zero bucket");
+    assert_eq!(unquantize_f64(0).to_bits(), 0.0f64.to_bits());
+}
+
+#[test]
+fn subnormals_land_in_the_zero_bucket() {
+    let tiny = f64::MIN_POSITIVE; // smallest normal
+    let subnormal = tiny / 2.0;
+    assert!(subnormal > 0.0 && !subnormal.is_normal());
+    assert_eq!(quantize_f64(subnormal), 0);
+    assert_eq!(quantize_f64(-subnormal), 0);
+    // Exact keys still distinguish them — they are nonzero bit patterns.
+    assert_ne!(qf64(subnormal), qf64(0.0));
+    assert_ne!(qf64(subnormal), qf64(-subnormal));
+}
+
+#[test]
+fn quantize_rejects_nan() {
+    let result = std::panic::catch_unwind(|| quantize_f64(f64::NAN));
+    assert!(result.is_err(), "NaN must not silently share a bucket");
+}
+
+#[test]
+fn quantize_rejects_infinities() {
+    for x in [f64::INFINITY, f64::NEG_INFINITY] {
+        let result = std::panic::catch_unwind(move || quantize_f64(x));
+        assert!(result.is_err(), "{x} must not silently share a bucket");
+    }
+}

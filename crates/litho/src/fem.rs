@@ -60,7 +60,11 @@ impl FocusExposureMatrix {
         focus_nm: &[f64],
         doses: &[f64],
     ) -> Result<FocusExposureMatrix, LithoError> {
+        let _build = svt_obs::span("litho.fem.build");
         let families = try_par_map(pitches_nm, |&pitch| {
+            // Worker threads root their own span stack, so this aggregates
+            // under "litho.fem.pitch" rather than under the build span.
+            let _pitch = svt_obs::span("litho.fem.pitch");
             let p = if pitch.is_finite() { Some(pitch) } else { None };
             bossung(sim, width_nm, p, focus_nm, doses)
         })?;

@@ -22,7 +22,10 @@ type TransferTable = Arc<Vec<(u32, Complex)>>;
 
 fn transfer_tables() -> &'static MemoCache<TransferKey, TransferTable> {
     static TABLES: OnceLock<MemoCache<TransferKey, TransferTable>> = OnceLock::new();
-    TABLES.get_or_init(MemoCache::default)
+    static TELEMETRY: OnceLock<()> = OnceLock::new();
+    let cache = TABLES.get_or_init(MemoCache::default);
+    TELEMETRY.get_or_init(|| svt_exec::register_cache_telemetry("litho.transfer_tables", cache));
+    cache
 }
 
 /// Key for a sampled 1-D source: variant tag, both σ parameters, count.
@@ -30,7 +33,10 @@ type SourceKey = (u8, u64, u64, usize);
 
 fn source_tables() -> &'static MemoCache<SourceKey, Arc<Vec<SourcePoint>>> {
     static SOURCES: OnceLock<MemoCache<SourceKey, Arc<Vec<SourcePoint>>>> = OnceLock::new();
-    SOURCES.get_or_init(|| MemoCache::new(4, 256))
+    static TELEMETRY: OnceLock<()> = OnceLock::new();
+    let cache = SOURCES.get_or_init(|| MemoCache::new(4, 256));
+    TELEMETRY.get_or_init(|| svt_exec::register_cache_telemetry("litho.sources", cache));
+    cache
 }
 
 fn cached_source_points(source: Illumination, samples: usize) -> Arc<Vec<SourcePoint>> {
@@ -210,6 +216,9 @@ impl ImagingConfig {
     /// intensity 1 everywhere, which anchors the resist-threshold scale.
     #[must_use]
     pub fn aerial_image(&self, mask: &MaskCutline, defocus_nm: f64) -> AerialImage {
+        if svt_obs::enabled() {
+            svt_obs::counter!("litho.aerial_images").incr();
+        }
         let n = mask.samples().len();
         let window = mask.length();
 

@@ -16,7 +16,10 @@ const PATTERN_ISOLATED: u8 = 1;
 
 fn cd_cache() -> &'static MemoCache<CdKey, f64> {
     static CACHE: OnceLock<MemoCache<CdKey, f64>> = OnceLock::new();
-    CACHE.get_or_init(MemoCache::default)
+    static TELEMETRY: OnceLock<()> = OnceLock::new();
+    let cache = CACHE.get_or_init(MemoCache::default);
+    TELEMETRY.get_or_init(|| svt_exec::register_cache_telemetry("litho.cd", cache));
+    cache
 }
 
 /// Hit/miss counters of the printed-CD memo cache.

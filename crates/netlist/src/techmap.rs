@@ -26,6 +26,7 @@ use crate::{GateKind, MappedInstance, MappedNetlist, Netlist, NetlistError};
 /// cannot handle (none exist for valid netlists) and
 /// [`NetlistError::InvalidNetlist`] if the result fails validation.
 pub fn technology_map(netlist: &Netlist, library: &Library) -> Result<MappedNetlist, NetlistError> {
+    let _span = svt_obs::span("netlist.techmap");
     let mut mapper = Mapper {
         library,
         instances: Vec::new(),

@@ -1,0 +1,334 @@
+//! Lock-free metric primitives.
+//!
+//! Every primitive is a bundle of atomics updated with `Relaxed` ordering:
+//! observability must never serialize the hot path it watches. Readers
+//! (snapshots) tolerate the resulting minor skew between related fields —
+//! a snapshot taken mid-update may see a count without its nanoseconds,
+//! which is irrelevant for aggregate reporting.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between benchmark sections).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous value (pool sizes, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values `v`
+/// with `floor(log2(v)) == i` (bucket 0 additionally holds 0). 2^47 ns is
+/// about 39 hours, beyond any span this pipeline produces; larger values
+/// saturate into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket holding `v`.
+    #[must_use]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (63 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Lower bound of bucket `i` (its values are `< lower_bound(i + 1)`).
+    #[must_use]
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total sample count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let mean = self.sum() as f64 / n as f64;
+            mean
+        }
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_lower_bound(i), n))
+            })
+            .collect()
+    }
+
+    /// Resets every bucket and the count/sum.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregated timing of one span path: call count, total/min/max duration.
+#[derive(Debug)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for SpanStat {
+    fn default() -> SpanStat {
+        SpanStat {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SpanStat {
+    /// Records one completed span of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of completed spans.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds across all spans.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Shortest recorded span, or 0 with no spans.
+    #[must_use]
+    pub fn min_ns(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min_ns.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Longest recorded span.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean span duration in nanoseconds, or 0 with no spans.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let mean = self.total_ns() as f64 / n as f64;
+            mean
+        }
+    }
+
+    /// Resets all fields.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_arithmetic() {
+        let c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::default();
+        g.set(5);
+        g.add(-7);
+        assert_eq!(g.get(), -2);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1024, 1025] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 2055);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (1024, 2)]);
+        assert!((h.mean() - 2055.0 / 6.0).abs() < 1e-12);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn span_stat_tracks_extremes() {
+        let s = SpanStat::default();
+        assert_eq!(s.min_ns(), 0, "empty stat has no minimum");
+        s.record(10);
+        s.record(30);
+        s.record(20);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.total_ns(), 60);
+        assert_eq!(s.min_ns(), 10);
+        assert_eq!(s.max_ns(), 30);
+        assert!((s.mean_ns() - 20.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(
+            (s.count(), s.total_ns(), s.min_ns(), s.max_ns()),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let c = Counter::default();
+        let h = Histogram::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000 {
+                        c.incr();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,331 @@
+//! Renderers for [`Snapshot`]: a human-readable tree summary, a
+//! machine-readable JSON document, and a Prometheus-style text exposition.
+//!
+//! All output is built from the name-sorted snapshot, so two snapshots of
+//! identical state render byte-identically.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let ns_f = ns as f64;
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns_f / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns_f / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns_f / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Escapes a string for a JSON or Prometheus label value.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Sanitizes a metric name into a Prometheus identifier.
+fn prom_name(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl Snapshot {
+    /// Renders the human-readable summary: the span tree (indented by `/`
+    /// path depth), then counters, gauges, histograms, and per-cache
+    /// hit/miss statistics.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut out = String::from("== svt trace summary ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                let depth = s.path.matches('/').count();
+                let leaf = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let indent = "  ".repeat(depth + 1);
+                let label = format!("{indent}{leaf}");
+                let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "{label:<38} {:>8} calls  total {:>12}  mean {:>12}  max {:>12}",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(mean),
+                    fmt_ns(s.max_ns),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<36} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<36} {v:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>8} samples  mean {:>12}",
+                    h.name,
+                    h.count,
+                    fmt_ns(mean)
+                );
+            }
+        }
+        if !self.caches.is_empty() {
+            out.push_str("caches:\n");
+            for (name, c) in &self.caches {
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} hits {:>10}  misses {:>8}  hit-rate {:>6.1}%  inserts {:>8}  evicted {:>8}  resident {:>8}",
+                    c.hits,
+                    c.misses,
+                    100.0 * c.hit_rate(),
+                    c.inserts,
+                    c.evictions,
+                    c.entries,
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a self-contained JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": {");
+        for (i, s) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {} }}",
+                escape(&s.path),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns
+            );
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(lo, n)| format!("[{lo}, {n}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"count\": {}, \"sum\": {}, \"buckets\": [{}] }}",
+                escape(&h.name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            );
+        }
+        out.push_str("\n  },\n  \"caches\": {");
+        for (i, (name, c)) in self.caches.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"hits\": {}, \"misses\": {}, \"inserts\": {}, \"evictions\": {}, \"entries\": {} }}",
+                escape(name),
+                c.hits,
+                c.misses,
+                c.inserts,
+                c.evictions,
+                c.entries
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders a Prometheus-style text exposition (counters, gauges, span
+    /// and histogram aggregates, cache counters).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE svt_{n}_total counter\nsvt_{n}_total {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE svt_{n} gauge\nsvt_{n} {v}");
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE svt_span_count_total counter\n");
+            out.push_str("# TYPE svt_span_total_ns counter\n");
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "svt_span_count_total{{span=\"{0}\"}} {1}\nsvt_span_total_ns{{span=\"{0}\"}} {2}",
+                    escape(&s.path),
+                    s.count,
+                    s.total_ns
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("# TYPE svt_hist_count_total counter\n");
+            out.push_str("# TYPE svt_hist_sum_total counter\n");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "svt_hist_count_total{{hist=\"{0}\"}} {1}\nsvt_hist_sum_total{{hist=\"{0}\"}} {2}",
+                    escape(&h.name),
+                    h.count,
+                    h.sum
+                );
+            }
+        }
+        if !self.caches.is_empty() {
+            for field in ["hits", "misses", "inserts", "evictions"] {
+                let _ = writeln!(out, "# TYPE svt_cache_{field}_total counter");
+            }
+            out.push_str("# TYPE svt_cache_entries gauge\n");
+            for (name, c) in &self.caches {
+                let n = escape(name);
+                let _ = writeln!(
+                    out,
+                    "svt_cache_hits_total{{cache=\"{n}\"}} {}\nsvt_cache_misses_total{{cache=\"{n}\"}} {}\nsvt_cache_inserts_total{{cache=\"{n}\"}} {}\nsvt_cache_evictions_total{{cache=\"{n}\"}} {}\nsvt_cache_entries{{cache=\"{n}\"}} {}",
+                    c.hits, c.misses, c.inserts, c.evictions, c.entries
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CacheCounters, HistogramEntry, SpanEntry};
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanEntry {
+                    path: "flow".into(),
+                    count: 1,
+                    total_ns: 2_500_000,
+                    min_ns: 2_500_000,
+                    max_ns: 2_500_000,
+                },
+                SpanEntry {
+                    path: "flow/corner".into(),
+                    count: 3,
+                    total_ns: 1_500_000,
+                    min_ns: 400_000,
+                    max_ns: 600_000,
+                },
+            ],
+            counters: vec![("exec.pool.tasks".into(), 42)],
+            gauges: vec![("exec.pool.workers".into(), 8)],
+            histograms: vec![HistogramEntry {
+                name: "exec.pool.task_ns".into(),
+                count: 42,
+                sum: 84_000,
+                buckets: vec![(1024, 42)],
+            }],
+            caches: vec![(
+                "litho.cd".into(),
+                CacheCounters {
+                    hits: 90,
+                    misses: 10,
+                    inserts: 10,
+                    evictions: 0,
+                    entries: 10,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn summary_contains_every_section() {
+        let text = sample().render_summary();
+        for needle in [
+            "spans:",
+            "flow",
+            "corner",
+            "counters:",
+            "exec.pool.tasks",
+            "gauges:",
+            "histograms:",
+            "caches:",
+            "litho.cd",
+            "90.0%",
+        ] {
+            assert!(text.contains(needle), "summary missing `{needle}`:\n{text}");
+        }
+        // Child spans indent one level deeper than their parent.
+        let parent = text.lines().find(|l| l.contains("flow ")).unwrap();
+        let child = text.lines().find(|l| l.contains("corner")).unwrap();
+        let lead = |l: &str| l.len() - l.trim_start().len();
+        assert!(lead(child) > lead(parent), "child must be indented");
+    }
+
+    #[test]
+    fn json_is_structured_and_escaped() {
+        let mut snap = sample();
+        snap.counters.push(("weird\"name".into(), 1));
+        snap.counters.sort();
+        let json = snap.to_json();
+        assert!(json.contains("\"flow/corner\": { \"count\": 3"));
+        assert!(json.contains("\"exec.pool.tasks\": 42"));
+        assert!(json.contains("weird\\\"name"));
+        assert!(json.contains("\"buckets\": [[1024, 42]]"));
+        assert!(json.contains("\"hits\": 90"));
+        assert_eq!(json.matches("\"spans\"").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_and_labels() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE svt_exec_pool_tasks_total counter"));
+        assert!(text.contains("svt_exec_pool_tasks_total 42"));
+        assert!(text.contains("svt_span_total_ns{span=\"flow/corner\"} 1500000"));
+        assert!(text.contains("svt_cache_hits_total{cache=\"litho.cd\"} 90"));
+        assert!(text.contains("svt_cache_entries{cache=\"litho.cd\"} 10"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let empty = Snapshot {
+            spans: vec![],
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+            caches: vec![],
+        };
+        assert!(empty
+            .render_summary()
+            .starts_with("== svt trace summary =="));
+        assert!(empty.to_json().contains("\"spans\": {"));
+        assert!(empty.to_prometheus().is_empty());
+    }
+}

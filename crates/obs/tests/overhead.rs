@@ -1,0 +1,44 @@
+//! Smoke gate for the disabled-path cost: with `SVT_TRACE=off` a span or
+//! counter call site is one relaxed atomic load and a branch, so a
+//! million of them must complete in far under a second even unoptimized.
+//! The bound is deliberately generous — the gate exists to catch
+//! order-of-magnitude regressions (a lock, allocation, or syscall
+//! sneaking onto the disabled path), not to benchmark.
+
+use std::time::Instant;
+
+use svt_obs::TraceMode;
+
+#[test]
+fn disabled_instrumentation_is_effectively_free() {
+    svt_obs::set_mode(TraceMode::Off);
+    const N: u64 = 1_000_000;
+
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..N {
+        let _span = svt_obs::span("overhead.smoke");
+        if svt_obs::enabled() {
+            svt_obs::counter!("overhead.smoke.count").incr();
+        }
+        acc = acc.wrapping_add(i);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "1M disabled span+counter sites took {elapsed:?} — the off path must stay a \
+         single relaxed load (< ~1 µs/site even in debug builds)"
+    );
+
+    // And the disabled path recorded nothing.
+    let snap = svt_obs::registry().snapshot();
+    assert!(
+        !snap
+            .spans
+            .iter()
+            .any(|s| s.path.contains("overhead.smoke") && s.count > 0),
+        "disabled spans must not record"
+    );
+}

@@ -141,6 +141,7 @@ impl ModelOpc {
     ///   printable operating point.
     /// * [`OpcError::Litho`] on simulator failures.
     pub fn correct(&self, pattern: &mut CutlinePattern) -> Result<OpcReport, OpcError> {
+        let _span = svt_obs::span("opc.correct");
         pattern.validate(self.options.min_mask_space_nm)?;
         let gates = pattern.gate_indices();
         if gates.is_empty() {

@@ -156,6 +156,7 @@ pub fn place(
     library: &Library,
     options: &PlacementOptions,
 ) -> Result<Placement, PlaceError> {
+    let _span = svt_obs::span("place.place");
     if options.utilization <= 0.0 || options.utilization > 1.0 {
         return Err(PlaceError::InvalidOptions {
             reason: format!("utilization {} not in (0, 1]", options.utilization),

@@ -81,6 +81,7 @@ pub fn analyze_with_wire_caps(
     options: &TimingOptions,
     wire_caps_pf: &HashMap<String, f64>,
 ) -> Result<TimingReport, StaError> {
+    let _span = svt_obs::span("sta.analyze");
     if options.primary_input_slew_ns <= 0.0
         || options.output_load_pf < 0.0
         || options.wire_cap_per_fanout_pf < 0.0

@@ -66,12 +66,14 @@ impl PitchCdTable {
                 reason: "need at least two strictly increasing spacings".into(),
             });
         }
+        let _span = svt_obs::span("stdcell.pitch_table.build");
         let n = spacings_nm.len();
         let pairs: Vec<(f64, f64)> = spacings_nm
             .iter()
             .flat_map(|&left| spacings_nm.iter().map(move |&right| (left, right)))
             .collect();
         let flat = try_par_map_threads(resolve_threads(threads), &pairs, |&(left, right)| {
+            let _pair = svt_obs::span("stdcell.pitch_table.pair");
             Self::entry(signoff, opc, drawn_cd_nm, left, right)
         })?;
         let cd = flat.chunks(n).map(<[f64]>::to_vec).collect();
@@ -191,7 +193,10 @@ type PairKey = ([u64; 9], [u64; 15], u64, u64, u64);
 
 fn pair_cache() -> &'static MemoCache<PairKey, f64> {
     static CACHE: OnceLock<MemoCache<PairKey, f64>> = OnceLock::new();
-    CACHE.get_or_init(MemoCache::default)
+    static TELEMETRY: OnceLock<()> = OnceLock::new();
+    let cache = CACHE.get_or_init(MemoCache::default);
+    TELEMETRY.get_or_init(|| svt_exec::register_cache_telemetry("stdcell.pitch_pairs", cache));
+    cache
 }
 
 /// Key of one library-OPC row: engine identity, exact bits of every gate
@@ -200,7 +205,10 @@ type RowKey = ([u64; 17], Vec<(u64, u64)>, u64);
 
 fn row_cache() -> &'static MemoCache<RowKey, Vec<f64>> {
     static CACHE: OnceLock<MemoCache<RowKey, Vec<f64>>> = OnceLock::new();
-    CACHE.get_or_init(MemoCache::default)
+    static TELEMETRY: OnceLock<()> = OnceLock::new();
+    let cache = CACHE.get_or_init(MemoCache::default);
+    TELEMETRY.get_or_init(|| svt_exec::register_cache_telemetry("stdcell.opc_rows", cache));
+    cache
 }
 
 /// Drops the expansion memo caches (pitch-table entries and library-OPC
@@ -210,6 +218,13 @@ fn row_cache() -> &'static MemoCache<RowKey, Vec<f64>> {
 pub fn clear_expand_caches() {
     pair_cache().clear();
     row_cache().clear();
+}
+
+/// Hit/miss counters of the expansion memo caches, as
+/// `(pitch-table pairs, library-OPC rows)`.
+#[must_use]
+pub fn expand_cache_stats() -> (svt_exec::CacheStats, svt_exec::CacheStats) {
+    (pair_cache().stats(), row_cache().stats())
 }
 
 fn segment(axis: &[f64], x: f64) -> (usize, f64) {
@@ -338,6 +353,7 @@ pub fn expand_library(
     signoff: &LithoSimulator,
     options: &ExpandOptions,
 ) -> Result<ExpandedLibrary, StdcellError> {
+    let _span = svt_obs::span("stdcell.expand");
     let threads = resolve_threads(options.threads);
     let opc = ModelOpc::with_production_model(signoff, options.opc);
     let pitch_table = PitchCdTable::build_with_threads(
@@ -355,6 +371,7 @@ pub fn expand_library(
     let cells = library.cells();
     let prepped: Vec<(Vec<f64>, Vec<BoundaryCorner>)> =
         try_par_map_threads(threads, cells, |cell| {
+            let _cell = svt_obs::span("stdcell.expand.library_opc");
             let layout = cell.layout();
             let mut cds = vec![options.characterize.nominal_length_nm; layout.devices().len()];
             // Library OPC row by row: each device row has its own cutline.
@@ -402,6 +419,7 @@ pub fn expand_library(
         .flat_map(|ci| CellContext::enumerate().map(move |context| (ci, context)))
         .collect();
     let characterized = try_par_map_threads(threads, &work, |&(ci, context)| {
+        let _ctx = svt_obs::span("stdcell.expand.characterize");
         let cell = &cells[ci];
         let (cds, corners) = &prepped[ci];
         let mut lengths = cds.clone();

@@ -17,4 +17,7 @@ cargo test -q --offline
 echo "== full workspace tests"
 cargo test --workspace -q --offline
 
+echo "== observability: SVT_TRACE=off overhead smoke gate"
+SVT_TRACE=off cargo test --release -q -p svt-obs --offline --test overhead
+
 echo "All checks passed."
