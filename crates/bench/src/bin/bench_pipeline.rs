@@ -23,12 +23,34 @@ fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
 }
 
+/// The repository root. This source builds both as the `svt-bench` bin
+/// (manifest dir `crates/bench`, two levels below the root) and as the
+/// root-package re-export (manifest dir IS the root), so the relative
+/// hop is resolved at runtime rather than baked in with `concat!`.
+fn repo_root() -> &'static std::path::Path {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    if manifest.ends_with("crates/bench") {
+        manifest
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap_or(manifest)
+    } else {
+        manifest
+    }
+}
+
 fn clear_all_caches() {
     clear_litho_caches();
     clear_expand_caches();
 }
 
 fn main() {
+    // Latch the user's SVT_TRACE choice now: the overhead section below
+    // overrides the mode explicitly, so the env mode is restored before the
+    // final emit (a `chrome:` run gets its Perfetto trace of the real
+    // benchmark sections, not of the overhead loop).
+    svt_obs::reinit_from_env();
+    let env_mode = svt_obs::mode();
     let threads_available = std::thread::available_parallelism().map_or(1, usize::from);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"threads_available\": {threads_available},");
@@ -192,7 +214,34 @@ fn main() {
     let _ = writeln!(json, "  \"observability\": {}", snapshot.trim_end());
 
     json.push_str("}\n");
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let out = repo_root().join("BENCH_pipeline.json");
     std::fs::write(out, &json).expect("write BENCH_pipeline.json");
     println!("--- BENCH_pipeline.json ---\n{json}");
+
+    // Perf trajectory: append the warm-path numbers of this run to the
+    // history log. `scripts/bench_compare.sh` diffs the two newest lines
+    // and fails `scripts/check.sh` on a >20 % warm-path regression.
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let history_line = format!(
+        "{{\"unix_ts\": {unix_ts}, \"threads_available\": {threads_available}, \
+         \"aerial_warm_ms\": {aerial_warm_ms:.3}, \"expand_8t_warm_ms\": {expand_8t_warm_ms:.3}, \
+         \"fem_warm_ms\": {fem_warm_ms:.3}, \"signoff_8t_ms\": {signoff_8t_ms:.3}, \
+         \"obs_off_ms\": {obs_off_ms:.3}, \"obs_overhead_pct\": {obs_overhead_pct:.2}}}\n"
+    );
+    let history = repo_root().join("BENCH_history.jsonl");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .expect("open BENCH_history.jsonl");
+    std::io::Write::write_all(&mut log, history_line.as_bytes())
+        .expect("append BENCH_history.jsonl");
+    println!("appended warm-path numbers to BENCH_history.jsonl");
+
+    // Restore the env-selected mode and emit its artifact (chrome trace,
+    // prometheus exposition, JSON snapshot, or summary tree).
+    svt_obs::set_mode(env_mode);
+    svt_obs::emit_if_enabled();
 }

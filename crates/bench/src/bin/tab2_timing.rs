@@ -10,6 +10,11 @@
 //! ablation called out in DESIGN.md (default 3, the paper's 81-version
 //! library; the expanded library always uses 3 bins — coarser/finer
 //! binning is emulated by collapsing contexts at lookup time).
+//!
+//! `--audit [dir]` additionally writes the sign-off audit trail per
+//! testcase (`audit_<case>.txt` + `audit_<case>.json`, default directory
+//! `.`) and prints a per-case excerpt: every corner-trim decision with
+//! before/after gate lengths, reconciling with the reported reduction.
 
 use svt_bench::{build_design, signoff_simulator, PAPER_TESTCASES};
 use svt_core::{SignoffFlow, SignoffOptions};
@@ -19,13 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     svt_obs::reinit_from_env();
     let mut testcases: Vec<String> = Vec::new();
     let mut simplified = false;
-    let mut args = std::env::args().skip(1);
+    let mut audit_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--simplified" => simplified = true,
             "--bins" => {
                 let _ = args.next(); // accepted for CLI compatibility
                 eprintln!("note: bin-count ablation runs in benches/flow.rs");
+            }
+            "--audit" => {
+                // Optional directory operand; flags and testcases are never
+                // directories here, so a path-ish next arg is the operand.
+                let dir = match args.peek() {
+                    Some(next) if next.contains('/') || next == "." => args.next().unwrap(),
+                    _ => ".".to_string(),
+                };
+                audit_dir = Some(dir);
             }
             other => testcases.push(other.to_string()),
         }
@@ -62,7 +77,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for name in &testcases {
         let design = build_design(&library, name);
-        let cmp = flow.run(&design.mapped, &design.placement)?;
+        let cmp = if let Some(dir) = &audit_dir {
+            let (cmp, audit) = flow.run_audited(&design.mapped, &design.placement)?;
+            let rendered = svt_obs::audit::render_audit(&audit);
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(format!("{dir}/audit_{name}.txt"), &rendered.text)?;
+            std::fs::write(format!("{dir}/audit_{name}.json"), &rendered.json)?;
+            // Excerpt: header + circuit spread + the first few trim rows.
+            for line in rendered.text.lines().take(14) {
+                eprintln!("{line}");
+            }
+            eprintln!(
+                "… {} arcs, {} endpoints audited -> {dir}/audit_{name}.{{txt,json}}",
+                audit.instances.len(),
+                audit.paths.len()
+            );
+            cmp
+        } else {
+            flow.run(&design.mapped, &design.placement)?
+        };
         println!(
             "{:<8} {:>7} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} | {:>9.1}%",
             cmp.testcase,

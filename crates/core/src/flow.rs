@@ -1,4 +1,3 @@
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -6,14 +5,15 @@ use serde::{Deserialize, Serialize};
 
 use svt_exec::try_par_map;
 use svt_netlist::MappedNetlist;
+use svt_obs::audit::{AuditTrail, CornerDelay, InstanceAudit, PathAudit, TrimRecord};
 use svt_place::{DeviceSite, Placement, PlacementOptions};
-use svt_sta::{analyze, CellBinding, StaError, TimingOptions};
+use svt_sta::{analyze, CellBinding, StaError, TimingOptions, TimingReport};
 use svt_stdcell::{
     Cell, CellContext, CharacterizeOptions, CharacterizedCell, ExpandedLibrary, Library,
     StdcellError, TimingArc,
 };
 
-use crate::{classify_device, label_arc, ArcLabelPolicy, DeviceClass, VariationBudget};
+use crate::{classify_device, label_arc, ArcLabel, ArcLabelPolicy, DeviceClass, VariationBudget};
 
 /// A process corner of the gate-length axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -305,23 +305,28 @@ impl<'a> SignoffFlow<'a> {
         })
     }
 
-    /// Traditional corner timing: every device at `L_nom`, `L_nom ± Δ`,
-    /// plus the non-gate-length corner derate. The three corner analyses
-    /// are independent and run across the worker pool.
-    fn traditional_timing(&self, netlist: &MappedNetlist) -> Result<CornerTiming, FlowError> {
+    /// Traditional corner analyses in `[bc, nom, wc]` order: every device
+    /// at `L_nom`, `L_nom ± Δ`. The three corner analyses are independent
+    /// and run across the worker pool.
+    fn traditional_reports(&self, netlist: &MappedNetlist) -> Result<Vec<TimingReport>, FlowError> {
         let _span = svt_obs::span("core.signoff.traditional");
         let l_nom = self.options.characterize.nominal_length_nm;
         let corners = self.options.budget.traditional_corners(l_nom);
         let lengths = [corners.bc_nm, corners.nom_nm, corners.wc_nm];
-        let delays = try_par_map(&lengths, |&l| -> Result<f64, FlowError> {
+        try_par_map(&lengths, |&l| -> Result<TimingReport, FlowError> {
             let _corner = svt_obs::span("core.signoff.traditional.corner");
             let binding = CellBinding::uniform_scaled(netlist, self.library, l)?;
-            Ok(analyze(netlist, &binding, &self.options.timing)?.circuit_delay_ns())
-        })?;
+            Ok(analyze(netlist, &binding, &self.options.timing)?)
+        })
+    }
+
+    /// Traditional corner timing with the non-gate-length corner derate.
+    fn traditional_timing(&self, netlist: &MappedNetlist) -> Result<CornerTiming, FlowError> {
+        let reports = self.traditional_reports(netlist)?;
         Ok(self.apply_residual_derate(CornerTiming {
-            bc_ns: delays[0],
-            nom_ns: delays[1],
-            wc_ns: delays[2],
+            bc_ns: reports[0].circuit_delay_ns(),
+            nom_ns: reports[1].circuit_delay_ns(),
+            wc_ns: reports[2].circuit_delay_ns(),
         }))
     }
 
@@ -343,6 +348,22 @@ impl<'a> SignoffFlow<'a> {
         netlist: &MappedNetlist,
         placement: &Placement,
     ) -> Result<CornerTiming, FlowError> {
+        let run = self.aware_reports(netlist, placement)?;
+        Ok(self.apply_residual_derate(CornerTiming {
+            bc_ns: run.reports[0].circuit_delay_ns(),
+            nom_ns: run.reports[1].circuit_delay_ns(),
+            wc_ns: run.reports[2].circuit_delay_ns(),
+        }))
+    }
+
+    /// Aware corner analyses plus the per-instance provenance they were
+    /// derived from (placement contexts and device classes), in
+    /// `Corner::ALL` order.
+    fn aware_reports(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+    ) -> Result<AwareRun, FlowError> {
         let _span = svt_obs::span("core.signoff.aware");
         let contexts = placement.instance_contexts(netlist, self.library)?;
         if contexts.len() != netlist.instances().len() {
@@ -375,7 +396,7 @@ impl<'a> SignoffFlow<'a> {
         // binding (and the analyzed delay) is identical to the sequential
         // loop.
         let instance_indices: Vec<usize> = (0..netlist.instances().len()).collect();
-        let mut timings = HashMap::new();
+        let mut reports = Vec::with_capacity(Corner::ALL.len());
         for corner in Corner::ALL {
             let _corner_span = svt_obs::span("core.signoff.aware.corner");
             if svt_obs::enabled() {
@@ -420,23 +441,210 @@ impl<'a> SignoffFlow<'a> {
                 },
             )?;
             let binding = CellBinding::new(netlist, cells)?;
-            let report = analyze(netlist, &binding, &self.options.timing)?;
-            timings.insert(corner_key(corner), report.circuit_delay_ns());
+            reports.push(analyze(netlist, &binding, &self.options.timing)?);
         }
 
-        Ok(self.apply_residual_derate(CornerTiming {
-            bc_ns: timings["bc"],
-            nom_ns: timings["nom"],
-            wc_ns: timings["wc"],
-        }))
+        Ok(AwareRun {
+            reports,
+            contexts,
+            classes,
+        })
+    }
+
+    /// Runs the sign-off comparison *and* assembles the full audit trail:
+    /// per instance and per arc, the device classes, the arc label, and
+    /// the eqns. 1–5 corner trim with before/after gate lengths, plus
+    /// per-endpoint traditional-vs-aware arrivals.
+    ///
+    /// The timing result is computed through the exact same code path as
+    /// [`SignoffFlow::run`], so the comparison is bit-identical; the audit
+    /// is a deterministic sequential pass over the same provenance, so the
+    /// rendered report is byte-identical across thread counts and trace
+    /// modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`SignoffFlow::run`].
+    pub fn run_audited(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+    ) -> Result<(SignoffComparison, AuditTrail), FlowError> {
+        let _span = svt_obs::span("core.signoff");
+        let trad_reports = self.traditional_reports(netlist)?;
+        let traditional = self.apply_residual_derate(CornerTiming {
+            bc_ns: trad_reports[0].circuit_delay_ns(),
+            nom_ns: trad_reports[1].circuit_delay_ns(),
+            wc_ns: trad_reports[2].circuit_delay_ns(),
+        });
+        let run = self.aware_reports(netlist, placement)?;
+        let aware = self.apply_residual_derate(CornerTiming {
+            bc_ns: run.reports[0].circuit_delay_ns(),
+            nom_ns: run.reports[1].circuit_delay_ns(),
+            wc_ns: run.reports[2].circuit_delay_ns(),
+        });
+        let comparison = SignoffComparison {
+            testcase: netlist.name().to_string(),
+            gates: netlist.instances().len(),
+            traditional,
+            aware,
+        };
+        let audit = self.build_audit(netlist, &run, &trad_reports, &comparison)?;
+        Ok((comparison, audit))
+    }
+
+    /// Assembles the audit trail from an aware run's provenance. Purely
+    /// sequential arithmetic over data the flow already computed — no STA
+    /// reruns — so it is deterministic by construction.
+    fn build_audit(
+        &self,
+        netlist: &MappedNetlist,
+        run: &AwareRun,
+        trad_reports: &[TimingReport],
+        comparison: &SignoffComparison,
+    ) -> Result<AuditTrail, FlowError> {
+        let _span = svt_obs::span("core.signoff.audit");
+        let l_nom = self.options.characterize.nominal_length_nm;
+        let trad_corners = self.options.budget.traditional_corners(l_nom);
+
+        let mut instances = Vec::new();
+        for (idx, inst) in netlist.instances().iter().enumerate() {
+            let cell = self
+                .library
+                .cell(&inst.cell)
+                .ok_or_else(|| FlowError::Inconsistent {
+                    reason: format!("unknown cell `{}`", inst.cell),
+                })?;
+            let context = if self.options.use_context_library {
+                run.contexts[idx]
+            } else {
+                CellContext::default()
+            };
+            let variant = self.expanded.variant(&inst.cell, context).ok_or_else(|| {
+                FlowError::Inconsistent {
+                    reason: format!(
+                        "expanded library lacks {} in context {}",
+                        inst.cell,
+                        context.code()
+                    ),
+                }
+            })?;
+            for arc in cell.arcs() {
+                let mean_l = arc
+                    .devices
+                    .iter()
+                    .map(|d| variant.device_lengths_nm[d.0])
+                    .sum::<f64>()
+                    / arc.devices.len() as f64;
+                let classes: Vec<DeviceClass> =
+                    arc.devices.iter().map(|d| run.classes[idx][d.0]).collect();
+                let label = label_arc(&classes, self.options.policy);
+                let corners = self.options.budget.aware_corners(mean_l, label);
+                instances.push(InstanceAudit {
+                    instance: format!("{}:{}>{}", inst.name, arc.from_pin, arc.to_pin),
+                    cell: inst.cell.clone(),
+                    device_class: class_mix(&classes),
+                    mean_context_l_nm: mean_l,
+                    trim: TrimRecord {
+                        arc_label: label_name(label).to_string(),
+                        l_nominal_nm: l_nom,
+                        bc_before_nm: trad_corners.bc_nm,
+                        wc_before_nm: trad_corners.wc_nm,
+                        bc_after_nm: corners.bc_nm,
+                        wc_after_nm: corners.wc_nm,
+                        residual_nm: self.options.budget.delta_nm(mean_l)
+                            - self.options.budget.lvar_pitch_nm(mean_l),
+                        focus_trim_nm: self.options.budget.lvar_focus_nm(mean_l),
+                    },
+                });
+            }
+        }
+
+        // Per-endpoint arrivals with the residual derate applied per path.
+        // Scaling by a positive constant commutes with `max` bit-for-bit,
+        // so the worst derated path equals the derated circuit delay
+        // exactly — the reconciliation the differential test pins.
+        let d = self.options.residual_process_derate;
+        let trad_bc = trad_reports[0].po_arrivals();
+        let trad_wc = trad_reports[2].po_arrivals();
+        let aware_bc = run.reports[0].po_arrivals();
+        let aware_wc = run.reports[2].po_arrivals();
+        let paths = trad_bc
+            .iter()
+            .zip(&trad_wc)
+            .zip(aware_bc.iter().zip(&aware_wc))
+            .map(|((tb, tw), (ab, aw))| PathAudit {
+                endpoint: tb.0.clone(),
+                trad_bc_ns: tb.1 * (1.0 - d),
+                trad_wc_ns: tw.1 * (1.0 + d),
+                aware_bc_ns: ab.1 * (1.0 - d),
+                aware_wc_ns: aw.1 * (1.0 + d),
+            })
+            .collect();
+
+        Ok(AuditTrail {
+            testcase: comparison.testcase.clone(),
+            nominal_l_nm: l_nom,
+            policy: format!("{:?}", self.options.policy),
+            corner_delays: vec![
+                CornerDelay {
+                    corner: "traditional-bc".into(),
+                    delay_ns: comparison.traditional.bc_ns,
+                },
+                CornerDelay {
+                    corner: "traditional-nom".into(),
+                    delay_ns: comparison.traditional.nom_ns,
+                },
+                CornerDelay {
+                    corner: "traditional-wc".into(),
+                    delay_ns: comparison.traditional.wc_ns,
+                },
+                CornerDelay {
+                    corner: "aware-bc".into(),
+                    delay_ns: comparison.aware.bc_ns,
+                },
+                CornerDelay {
+                    corner: "aware-nom".into(),
+                    delay_ns: comparison.aware.nom_ns,
+                },
+                CornerDelay {
+                    corner: "aware-wc".into(),
+                    delay_ns: comparison.aware.wc_ns,
+                },
+            ],
+            instances,
+            paths,
+        })
     }
 }
 
-fn corner_key(corner: Corner) -> &'static str {
-    match corner {
-        Corner::BestCase => "bc",
-        Corner::Nominal => "nom",
-        Corner::WorstCase => "wc",
+/// The aware corner analyses plus the provenance the audit trail needs.
+struct AwareRun {
+    /// Timing reports in `Corner::ALL` order (`[bc, nom, wc]`).
+    reports: Vec<TimingReport>,
+    /// Per-instance placement contexts, netlist order.
+    contexts: Vec<CellContext>,
+    /// Per-instance, per-device classes, netlist order.
+    classes: Vec<Vec<DeviceClass>>,
+}
+
+/// Stable audit names of the device classes in an arc, as a deterministic
+/// `dense/isolated/self-compensated` count mix.
+fn class_mix(classes: &[DeviceClass]) -> String {
+    let count = |c: DeviceClass| classes.iter().filter(|&&x| x == c).count();
+    format!(
+        "dense:{} iso:{} self:{}",
+        count(DeviceClass::Dense),
+        count(DeviceClass::Isolated),
+        count(DeviceClass::SelfCompensated)
+    )
+}
+
+fn label_name(label: ArcLabel) -> &'static str {
+    match label {
+        ArcLabel::Smile => "smile",
+        ArcLabel::Frown => "frown",
+        ArcLabel::SelfCompensated => "self-compensated",
     }
 }
 

@@ -110,6 +110,9 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             return value.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // In Chrome trace mode a miss drops an instant marker, so cache-miss
+        // stalls line up with the task spans around them in Perfetto.
+        svt_obs::instant("cache.miss");
         let value = compute();
         let mut map = shard.lock().expect("cache shard poisoned");
         if let Some(existing) = map.get(&key) {

@@ -90,21 +90,45 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
     // instrumentation collapses to this one relaxed load plus a branch, and
     // per-item work is untouched either way (results stay bit-identical).
     let telemetry = svt_obs::enabled();
+    // Timeline recording is likewise sampled once per batch; it is active
+    // only in Chrome mode, so the common paths pay nothing extra.
+    let timeline = svt_obs::timeline_enabled();
     if telemetry {
         counter!("exec.pool.batches").incr();
         counter!("exec.pool.tasks").add(n as u64);
         gauge!("exec.pool.workers").set(i64::try_from(workers.max(1)).unwrap_or(i64::MAX));
     }
+    if timeline {
+        svt_obs::timeline::record(svt_obs::timeline::Phase::Begin, "exec.pool.batch");
+    }
+    let finish_batch = |out: Result<Vec<R>, E>| {
+        if timeline {
+            svt_obs::timeline::record(svt_obs::timeline::Phase::End, "exec.pool.batch");
+        }
+        out
+    };
     if workers <= 1 {
         if !telemetry {
-            return items.iter().map(f).collect();
+            return finish_batch(items.iter().map(f).collect());
         }
         let start = Instant::now();
-        let out: Result<Vec<R>, E> = items.iter().map(&f).collect();
+        let out: Result<Vec<R>, E> = items
+            .iter()
+            .map(|item| {
+                if timeline {
+                    svt_obs::timeline::record(svt_obs::timeline::Phase::Begin, "exec.pool.task");
+                }
+                let r = f(item);
+                if timeline {
+                    svt_obs::timeline::record(svt_obs::timeline::Phase::End, "exec.pool.task");
+                }
+                r
+            })
+            .collect();
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         counter!("exec.pool.wall_ns").add(ns);
         counter!("exec.pool.busy_ns").add(ns);
-        return out;
+        return finish_batch(out);
     }
 
     // One slot per input index; workers only ever touch their own claimed
@@ -128,7 +152,19 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
                             return Ok(());
                         }
                         let task_start = telemetry.then(Instant::now);
+                        if timeline {
+                            svt_obs::timeline::record(
+                                svt_obs::timeline::Phase::Begin,
+                                "exec.pool.task",
+                            );
+                        }
                         let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                        if timeline {
+                            svt_obs::timeline::record(
+                                svt_obs::timeline::Phase::End,
+                                "exec.pool.task",
+                            );
+                        }
                         if let Some(start) = task_start {
                             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                             histogram!("exec.pool.task_ns").record(ns);
@@ -176,6 +212,9 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
     }
 
     if let Some(payload) = panic_payload {
+        if timeline {
+            svt_obs::timeline::record(svt_obs::timeline::Phase::End, "exec.pool.batch");
+        }
         resume_unwind(payload);
     }
 
@@ -185,7 +224,7 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
         let value = slot.into_inner().expect("result slot poisoned");
         match value {
             Some(Ok(r)) if i < bad => out.push(r),
-            Some(Err(e)) if i == bad => return Err(e),
+            Some(Err(e)) if i == bad => return finish_batch(Err(e)),
             // Items at or past a failure may legitimately be unevaluated.
             _ if i >= bad => break,
             _ => unreachable!("slot {i} missing despite no earlier failure"),
@@ -197,7 +236,7 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
         // error slot existed and returned already.
         unreachable!("failure at {bad} produced no error value");
     }
-    Ok(out)
+    finish_batch(Ok(out))
 }
 
 /// Uninhabited error type for the infallible wrapper.

@@ -218,6 +218,10 @@ impl ImagingConfig {
     pub fn aerial_image(&self, mask: &MaskCutline, defocus_nm: f64) -> AerialImage {
         if svt_obs::enabled() {
             svt_obs::counter!("litho.aerial_images").incr();
+            // An aerial-image simulation is the expensive leaf of every
+            // litho cache miss — mark it on the Chrome timeline so miss
+            // stalls are attributable in Perfetto.
+            svt_obs::instant("litho.aerial_image");
         }
         let n = mask.samples().len();
         let window = mask.length();

@@ -1,0 +1,600 @@
+//! Chrome `trace_event` JSON export of the recorded timelines, plus a
+//! schema validator used by the tests and the CI artifact gate.
+//!
+//! The emitted document is the stable subset Perfetto and
+//! `chrome://tracing` both load directly:
+//!
+//! ```json
+//! { "displayTimeUnit": "ms",
+//!   "traceEvents": [
+//!     { "name": "thread_name", "ph": "M", "pid": 1, "tid": 3,
+//!       "args": { "name": "svt-worker-3" } },
+//!     { "name": "exec.pool.task", "ph": "B", "pid": 1, "tid": 3, "ts": 12.345 },
+//!     { "name": "exec.pool.task", "ph": "E", "pid": 1, "tid": 3, "ts": 13.000 }
+//!   ] }
+//! ```
+//!
+//! The exporter *sanitizes* each thread's stream so the output always
+//! satisfies the invariants the validator checks: ring wraparound can drop
+//! a `B` whose `E` survives (the orphan `E` is skipped) or an `E` whose
+//! `B` survives (the open `B` is closed at the thread's last timestamp).
+//! Drop counts are reported as `svt.timeline.dropped` counter events so
+//! truncation is visible in the trace itself, never silent.
+
+use crate::timeline::{Phase, ThreadTimeline};
+
+/// Chrome `ts` values are microseconds; we emit nanosecond precision as a
+/// three-decimal fraction.
+fn fmt_us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders thread timelines as a Chrome `trace_event` JSON document.
+///
+/// Every thread gets a `thread_name` metadata record; begin/end events are
+/// balanced per tid (see the module docs) and instants use scope `t`.
+#[must_use]
+pub fn render_chrome_trace(timelines: &[ThreadTimeline]) -> String {
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |out: &mut String, record: String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+        out.push_str(&record);
+    };
+    for tl in timelines {
+        let tid = tl.tid;
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"svt-worker-{tid}\"}}}}"
+            ),
+        );
+        if tl.dropped > 0 {
+            let ts = tl.events.first().map_or(0, |e| e.ts_ns);
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\": \"svt.timeline.dropped\", \"ph\": \"C\", \"pid\": 1, \
+                     \"tid\": {tid}, \"ts\": {}, \"args\": {{\"events\": {}}}}}",
+                    fmt_us(ts),
+                    tl.dropped
+                ),
+            );
+        }
+        // Balance pass: names of currently-open begins, innermost last.
+        let mut open: Vec<(&'static str, u64)> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in &tl.events {
+            last_ts = last_ts.max(ev.ts_ns);
+            match ev.phase {
+                Phase::Begin => {
+                    open.push((ev.name, ev.ts_ns));
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\": \"{}\", \"ph\": \"B\", \"pid\": 1, \"tid\": {tid}, \
+                             \"ts\": {}}}",
+                            escape(ev.name),
+                            fmt_us(ev.ts_ns)
+                        ),
+                    );
+                }
+                Phase::End => {
+                    // An end whose begin was lost to wraparound has nothing
+                    // to close; skip it to keep the stream balanced.
+                    if open.pop().is_none() {
+                        continue;
+                    }
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \
+                             \"ts\": {}}}",
+                            escape(ev.name),
+                            fmt_us(ev.ts_ns)
+                        ),
+                    );
+                }
+                Phase::Instant => push(
+                    &mut out,
+                    format!(
+                        "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \
+                         \"tid\": {tid}, \"ts\": {}}}",
+                        escape(ev.name),
+                        fmt_us(ev.ts_ns)
+                    ),
+                ),
+            }
+        }
+        // Close every begin still open (its end was lost, or the span was
+        // live when the snapshot was taken) at the thread's last timestamp.
+        while let Some((name, _)) = open.pop() {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \"ts\": {}}}",
+                    escape(name),
+                    fmt_us(last_ts)
+                ),
+            );
+        }
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// One parsed `traceEvents` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Phase string (`B`, `E`, `i`, `M`, `C`, ...).
+    pub ph: String,
+    /// Thread id.
+    pub tid: u64,
+    /// Timestamp in microseconds (absent on metadata records).
+    pub ts_us: Option<f64>,
+}
+
+/// Schema facts extracted by [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTraceStats {
+    /// Every parsed event, document order.
+    pub events: Vec<ChromeEvent>,
+    /// Distinct tids carrying at least one non-metadata event.
+    pub tids: Vec<u64>,
+}
+
+impl ChromeTraceStats {
+    /// Distinct tids carrying at least one event with this exact name.
+    #[must_use]
+    pub fn tids_with_event(&self, name: &str) -> usize {
+        let mut tids: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.name == name && e.ph != "M")
+            .map(|e| e.tid)
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    }
+}
+
+/// Parses and validates a Chrome `trace_event` JSON document.
+///
+/// Checks, per tid: begin/end events are balanced (every `E` closes the
+/// most recent open `B` of the same name, nothing left open), and
+/// timestamps are monotonically non-decreasing in document order.
+///
+/// # Errors
+///
+/// Returns a description of the first structural or schema violation.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let doc = JsonParser::new(json).parse_document()?;
+    let JsonValue::Object(top) = doc else {
+        return Err("top level is not an object".into());
+    };
+    let Some(JsonValue::Array(raw_events)) =
+        top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        return Err("missing `traceEvents` array".into());
+    };
+
+    let mut events = Vec::with_capacity(raw_events.len());
+    for (i, ev) in raw_events.iter().enumerate() {
+        let JsonValue::Object(fields) = ev else {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let name = match get("name") {
+            Some(JsonValue::String(s)) => s.clone(),
+            _ => return Err(format!("traceEvents[{i}] lacks a string `name`")),
+        };
+        let ph = match get("ph") {
+            Some(JsonValue::String(s)) => s.clone(),
+            _ => return Err(format!("traceEvents[{i}] lacks a string `ph`")),
+        };
+        let tid = match get("tid") {
+            Some(JsonValue::Number(n)) if *n >= 0.0 => {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let t = *n as u64;
+                t
+            }
+            _ => return Err(format!("traceEvents[{i}] lacks a numeric `tid`")),
+        };
+        let ts_us = match get("ts") {
+            Some(JsonValue::Number(n)) => Some(*n),
+            None => None,
+            Some(_) => return Err(format!("traceEvents[{i}] has a non-numeric `ts`")),
+        };
+        if matches!(ph.as_str(), "B" | "E" | "i") && ts_us.is_none() {
+            return Err(format!("traceEvents[{i}] ({ph}) lacks a `ts`"));
+        }
+        events.push(ChromeEvent {
+            name,
+            ph,
+            tid,
+            ts_us,
+        });
+    }
+
+    // Per-tid invariants: balanced B/E (matching names), monotonic ts.
+    let mut tids: Vec<u64> = Vec::new();
+    for &tid in events
+        .iter()
+        .filter(|e| e.ph != "M")
+        .map(|e| &e.tid)
+        .collect::<Vec<_>>()
+    {
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+    }
+    tids.sort_unstable();
+    for &tid in &tids {
+        let mut stack: Vec<&str> = Vec::new();
+        let mut last_ts = f64::NEG_INFINITY;
+        for ev in events.iter().filter(|e| e.tid == tid && e.ph != "M") {
+            if let Some(ts) = ev.ts_us {
+                if ts < last_ts {
+                    return Err(format!(
+                        "tid {tid}: timestamp {ts} decreases (after {last_ts})"
+                    ));
+                }
+                last_ts = ts;
+            }
+            match ev.ph.as_str() {
+                "B" => stack.push(&ev.name),
+                "E" => match stack.pop() {
+                    Some(open) if open == ev.name => {}
+                    Some(open) => {
+                        return Err(format!("tid {tid}: E `{}` closes open B `{open}`", ev.name))
+                    }
+                    None => return Err(format!("tid {tid}: E `{}` with no open B", ev.name)),
+                },
+                _ => {}
+            }
+        }
+        if let Some(open) = stack.pop() {
+            return Err(format!("tid {tid}: B `{open}` never closed"));
+        }
+    }
+
+    Ok(ChromeTraceStats { events, tids })
+}
+
+/// Minimal JSON value for the validator (std-only; the vendored serde is a
+/// derive stand-in, not a parser).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<JsonValue, String> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at offset {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(JsonValue::String(self.parse_string()?)),
+            b't' => self.parse_literal("true", JsonValue::Bool(true)),
+            b'f' => self.parse_literal("false", JsonValue::Bool(false)),
+            b'n' => self.parse_literal("null", JsonValue::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number at offset {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("invalid escape `\\{}`", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence through.
+                    let len = match b {
+                        0xF0..=0xF7 => 4,
+                        0xE0..=0xEF => 3,
+                        0xC0..=0xDF => 2,
+                        _ => 1,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or("invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Event;
+
+    fn tl(tid: u32, events: Vec<Event>, dropped: u64) -> ThreadTimeline {
+        ThreadTimeline {
+            tid,
+            events,
+            dropped,
+        }
+    }
+
+    fn ev(ts_ns: u64, name: &'static str, phase: Phase) -> Event {
+        Event { ts_ns, name, phase }
+    }
+
+    #[test]
+    fn render_and_validate_roundtrip() {
+        let timelines = vec![
+            tl(
+                1,
+                vec![
+                    ev(1_000, "flow", Phase::Begin),
+                    ev(2_000, "corner", Phase::Begin),
+                    ev(2_500, "cache.miss", Phase::Instant),
+                    ev(3_000, "corner", Phase::End),
+                    ev(9_000, "flow", Phase::End),
+                ],
+                0,
+            ),
+            tl(
+                2,
+                vec![
+                    ev(1_500, "exec.pool.task", Phase::Begin),
+                    ev(1_900, "exec.pool.task", Phase::End),
+                ],
+                0,
+            ),
+        ];
+        let json = render_chrome_trace(&timelines);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.tids, vec![1, 2]);
+        assert_eq!(stats.tids_with_event("exec.pool.task"), 1);
+        assert_eq!(stats.tids_with_event("corner"), 1);
+        // ts is rendered in microseconds.
+        let first_b = stats
+            .events
+            .iter()
+            .find(|e| e.ph == "B" && e.name == "flow")
+            .unwrap();
+        assert!((first_b.ts_us.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orphan_end_is_skipped_and_open_begin_is_closed() {
+        // Wraparound artifacts: an E whose B was dropped, then a B whose E
+        // was never recorded.
+        let timelines = vec![tl(
+            3,
+            vec![
+                ev(100, "lost", Phase::End),
+                ev(200, "kept", Phase::Begin),
+                ev(300, "inner", Phase::Begin),
+                ev(400, "inner", Phase::End),
+            ],
+            5,
+        )];
+        let json = render_chrome_trace(&timelines);
+        let stats = validate_chrome_trace(&json).expect("sanitized trace validates");
+        let kept: Vec<&ChromeEvent> = stats.events.iter().filter(|e| e.name == "kept").collect();
+        assert_eq!(kept.len(), 2, "open B must be closed: {kept:?}");
+        assert!(!stats.events.iter().any(|e| e.name == "lost"));
+        // The drop count surfaces as a counter event.
+        assert!(stats
+            .events
+            .iter()
+            .any(|e| e.name == "svt.timeline.dropped" && e.ph == "C"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err(), "missing traceEvents");
+        let unbalanced = r#"{"traceEvents": [
+            {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("never closed"));
+        let backwards = r#"{"traceEvents": [
+            {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 5.0},
+            {"name": "x", "ph": "E", "pid": 1, "tid": 1, "ts": 1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("decreases"));
+        let mismatched = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 1.0},
+            {"name": "b", "ph": "E", "pid": 1, "tid": 1, "ts": 2.0}
+        ]}"#;
+        assert!(validate_chrome_trace(mismatched)
+            .unwrap_err()
+            .contains("closes open"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let timelines = vec![tl(1, vec![ev(1, "we\"ird\\name", Phase::Instant)], 0)];
+        let json = render_chrome_trace(&timelines);
+        let stats = validate_chrome_trace(&json).expect("escaped trace validates");
+        assert!(stats.events.iter().any(|e| e.name == "we\"ird\\name"));
+    }
+}

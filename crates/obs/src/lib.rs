@@ -41,9 +41,12 @@
 //! svt_obs::set_mode(svt_obs::TraceMode::Off);
 //! ```
 
+pub mod audit;
+pub mod chrome;
 pub mod metrics;
 pub mod registry;
 mod render;
+pub mod timeline;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -52,6 +55,7 @@ use std::time::Instant;
 
 pub use metrics::{Counter, Gauge, Histogram, SpanStat};
 pub use registry::{registry, CacheCounters, HistogramEntry, Registry, Snapshot, SpanEntry};
+pub use render::{parse_prometheus, PromSample};
 
 /// Environment variable selecting the trace mode.
 pub const TRACE_ENV: &str = "SVT_TRACE";
@@ -66,6 +70,13 @@ pub enum TraceMode {
     /// Collect, and [`emit_if_enabled`] writes the JSON snapshot to the
     /// configured path (`SVT_TRACE=json:path`, default `svt_trace.json`).
     Json,
+    /// Collect aggregates *and* per-thread event timelines, and
+    /// [`emit_if_enabled`] writes a Chrome/Perfetto `trace_event` JSON
+    /// document (`SVT_TRACE=chrome:path`, default `svt_trace_chrome.json`).
+    Chrome,
+    /// Collect, and [`emit_if_enabled`] writes the Prometheus text
+    /// exposition (`SVT_TRACE=prom:path`, default `svt_metrics.prom`).
+    Prom,
 }
 
 /// Mode state: 0 = unresolved (read `SVT_TRACE` on next probe).
@@ -73,6 +84,8 @@ const MODE_UNSET: u8 = 0;
 const MODE_OFF: u8 = 1;
 const MODE_SUMMARY: u8 = 2;
 const MODE_JSON: u8 = 3;
+const MODE_CHROME: u8 = 4;
+const MODE_PROM: u8 = 5;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
 
@@ -91,6 +104,14 @@ fn init_mode_from_env() -> u8 {
         (MODE_JSON, None)
     } else if let Some(p) = raw.strip_prefix("json:") {
         (MODE_JSON, Some(p.to_string()))
+    } else if raw.eq_ignore_ascii_case("chrome") {
+        (MODE_CHROME, None)
+    } else if let Some(p) = raw.strip_prefix("chrome:") {
+        (MODE_CHROME, Some(p.to_string()))
+    } else if raw.eq_ignore_ascii_case("prom") {
+        (MODE_PROM, None)
+    } else if let Some(p) = raw.strip_prefix("prom:") {
+        (MODE_PROM, Some(p.to_string()))
     } else {
         // `off`, empty, unset, and anything unrecognized all disable
         // tracing — observability must never make a pipeline run fail.
@@ -128,8 +149,21 @@ pub fn mode() -> TraceMode {
     match mode_code() {
         MODE_SUMMARY => TraceMode::Summary,
         MODE_JSON => TraceMode::Json,
+        MODE_CHROME => TraceMode::Chrome,
+        MODE_PROM => TraceMode::Prom,
         _ => TraceMode::Off,
     }
+}
+
+/// Whether per-thread event-timeline recording is active (Chrome mode
+/// only). Like [`enabled`], one relaxed atomic load after the first call.
+#[inline]
+#[must_use]
+pub fn timeline_enabled() -> bool {
+    if !cfg!(feature = "telemetry") {
+        return false;
+    }
+    mode_code() == MODE_CHROME
 }
 
 /// Overrides the trace mode (benchmarks and tests; normal runs latch it
@@ -139,6 +173,8 @@ pub fn set_mode(mode: TraceMode) {
         TraceMode::Off => MODE_OFF,
         TraceMode::Summary => MODE_SUMMARY,
         TraceMode::Json => MODE_JSON,
+        TraceMode::Chrome => MODE_CHROME,
+        TraceMode::Prom => MODE_PROM,
     };
     MODE.store(code, Ordering::Relaxed);
 }
@@ -157,6 +193,24 @@ pub fn json_path() -> String {
         .expect("trace path poisoned")
         .clone()
         .unwrap_or_else(|| "svt_trace.json".to_string())
+}
+
+/// Destination of the emitted artifact for the active file-writing mode
+/// (`SVT_TRACE=<mode>:path`, with a per-mode default otherwise).
+#[must_use]
+pub fn trace_path() -> String {
+    let configured = json_path_slot()
+        .lock()
+        .expect("trace path poisoned")
+        .clone();
+    configured.unwrap_or_else(|| {
+        match mode() {
+            TraceMode::Chrome => "svt_trace_chrome.json",
+            TraceMode::Prom => "svt_metrics.prom",
+            _ => "svt_trace.json",
+        }
+        .to_string()
+    })
 }
 
 /// Registers a named cache-telemetry probe on the global registry.
@@ -180,18 +234,24 @@ thread_local! {
 #[derive(Debug)]
 pub struct Span {
     start: Option<Instant>,
+    name: &'static str,
 }
 
 /// Opens a span named `name`, nested under any enclosing spans of this
-/// thread. Inert (no clock read, no allocation) when tracing is off.
+/// thread. Inert (no clock read, no allocation) when tracing is off. In
+/// Chrome mode the span additionally records begin/end timeline events.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { start: None };
+        return Span { start: None, name };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    if timeline_enabled() {
+        timeline::record(timeline::Phase::Begin, name);
+    }
     Span {
         start: Some(Instant::now()),
+        name,
     }
 }
 
@@ -199,6 +259,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed();
+        if timeline_enabled() {
+            timeline::record(timeline::Phase::End, self.name);
+        }
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = stack.join("/");
@@ -207,6 +270,15 @@ impl Drop for Span {
         });
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         registry().span_stat(&path).record(ns);
+    }
+}
+
+/// Records a zero-duration timeline marker (e.g. a cache miss) on the
+/// current thread. Inert outside Chrome mode.
+#[inline]
+pub fn instant(name: &'static str) {
+    if timeline_enabled() {
+        timeline::record(timeline::Phase::Instant, name);
     }
 }
 
@@ -253,11 +325,33 @@ pub fn emit_if_enabled() -> Option<String> {
         }
         TraceMode::Json => {
             let json = registry().snapshot().to_json();
-            let path = json_path();
+            let path = trace_path();
             if let Err(e) = std::fs::write(&path, &json) {
                 eprintln!("svt-obs: cannot write trace JSON to `{path}`: {e}");
             }
             Some(json)
+        }
+        TraceMode::Chrome => {
+            let timelines = timeline::snapshot_all();
+            let json = chrome::render_chrome_trace(&timelines);
+            let path = trace_path();
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("svt-obs: cannot write chrome trace to `{path}`: {e}");
+            } else {
+                eprintln!(
+                    "svt-obs: wrote chrome trace ({} threads) to `{path}` — open in Perfetto",
+                    timelines.len()
+                );
+            }
+            Some(json)
+        }
+        TraceMode::Prom => {
+            let text = registry().snapshot().to_prometheus();
+            let path = trace_path();
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("svt-obs: cannot write prometheus exposition to `{path}`: {e}");
+            }
+            Some(text)
         }
     }
 }
@@ -373,13 +467,31 @@ mod tests {
             ("SUMMARY", TraceMode::Summary, None),
             ("json", TraceMode::Json, None),
             ("json:/tmp/t.json", TraceMode::Json, Some("/tmp/t.json")),
+            ("chrome", TraceMode::Chrome, None),
+            (
+                "chrome:/tmp/t_chrome.json",
+                TraceMode::Chrome,
+                Some("/tmp/t_chrome.json"),
+            ),
+            ("prom", TraceMode::Prom, None),
+            ("prom:/tmp/t.prom", TraceMode::Prom, Some("/tmp/t.prom")),
         ] {
             std::env::set_var(TRACE_ENV, raw);
             reinit_from_env();
             assert_eq!(mode(), want_mode, "SVT_TRACE={raw}");
             if let Some(p) = want_path {
-                assert_eq!(json_path(), p, "SVT_TRACE={raw}");
+                assert_eq!(trace_path(), p, "SVT_TRACE={raw}");
             }
+        }
+        // Per-mode default paths when no `:path` suffix is given.
+        for (raw, want_default) in [
+            ("json", "svt_trace.json"),
+            ("chrome", "svt_trace_chrome.json"),
+            ("prom", "svt_metrics.prom"),
+        ] {
+            std::env::set_var(TRACE_ENV, raw);
+            reinit_from_env();
+            assert_eq!(trace_path(), want_default, "SVT_TRACE={raw}");
         }
         std::env::remove_var(TRACE_ENV);
         set_mode(TraceMode::Off);

@@ -221,6 +221,129 @@ impl Snapshot {
     }
 }
 
+/// One parsed sample of a Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, document order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of a label, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text exposition back into samples — the round-trip
+/// counterpart of [`Snapshot::to_prometheus`]. `# TYPE`/`# HELP` comment
+/// lines are skipped; samples keep document order.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: `{line}`", lineno + 1);
+        let (ident, value_text) = match line.find('{') {
+            Some(brace) => {
+                let close = line.rfind('}').ok_or_else(|| err("unclosed label set"))?;
+                if close < brace {
+                    return Err(err("malformed label set"));
+                }
+                (&line[..close + 1], line[close + 1..].trim())
+            }
+            None => {
+                let space = line
+                    .find(char::is_whitespace)
+                    .ok_or_else(|| err("missing value"))?;
+                (&line[..space], line[space..].trim())
+            }
+        };
+        let value: f64 = value_text
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| err("missing value"))?
+            .parse()
+            .map_err(|_| err("non-numeric value"))?;
+        let (name, labels) = match ident.find('{') {
+            None => (ident.to_string(), Vec::new()),
+            Some(brace) => {
+                let name = ident[..brace].to_string();
+                let body = &ident[brace + 1..ident.len() - 1];
+                (name, parse_labels(body).map_err(|e| err(&e))?)
+            }
+        };
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err("invalid metric name"));
+        }
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Parses `key="value",key2="value2"` with `\\` and `\"` escapes.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = body.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let eq = body[pos..]
+            .find('=')
+            .map(|i| pos + i)
+            .ok_or("label without `=`")?;
+        let key = body[pos..eq].trim().to_string();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err("label value must be quoted".into());
+        }
+        let mut value = String::new();
+        let mut i = eq + 2;
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'"') => value.push('"'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err("invalid escape in label value".into()),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let ch = body[i..].chars().next().ok_or("invalid UTF-8")?;
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key, value));
+        pos = i + 1;
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        }
+    }
+    Ok(labels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +434,70 @@ mod tests {
         assert!(text.contains("svt_span_total_ns{span=\"flow/corner\"} 1500000"));
         assert!(text.contains("svt_cache_hits_total{cache=\"litho.cd\"} 90"));
         assert!(text.contains("svt_cache_entries{cache=\"litho.cd\"} 10"));
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_the_parser() {
+        let mut snap = sample();
+        // Names with quotes and backslashes must survive the trip.
+        snap.caches.push((
+            "odd\"cache\\name".into(),
+            CacheCounters {
+                hits: 7,
+                misses: 3,
+                inserts: 3,
+                evictions: 1,
+                entries: 2,
+            },
+        ));
+        let text = snap.to_prometheus();
+        let samples = parse_prometheus(&text).expect("exposition parses");
+        let find = |name: &str, label: Option<(&str, &str)>| {
+            samples
+                .iter()
+                .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
+                .unwrap_or_else(|| panic!("missing {name} {label:?} in:\n{text}"))
+        };
+        assert_eq!(find("svt_exec_pool_tasks_total", None).value, 42.0);
+        assert_eq!(find("svt_exec_pool_workers", None).value, 8.0);
+        assert_eq!(
+            find("svt_span_total_ns", Some(("span", "flow/corner"))).value,
+            1_500_000.0
+        );
+        assert_eq!(
+            find("svt_hist_count_total", Some(("hist", "exec.pool.task_ns"))).value,
+            42.0
+        );
+        assert_eq!(
+            find("svt_cache_hits_total", Some(("cache", "litho.cd"))).value,
+            90.0
+        );
+        assert_eq!(
+            find("svt_cache_entries", Some(("cache", "odd\"cache\\name"))).value,
+            2.0
+        );
+        // Every non-comment line parsed into exactly one sample.
+        let payload_lines = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .count();
+        assert_eq!(samples.len(), payload_lines);
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("svt_x_total").is_err(), "missing value");
+        assert!(parse_prometheus("svt_x_total abc").is_err(), "non-numeric");
+        assert!(
+            parse_prometheus("svt_x{span=\"a\" 1").is_err(),
+            "unclosed label set"
+        );
+        assert!(
+            parse_prometheus("sv t{span=\"a\"} 1").is_err(),
+            "invalid name"
+        );
+        assert!(parse_prometheus("").unwrap().is_empty());
+        assert!(parse_prometheus("# TYPE x counter\n").unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! End-to-end timeline test: record from several threads through the
+//! public probes, emit the Chrome trace to a file, and parse it back.
+//!
+//! The ring-level wraparound semantics have unit tests next to the
+//! implementation; this test exercises the full integration surface the
+//! binaries use — `SVT_TRACE=chrome:<path>` + `span`/`instant` +
+//! [`svt_obs::emit_if_enabled`] — and validates the emitted JSON with the
+//! same schema checker the differential suite uses. All environment
+//! mutation lives in the single `#[test]` because sibling tests in one
+//! binary share the process environment.
+
+use std::sync::Barrier;
+
+use svt_obs::chrome::validate_chrome_trace;
+use svt_obs::timeline;
+
+/// Worker thread count; each records `SPANS` spans + `INSTANTS` instants.
+const WORKERS: usize = 4;
+const SPANS: u64 = 300;
+const INSTANTS: u64 = 100;
+/// Ring capacity forced via `SVT_TRACE_BUF` — small enough that every
+/// worker wraps many times over.
+const CAPACITY: u64 = 64;
+
+#[test]
+fn chrome_trace_file_round_trips_with_exact_drop_accounting() {
+    let restore_trace = std::env::var(svt_obs::TRACE_ENV).ok();
+    let path = format!("{}/roundtrip_trace.json", env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(env!("CARGO_TARGET_TMPDIR")).expect("tmpdir");
+
+    // The ring capacity latches on first use, so it must be set before any
+    // event is recorded in this process.
+    std::env::set_var(timeline::CAPACITY_ENV, CAPACITY.to_string());
+    std::env::set_var(svt_obs::TRACE_ENV, format!("chrome:{path}"));
+    svt_obs::reinit_from_env();
+    assert!(svt_obs::timeline_enabled());
+
+    // Main records first so it owns a ring before any worker ring returns
+    // to the free list (a later first-record would adopt one and skew the
+    // per-ring accounting below).
+    {
+        let _root = svt_obs::span("t.e2e.main");
+    }
+
+    // A barrier keeps all workers alive concurrently, so each owns its own
+    // ring (no free-list adoption mid-test) and push accounting is exact.
+    let barrier = Barrier::new(WORKERS);
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            scope.spawn(|| {
+                // Adopt a ring *before* the barrier: every worker then owns
+                // a distinct ring, because none can exit (returning its
+                // ring to the free list) until all four hold one.
+                svt_obs::instant("t.e2e.sync");
+                barrier.wait();
+                for _ in 0..SPANS {
+                    let _s = svt_obs::span("t.e2e.work");
+                }
+                for _ in 0..INSTANTS {
+                    svt_obs::instant("t.e2e.miss");
+                }
+            });
+        }
+    });
+
+    // Exact conservation: every push lands in exactly one ring, so
+    // events-retained + dropped must equal the pushes made, per ring and
+    // in total. Each worker pushed 2·SPANS + INSTANTS events into a
+    // CAPACITY-slot ring; the main thread pushed one begin/end pair.
+    let per_worker = 1 + 2 * SPANS + INSTANTS;
+    let expected_dropped = per_worker - CAPACITY;
+    let timelines = timeline::snapshot_all();
+    let wrapped: Vec<_> = timelines.iter().filter(|t| t.dropped > 0).collect();
+    assert_eq!(wrapped.len(), WORKERS, "every worker ring wrapped");
+    for t in &wrapped {
+        assert_eq!(
+            t.events.len() as u64,
+            CAPACITY,
+            "tid {} retains exactly one capacity of newest events",
+            t.tid
+        );
+        assert_eq!(
+            t.dropped, expected_dropped,
+            "tid {} drop count is exact, not an estimate",
+            t.tid
+        );
+        // Newest-wins: the retained tail is the instants (recorded last).
+        let last = t.events.last().expect("retained events");
+        assert_eq!(last.name, "t.e2e.miss");
+        assert_eq!(last.phase, timeline::Phase::Instant);
+    }
+    let total_recorded: u64 = timelines
+        .iter()
+        .map(|t| t.events.len() as u64 + t.dropped)
+        .sum();
+    assert_eq!(total_recorded, WORKERS as u64 * per_worker + 2);
+
+    // Emit through the same path the binaries use, then parse the file
+    // back and schema-check it.
+    let rendered = svt_obs::emit_if_enabled().expect("chrome mode emits");
+    let from_disk = std::fs::read_to_string(&path).expect("trace file written");
+    assert_eq!(rendered, from_disk, "returned JSON matches the file");
+
+    let stats = validate_chrome_trace(&from_disk)
+        .unwrap_or_else(|e| panic!("emitted trace failed validation: {e}"));
+    assert!(!stats.events.is_empty());
+    assert!(
+        stats.tids.len() > WORKERS,
+        "main + every worker present ({:?} tids)",
+        stats.tids
+    );
+    assert!(
+        stats.tids_with_event("t.e2e.miss") >= WORKERS,
+        "instants visible on every worker tid"
+    );
+    assert!(
+        from_disk.contains("svt.timeline.dropped"),
+        "wraparound must surface as a counter event, never silently"
+    );
+
+    match restore_trace {
+        Some(v) => std::env::set_var(svt_obs::TRACE_ENV, v),
+        None => std::env::remove_var(svt_obs::TRACE_ENV),
+    }
+    std::env::remove_var(timeline::CAPACITY_ENV);
+    svt_obs::reinit_from_env();
+}

@@ -82,6 +82,9 @@ pub fn analyze_with_wire_caps(
     wire_caps_pf: &HashMap<String, f64>,
 ) -> Result<TimingReport, StaError> {
     let _span = svt_obs::span("sta.analyze");
+    // Marks the start of one STA wave on the Chrome timeline, so the
+    // per-corner analyses inside a parallel batch are tellable apart.
+    svt_obs::instant("sta.wave");
     if options.primary_input_slew_ns <= 0.0
         || options.output_load_pf < 0.0
         || options.wire_cap_per_fanout_pf < 0.0

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Compares the two newest BENCH_history.jsonl entries and fails on a
+# >20 % regression of any warm-path metric. With fewer than two entries
+# (fresh clone, first run) there is nothing to compare and the script
+# passes. Run `cargo run --release -p svt-bench --bin bench_pipeline` to
+# append an entry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HISTORY="BENCH_history.jsonl"
+THRESHOLD_PCT="${BENCH_REGRESSION_PCT:-20}"
+
+if [[ ! -f "$HISTORY" ]]; then
+    echo "bench_compare: no $HISTORY yet — skipping (run bench_pipeline to start the trajectory)"
+    exit 0
+fi
+
+entries=$(wc -l < "$HISTORY")
+if (( entries < 2 )); then
+    echo "bench_compare: only $entries entry in $HISTORY — nothing to compare"
+    exit 0
+fi
+
+prev=$(tail -n 2 "$HISTORY" | head -n 1)
+latest=$(tail -n 1 "$HISTORY")
+
+# Extracts a numeric field from a flat single-line JSON object.
+field() { # field <json-line> <key>
+    printf '%s\n' "$1" | sed -n "s/.*\"$2\": *\([0-9.][0-9.]*\).*/\1/p"
+}
+
+# Warm-path metrics gated against regression. Cold numbers and the
+# overhead percentage are informational only (cold timing is dominated by
+# first-touch effects; the off-path overhead has its own gate in
+# crates/obs/tests/overhead.rs).
+metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms)
+
+status=0
+for m in "${metrics[@]}"; do
+    p=$(field "$prev" "$m")
+    l=$(field "$latest" "$m")
+    if [[ -z "$p" || -z "$l" ]]; then
+        echo "bench_compare: $m missing from an entry — skipping it"
+        continue
+    fi
+    # Regression % = 100 * (latest - prev) / prev, via awk (no bc offline).
+    regression=$(awk -v p="$p" -v l="$l" 'BEGIN { printf "%.1f", 100 * (l - p) / p }')
+    over=$(awk -v r="$regression" -v t="$THRESHOLD_PCT" 'BEGIN { print (r > t) ? 1 : 0 }')
+    if [[ "$over" == 1 ]]; then
+        echo "bench_compare: REGRESSION $m: $p ms -> $l ms (+$regression% > ${THRESHOLD_PCT}%)"
+        status=1
+    else
+        echo "bench_compare: ok $m: $p ms -> $l ms ($regression%)"
+    fi
+done
+
+if (( status != 0 )); then
+    echo "bench_compare: warm-path regression above ${THRESHOLD_PCT}% — failing"
+fi
+exit "$status"

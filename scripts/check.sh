@@ -20,4 +20,7 @@ cargo test --workspace -q --offline
 echo "== observability: SVT_TRACE=off overhead smoke gate"
 SVT_TRACE=off cargo test --release -q -p svt-obs --offline --test overhead
 
+echo "== perf trajectory: warm-path regression gate"
+bash scripts/bench_compare.sh
+
 echo "All checks passed."
