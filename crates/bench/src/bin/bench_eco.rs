@@ -1,0 +1,157 @@
+//! Incremental-vs-full ECO re-sign-off benchmark.
+//!
+//! Builds the c3540 testcase (the suite's largest), signs it off once
+//! (the ECO baseline), then times a single-cell resize two ways with
+//! warm caches:
+//!
+//! * **full** — re-run `SignoffFlow::run_with_provenance` from scratch on
+//!   the edited design, the way a non-incremental flow would re-sign-off;
+//! * **incremental** — `EcoSession::apply`, which re-characterizes only
+//!   the radius-of-influence dirty set and re-propagates only the edit's
+//!   timing cones.
+//!
+//! Both paths produce bit-identical state (asserted here and proven in
+//! `crates/eco/tests/differential.rs`); the point of this binary is the
+//! wall-clock ratio. Appends `eco_full_ms` / `eco_incr_ms` /
+//! `eco_speedup` to `BENCH_history.jsonl` at the repo root so
+//! `scripts/bench_compare.sh` tracks the trajectory.
+
+use std::time::Instant;
+
+use svt_bench::{build_design, repo_root, signoff_simulator};
+use svt_core::{SignoffFlow, SignoffOptions};
+use svt_eco::{EcoEdit, EcoError, EcoSession};
+use svt_stdcell::{expand_library, ExpandOptions, Library};
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let library = Library::svt90();
+    let sim = signoff_simulator();
+    let expanded =
+        expand_library(&library, &sim, &ExpandOptions::default()).expect("library expansion");
+    let design = build_design(&library, "c3540");
+    let flow = SignoffFlow::new(&library, &expanded, SignoffOptions::default());
+
+    // Baseline sign-off; also warms every litho/characterization cache so
+    // the full-rerun timing below is the *favourable* warm-path number.
+    let t = Instant::now();
+    let baseline = flow
+        .run_with_provenance(&design.mapped, &design.placement)
+        .expect("baseline sign-off");
+    let baseline_ms = ms(t);
+    let mut session = EcoSession::with_baseline(
+        &flow,
+        design.mapped.clone(),
+        design.placement.clone(),
+        baseline,
+    )
+    .expect("baseline session");
+
+    // The edit models the typical late-stage ECO: upsize the driver of a
+    // failing endpoint — a shallow-fan-out fix near the outputs, not a
+    // root-of-the-cone rewire. Prefer an INVX1 driving a primary output;
+    // fall back to any INVX1 with room for the wider master (rejected
+    // drafts validate geometry without mutating, so probing is free).
+    let outputs: std::collections::HashSet<&str> =
+        design.mapped.outputs().iter().map(String::as_str).collect();
+    let mut candidates: Vec<_> = design
+        .mapped
+        .instances()
+        .iter()
+        .filter(|i| i.cell == "INVX1")
+        .collect();
+    candidates.sort_by_key(|i| {
+        let drives_po = i
+            .connections
+            .last()
+            .is_some_and(|(_, net)| outputs.contains(net.as_str()));
+        usize::from(!drives_po)
+    });
+    let mut applied = None;
+    for inst in candidates {
+        let edit = EcoEdit::ResizeCell {
+            instance: inst.name.clone(),
+            new_cell: "INVX2".into(),
+        };
+        let t = Instant::now();
+        match session.apply(&edit) {
+            Ok(delta) => {
+                applied = Some((delta, ms(t)));
+                break;
+            }
+            Err(EcoError::InvalidEdit { .. }) => continue,
+            Err(e) => panic!("incremental re-sign-off failed: {e}"),
+        }
+    }
+    let (delta, eco_incr_ms) = applied.expect("some INVX1 in c3540 has room to upsize");
+
+    let t = Instant::now();
+    let full = flow
+        .run_with_provenance(session.netlist(), session.placement())
+        .expect("full re-sign-off");
+    let eco_full_ms = ms(t);
+    assert_eq!(
+        full.comparison,
+        *session.comparison(),
+        "incremental state diverged from the full rebuild"
+    );
+
+    let eco_speedup = eco_full_ms / eco_incr_ms;
+    println!(
+        "--- bench_eco: {} ({} gates) ---",
+        design.name,
+        design.mapped.instances().len()
+    );
+    println!("baseline cold sign-off     {baseline_ms:9.3} ms");
+    println!("full re-sign-off (warm)    {eco_full_ms:9.3} ms");
+    println!("incremental apply          {eco_incr_ms:9.3} ms");
+    println!("speedup                    {eco_speedup:9.1}x");
+    println!();
+    println!("edit: {}", delta.edit);
+    println!(
+        "dirty: {} instance(s) recharacterized across {} row(s), {} pitch rows invalidated",
+        delta.recharacterized.len(),
+        delta.rows_extracted.len(),
+        delta.pitch_rows_invalidated
+    );
+    println!(
+        "cones: {} forward instance(s), {} backward net(s) across 6 corners",
+        delta.forward_instances, delta.backward_nets
+    );
+    println!(
+        "endpoints moved: {} of {} x 6 corners; spread gap delta {:+.6} ns; \
+         uncertainty reduction delta {:+.4} pct-points",
+        delta.endpoint_deltas.len(),
+        session.netlist().outputs().len(),
+        delta.spread_gap_delta_ns(),
+        delta.uncertainty_reduction_delta_pct()
+    );
+    println!();
+    println!("{}", delta.delta_audit.render_text());
+
+    assert!(
+        eco_speedup >= 10.0,
+        "incremental ECO must beat a warm full re-sign-off by >= 10x \
+         (got {eco_speedup:.1}x: full {eco_full_ms:.3} ms vs incremental {eco_incr_ms:.3} ms)"
+    );
+
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let history_line = format!(
+        "{{\"unix_ts\": {unix_ts}, \"eco_full_ms\": {eco_full_ms:.3}, \
+         \"eco_incr_ms\": {eco_incr_ms:.3}, \"eco_speedup\": {eco_speedup:.1}}}\n"
+    );
+    let history = repo_root().join("BENCH_history.jsonl");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .expect("open BENCH_history.jsonl");
+    std::io::Write::write_all(&mut log, history_line.as_bytes())
+        .expect("append BENCH_history.jsonl");
+    println!("appended eco numbers to BENCH_history.jsonl");
+}

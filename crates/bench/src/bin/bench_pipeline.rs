@@ -23,21 +23,7 @@ fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
 }
 
-/// The repository root. This source builds both as the `svt-bench` bin
-/// (manifest dir `crates/bench`, two levels below the root) and as the
-/// root-package re-export (manifest dir IS the root), so the relative
-/// hop is resolved at runtime rather than baked in with `concat!`.
-fn repo_root() -> &'static std::path::Path {
-    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    if manifest.ends_with("crates/bench") {
-        manifest
-            .parent()
-            .and_then(std::path::Path::parent)
-            .unwrap_or(manifest)
-    } else {
-        manifest
-    }
-}
+use svt_bench::repo_root;
 
 fn clear_all_caches() {
     clear_litho_caches();

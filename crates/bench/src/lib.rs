@@ -60,6 +60,26 @@ pub fn signoff_simulator() -> LithoSimulator {
     Process::nm90().simulator()
 }
 
+/// The repository root, where experiment outputs (`BENCH_*.json`,
+/// `BENCH_history.jsonl`) land regardless of which package built the
+/// binary.
+///
+/// This library always compiles with manifest dir `crates/bench`, two
+/// levels below the root; the strip keeps the result correct if the lib
+/// is ever vendored elsewhere.
+#[must_use]
+pub fn repo_root() -> &'static std::path::Path {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    if manifest.ends_with("crates/bench") {
+        manifest
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap_or(manifest)
+    } else {
+        manifest
+    }
+}
+
 /// The five testcases of the paper's Tables 1 and 2.
 pub const PAPER_TESTCASES: [&str; 5] = ["c432", "c880", "c1355", "c1908", "c3540"];
 

@@ -29,7 +29,7 @@ impl CornerLengths {
 /// of that excursion attributed to systematic through-pitch and
 /// through-focus variation; the paper assumes 30 % each ("Assuming
 /// lvar_focus and lvar_pitch each to be 30% of the total gate length
-/// variation", §4, after [8]).
+/// variation", §4, after their ref. 8).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VariationBudget {
     /// One-sided total excursion as a fraction of nominal L.

@@ -7,7 +7,7 @@ use svt_exec::try_par_map;
 use svt_netlist::MappedNetlist;
 use svt_obs::audit::{AuditTrail, CornerDelay, InstanceAudit, PathAudit, TrimRecord};
 use svt_place::{DeviceSite, Placement, PlacementOptions};
-use svt_sta::{analyze, CellBinding, StaError, TimingOptions, TimingReport};
+use svt_sta::{analyze_full, CellBinding, StaError, StaState, TimingOptions, TimingReport};
 use svt_stdcell::{
     Cell, CellContext, CharacterizeOptions, CharacterizedCell, ExpandedLibrary, Library,
     StdcellError, TimingArc,
@@ -253,6 +253,52 @@ pub fn characterize_corner(
     })
 }
 
+/// One fully bound and analyzed STA corner: the characterized-cell
+/// binding it ran with plus the complete propagation state.
+///
+/// Keeping the [`StaState`] (not just the [`TimingReport`]) is what lets
+/// `svt-eco` re-sign-off incrementally: [`svt_sta::analyze_incremental`]
+/// resumes from this state and recomputes only the cones an edit dirtied.
+#[derive(Debug, Clone)]
+pub struct CornerAnalysis {
+    /// Per-instance characterized cells the corner was analyzed with.
+    pub binding: CellBinding,
+    /// Full propagation state ([`analyze_full`] output).
+    pub state: StaState,
+}
+
+impl CornerAnalysis {
+    /// The corner's timing report.
+    #[must_use]
+    pub fn report(&self) -> &TimingReport {
+        self.state.report()
+    }
+}
+
+/// Everything a completed sign-off run knows: the Table 2 comparison, the
+/// audit trail, and the per-corner / per-instance provenance both were
+/// derived from.
+///
+/// Produced by [`SignoffFlow::run_with_provenance`]; consumed by the
+/// `svt-eco` session, which mutates copies of this state under ECO edits
+/// instead of rerunning the flow from scratch.
+#[derive(Debug, Clone)]
+pub struct FlowProvenance {
+    /// Traditional corner analyses in `Corner::ALL` (`[bc, nom, wc]`)
+    /// order.
+    pub traditional: Vec<CornerAnalysis>,
+    /// Aware corner analyses in `Corner::ALL` order.
+    pub aware: Vec<CornerAnalysis>,
+    /// Per-instance placement contexts, netlist order.
+    pub contexts: Vec<CellContext>,
+    /// Per-instance, per-device iso/dense classes, netlist order.
+    pub classes: Vec<Vec<DeviceClass>>,
+    /// The Table 2 traditional-vs-aware comparison.
+    pub comparison: SignoffComparison,
+    /// The full per-instance / per-endpoint audit trail.
+    pub audit: AuditTrail,
+}
+
 /// The end-to-end sign-off comparison flow of paper §4 (Table 2).
 #[derive(Debug, Clone)]
 pub struct SignoffFlow<'a> {
@@ -282,6 +328,12 @@ impl<'a> SignoffFlow<'a> {
         &self.options
     }
 
+    /// The base library the flow signs off against.
+    #[must_use]
+    pub fn library(&self) -> &'a Library {
+        self.library
+    }
+
     /// Runs traditional and systematic-variation aware corner STA on a
     /// placed netlist and reports both.
     ///
@@ -308,31 +360,38 @@ impl<'a> SignoffFlow<'a> {
     /// Traditional corner analyses in `[bc, nom, wc]` order: every device
     /// at `L_nom`, `L_nom ± Δ`. The three corner analyses are independent
     /// and run across the worker pool.
-    fn traditional_reports(&self, netlist: &MappedNetlist) -> Result<Vec<TimingReport>, FlowError> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding and STA failures; see [`FlowError`].
+    pub fn traditional_analyses(
+        &self,
+        netlist: &MappedNetlist,
+    ) -> Result<Vec<CornerAnalysis>, FlowError> {
         let _span = svt_obs::span("core.signoff.traditional");
         let l_nom = self.options.characterize.nominal_length_nm;
         let corners = self.options.budget.traditional_corners(l_nom);
         let lengths = [corners.bc_nm, corners.nom_nm, corners.wc_nm];
-        try_par_map(&lengths, |&l| -> Result<TimingReport, FlowError> {
+        try_par_map(&lengths, |&l| -> Result<CornerAnalysis, FlowError> {
             let _corner = svt_obs::span("core.signoff.traditional.corner");
             let binding = CellBinding::uniform_scaled(netlist, self.library, l)?;
-            Ok(analyze(netlist, &binding, &self.options.timing)?)
+            let state = analyze_full(netlist, &binding, &self.options.timing)?;
+            Ok(CornerAnalysis { binding, state })
         })
     }
 
     /// Traditional corner timing with the non-gate-length corner derate.
     fn traditional_timing(&self, netlist: &MappedNetlist) -> Result<CornerTiming, FlowError> {
-        let reports = self.traditional_reports(netlist)?;
-        Ok(self.apply_residual_derate(CornerTiming {
-            bc_ns: reports[0].circuit_delay_ns(),
-            nom_ns: reports[1].circuit_delay_ns(),
-            wc_ns: reports[2].circuit_delay_ns(),
-        }))
+        let analyses = self.traditional_analyses(netlist)?;
+        Ok(self.apply_residual_derate(corner_timing_of(&analyses)))
     }
 
     /// Applies the non-gate-length process-corner derate to BC/WC. Every
     /// cell delay scales uniformly, so the circuit delay scales exactly.
-    fn apply_residual_derate(&self, timing: CornerTiming) -> CornerTiming {
+    /// Public so an incremental re-sign-off can reproduce the flow's
+    /// derated corner numbers from raw corner delays.
+    #[must_use]
+    pub fn apply_residual_derate(&self, timing: CornerTiming) -> CornerTiming {
         let d = self.options.residual_process_derate;
         CornerTiming {
             bc_ns: timing.bc_ns * (1.0 - d),
@@ -348,18 +407,14 @@ impl<'a> SignoffFlow<'a> {
         netlist: &MappedNetlist,
         placement: &Placement,
     ) -> Result<CornerTiming, FlowError> {
-        let run = self.aware_reports(netlist, placement)?;
-        Ok(self.apply_residual_derate(CornerTiming {
-            bc_ns: run.reports[0].circuit_delay_ns(),
-            nom_ns: run.reports[1].circuit_delay_ns(),
-            wc_ns: run.reports[2].circuit_delay_ns(),
-        }))
+        let run = self.aware_analyses(netlist, placement)?;
+        Ok(self.apply_residual_derate(corner_timing_of(&run.analyses)))
     }
 
     /// Aware corner analyses plus the per-instance provenance they were
     /// derived from (placement contexts and device classes), in
     /// `Corner::ALL` order.
-    fn aware_reports(
+    fn aware_analyses(
         &self,
         netlist: &MappedNetlist,
         placement: &Placement,
@@ -387,7 +442,7 @@ impl<'a> SignoffFlow<'a> {
             })
             .collect();
         for site in &sites {
-            classes[site.instance][site.device.0] = classify_site(site, &self.options);
+            classes[site.instance][site.device.0] = classify_device_site(site, &self.options);
         }
 
         // Per-corner in-context characterization, parallel over instances.
@@ -396,7 +451,7 @@ impl<'a> SignoffFlow<'a> {
         // binding (and the analyzed delay) is identical to the sequential
         // loop.
         let instance_indices: Vec<usize> = (0..netlist.instances().len()).collect();
-        let mut reports = Vec::with_capacity(Corner::ALL.len());
+        let mut analyses = Vec::with_capacity(Corner::ALL.len());
         for corner in Corner::ALL {
             let _corner_span = svt_obs::span("core.signoff.aware.corner");
             if svt_obs::enabled() {
@@ -405,50 +460,77 @@ impl<'a> SignoffFlow<'a> {
             let cells = try_par_map(
                 &instance_indices,
                 |&idx| -> Result<CharacterizedCell, FlowError> {
-                    let _inst = svt_obs::span("core.signoff.aware.instance");
-                    let inst = &netlist.instances()[idx];
-                    let cell =
-                        self.library
-                            .cell(&inst.cell)
-                            .ok_or_else(|| FlowError::Inconsistent {
-                                reason: format!("unknown cell `{}`", inst.cell),
-                            })?;
-                    let context = if self.options.use_context_library {
-                        contexts[idx]
-                    } else {
-                        CellContext::default()
-                    };
-                    let variant = self.expanded.variant(&inst.cell, context).ok_or_else(|| {
-                        FlowError::Inconsistent {
-                            reason: format!(
-                                "expanded library lacks {} in context {}",
-                                inst.cell,
-                                context.code()
-                            ),
-                        }
-                    })?;
-                    let name = format!("{}_{:?}", variant.variant_name, corner);
-                    Ok(characterize_corner(
-                        cell,
-                        &variant.device_lengths_nm,
-                        &classes[idx],
-                        &self.options.budget,
-                        self.options.policy,
-                        corner,
-                        &name,
-                        self.options.characterize,
-                    )?)
+                    self.characterize_instance(netlist, idx, contexts[idx], &classes[idx], corner)
                 },
             )?;
             let binding = CellBinding::new(netlist, cells)?;
-            reports.push(analyze(netlist, &binding, &self.options.timing)?);
+            let state = analyze_full(netlist, &binding, &self.options.timing)?;
+            analyses.push(CornerAnalysis { binding, state });
         }
 
         Ok(AwareRun {
-            reports,
+            analyses,
             contexts,
             classes,
         })
+    }
+
+    /// Characterizes one placed instance at one aware corner from its
+    /// placement context and per-device classes — the unit of work the
+    /// aware corner runs fan out, and the unit an incremental ECO
+    /// re-sign-off recomputes per dirty instance.
+    ///
+    /// When the flow's `use_context_library` option is off, the passed
+    /// context is ignored and the fully isolated variant is used (paper §5
+    /// simplified methodology), exactly as in the full run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Inconsistent`] when the instance's cell or its
+    /// context variant is missing from the libraries, and propagates
+    /// characterization failures.
+    pub fn characterize_instance(
+        &self,
+        netlist: &MappedNetlist,
+        idx: usize,
+        context: CellContext,
+        classes: &[DeviceClass],
+        corner: Corner,
+    ) -> Result<CharacterizedCell, FlowError> {
+        let _inst = svt_obs::span("core.signoff.aware.instance");
+        let inst = &netlist.instances()[idx];
+        let cell = self
+            .library
+            .cell(&inst.cell)
+            .ok_or_else(|| FlowError::Inconsistent {
+                reason: format!("unknown cell `{}`", inst.cell),
+            })?;
+        let context = if self.options.use_context_library {
+            context
+        } else {
+            CellContext::default()
+        };
+        let variant =
+            self.expanded
+                .variant(&inst.cell, context)
+                .ok_or_else(|| FlowError::Inconsistent {
+                    reason: format!(
+                        "expanded library lacks {} in context {}",
+                        inst.cell,
+                        context.code()
+                    ),
+                })?;
+        let name = format!("{}_{:?}", variant.variant_name, corner);
+        Ok(characterize_corner(
+            cell,
+            &variant.device_lengths_nm,
+            classes,
+            &self.options.budget,
+            self.options.policy,
+            corner,
+            &name,
+            self.options.characterize,
+        )?)
     }
 
     /// Runs the sign-off comparison *and* assembles the full audit trail:
@@ -465,167 +547,294 @@ impl<'a> SignoffFlow<'a> {
     /// # Errors
     ///
     /// Propagates the same failures as [`SignoffFlow::run`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use svt_core::{SignoffFlow, SignoffOptions};
+    /// use svt_litho::Process;
+    /// use svt_netlist::{bench, technology_map};
+    /// use svt_place::{place, PlacementOptions};
+    /// use svt_stdcell::{expand_library, ExpandOptions, Library};
+    ///
+    /// let lib = Library::svt90();
+    /// let sim = Process::nm90().simulator();
+    /// let expanded = expand_library(&lib, &sim, &ExpandOptions::fast())?;
+    /// let n = bench::parse("# t\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n")?;
+    /// let mapped = technology_map(&n, &lib)?;
+    /// let placement = place(&mapped, &lib, &PlacementOptions::default())?;
+    ///
+    /// let flow = SignoffFlow::new(&lib, &expanded, SignoffOptions::default());
+    /// let (cmp, audit) = flow.run_audited(&mapped, &placement)?;
+    /// assert_eq!(audit.testcase, cmp.testcase);
+    /// assert!(audit.render_text().contains("corner delays"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn run_audited(
         &self,
         netlist: &MappedNetlist,
         placement: &Placement,
     ) -> Result<(SignoffComparison, AuditTrail), FlowError> {
+        let provenance = self.run_with_provenance(netlist, placement)?;
+        Ok((provenance.comparison, provenance.audit))
+    }
+
+    /// Runs the audited sign-off comparison and returns *everything* it
+    /// computed: corner bindings and STA states, placement contexts,
+    /// device classes, the comparison, and the audit trail.
+    ///
+    /// This is the entry point for incremental ECO re-sign-off
+    /// (`svt-eco`): the returned [`FlowProvenance`] is the baseline an
+    /// `EcoSession`-style engine mutates in place. The
+    /// timing result and audit are bit-identical to
+    /// [`SignoffFlow::run_audited`] — which delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`SignoffFlow::run`].
+    pub fn run_with_provenance(
+        &self,
+        netlist: &MappedNetlist,
+        placement: &Placement,
+    ) -> Result<FlowProvenance, FlowError> {
         let _span = svt_obs::span("core.signoff");
-        let trad_reports = self.traditional_reports(netlist)?;
-        let traditional = self.apply_residual_derate(CornerTiming {
-            bc_ns: trad_reports[0].circuit_delay_ns(),
-            nom_ns: trad_reports[1].circuit_delay_ns(),
-            wc_ns: trad_reports[2].circuit_delay_ns(),
-        });
-        let run = self.aware_reports(netlist, placement)?;
-        let aware = self.apply_residual_derate(CornerTiming {
-            bc_ns: run.reports[0].circuit_delay_ns(),
-            nom_ns: run.reports[1].circuit_delay_ns(),
-            wc_ns: run.reports[2].circuit_delay_ns(),
-        });
+        let traditional_analyses = self.traditional_analyses(netlist)?;
+        let traditional = self.apply_residual_derate(corner_timing_of(&traditional_analyses));
+        let run = self.aware_analyses(netlist, placement)?;
+        let aware = self.apply_residual_derate(corner_timing_of(&run.analyses));
         let comparison = SignoffComparison {
             testcase: netlist.name().to_string(),
             gates: netlist.instances().len(),
             traditional,
             aware,
         };
-        let audit = self.build_audit(netlist, &run, &trad_reports, &comparison)?;
-        Ok((comparison, audit))
+        let audit = self.assemble_audit(
+            netlist,
+            &run.contexts,
+            &run.classes,
+            [
+                traditional_analyses[0].report(),
+                traditional_analyses[2].report(),
+            ],
+            [run.analyses[0].report(), run.analyses[2].report()],
+            &comparison,
+        )?;
+        Ok(FlowProvenance {
+            traditional: traditional_analyses,
+            aware: run.analyses,
+            contexts: run.contexts,
+            classes: run.classes,
+            comparison,
+            audit,
+        })
     }
 
-    /// Assembles the audit trail from an aware run's provenance. Purely
+    /// Assembles the audit trail from a run's provenance. Purely
     /// sequential arithmetic over data the flow already computed — no STA
-    /// reruns — so it is deterministic by construction.
-    fn build_audit(
+    /// reruns — so it is deterministic by construction. `trad` and `aware`
+    /// carry the `[bc, wc]` endpoint reports of each methodology.
+    ///
+    /// Public so an incremental re-sign-off can rebuild a bit-identical
+    /// audit from updated provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Inconsistent`] when a cell or context variant
+    /// is missing from the libraries.
+    pub fn assemble_audit(
         &self,
         netlist: &MappedNetlist,
-        run: &AwareRun,
-        trad_reports: &[TimingReport],
+        contexts: &[CellContext],
+        classes: &[Vec<DeviceClass>],
+        trad: [&TimingReport; 2],
+        aware: [&TimingReport; 2],
         comparison: &SignoffComparison,
     ) -> Result<AuditTrail, FlowError> {
         let _span = svt_obs::span("core.signoff.audit");
         let l_nom = self.options.characterize.nominal_length_nm;
-        let trad_corners = self.options.budget.traditional_corners(l_nom);
 
         let mut instances = Vec::new();
-        for (idx, inst) in netlist.instances().iter().enumerate() {
-            let cell = self
-                .library
-                .cell(&inst.cell)
-                .ok_or_else(|| FlowError::Inconsistent {
-                    reason: format!("unknown cell `{}`", inst.cell),
-                })?;
-            let context = if self.options.use_context_library {
-                run.contexts[idx]
-            } else {
-                CellContext::default()
-            };
-            let variant = self.expanded.variant(&inst.cell, context).ok_or_else(|| {
-                FlowError::Inconsistent {
-                    reason: format!(
-                        "expanded library lacks {} in context {}",
-                        inst.cell,
-                        context.code()
-                    ),
-                }
-            })?;
-            for arc in cell.arcs() {
-                let mean_l = arc
-                    .devices
-                    .iter()
-                    .map(|d| variant.device_lengths_nm[d.0])
-                    .sum::<f64>()
-                    / arc.devices.len() as f64;
-                let classes: Vec<DeviceClass> =
-                    arc.devices.iter().map(|d| run.classes[idx][d.0]).collect();
-                let label = label_arc(&classes, self.options.policy);
-                let corners = self.options.budget.aware_corners(mean_l, label);
-                instances.push(InstanceAudit {
-                    instance: format!("{}:{}>{}", inst.name, arc.from_pin, arc.to_pin),
-                    cell: inst.cell.clone(),
-                    device_class: class_mix(&classes),
-                    mean_context_l_nm: mean_l,
-                    trim: TrimRecord {
-                        arc_label: label_name(label).to_string(),
-                        l_nominal_nm: l_nom,
-                        bc_before_nm: trad_corners.bc_nm,
-                        wc_before_nm: trad_corners.wc_nm,
-                        bc_after_nm: corners.bc_nm,
-                        wc_after_nm: corners.wc_nm,
-                        residual_nm: self.options.budget.delta_nm(mean_l)
-                            - self.options.budget.lvar_pitch_nm(mean_l),
-                        focus_trim_nm: self.options.budget.lvar_focus_nm(mean_l),
-                    },
-                });
-            }
+        for idx in 0..netlist.instances().len() {
+            instances.extend(self.audit_instance_rows(
+                netlist,
+                idx,
+                contexts[idx],
+                &classes[idx],
+            )?);
         }
 
-        // Per-endpoint arrivals with the residual derate applied per path.
-        // Scaling by a positive constant commutes with `max` bit-for-bit,
-        // so the worst derated path equals the derated circuit delay
-        // exactly — the reconciliation the differential test pins.
-        let d = self.options.residual_process_derate;
-        let trad_bc = trad_reports[0].po_arrivals();
-        let trad_wc = trad_reports[2].po_arrivals();
-        let aware_bc = run.reports[0].po_arrivals();
-        let aware_wc = run.reports[2].po_arrivals();
+        let trad_bc = trad[0].po_arrivals();
+        let trad_wc = trad[1].po_arrivals();
+        let aware_bc = aware[0].po_arrivals();
+        let aware_wc = aware[1].po_arrivals();
         let paths = trad_bc
             .iter()
             .zip(&trad_wc)
             .zip(aware_bc.iter().zip(&aware_wc))
-            .map(|((tb, tw), (ab, aw))| PathAudit {
-                endpoint: tb.0.clone(),
-                trad_bc_ns: tb.1 * (1.0 - d),
-                trad_wc_ns: tw.1 * (1.0 + d),
-                aware_bc_ns: ab.1 * (1.0 - d),
-                aware_wc_ns: aw.1 * (1.0 + d),
-            })
+            .map(|((tb, tw), (ab, aw))| self.audit_path_row(&tb.0, tb.1, tw.1, ab.1, aw.1))
             .collect();
 
         Ok(AuditTrail {
             testcase: comparison.testcase.clone(),
             nominal_l_nm: l_nom,
             policy: format!("{:?}", self.options.policy),
-            corner_delays: vec![
-                CornerDelay {
-                    corner: "traditional-bc".into(),
-                    delay_ns: comparison.traditional.bc_ns,
-                },
-                CornerDelay {
-                    corner: "traditional-nom".into(),
-                    delay_ns: comparison.traditional.nom_ns,
-                },
-                CornerDelay {
-                    corner: "traditional-wc".into(),
-                    delay_ns: comparison.traditional.wc_ns,
-                },
-                CornerDelay {
-                    corner: "aware-bc".into(),
-                    delay_ns: comparison.aware.bc_ns,
-                },
-                CornerDelay {
-                    corner: "aware-nom".into(),
-                    delay_ns: comparison.aware.nom_ns,
-                },
-                CornerDelay {
-                    corner: "aware-wc".into(),
-                    delay_ns: comparison.aware.wc_ns,
-                },
-            ],
+            corner_delays: audit_corner_delays(comparison),
             instances,
             paths,
         })
     }
+
+    /// The audit rows of one instance — one per timing arc of its current
+    /// master, with the arc's device-class mix, in-context mean gate
+    /// length, and eqns. 1–5 corner trim.
+    ///
+    /// [`SignoffFlow::assemble_audit`] is exactly the concatenation of
+    /// these rows over all instances (netlist order), so an incremental
+    /// re-sign-off can rebuild only the rows of its dirty instances and
+    /// splice them over the previous audit bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Inconsistent`] when the instance's cell or
+    /// its context variant is missing from the libraries.
+    pub fn audit_instance_rows(
+        &self,
+        netlist: &MappedNetlist,
+        idx: usize,
+        context: CellContext,
+        classes: &[DeviceClass],
+    ) -> Result<Vec<InstanceAudit>, FlowError> {
+        let l_nom = self.options.characterize.nominal_length_nm;
+        let trad_corners = self.options.budget.traditional_corners(l_nom);
+        let inst = &netlist.instances()[idx];
+        let cell = self
+            .library
+            .cell(&inst.cell)
+            .ok_or_else(|| FlowError::Inconsistent {
+                reason: format!("unknown cell `{}`", inst.cell),
+            })?;
+        let context = if self.options.use_context_library {
+            context
+        } else {
+            CellContext::default()
+        };
+        let variant =
+            self.expanded
+                .variant(&inst.cell, context)
+                .ok_or_else(|| FlowError::Inconsistent {
+                    reason: format!(
+                        "expanded library lacks {} in context {}",
+                        inst.cell,
+                        context.code()
+                    ),
+                })?;
+        let mut rows = Vec::with_capacity(cell.arcs().len());
+        for arc in cell.arcs() {
+            let mean_l = arc
+                .devices
+                .iter()
+                .map(|d| variant.device_lengths_nm[d.0])
+                .sum::<f64>()
+                / arc.devices.len() as f64;
+            let arc_classes: Vec<DeviceClass> = arc.devices.iter().map(|d| classes[d.0]).collect();
+            let label = label_arc(&arc_classes, self.options.policy);
+            let corners = self.options.budget.aware_corners(mean_l, label);
+            rows.push(InstanceAudit {
+                instance: format!("{}:{}>{}", inst.name, arc.from_pin, arc.to_pin),
+                cell: inst.cell.clone(),
+                device_class: class_mix(&arc_classes),
+                mean_context_l_nm: mean_l,
+                trim: TrimRecord {
+                    arc_label: label_name(label).to_string(),
+                    l_nominal_nm: l_nom,
+                    bc_before_nm: trad_corners.bc_nm,
+                    wc_before_nm: trad_corners.wc_nm,
+                    bc_after_nm: corners.bc_nm,
+                    wc_after_nm: corners.wc_nm,
+                    residual_nm: self.options.budget.delta_nm(mean_l)
+                        - self.options.budget.lvar_pitch_nm(mean_l),
+                    focus_trim_nm: self.options.budget.lvar_focus_nm(mean_l),
+                },
+            });
+        }
+        Ok(rows)
+    }
+
+    /// The audit row of one timing endpoint, from its raw `[bc, wc]`
+    /// corner arrivals with the residual process derate applied per path.
+    ///
+    /// Scaling by a positive constant commutes with `max` bit-for-bit,
+    /// so the worst derated path equals the derated circuit delay
+    /// exactly — the reconciliation the differential tests pin.
+    #[must_use]
+    pub fn audit_path_row(
+        &self,
+        endpoint: &str,
+        trad_bc_ns: f64,
+        trad_wc_ns: f64,
+        aware_bc_ns: f64,
+        aware_wc_ns: f64,
+    ) -> PathAudit {
+        let d = self.options.residual_process_derate;
+        PathAudit {
+            endpoint: endpoint.to_string(),
+            trad_bc_ns: trad_bc_ns * (1.0 - d),
+            trad_wc_ns: trad_wc_ns * (1.0 + d),
+            aware_bc_ns: aware_bc_ns * (1.0 - d),
+            aware_wc_ns: aware_wc_ns * (1.0 + d),
+        }
+    }
+}
+
+/// The audit's headline corner-delay block for a comparison, audit corner
+/// order (`traditional-bc` … `aware-wc`).
+#[must_use]
+pub fn audit_corner_delays(comparison: &SignoffComparison) -> Vec<CornerDelay> {
+    vec![
+        CornerDelay {
+            corner: "traditional-bc".into(),
+            delay_ns: comparison.traditional.bc_ns,
+        },
+        CornerDelay {
+            corner: "traditional-nom".into(),
+            delay_ns: comparison.traditional.nom_ns,
+        },
+        CornerDelay {
+            corner: "traditional-wc".into(),
+            delay_ns: comparison.traditional.wc_ns,
+        },
+        CornerDelay {
+            corner: "aware-bc".into(),
+            delay_ns: comparison.aware.bc_ns,
+        },
+        CornerDelay {
+            corner: "aware-nom".into(),
+            delay_ns: comparison.aware.nom_ns,
+        },
+        CornerDelay {
+            corner: "aware-wc".into(),
+            delay_ns: comparison.aware.wc_ns,
+        },
+    ]
 }
 
 /// The aware corner analyses plus the provenance the audit trail needs.
 struct AwareRun {
-    /// Timing reports in `Corner::ALL` order (`[bc, nom, wc]`).
-    reports: Vec<TimingReport>,
+    /// Corner analyses in `Corner::ALL` order (`[bc, nom, wc]`).
+    analyses: Vec<CornerAnalysis>,
     /// Per-instance placement contexts, netlist order.
     contexts: Vec<CellContext>,
     /// Per-instance, per-device classes, netlist order.
     classes: Vec<Vec<DeviceClass>>,
+}
+
+/// The `[bc, nom, wc]` circuit delays of three corner analyses.
+fn corner_timing_of(analyses: &[CornerAnalysis]) -> CornerTiming {
+    CornerTiming {
+        bc_ns: analyses[0].report().circuit_delay_ns(),
+        nom_ns: analyses[1].report().circuit_delay_ns(),
+        wc_ns: analyses[2].report().circuit_delay_ns(),
+    }
 }
 
 /// Stable audit names of the device classes in an arc, as a deterministic
@@ -648,7 +857,12 @@ fn label_name(label: ArcLabel) -> &'static str {
     }
 }
 
-fn classify_site(site: &DeviceSite, options: &SignoffOptions) -> DeviceClass {
+/// Classifies one placed device site against the flow's contacted pitch
+/// (paper §3.2): the exact classification rule the aware flow applies, so
+/// an incremental re-sign-off reclassifying a window of rows agrees
+/// bit-for-bit with the full run.
+#[must_use]
+pub fn classify_device_site(site: &DeviceSite, options: &SignoffOptions) -> DeviceClass {
     classify_device(
         site.left_space,
         site.right_space,

@@ -61,7 +61,8 @@ pub use arcs::{label_arc, ArcLabel, ArcLabelPolicy};
 pub use budget::{CornerLengths, VariationBudget};
 pub use classify::{classify_device, classify_sites, DeviceClass};
 pub use flow::{
-    characterize_corner, Corner, CornerTiming, SignoffComparison, SignoffFlow, SignoffOptions,
+    audit_corner_delays, characterize_corner, classify_device_site, Corner, CornerAnalysis,
+    CornerTiming, FlowError, FlowProvenance, SignoffComparison, SignoffFlow, SignoffOptions,
 };
 pub use fullchip::{
     compare_opc_flows, FlowComparison, FullChipOpc, FullChipResult, LibraryAssembledOpc,

@@ -1,0 +1,110 @@
+/// One typed engineering change order against a signed-off design.
+///
+/// Every edit preserves connectivity: swaps and resizes are restricted to
+/// pin-name-compatible masters ([`svt_netlist::MappedNetlist::swap_cell`]
+/// enforces this), and moves only change coordinates. That invariant is
+/// what keeps the incremental timing update sound — the stored
+/// topological order of the timing graph stays valid across any edit
+/// sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoEdit {
+    /// Re-master an instance to a pin-compatible cell (any function with
+    /// identical pin names).
+    SwapCell {
+        /// Instance name in the netlist.
+        instance: String,
+        /// New library cell name.
+        new_cell: String,
+    },
+    /// Re-master an instance to a different drive strength of the *same*
+    /// logic function (e.g. `INVX1` → `INVX2`); rejected when the base
+    /// cell family differs.
+    ResizeCell {
+        /// Instance name in the netlist.
+        instance: String,
+        /// New library cell name, same family.
+        new_cell: String,
+    },
+    /// Shift an instance horizontally within its row by `dx_nm`,
+    /// changing the neighbor spacings (and therefore possibly the
+    /// iso/dense context) of everything within the radius of influence.
+    AdjustSpacing {
+        /// Instance name in the netlist.
+        instance: String,
+        /// Signed shift in nanometres.
+        dx_nm: f64,
+    },
+    /// Re-place an instance at an absolute `(row, x)` location.
+    MoveInstance {
+        /// Instance name in the netlist.
+        instance: String,
+        /// Target row index.
+        row: usize,
+        /// Target lower-left x in nanometres.
+        x_nm: f64,
+    },
+}
+
+impl EcoEdit {
+    /// The edited instance's name.
+    #[must_use]
+    pub fn instance(&self) -> &str {
+        match self {
+            EcoEdit::SwapCell { instance, .. }
+            | EcoEdit::ResizeCell { instance, .. }
+            | EcoEdit::AdjustSpacing { instance, .. }
+            | EcoEdit::MoveInstance { instance, .. } => instance,
+        }
+    }
+
+    /// A deterministic one-line description used in delta audits and
+    /// reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            EcoEdit::SwapCell { instance, new_cell } => {
+                format!("swap {instance} -> {new_cell}")
+            }
+            EcoEdit::ResizeCell { instance, new_cell } => {
+                format!("resize {instance} -> {new_cell}")
+            }
+            EcoEdit::AdjustSpacing { instance, dx_nm } => {
+                format!("adjust-spacing {instance} by {dx_nm} nm")
+            }
+            EcoEdit::MoveInstance {
+                instance,
+                row,
+                x_nm,
+            } => format!("move {instance} to row {row} x {x_nm} nm"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_are_deterministic_and_name_the_edit() {
+        let e = EcoEdit::SwapCell {
+            instance: "u7".into(),
+            new_cell: "INVX2".into(),
+        };
+        assert_eq!(e.describe(), "swap u7 -> INVX2");
+        assert_eq!(e.instance(), "u7");
+        let m = EcoEdit::MoveInstance {
+            instance: "u9".into(),
+            row: 2,
+            x_nm: 1240.0,
+        };
+        assert_eq!(m.describe(), "move u9 to row 2 x 1240 nm");
+        assert_eq!(
+            EcoEdit::AdjustSpacing {
+                instance: "u1".into(),
+                dx_nm: -120.0
+            }
+            .describe(),
+            "adjust-spacing u1 by -120 nm"
+        );
+    }
+}

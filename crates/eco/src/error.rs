@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+use svt_core::FlowError;
+use svt_netlist::NetlistError;
+use svt_place::PlaceError;
+use svt_sta::StaError;
+
+/// Errors of the incremental re-sign-off engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EcoError {
+    /// The underlying sign-off flow failed.
+    Flow(FlowError),
+    /// Incremental timing analysis failed.
+    Sta(StaError),
+    /// A netlist edit was rejected.
+    Netlist(NetlistError),
+    /// A placement edit was rejected.
+    Place(PlaceError),
+    /// The edit itself is malformed or geometrically illegal; nothing was
+    /// mutated.
+    InvalidEdit {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoError::Flow(e) => write!(f, "sign-off flow failed: {e}"),
+            EcoError::Sta(e) => write!(f, "incremental timing failed: {e}"),
+            EcoError::Netlist(e) => write!(f, "netlist edit rejected: {e}"),
+            EcoError::Place(e) => write!(f, "placement edit rejected: {e}"),
+            EcoError::InvalidEdit { reason } => write!(f, "invalid ECO edit: {reason}"),
+        }
+    }
+}
+
+impl Error for EcoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EcoError::Flow(e) => Some(e),
+            EcoError::Sta(e) => Some(e),
+            EcoError::Netlist(e) => Some(e),
+            EcoError::Place(e) => Some(e),
+            EcoError::InvalidEdit { .. } => None,
+        }
+    }
+}
+
+impl From<FlowError> for EcoError {
+    fn from(e: FlowError) -> EcoError {
+        EcoError::Flow(e)
+    }
+}
+
+impl From<StaError> for EcoError {
+    fn from(e: StaError) -> EcoError {
+        EcoError::Sta(e)
+    }
+}
+
+impl From<NetlistError> for EcoError {
+    fn from(e: NetlistError) -> EcoError {
+        EcoError::Netlist(e)
+    }
+}
+
+impl From<PlaceError> for EcoError {
+    fn from(e: PlaceError) -> EcoError {
+        EcoError::Place(e)
+    }
+}

@@ -30,6 +30,9 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries dropped by capacity resets.
     pub evictions: u64,
+    /// Entries dropped by keyed invalidation ([`MemoCache::remove`] /
+    /// [`MemoCache::retain`]).
+    pub removals: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
 }
@@ -50,6 +53,24 @@ impl CacheStats {
 }
 
 /// A sharded memoization cache for pure computations.
+///
+/// # Examples
+///
+/// ```
+/// use svt_exec::MemoCache;
+///
+/// let cache: MemoCache<(u64, u64), f64> = MemoCache::default();
+/// let v = cache.get_or_insert_with((90, 250), || f64::from(90u32).sin());
+/// // A repeat lookup is a hit and returns the identical bits.
+/// let w = cache.get_or_insert_with((90, 250), || unreachable!());
+/// assert_eq!(v.to_bits(), w.to_bits());
+///
+/// // Keyed invalidation (the ECO path): drop exactly one entry so the
+/// // next lookup recomputes it, while every other entry stays warm.
+/// assert_eq!(cache.remove(&(90, 250)), Some(v));
+/// assert_eq!(cache.get(&(90, 250)), None);
+/// assert_eq!(cache.stats().removals, 1);
+/// ```
 pub struct MemoCache<K, V> {
     shards: Vec<Shard<K, V>>,
     /// Entry cap per shard; a full shard is cleared before inserting
@@ -60,6 +81,7 @@ pub struct MemoCache<K, V> {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    removals: AtomicU64,
 }
 
 /// Default shard count; power of two so hash bits select shards evenly.
@@ -86,6 +108,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            removals: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +186,45 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
         hit
     }
 
+    /// Removes the entry for `key`, returning its value if one was cached.
+    ///
+    /// This is the keyed-invalidation hook for incremental flows: when an
+    /// edit changes the inputs a key stands for, dropping exactly that
+    /// entry forces the next lookup to recompute while every other entry
+    /// stays warm. Because memoized computations are pure, removal can
+    /// only cost time, never change a result.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let removed = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .remove(key);
+        if removed.is_some() {
+            self.removals.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Keeps only the entries for which `keep` returns `true`, returning
+    /// how many entries were dropped.
+    ///
+    /// The predicate runs under one shard lock at a time, so it must be
+    /// cheap and must not touch the cache. Use this for invalidating a
+    /// *family* of keys (e.g. every pitch-table pair that involves an
+    /// edited neighbor spacing) where the exact key set is not enumerable
+    /// up front.
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&self, mut keep: F) -> usize {
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("cache shard poisoned");
+            let before = map.len();
+            map.retain(|k, v| keep(k, v));
+            dropped += before - map.len();
+        }
+        self.removals.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -177,6 +239,7 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -262,6 +325,42 @@ mod tests {
         );
         // Still correct after eviction: recompute yields the same value.
         assert_eq!(cache.get_or_insert_with(0, || 0), 0);
+    }
+
+    #[test]
+    fn remove_invalidates_exactly_one_key() {
+        let cache: MemoCache<u64, u64> = MemoCache::default();
+        for k in 0..50u64 {
+            cache.get_or_insert_with(k, || k * 3);
+        }
+        assert_eq!(cache.remove(&7), Some(21));
+        assert_eq!(cache.remove(&7), None, "second removal is a no-op");
+        assert_eq!(cache.get(&7), None, "removed key misses");
+        assert_eq!(cache.get(&8), Some(24), "neighbors stay warm");
+        let stats = cache.stats();
+        assert_eq!(stats.removals, 1);
+        assert_eq!(stats.entries, 49);
+        // Recompute after invalidation re-populates the same key.
+        assert_eq!(cache.get_or_insert_with(7, || 21), 21);
+        assert_eq!(cache.stats().entries, 50);
+    }
+
+    #[test]
+    fn retain_drops_a_key_family() {
+        let cache: MemoCache<(u64, u64), u64> = MemoCache::default();
+        for a in 0..10u64 {
+            for b in 0..10u64 {
+                cache.get_or_insert_with((a, b), || a * 100 + b);
+            }
+        }
+        // Invalidate every pair touching "spacing" 3 on either side.
+        let dropped = cache.retain(|&(a, b), _| a != 3 && b != 3);
+        assert_eq!(dropped, 19, "10 + 10 - shared (3,3)");
+        assert_eq!(cache.stats().entries, 81);
+        assert_eq!(cache.stats().removals, 19);
+        assert_eq!(cache.get(&(3, 5)), None);
+        assert_eq!(cache.get(&(5, 3)), None);
+        assert_eq!(cache.get(&(5, 5)), Some(505));
     }
 
     #[test]

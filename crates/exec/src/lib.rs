@@ -3,7 +3,7 @@
 //! Two building blocks shared by every hot path in the workspace:
 //!
 //! * [`pool`] — a scoped worker pool over `std::thread` with a
-//!   [`par_map`](pool::par_map)-style API. Results land in pre-indexed
+//!   [`par_map`]-style API. Results land in pre-indexed
 //!   slots, so output ordering (and therefore any downstream
 //!   floating-point accumulation order) is identical to the sequential
 //!   path regardless of which worker ran which item.
@@ -14,6 +14,7 @@
 //! Thread count resolution: an explicit override always wins, then the
 //! `SVT_THREADS` environment variable, then
 //! `std::thread::available_parallelism()`.
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod pool;

@@ -10,7 +10,7 @@
 //! Convention: [`forward`] computes `X[k] = Σ_n x[n]·e^{-2πi kn/N}` (no
 //! scaling); [`inverse`] computes `x[n] = (1/N)·Σ_k X[k]·e^{+2πi kn/N}`.
 //!
-//! Transforms of the same length share a cached [`Plan`] (bit-reversal
+//! Transforms of the same length share a cached plan (bit-reversal
 //! permutation plus per-stage twiddle tables), so the trigonometry is paid
 //! once per size instead of once per call. Twiddles are tabulated directly
 //! as `cis(-2πk/len)` rather than by repeated multiplication, which is

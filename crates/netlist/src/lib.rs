@@ -6,7 +6,7 @@
 //!
 //! * [`Netlist`] — a validated combinational gate network in the ISCAS85
 //!   `.bench` vocabulary (AND/NAND/OR/NOR/NOT/BUFF/XOR/XNOR),
-//! * [`bench`] — parser and writer for the `.bench` text format,
+//! * [`mod@bench`] — parser and writer for the `.bench` text format,
 //! * [`generate_benchmark`] — a deterministic, seeded generator producing
 //!   circuits with the published ISCAS85 gate/PI/PO counts (the original
 //!   netlists are not redistributable in this offline environment; the

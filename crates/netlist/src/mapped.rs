@@ -133,6 +133,55 @@ impl MappedNetlist {
         Ok(())
     }
 
+    /// Re-masters one instance to a pin-compatible cell (an ECO cell
+    /// swap), returning the instance index.
+    ///
+    /// The new cell must exist in the library and expose *exactly* the
+    /// pin names the current master does, so every `(pin, net)`
+    /// connection — and therefore the whole net graph — is untouched.
+    /// This is what keeps downstream incremental timing sound: a swap
+    /// can change delays, slews, and pin loads, never connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidNetlist`] if the instance or cell
+    /// is unknown, or the pin names differ.
+    pub fn swap_cell(
+        &mut self,
+        instance: &str,
+        new_cell: &str,
+        library: &Library,
+    ) -> Result<usize, NetlistError> {
+        let idx = self
+            .instances
+            .iter()
+            .position(|i| i.name == instance)
+            .ok_or_else(|| NetlistError::InvalidNetlist {
+                reason: format!("unknown instance `{instance}`"),
+            })?;
+        let cell = library
+            .cell(new_cell)
+            .ok_or_else(|| NetlistError::InvalidNetlist {
+                reason: format!("unknown cell `{new_cell}`"),
+            })?;
+        let inst = &self.instances[idx];
+        let mut connected: Vec<&str> = inst.connections.iter().map(|(p, _)| p.as_str()).collect();
+        let mut pins: Vec<&str> = cell.pins().iter().map(|p| p.name.as_str()).collect();
+        connected.sort_unstable();
+        pins.sort_unstable();
+        if connected != pins {
+            return Err(NetlistError::InvalidNetlist {
+                reason: format!(
+                    "cannot swap `{instance}` ({}) to `{new_cell}`: pin names differ \
+                     ({connected:?} vs {pins:?})",
+                    inst.cell
+                ),
+            });
+        }
+        self.instances[idx].cell = new_cell.to_string();
+        Ok(idx)
+    }
+
     /// Circuit name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -302,5 +351,30 @@ mod tests {
             &lib(),
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn swap_cell_requires_pin_compatibility() {
+        let library = lib();
+        let mut m = MappedNetlist::new(
+            "t",
+            vec!["a".into()],
+            vec!["z".into()],
+            vec![inst("u1", "INVX1", &[("A", "a"), ("Z", "z")])],
+            &library,
+        )
+        .unwrap();
+        // INVX1 -> INVX2 shares pin names A/Z: allowed, connections kept.
+        let idx = m.swap_cell("u1", "INVX2", &library).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(m.instances()[0].cell, "INVX2");
+        assert_eq!(m.instances()[0].net_of("A"), Some("a"));
+        m.validate(&library).expect("swap keeps the netlist valid");
+        // NAND2X1 has pins A/B/Z: rejected, netlist untouched.
+        assert!(m.swap_cell("u1", "NAND2X1", &library).is_err());
+        assert_eq!(m.instances()[0].cell, "INVX2");
+        // Unknown instance / cell.
+        assert!(m.swap_cell("ghost", "INVX1", &library).is_err());
+        assert!(m.swap_cell("u1", "GHOST", &library).is_err());
     }
 }

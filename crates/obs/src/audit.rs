@@ -301,7 +301,229 @@ impl AuditTrail {
     /// byte-identical text.
     #[allow(clippy::unused_self)]
     fn l(&self, v: f64) -> String {
-        format!("{v}")
+        fmt_f64(v)
+    }
+
+    /// Diffs this (post-edit) audit against a pre-edit `baseline` and
+    /// returns only what changed: the full corner-delay block (the
+    /// headline numbers, always small) plus the per-instance and
+    /// per-endpoint rows whose values differ.
+    ///
+    /// Rows are compared **bit-exactly** (`f64::to_bits`), not with float
+    /// equality: `-0.0 == 0.0` under `PartialEq` but the two render
+    /// differently, and a delta that misses such a row would no longer
+    /// splice back into a byte-identical report.
+    ///
+    /// Both audits must describe the same design: ECO edits never change
+    /// connectivity, so row counts and row order are invariant. Rows
+    /// beyond the shorter of the two lists are ignored (and debug builds
+    /// assert the lengths match).
+    #[must_use]
+    pub fn delta_from(&self, baseline: &AuditTrail, edits: Vec<String>) -> DeltaAudit {
+        debug_assert_eq!(baseline.instances.len(), self.instances.len());
+        debug_assert_eq!(baseline.paths.len(), self.paths.len());
+        let changed_instances: Vec<(usize, InstanceAudit)> = self
+            .instances
+            .iter()
+            .zip(&baseline.instances)
+            .enumerate()
+            .filter(|(_, (new, old))| !instance_rows_bit_equal(new, old))
+            .map(|(i, (new, _))| (i, new.clone()))
+            .collect();
+        let changed_paths: Vec<(usize, PathAudit)> = self
+            .paths
+            .iter()
+            .zip(&baseline.paths)
+            .enumerate()
+            .filter(|(_, (new, old))| !path_rows_bit_equal(new, old))
+            .map(|(i, (new, _))| (i, new.clone()))
+            .collect();
+        if crate::enabled() {
+            crate::counter!("audit.delta.changed_instances").add(changed_instances.len() as u64);
+            crate::counter!("audit.delta.changed_paths").add(changed_paths.len() as u64);
+        }
+        DeltaAudit {
+            testcase: self.testcase.clone(),
+            baseline_instances: baseline.instances.len(),
+            baseline_paths: baseline.paths.len(),
+            edits,
+            corner_delays: self.corner_delays.clone(),
+            changed_instances,
+            changed_paths,
+        }
+    }
+}
+
+/// Deterministic float rendering shared by the audit renderers.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+impl InstanceAudit {
+    /// Bit-exact row equality (`f64::to_bits`, not float `==`): the
+    /// predicate [`AuditTrail::delta_from`] diffs with, public so an
+    /// incremental audit assembly can build the same delta directly.
+    #[must_use]
+    pub fn bit_eq(&self, other: &InstanceAudit) -> bool {
+        instance_rows_bit_equal(self, other)
+    }
+}
+
+impl PathAudit {
+    /// Bit-exact row equality (`f64::to_bits`, not float `==`); see
+    /// [`InstanceAudit::bit_eq`].
+    #[must_use]
+    pub fn bit_eq(&self, other: &PathAudit) -> bool {
+        path_rows_bit_equal(self, other)
+    }
+}
+
+/// Bit-exact equality of two instance rows (see [`AuditTrail::delta_from`]).
+fn instance_rows_bit_equal(a: &InstanceAudit, b: &InstanceAudit) -> bool {
+    let ta = &a.trim;
+    let tb = &b.trim;
+    a.instance == b.instance
+        && a.cell == b.cell
+        && a.device_class == b.device_class
+        && a.mean_context_l_nm.to_bits() == b.mean_context_l_nm.to_bits()
+        && ta.arc_label == tb.arc_label
+        && ta.l_nominal_nm.to_bits() == tb.l_nominal_nm.to_bits()
+        && ta.bc_before_nm.to_bits() == tb.bc_before_nm.to_bits()
+        && ta.wc_before_nm.to_bits() == tb.wc_before_nm.to_bits()
+        && ta.bc_after_nm.to_bits() == tb.bc_after_nm.to_bits()
+        && ta.wc_after_nm.to_bits() == tb.wc_after_nm.to_bits()
+        && ta.residual_nm.to_bits() == tb.residual_nm.to_bits()
+        && ta.focus_trim_nm.to_bits() == tb.focus_trim_nm.to_bits()
+}
+
+/// Bit-exact equality of two endpoint rows (see [`AuditTrail::delta_from`]).
+fn path_rows_bit_equal(a: &PathAudit, b: &PathAudit) -> bool {
+    a.endpoint == b.endpoint
+        && a.trad_bc_ns.to_bits() == b.trad_bc_ns.to_bits()
+        && a.trad_wc_ns.to_bits() == b.trad_wc_ns.to_bits()
+        && a.aware_bc_ns.to_bits() == b.aware_bc_ns.to_bits()
+        && a.aware_wc_ns.to_bits() == b.aware_wc_ns.to_bits()
+}
+
+/// The part of an audit trail an ECO edit sequence actually changed:
+/// produced by [`AuditTrail::delta_from`], rendered by
+/// [`DeltaAudit::render_text`], and spliced back into a full audit by
+/// [`DeltaAudit::splice_into`].
+///
+/// The splice is *bit-exact*: `new.delta_from(&old, ..).splice_into(&old)`
+/// equals `new` field-for-field, so the delta is a lossless compressed
+/// representation of the post-edit audit relative to its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaAudit {
+    /// Testcase name (matches both audits).
+    pub testcase: String,
+    /// Instance-row count of the baseline audit, for the `k of n` header.
+    pub baseline_instances: usize,
+    /// Endpoint-row count of the baseline audit.
+    pub baseline_paths: usize,
+    /// Human-readable descriptions of the edits that produced the delta,
+    /// in application order.
+    pub edits: Vec<String>,
+    /// The complete post-edit corner-delay block.
+    pub corner_delays: Vec<CornerDelay>,
+    /// Changed per-instance rows as `(index into the full audit, new row)`,
+    /// ascending by index.
+    pub changed_instances: Vec<(usize, InstanceAudit)>,
+    /// Changed per-endpoint rows as `(index into the full audit, new row)`,
+    /// ascending by index.
+    pub changed_paths: Vec<(usize, PathAudit)>,
+}
+
+impl DeltaAudit {
+    /// Whether the edit sequence left every audited value untouched.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.changed_instances.is_empty() && self.changed_paths.is_empty()
+    }
+
+    /// Reconstructs the full post-edit audit by splicing the changed rows
+    /// over a clone of the baseline. Bit-exact inverse of
+    /// [`AuditTrail::delta_from`] against the same baseline.
+    #[must_use]
+    pub fn splice_into(&self, baseline: &AuditTrail) -> AuditTrail {
+        let mut out = baseline.clone();
+        out.corner_delays = self.corner_delays.clone();
+        for (idx, row) in &self.changed_instances {
+            if let Some(slot) = out.instances.get_mut(*idx) {
+                slot.clone_from(row);
+            }
+        }
+        for (idx, row) in &self.changed_paths {
+            if let Some(slot) = out.paths.get_mut(*idx) {
+                slot.clone_from(row);
+            }
+        }
+        out
+    }
+
+    /// Renders the delta as a human-readable report, in the same style
+    /// (and with the same deterministic float formatting) as
+    /// [`AuditTrail::render_text`].
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== svt eco delta audit: {} ==", self.testcase);
+        out.push_str("edits:\n");
+        for (i, edit) in self.edits.iter().enumerate() {
+            let _ = writeln!(out, "  {}. {edit}", i + 1);
+        }
+        out.push_str("corner delays (ns):\n");
+        for c in &self.corner_delays {
+            let _ = writeln!(out, "  {:<24} {}", c.corner, fmt_f64(c.delay_ns));
+        }
+        let _ = writeln!(
+            out,
+            "changed instances: {} of {}",
+            self.changed_instances.len(),
+            self.baseline_instances
+        );
+        for (idx, i) in &self.changed_instances {
+            let t = &i.trim;
+            let _ = writeln!(
+                out,
+                "  [{idx}] {:<12} cell={:<10} class={:<16} arc={:<16} meanL={} nm",
+                i.instance,
+                i.cell,
+                i.device_class,
+                t.arc_label,
+                fmt_f64(i.mean_context_l_nm)
+            );
+            let _ = writeln!(
+                out,
+                "    corners nm: bc {} -> {}, wc {} -> {}  (residual {}, focus trim {})",
+                fmt_f64(t.bc_before_nm),
+                fmt_f64(t.bc_after_nm),
+                fmt_f64(t.wc_before_nm),
+                fmt_f64(t.wc_after_nm),
+                fmt_f64(t.residual_nm),
+                fmt_f64(t.focus_trim_nm)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "changed paths: {} of {}",
+            self.changed_paths.len(),
+            self.baseline_paths
+        );
+        for (idx, p) in &self.changed_paths {
+            let _ = writeln!(
+                out,
+                "  [{idx}] {:<12} trad [{}, {}]  aware [{}, {}]  spread {} -> {}",
+                p.endpoint,
+                fmt_f64(p.trad_bc_ns),
+                fmt_f64(p.trad_wc_ns),
+                fmt_f64(p.aware_bc_ns),
+                fmt_f64(p.aware_wc_ns),
+                fmt_f64(p.spread_before_ns()),
+                fmt_f64(p.spread_after_ns())
+            );
+        }
+        out
     }
 }
 
@@ -435,5 +657,56 @@ mod tests {
         let a = sample();
         assert_eq!(a.render_text(), a.render_text());
         assert_eq!(a.render_json(), a.render_json());
+    }
+
+    #[test]
+    fn delta_captures_exactly_the_changed_rows() {
+        let base = sample();
+        let mut edited = base.clone();
+        edited.instances[0].trim.wc_after_nm = 141.0;
+        edited.paths[0].aware_wc_ns = 1.115;
+        edited.corner_delays[3].delay_ns = 1.115;
+        let delta = edited.delta_from(&base, vec!["swap u1 nand2 -> nand2b".into()]);
+        assert!(!delta.is_noop());
+        assert_eq!(delta.changed_instances.len(), 1);
+        assert_eq!(delta.changed_instances[0].0, 0);
+        assert_eq!(delta.changed_paths.len(), 1);
+        let text = delta.render_text();
+        assert!(text.contains("eco delta audit: c17"));
+        assert!(text.contains("swap u1 nand2 -> nand2b"));
+        assert!(text.contains("changed instances: 1 of 1"));
+        // Unchanged audits produce an empty delta.
+        assert!(base.clone().delta_from(&base, Vec::new()).is_noop());
+    }
+
+    #[test]
+    fn delta_splices_back_bit_exactly() {
+        let base = sample();
+        let mut edited = base.clone();
+        edited.instances[0].trim.bc_after_nm = 123.0;
+        edited.paths[0].trad_wc_ns = 1.5;
+        edited.corner_delays[1].delay_ns = 1.5;
+        let delta = edited.delta_from(&base, vec!["resize".into()]);
+        let spliced = delta.splice_into(&base);
+        assert_eq!(spliced, edited);
+        assert_eq!(spliced.render_text(), edited.render_text());
+        assert_eq!(spliced.render_json(), edited.render_json());
+    }
+
+    #[test]
+    fn delta_sees_sign_of_zero() {
+        // -0.0 == 0.0 under PartialEq but renders differently; the delta
+        // must treat it as a change or splicing breaks byte-identity.
+        let base = sample();
+        let mut edited = base.clone();
+        edited.paths[0].trad_bc_ns = -0.0;
+        let mut negbase = base.clone();
+        negbase.paths[0].trad_bc_ns = 0.0;
+        let delta = edited.delta_from(&negbase, Vec::new());
+        assert_eq!(delta.changed_paths.len(), 1);
+        assert_eq!(
+            delta.splice_into(&negbase).render_text(),
+            edited.render_text()
+        );
     }
 }

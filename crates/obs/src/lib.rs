@@ -5,11 +5,11 @@
 //! * [`metrics`] — lock-free primitives: [`Counter`], [`Gauge`],
 //!   [`Histogram`] (log2 ns buckets), and [`SpanStat`] (count/total/min/max
 //!   per span path). All updates are relaxed atomics.
-//! * [`registry`] — a sharded global [`Registry`] (lock-striped like
+//! * [`mod@registry`] — a sharded global [`Registry`] (lock-striped like
 //!   `svt-exec`'s memo cache) mapping names to leaked `&'static` handles,
 //!   plus cache-telemetry probes registered by the caches themselves.
 //!   Snapshots are name-sorted and render as a tree summary, JSON, or a
-//!   Prometheus-style exposition ([`render`]).
+//!   Prometheus-style exposition (`render`).
 //! * spans — [`span`] returns an RAII guard timing a region with
 //!   `std::time::Instant` (monotonic). Guards nest through a thread-local
 //!   path stack, so `span("flow")` containing `span("corner")` aggregates
@@ -40,6 +40,8 @@
 //! assert!(snapshot.render_summary().contains("demo.work"));
 //! svt_obs::set_mode(svt_obs::TraceMode::Off);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod audit;
 pub mod chrome;

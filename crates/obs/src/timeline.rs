@@ -1,7 +1,7 @@
 //! Event-timeline recording: bounded per-thread ring buffers of
 //! timestamped begin/end/instant events.
 //!
-//! This is the second observability layer (the first — [`crate::registry`]
+//! This is the second observability layer (the first — [`mod@crate::registry`]
 //! — aggregates spans into counters and loses the *when*). The timeline
 //! keeps the raw event stream so a run can be rendered as a
 //! Chrome/Perfetto trace ([`crate::chrome`]) showing worker occupancy,

@@ -14,7 +14,7 @@
 //!   design perfectly".
 //! * **Library-based OPC** ([`LibraryOpc`]) — per-cell-master correction in
 //!   a dummy-poly placement environment (paper Fig. 3, after reference
-//!   [7]), the fast alternative Table 1 compares against full-chip OPC.
+//!   ref. 7), the fast alternative Table 1 compares against full-chip OPC.
 //! * **SRAF insertion** ([`insert_srafs`]) — sub-resolution assist features
 //!   for wide spaces (paper §2 and the §6 future-work extension), with
 //!   printability checking.

@@ -14,7 +14,7 @@ pub struct CorrectedCutline {
     pub report: OpcReport,
 }
 
-/// Library-based OPC (paper Fig. 3, after reference [7]).
+/// Library-based OPC (paper Fig. 3, after their reference 7).
 ///
 /// Instead of correcting every placed instance, each cell *master* is
 /// corrected once inside an emulated placement environment: dummy poly

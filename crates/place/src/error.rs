@@ -30,6 +30,11 @@ pub enum PlaceError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An incremental placement edit was rejected.
+    InvalidEdit {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -45,6 +50,7 @@ impl fmt::Display for PlaceError {
                 write!(f, "def parse error at line {line}: {reason}")
             }
             PlaceError::Mismatch { reason } => write!(f, "placement/netlist mismatch: {reason}"),
+            PlaceError::InvalidEdit { reason } => write!(f, "invalid placement edit: {reason}"),
         }
     }
 }

@@ -3,6 +3,7 @@ use serde::{Deserialize, Serialize};
 use svt_netlist::MappedNetlist;
 use svt_stdcell::{CellContext, ContextBin, DeviceId, Library, Region};
 
+use crate::placer::PlacementRow;
 use crate::{PlaceError, Placement};
 
 /// The four neighbor-poly spacings of one placed instance (paper Fig. 4):
@@ -78,35 +79,8 @@ impl Placement {
             };
             netlist.instances().len()
         ];
-        // Boundary devices per instance and region: leftmost / rightmost.
-        // Group sites per instance.
         for (idx, nps) in out.iter_mut().enumerate() {
-            for region in [Region::P, Region::N] {
-                let row_devices: Vec<&DeviceSite> = sites
-                    .iter()
-                    .filter(|s| s.instance == idx && s.region == region)
-                    .collect();
-                let Some(leftmost) = row_devices
-                    .iter()
-                    .min_by(|a, b| a.span_abs.0.total_cmp(&b.span_abs.0))
-                else {
-                    continue;
-                };
-                let rightmost = row_devices
-                    .iter()
-                    .max_by(|a, b| a.span_abs.1.total_cmp(&b.span_abs.1))
-                    .expect("nonempty");
-                match region {
-                    Region::P => {
-                        nps.lt = leftmost.left_space;
-                        nps.rt = rightmost.right_space;
-                    }
-                    Region::N => {
-                        nps.lb = leftmost.left_space;
-                        nps.rb = rightmost.right_space;
-                    }
-                }
-            }
+            *nps = instance_nps_from_sites(idx, &sites);
         }
         Ok(out)
     }
@@ -143,46 +117,111 @@ impl Placement {
     ) -> Result<Vec<DeviceSite>, PlaceError> {
         let mut sites = Vec::new();
         for row in self.rows() {
-            for region in [Region::P, Region::N] {
-                let mut row_sites: Vec<DeviceSite> = Vec::new();
-                for &m in &row.members {
-                    let p = &self.placed()[m];
-                    let inst = &netlist.instances()[p.instance];
-                    let cell = library
-                        .cell(&inst.cell)
-                        .ok_or_else(|| PlaceError::UnknownCell {
-                            instance: inst.name.clone(),
-                            cell: inst.cell.clone(),
-                        })?;
-                    for (id, d) in cell.layout().devices_in(region) {
-                        let (lo, hi) = d.span();
-                        row_sites.push(DeviceSite {
-                            instance: p.instance,
-                            device: id,
-                            region,
-                            row: row.index,
-                            span_abs: (p.x_nm + lo, p.x_nm + hi),
-                            left_space: None,
-                            right_space: None,
-                        });
-                    }
-                }
-                row_sites.sort_by(|a, b| a.span_abs.0.total_cmp(&b.span_abs.0));
-                let n = row_sites.len();
-                for k in 0..n {
-                    if k > 0 {
-                        row_sites[k].left_space =
-                            Some(row_sites[k].span_abs.0 - row_sites[k - 1].span_abs.1);
-                    }
-                    if k + 1 < n {
-                        row_sites[k].right_space =
-                            Some(row_sites[k + 1].span_abs.0 - row_sites[k].span_abs.1);
-                    }
-                }
-                sites.extend(row_sites);
+            self.row_device_sites(row, netlist, library, &mut sites)?;
+        }
+        Ok(sites)
+    }
+
+    /// [`Placement::device_sites`] restricted to the listed rows (any
+    /// order; duplicates ignored), in placement row order.
+    ///
+    /// Spans and neighbor spacings are row-local computations, so for
+    /// the listed rows the result agrees bit-for-bit with the slice of a
+    /// full-design extraction — the property the incremental (ECO) flow
+    /// relies on when it re-extracts only the rows an edit touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::UnknownCell`] if an instance's cell is
+    /// missing from the library.
+    pub fn device_sites_in_rows(
+        &self,
+        rows: &[usize],
+        netlist: &MappedNetlist,
+        library: &Library,
+    ) -> Result<Vec<DeviceSite>, PlaceError> {
+        let mut sites = Vec::new();
+        for row in self.rows() {
+            if rows.contains(&row.index) {
+                self.row_device_sites(row, netlist, library, &mut sites)?;
             }
         }
         Ok(sites)
+    }
+
+    /// The placement contexts of every instance placed in the listed
+    /// rows, as `(instance index, context)` pairs sorted by instance
+    /// index — the row-scoped counterpart of
+    /// [`Placement::instance_contexts`], and bit-identical to it for the
+    /// covered instances (see [`Placement::device_sites_in_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Placement::instance_nps`].
+    pub fn instance_contexts_in_rows(
+        &self,
+        rows: &[usize],
+        netlist: &MappedNetlist,
+        library: &Library,
+    ) -> Result<Vec<(usize, CellContext)>, PlaceError> {
+        let sites = self.device_sites_in_rows(rows, netlist, library)?;
+        let mut idxs: Vec<usize> = sites.iter().map(|s| s.instance).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        Ok(idxs
+            .into_iter()
+            .map(|idx| (idx, instance_nps_from_sites(idx, &sites).context()))
+            .collect())
+    }
+
+    /// Flattens one row's devices (both regions) with absolute spans and
+    /// within-row neighbor spacings, appending to `out`.
+    fn row_device_sites(
+        &self,
+        row: &PlacementRow,
+        netlist: &MappedNetlist,
+        library: &Library,
+        out: &mut Vec<DeviceSite>,
+    ) -> Result<(), PlaceError> {
+        for region in [Region::P, Region::N] {
+            let mut row_sites: Vec<DeviceSite> = Vec::new();
+            for &m in &row.members {
+                let p = &self.placed()[m];
+                let inst = &netlist.instances()[p.instance];
+                let cell = library
+                    .cell(&inst.cell)
+                    .ok_or_else(|| PlaceError::UnknownCell {
+                        instance: inst.name.clone(),
+                        cell: inst.cell.clone(),
+                    })?;
+                for (id, d) in cell.layout().devices_in(region) {
+                    let (lo, hi) = d.span();
+                    row_sites.push(DeviceSite {
+                        instance: p.instance,
+                        device: id,
+                        region,
+                        row: row.index,
+                        span_abs: (p.x_nm + lo, p.x_nm + hi),
+                        left_space: None,
+                        right_space: None,
+                    });
+                }
+            }
+            row_sites.sort_by(|a, b| a.span_abs.0.total_cmp(&b.span_abs.0));
+            let n = row_sites.len();
+            for k in 0..n {
+                if k > 0 {
+                    row_sites[k].left_space =
+                        Some(row_sites[k].span_abs.0 - row_sites[k - 1].span_abs.1);
+                }
+                if k + 1 < n {
+                    row_sites[k].right_space =
+                        Some(row_sites[k + 1].span_abs.0 - row_sites[k].span_abs.1);
+                }
+            }
+            out.extend(row_sites);
+        }
+        Ok(())
     }
 
     /// The absolute poly gate spans of one row's cutline (for full-chip
@@ -220,6 +259,44 @@ impl Placement {
         spans.sort_by(|a, b| a.0.total_cmp(&b.0));
         Ok(spans)
     }
+}
+
+/// Boundary-device aggregation of one instance's sites: the leftmost /
+/// rightmost device per region supplies the four corner spacings.
+fn instance_nps_from_sites(idx: usize, sites: &[DeviceSite]) -> InstanceNps {
+    let mut nps = InstanceNps {
+        lt: None,
+        rt: None,
+        lb: None,
+        rb: None,
+    };
+    for region in [Region::P, Region::N] {
+        let row_devices: Vec<&DeviceSite> = sites
+            .iter()
+            .filter(|s| s.instance == idx && s.region == region)
+            .collect();
+        let Some(leftmost) = row_devices
+            .iter()
+            .min_by(|a, b| a.span_abs.0.total_cmp(&b.span_abs.0))
+        else {
+            continue;
+        };
+        let rightmost = row_devices
+            .iter()
+            .max_by(|a, b| a.span_abs.1.total_cmp(&b.span_abs.1))
+            .expect("nonempty");
+        match region {
+            Region::P => {
+                nps.lt = leftmost.left_space;
+                nps.rt = rightmost.right_space;
+            }
+            Region::N => {
+                nps.lb = leftmost.left_space;
+                nps.rb = rightmost.right_space;
+            }
+        }
+    }
+    nps
 }
 
 #[cfg(test)]
@@ -306,6 +383,37 @@ mod tests {
             assert!(l_nps.lt.is_none(), "leftmost cell has no left neighbor");
             assert!(r_nps.rt.is_none());
         }
+    }
+
+    #[test]
+    fn row_scoped_extraction_matches_the_full_design() {
+        let (mapped, lib, placement) = setup();
+        let full_sites = placement.device_sites(&mapped, &lib).unwrap();
+        let full_contexts = placement.instance_contexts(&mapped, &lib).unwrap();
+        for row in [0usize, 1, placement.rows().len() - 1] {
+            let subset = placement
+                .device_sites_in_rows(&[row], &mapped, &lib)
+                .unwrap();
+            let expected: Vec<&DeviceSite> = full_sites.iter().filter(|s| s.row == row).collect();
+            assert_eq!(subset.len(), expected.len(), "row {row} site count");
+            for (s, e) in subset.iter().zip(expected) {
+                assert_eq!(s, e, "row {row} site mismatch");
+            }
+            let ctxs = placement
+                .instance_contexts_in_rows(&[row], &mapped, &lib)
+                .unwrap();
+            assert!(!ctxs.is_empty());
+            for (idx, ctx) in ctxs {
+                assert_eq!(ctx, full_contexts[idx], "context of instance {idx}");
+            }
+        }
+        // Multi-row subsets cover every member instance exactly once.
+        let two = placement
+            .instance_contexts_in_rows(&[0, 1], &mapped, &lib)
+            .unwrap();
+        let mut seen: Vec<usize> = two.iter().map(|(i, _)| *i).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), two.len(), "sorted unique instance list");
     }
 
     #[test]

@@ -104,6 +104,70 @@ impl Placement {
         self.placed.iter().find(|p| p.instance == instance)
     }
 
+    /// Records a new cell master for a placed instance (ECO cell swap).
+    ///
+    /// Position is unchanged; geometric legality (e.g. a wider master
+    /// overlapping its right-hand neighbor) is the editor's concern —
+    /// this is a dumb bookkeeping update so `svt-eco` can validate
+    /// against library widths *before* committing.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::InvalidEdit`] if the instance is not placed.
+    pub fn set_cell(&mut self, instance: usize, cell: &str) -> Result<(), PlaceError> {
+        let p_idx = self.placed_index(instance)?;
+        self.placed[p_idx].cell = cell.to_string();
+        Ok(())
+    }
+
+    /// Moves a placed instance to `x_nm` within its current row (ECO
+    /// spacing adjustment), keeping the row's member list sorted left to
+    /// right. Overlap legality is the editor's concern.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::InvalidEdit`] if the instance is not placed.
+    pub fn move_within_row(&mut self, instance: usize, x_nm: f64) -> Result<(), PlaceError> {
+        let p_idx = self.placed_index(instance)?;
+        let row = self.placed[p_idx].row;
+        self.relocate(instance, row, x_nm)
+    }
+
+    /// Moves a placed instance to (`row`, `x_nm`), keeping both rows'
+    /// member lists sorted left to right. Overlap legality is the
+    /// editor's concern.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::InvalidEdit`] if the instance is not placed or the
+    /// row does not exist.
+    pub fn relocate(&mut self, instance: usize, row: usize, x_nm: f64) -> Result<(), PlaceError> {
+        let p_idx = self.placed_index(instance)?;
+        if row >= self.rows.len() {
+            return Err(PlaceError::InvalidEdit {
+                reason: format!("row {row} out of range ({} rows)", self.rows.len()),
+            });
+        }
+        let old_row = self.placed[p_idx].row;
+        self.rows[old_row].members.retain(|&m| m != p_idx);
+        self.placed[p_idx].row = row;
+        self.placed[p_idx].x_nm = x_nm;
+        let placed = &self.placed;
+        let members = &mut self.rows[row].members;
+        let at = members.partition_point(|&m| placed[m].x_nm <= x_nm);
+        members.insert(at, p_idx);
+        Ok(())
+    }
+
+    fn placed_index(&self, instance: usize) -> Result<usize, PlaceError> {
+        self.placed
+            .iter()
+            .position(|p| p.instance == instance)
+            .ok_or_else(|| PlaceError::InvalidEdit {
+                reason: format!("instance index {instance} is not placed"),
+            })
+    }
+
     /// Achieved utilization: total cell width over total row extent.
     #[must_use]
     pub fn utilization(&self, library: &Library) -> f64 {
@@ -358,6 +422,47 @@ mod tests {
             ..PlacementOptions::default()
         };
         assert!(place(&mapped, &lib, &bad).is_err());
+    }
+
+    #[test]
+    fn edits_keep_rows_sorted() {
+        let (_, _, mut placement) = c432_placement();
+        // Move the first member of row 0 past its right neighbor.
+        let row0 = placement.rows()[0].clone();
+        assert!(row0.members.len() >= 3, "row 0 too small to test");
+        let first = row0.members[0];
+        let third = row0.members[2];
+        let inst = placement.placed()[first].instance;
+        let target_x = placement.placed()[third].x_nm + 5000.0;
+        placement.move_within_row(inst, target_x).unwrap();
+        for row in placement.rows() {
+            let mut last = f64::NEG_INFINITY;
+            for &m in &row.members {
+                let x = placement.placed()[m].x_nm;
+                assert!(x >= last, "row {} member order broken", row.index);
+                last = x;
+            }
+        }
+        assert_eq!(placement.of_instance(inst).unwrap().x_nm, target_x);
+    }
+
+    #[test]
+    fn relocate_moves_between_rows() {
+        let (_, _, mut placement) = c432_placement();
+        let inst = placement.rows()[0].members[0];
+        let inst = placement.placed()[inst].instance;
+        let old_count_r1 = placement.rows()[1].members.len();
+        placement.relocate(inst, 1, 40.0).unwrap();
+        let p = placement.of_instance(inst).unwrap();
+        assert_eq!((p.row, p.x_nm), (1, 40.0));
+        assert_eq!(placement.rows()[1].members.len(), old_count_r1 + 1);
+        assert!(!placement.rows()[0]
+            .members
+            .iter()
+            .any(|&m| placement.placed()[m].instance == inst));
+        // Bad edits are rejected.
+        assert!(placement.relocate(inst, 10_000, 0.0).is_err());
+        assert!(placement.set_cell(usize::MAX, "INVX1").is_err());
     }
 
     #[test]

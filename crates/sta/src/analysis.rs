@@ -1,10 +1,12 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use svt_netlist::MappedNetlist;
 use svt_stdcell::Library;
 
+use crate::incremental::{StaState, Topology};
 use crate::report::{NetTiming, TimingReport};
 use crate::{CellBinding, StaError};
 
@@ -81,51 +83,47 @@ pub fn analyze_with_wire_caps(
     options: &TimingOptions,
     wire_caps_pf: &HashMap<String, f64>,
 ) -> Result<TimingReport, StaError> {
+    analyze_full_with_wire_caps(netlist, binding, options, wire_caps_pf).map(StaState::into_report)
+}
+
+/// Like [`analyze`], but returns the full [`StaState`] (report plus the
+/// net loads, per-arc delays, and completion order) so the analysis can
+/// later be advanced incrementally with
+/// [`analyze_incremental`](crate::analyze_incremental).
+///
+/// # Errors
+///
+/// See [`analyze`].
+pub fn analyze_full(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+) -> Result<StaState, StaError> {
+    analyze_full_with_wire_caps(netlist, binding, options, &HashMap::new())
+}
+
+/// [`analyze_full`] with explicit per-net wire capacitances (pF).
+///
+/// # Errors
+///
+/// See [`analyze`].
+pub fn analyze_full_with_wire_caps(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    wire_caps_pf: &HashMap<String, f64>,
+) -> Result<StaState, StaError> {
     let _span = svt_obs::span("sta.analyze");
     // Marks the start of one STA wave on the Chrome timeline, so the
     // per-corner analyses inside a parallel batch are tellable apart.
     svt_obs::instant("sta.wave");
-    if options.primary_input_slew_ns <= 0.0
-        || options.output_load_pf < 0.0
-        || options.wire_cap_per_fanout_pf < 0.0
-    {
-        return Err(StaError::InvalidOptions {
-            reason: "boundary slew must be positive and loads non-negative".into(),
-        });
-    }
-    if binding.cells().len() != netlist.instances().len() {
-        return Err(StaError::InvalidBinding {
-            reason: "binding does not cover the netlist".into(),
-        });
-    }
-
-    // Net loads: sink pin caps + wire cap per fanout + PO load.
-    let mut loads: HashMap<String, f64> = HashMap::new();
-    for (idx, inst) in netlist.instances().iter().enumerate() {
-        let cell = binding.cell(idx);
-        for pin in &cell.pins {
-            if pin.capacitance_pf > 0.0 {
-                if let Some(net) = inst.net_of(&pin.name) {
-                    *loads.entry(net.to_string()).or_default() +=
-                        pin.capacitance_pf + options.wire_cap_per_fanout_pf;
-                }
-            }
-        }
-    }
-    for po in netlist.outputs() {
-        *loads.entry(po.clone()).or_default() += options.output_load_pf;
-    }
-    for (net, cap) in wire_caps_pf {
-        if *cap < 0.0 {
-            return Err(StaError::InvalidOptions {
-                reason: format!("negative wire cap on net `{net}`"),
-            });
-        }
-        *loads.entry(net.clone()).or_default() += cap;
-    }
+    validate(netlist, binding, options)?;
+    let topo = Arc::new(Topology::build(netlist, binding)?);
+    let (loads, extra_loads) = compute_loads(netlist, binding, options, wire_caps_pf, &topo)?;
 
     // Net timing state.
     let mut nets: HashMap<String, NetTiming> = HashMap::new();
+    let mut resolved = vec![false; topo.net_names.len()];
     for pi in netlist.inputs() {
         nets.insert(
             pi.clone(),
@@ -135,6 +133,9 @@ pub fn analyze_with_wire_caps(
                 from: None,
             },
         );
+        if let Some(&id) = topo.net_ids.get(pi) {
+            resolved[id as usize] = true;
+        }
     }
 
     // Levelize instances by input readiness (Kahn's algorithm over the
@@ -143,109 +144,40 @@ pub fn analyze_with_wire_caps(
     let mut unresolved: Vec<usize> = Vec::with_capacity(netlist.instances().len());
     for (idx, inst) in netlist.instances().iter().enumerate() {
         let cell = binding.cell(idx);
-        let count = input_pins(cell)
-            .filter(|pin| {
-                inst.net_of(pin)
-                    .map(|net| !nets.contains_key(net))
-                    .unwrap_or(false)
-            })
-            .count();
+        let mut count = 0usize;
+        for pin in &cell.pins {
+            if pin.capacitance_pf <= 0.0 {
+                continue;
+            }
+            // Connected: Topology::build rejected unconnected input pins.
+            if let Some(conn) = inst.connections.iter().position(|(p, _)| *p == pin.name) {
+                if !resolved[topo.conn_ids[idx][conn] as usize] {
+                    count += 1;
+                }
+            }
+        }
         unresolved.push(count);
         if count == 0 {
             pending.push(idx);
         }
     }
 
-    // Net -> sink instances, for readiness decrements.
-    let mut net_users: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (idx, inst) in netlist.instances().iter().enumerate() {
-        let cell = binding.cell(idx);
-        for pin in input_pins(cell) {
-            if let Some(net) = inst.net_of(&pin) {
-                net_users.entry(net).or_default().push(idx);
-            }
-        }
-    }
-
-    let pick = |a: f64, b: f64| match options.mode {
-        AnalysisMode::Late => a.max(b),
-        AnalysisMode::Early => a.min(b),
-    };
-
     let mut evaluated = 0usize;
     let mut completion_order: Vec<usize> = Vec::with_capacity(netlist.instances().len());
-    // (input net, delay) per evaluated arc, keyed by instance, for the
-    // backward required-time pass.
-    let mut arc_delays: Vec<Vec<(String, f64)>> = vec![Vec::new(); netlist.instances().len()];
+    // (input net id, delay) per evaluated arc, keyed by instance, for
+    // the backward required-time pass.
+    let mut arc_delays: Vec<Vec<(u32, f64)>> = vec![Vec::new(); netlist.instances().len()];
     while let Some(idx) = pending.pop() {
         evaluated += 1;
         completion_order.push(idx);
-        let inst = &netlist.instances()[idx];
-        let cell = binding.cell(idx);
-        let out_pin = cell
-            .pins
-            .iter()
-            .find(|p| p.capacitance_pf == 0.0)
-            .ok_or_else(|| StaError::MissingTiming {
-                instance: inst.name.clone(),
-                reason: "variant has no output pin".into(),
-            })?;
-        let out_net = inst
-            .net_of(&out_pin.name)
-            .ok_or_else(|| StaError::MissingTiming {
-                instance: inst.name.clone(),
-                reason: "output pin unconnected".into(),
-            })?;
-        let load = loads.get(out_net).copied().unwrap_or(0.0);
-
-        let mut best: Option<NetTiming> = None;
-        let mut merged_slew: Option<f64> = None;
-        for pin in input_pins(cell) {
-            let in_net = inst.net_of(&pin).ok_or_else(|| StaError::MissingTiming {
-                instance: inst.name.clone(),
-                reason: format!("input pin `{pin}` unconnected"),
-            })?;
-            let upstream = nets
-                .get(in_net)
-                .expect("readiness counting guarantees resolved inputs");
-            let arc = cell.arc_from(&pin).ok_or_else(|| StaError::MissingTiming {
-                instance: inst.name.clone(),
-                reason: format!("no arc from pin `{pin}`"),
-            })?;
-            let delay = arc.delay.lookup(upstream.slew_ns, load);
-            let slew = arc.output_slew.lookup(upstream.slew_ns, load);
-            let arrival = upstream.arrival_ns + delay;
-            arc_delays[idx].push((in_net.to_string(), delay));
-            // Slew merges independently of the arrival winner (classic
-            // worst-slew propagation).
-            merged_slew = Some(match merged_slew {
-                None => slew,
-                Some(s) => pick(s, slew),
-            });
-            let replace = match &best {
-                None => true,
-                Some(cur) => pick(cur.arrival_ns, arrival) == arrival,
-            };
-            if replace {
-                best = Some(NetTiming {
-                    arrival_ns: arrival,
-                    slew_ns: slew,
-                    from: Some((idx, pin.clone(), in_net.to_string())),
-                });
-            }
-        }
-        let mut timing = best.ok_or_else(|| StaError::MissingTiming {
-            instance: inst.name.clone(),
-            reason: "no input pins".into(),
-        })?;
-        timing.slew_ns = merged_slew.expect("best implies at least one arc");
-        nets.insert(out_net.to_string(), timing);
-        if let Some(users) = net_users.get(out_net) {
-            for &u in users {
-                unresolved[u] -= 1;
-                if unresolved[u] == 0 {
-                    pending.push(u);
-                }
+        let (out_id, timing, arcs) =
+            evaluate_instance(netlist, binding, idx, &topo, &loads, &nets, options.mode)?;
+        arc_delays[idx] = arcs;
+        nets.insert(topo.net_names[out_id as usize].clone(), timing);
+        for &u in &topo.users_of[out_id as usize] {
+            unresolved[u as usize] -= 1;
+            if unresolved[u as usize] == 0 {
+                pending.push(u as usize);
             }
         }
     }
@@ -270,44 +202,190 @@ pub fn analyze_with_wire_caps(
             *entry = entry.min(period);
         }
         for &idx in completion_order.iter().rev() {
-            let inst = &netlist.instances()[idx];
-            let cell = binding.cell(idx);
-            let out_pin = cell
-                .pins
-                .iter()
-                .find(|p| p.capacitance_pf == 0.0)
-                .expect("validated in the forward pass");
-            let Some(out_net) = inst.net_of(&out_pin.name) else {
-                continue;
-            };
-            let Some(&r_out) = required.get(out_net) else {
+            let out_name = &topo.net_names[topo.out_net[idx] as usize];
+            let Some(&r_out) = required.get(out_name.as_str()) else {
                 continue; // net drives nothing timed
             };
-            for (in_net, delay) in &arc_delays[idx] {
+            for &(in_id, delay) in &arc_delays[idx] {
                 let candidate = r_out - delay;
                 required
-                    .entry(in_net.clone())
+                    .entry(topo.net_names[in_id as usize].clone())
                     .and_modify(|r| *r = r.min(candidate))
                     .or_insert(candidate);
             }
         }
     }
 
-    Ok(TimingReport::new(
+    let report = TimingReport::new(
         netlist.name().to_string(),
         nets,
         netlist.outputs().to_vec(),
         options.mode,
         required,
+    );
+    Ok(StaState::new(
+        report,
+        loads,
+        extra_loads,
+        arc_delays,
+        completion_order,
+        topo,
     ))
 }
 
-/// Input pin names of a characterized cell.
-fn input_pins(cell: &svt_stdcell::CharacterizedCell) -> impl Iterator<Item = String> + '_ {
-    cell.pins
-        .iter()
-        .filter(|p| p.capacitance_pf > 0.0)
-        .map(|p| p.name.clone())
+/// Boundary-condition and binding-shape checks shared by the full and
+/// incremental analyses.
+pub(crate) fn validate(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+) -> Result<(), StaError> {
+    if options.primary_input_slew_ns <= 0.0
+        || options.output_load_pf < 0.0
+        || options.wire_cap_per_fanout_pf < 0.0
+    {
+        return Err(StaError::InvalidOptions {
+            reason: "boundary slew must be positive and loads non-negative".into(),
+        });
+    }
+    if binding.cells().len() != netlist.instances().len() {
+        return Err(StaError::InvalidBinding {
+            reason: "binding does not cover the netlist".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Net loads (indexed by topology net id): sink pin caps + wire cap per
+/// fanout + PO load + explicit wire caps, accumulated in instance
+/// order. Wire caps on nets outside the netlist come back separately
+/// (sorted by name) — nothing in the design can observe them.
+///
+/// The incremental analysis recomputes this vector from scratch on
+/// every update and bit-diffs it against the previous one: summation
+/// order is the only order-sensitive floating-point arithmetic in the
+/// timer, so sharing this exact accumulation sequence is what makes
+/// incremental results bit-identical to a full rebuild.
+#[allow(clippy::type_complexity)]
+pub(crate) fn compute_loads(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    wire_caps_pf: &HashMap<String, f64>,
+    topo: &Topology,
+) -> Result<(Vec<f64>, Vec<(String, f64)>), StaError> {
+    let mut loads = vec![0.0_f64; topo.net_names.len()];
+    for (idx, inst) in netlist.instances().iter().enumerate() {
+        let cell = binding.cell(idx);
+        for pin in &cell.pins {
+            if pin.capacitance_pf > 0.0 {
+                if let Some(conn) = inst.connections.iter().position(|(p, _)| *p == pin.name) {
+                    loads[topo.conn_ids[idx][conn] as usize] +=
+                        pin.capacitance_pf + options.wire_cap_per_fanout_pf;
+                }
+            }
+        }
+    }
+    for &po in &topo.po_ids {
+        loads[po as usize] += options.output_load_pf;
+    }
+    let mut extra: Vec<(String, f64)> = Vec::new();
+    for (net, cap) in wire_caps_pf {
+        if *cap < 0.0 {
+            return Err(StaError::InvalidOptions {
+                reason: format!("negative wire cap on net `{net}`"),
+            });
+        }
+        match topo.net_ids.get(net) {
+            Some(&id) => loads[id as usize] += cap,
+            None => extra.push((net.clone(), *cap)),
+        }
+    }
+    extra.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((loads, extra))
+}
+
+/// One evaluated instance: its output net id, the timing on that net,
+/// and the per-input arc delays as `(input net id, delay_ns)` pairs.
+pub(crate) type InstanceEval = (u32, NetTiming, Vec<(u32, f64)>);
+
+/// Evaluates one instance against resolved upstream net timings: arc
+/// delay/slew lookups, worst-slew merge, and the arrival pick. Pure in
+/// `(binding.cell(idx), upstream timings, loads)` — the incremental
+/// analysis re-runs exactly this function for dirty instances, which is
+/// why cone-limited recomputation is bit-identical to a full pass.
+pub(crate) fn evaluate_instance(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    idx: usize,
+    topo: &Topology,
+    loads: &[f64],
+    nets: &HashMap<String, NetTiming>,
+    mode: AnalysisMode,
+) -> Result<InstanceEval, StaError> {
+    let pick = |a: f64, b: f64| match mode {
+        AnalysisMode::Late => a.max(b),
+        AnalysisMode::Early => a.min(b),
+    };
+    let inst = &netlist.instances()[idx];
+    let cell = binding.cell(idx);
+    let out_id = topo.out_net[idx];
+    let load = loads[out_id as usize];
+
+    let mut arcs: Vec<(u32, f64)> = Vec::new();
+    let mut best: Option<NetTiming> = None;
+    let mut merged_slew: Option<f64> = None;
+    for pin in &cell.pins {
+        if pin.capacitance_pf <= 0.0 {
+            continue;
+        }
+        let conn = inst
+            .connections
+            .iter()
+            .position(|(p, _)| *p == pin.name)
+            .ok_or_else(|| StaError::MissingTiming {
+                instance: inst.name.clone(),
+                reason: format!("input pin `{}` unconnected", pin.name),
+            })?;
+        let (pin_name, in_net) = &inst.connections[conn];
+        let in_id = topo.conn_ids[idx][conn];
+        let upstream = nets
+            .get(in_net.as_str())
+            .expect("readiness counting guarantees resolved inputs");
+        let arc = cell
+            .arc_from(pin_name)
+            .ok_or_else(|| StaError::MissingTiming {
+                instance: inst.name.clone(),
+                reason: format!("no arc from pin `{pin_name}`"),
+            })?;
+        let delay = arc.delay.lookup(upstream.slew_ns, load);
+        let slew = arc.output_slew.lookup(upstream.slew_ns, load);
+        let arrival = upstream.arrival_ns + delay;
+        arcs.push((in_id, delay));
+        // Slew merges independently of the arrival winner (classic
+        // worst-slew propagation).
+        merged_slew = Some(match merged_slew {
+            None => slew,
+            Some(s) => pick(s, slew),
+        });
+        let replace = match &best {
+            None => true,
+            Some(cur) => pick(cur.arrival_ns, arrival) == arrival,
+        };
+        if replace {
+            best = Some(NetTiming {
+                arrival_ns: arrival,
+                slew_ns: slew,
+                from: Some((idx, pin_name.clone(), in_net.clone())),
+            });
+        }
+    }
+    let mut timing = best.ok_or_else(|| StaError::MissingTiming {
+        instance: inst.name.clone(),
+        reason: "no input pins".into(),
+    })?;
+    timing.slew_ns = merged_slew.expect("best implies at least one arc");
+    Ok((out_id, timing, arcs))
 }
 
 /// Convenience: nominal-corner analysis straight from a library.

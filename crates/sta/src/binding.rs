@@ -74,24 +74,74 @@ impl CellBinding {
         library: &Library,
         gate_length_nm: f64,
     ) -> Result<CellBinding, StaError> {
-        let opts = CharacterizeOptions::default();
         let mut cells = Vec::with_capacity(netlist.instances().len());
         for inst in netlist.instances() {
-            let cell = library
-                .cell(&inst.cell)
-                .ok_or_else(|| StaError::InvalidBinding {
-                    reason: format!("instance `{}` uses unknown cell `{}`", inst.name, inst.cell),
+            let characterized = Self::uniform_scaled_cell(library, &inst.cell, gate_length_nm)
+                .map_err(|e| StaError::InvalidBinding {
+                    reason: format!("instance `{}`: {e}", inst.name),
                 })?;
-            let lengths = vec![gate_length_nm; cell.layout().devices().len()];
-            let variant = format!("{}_L{gate_length_nm}", cell.name());
-            let characterized = characterize(cell, &lengths, &variant, opts).map_err(|e| {
-                StaError::InvalidBinding {
-                    reason: format!("characterization failed for `{}`: {e}", inst.name),
-                }
-            })?;
             cells.push(characterized);
         }
         CellBinding::new(netlist, cells)
+    }
+
+    /// Characterizes one library cell with *all* devices at
+    /// `gate_length_nm` — the per-cell recipe behind
+    /// [`CellBinding::uniform_scaled`], exposed so incremental flows can
+    /// rebind a single edited instance bit-identically to a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidBinding`] if the library does not
+    /// contain `cell_name` or characterization fails.
+    pub fn uniform_scaled_cell(
+        library: &Library,
+        cell_name: &str,
+        gate_length_nm: f64,
+    ) -> Result<CharacterizedCell, StaError> {
+        let cell = library
+            .cell(cell_name)
+            .ok_or_else(|| StaError::InvalidBinding {
+                reason: format!("unknown cell `{cell_name}`"),
+            })?;
+        let lengths = vec![gate_length_nm; cell.layout().devices().len()];
+        let variant = format!("{}_L{gate_length_nm}", cell.name());
+        characterize(cell, &lengths, &variant, CharacterizeOptions::default()).map_err(|e| {
+            StaError::InvalidBinding {
+                reason: format!("characterization failed for `{cell_name}`: {e}"),
+            }
+        })
+    }
+
+    /// Replaces the variant bound to instance `idx` (incremental
+    /// rebinding after an ECO edit re-characterizes one instance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidBinding`] if `idx` is out of range or
+    /// the variant's master does not match the instance's current cell.
+    pub fn replace(
+        &mut self,
+        netlist: &MappedNetlist,
+        idx: usize,
+        cell: CharacterizedCell,
+    ) -> Result<(), StaError> {
+        let inst = netlist
+            .instances()
+            .get(idx)
+            .ok_or_else(|| StaError::InvalidBinding {
+                reason: format!("instance index {idx} out of range"),
+            })?;
+        if inst.cell != cell.cell_name {
+            return Err(StaError::InvalidBinding {
+                reason: format!(
+                    "instance `{}` is a {} but was rebound to a {} variant",
+                    inst.name, inst.cell, cell.cell_name
+                ),
+            });
+        }
+        self.cells[idx] = cell;
+        Ok(())
     }
 
     /// The variant bound to instance `idx`.

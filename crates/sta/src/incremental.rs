@@ -1,0 +1,671 @@
+//! Cone-limited incremental timing analysis.
+//!
+//! [`analyze_full`](crate::analyze_full) returns a [`StaState`] — the
+//! timing report plus the internal products a re-analysis needs (the
+//! interned netlist topology, net loads, per-arc delays, completion
+//! order). [`analyze_incremental`] advances that state after a small
+//! netlist/binding edit by recomputing only the affected cones:
+//!
+//! * **forward (fan-out) cone** — arrival times and slews of every net
+//!   reachable from a changed instance,
+//! * **backward (fan-in) cone** — required times of every net from which
+//!   a changed instance is reachable.
+//!
+//! The result is *bit-identical* to a from-scratch
+//! [`analyze`](crate::analyze) of the edited design, by construction:
+//!
+//! 1. Per-instance evaluation is a pure function of the bound variant,
+//!    the upstream net timings, and the output load — dirty instances
+//!    re-run exactly the shared evaluation routine, in a valid
+//!    topological order (the stored completion order; edits never change
+//!    connectivity).
+//! 2. Arrival/required merges are max/min *selections*, which are
+//!    order-insensitive for the non-NaN values the timer produces.
+//! 3. The only order-sensitive floating-point arithmetic in the timer is
+//!    the net-load accumulation — so the load vector is recomputed from
+//!    scratch in the canonical order on every update (O(pins), cheap)
+//!    and bit-diffed against the previous one to discover nets whose
+//!    drivers must be re-evaluated (e.g. a cell swap changing input pin
+//!    capacitance slows the *upstream* driver).
+//!
+//! Everything the per-update passes touch repeatedly is integer-keyed:
+//! [`Topology`] interns net names once per full analysis, so the
+//! incremental path does no string hashing beyond an O(connections)
+//! equality sweep that verifies connectivity is unchanged. That keeps
+//! the per-update fixed cost small enough for the `svt-eco` latency
+//! target (a single-cell ECO must re-sign-off ≥ 10× faster than a warm
+//! full rebuild).
+//!
+//! The equivalence is enforced by the `svt-eco` differential test, which
+//! compares incremental sessions against full rebuilds bit-for-bit
+//! across `SVT_THREADS` settings.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svt_netlist::MappedNetlist;
+
+use crate::analysis::{compute_loads, evaluate_instance, validate};
+use crate::report::TimingReport;
+use crate::{CellBinding, StaError, TimingOptions};
+
+/// The netlist connectivity with every net name interned to a dense id,
+/// plus the instance⇄net relations every timing pass walks. Built once
+/// by [`analyze_full`](crate::analyze_full) and shared (via [`Arc`])
+/// by every state advanced from it — edits that qualify for incremental
+/// analysis never change connectivity, so the topology never goes stale
+/// (and [`Topology::verify`] rejects states whose netlist did change).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Topology {
+    /// Interned net names; `net_names[id]` is the name of net `id`.
+    pub(crate) net_names: Vec<String>,
+    /// Net name → id, for mapping externally keyed inputs (wire caps).
+    pub(crate) net_ids: HashMap<String, u32>,
+    /// Per instance, the net id of each `connections` entry, in order.
+    pub(crate) conn_ids: Vec<Vec<u32>>,
+    /// Per instance, the net id its output pin drives.
+    pub(crate) out_net: Vec<u32>,
+    /// Per net, the driving instance (`u32::MAX` for primary inputs and
+    /// undriven nets).
+    pub(crate) driver_of: Vec<u32>,
+    /// Per net, the sink instances — one entry per connected *input
+    /// pin*, so an instance sampling a net twice appears twice (the
+    /// levelizer counts pins, not distinct nets).
+    pub(crate) users_of: Vec<Vec<u32>>,
+    /// Primary-output net ids, in `netlist.outputs()` order.
+    pub(crate) po_ids: Vec<u32>,
+}
+
+impl Topology {
+    /// Interns the bound netlist. Pin roles come from the binding: the
+    /// first zero-capacitance pin is the output (as everywhere else in
+    /// the timer), every positive-capacitance pin is an input.
+    pub(crate) fn build(
+        netlist: &MappedNetlist,
+        binding: &CellBinding,
+    ) -> Result<Topology, StaError> {
+        let n = netlist.instances().len();
+        let mut net_names: Vec<String> = Vec::new();
+        let mut net_ids: HashMap<String, u32> = HashMap::new();
+        let mut intern = |name: &str, net_names: &mut Vec<String>| -> u32 {
+            if let Some(&id) = net_ids.get(name) {
+                return id;
+            }
+            let id = u32::try_from(net_names.len()).expect("net count fits u32");
+            net_ids.insert(name.to_string(), id);
+            net_names.push(name.to_string());
+            id
+        };
+
+        // Deterministic id order: primary inputs, then instance
+        // connections in netlist order, then primary outputs.
+        for pi in netlist.inputs() {
+            intern(pi, &mut net_names);
+        }
+        let mut conn_ids: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for inst in netlist.instances() {
+            conn_ids.push(
+                inst.connections
+                    .iter()
+                    .map(|(_, net)| intern(net, &mut net_names))
+                    .collect(),
+            );
+        }
+        let po_ids: Vec<u32> = netlist
+            .outputs()
+            .iter()
+            .map(|po| intern(po, &mut net_names))
+            .collect();
+
+        let mut out_net: Vec<u32> = Vec::with_capacity(n);
+        let mut driver_of: Vec<u32> = vec![u32::MAX; net_names.len()];
+        let mut users_of: Vec<Vec<u32>> = vec![Vec::new(); net_names.len()];
+        for (idx, inst) in netlist.instances().iter().enumerate() {
+            let cell = binding.cell(idx);
+            let out_pin = cell
+                .pins
+                .iter()
+                .find(|p| p.capacitance_pf == 0.0)
+                .ok_or_else(|| StaError::MissingTiming {
+                    instance: inst.name.clone(),
+                    reason: "variant has no output pin".into(),
+                })?;
+            let out_conn = inst
+                .connections
+                .iter()
+                .position(|(pin, _)| *pin == out_pin.name)
+                .ok_or_else(|| StaError::MissingTiming {
+                    instance: inst.name.clone(),
+                    reason: "output pin unconnected".into(),
+                })?;
+            let out_id = conn_ids[idx][out_conn];
+            out_net.push(out_id);
+            driver_of[out_id as usize] = u32::try_from(idx).expect("instance count fits u32");
+            for pin in &cell.pins {
+                if pin.capacitance_pf <= 0.0 {
+                    continue;
+                }
+                let conn = inst
+                    .connections
+                    .iter()
+                    .position(|(name, _)| *name == pin.name)
+                    .ok_or_else(|| StaError::MissingTiming {
+                        instance: inst.name.clone(),
+                        reason: format!("input pin `{}` unconnected", pin.name),
+                    })?;
+                users_of[conn_ids[idx][conn] as usize]
+                    .push(u32::try_from(idx).expect("instance count fits u32"));
+            }
+        }
+
+        Ok(Topology {
+            net_names,
+            net_ids,
+            conn_ids,
+            out_net,
+            driver_of,
+            users_of,
+            po_ids,
+        })
+    }
+
+    /// Checks that `netlist`/`binding` still have the connectivity this
+    /// topology was interned from: same instance count, same `(pin,
+    /// net)` connections, and each bound variant's output pin still
+    /// drives the recorded net. O(connections) string *equality* — no
+    /// hashing, no allocation.
+    pub(crate) fn verify(
+        &self,
+        netlist: &MappedNetlist,
+        binding: &CellBinding,
+    ) -> Result<(), StaError> {
+        let stale = |reason: &str| StaError::InvalidBinding {
+            reason: format!("incremental state is stale: {reason}"),
+        };
+        if netlist.instances().len() != self.conn_ids.len() {
+            return Err(stale("instance count changed"));
+        }
+        for (idx, inst) in netlist.instances().iter().enumerate() {
+            let ids = &self.conn_ids[idx];
+            if inst.connections.len() != ids.len() {
+                return Err(stale(&format!("connections of `{}` changed", inst.name)));
+            }
+            for ((_, net), &id) in inst.connections.iter().zip(ids) {
+                if self.net_names[id as usize] != *net {
+                    return Err(stale(&format!("connections of `{}` changed", inst.name)));
+                }
+            }
+            let cell = binding.cell(idx);
+            let out_pin = cell
+                .pins
+                .iter()
+                .find(|p| p.capacitance_pf == 0.0)
+                .ok_or_else(|| StaError::MissingTiming {
+                    instance: inst.name.clone(),
+                    reason: "variant has no output pin".into(),
+                })?;
+            let out_conn = inst
+                .connections
+                .iter()
+                .position(|(pin, _)| *pin == out_pin.name)
+                .ok_or_else(|| StaError::MissingTiming {
+                    instance: inst.name.clone(),
+                    reason: "output pin unconnected".into(),
+                })?;
+            if ids[out_conn] != self.out_net[idx] {
+                return Err(stale(&format!("output pin of `{}` moved", inst.name)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A completed analysis plus the internal products needed to advance it
+/// incrementally: the interned net topology, the canonical per-net load
+/// vector, the per-instance arc delays of the backward pass, and the
+/// topological completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaState {
+    pub(crate) report: TimingReport,
+    /// Net loads (pF) indexed by topology net id.
+    pub(crate) loads: Vec<f64>,
+    /// Loads on wire-cap nets that are not in the netlist (sorted by
+    /// name). No driver can depend on them; kept only so state equality
+    /// sees the full load picture.
+    pub(crate) extra_loads: Vec<(String, f64)>,
+    /// Per instance, `(input net id, arc delay)` of every evaluated arc.
+    pub(crate) arc_delays: Vec<Vec<(u32, f64)>>,
+    pub(crate) completion_order: Vec<usize>,
+    pub(crate) topo: Arc<Topology>,
+}
+
+impl StaState {
+    pub(crate) fn new(
+        report: TimingReport,
+        loads: Vec<f64>,
+        extra_loads: Vec<(String, f64)>,
+        arc_delays: Vec<Vec<(u32, f64)>>,
+        completion_order: Vec<usize>,
+        topo: Arc<Topology>,
+    ) -> StaState {
+        StaState {
+            report,
+            loads,
+            extra_loads,
+            arc_delays,
+            completion_order,
+            topo,
+        }
+    }
+
+    /// The timing report of the analysis this state captures.
+    #[must_use]
+    pub fn report(&self) -> &TimingReport {
+        &self.report
+    }
+
+    /// Consumes the state, yielding just the timing report.
+    #[must_use]
+    pub fn into_report(self) -> TimingReport {
+        self.report
+    }
+
+    /// Instance indices in the order the levelized forward pass resolved
+    /// them — a topological order of the instance graph, valid for any
+    /// edit that keeps connectivity (cell swaps, moves, resizes).
+    #[must_use]
+    pub fn completion_order(&self) -> &[usize] {
+        &self.completion_order
+    }
+}
+
+/// Work accounting of one incremental update, for telemetry and for
+/// asserting that a small edit really did a small amount of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Directly edited instances plus drivers of load-changed nets.
+    pub seed_instances: usize,
+    /// Instances re-evaluated in the forward (fan-out) cone.
+    pub forward_instances: usize,
+    /// Nets whose required time was recomputed in the backward cone.
+    pub backward_nets: usize,
+}
+
+/// Advances a completed analysis after an edit that re-bound (or
+/// re-loaded) the given instances, recomputing only the forward fan-out
+/// cone of arrivals and the backward fan-in cone of required times.
+///
+/// `changed_instances` lists every instance whose bound variant changed
+/// (duplicates are fine). Instances whose *loads* changed — e.g. the
+/// driver of a net whose sink pin capacitances moved with a cell swap —
+/// are discovered automatically by bit-diffing a fresh canonical load
+/// vector against `prev`'s, so callers only report what they edited.
+///
+/// Connectivity must be unchanged since `prev` was computed: nets,
+/// pins-to-net connections, and instance count must match (pin-name
+/// compatible cell swaps, moves, and resizes all qualify). This is
+/// checked — the connections are swept against the interned topology —
+/// and violations return
+/// [`StaError::InvalidBinding`].
+///
+/// # Errors
+///
+/// * [`StaError::InvalidOptions`] / [`StaError::InvalidBinding`] as in
+///   [`analyze`](crate::analyze), plus binding-shape mismatches against
+///   `prev`,
+/// * [`StaError::MissingTiming`] when a re-bound variant lacks an arc
+///   for a connected input pin.
+pub fn analyze_incremental(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    prev: &StaState,
+    changed_instances: &[usize],
+) -> Result<(StaState, IncrementalStats), StaError> {
+    analyze_incremental_with_wire_caps(
+        netlist,
+        binding,
+        options,
+        &HashMap::new(),
+        prev,
+        changed_instances,
+    )
+}
+
+/// [`analyze_incremental`] with explicit per-net wire capacitances (pF),
+/// mirroring [`analyze_with_wire_caps`](crate::analyze_with_wire_caps).
+///
+/// # Errors
+///
+/// See [`analyze_incremental`].
+pub fn analyze_incremental_with_wire_caps(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    wire_caps_pf: &HashMap<String, f64>,
+    prev: &StaState,
+    changed_instances: &[usize],
+) -> Result<(StaState, IncrementalStats), StaError> {
+    let _span = svt_obs::span("sta.analyze_incremental");
+    validate(netlist, binding, options)?;
+    let n = netlist.instances().len();
+    if prev.completion_order.len() != n || prev.arc_delays.len() != n {
+        return Err(StaError::InvalidBinding {
+            reason: "incremental state does not match the netlist".into(),
+        });
+    }
+    let topo = &prev.topo;
+    topo.verify(netlist, binding)?;
+    let net_count = topo.net_names.len();
+
+    // Canonical load recompute + bit-diff: a net whose load bits moved
+    // re-times its *driver* (delay/slew lookups read the output load).
+    let (loads, extra_loads) = compute_loads(netlist, binding, options, wire_caps_pf, topo)?;
+    let mut seeds: Vec<usize> = Vec::new();
+    let mut seeded = vec![false; n];
+    for &idx in changed_instances {
+        if idx >= n {
+            return Err(StaError::InvalidBinding {
+                reason: format!("changed instance index {idx} out of range"),
+            });
+        }
+        if !seeded[idx] {
+            seeded[idx] = true;
+            seeds.push(idx);
+        }
+    }
+    for (id, cap) in loads.iter().enumerate() {
+        if cap.to_bits() != prev.loads[id].to_bits() {
+            let d = topo.driver_of[id];
+            if d != u32::MAX && !seeded[d as usize] {
+                seeded[d as usize] = true;
+                seeds.push(d as usize);
+            }
+        }
+    }
+    // `extra_loads` nets are outside the netlist — nothing drives them,
+    // so a change there cannot seed anything.
+    let seed_count = seeds.len();
+
+    // Forward (fan-out) cone: everything reachable from a seed.
+    let mut dirty = vec![false; n];
+    let mut stack = seeds;
+    while let Some(idx) = stack.pop() {
+        if dirty[idx] {
+            continue;
+        }
+        dirty[idx] = true;
+        for &u in &topo.users_of[topo.out_net[idx] as usize] {
+            if !dirty[u as usize] {
+                stack.push(u as usize);
+            }
+        }
+    }
+
+    // Re-evaluate dirty instances in the stored topological order; every
+    // non-dirty instance keeps bit-identical inputs, so its stored
+    // timing is already the post-edit answer.
+    let mut nets = prev.report.nets.clone();
+    let mut arc_delays = prev.arc_delays.clone();
+    let mut forward_instances = 0usize;
+    for &idx in &prev.completion_order {
+        if !dirty[idx] {
+            continue;
+        }
+        forward_instances += 1;
+        let (out_id, timing, arcs) =
+            evaluate_instance(netlist, binding, idx, topo, &loads, &nets, options.mode)?;
+        arc_delays[idx] = arcs;
+        nets.insert(topo.net_names[out_id as usize].clone(), timing);
+    }
+
+    // Backward (fan-in) cone: nets whose required time can change are
+    // the inputs of dirty instances, closed transitively upstream. One
+    // reversed pass computes the closure: consumers of a net appear
+    // before its driver in reversed topological order, so membership is
+    // settled before the driver's inputs are considered.
+    let mut required = prev.report.required.clone();
+    let mut backward_nets = 0usize;
+    if let Some(period) = options.clock_period_ns {
+        let mut in_cone = vec![false; net_count];
+        for &idx in prev.completion_order.iter().rev() {
+            if dirty[idx] || in_cone[topo.out_net[idx] as usize] {
+                for &(in_id, _) in &arc_delays[idx] {
+                    in_cone[in_id as usize] = true;
+                }
+            }
+        }
+
+        // Reset cone members to their boundary condition, then replay
+        // the min-merge contributions — only into the cone; everything
+        // outside it keeps bit-identical contributions.
+        let mut is_po = vec![false; net_count];
+        for &po in &topo.po_ids {
+            is_po[po as usize] = true;
+        }
+        for (id, &inside) in in_cone.iter().enumerate() {
+            if !inside {
+                continue;
+            }
+            backward_nets += 1;
+            let name = &topo.net_names[id];
+            if is_po[id] {
+                required.insert(name.clone(), period);
+            } else {
+                required.remove(name);
+            }
+        }
+        for &idx in prev.completion_order.iter().rev() {
+            let out_name = &topo.net_names[topo.out_net[idx] as usize];
+            let Some(&r_out) = required.get(out_name) else {
+                continue; // net drives nothing timed
+            };
+            for &(in_id, delay) in &arc_delays[idx] {
+                if !in_cone[in_id as usize] {
+                    continue;
+                }
+                let candidate = r_out - delay;
+                required
+                    .entry(topo.net_names[in_id as usize].clone())
+                    .and_modify(|r| *r = r.min(candidate))
+                    .or_insert(candidate);
+            }
+        }
+    }
+
+    svt_obs::counter!("sta.incremental.updates").add(1);
+    svt_obs::counter!("sta.incremental.forward_instances").add(forward_instances as u64);
+    svt_obs::counter!("sta.incremental.backward_nets").add(backward_nets as u64);
+
+    let report = TimingReport::new(
+        prev.report.design.clone(),
+        nets,
+        prev.report.outputs.clone(),
+        options.mode,
+        required,
+    );
+    Ok((
+        StaState::new(
+            report,
+            loads,
+            extra_loads,
+            arc_delays,
+            prev.completion_order.clone(),
+            Arc::clone(topo),
+        ),
+        IncrementalStats {
+            seed_instances: seed_count,
+            forward_instances,
+            backward_nets,
+        },
+    ))
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_full, AnalysisMode};
+    use svt_netlist::{bench, generate_benchmark, technology_map, BenchmarkProfile};
+    use svt_stdcell::Library;
+
+    fn c432() -> (MappedNetlist, Library) {
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c432").unwrap());
+        (technology_map(&n, &lib).unwrap(), lib)
+    }
+
+    fn assert_states_bit_identical(a: &StaState, b: &StaState) {
+        assert_eq!(a.report.nets.len(), b.report.nets.len());
+        for (net, t) in &a.report.nets {
+            let u = b.report.nets.get(net).expect("net present");
+            assert_eq!(
+                t.arrival_ns.to_bits(),
+                u.arrival_ns.to_bits(),
+                "arrival of `{net}`"
+            );
+            assert_eq!(t.slew_ns.to_bits(), u.slew_ns.to_bits(), "slew of `{net}`");
+            assert_eq!(t.from, u.from, "winner arc of `{net}`");
+        }
+        assert_eq!(a.report.required.len(), b.report.required.len());
+        for (net, r) in &a.report.required {
+            let s = b.report.required.get(net).expect("required present");
+            assert_eq!(r.to_bits(), s.to_bits(), "required of `{net}`");
+        }
+        assert_eq!(a.topo.net_names, b.topo.net_names, "interning order");
+        assert_eq!(a.loads.len(), b.loads.len());
+        for (id, l) in a.loads.iter().enumerate() {
+            assert_eq!(
+                l.to_bits(),
+                b.loads[id].to_bits(),
+                "load of `{}`",
+                a.topo.net_names[id]
+            );
+        }
+        assert_eq!(a.extra_loads, b.extra_loads);
+        assert_eq!(a.arc_delays.len(), b.arc_delays.len());
+        for (x, y) in a.arc_delays.iter().zip(&b.arc_delays) {
+            assert_eq!(x.len(), y.len());
+            for ((nx, dx), (ny, dy)) in x.iter().zip(y) {
+                assert_eq!(nx, ny);
+                assert_eq!(dx.to_bits(), dy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rebinding_one_instance_matches_full_reanalysis() {
+        let (m, lib) = c432();
+        let opts = TimingOptions {
+            clock_period_ns: Some(6.0),
+            ..TimingOptions::default()
+        };
+        let mut binding = CellBinding::uniform_scaled(&m, &lib, 90.0).unwrap();
+        let base = analyze_full(&m, &binding, &opts).unwrap();
+
+        // Slow down one mid-design instance to the worst corner.
+        let idx = m.instances().len() / 2;
+        let cell_name = m.instances()[idx].cell.clone();
+        let slow = CellBinding::uniform_scaled_cell(&lib, &cell_name, 99.0).unwrap();
+        binding.replace(&m, idx, slow).unwrap();
+
+        let (incr, stats) = analyze_incremental(&m, &binding, &opts, &base, &[idx]).unwrap();
+        let full = analyze_full(&m, &binding, &opts).unwrap();
+        assert_states_bit_identical(&incr, &full);
+        assert!(stats.seed_instances >= 1);
+        assert!(
+            stats.forward_instances < m.instances().len(),
+            "a mid-design edit must not re-time the whole chip \
+             ({} of {})",
+            stats.forward_instances,
+            m.instances().len()
+        );
+    }
+
+    #[test]
+    fn load_change_dirties_the_upstream_driver() {
+        // z = NAND(a, y), y = NOT(x), x = NOT(a): swapping the variant
+        // bound to the NAND changes its input pin caps, which loads nets
+        // `a` and `y` differently — net `y`'s driver (the second
+        // inverter) must be re-timed even though it was not edited.
+        let lib = Library::svt90();
+        let n =
+            bench::parse("# skew\nINPUT(a)\nOUTPUT(z)\nx = NOT(a)\ny = NOT(x)\nz = NAND(a, y)\n")
+                .unwrap();
+        let m = technology_map(&n, &lib).unwrap();
+        let opts = TimingOptions {
+            clock_period_ns: Some(2.0),
+            ..TimingOptions::default()
+        };
+        let mut binding = CellBinding::nominal(&m, &lib).unwrap();
+        let base = analyze_full(&m, &binding, &opts).unwrap();
+
+        let nand_idx = m
+            .instances()
+            .iter()
+            .position(|i| i.cell == "NAND2X1")
+            .unwrap();
+        // Corner scaling keeps pin caps, so synthesize a variant with
+        // heavier input pins to exercise the load-diff path.
+        let mut slow = CellBinding::uniform_scaled_cell(&lib, "NAND2X1", 99.0).unwrap();
+        for pin in &mut slow.pins {
+            if pin.capacitance_pf > 0.0 {
+                pin.capacitance_pf *= 1.25;
+            }
+        }
+        binding.replace(&m, nand_idx, slow).unwrap();
+
+        let (incr, stats) = analyze_incremental(&m, &binding, &opts, &base, &[nand_idx]).unwrap();
+        let full = analyze_full(&m, &binding, &opts).unwrap();
+        assert_states_bit_identical(&incr, &full);
+        assert!(
+            stats.seed_instances >= 2,
+            "load diff must seed the upstream driver too: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_edit_is_a_bit_identical_no_op() {
+        let (m, lib) = c432();
+        let opts = TimingOptions::default();
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let base = analyze_full(&m, &binding, &opts).unwrap();
+        let (incr, stats) = analyze_incremental(&m, &binding, &opts, &base, &[]).unwrap();
+        assert_states_bit_identical(&incr, &base);
+        assert_eq!(stats.forward_instances, 0);
+    }
+
+    #[test]
+    fn early_mode_cones_match_full() {
+        let (m, lib) = c432();
+        let opts = TimingOptions {
+            mode: AnalysisMode::Early,
+            clock_period_ns: Some(6.0),
+            ..TimingOptions::default()
+        };
+        let mut binding = CellBinding::nominal(&m, &lib).unwrap();
+        let base = analyze_full(&m, &binding, &opts).unwrap();
+        let idx = 7;
+        let fast =
+            CellBinding::uniform_scaled_cell(&lib, &m.instances()[idx].cell.clone(), 81.0).unwrap();
+        binding.replace(&m, idx, fast).unwrap();
+        let (incr, _) = analyze_incremental(&m, &binding, &opts, &base, &[idx]).unwrap();
+        let full = analyze_full(&m, &binding, &opts).unwrap();
+        assert_states_bit_identical(&incr, &full);
+    }
+
+    #[test]
+    fn stale_state_is_rejected() {
+        let (m, lib) = c432();
+        let opts = TimingOptions::default();
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let base = analyze_full(&m, &binding, &opts).unwrap();
+        // A different netlist cannot reuse this state.
+        let other = {
+            let n = bench::parse("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n").unwrap();
+            technology_map(&n, &lib).unwrap()
+        };
+        let other_binding = CellBinding::nominal(&other, &lib).unwrap();
+        assert!(analyze_incremental(&other, &other_binding, &opts, &base, &[]).is_err());
+        // Out-of-range seed.
+        assert!(analyze_incremental(&m, &binding, &opts, &base, &[usize::MAX]).is_err());
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`TimingReport`] — per-net arrivals, circuit delay, critical path
 //!   extraction, and required-time/slack computation against a clock
 //!   period.
+//! * [`analyze_full`] / [`analyze_incremental`] — the incremental (ECO)
+//!   path: a full analysis returns an [`StaState`] that later edits
+//!   advance by recomputing only the forward fan-out cone of arrivals
+//!   and the backward fan-in cone of required times, bit-identically to
+//!   a from-scratch analysis.
 //!
 //! # Examples
 //!
@@ -32,9 +37,16 @@
 mod analysis;
 mod binding;
 mod error;
+mod incremental;
 mod report;
 
-pub use analysis::{analyze, analyze_nominal, analyze_with_wire_caps, AnalysisMode, TimingOptions};
+pub use analysis::{
+    analyze, analyze_full, analyze_full_with_wire_caps, analyze_nominal, analyze_with_wire_caps,
+    AnalysisMode, TimingOptions,
+};
 pub use binding::CellBinding;
 pub use error::StaError;
+pub use incremental::{
+    analyze_incremental, analyze_incremental_with_wire_caps, IncrementalStats, StaState,
+};
 pub use report::{format_path_report, PathStep, TimingReport};

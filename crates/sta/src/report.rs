@@ -49,12 +49,12 @@ pub struct PathStep {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingReport {
-    design: String,
-    nets: HashMap<String, NetTiming>,
-    outputs: Vec<String>,
-    mode: AnalysisMode,
+    pub(crate) design: String,
+    pub(crate) nets: HashMap<String, NetTiming>,
+    pub(crate) outputs: Vec<String>,
+    pub(crate) mode: AnalysisMode,
     /// Required times per net (present when a clock period was given).
-    required: HashMap<String, f64>,
+    pub(crate) required: HashMap<String, f64>,
 }
 
 impl TimingReport {

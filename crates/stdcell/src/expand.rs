@@ -220,6 +220,28 @@ pub fn clear_expand_caches() {
     row_cache().clear();
 }
 
+/// Targeted invalidation of pitch-table memo entries: drops every cached
+/// pair whose left *or* right neighbor spacing matches one of
+/// `spacings_nm` (exact-bit match, the same [`qf64`] quantization the
+/// keys use), across all engine identities. Returns the number of
+/// entries dropped.
+///
+/// This is the keyed-invalidation hook the ECO flow calls when an edit
+/// moves geometry at the given spacings: the affected table rows go cold
+/// and are recomputed (and re-memoized) on the next
+/// [`PitchCdTable::build`], while every other pair stays warm. Memoized
+/// CDs are pure in their key, so invalidation is always *conservative* —
+/// it can cost a recomputation, never change a printed CD; the
+/// differential suite holds results bit-identical across any cache
+/// state.
+pub fn invalidate_pitch_pairs(spacings_nm: &[f64]) -> usize {
+    let bits: Vec<u64> = spacings_nm.iter().map(|&s| qf64(s)).collect();
+    let dropped = pair_cache()
+        .retain(|&(_, _, _, left, right), _| !bits.contains(&left) && !bits.contains(&right));
+    svt_obs::counter!("stdcell.pitch_pairs.invalidated").add(dropped as u64);
+    dropped
+}
+
 /// Hit/miss counters of the expansion memo caches, as
 /// `(pitch-table pairs, library-OPC rows)`.
 #[must_use]
@@ -518,6 +540,42 @@ mod tests {
             .cloned()
             .collect();
         Library::from_cells("svt90_sub", cells)
+    }
+
+    #[test]
+    fn targeted_invalidation_recomputes_bit_identically() {
+        let sim = signoff();
+        let lib = small_library();
+        let opts = ExpandOptions::fast();
+        let first = expand_library(&lib, &sim, &opts).unwrap();
+        assert!(
+            expand_cache_stats().0.entries > 0,
+            "expansion must populate the pair cache"
+        );
+
+        // Invalidate every pair touching one grid spacing: with the fast
+        // 3-point grid [200, 400, 700], spacing 400 participates in
+        // 3 + 3 - 1 = 5 of the 9 pairs (possibly more if sibling tests
+        // populated the shared cache concurrently).
+        let dropped = invalidate_pitch_pairs(&[400.0]);
+        assert!(dropped >= 5, "dropped only {dropped} of the family");
+        // A spacing off every grid drops nothing.
+        assert_eq!(invalidate_pitch_pairs(&[123.456]), 0);
+
+        // Rebuild: cold pairs recompute, warm pairs hit, and the table
+        // is bit-identical to the fully-warm build.
+        let second = expand_library(&lib, &sim, &opts).unwrap();
+        let a = first.pitch_table();
+        let b = second.pitch_table();
+        assert_eq!(a.spacings_nm(), b.spacings_nm());
+        for (l, r) in a.spacings_nm().iter().zip(b.spacings_nm()) {
+            assert_eq!(l.to_bits(), r.to_bits());
+        }
+        for (&l, &r) in a.spacings_nm().iter().zip(b.spacings_nm()) {
+            let ca = a.cd_at(Some(l), Some(r));
+            let cb = b.cd_at(Some(l), Some(r));
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
     }
 
     #[test]

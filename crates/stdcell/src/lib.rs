@@ -48,8 +48,8 @@ pub use characterize::{characterize, CharacterizeOptions, CharacterizedCell};
 pub use context::{CellContext, ContextBin};
 pub use error::StdcellError;
 pub use expand::{
-    clear_expand_caches, expand_cache_stats, expand_library, ExpandOptions, ExpandedLibrary,
-    PitchCdTable,
+    clear_expand_caches, expand_cache_stats, expand_library, invalidate_pitch_pairs, ExpandOptions,
+    ExpandedLibrary, PitchCdTable,
 };
 pub use layout::{BoundarySpacings, CellAbstract, Device, DeviceId, Region};
 pub use library::Library;

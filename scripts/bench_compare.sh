@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Compares the two newest BENCH_history.jsonl entries and fails on a
-# >20 % regression of any warm-path metric. With fewer than two entries
-# (fresh clone, first run) there is nothing to compare and the script
-# passes. Run `cargo run --release -p svt-bench --bin bench_pipeline` to
-# append an entry.
+# Compares, per metric, the two newest BENCH_history.jsonl entries that
+# carry that metric, and fails on a >20 % regression of any warm-path
+# metric. Entries are heterogeneous — bench_pipeline and bench_eco append
+# different key sets — so each metric is diffed against the last line
+# that actually contains it, not just the last line of the file. With
+# fewer than two entries carrying a metric there is nothing to compare
+# and the metric is skipped. Run `cargo run --release -p svt-bench --bin
+# bench_pipeline` (and `--bin bench_eco`) to append entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,15 +18,6 @@ if [[ ! -f "$HISTORY" ]]; then
     exit 0
 fi
 
-entries=$(wc -l < "$HISTORY")
-if (( entries < 2 )); then
-    echo "bench_compare: only $entries entry in $HISTORY — nothing to compare"
-    exit 0
-fi
-
-prev=$(tail -n 2 "$HISTORY" | head -n 1)
-latest=$(tail -n 1 "$HISTORY")
-
 # Extracts a numeric field from a flat single-line JSON object.
 field() { # field <json-line> <key>
     printf '%s\n' "$1" | sed -n "s/.*\"$2\": *\([0-9.][0-9.]*\).*/\1/p"
@@ -32,11 +26,20 @@ field() { # field <json-line> <key>
 # Warm-path metrics gated against regression. Cold numbers and the
 # overhead percentage are informational only (cold timing is dominated by
 # first-touch effects; the off-path overhead has its own gate in
-# crates/obs/tests/overhead.rs).
-metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms)
+# crates/obs/tests/overhead.rs). eco_incr_ms is the incremental ECO
+# apply latency — the svt-eco value proposition — so it is gated too;
+# eco_full_ms varies with how much litho cache the edit invalidates and
+# stays informational.
+metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms)
 
 status=0
 for m in "${metrics[@]}"; do
+    prev=$(grep "\"$m\":" "$HISTORY" | tail -n 2 | head -n 1)
+    latest=$(grep "\"$m\":" "$HISTORY" | tail -n 1)
+    if [[ -z "$prev" || -z "$latest" || "$prev" == "$latest" ]]; then
+        echo "bench_compare: fewer than two entries carry $m — nothing to compare"
+        continue
+    fi
     p=$(field "$prev" "$m")
     l=$(field "$latest" "$m")
     if [[ -z "$p" || -z "$l" ]]; then

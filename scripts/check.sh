@@ -17,6 +17,18 @@ cargo test -q --offline
 echo "== full workspace tests"
 cargo test --workspace -q --offline
 
+# The svt packages only — vendor/ stand-ins are out of scope for the
+# documentation gate.
+SVT_PKGS=(-p svt -p svt-geom -p svt-litho -p svt-opc -p svt-stdcell
+          -p svt-netlist -p svt-place -p svt-sta -p svt-core -p svt-exec
+          -p svt-obs -p svt-eco -p svt-bench)
+
+echo "== documentation: runnable doctests"
+cargo test -q --doc --offline "${SVT_PKGS[@]}"
+
+echo "== documentation: warning-clean rustdoc"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline "${SVT_PKGS[@]}"
+
 echo "== observability: SVT_TRACE=off overhead smoke gate"
 SVT_TRACE=off cargo test --release -q -p svt-obs --offline --test overhead
 

@@ -14,8 +14,11 @@
 //! | [`stdcell`] | 10-cell 90 nm-class library, NLDM, 81-context expansion |
 //! | [`netlist`] | `.bench` netlists, ISCAS85-profile generation, mapping |
 //! | [`place`] | row placement, whitespace, neighbor-spacing extraction |
-//! | [`sta`] | graph-based static timing analysis |
+//! | [`sta`] | graph-based static timing analysis, full + incremental |
 //! | [`core`] | the paper's methodology: classes, labels, corners, flows |
+//! | [`exec`] | deterministic worker pool + sharded memo caches |
+//! | [`obs`] | spans, counters, Chrome traces, sign-off audit trails |
+//! | [`eco`] | incremental ECO re-sign-off with bit-exact delta audits |
 //!
 //! # Quickstart
 //!
@@ -49,9 +52,12 @@
 //! ```
 
 pub use svt_core as core;
+pub use svt_eco as eco;
+pub use svt_exec as exec;
 pub use svt_geom as geom;
 pub use svt_litho as litho;
 pub use svt_netlist as netlist;
+pub use svt_obs as obs;
 pub use svt_opc as opc;
 pub use svt_place as place;
 pub use svt_sta as sta;
