@@ -16,8 +16,15 @@ use std::time::Instant;
 
 use svt_core::{SignoffFlow, SignoffOptions};
 use svt_litho::{clear_litho_caches, FocusExposureMatrix, MaskCutline, Process};
+use svt_obs::alloc::{self, CountingAlloc};
 use svt_obs::TraceMode;
 use svt_stdcell::{clear_expand_caches, expand_library, ExpandOptions, Library};
+
+// Route the benchmark's own heap traffic through the counting allocator
+// so the memory section below can report what a sign-off run allocates;
+// inert (one relaxed load per allocation) until `alloc::set_active`.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
 
 fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
@@ -45,7 +52,7 @@ fn main() {
     let sim = process.simulator();
 
     // ---- Aerial image: transfer-table + FFT-plan caches -----------------
-    println!("[1/5] aerial image (cold vs warm transfer tables)...");
+    println!("[1/6] aerial image (cold vs warm transfer tables)...");
     clear_litho_caches();
     let lines: Vec<(f64, f64)> = (-6..=6)
         .map(|k| {
@@ -72,7 +79,7 @@ fn main() {
 
     // ---- Library expansion: pool + CD memo ------------------------------
     // Default ExpandOptions (7-spacing table), 4 cells.
-    println!("[2/5] expand_library, 4 cells, default options...");
+    println!("[2/6] expand_library, 4 cells, default options...");
     let full = Library::svt90();
     let cells: Vec<_> = full
         .cells()
@@ -113,7 +120,7 @@ fn main() {
     );
 
     // ---- Focus-exposure matrix: CD memo ---------------------------------
-    println!("[3/5] focus-exposure matrix (cold vs warm rebuild)...");
+    println!("[3/6] focus-exposure matrix (cold vs warm rebuild)...");
     let focus: Vec<f64> = (-4..=4).map(|i| f64::from(i) * 75.0).collect();
     let pitches = [240.0, 320.0, 480.0, f64::INFINITY];
     let doses = [0.95, 1.0, 1.05];
@@ -135,7 +142,7 @@ fn main() {
     );
 
     // ---- Full signoff ----------------------------------------------------
-    println!("[4/5] full signoff flow on c432...");
+    println!("[4/6] full signoff flow on c432...");
     let expanded = expand_library(&full, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
     let design = svt_bench::build_design(&full, "c432");
     let run_with = |threads: usize| {
@@ -158,6 +165,34 @@ fn main() {
         cmp_1t.uncertainty_reduction_pct()
     );
 
+    // ---- Memory: allocation volume + peak RSS ---------------------------
+    // One warm sign-off with the allocation hook live: the delta of the
+    // process-wide totals is what a run costs in heap traffic, and the
+    // peak RSS (VmHWM, whole process so far) bounds the footprint. The
+    // allocation delta is deterministic enough to gate in
+    // scripts/bench_compare.sh; RSS stays informational.
+    println!("[5/6] memory (alloc totals + peak RSS during signoff)...");
+    let flow = SignoffFlow::new(&full, &expanded, SignoffOptions::default());
+    alloc::set_active(true);
+    let (allocs_before, bytes_before) = alloc::totals();
+    let cmp_mem = flow
+        .run(&design.mapped, &design.placement)
+        .expect("signoff succeeds");
+    alloc::set_active(false);
+    let (allocs_after, bytes_after) = alloc::totals();
+    assert_eq!(cmp_1t, cmp_mem, "alloc accounting changed signoff results");
+    let signoff_allocs = allocs_after - allocs_before;
+    #[allow(clippy::cast_precision_loss)]
+    let signoff_alloc_mb = (bytes_after - bytes_before) as f64 / (1024.0 * 1024.0);
+    #[allow(clippy::cast_precision_loss)]
+    let (rss_mb, peak_rss_mb) = svt_obs::rss::sample().map_or((0.0, 0.0), |r| {
+        (r.current_kb as f64 / 1024.0, r.peak_kb as f64 / 1024.0)
+    });
+    let _ = writeln!(
+        json,
+        "  \"memory\": {{ \"signoff_allocs\": {signoff_allocs}, \"signoff_alloc_mb\": {signoff_alloc_mb:.1}, \"rss_mb\": {rss_mb:.1}, \"peak_rss_mb\": {peak_rss_mb:.1} }},"
+    );
+
     // ---- Observability overhead -----------------------------------------
     // The full sign-off flow, traced and untraced: it crosses thousands of
     // span sites per run (per-corner, per-instance) plus the pool counters
@@ -165,9 +200,8 @@ fn main() {
     // The off path must stay within noise of free (a single relaxed atomic
     // load per call site); the measured percentage is recorded so
     // regressions show up in the committed JSON.
-    println!("[5/5] observability overhead (SVT_TRACE=off vs summary)...");
+    println!("[6/6] observability overhead (SVT_TRACE=off vs summary)...");
     let overhead_reps = 10;
-    let flow = SignoffFlow::new(&full, &expanded, SignoffOptions::default());
     let time_trace = |mode: TraceMode| {
         svt_obs::set_mode(mode);
         let start = Instant::now();
@@ -214,7 +248,8 @@ fn main() {
         "{{\"unix_ts\": {unix_ts}, \"threads_available\": {threads_available}, \
          \"aerial_warm_ms\": {aerial_warm_ms:.3}, \"expand_8t_warm_ms\": {expand_8t_warm_ms:.3}, \
          \"fem_warm_ms\": {fem_warm_ms:.3}, \"signoff_8t_ms\": {signoff_8t_ms:.3}, \
-         \"obs_off_ms\": {obs_off_ms:.3}, \"obs_overhead_pct\": {obs_overhead_pct:.2}}}\n"
+         \"obs_off_ms\": {obs_off_ms:.3}, \"obs_overhead_pct\": {obs_overhead_pct:.2}, \
+         \"signoff_alloc_mb\": {signoff_alloc_mb:.1}, \"peak_rss_mb\": {peak_rss_mb:.1}}}\n"
     );
     let history = repo_root().join("BENCH_history.jsonl");
     let mut log = std::fs::OpenOptions::new()

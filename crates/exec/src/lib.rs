@@ -11,6 +11,10 @@
 //!   ([`cache::MemoCache`]) for expensive simulation results, plus the
 //!   [`quant`] helpers used to build stable keys from `f64` parameters.
 //!
+//! Long-running services additionally arm the [`watchdog`], which
+//! heartbeats every pool task and flags the ones stuck past a deadline;
+//! batch runs leave it disarmed at the cost of one relaxed load per batch.
+//!
 //! Thread count resolution: an explicit override always wins, then the
 //! `SVT_THREADS` environment variable, then
 //! `std::thread::available_parallelism()`.
@@ -19,6 +23,7 @@
 pub mod cache;
 pub mod pool;
 pub mod quant;
+pub mod watchdog;
 
 pub use cache::{register_cache_telemetry, CacheStats, MemoCache};
 pub use pool::{par_map, par_map_threads, resolve_threads, try_par_map, try_par_map_threads};

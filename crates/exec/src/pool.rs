@@ -93,6 +93,10 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
     // Timeline recording is likewise sampled once per batch; it is active
     // only in Chrome mode, so the common paths pay nothing extra.
     let timeline = svt_obs::timeline_enabled();
+    // Watchdog heartbeats, also sampled once per batch: disarmed (every
+    // batch run) this is the one relaxed load, armed (daemons) each task
+    // stamps its slot on entry and clears it on exit.
+    let wd = crate::watchdog::armed();
     if telemetry {
         counter!("exec.pool.batches").incr();
         counter!("exec.pool.tasks").add(n as u64);
@@ -108,13 +112,16 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
         out
     };
     if workers <= 1 {
-        if !telemetry {
+        if !telemetry && !wd {
             return finish_batch(items.iter().map(f).collect());
         }
-        let start = Instant::now();
+        let start = telemetry.then(Instant::now);
         let out: Result<Vec<R>, E> = items
             .iter()
             .map(|item| {
+                if wd {
+                    crate::watchdog::task_begin();
+                }
                 if timeline {
                     svt_obs::timeline::record(svt_obs::timeline::Phase::Begin, "exec.pool.task");
                 }
@@ -122,12 +129,17 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
                 if timeline {
                     svt_obs::timeline::record(svt_obs::timeline::Phase::End, "exec.pool.task");
                 }
+                if wd {
+                    crate::watchdog::task_end();
+                }
                 r
             })
             .collect();
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        counter!("exec.pool.wall_ns").add(ns);
-        counter!("exec.pool.busy_ns").add(ns);
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            counter!("exec.pool.wall_ns").add(ns);
+            counter!("exec.pool.busy_ns").add(ns);
+        }
         return finish_batch(out);
     }
 
@@ -152,6 +164,9 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
                             return Ok(());
                         }
                         let task_start = telemetry.then(Instant::now);
+                        if wd {
+                            crate::watchdog::task_begin();
+                        }
                         if timeline {
                             svt_obs::timeline::record(
                                 svt_obs::timeline::Phase::Begin,
@@ -164,6 +179,11 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
                                 svt_obs::timeline::Phase::End,
                                 "exec.pool.task",
                             );
+                        }
+                        // After `catch_unwind`, so a panicking task still
+                        // clears its heartbeat before the worker unwinds.
+                        if wd {
+                            crate::watchdog::task_end();
                         }
                         if let Some(start) = task_start {
                             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);

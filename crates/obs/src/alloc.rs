@@ -1,0 +1,289 @@
+//! Heap-allocation telemetry: a [`GlobalAlloc`] wrapper attributing
+//! allocation count and bytes to the innermost active span.
+//!
+//! The workspace's litho/STA hot paths are allocation-sensitive (scratch
+//! buffers, memo keys), so knowing *which span* allocates is as valuable
+//! as knowing which span burns time. [`CountingAlloc`] wraps the system
+//! allocator; binaries opt in with one line:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: svt_obs::alloc::CountingAlloc = svt_obs::alloc::CountingAlloc::system();
+//! ```
+//!
+//! # Safety discipline
+//!
+//! The recording hook runs *inside* `malloc`, so it must never allocate,
+//! lock, or panic. It therefore touches only relaxed atomics and a
+//! const-initialized thread-local [`Cell`] (no lazy allocation), and
+//! attributes to the innermost span's **leaf name** (a `&'static str`
+//! pushed by [`crate::span`]) rather than the joined `/`-path, which
+//! would require building a `String`. Two different spans sharing a leaf
+//! name aggregate together; every leaf in this workspace is unique enough
+//! in practice.
+//!
+//! # Cost contract
+//!
+//! Mirrors the rest of `svt-obs`: compiled out entirely without the
+//! `alloc-telemetry` feature, and when compiled in but not activated (the
+//! default) the hook is **one relaxed atomic load** before falling
+//! through to the real allocator. [`set_active`] turns recording on —
+//! `svtd` and `bench_pipeline` do this explicitly; batch runs never pay.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Runtime switch; off by default so the hook costs one relaxed load.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide allocation totals (count, bytes) while active.
+static TOTAL_COUNT: AtomicU64 = AtomicU64::new(0);
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Allocations that could not claim a table slot (table full).
+static UNATTRIBUTED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Leaf name of the innermost active span on this thread, maintained
+    /// by `span()` / `Span::drop`. Const-init: reading it from the
+    /// allocation hook never triggers a lazy TLS initializer.
+    static CURRENT_SPAN: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Records the innermost active span for allocation attribution. Called
+/// by [`crate::span`] and `Span::drop`; `None` when the stack empties.
+#[inline]
+pub(crate) fn set_current_span(name: Option<&'static str>) {
+    if !cfg!(feature = "alloc-telemetry") {
+        return;
+    }
+    // `try_with` so a span guard dropped during thread teardown (after TLS
+    // destruction) degrades to "no attribution" instead of aborting.
+    let _ = CURRENT_SPAN.try_with(|slot| slot.set(name));
+}
+
+/// The span leaf name allocations on this thread currently attribute to.
+/// Exposed for tests asserting the panic-safety of the span stack.
+#[must_use]
+pub fn current_span() -> Option<&'static str> {
+    CURRENT_SPAN.try_with(Cell::get).ok().flatten()
+}
+
+/// Turns allocation recording on or off at runtime. Independent of
+/// `SVT_TRACE` so a daemon can watch memory even while trace mode is off.
+pub fn set_active(on: bool) {
+    ACTIVE.store(on, Ordering::Relaxed);
+}
+
+/// Whether allocation recording is currently active.
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    cfg!(feature = "alloc-telemetry") && ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Fixed-size open-addressing attribution table. Slots are keyed by the
+/// span name's *data pointer* (string literals are deduplicated per crate,
+/// so one span site maps to one slot); [`snapshot_sites`] merges by
+/// content in case two crates carry an identical literal at different
+/// addresses. Power of two for mask indexing.
+const SLOTS: usize = 128;
+
+struct Slot {
+    /// Data pointer of the owning span name; null = free.
+    name: AtomicPtr<u8>,
+    /// Byte length of the owning span name; stored after the pointer is
+    /// claimed, so readers skip slots still showing 0.
+    len: AtomicUsize,
+    count: AtomicU64,
+    bytes: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const FREE_SLOT: Slot = Slot {
+    name: AtomicPtr::new(ptr::null_mut()),
+    len: AtomicUsize::new(0),
+    count: AtomicU64::new(0),
+    bytes: AtomicU64::new(0),
+};
+
+static TABLE: [Slot; SLOTS] = [FREE_SLOT; SLOTS];
+
+/// The allocation hook proper: atomics only, no allocation, no panic.
+#[inline]
+fn record_alloc(bytes: usize) {
+    if !cfg!(feature = "alloc-telemetry") {
+        return;
+    }
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return; // the entire inactive cost: one relaxed load
+    }
+    TOTAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    TOTAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    let Some(name) = CURRENT_SPAN.try_with(Cell::get).ok().flatten() else {
+        return;
+    };
+    let key = name.as_ptr().cast_mut();
+    let mut idx = (key as usize >> 4) & (SLOTS - 1);
+    for _ in 0..SLOTS {
+        let slot = &TABLE[idx];
+        let cur = slot.name.load(Ordering::Relaxed);
+        if cur != key {
+            if !cur.is_null() {
+                idx = (idx + 1) & (SLOTS - 1);
+                continue;
+            }
+            match slot.name.compare_exchange(
+                ptr::null_mut(),
+                key,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => slot.len.store(name.len(), Ordering::Release),
+                Err(winner) if winner == key => {}
+                Err(_) => {
+                    idx = (idx + 1) & (SLOTS - 1);
+                    continue;
+                }
+            }
+        }
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        return;
+    }
+    UNATTRIBUTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Allocation totals attributed to one span leaf name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Span leaf name the allocations happened under.
+    pub span: &'static str,
+    /// Number of heap allocations (realloc growth counts once).
+    pub count: u64,
+    /// Total bytes requested.
+    pub bytes: u64,
+}
+
+/// Process-wide `(count, bytes)` totals recorded while active.
+#[must_use]
+pub fn totals() -> (u64, u64) {
+    (
+        TOTAL_COUNT.load(Ordering::Relaxed),
+        TOTAL_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Allocations that landed while no slot was claimable (full table).
+#[must_use]
+pub fn unattributed() -> u64 {
+    UNATTRIBUTED.load(Ordering::Relaxed)
+}
+
+/// The per-span attribution table, merged by span name content and sorted
+/// by name. Cheap (reads at most one atomic triple per table slot); safe to call from a
+/// scrape handler while the hook is live.
+#[must_use]
+pub fn snapshot_sites() -> Vec<AllocSite> {
+    let mut sites: Vec<AllocSite> = Vec::new();
+    for slot in &TABLE {
+        let name = slot.name.load(Ordering::Relaxed);
+        if name.is_null() {
+            continue;
+        }
+        let len = slot.len.load(Ordering::Acquire);
+        if len == 0 {
+            // Claimed a heartbeat ago; its length store hasn't landed.
+            continue;
+        }
+        // SAFETY: `name`/`len` were published from a `&'static str`'s data
+        // pointer and byte length, so the region is live, immutable UTF-8.
+        let span = unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(name, len)) };
+        let count = slot.count.load(Ordering::Relaxed);
+        let bytes = slot.bytes.load(Ordering::Relaxed);
+        if let Some(existing) = sites.iter_mut().find(|s| s.span == span) {
+            existing.count += count;
+            existing.bytes += bytes;
+        } else {
+            sites.push(AllocSite { span, count, bytes });
+        }
+    }
+    sites.sort_by(|a, b| a.span.cmp(b.span));
+    sites
+}
+
+/// Pushes the current allocation totals and per-span attribution into the
+/// global registry as gauges (`alloc.total.count`, `alloc.total.bytes`,
+/// `alloc.span.<leaf>.bytes`, …) so they ride along in every snapshot,
+/// exposition, and scrape. Allocates freely — never call from the hook.
+pub fn publish_gauges() {
+    let (count, bytes) = totals();
+    let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    crate::registry()
+        .gauge("alloc.total.count")
+        .set(clamp(count));
+    crate::registry()
+        .gauge("alloc.total.bytes")
+        .set(clamp(bytes));
+    crate::registry()
+        .gauge("alloc.unattributed.count")
+        .set(clamp(unattributed()));
+    for site in snapshot_sites() {
+        crate::registry()
+            .gauge(&format!("alloc.span.{}.count", site.span))
+            .set(clamp(site.count));
+        crate::registry()
+            .gauge(&format!("alloc.span.{}.bytes", site.span))
+            .set(clamp(site.bytes));
+    }
+}
+
+/// A [`GlobalAlloc`] wrapper that forwards to `A` and, while
+/// [`set_active`] is on, attributes each allocation to the innermost
+/// active span. Deallocations are forwarded untouched: the telemetry
+/// answers "who allocates", and churn shows up in `count` regardless.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc<A = System>(A);
+
+impl CountingAlloc<System> {
+    /// The system allocator, wrapped. `const` so it can initialize a
+    /// `#[global_allocator]` static.
+    #[must_use]
+    pub const fn system() -> CountingAlloc<System> {
+        CountingAlloc(System)
+    }
+}
+
+// SAFETY: forwards every call verbatim to the inner allocator; the
+// recording hook touches only atomics and a const-init TLS cell, so the
+// GlobalAlloc contract (no unwinding, no reentrant allocation) holds.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = self.0.alloc(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = self.0.alloc_zeroed(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = self.0.realloc(ptr, layout, new_size);
+        if !p.is_null() && new_size > layout.size() {
+            record_alloc(new_size - layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.0.dealloc(ptr, layout);
+    }
+}

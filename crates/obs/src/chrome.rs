@@ -21,6 +21,7 @@
 //! Drop counts are reported as `svt.timeline.dropped` counter events so
 //! truncation is visible in the trace itself, never silent.
 
+use crate::json::JsonValue;
 use crate::timeline::{Phase, ThreadTimeline};
 
 /// Chrome `ts` values are microseconds; we emit nanosecond precision as a
@@ -30,7 +31,7 @@ fn fmt_us(ts_ns: u64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    crate::json::escape_json(s)
 }
 
 /// Renders thread timelines as a Chrome `trace_event` JSON document.
@@ -180,39 +181,34 @@ impl ChromeTraceStats {
 ///
 /// Returns a description of the first structural or schema violation.
 pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
-    let doc = JsonParser::new(json).parse_document()?;
-    let JsonValue::Object(top) = doc else {
+    let doc = JsonValue::parse(json)?;
+    if doc.as_object().is_none() {
         return Err("top level is not an object".into());
-    };
-    let Some(JsonValue::Array(raw_events)) =
-        top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
-    else {
+    }
+    let Some(raw_events) = doc.get("traceEvents").and_then(JsonValue::as_array) else {
         return Err("missing `traceEvents` array".into());
     };
 
     let mut events = Vec::with_capacity(raw_events.len());
     for (i, ev) in raw_events.iter().enumerate() {
-        let JsonValue::Object(fields) = ev else {
+        if ev.as_object().is_none() {
             return Err(format!("traceEvents[{i}] is not an object"));
-        };
-        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
-        let name = match get("name") {
-            Some(JsonValue::String(s)) => s.clone(),
-            _ => return Err(format!("traceEvents[{i}] lacks a string `name`")),
-        };
-        let ph = match get("ph") {
-            Some(JsonValue::String(s)) => s.clone(),
-            _ => return Err(format!("traceEvents[{i}] lacks a string `ph`")),
-        };
-        let tid = match get("tid") {
-            Some(JsonValue::Number(n)) if *n >= 0.0 => {
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let t = *n as u64;
-                t
-            }
-            _ => return Err(format!("traceEvents[{i}] lacks a numeric `tid`")),
-        };
-        let ts_us = match get("ts") {
+        }
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] lacks a string `name`"))?
+            .to_string();
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] lacks a string `ph`"))?
+            .to_string();
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("traceEvents[{i}] lacks a numeric `tid`"))?;
+        let ts_us = match ev.get("ts") {
             Some(JsonValue::Number(n)) => Some(*n),
             None => None,
             Some(_) => return Err(format!("traceEvents[{i}] has a non-numeric `ts`")),
@@ -271,217 +267,6 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
     }
 
     Ok(ChromeTraceStats { events, tids })
-}
-
-/// Minimal JSON value for the validator (std-only; the vendored serde is a
-/// derive stand-in, not a parser).
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<JsonValue>),
-    Object(Vec<(String, JsonValue)>),
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> JsonParser<'a> {
-        JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse_document(mut self) -> Result<JsonValue, String> {
-        let value = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", self.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek()? == byte {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{}` at offset {}",
-                char::from(byte),
-                self.pos
-            ))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<JsonValue, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(JsonValue::String(self.parse_string()?)),
-            b't' => self.parse_literal("true", JsonValue::Bool(true)),
-            b'f' => self.parse_literal("false", JsonValue::Bool(false)),
-            b'n' => self.parse_literal("null", JsonValue::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at offset {}", self.pos))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<JsonValue, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(JsonValue::Number)
-            .ok_or_else(|| format!("invalid number at offset {start}"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = self
-                .bytes
-                .get(self.pos)
-                .copied()
-                .ok_or("unterminated string")?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = self
-                        .bytes
-                        .get(self.pos)
-                        .copied()
-                        .ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("invalid \\u escape")?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("invalid escape `\\{}`", char::from(other))),
-                    }
-                }
-                _ => {
-                    // Multi-byte UTF-8: copy the full sequence through.
-                    let len = match b {
-                        0xF0..=0xF7 => 4,
-                        0xE0..=0xEF => 3,
-                        0xC0..=0xDF => 2,
-                        _ => 1,
-                    };
-                    let start = self.pos - 1;
-                    self.pos = start + len;
-                    let chunk = self
-                        .bytes
-                        .get(start..self.pos)
-                        .and_then(|s| std::str::from_utf8(s).ok())
-                        .ok_or("invalid UTF-8 in string")?;
-                    out.push_str(chunk);
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(JsonValue::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
-            }
-        }
-    }
 }
 
 #[cfg(test)]

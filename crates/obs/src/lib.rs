@@ -43,11 +43,14 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod audit;
 pub mod chrome;
+pub mod json;
 pub mod metrics;
 pub mod registry;
 mod render;
+pub mod rss;
 pub mod timeline;
 
 use std::cell::RefCell;
@@ -248,6 +251,7 @@ pub fn span(name: &'static str) -> Span {
         return Span { start: None, name };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    alloc::set_current_span(Some(name));
     if timeline_enabled() {
         timeline::record(timeline::Phase::Begin, name);
     }
@@ -268,6 +272,7 @@ impl Drop for Span {
             let mut stack = stack.borrow_mut();
             let path = stack.join("/");
             stack.pop();
+            alloc::set_current_span(stack.last().copied());
             path
         });
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);

@@ -1,0 +1,76 @@
+//! Process resident-set telemetry from `/proc/self/status`.
+//!
+//! Linux-only by nature; on other platforms (or sandboxes hiding
+//! `/proc`) every reader returns `None` and the published gauges stay
+//! absent rather than lying with zeros.
+
+/// Resident-set sizes in kilobytes, as the kernel reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssSample {
+    /// `VmRSS`: current resident set.
+    pub current_kb: u64,
+    /// `VmHWM`: peak resident set (high-water mark) since process start.
+    pub peak_kb: u64,
+}
+
+/// Reads the current and peak RSS from `/proc/self/status`.
+#[must_use]
+pub fn sample() -> Option<RssSample> {
+    parse_status(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+/// Parses the `VmRSS`/`VmHWM` lines of a `/proc/<pid>/status` document.
+fn parse_status(status: &str) -> Option<RssSample> {
+    let field = |key: &str| {
+        status.lines().find_map(|line| {
+            let rest = line.strip_prefix(key)?.strip_prefix(':')?;
+            // "	  123456 kB" — the unit is always kB for these fields.
+            rest.split_whitespace().next()?.parse::<u64>().ok()
+        })
+    };
+    Some(RssSample {
+        current_kb: field("VmRSS")?,
+        peak_kb: field("VmHWM")?,
+    })
+}
+
+/// Publishes `proc.rss_kb` and `proc.rss_peak_kb` gauges into the global
+/// registry, if the platform exposes them. Returns the sample read.
+pub fn publish_gauges() -> Option<RssSample> {
+    let s = sample()?;
+    let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    crate::registry()
+        .gauge("proc.rss_kb")
+        .set(clamp(s.current_kb));
+    crate::registry()
+        .gauge("proc.rss_peak_kb")
+        .set(clamp(s.peak_kb));
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kernel_status_fields() {
+        let doc = "Name:\tsvtd\nVmPeak:\t  999999 kB\nVmSize:\t  888888 kB\nVmHWM:\t   54321 kB\nVmRSS:\t   12345 kB\nThreads:\t4\n";
+        assert_eq!(
+            parse_status(doc),
+            Some(RssSample {
+                current_kb: 12345,
+                peak_kb: 54321
+            })
+        );
+        assert_eq!(parse_status("Name:\tsvtd\n"), None, "missing fields");
+        assert_eq!(parse_status("VmRSS:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn live_sample_is_plausible_on_linux() {
+        if let Some(s) = sample() {
+            assert!(s.current_kb > 0, "a running process has resident pages");
+            assert!(s.peak_kb >= s.current_kb, "peak is a high-water mark");
+        }
+    }
+}

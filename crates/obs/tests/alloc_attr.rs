@@ -1,0 +1,96 @@
+//! End-to-end test of the allocation-attribution hook with the counting
+//! allocator actually installed as the process `#[global_allocator]` —
+//! exactly how `svtd` and `bench_pipeline` run it.
+//!
+//! One `#[test]` only: the hook's totals and activity switch are
+//! process-global, and a sibling test allocating concurrently would make
+//! exact passthrough assertions racy.
+
+use svt_obs::alloc::{self, CountingAlloc};
+use svt_obs::TraceMode;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+#[test]
+fn hook_attributes_to_innermost_span_and_is_inert_when_inactive() {
+    // Inactive (the default): the wrapper is a pure passthrough and
+    // records nothing, whatever the trace mode says.
+    svt_obs::set_mode(TraceMode::Summary);
+    let before = alloc::totals();
+    {
+        let _s = svt_obs::span("t.alloc.cold");
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        std::hint::black_box(&v);
+    }
+    assert_eq!(alloc::totals(), before, "inactive hook must record nothing");
+    assert!(!alloc::active());
+
+    // Active: totals move and the bytes land on the innermost span leaf.
+    alloc::set_active(true);
+    {
+        let _outer = svt_obs::span("t.alloc.outer");
+        let big: Vec<u8> = Vec::with_capacity(1 << 20);
+        std::hint::black_box(&big);
+        {
+            let _inner = svt_obs::span("t.alloc.inner");
+            let nested: Vec<u8> = Vec::with_capacity(1 << 18);
+            std::hint::black_box(&nested);
+        }
+        // Growth through realloc counts the grown bytes.
+        let mut grow: Vec<u8> = Vec::with_capacity(16);
+        grow.resize(1 << 12, 0);
+        std::hint::black_box(&grow);
+    }
+    alloc::set_active(false);
+
+    let (count, bytes) = alloc::totals();
+    assert!(count > before.0, "active hook counts allocations");
+    assert!(
+        bytes - before.1 >= (1 << 20) + (1 << 18),
+        "active hook counts bytes (saw {} new)",
+        bytes - before.1
+    );
+
+    let sites = alloc::snapshot_sites();
+    let site = |name: &str| {
+        sites
+            .iter()
+            .find(|s| s.span == name)
+            .unwrap_or_else(|| panic!("no attribution for `{name}` in {sites:?}"))
+    };
+    assert!(
+        site("t.alloc.outer").bytes >= 1 << 20,
+        "outer span owns its own allocations: {sites:?}"
+    );
+    assert!(
+        site("t.alloc.inner").bytes >= 1 << 18,
+        "nested bytes attribute to the innermost leaf, not the root"
+    );
+    assert!(
+        site("t.alloc.inner").bytes < 1 << 20,
+        "the outer MiB must not leak into the inner leaf"
+    );
+    assert!(!sites.iter().any(|s| s.span == "t.alloc.cold"));
+    assert!(sites.windows(2).all(|w| w[0].span < w[1].span), "sorted");
+
+    // Once recorded the sites publish into the registry as gauges.
+    alloc::publish_gauges();
+    svt_obs::rss::publish_gauges();
+    svt_obs::set_mode(TraceMode::Off);
+    let snap = svt_obs::registry().snapshot();
+    let gauge = |name: &str| {
+        snap.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("gauge `{name}` missing"))
+    };
+    assert!(gauge("alloc.total.bytes") >= (1 << 20) as i64);
+    assert!(gauge("alloc.span.t.alloc.inner.bytes") >= (1 << 18) as i64);
+    // RSS gauges ride along on Linux; tolerate their absence elsewhere.
+    if svt_obs::rss::sample().is_some() {
+        assert!(gauge("proc.rss_kb") > 0);
+        assert!(gauge("proc.rss_peak_kb") >= gauge("proc.rss_kb"));
+    }
+}

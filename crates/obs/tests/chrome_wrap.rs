@@ -1,0 +1,67 @@
+//! Chrome-exporter sanitization driven by a *real* wrapped ring, not a
+//! hand-built event list: wraparound drops the oldest events, which can
+//! strand an `E` whose `B` was overwritten and a `B` whose `E` never
+//! arrived. The exporter must skip the former, close the latter, and the
+//! result must satisfy the validator's balance invariants.
+//!
+//! Single `#[test]`: the ring capacity (`SVT_TRACE_BUF`) latches once per
+//! process and the recording thread's ring joins the global pool.
+
+use svt_obs::chrome::{render_chrome_trace, validate_chrome_trace};
+use svt_obs::timeline::{self, Phase};
+
+#[test]
+fn wrapped_ring_sanitizes_orphan_end_and_open_begin() {
+    // Must precede the first recorded event anywhere in this process.
+    std::env::set_var(timeline::CAPACITY_ENV, "4");
+
+    std::thread::spawn(|| {
+        // Capacity 4. Push 6 events; the first two are overwritten:
+        //   dropped:  B w.outer, i w.fill
+        //   retained: i w.fill, i w.fill, E w.outer (orphan), B w.open
+        timeline::record(Phase::Begin, "w.outer");
+        for _ in 0..3 {
+            timeline::record(Phase::Instant, "w.fill");
+        }
+        timeline::record(Phase::End, "w.outer");
+        timeline::record(Phase::Begin, "w.open");
+    })
+    .join()
+    .expect("recorder thread");
+
+    let timelines = timeline::snapshot_all();
+    let wrapped = timelines
+        .iter()
+        .find(|t| t.dropped > 0)
+        .expect("the recorder's ring wrapped");
+    assert_eq!(wrapped.dropped, 2, "6 pushes into 4 slots drop exactly 2");
+    assert_eq!(wrapped.events.len(), 4);
+    assert_eq!(wrapped.events[2].name, "w.outer");
+    assert_eq!(wrapped.events[2].phase, Phase::End, "orphan E retained");
+    assert_eq!(wrapped.events[3].name, "w.open");
+    assert_eq!(wrapped.events[3].phase, Phase::Begin, "open B retained");
+
+    let json = render_chrome_trace(&timelines);
+    let stats = validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("sanitized wrapped ring must validate: {e}\n{json}"));
+
+    // The orphan E vanished entirely (nothing to close)…
+    assert!(
+        !stats.events.iter().any(|e| e.name == "w.outer"),
+        "orphan E must be skipped: {:?}",
+        stats.events
+    );
+    // …and the open B was closed at the thread's last timestamp.
+    let open: Vec<_> = stats.events.iter().filter(|e| e.name == "w.open").collect();
+    assert_eq!(open.len(), 2, "open B gets a synthetic E: {open:?}");
+    assert_eq!(open[0].ph, "B");
+    assert_eq!(open[1].ph, "E");
+    assert!(open[1].ts_us >= open[0].ts_us);
+    // The two dropped events surface as a counter record, never silently.
+    assert!(stats
+        .events
+        .iter()
+        .any(|e| e.name == "svt.timeline.dropped" && e.ph == "C"));
+
+    std::env::remove_var(timeline::CAPACITY_ENV);
+}

@@ -1,0 +1,127 @@
+//! `svtd` — the svt pipeline daemon.
+//!
+//! Server mode (default): warms the pipeline once, arms the pool
+//! watchdog, switches allocation attribution on, and serves the five
+//! service-plane endpoints until killed:
+//!
+//! ```text
+//! svtd [--addr HOST:PORT] [--design builtin|c432|...] [--watchdog-ms N]
+//! ```
+//!
+//! Smoke mode: a pure-Rust client that runs the CI smoke sequence
+//! against an already-running fresh daemon and exits non-zero on the
+//! first failed check:
+//!
+//! ```text
+//! svtd --smoke HOST:PORT [--design NAME]
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use svt_obs::alloc::CountingAlloc;
+use svt_serve::server::{DesignSpec, Server, ServiceState};
+use svt_serve::smoke::run_smoke;
+
+// Attribute every allocation in the daemon to the innermost active
+// span; the hook is inert until `alloc::set_active(true)` below.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+const DEFAULT_ADDR: &str = "127.0.0.1:9290";
+const DEFAULT_WATCHDOG_MS: u64 = 30_000;
+
+const USAGE: &str = "usage: svtd [--addr HOST:PORT] [--design builtin|c432|c880|c1355|c1908|c3540] [--watchdog-ms N] [--smoke HOST:PORT]";
+
+struct Args {
+    addr: String,
+    design: DesignSpec,
+    watchdog_ms: u64,
+    smoke: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: DEFAULT_ADDR.to_string(),
+        design: DesignSpec::Builtin,
+        watchdog_ms: DEFAULT_WATCHDOG_MS,
+        smoke: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--design" => args.design = DesignSpec::parse(&value("--design")?)?,
+            "--watchdog-ms" => {
+                let raw = value("--watchdog-ms")?;
+                args.watchdog_ms = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--watchdog-ms: `{raw}` is not a number"))?;
+            }
+            "--smoke" => args.smoke = Some(value("--smoke")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(target) = &args.smoke {
+        return match run_smoke(target, &args.design) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // A daemon wants the live timeline on by default so /timeline.json
+    // has content; an explicit SVT_TRACE still wins.
+    if std::env::var_os("SVT_TRACE").is_none() {
+        svt_obs::set_mode(svt_obs::TraceMode::Chrome);
+    }
+    svt_obs::alloc::set_active(true);
+    if args.watchdog_ms > 0 {
+        svt_exec::watchdog::arm(Duration::from_millis(args.watchdog_ms));
+    }
+
+    let warm_start = Instant::now();
+    eprintln!("svtd: warming design `{}` ...", args.design.name());
+    let state = match ServiceState::new(&args.design) {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("svtd: warm-up failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("svtd: warm in {:.2}s", warm_start.elapsed().as_secs_f64());
+
+    let server = match Server::spawn(&args.addr, state) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("svtd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The one line scripts wait for before curling the endpoints.
+    println!("svtd: listening on http://{}", server.addr());
+    server.join();
+    ExitCode::SUCCESS
+}

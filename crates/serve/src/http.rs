@@ -1,0 +1,272 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! The service plane deliberately avoids external crates (the build
+//! environment is offline; see the workspace `vendor/` policy), so this
+//! module hand-rolls exactly the subset of RFC 9112 the daemon needs:
+//! one request per connection, `Content-Length` bodies, no chunked
+//! encoding, no keep-alive. Both the server loop and the pure-Rust smoke
+//! client ([`http_request`]) share this framing, which keeps the CI
+//! smoke job free of `curl`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest request body the server will buffer, bytes. ECO edit payloads
+/// are well under a kilobyte; anything larger is a client bug.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path including any query string, e.g. `/metrics`.
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response with an explicit status.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// A JSON error envelope `{"error": "..."}` with the given status.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!("{{\"error\":\"{}\"}}", svt_obs::json::escape_json(message)),
+        }
+    }
+}
+
+/// Canonical reason phrase for the handful of status codes the daemon
+/// emits; anything else degrades to a bare numeric status line.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed request lines, header
+/// overflow, bodies past [`MAX_BODY_BYTES`], or I/O failure. The caller
+/// turns these into `400` responses.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts
+        .next()
+        .ok_or("request line missing target")?
+        .to_string();
+    let version = parts.next().ok_or("request line missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol version `{version}`"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(format!("malformed header `{header}`"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one response and flushes; the connection is then closed by the
+/// caller dropping the stream (`Connection: close` semantics).
+///
+/// # Errors
+///
+/// Propagates socket write failures as a message (the server loop logs
+/// and moves on — a client that hung up mid-response is not fatal).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), String> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(response.body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write response: {e}"))
+}
+
+/// Pure-Rust HTTP client for the smoke mode and tests: sends one
+/// request, returns `(status, body)`.
+///
+/// # Errors
+///
+/// Returns a message on connect/write/read failure or an unparseable
+/// status line.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send request: {e}"))?;
+
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("response missing header terminator")?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line in `{}`", head.lines().next().unwrap_or("")))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_and_response_round_trip_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/eco");
+            assert_eq!(req.body, "{\"k\":1}");
+            write_response(&mut stream, &Response::json("{\"ok\":true}".into())).unwrap();
+        });
+        let (status, body) = http_request(&addr.to_string(), "POST", "/eco", "{\"k\":1}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_and_bad_versions_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let err = read_request(&mut stream).unwrap_err();
+                write_response(&mut stream, &Response::error(400, &err)).unwrap();
+            }
+        });
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(
+            format!(
+                "POST /eco HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        s.flush().unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "got: {raw}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / SPDY/9\r\n\r\n").unwrap();
+        s.flush().unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        assert!(raw.contains("unsupported protocol"), "got: {raw}");
+
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! Live service plane for the svt pipeline.
+//!
+//! Everything upstream of this crate runs batch: expand the library,
+//! sign off, print a table, exit. `svt-serve` keeps that state *warm*
+//! inside a long-lived daemon (`svtd`) and exposes it over a
+//! dependency-free HTTP/1.1 server:
+//!
+//! | Endpoint          | Serves |
+//! |-------------------|--------|
+//! | `GET /healthz`    | readiness, design identity, and the pool watchdog verdict (`503` when stalled) |
+//! | `GET /metrics`    | Prometheus exposition of the global registry, plus per-interval `_delta`/`_rate` series between scrapes |
+//! | `GET /snapshot.json` | the full aggregate [`svt_obs::Snapshot`] as JSON |
+//! | `GET /timeline.json` | the live per-thread event rings as a Chrome `trace_event` document |
+//! | `POST /eco`       | a typed [`svt_eco::EcoEdit`]; responds with the incremental [`svt_eco::DeltaReport`] |
+//!
+//! The HTTP layer is hand-rolled ([`http`]) because the build
+//! environment is offline and the workspace vendors its few external
+//! stand-ins; one request per connection with `Content-Length` framing
+//! is all the plane needs. The [`smoke`] module is the CI gate: a
+//! pure-Rust client that validates every endpoint with the workspace's
+//! own parsers and replays the ECO edit through a local
+//! [`svt_eco::EcoSession`] to prove the served slack deltas bit-exact.
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod smoke;
+
+pub use http::{http_request, Request, Response};
+pub use server::{
+    parse_edit, render_delta_report, route, warm_session, DesignSpec, Server, ServiceState,
+    BUILTIN_NETLIST,
+};
+pub use smoke::{pick_smoke_edit, run_smoke};

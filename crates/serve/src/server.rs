@@ -1,0 +1,569 @@
+//! The warm pipeline state and the request router.
+//!
+//! Startup pays the full cost once — expanding the svt90 library through
+//! litho simulation, mapping and placing the design, and signing it off
+//! into an [`EcoSession`] — and every request after that is served from
+//! the warm state: scrapes read the global telemetry registry, ECO posts
+//! run the *incremental* re-sign-off. The library/expanded-library/flow
+//! stack is interned with `Box::leak` behind a `OnceLock`, giving the
+//! session a `'static` lifetime without self-referential types; the leak
+//! is intentional and bounded (one stack per process).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use svt_core::{SignoffFlow, SignoffOptions};
+use svt_eco::{DeltaReport, EcoEdit, EcoError, EcoSession};
+use svt_litho::Process;
+use svt_netlist::{bench, technology_map};
+use svt_obs::json::{escape_json, JsonValue};
+use svt_place::{place, PlacementOptions};
+use svt_stdcell::{expand_library, ExpandOptions, Library};
+
+use crate::http::{read_request, write_response, Request, Response};
+
+/// The built-in warm-up design: small enough to sign off in well under a
+/// second, rich enough to have multi-corner endpoint deltas. The smoke
+/// client rebuilds its mirror session from this same source, so the text
+/// here is part of the differential contract.
+pub const BUILTIN_NETLIST: &str = "# svtd warm design\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(y)\nc = NAND(a, b)\nd = NOT(c)\nz = NOT(d)\ny = NAND(c, d)\n";
+
+/// Name reported for the built-in design.
+pub const BUILTIN_NAME: &str = "builtin";
+
+/// Which design the daemon keeps warm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignSpec {
+    /// The tiny [`BUILTIN_NETLIST`].
+    Builtin,
+    /// One of the paper's ISCAS85 testcases (`c432` …).
+    Iscas(String),
+}
+
+impl DesignSpec {
+    /// Parses a `--design` argument: `builtin` or a paper testcase name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of accepted names on anything else.
+    pub fn parse(name: &str) -> Result<DesignSpec, String> {
+        if name == BUILTIN_NAME {
+            return Ok(DesignSpec::Builtin);
+        }
+        if svt_bench::PAPER_TESTCASES.contains(&name) {
+            return Ok(DesignSpec::Iscas(name.to_string()));
+        }
+        Err(format!(
+            "unknown design `{name}`; expected `{BUILTIN_NAME}` or one of {:?}",
+            svt_bench::PAPER_TESTCASES
+        ))
+    }
+
+    /// The design name reported by `/healthz`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            DesignSpec::Builtin => BUILTIN_NAME,
+            DesignSpec::Iscas(n) => n,
+        }
+    }
+}
+
+/// The leaked library/expanded/flow stack shared by every session in
+/// this process (daemon session, test mirrors, smoke mirrors).
+struct WarmStack {
+    library: &'static Library,
+    flow: &'static SignoffFlow<'static>,
+}
+
+fn warm_stack() -> &'static WarmStack {
+    static STACK: OnceLock<WarmStack> = OnceLock::new();
+    STACK.get_or_init(|| {
+        let _span = svt_obs::span("serve.warmup.library");
+        let library: &'static Library = Box::leak(Box::new(Library::svt90()));
+        let sim = Process::nm90().simulator();
+        let expanded = expand_library(library, &sim, &ExpandOptions::fast())
+            .expect("expanding the svt90 library with the calibrated simulator succeeds");
+        let expanded = Box::leak(Box::new(expanded));
+        let flow = Box::leak(Box::new(SignoffFlow::new(
+            library,
+            expanded,
+            SignoffOptions::default(),
+        )));
+        WarmStack { library, flow }
+    })
+}
+
+/// Builds a fully signed-off session for the given design.
+///
+/// The expensive library expansion is shared process-wide; only the
+/// per-design mapping, placement, and sign-off run per call, so a test
+/// or smoke mirror is much cheaper than the first warm-up.
+///
+/// # Errors
+///
+/// Returns a message when parsing, mapping, placement, or the initial
+/// sign-off fails.
+///
+/// # Panics
+///
+/// Panics if the one-time svt90 library expansion itself fails — that is
+/// a broken build, not a recoverable request error.
+pub fn warm_session(spec: &DesignSpec) -> Result<EcoSession<'static>, String> {
+    let _span = svt_obs::span("serve.warmup.session");
+    let stack = warm_stack();
+    let (mapped, placement) = match spec {
+        DesignSpec::Builtin => {
+            let netlist =
+                bench::parse(BUILTIN_NETLIST).map_err(|e| format!("builtin netlist: {e}"))?;
+            let mapped = technology_map(&netlist, stack.library)
+                .map_err(|e| format!("mapping builtin design: {e}"))?;
+            let placement = place(&mapped, stack.library, &PlacementOptions::default())
+                .map_err(|e| format!("placing builtin design: {e}"))?;
+            (mapped, placement)
+        }
+        DesignSpec::Iscas(name) => {
+            let design = svt_bench::build_design(stack.library, name);
+            (design.mapped, design.placement)
+        }
+    };
+    EcoSession::new(stack.flow, &mapped, &placement)
+        .map_err(|e| format!("initial sign-off of `{}`: {e}", spec.name()))
+}
+
+/// Shared state behind the router: the warm session plus the previous
+/// scrape used to derive per-interval rate/delta series.
+pub struct ServiceState {
+    design: String,
+    started: Instant,
+    session: Mutex<EcoSession<'static>>,
+    scrape: Mutex<Option<(Instant, svt_obs::Snapshot)>>,
+}
+
+impl ServiceState {
+    /// Warms the pipeline for `spec` and wraps it for serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`warm_session`] failures.
+    pub fn new(spec: &DesignSpec) -> Result<ServiceState, String> {
+        let session = warm_session(spec)?;
+        Ok(ServiceState {
+            design: spec.name().to_string(),
+            started: Instant::now(),
+            session: Mutex::new(session),
+            scrape: Mutex::new(None),
+        })
+    }
+
+    /// Applies one edit directly to the warm session (the same code path
+    /// `POST /eco` takes, without HTTP in between).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EcoSession::apply`] failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous request panicked while holding the session
+    /// lock.
+    pub fn apply(&self, edit: &EcoEdit) -> Result<DeltaReport, EcoError> {
+        self.session.lock().unwrap().apply(edit)
+    }
+
+    /// Design name served by `/healthz`.
+    #[must_use]
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+}
+
+/// Formats an `f64` so it survives a JSON round-trip bit-exactly: `{:?}`
+/// is Rust's shortest-round-trip form and the shared
+/// [`svt_obs::json`] parser reads exponent notation. Non-finite values
+/// (never produced by the flow) degrade to `null`.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a [`DeltaReport`] as the `POST /eco` response body. Floats
+/// are serialized in shortest-round-trip form, so they parse back
+/// bit-exactly; the differential smoke check relies on that.
+#[must_use]
+pub fn render_delta_report(report: &DeltaReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"edit\":\"");
+    out.push_str(&escape_json(&report.edit));
+    out.push_str("\",\"rows_extracted\":[");
+    for (i, row) in report.rows_extracted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&row.to_string());
+    }
+    out.push_str("],\"recharacterized\":");
+    out.push_str(&report.recharacterized.len().to_string());
+    out.push_str(",\"pitch_rows_invalidated\":");
+    out.push_str(&report.pitch_rows_invalidated.to_string());
+    out.push_str(",\"forward_instances\":");
+    out.push_str(&report.forward_instances.to_string());
+    out.push_str(",\"backward_nets\":");
+    out.push_str(&report.backward_nets.to_string());
+    out.push_str(",\"spread_gap_delta_ns\":");
+    out.push_str(&fmt_f64(report.spread_gap_delta_ns()));
+    out.push_str(",\"uncertainty_reduction_delta_pct\":");
+    out.push_str(&fmt_f64(report.uncertainty_reduction_delta_pct()));
+    out.push_str(",\"timing_noop\":");
+    out.push_str(if report.is_timing_noop() {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"endpoint_deltas\":[");
+    for (i, d) in report.endpoint_deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"endpoint\":\"");
+        out.push_str(&escape_json(&d.endpoint));
+        out.push_str("\",\"corner\":\"");
+        out.push_str(&escape_json(&d.corner));
+        out.push_str("\",\"arrival_before_ns\":");
+        out.push_str(&fmt_f64(d.arrival_before_ns));
+        out.push_str(",\"arrival_after_ns\":");
+        out.push_str(&fmt_f64(d.arrival_after_ns));
+        out.push_str(",\"slack_delta_ns\":");
+        out.push_str(&fmt_f64(d.slack_delta_ns()));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses the `POST /eco` body into a typed edit.
+///
+/// The shape is one flat object selected by `type`:
+///
+/// ```json
+/// {"type": "resize_cell",    "instance": "g3", "new_cell": "INVX2"}
+/// {"type": "swap_cell",      "instance": "g3", "new_cell": "INVX2"}
+/// {"type": "adjust_spacing", "instance": "g3", "dx_nm": -120.0}
+/// {"type": "move_instance",  "instance": "g3", "row": 1, "x_nm": 940.0}
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn parse_edit(body: &str) -> Result<EcoEdit, String> {
+    let v = JsonValue::parse(body).map_err(|e| format!("body is not JSON: {e}"))?;
+    let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
+    let string_field = |name: &str| {
+        field(name).and_then(|f| {
+            f.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field `{name}` must be a string"))
+        })
+    };
+    let number_field = |name: &str| {
+        field(name).and_then(|f| {
+            f.as_f64()
+                .ok_or_else(|| format!("field `{name}` must be a number"))
+        })
+    };
+    let kind = string_field("type")?;
+    match kind.as_str() {
+        "swap_cell" => Ok(EcoEdit::SwapCell {
+            instance: string_field("instance")?,
+            new_cell: string_field("new_cell")?,
+        }),
+        "resize_cell" => Ok(EcoEdit::ResizeCell {
+            instance: string_field("instance")?,
+            new_cell: string_field("new_cell")?,
+        }),
+        "adjust_spacing" => Ok(EcoEdit::AdjustSpacing {
+            instance: string_field("instance")?,
+            dx_nm: number_field("dx_nm")?,
+        }),
+        "move_instance" => Ok(EcoEdit::MoveInstance {
+            instance: string_field("instance")?,
+            row: field("row")?
+                .as_u64()
+                .ok_or("field `row` must be a non-negative integer")?
+                as usize,
+            x_nm: number_field("x_nm")?,
+        }),
+        other => Err(format!(
+            "unknown edit type `{other}`; expected swap_cell, resize_cell, adjust_spacing, or move_instance"
+        )),
+    }
+}
+
+fn healthz(state: &ServiceState) -> Response {
+    let wd = svt_exec::watchdog::status();
+    let edits = state.session.lock().unwrap().edits().len();
+    let body = format!(
+        "{{\"status\":\"{}\",\"design\":\"{}\",\"uptime_seconds\":{},\"edits_applied\":{edits},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}}}}",
+        if wd.healthy() { "ok" } else { "stalled" },
+        escape_json(&state.design),
+        fmt_f64(state.started.elapsed().as_secs_f64()),
+        wd.armed,
+        wd.deadline.as_millis(),
+        wd.stalled_now,
+        wd.stall_events,
+        wd.healthy()
+    );
+    Response {
+        status: if wd.healthy() { 200 } else { 503 },
+        content_type: "application/json",
+        body,
+    }
+}
+
+fn metrics(state: &ServiceState) -> Response {
+    // Refresh the pull-style sources right before snapshotting so the
+    // scrape reflects this instant, not the last request.
+    svt_obs::alloc::publish_gauges();
+    svt_obs::rss::publish_gauges();
+    let now = Instant::now();
+    let snap = svt_obs::registry().snapshot();
+    let mut body = snap.to_prometheus();
+    let mut scrape = state.scrape.lock().unwrap();
+    if let Some((prev_at, prev)) = scrape.as_ref() {
+        body.push_str(&snap.delta_prometheus(prev, now.duration_since(*prev_at).as_secs_f64()));
+    }
+    *scrape = Some((now, snap));
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body,
+    }
+}
+
+fn eco(state: &ServiceState, req: &Request) -> Response {
+    let edit = match parse_edit(&req.body) {
+        Ok(edit) => edit,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.apply(&edit) {
+        Ok(report) => Response::json(render_delta_report(&report)),
+        Err(e @ (EcoError::InvalidEdit { .. } | EcoError::Netlist(_) | EcoError::Place(_))) => {
+            Response::error(400, &e.to_string())
+        }
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// Routes one request. Pure with respect to the connection: all I/O
+/// stays in the caller, which keeps every endpoint unit-testable without
+/// sockets.
+#[must_use]
+pub fn route(state: &ServiceState, req: &Request) -> Response {
+    svt_obs::registry().counter("serve.requests").incr();
+    match (
+        req.method.as_str(),
+        req.path.split('?').next().unwrap_or(""),
+    ) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/snapshot.json") => Response::json(svt_obs::registry().snapshot().to_json()),
+        ("GET", "/timeline.json") => Response::json(svt_obs::chrome::render_chrome_trace(
+            &svt_obs::timeline::snapshot_all(),
+        )),
+        ("POST", "/eco") => {
+            let _span = svt_obs::span("serve.eco");
+            eco(state, req)
+        }
+        (_, "/healthz" | "/metrics" | "/snapshot.json" | "/timeline.json" | "/eco") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// A running daemon: the bound address plus the accept-loop thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread. Connections are served
+    /// sequentially — the session is a single shared resource and the
+    /// endpoints are all sub-second, so a one-lane loop keeps responses
+    /// deterministic under concurrent scrapes and edits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the bind fails.
+    pub fn spawn(addr: &str, state: ServiceState) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let state = Arc::new(state);
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_state = Arc::clone(&state);
+        let loop_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("svtd-accept".into())
+            .spawn(move || accept_loop(&listener, &loop_state, &loop_stop))
+            .map_err(|e| format!("spawn accept loop: {e}"))?;
+        Ok(Server {
+            addr: local,
+            state,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for in-process differential checks.
+    #[must_use]
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Blocks until the accept loop exits (it only exits on
+    /// [`Server::shutdown`] from another thread).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServiceState, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let response = match read_request(&mut stream) {
+            Ok(req) => route(state, &req),
+            Err(e) => {
+                svt_obs::registry().counter("serve.bad_requests").incr();
+                Response::error(400, &e)
+            }
+        };
+        if write_response(&mut stream, &response).is_err() {
+            svt_obs::registry().counter("serve.write_errors").incr();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_bodies_parse_into_each_typed_variant() {
+        assert_eq!(
+            parse_edit("{\"type\":\"resize_cell\",\"instance\":\"g1\",\"new_cell\":\"INVX2\"}")
+                .unwrap(),
+            EcoEdit::ResizeCell {
+                instance: "g1".into(),
+                new_cell: "INVX2".into()
+            }
+        );
+        assert_eq!(
+            parse_edit("{\"type\":\"swap_cell\",\"instance\":\"g1\",\"new_cell\":\"NAND2X2\"}")
+                .unwrap(),
+            EcoEdit::SwapCell {
+                instance: "g1".into(),
+                new_cell: "NAND2X2".into()
+            }
+        );
+        assert_eq!(
+            parse_edit("{\"type\":\"adjust_spacing\",\"instance\":\"g1\",\"dx_nm\":-120.5}")
+                .unwrap(),
+            EcoEdit::AdjustSpacing {
+                instance: "g1".into(),
+                dx_nm: -120.5
+            }
+        );
+        assert_eq!(
+            parse_edit("{\"type\":\"move_instance\",\"instance\":\"g1\",\"row\":2,\"x_nm\":940.0}")
+                .unwrap(),
+            EcoEdit::MoveInstance {
+                instance: "g1".into(),
+                row: 2,
+                x_nm: 940.0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_edits_name_the_offending_field() {
+        assert!(parse_edit("not json").unwrap_err().contains("not JSON"));
+        assert!(parse_edit("{\"instance\":\"g1\"}")
+            .unwrap_err()
+            .contains("`type`"));
+        assert!(parse_edit("{\"type\":\"resize_cell\",\"instance\":\"g1\"}")
+            .unwrap_err()
+            .contains("`new_cell`"));
+        assert!(parse_edit(
+            "{\"type\":\"move_instance\",\"instance\":\"g1\",\"row\":-1,\"x_nm\":0}"
+        )
+        .unwrap_err()
+        .contains("`row`"));
+        assert!(parse_edit("{\"type\":\"delete_all\"}")
+            .unwrap_err()
+            .contains("unknown edit type"));
+    }
+
+    #[test]
+    fn design_specs_accept_builtin_and_paper_testcases_only() {
+        assert_eq!(DesignSpec::parse("builtin").unwrap(), DesignSpec::Builtin);
+        assert_eq!(
+            DesignSpec::parse("c432").unwrap(),
+            DesignSpec::Iscas("c432".into())
+        );
+        assert!(DesignSpec::parse("c17").is_err());
+    }
+
+    #[test]
+    fn floats_render_shortest_round_trip_and_nonfinite_degrade_to_null() {
+        for x in [0.1 + 0.2, 1.0e-7, -0.0, 12345.678901234567] {
+            let rendered = fmt_f64(x);
+            let parsed = JsonValue::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), x.to_bits(), "round-trip of {rendered}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,184 @@
+//! The end-to-end smoke sequence used by CI and `svtd --smoke`.
+//!
+//! A pure-Rust client (no `curl`) walks every endpoint of a freshly
+//! started daemon and validates each response with the workspace's own
+//! parsers: the Prometheus exposition must survive
+//! [`svt_obs::parse_prometheus`], the snapshot and ECO responses the
+//! shared [`svt_obs::json`] parser, and the timeline
+//! [`svt_obs::chrome::validate_chrome_trace`]. The ECO check is
+//! *differential*: the client rebuilds the daemon's design locally,
+//! applies the identical edit through [`EcoSession::apply`] directly,
+//! and requires the served slack deltas to match bit-for-bit.
+//!
+//! [`EcoSession::apply`]: svt_eco::EcoSession::apply
+
+use svt_eco::EcoEdit;
+use svt_netlist::MappedNetlist;
+use svt_obs::json::JsonValue;
+
+use crate::http::http_request;
+use crate::server::{render_delta_report, warm_session, DesignSpec};
+
+/// The deterministic edit the smoke check posts: resize the first
+/// `INVX1` instance (netlist order) to `INVX2`. Both the client and any
+/// observer can reproduce it from the design alone.
+///
+/// # Errors
+///
+/// Returns a message when the design has no `INVX1` instance.
+pub fn pick_smoke_edit(netlist: &MappedNetlist) -> Result<EcoEdit, String> {
+    let instance = netlist
+        .instances()
+        .iter()
+        .find(|i| i.cell == "INVX1")
+        .map(|i| i.name.clone())
+        .ok_or("design has no INVX1 instance to resize")?;
+    Ok(EcoEdit::ResizeCell {
+        instance,
+        new_cell: "INVX2".into(),
+    })
+}
+
+fn get(addr: &str, path: &str) -> Result<String, String> {
+    let (status, body) = http_request(addr, "GET", path, "")?;
+    if status != 200 {
+        return Err(format!("GET {path}: status {status}, body: {body}"));
+    }
+    Ok(body)
+}
+
+/// Runs the full smoke sequence against `addr` (`host:port`).
+///
+/// Assumes the daemon was started fresh on `spec` with no edits applied
+/// — the differential mirror replays from the initial sign-off. Returns
+/// a human-readable pass summary.
+///
+/// # Errors
+///
+/// Returns the first failed check with enough context to debug it.
+pub fn run_smoke(addr: &str, spec: &DesignSpec) -> Result<String, String> {
+    let mut summary = String::new();
+
+    // 1. Readiness, design identity, and the watchdog verdict.
+    let health = get(addr, "/healthz")?;
+    let health = JsonValue::parse(&health).map_err(|e| format!("/healthz not JSON: {e}"))?;
+    let status = health.get("status").and_then(JsonValue::as_str);
+    if status != Some("ok") {
+        return Err(format!("/healthz status is {status:?}, want ok"));
+    }
+    let design = health.get("design").and_then(JsonValue::as_str);
+    if design != Some(spec.name()) {
+        return Err(format!(
+            "/healthz design is {design:?}, want {:?} — is the daemon running a different design?",
+            spec.name()
+        ));
+    }
+    if health
+        .get("watchdog")
+        .and_then(|w| w.get("healthy"))
+        .and_then(JsonValue::as_bool)
+        != Some(true)
+    {
+        return Err("watchdog reports unhealthy on a fresh daemon".to_string());
+    }
+    summary.push_str("healthz: ok\n");
+
+    // 2. First scrape: must parse with the workspace's own parser and
+    // carry the service-plane counters.
+    let scrape = get(addr, "/metrics")?;
+    let samples = svt_obs::parse_prometheus(&scrape).map_err(|e| format!("/metrics: {e}"))?;
+    if samples.is_empty() {
+        return Err("/metrics exposition is empty".to_string());
+    }
+    if !samples.iter().any(|s| s.name == "svt_serve_requests_total") {
+        return Err("svt_serve_requests_total missing from /metrics".to_string());
+    }
+    summary.push_str(&format!("metrics: {} samples\n", samples.len()));
+
+    // 3. Aggregate snapshot parses as JSON.
+    let snapshot = get(addr, "/snapshot.json")?;
+    JsonValue::parse(&snapshot).map_err(|e| format!("/snapshot.json not JSON: {e}"))?;
+    summary.push_str("snapshot.json: ok\n");
+
+    // 4. Live timeline is a well-formed Chrome trace.
+    let trace = get(addr, "/timeline.json")?;
+    let stats = svt_obs::chrome::validate_chrome_trace(&trace)
+        .map_err(|e| format!("/timeline.json: {e}"))?;
+    summary.push_str(&format!(
+        "timeline.json: {} events on {} threads\n",
+        stats.events.len(),
+        stats.tids.len()
+    ));
+
+    // 5. Differential ECO: served deltas must equal a direct
+    // EcoSession::apply on an identically constructed session, bit for
+    // bit.
+    let mut mirror = warm_session(spec)?;
+    let edit = pick_smoke_edit(mirror.netlist())?;
+    let body = match &edit {
+        EcoEdit::ResizeCell { instance, new_cell } => format!(
+            "{{\"type\":\"resize_cell\",\"instance\":\"{instance}\",\"new_cell\":\"{new_cell}\"}}"
+        ),
+        _ => unreachable!("pick_smoke_edit only resizes"),
+    };
+    let (status, served) = http_request(addr, "POST", "/eco", &body)?;
+    if status != 200 {
+        return Err(format!("POST /eco: status {status}, body: {served}"));
+    }
+    let expected_report = mirror
+        .apply(&edit)
+        .map_err(|e| format!("mirror apply: {e}"))?;
+    let expected = render_delta_report(&expected_report);
+    let served_json = JsonValue::parse(&served).map_err(|e| format!("/eco not JSON: {e}"))?;
+    let deltas = served_json
+        .get("endpoint_deltas")
+        .and_then(JsonValue::as_array)
+        .ok_or("eco response missing endpoint_deltas")?;
+    if deltas.len() != expected_report.endpoint_deltas.len() {
+        return Err(format!(
+            "served {} endpoint deltas, direct apply produced {}",
+            deltas.len(),
+            expected_report.endpoint_deltas.len()
+        ));
+    }
+    for (served_delta, want) in deltas.iter().zip(&expected_report.endpoint_deltas) {
+        for (field, want_ns) in [
+            ("arrival_before_ns", want.arrival_before_ns),
+            ("arrival_after_ns", want.arrival_after_ns),
+        ] {
+            let got = served_delta
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("delta missing {field}"))?;
+            if got.to_bits() != want_ns.to_bits() {
+                return Err(format!(
+                    "{}/{} {field}: served {got:?} != direct {want_ns:?} (bit-exact check)",
+                    want.endpoint, want.corner
+                ));
+            }
+        }
+    }
+    if served != expected {
+        return Err(format!(
+            "eco response body diverges from the direct render:\n served: {served}\n direct: {expected}"
+        ));
+    }
+    summary.push_str(&format!(
+        "eco: {} endpoint deltas bit-identical to direct apply\n",
+        deltas.len()
+    ));
+
+    // 6. Second scrape: the per-interval delta/rate series appear now
+    // that a previous scrape exists.
+    let scrape = get(addr, "/metrics")?;
+    let samples =
+        svt_obs::parse_prometheus(&scrape).map_err(|e| format!("second /metrics: {e}"))?;
+    for series in ["svt_scrape_interval_seconds", "svt_serve_requests_delta"] {
+        if !samples.iter().any(|s| s.name == series) {
+            return Err(format!("{series} missing from second scrape"));
+        }
+    }
+    summary.push_str("metrics deltas: ok\n");
+    summary.push_str("smoke: PASS");
+    Ok(summary)
+}

@@ -1,0 +1,78 @@
+//! End-to-end service-plane test: boot a real daemon on an ephemeral
+//! port and run the exact CI smoke sequence against it in-process,
+//! including the differential check that `POST /eco` slack deltas are
+//! bit-identical to a direct `EcoSession::apply`. Then probe the error
+//! paths the smoke sequence (which must pass) never exercises.
+//!
+//! Single `#[test]`: the telemetry registry, trace mode, and warm
+//! library stack are process-global.
+
+use std::time::Duration;
+
+use svt_obs::alloc::CountingAlloc;
+use svt_obs::json::JsonValue;
+use svt_serve::http::http_request;
+use svt_serve::server::{DesignSpec, Server, ServiceState};
+use svt_serve::smoke::run_smoke;
+
+// Match the daemon: attribute allocations so /metrics carries the
+// svt_alloc_* gauges during the smoke scrape.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+#[test]
+fn daemon_serves_all_endpoints_and_eco_deltas_match_direct_apply() {
+    // Mirror the daemon's defaults: live timeline, allocation
+    // attribution, armed watchdog.
+    svt_obs::set_mode(svt_obs::TraceMode::Chrome);
+    svt_obs::alloc::set_active(true);
+    svt_exec::watchdog::arm(Duration::from_secs(30));
+
+    let spec = DesignSpec::Builtin;
+    let state = ServiceState::new(&spec).expect("warm-up succeeds");
+    let server = Server::spawn("127.0.0.1:0", state).expect("bind an ephemeral port");
+    let addr = server.addr().to_string();
+
+    // The full CI sequence: healthz, two scrapes with delta series,
+    // snapshot, timeline, and the bit-exact ECO differential.
+    let summary = run_smoke(&addr, &spec).unwrap_or_else(|e| panic!("smoke failed: {e}"));
+    assert!(summary.ends_with("smoke: PASS"), "summary: {summary}");
+
+    // The smoke posted exactly one edit; /healthz accounts for it.
+    let (status, health) = http_request(&addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    let health = JsonValue::parse(&health).unwrap();
+    assert_eq!(
+        health.get("edits_applied").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+
+    // Error paths: unknown endpoint, wrong method, rejected edits.
+    let (status, _) = http_request(&addr, "GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "POST", "/metrics", "").unwrap();
+    assert_eq!(status, 405);
+    let (status, body) = http_request(&addr, "POST", "/eco", "{\"type\":\"resize_cell\"}").unwrap();
+    assert_eq!(status, 400, "missing fields are a client error: {body}");
+    assert!(body.contains("instance"), "error names the field: {body}");
+    let (status, body) = http_request(
+        &addr,
+        "POST",
+        "/eco",
+        "{\"type\":\"adjust_spacing\",\"instance\":\"no-such-inst\",\"dx_nm\":10.0}",
+    )
+    .unwrap();
+    assert_eq!(status, 400, "invalid edits are a client error: {body}");
+    let err = JsonValue::parse(&body).unwrap();
+    assert!(err.get("error").and_then(JsonValue::as_str).is_some());
+
+    // A rejected edit mutates nothing: the count is still one.
+    let (_, health) = http_request(&addr, "GET", "/healthz", "").unwrap();
+    let health = JsonValue::parse(&health).unwrap();
+    assert_eq!(
+        health.get("edits_applied").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+
+    server.shutdown();
+}

@@ -29,13 +29,18 @@ field() { # field <json-line> <key>
 # crates/obs/tests/overhead.rs). eco_incr_ms is the incremental ECO
 # apply latency — the svt-eco value proposition — so it is gated too;
 # eco_full_ms varies with how much litho cache the edit invalidates and
-# stays informational.
-metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms)
+# stays informational. signoff_alloc_mb is the heap traffic of one warm
+# sign-off — near-deterministic, so an allocation regression is gated
+# like a time regression; peak_rss_mb depends on allocator reuse across
+# the whole process and stays informational.
+metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb)
 
 status=0
 for m in "${metrics[@]}"; do
-    prev=$(grep "\"$m\":" "$HISTORY" | tail -n 2 | head -n 1)
-    latest=$(grep "\"$m\":" "$HISTORY" | tail -n 1)
+    # `|| true`: grep exits 1 when no entry carries the metric yet, which
+    # must read as "skip" below, not abort the whole gate under pipefail.
+    prev=$(grep "\"$m\":" "$HISTORY" | tail -n 2 | head -n 1 || true)
+    latest=$(grep "\"$m\":" "$HISTORY" | tail -n 1 || true)
     if [[ -z "$prev" || -z "$latest" || "$prev" == "$latest" ]]; then
         echo "bench_compare: fewer than two entries carry $m — nothing to compare"
         continue
@@ -50,10 +55,10 @@ for m in "${metrics[@]}"; do
     regression=$(awk -v p="$p" -v l="$l" 'BEGIN { printf "%.1f", 100 * (l - p) / p }')
     over=$(awk -v r="$regression" -v t="$THRESHOLD_PCT" 'BEGIN { print (r > t) ? 1 : 0 }')
     if [[ "$over" == 1 ]]; then
-        echo "bench_compare: REGRESSION $m: $p ms -> $l ms (+$regression% > ${THRESHOLD_PCT}%)"
+        echo "bench_compare: REGRESSION $m: $p -> $l (+$regression% > ${THRESHOLD_PCT}%)"
         status=1
     else
-        echo "bench_compare: ok $m: $p ms -> $l ms ($regression%)"
+        echo "bench_compare: ok $m: $p -> $l ($regression%)"
     fi
 done
 
