@@ -166,24 +166,29 @@ fn main() {
     );
 
     // ---- Memory: allocation volume + peak RSS ---------------------------
-    // One warm sign-off with the allocation hook live: the delta of the
-    // process-wide totals is what a run costs in heap traffic, and the
-    // peak RSS (VmHWM, whole process so far) bounds the footprint. The
-    // allocation delta is deterministic enough to gate in
+    // One *warm* sign-off with the allocation hook live: a warm-up run
+    // fills the flow's memoized state (characterizations, interned
+    // topology, scratch arenas), then the counters are reset so this
+    // section reports the steady-state hot path in isolation — not
+    // residue from earlier sections or the cache-filling cold run. The
+    // warm allocation count is near-deterministic, so it is gated in
     // scripts/bench_compare.sh; RSS stays informational.
-    println!("[5/6] memory (alloc totals + peak RSS during signoff)...");
+    println!("[5/6] memory (alloc totals + peak RSS during warm signoff)...");
     let flow = SignoffFlow::new(&full, &expanded, SignoffOptions::default());
+    let cmp_warmup = flow
+        .run(&design.mapped, &design.placement)
+        .expect("signoff succeeds");
+    assert_eq!(cmp_1t, cmp_warmup, "warm-up changed signoff results");
+    alloc::reset();
     alloc::set_active(true);
-    let (allocs_before, bytes_before) = alloc::totals();
     let cmp_mem = flow
         .run(&design.mapped, &design.placement)
         .expect("signoff succeeds");
     alloc::set_active(false);
-    let (allocs_after, bytes_after) = alloc::totals();
+    let (signoff_allocs, signoff_bytes) = alloc::totals();
     assert_eq!(cmp_1t, cmp_mem, "alloc accounting changed signoff results");
-    let signoff_allocs = allocs_after - allocs_before;
     #[allow(clippy::cast_precision_loss)]
-    let signoff_alloc_mb = (bytes_after - bytes_before) as f64 / (1024.0 * 1024.0);
+    let signoff_alloc_mb = signoff_bytes as f64 / (1024.0 * 1024.0);
     #[allow(clippy::cast_precision_loss)]
     let (rss_mb, peak_rss_mb) = svt_obs::rss::sample().map_or((0.0, 0.0), |r| {
         (r.current_kb as f64 / 1024.0, r.peak_kb as f64 / 1024.0)

@@ -1,0 +1,163 @@
+//! Gates-vs-walltime/RSS scaling curve of the sign-off hot path.
+//!
+//! Sweeps the full aware-vs-traditional sign-off over c432 plus the
+//! seeded scaling profiles (`s10k`, `s100k`, and — opt-in via
+//! `SVT_SCALE_1M=1` — `s1m` at a million gates), recording per point the
+//! design-build time, the cold sign-off wall time, and the process RSS.
+//! The curve lands as the `"scale"` object of `BENCH_pipeline.json`
+//! (appended after the sections `bench_pipeline` wrote), and the 100k
+//! point's numbers append to `BENCH_history.jsonl` as `signoff_100k_ms`
+//! / `peak_rss_100k_mb`, where `scripts/bench_compare.sh` gates the wall
+//! time against regression like the other warm-path metrics.
+//!
+//! Each design is dropped before the next point runs, so the RSS column
+//! tracks the sign-off footprint of one scale at a time (peak RSS is
+//! process-monotonic; sweeping ascending keeps it dominated by the
+//! current point).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use svt_bench::{build_design_from_profile, repo_root};
+use svt_core::{SignoffFlow, SignoffOptions};
+use svt_litho::Process;
+use svt_netlist::BenchmarkProfile;
+use svt_stdcell::{expand_library, ExpandOptions, Library};
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+struct Point {
+    name: String,
+    gates: usize,
+    build_ms: f64,
+    signoff_ms: f64,
+    rss_mb: f64,
+    peak_rss_mb: f64,
+    reduction_pct: f64,
+}
+
+fn main() {
+    svt_obs::reinit_from_env();
+    let threads_available = std::thread::available_parallelism().map_or(1, usize::from);
+    let include_1m = std::env::var("SVT_SCALE_1M").is_ok_and(|v| v == "1");
+
+    let lib = Library::svt90();
+    let sim = Process::nm90().simulator();
+    let expanded = expand_library(&lib, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
+
+    let mut profiles = vec![
+        BenchmarkProfile::iscas85("c432").expect("known profile"),
+        BenchmarkProfile::scaling("s10k").expect("known profile"),
+        BenchmarkProfile::scaling("s100k").expect("known profile"),
+    ];
+    if include_1m {
+        profiles.push(BenchmarkProfile::scaling("s1m").expect("known profile"));
+    } else {
+        println!("bench_scale: skipping the 1M-gate point (set SVT_SCALE_1M=1 to include it)");
+    }
+
+    let mut points: Vec<Point> = Vec::with_capacity(profiles.len());
+    for (i, profile) in profiles.iter().enumerate() {
+        println!(
+            "[{}/{}] {}: generate + map + place...",
+            i + 1,
+            profiles.len(),
+            profile.name
+        );
+        let start = Instant::now();
+        let design = build_design_from_profile(&lib, profile);
+        let build_ms = ms(start);
+        let gates = design.mapped.instances().len();
+        println!(
+            "[{}/{}] {}: sign off {gates} mapped instances...",
+            i + 1,
+            profiles.len(),
+            profile.name
+        );
+        let flow = SignoffFlow::new(&lib, &expanded, SignoffOptions::default());
+        let start = Instant::now();
+        let cmp = flow
+            .run(&design.mapped, &design.placement)
+            .expect("signoff succeeds");
+        let signoff_ms = ms(start);
+        #[allow(clippy::cast_precision_loss)]
+        let (rss_mb, peak_rss_mb) = svt_obs::rss::sample().map_or((0.0, 0.0), |r| {
+            (r.current_kb as f64 / 1024.0, r.peak_kb as f64 / 1024.0)
+        });
+        println!(
+            "    {}: {signoff_ms:.0} ms, rss {rss_mb:.0} MB (peak {peak_rss_mb:.0}), \
+             uncertainty reduction {:.1} %",
+            profile.name,
+            cmp.uncertainty_reduction_pct()
+        );
+        points.push(Point {
+            name: profile.name.clone(),
+            gates,
+            build_ms,
+            signoff_ms,
+            rss_mb,
+            peak_rss_mb,
+            reduction_pct: cmp.uncertainty_reduction_pct(),
+        });
+        // `design` and `flow` drop here, bounding the next point's RSS.
+    }
+
+    // ---- Render the curve and splice it into BENCH_pipeline.json --------
+    let mut scale = String::from("{\n    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            scale,
+            "      {{ \"name\": \"{}\", \"gates\": {}, \"build_ms\": {:.1}, \
+             \"signoff_ms\": {:.1}, \"rss_mb\": {:.1}, \"peak_rss_mb\": {:.1}, \
+             \"uncertainty_reduction_pct\": {:.2} }}{sep}",
+            p.name, p.gates, p.build_ms, p.signoff_ms, p.rss_mb, p.peak_rss_mb, p.reduction_pct
+        );
+    }
+    let _ = writeln!(
+        scale,
+        "    ],\n    \"threads_available\": {threads_available},\n    \"includes_1m\": {include_1m}\n  }}"
+    );
+
+    let pipeline_path = repo_root().join("BENCH_pipeline.json");
+    let mut text =
+        std::fs::read_to_string(&pipeline_path).unwrap_or_else(|_| String::from("{\n}\n"));
+    // Replace a previous run's "scale" object (always the last key).
+    if let Some(cut) = text.find(",\n  \"scale\"") {
+        text.truncate(cut);
+        text.push_str("\n}\n");
+    }
+    let body = text.trim_end().strip_suffix('}').expect("JSON object");
+    let mut out = body.trim_end().to_string();
+    out.push_str(if out.ends_with('{') { "\n" } else { ",\n" });
+    out.push_str("  \"scale\": ");
+    out.push_str(&scale);
+    out.push_str("}\n");
+    std::fs::write(&pipeline_path, &out).expect("write BENCH_pipeline.json");
+    println!("--- scale section of BENCH_pipeline.json ---\n  \"scale\": {scale}");
+
+    // ---- Append the 100k point to the perf trajectory --------------------
+    if let Some(p) = points.iter().find(|p| p.name == "s100k") {
+        let unix_ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let history_line = format!(
+            "{{\"unix_ts\": {unix_ts}, \"threads_available\": {threads_available}, \
+             \"signoff_100k_ms\": {:.1}, \"peak_rss_100k_mb\": {:.1}}}\n",
+            p.signoff_ms, p.peak_rss_mb
+        );
+        let history = repo_root().join("BENCH_history.jsonl");
+        let mut log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history)
+            .expect("open BENCH_history.jsonl");
+        std::io::Write::write_all(&mut log, history_line.as_bytes())
+            .expect("append BENCH_history.jsonl");
+        println!("appended the 100k-gate numbers to BENCH_history.jsonl");
+    }
+
+    svt_obs::emit_if_enabled();
+}

@@ -35,7 +35,22 @@ pub struct Design {
 pub fn build_design(library: &Library, name: &str) -> Design {
     let profile = BenchmarkProfile::iscas85(name)
         .unwrap_or_else(|| panic!("unknown ISCAS85 benchmark `{name}`"));
-    let netlist = generate_benchmark(&profile);
+    build_design_from_profile(library, &profile)
+}
+
+/// Builds a placed design from any benchmark profile — the ISCAS85 suite
+/// or the seeded scaling profiles (`s10k`, `s100k`, `s1m`) the
+/// `bench_scale` binary sweeps. Same seed/utilization recipe as
+/// [`build_design`], so the ISCAS85 designs are identical through either
+/// entry point.
+///
+/// # Panics
+///
+/// Panics on internal flow failures — the experiment binaries treat
+/// these as fatal.
+#[must_use]
+pub fn build_design_from_profile(library: &Library, profile: &BenchmarkProfile) -> Design {
+    let netlist = generate_benchmark(profile);
     let mapped = technology_map(&netlist, library).expect("mapping the svt90 library succeeds");
     // Each testcase gets its own placement seed and utilization so the
     // context mixtures differ across the suite, as real placements would.
@@ -47,7 +62,7 @@ pub fn build_design(library: &Library, name: &str) -> Design {
     };
     let placement = place(&mapped, library, &options).expect("placement succeeds");
     Design {
-        name: name.to_string(),
+        name: profile.name.clone(),
         source_gates: netlist.gates().len(),
         mapped,
         placement,

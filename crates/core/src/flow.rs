@@ -1,13 +1,17 @@
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
-use svt_exec::try_par_map;
+use svt_exec::{try_par_chunks, try_par_map, MemoCache, ScratchPool};
 use svt_netlist::MappedNetlist;
 use svt_obs::audit::{AuditTrail, CornerDelay, InstanceAudit, PathAudit, TrimRecord};
 use svt_place::{DeviceSite, Placement, PlacementOptions};
-use svt_sta::{analyze_full, CellBinding, StaError, StaState, TimingOptions, TimingReport};
+use svt_sta::{
+    analyze_full_in, CellBinding, SharedTopology, StaError, StaState, TimingOptions, TimingReport,
+};
 use svt_stdcell::{
     Cell, CellContext, CharacterizeOptions, CharacterizedCell, ExpandedLibrary, Library,
     StdcellError, TimingArc,
@@ -263,7 +267,7 @@ pub fn characterize_corner(
 pub struct CornerAnalysis {
     /// Per-instance characterized cells the corner was analyzed with.
     pub binding: CellBinding,
-    /// Full propagation state ([`analyze_full`] output).
+    /// Full propagation state ([`svt_sta::analyze_full`] output).
     pub state: StaState,
 }
 
@@ -299,12 +303,88 @@ pub struct FlowProvenance {
     pub audit: AuditTrail,
 }
 
+/// Memo key of one aware characterization: dense library cell id,
+/// effective placement context, 2-bit-packed device classes, corner code.
+type AwareKey = (u32, CellContext, u64, u8);
+
+/// Per-flow memoization shared by every run (and clone) of one
+/// [`SignoffFlow`]: the hot sign-off path re-derives nothing that is a
+/// pure function of the flow's fixed options.
+///
+/// * `topo` — the interned netlist [`SharedTopology`], verified (not
+///   rebuilt) on every analysis of the same design,
+/// * `aware` / `trad` — characterized-cell variants behind [`Arc`], keyed
+///   by everything their tables depend on, so a warm run binds all six
+///   corners without characterizing a single cell,
+/// * `cell_ids` — dense `u32` ids of the base-library cells (avoids
+///   `String` clones in memo keys),
+/// * `scratch` — bump arenas for the analysis working set, reused across
+///   corners and runs.
+struct FlowCaches {
+    topo: Mutex<Option<SharedTopology>>,
+    aware: MemoCache<AwareKey, Arc<CharacterizedCell>>,
+    trad: MemoCache<(u32, u64), Arc<CharacterizedCell>>,
+    cell_ids: OnceLock<HashMap<String, u32>>,
+    scratch: ScratchPool,
+}
+
+impl FlowCaches {
+    fn new() -> FlowCaches {
+        FlowCaches {
+            topo: Mutex::new(None),
+            aware: MemoCache::default(),
+            trad: MemoCache::default(),
+            cell_ids: OnceLock::new(),
+            scratch: ScratchPool::new(),
+        }
+    }
+}
+
+impl fmt::Debug for FlowCaches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowCaches")
+            .field("aware", &self.aware.stats())
+            .field("trad", &self.trad.stats())
+            .field("scratch", &self.scratch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Packs per-device iso/dense classes into 2 bits each, low device first.
+/// `None` (memo bypass) for cells beyond 32 devices. Every class code is
+/// non-zero, so packings of different device counts never collide.
+fn pack_classes(classes: &[DeviceClass]) -> Option<u64> {
+    if classes.len() > 32 {
+        return None;
+    }
+    let mut bits = 0u64;
+    for (i, class) in classes.iter().enumerate() {
+        let code: u64 = match class {
+            DeviceClass::Dense => 1,
+            DeviceClass::Isolated => 2,
+            DeviceClass::SelfCompensated => 3,
+        };
+        bits |= code << (2 * i);
+    }
+    Some(bits)
+}
+
+/// Stable `u8` code of a corner for memo keys.
+fn corner_code(corner: Corner) -> u8 {
+    match corner {
+        Corner::BestCase => 0,
+        Corner::Nominal => 1,
+        Corner::WorstCase => 2,
+    }
+}
+
 /// The end-to-end sign-off comparison flow of paper §4 (Table 2).
 #[derive(Debug, Clone)]
 pub struct SignoffFlow<'a> {
     library: &'a Library,
     expanded: &'a ExpandedLibrary,
     options: SignoffOptions,
+    caches: Arc<FlowCaches>,
 }
 
 impl<'a> SignoffFlow<'a> {
@@ -319,7 +399,44 @@ impl<'a> SignoffFlow<'a> {
             library,
             expanded,
             options,
+            caches: Arc::new(FlowCaches::new()),
         }
+    }
+
+    /// Dense id of a base-library cell, or `None` (memo bypass) for a
+    /// name the library does not contain — the caller's own lookup then
+    /// reports the error with its usual message.
+    fn cell_id(&self, name: &str) -> Option<u32> {
+        let ids = self.caches.cell_ids.get_or_init(|| {
+            self.library
+                .cells()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.name().to_string(), u32::try_from(i).expect("cell count")))
+                .collect()
+        });
+        ids.get(name).copied()
+    }
+
+    /// The cached interned topology if it still matches the netlist and
+    /// binding, else a fresh build (which replaces the cached one). All
+    /// six corners of a run — and every warm rerun — share one
+    /// [`SharedTopology`], so the per-analysis graph cost is a
+    /// verification scan, not an interning rebuild.
+    fn topo_for(
+        &self,
+        netlist: &MappedNetlist,
+        binding: &CellBinding,
+    ) -> Result<SharedTopology, StaError> {
+        let mut slot = self.caches.topo.lock().expect("topology cache poisoned");
+        if let Some(topo) = slot.as_ref() {
+            if topo.verify(netlist, binding).is_ok() {
+                return Ok(topo.clone());
+            }
+        }
+        let topo = SharedTopology::build(netlist, binding)?;
+        *slot = Some(topo.clone());
+        Ok(topo)
     }
 
     /// The flow options.
@@ -374,10 +491,45 @@ impl<'a> SignoffFlow<'a> {
         let lengths = [corners.bc_nm, corners.nom_nm, corners.wc_nm];
         try_par_map(&lengths, |&l| -> Result<CornerAnalysis, FlowError> {
             let _corner = svt_obs::span("core.signoff.traditional.corner");
-            let binding = CellBinding::uniform_scaled(netlist, self.library, l)?;
-            let state = analyze_full(netlist, &binding, &self.options.timing)?;
+            let binding = self.uniform_scaled_cached(netlist, l)?;
+            let topo = self.topo_for(netlist, &binding)?;
+            let scratch = self.caches.scratch.checkout();
+            let state = analyze_full_in(netlist, &binding, &self.options.timing, &topo, &scratch)?;
             Ok(CornerAnalysis { binding, state })
         })
+    }
+
+    /// [`CellBinding::uniform_scaled`] through the flow's per-(cell,
+    /// length) memo: each distinct master is characterized once per
+    /// corner length, every instance of it shares the [`Arc`].
+    fn uniform_scaled_cached(
+        &self,
+        netlist: &MappedNetlist,
+        gate_length_nm: f64,
+    ) -> Result<CellBinding, StaError> {
+        let mut cells = Vec::with_capacity(netlist.instances().len());
+        for inst in netlist.instances() {
+            let key = self
+                .cell_id(&inst.cell)
+                .map(|id| (id, gate_length_nm.to_bits()));
+            let cell = match key.as_ref().and_then(|k| self.caches.trad.get(k)) {
+                Some(hit) => hit,
+                None => {
+                    let built = Arc::new(
+                        CellBinding::uniform_scaled_cell(self.library, &inst.cell, gate_length_nm)
+                            .map_err(|e| StaError::InvalidBinding {
+                                reason: format!("instance `{}`: {e}", inst.name),
+                            })?,
+                    );
+                    if let Some(k) = key {
+                        self.caches.trad.insert(k, Arc::clone(&built));
+                    }
+                    built
+                }
+            };
+            cells.push(cell);
+        }
+        CellBinding::new_shared(netlist, cells)
     }
 
     /// Traditional corner timing with the non-gate-length corner derate.
@@ -420,15 +572,20 @@ impl<'a> SignoffFlow<'a> {
         placement: &Placement,
     ) -> Result<AwareRun, FlowError> {
         let _span = svt_obs::span("core.signoff.aware");
-        let contexts = placement.instance_contexts(netlist, self.library)?;
-        if contexts.len() != netlist.instances().len() {
+        let instances = netlist.instances().len();
+
+        // One device-site extraction feeds both the per-instance contexts
+        // and the iso/dense classes — the sites already carry every
+        // neighbor spacing the context derivation needs.
+        let sites = placement.device_sites(netlist, self.library)?;
+        let contexts = svt_place::instance_contexts_from_sites(instances, &sites);
+        if contexts.len() != instances {
             return Err(FlowError::Inconsistent {
                 reason: "placement does not cover the netlist".into(),
             });
         }
 
         // Per-instance device classes from the placed spacings.
-        let sites = placement.device_sites(netlist, self.library)?;
         let mut classes: Vec<Vec<DeviceClass>> = netlist
             .instances()
             .iter()
@@ -445,26 +602,24 @@ impl<'a> SignoffFlow<'a> {
             classes[site.instance][site.device.0] = classify_device_site(site, &self.options);
         }
 
-        // Per-corner in-context characterization, parallel over instances.
-        // Each instance's characterized cell depends only on its own
-        // context and classes; results land in instance order, so the
-        // binding (and the analyzed delay) is identical to the sequential
-        // loop.
-        let instance_indices: Vec<usize> = (0..netlist.instances().len()).collect();
+        // Per-corner in-context characterization in contiguous index
+        // chunks (a handful of pool tasks, not one per instance). Each
+        // instance's characterized cell depends only on its own context
+        // and classes; results land in instance order, so the binding
+        // (and the analyzed delay) is identical to the sequential loop.
         let mut analyses = Vec::with_capacity(Corner::ALL.len());
         for corner in Corner::ALL {
             let _corner_span = svt_obs::span("core.signoff.aware.corner");
             if svt_obs::enabled() {
-                svt_obs::counter!("core.signoff.instances").add(instance_indices.len() as u64);
+                svt_obs::counter!("core.signoff.instances").add(instances as u64);
             }
-            let cells = try_par_map(
-                &instance_indices,
-                |&idx| -> Result<CharacterizedCell, FlowError> {
-                    self.characterize_instance(netlist, idx, contexts[idx], &classes[idx], corner)
-                },
-            )?;
-            let binding = CellBinding::new(netlist, cells)?;
-            let state = analyze_full(netlist, &binding, &self.options.timing)?;
+            let cells = try_par_chunks(instances, |idx| -> Result<_, FlowError> {
+                self.characterize_instance_cached(netlist, idx, &contexts, &classes, corner)
+            })?;
+            let binding = CellBinding::new_shared(netlist, cells)?;
+            let topo = self.topo_for(netlist, &binding)?;
+            let scratch = self.caches.scratch.checkout();
+            let state = analyze_full_in(netlist, &binding, &self.options.timing, &topo, &scratch)?;
             analyses.push(CornerAnalysis { binding, state });
         }
 
@@ -473,6 +628,48 @@ impl<'a> SignoffFlow<'a> {
             contexts,
             classes,
         })
+    }
+
+    /// [`SignoffFlow::characterize_instance`] through the flow's aware
+    /// memo. The key is everything the characterization depends on given
+    /// the flow's fixed options — cell, *effective* context (after
+    /// `use_context_library` gating), packed device classes, corner — so
+    /// a hit is bit-identical to recomputing, and a warm sign-off binds
+    /// all corners without characterizing anything.
+    fn characterize_instance_cached(
+        &self,
+        netlist: &MappedNetlist,
+        idx: usize,
+        contexts: &[CellContext],
+        classes: &[Vec<DeviceClass>],
+        corner: Corner,
+    ) -> Result<Arc<CharacterizedCell>, FlowError> {
+        let inst = &netlist.instances()[idx];
+        let effective = if self.options.use_context_library {
+            contexts[idx]
+        } else {
+            CellContext::default()
+        };
+        let key = self
+            .cell_id(&inst.cell)
+            .zip(pack_classes(&classes[idx]))
+            .map(|(cell, bits)| (cell, effective, bits, corner_code(corner)));
+        if let Some(key) = &key {
+            if let Some(hit) = self.caches.aware.get(key) {
+                return Ok(hit);
+            }
+        }
+        let cell = Arc::new(self.characterize_instance(
+            netlist,
+            idx,
+            contexts[idx],
+            &classes[idx],
+            corner,
+        )?);
+        if let Some(key) = key {
+            self.caches.aware.insert(key, Arc::clone(&cell));
+        }
+        Ok(cell)
     }
 
     /// Characterizes one placed instance at one aware corner from its

@@ -1,14 +1,16 @@
 use std::collections::HashSet;
 
+use std::sync::Arc;
 use svt_core::{
     audit_corner_delays, classify_device_site, CornerTiming, DeviceClass, FlowProvenance,
     SignoffComparison, SignoffFlow,
 };
-use svt_exec::{try_par_map, MemoCache};
+
+use svt_exec::{try_par_map, MemoCache, ScratchPool};
 use svt_netlist::MappedNetlist;
 use svt_obs::audit::{AuditTrail, DeltaAudit, InstanceAudit, PathAudit};
 use svt_place::{DeviceSite, Placement};
-use svt_sta::{analyze_incremental, CellBinding, IncrementalStats, StaState};
+use svt_sta::{analyze_incremental_in, CellBinding, IncrementalStats, StaState};
 use svt_stdcell::{invalidate_pitch_pairs, CharacterizedCell};
 
 use crate::{DeltaReport, EcoEdit, EcoError, EndpointDelta};
@@ -92,8 +94,11 @@ pub struct EcoSession<'a> {
     netlist: MappedNetlist,
     placement: Placement,
     provenance: FlowProvenance,
-    aware_cache: MemoCache<AwareKey, CharacterizedCell>,
-    trad_cache: MemoCache<(String, u8), CharacterizedCell>,
+    aware_cache: MemoCache<AwareKey, Arc<CharacterizedCell>>,
+    trad_cache: MemoCache<(String, u8), Arc<CharacterizedCell>>,
+    /// Bump arenas for the incremental analysis working set, reused
+    /// across corners and edits.
+    scratch: ScratchPool,
     /// Per-instance start offsets into `provenance.audit.instances` (one
     /// audit row per timing arc); rebuilt if a swap changes an arc count.
     audit_offsets: Vec<usize>,
@@ -152,6 +157,7 @@ impl<'a> EcoSession<'a> {
             provenance,
             aware_cache: MemoCache::default(),
             trad_cache: MemoCache::default(),
+            scratch: ScratchPool::new(),
             audit_offsets,
             edits: Vec::new(),
         })
@@ -367,14 +373,14 @@ impl<'a> EcoSession<'a> {
                 let cell = match self.aware_cache.get(&key) {
                     Some(cached) => cached,
                     None => {
-                        let fresh = self.flow.characterize_instance(
+                        let fresh = Arc::new(self.flow.characterize_instance(
                             &self.netlist,
                             i,
                             ctx,
                             &classes,
                             corner,
-                        )?;
-                        self.aware_cache.insert(key, fresh.clone());
+                        )?);
+                        self.aware_cache.insert(key, Arc::clone(&fresh));
                         fresh
                     }
                 };
@@ -394,9 +400,12 @@ impl<'a> EcoSession<'a> {
                 let cell = match self.trad_cache.get(&key) {
                     Some(cached) => cached,
                     None => {
-                        let fresh =
-                            CellBinding::uniform_scaled_cell(self.flow.library(), &new_cell, l)?;
-                        self.trad_cache.insert(key, fresh.clone());
+                        let fresh = Arc::new(CellBinding::uniform_scaled_cell(
+                            self.flow.library(),
+                            &new_cell,
+                            l,
+                        )?);
+                        self.trad_cache.insert(key, Arc::clone(&fresh));
                         fresh
                     }
                 };
@@ -435,12 +444,16 @@ impl<'a> EcoSession<'a> {
             .collect();
         let netlist = &self.netlist;
         let timing = &self.flow.options().timing;
+        let scratch_pool = &self.scratch;
         let results: Vec<(StaState, IncrementalStats)> =
             try_par_map(&jobs, |&(binding, prev, seeds)| -> Result<_, EcoError> {
                 if seeds.is_empty() {
                     return Ok((prev.clone(), IncrementalStats::default()));
                 }
-                Ok(analyze_incremental(netlist, binding, timing, prev, seeds)?)
+                let scratch = scratch_pool.checkout();
+                Ok(analyze_incremental_in(
+                    netlist, binding, timing, prev, seeds, &scratch,
+                )?)
             })?;
         drop(jobs);
         let mut forward_instances = 0;

@@ -1,0 +1,393 @@
+//! Bump-allocated scratch arena for allocation-free hot paths.
+//!
+//! [`ScratchArena`] owns one large `Vec<u8>`-backed block and hands out
+//! typed slice carve-outs ([`ScratchArena::alloc_slice_fill`]) by bumping
+//! an offset — no per-carve-out heap traffic. When the block is too small
+//! the arena *spills*: the oversized carve-out gets its own boxed block
+//! (address-stable, freed on reset) and the shortfall is recorded so the
+//! next [`ScratchArena::reset`] grows the main block to fit. A warmed-up
+//! arena therefore serves every cycle of a steady-state workload — e.g.
+//! the six corner analyses of a sign-off run, repeated across ECO
+//! iterations — without touching the allocator at all.
+//!
+//! [`ScratchPool`] is the thread-safe checkout front: each borrower takes
+//! a whole arena for the duration of one analysis (RAII guard), and the
+//! guard resets and returns the arena on drop. Concurrent borrowers get
+//! distinct arenas, so the pool's steady-state size equals the peak
+//! concurrency it has seen.
+//!
+//! Safety model: carve-outs borrow the arena (`&mut [T]` tied to
+//! `&self`), regions are disjoint because the offset only grows, and the
+//! types are `Copy` (no drop obligations). Resetting requires `&mut self`,
+//! so no carve-out can outlive the memory it points into.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::Mutex;
+
+/// A bump allocator over one contiguous byte block with typed carve-outs.
+///
+/// # Examples
+///
+/// ```
+/// use svt_exec::ScratchArena;
+///
+/// let mut arena = ScratchArena::with_capacity(4096);
+/// let counts = arena.alloc_slice_fill::<u32>(100, 0);
+/// counts[7] = 42;
+/// let flags = arena.alloc_slice_fill::<bool>(100, false);
+/// assert!(!flags[7], "carve-outs are disjoint and initialized");
+/// assert_eq!(counts[7], 42);
+/// arena.reset(); // all carve-outs are dead here; memory is reused
+/// ```
+pub struct ScratchArena {
+    /// Base of the main block; dangling when `cap == 0`.
+    base: NonNull<u8>,
+    /// Byte capacity of the main block.
+    cap: usize,
+    /// Bump offset into the main block.
+    offset: Cell<usize>,
+    /// Bytes (incl. alignment headroom) served by spill blocks since the
+    /// last reset; the next reset grows the main block by this much.
+    deficit: Cell<usize>,
+    /// Overflow blocks; box contents are address-stable even as the vec
+    /// holding the boxes reallocates.
+    spill: RefCell<Vec<Box<[u8]>>>,
+}
+
+// SAFETY: the arena is a plain memory resource. `Cell`/`RefCell` make it
+// !Sync (enforcing single-threaded use at any one time), but moving the
+// whole arena between threads — which checkout from a shared pool does —
+// is sound: there are no thread-affine resources inside.
+unsafe impl Send for ScratchArena {}
+
+impl ScratchArena {
+    /// Creates an empty arena; the first carve-outs spill and the first
+    /// [`ScratchArena::reset`] sizes the main block to what was used.
+    #[must_use]
+    pub fn new() -> ScratchArena {
+        ScratchArena::with_capacity(0)
+    }
+
+    /// Creates an arena whose main block holds at least `bytes` bytes.
+    #[must_use]
+    pub fn with_capacity(bytes: usize) -> ScratchArena {
+        let (base, cap) = alloc_block(bytes);
+        ScratchArena {
+            base,
+            cap,
+            offset: Cell::new(0),
+            deficit: Cell::new(0),
+            spill: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Carves a `len`-element slice out of the arena, every element set to
+    /// `fill`. Falls back to a spill block (one heap allocation, repaid at
+    /// the next reset) when the main block is exhausted.
+    ///
+    /// The returned slice borrows the arena: it dies before any
+    /// [`ScratchArena::reset`] (which needs `&mut self`) can recycle it.
+    #[allow(clippy::mut_from_ref)] // disjoint bump carve-outs; see module docs
+    pub fn alloc_slice_fill<T: Copy>(&self, len: usize, fill: T) -> &mut [T] {
+        if len == 0 {
+            return &mut [];
+        }
+        let size = std::mem::size_of::<T>()
+            .checked_mul(len)
+            .expect("scratch carve-out size overflows");
+        let align = std::mem::align_of::<T>();
+        let offset = self.offset.get();
+        let addr = self.base.as_ptr() as usize + offset;
+        let pad = addr.next_multiple_of(align) - addr;
+        let start = if offset + pad + size <= self.cap {
+            self.offset.set(offset + pad + size);
+            // SAFETY: `offset + pad + size <= cap`, so the region is inside
+            // the main block; the bump guarantees it overlaps no earlier
+            // carve-out.
+            unsafe { self.base.as_ptr().add(offset + pad) }
+        } else {
+            self.spill_alloc(size, align)
+        };
+        // SAFETY: `start` is `align`-aligned and points at `size` bytes
+        // exclusively ours; `T: Copy` means no drop obligations, and every
+        // element is initialized below before the slice is formed.
+        unsafe {
+            let ptr = start.cast::<T>();
+            for i in 0..len {
+                ptr.add(i).write(fill);
+            }
+            std::slice::from_raw_parts_mut(ptr, len)
+        }
+    }
+
+    /// Allocates an overflow block and returns an aligned pointer into it.
+    fn spill_alloc(&self, size: usize, align: usize) -> *mut u8 {
+        self.deficit.set(self.deficit.get() + size + align);
+        let mut block = vec![0u8; size + align].into_boxed_slice();
+        let addr = block.as_mut_ptr() as usize;
+        let pad = addr.next_multiple_of(align) - addr;
+        // SAFETY: `pad < align <= block.len() - size`, so the aligned
+        // region stays inside the block.
+        let ptr = unsafe { block.as_mut_ptr().add(pad) };
+        self.spill.borrow_mut().push(block);
+        ptr
+    }
+
+    /// Rewinds the bump offset and frees spill blocks, growing the main
+    /// block by the recorded deficit so the same workload fits without
+    /// spilling next cycle. Requires `&mut self`, which proves no
+    /// carve-out is still alive.
+    pub fn reset(&mut self) {
+        let deficit = self.deficit.get();
+        if deficit > 0 {
+            let grown = alloc_block(self.cap + deficit);
+            self.free_main_block();
+            (self.base, self.cap) = grown;
+            self.deficit.set(0);
+        }
+        self.spill.get_mut().clear();
+        self.offset.set(0);
+    }
+
+    /// Bytes currently carved out of the main block.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.offset.get()
+    }
+
+    /// Byte capacity of the main block.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether any carve-out since the last reset missed the main block.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        self.deficit.get() > 0
+    }
+
+    /// Frees the main block (leaves `base`/`cap` stale — callers must
+    /// overwrite or never touch them again).
+    fn free_main_block(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: `base`/`cap` came from `alloc_block`'s forgotten Vec
+            // and the block holds no live carve-outs (`&mut self`).
+            unsafe { drop(Vec::from_raw_parts(self.base.as_ptr(), 0, self.cap)) };
+        }
+    }
+}
+
+/// Allocates a zero-length `Vec<u8>` block of at least `bytes` capacity
+/// and leaks it into raw parts.
+fn alloc_block(bytes: usize) -> (NonNull<u8>, usize) {
+    let mut block: Vec<u8> = Vec::with_capacity(bytes);
+    let base = NonNull::new(block.as_mut_ptr()).expect("Vec pointer is never null");
+    let cap = block.capacity();
+    std::mem::forget(block);
+    (base, cap)
+}
+
+impl Default for ScratchArena {
+    fn default() -> ScratchArena {
+        ScratchArena::new()
+    }
+}
+
+impl Drop for ScratchArena {
+    fn drop(&mut self) {
+        self.free_main_block();
+    }
+}
+
+impl fmt::Debug for ScratchArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchArena")
+            .field("capacity", &self.cap)
+            .field("used", &self.offset.get())
+            .field("deficit", &self.deficit.get())
+            .finish()
+    }
+}
+
+/// A thread-safe pool of [`ScratchArena`]s with RAII checkout.
+///
+/// # Examples
+///
+/// ```
+/// use svt_exec::ScratchPool;
+///
+/// let pool = ScratchPool::new();
+/// {
+///     let scratch = pool.checkout();
+///     let ids = scratch.alloc_slice_fill::<u32>(8, 0);
+///     ids[0] = 1;
+/// } // guard drop: arena is reset and returned
+/// let again = pool.checkout(); // reuses the warmed arena
+/// assert_eq!(again.used(), 0);
+/// ```
+#[derive(Default)]
+pub struct ScratchPool {
+    arenas: Mutex<Vec<ScratchArena>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool; arenas are created on first checkout and
+    /// retained (warm) thereafter.
+    #[must_use]
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Borrows an arena for the duration of the guard. Concurrent
+    /// checkouts get distinct arenas; the guard resets and returns its
+    /// arena on drop.
+    pub fn checkout(&self) -> ScratchGuard<'_> {
+        let arena = self
+            .arenas
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        ScratchGuard {
+            pool: self,
+            arena: Some(arena),
+        }
+    }
+
+    /// Number of idle arenas currently parked in the pool.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.arenas.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+impl fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+/// RAII checkout of one [`ScratchArena`] from a [`ScratchPool`]; resets
+/// the arena and parks it back on drop.
+pub struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    arena: Option<ScratchArena>,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = ScratchArena;
+
+    fn deref(&self) -> &ScratchArena {
+        self.arena.as_ref().expect("arena present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(mut arena) = self.arena.take() {
+            arena.reset();
+            self.pool
+                .arenas
+                .lock()
+                .expect("scratch pool poisoned")
+                .push(arena);
+        }
+    }
+}
+
+impl fmt::Debug for ScratchGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchGuard")
+            .field("arena", &self.arena)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carve_outs_are_disjoint_and_initialized() {
+        let arena = ScratchArena::with_capacity(1024);
+        let a = arena.alloc_slice_fill::<u64>(10, 7);
+        let b = arena.alloc_slice_fill::<u8>(3, 1);
+        let c = arena.alloc_slice_fill::<u64>(5, 9);
+        a[0] = 100;
+        c[4] = 200;
+        assert_eq!(&a[..3], &[100, 7, 7]);
+        assert_eq!(b, &[1, 1, 1]);
+        assert_eq!(c[4], 200);
+        assert_eq!(c[0], 9);
+    }
+
+    #[test]
+    fn alignment_is_respected_after_odd_sizes() {
+        let arena = ScratchArena::with_capacity(1024);
+        let _odd = arena.alloc_slice_fill::<u8>(3, 0);
+        let aligned = arena.alloc_slice_fill::<u64>(4, 0);
+        assert_eq!(aligned.as_ptr() as usize % std::mem::align_of::<u64>(), 0);
+    }
+
+    #[test]
+    fn spill_then_reset_grows_the_main_block() {
+        let mut arena = ScratchArena::new(); // zero capacity: everything spills
+        let s = arena.alloc_slice_fill::<u32>(100, 3);
+        assert_eq!(s[99], 3);
+        assert!(arena.spilled());
+        arena.reset();
+        assert!(!arena.spilled());
+        assert!(arena.capacity() >= 400, "reset repaid the deficit");
+        let t = arena.alloc_slice_fill::<u32>(100, 4);
+        assert_eq!(t[0], 4);
+        assert!(!arena.spilled(), "warm cycle fits the main block");
+    }
+
+    #[test]
+    fn zero_length_carve_outs_cost_nothing() {
+        let arena = ScratchArena::new();
+        let s = arena.alloc_slice_fill::<u64>(0, 0);
+        assert!(s.is_empty());
+        assert_eq!(arena.used(), 0);
+        assert!(!arena.spilled());
+    }
+
+    #[test]
+    fn pool_checkout_reuses_warm_arenas() {
+        let pool = ScratchPool::new();
+        {
+            let g = pool.checkout();
+            let _ = g.alloc_slice_fill::<u64>(64, 0);
+            assert!(g.spilled());
+        }
+        assert_eq!(pool.idle(), 1);
+        {
+            let g = pool.checkout();
+            assert!(g.capacity() >= 512, "returned arena kept its growth");
+            let _ = g.alloc_slice_fill::<u64>(64, 0);
+            assert!(!g.spilled(), "warm checkout serves without spilling");
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_arenas() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let g = pool.checkout();
+                    let s = g.alloc_slice_fill::<u32>(1000, 5);
+                    assert!(s.iter().all(|&v| v == 5));
+                });
+            }
+        });
+        assert!(pool.idle() >= 1);
+    }
+}

@@ -1,15 +1,19 @@
 //! Execution layer for the svt pipeline.
 //!
-//! Two building blocks shared by every hot path in the workspace:
+//! Three building blocks shared by every hot path in the workspace:
 //!
 //! * [`pool`] — a scoped worker pool over `std::thread` with a
 //!   [`par_map`]-style API. Results land in pre-indexed
 //!   slots, so output ordering (and therefore any downstream
 //!   floating-point accumulation order) is identical to the sequential
-//!   path regardless of which worker ran which item.
+//!   path regardless of which worker ran which item. [`try_par_chunks`]
+//!   batches cheap per-index work into contiguous range tasks.
 //! * [`cache`] — a sharded, lock-striped memoization cache
 //!   ([`cache::MemoCache`]) for expensive simulation results, plus the
 //!   [`quant`] helpers used to build stable keys from `f64` parameters.
+//! * [`arena`] — a bump-allocated scratch arena ([`ScratchArena`]) with a
+//!   thread-safe checkout pool ([`ScratchPool`]), serving the sign-off
+//!   hot path's per-analysis temporaries without heap traffic.
 //!
 //! Long-running services additionally arm the [`watchdog`], which
 //! heartbeats every pool task and flags the ones stuck past a deadline;
@@ -20,11 +24,15 @@
 //! `std::thread::available_parallelism()`.
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod pool;
 pub mod quant;
 pub mod watchdog;
 
+pub use arena::{ScratchArena, ScratchGuard, ScratchPool};
 pub use cache::{register_cache_telemetry, CacheStats, MemoCache};
-pub use pool::{par_map, par_map_threads, resolve_threads, try_par_map, try_par_map_threads};
+pub use pool::{
+    par_map, par_map_threads, resolve_threads, try_par_chunks, try_par_map, try_par_map_threads,
+};
 pub use quant::{qf64, quantize_f64, unquantize_f64};

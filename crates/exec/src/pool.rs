@@ -259,6 +259,53 @@ pub fn try_par_map_threads<T: Sync, R: Send, E: Send, F: Fn(&T) -> Result<R, E> 
     finish_batch(Ok(out))
 }
 
+/// Fallible indexed map over `0..n` in cache-friendly contiguous chunks.
+///
+/// Instead of one pool task per element (whose scheduling cost dwarfs a
+/// cheap `f`), the range is split into about `4 × resolve_threads(None)`
+/// contiguous chunks — enough slack for dynamic load balancing, few
+/// enough that per-task overhead vanishes. Each chunk runs `f`
+/// *sequentially in index order*, so output `i` is `f(i)` and — because
+/// chunks are contiguous and ordered — the error returned is the one the
+/// sequential loop would have hit first.
+///
+/// # Errors
+///
+/// Returns the error produced by the lowest failing index.
+pub fn try_par_chunks<R: Send, E: Send, F: Fn(usize) -> Result<R, E> + Sync>(
+    n: usize,
+    f: F,
+) -> Result<Vec<R>, E> {
+    let chunks = chunk_ranges(n, resolve_threads(None) * 4);
+    let per_chunk = try_par_map(&chunks, |range| {
+        range.clone().map(&f).collect::<Result<Vec<R>, E>>()
+    })?;
+    let mut out = Vec::with_capacity(n);
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    Ok(out)
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one, in ascending order.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for k in 0..parts {
+        let len = base + usize::from(k < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 /// Uninhabited error type for the infallible wrapper.
 enum Never {}
 
@@ -322,6 +369,31 @@ mod tests {
         });
         assert_eq!(out.len(), 257);
         assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn chunked_map_matches_sequential_order_and_errors() {
+        let seq: Vec<usize> = (0..103).map(|i| i * 3).collect();
+        assert_eq!(try_par_chunks(103, |i| Ok::<_, ()>(i * 3)), Ok(seq));
+        assert_eq!(try_par_chunks(0, Ok::<_, ()>), Ok(Vec::new()));
+        // First error by index, exactly like a sequential loop.
+        let r = try_par_chunks(64, |i| if i % 10 == 7 { Err(i) } else { Ok(i) });
+        assert_eq!(r, Err(7));
+    }
+
+    #[test]
+    fn chunk_ranges_cover_without_overlap() {
+        for (n, parts) in [(0, 4), (1, 4), (7, 3), (103, 32), (5, 100)] {
+            let ranges = chunk_ranges(n, parts);
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+            assert!(ranges.len() <= parts.max(1));
+            if n > 0 {
+                let max = ranges.iter().map(ExactSizeIterator::len).max().unwrap();
+                let min = ranges.iter().map(ExactSizeIterator::len).min().unwrap();
+                assert!(max - min <= 1, "balanced chunks for n={n} parts={parts}");
+            }
+        }
     }
 
     #[test]

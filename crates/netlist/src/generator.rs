@@ -42,11 +42,37 @@ pub const ISCAS85_PROFILES: [(&str, usize, usize, usize); 10] = [
     ("c7552", 207, 108, 3512),
 ];
 
+/// Seeded scaling profiles past the ISCAS85 suite: `(name, PIs, POs,
+/// gates)`. The PI/PO counts extrapolate the suite's boundary-to-gate
+/// ratios so mapped depth and fanout statistics stay in the realistic
+/// band; `bench_scale` uses these to publish the gates-vs-walltime
+/// sign-off scaling curve.
+pub const SCALING_PROFILES: [(&str, usize, usize, usize); 3] = [
+    ("s10k", 512, 256, 10_000),
+    ("s100k", 1536, 768, 100_000),
+    ("s1m", 4096, 2048, 1_000_000),
+];
+
 impl BenchmarkProfile {
     /// The profile of a published ISCAS85 circuit, by name.
     #[must_use]
     pub fn iscas85(name: &str) -> Option<BenchmarkProfile> {
         ISCAS85_PROFILES
+            .iter()
+            .find(|(n, _, _, _)| *n == name)
+            .map(|&(n, pi, po, gates)| BenchmarkProfile {
+                name: n.to_string(),
+                inputs: pi,
+                outputs: po,
+                gates,
+                seed: seed_of(n),
+            })
+    }
+
+    /// A seeded scaling profile ([`SCALING_PROFILES`]), by name.
+    #[must_use]
+    pub fn scaling(name: &str) -> Option<BenchmarkProfile> {
+        SCALING_PROFILES
             .iter()
             .find(|(n, _, _, _)| *n == name)
             .map(|&(n, pi, po, gates)| BenchmarkProfile {
@@ -182,8 +208,12 @@ pub fn generate_benchmark(profile: &BenchmarkProfile) -> Netlist {
     }
 
     // Primary outputs: dangling gate outputs first (they would otherwise be
-    // dead logic), newest first; top up with random gate outputs.
+    // dead logic), newest first; top up with random gate outputs. The
+    // taken set is a bool vector, not a linear scan over the chosen
+    // names — the scan made PO selection O(outputs²) and dominated
+    // generation at the 100k–1M-gate scaling profiles.
     let mut outputs: Vec<String> = Vec::with_capacity(profile.outputs);
+    let mut is_output = vec![false; profile.gates];
     for g in (0..profile.gates).rev() {
         if outputs.len() == profile.outputs {
             break;
@@ -191,13 +221,15 @@ pub fn generate_benchmark(profile: &BenchmarkProfile) -> Netlist {
         let sig_index = profile.inputs + g;
         if !has_fanout[sig_index] {
             outputs.push(format!("N{g}"));
+            is_output[g] = true;
         }
     }
     let mut probe = 0usize;
     while outputs.len() < profile.outputs && probe < profile.gates {
-        let candidate = format!("N{}", profile.gates - 1 - probe);
-        if !outputs.contains(&candidate) {
-            outputs.push(candidate);
+        let g = profile.gates - 1 - probe;
+        if !is_output[g] {
+            outputs.push(format!("N{g}"));
+            is_output[g] = true;
         }
         probe += 1;
     }
@@ -267,6 +299,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scaling_profiles_generate_with_exact_counts() {
+        let p = BenchmarkProfile::scaling("s10k").unwrap();
+        let n = generate_benchmark(&p);
+        assert_eq!(n.gates().len(), p.gates);
+        assert_eq!(n.inputs().len(), p.inputs);
+        assert_eq!(n.outputs().len(), p.outputs);
+        assert!(BenchmarkProfile::scaling("s9k").is_none());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod verilog;
 
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
-pub use generator::{generate_benchmark, BenchmarkProfile, ISCAS85_PROFILES};
+pub use generator::{generate_benchmark, BenchmarkProfile, ISCAS85_PROFILES, SCALING_PROFILES};
 pub use mapped::{MappedInstance, MappedNetlist};
 pub use netlist::{Netlist, NetlistStats};
 pub use techmap::technology_map;

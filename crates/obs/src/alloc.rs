@@ -181,6 +181,21 @@ pub fn unattributed() -> u64 {
     UNATTRIBUTED.load(Ordering::Relaxed)
 }
 
+/// Zeroes the totals and every per-span counter, keeping claimed slot
+/// names. Lets a benchmark isolate one measured section (warm up, reset,
+/// measure) instead of reporting cumulative process history. Counters
+/// racing with a live hook are zeroed on a best-effort basis — call it
+/// between sections, not under concurrent load.
+pub fn reset() {
+    TOTAL_COUNT.store(0, Ordering::Relaxed);
+    TOTAL_BYTES.store(0, Ordering::Relaxed);
+    UNATTRIBUTED.store(0, Ordering::Relaxed);
+    for slot in &TABLE {
+        slot.count.store(0, Ordering::Relaxed);
+        slot.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
 /// The per-span attribution table, merged by span name content and sorted
 /// by name. Cheap (reads at most one atomic triple per table slot); safe to call from a
 /// scrape handler while the hook is live.

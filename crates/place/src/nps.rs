@@ -70,19 +70,10 @@ impl Placement {
         library: &Library,
     ) -> Result<Vec<InstanceNps>, PlaceError> {
         let sites = self.device_sites(netlist, library)?;
-        let mut out = vec![
-            InstanceNps {
-                lt: None,
-                rt: None,
-                lb: None,
-                rb: None,
-            };
-            netlist.instances().len()
-        ];
-        for (idx, nps) in out.iter_mut().enumerate() {
-            *nps = instance_nps_from_sites(idx, &sites);
-        }
-        Ok(out)
+        Ok(instance_nps_from_all_sites(
+            netlist.instances().len(),
+            &sites,
+        ))
     }
 
     /// The placement context (binned nps) of every instance, indexed by
@@ -261,8 +252,86 @@ impl Placement {
     }
 }
 
+/// The placement contexts of every instance derived from an
+/// already-extracted full-design site list — the single-extraction path
+/// for flows that also need the [`DeviceSite`]s themselves (the sign-off
+/// flow classifies iso/dense from the same list). Bit-identical to
+/// [`Placement::instance_contexts`], in one O(sites) pass.
+#[must_use]
+pub fn instance_contexts_from_sites(instances: usize, sites: &[DeviceSite]) -> Vec<CellContext> {
+    instance_nps_from_all_sites(instances, sites)
+        .iter()
+        .map(InstanceNps::context)
+        .collect()
+}
+
+/// Grouped boundary-device aggregation: one pass over the full site list
+/// computing every instance's four corner spacings, replacing the
+/// per-instance O(sites) filter (O(instances × sites) total) of
+/// [`instance_nps_from_sites`].
+///
+/// Tie semantics match `Iterator::min_by`/`max_by` on the filtered
+/// per-instance list: among equal leftmost spans the *first* site in
+/// order wins (strict less to replace), among equal rightmost spans the
+/// *last* wins (replace on greater-or-equal).
+fn instance_nps_from_all_sites(instances: usize, sites: &[DeviceSite]) -> Vec<InstanceNps> {
+    use std::cmp::Ordering;
+
+    #[derive(Clone, Copy)]
+    struct Ends {
+        occupied: bool,
+        left_key: f64,
+        left_space: Option<f64>,
+        right_key: f64,
+        right_space: Option<f64>,
+    }
+    const EMPTY: Ends = Ends {
+        occupied: false,
+        left_key: 0.0,
+        left_space: None,
+        right_key: 0.0,
+        right_space: None,
+    };
+    // [P, N] ends per instance.
+    let mut ends = vec![[EMPTY; 2]; instances];
+    for s in sites {
+        let r = match s.region {
+            Region::P => 0,
+            Region::N => 1,
+        };
+        let e = &mut ends[s.instance][r];
+        if !e.occupied {
+            *e = Ends {
+                occupied: true,
+                left_key: s.span_abs.0,
+                left_space: s.left_space,
+                right_key: s.span_abs.1,
+                right_space: s.right_space,
+            };
+            continue;
+        }
+        if s.span_abs.0.total_cmp(&e.left_key) == Ordering::Less {
+            e.left_key = s.span_abs.0;
+            e.left_space = s.left_space;
+        }
+        if s.span_abs.1.total_cmp(&e.right_key) != Ordering::Less {
+            e.right_key = s.span_abs.1;
+            e.right_space = s.right_space;
+        }
+    }
+    ends.iter()
+        .map(|[p, n]| InstanceNps {
+            lt: if p.occupied { p.left_space } else { None },
+            rt: if p.occupied { p.right_space } else { None },
+            lb: if n.occupied { n.left_space } else { None },
+            rb: if n.occupied { n.right_space } else { None },
+        })
+        .collect()
+}
+
 /// Boundary-device aggregation of one instance's sites: the leftmost /
-/// rightmost device per region supplies the four corner spacings.
+/// rightmost device per region supplies the four corner spacings. Kept
+/// for row-scoped (ECO) extraction, where the site list is small.
 fn instance_nps_from_sites(idx: usize, sites: &[DeviceSite]) -> InstanceNps {
     let mut nps = InstanceNps {
         lt: None,
@@ -414,6 +483,22 @@ mod tests {
         let mut seen: Vec<usize> = two.iter().map(|(i, _)| *i).collect();
         seen.dedup();
         assert_eq!(seen.len(), two.len(), "sorted unique instance list");
+    }
+
+    #[test]
+    fn grouped_nps_matches_the_per_instance_filter() {
+        let (mapped, lib, placement) = setup();
+        let sites = placement.device_sites(&mapped, &lib).unwrap();
+        let grouped = instance_nps_from_all_sites(mapped.instances().len(), &sites);
+        for (idx, nps) in grouped.iter().enumerate() {
+            assert_eq!(nps, &instance_nps_from_sites(idx, &sites), "instance {idx}");
+        }
+        // And the context derivation agrees with the two-pass API.
+        let contexts = instance_contexts_from_sites(mapped.instances().len(), &sites);
+        assert_eq!(
+            contexts,
+            placement.instance_contexts(&mapped, &lib).unwrap()
+        );
     }
 
     #[test]

@@ -3,11 +3,12 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use svt_exec::ScratchArena;
 use svt_netlist::MappedNetlist;
 use svt_stdcell::Library;
 
-use crate::incremental::{StaState, Topology};
-use crate::report::{NetTiming, TimingReport};
+use crate::incremental::{SharedTopology, StaState, Topology};
+use crate::report::{FromRef, TimingReport};
 use crate::{CellBinding, StaError};
 
 /// Late (setup, max-arrival) or early (hold, min-arrival) analysis.
@@ -113,76 +114,137 @@ pub fn analyze_full_with_wire_caps(
     options: &TimingOptions,
     wire_caps_pf: &HashMap<String, f64>,
 ) -> Result<StaState, StaError> {
+    validate(netlist, binding, options)?;
+    let topo = Arc::new(Topology::build(netlist, binding)?);
+    let scratch = ScratchArena::new();
+    analyze_soa(netlist, binding, options, wire_caps_pf, &topo, &scratch)
+}
+
+/// [`analyze_full`] against a pre-built [`SharedTopology`] and a
+/// caller-provided [`ScratchArena`] — the hot-path entry point. The
+/// topology is verified (O(connections), no allocation) rather than
+/// rebuilt, and the pass's temporaries are carved from `scratch` instead
+/// of the heap, so repeated warm analyses of the same design (the six
+/// sign-off corners, ECO re-timing) allocate only their result vectors.
+///
+/// # Errors
+///
+/// As [`analyze`], plus [`StaError::InvalidBinding`] when
+/// `netlist`/`binding` no longer match `topo`.
+pub fn analyze_full_in(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    topo: &SharedTopology,
+    scratch: &ScratchArena,
+) -> Result<StaState, StaError> {
+    validate(netlist, binding, options)?;
+    topo.0.verify(netlist, binding)?;
+    analyze_soa(netlist, binding, options, &HashMap::new(), &topo.0, scratch)
+}
+
+/// The shared SoA analysis core: levelized forward propagation over flat
+/// id-indexed lanes, then the backward required-time pass. Temporaries
+/// (readiness counts, the pending stack, resolve flags) live in
+/// `scratch`; only the result vectors are heap-allocated.
+#[allow(clippy::too_many_lines)]
+fn analyze_soa(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    wire_caps_pf: &HashMap<String, f64>,
+    topo: &Arc<Topology>,
+    scratch: &ScratchArena,
+) -> Result<StaState, StaError> {
     let _span = svt_obs::span("sta.analyze");
     // Marks the start of one STA wave on the Chrome timeline, so the
     // per-corner analyses inside a parallel batch are tellable apart.
     svt_obs::instant("sta.wave");
-    validate(netlist, binding, options)?;
-    let topo = Arc::new(Topology::build(netlist, binding)?);
-    let (loads, extra_loads) = compute_loads(netlist, binding, options, wire_caps_pf, &topo)?;
+    let n = netlist.instances().len();
+    let net_count = topo.net_names.len();
+    let (loads, extra_loads) = compute_loads(netlist, binding, options, wire_caps_pf, topo)?;
 
-    // Net timing state.
-    let mut nets: HashMap<String, NetTiming> = HashMap::new();
-    let mut resolved = vec![false; topo.net_names.len()];
+    // Net timing state: one lane per quantity, indexed by net id.
+    let mut arrival = vec![0.0_f64; net_count];
+    let mut slew = vec![0.0_f64; net_count];
+    let mut from = vec![FromRef::NONE; net_count];
+    let resolved: &mut [bool] = scratch.alloc_slice_fill(net_count, false);
     for pi in netlist.inputs() {
-        nets.insert(
-            pi.clone(),
-            NetTiming {
-                arrival_ns: 0.0,
-                slew_ns: options.primary_input_slew_ns,
-                from: None,
-            },
-        );
         if let Some(&id) = topo.net_ids.get(pi) {
+            arrival[id as usize] = 0.0;
+            slew[id as usize] = options.primary_input_slew_ns;
             resolved[id as usize] = true;
         }
     }
 
     // Levelize instances by input readiness (Kahn's algorithm over the
-    // instance graph).
-    let mut pending: Vec<usize> = Vec::new();
-    let mut unresolved: Vec<usize> = Vec::with_capacity(netlist.instances().len());
+    // instance graph) and lay out the CSR arc store: each instance's
+    // slot holds one arc per connected input pin.
+    let pending: &mut [u32] = scratch.alloc_slice_fill(n, 0u32);
+    let mut pending_len = 0usize;
+    let unresolved: &mut [u32] = scratch.alloc_slice_fill(n, 0u32);
+    let mut arc_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    arc_offsets.push(0);
     for (idx, inst) in netlist.instances().iter().enumerate() {
         let cell = binding.cell(idx);
-        let mut count = 0usize;
+        let mut count = 0u32;
+        let mut arcs_here = 0u32;
         for pin in &cell.pins {
             if pin.capacitance_pf <= 0.0 {
                 continue;
             }
             // Connected: Topology::build rejected unconnected input pins.
             if let Some(conn) = inst.connections.iter().position(|(p, _)| *p == pin.name) {
+                arcs_here += 1;
                 if !resolved[topo.conn_ids[idx][conn] as usize] {
                     count += 1;
                 }
             }
         }
-        unresolved.push(count);
+        arc_offsets.push(arc_offsets[idx] + arcs_here);
+        unresolved[idx] = count;
         if count == 0 {
-            pending.push(idx);
+            pending[pending_len] = u32::try_from(idx).expect("instance count fits u32");
+            pending_len += 1;
         }
     }
+    let mut arc_data: Vec<(u32, f64)> = vec![(u32::MAX, 0.0); arc_offsets[n] as usize];
 
     let mut evaluated = 0usize;
-    let mut completion_order: Vec<usize> = Vec::with_capacity(netlist.instances().len());
-    // (input net id, delay) per evaluated arc, keyed by instance, for
-    // the backward required-time pass.
-    let mut arc_delays: Vec<Vec<(u32, f64)>> = vec![Vec::new(); netlist.instances().len()];
-    while let Some(idx) = pending.pop() {
+    let mut completion_order: Vec<usize> = Vec::with_capacity(n);
+    let mut eval = EvalScratch::default();
+    while pending_len > 0 {
+        pending_len -= 1;
+        let idx = pending[pending_len] as usize;
         evaluated += 1;
         completion_order.push(idx);
-        let (out_id, timing, arcs) =
-            evaluate_instance(netlist, binding, idx, &topo, &loads, &nets, options.mode)?;
-        arc_delays[idx] = arcs;
-        nets.insert(topo.net_names[out_id as usize].clone(), timing);
-        for &u in &topo.users_of[out_id as usize] {
+        let out = evaluate_instance(
+            netlist,
+            binding,
+            idx,
+            topo,
+            &loads,
+            &arrival,
+            &slew,
+            options.mode,
+            &mut eval,
+        )?;
+        arc_data[arc_offsets[idx] as usize..arc_offsets[idx + 1] as usize]
+            .copy_from_slice(&eval.arcs);
+        let out_id = topo.out_net[idx] as usize;
+        arrival[out_id] = out.arrival_ns;
+        slew[out_id] = out.slew_ns;
+        from[out_id] = out.from;
+        for &u in &topo.users_of[out_id] {
             unresolved[u as usize] -= 1;
             if unresolved[u as usize] == 0 {
-                pending.push(u as usize);
+                pending[pending_len] = u;
+                pending_len += 1;
             }
         }
     }
 
-    if evaluated != netlist.instances().len() {
+    if evaluated != n {
         // Some instance never became ready: a cycle.
         let stuck = netlist
             .instances()
@@ -195,41 +257,58 @@ pub fn analyze_full_with_wire_caps(
     }
 
     // Backward required-time pass (late mode) against the clock period.
-    let mut required: HashMap<String, f64> = HashMap::new();
+    let mut required: Vec<f64> = Vec::new();
+    let mut has_required: Vec<bool> = Vec::new();
     if let Some(period) = options.clock_period_ns {
-        for po in netlist.outputs() {
-            let entry = required.entry(po.clone()).or_insert(period);
-            *entry = entry.min(period);
+        required = vec![0.0; net_count];
+        has_required = vec![false; net_count];
+        for &po in &topo.po_ids {
+            let id = po as usize;
+            if has_required[id] {
+                required[id] = required[id].min(period);
+            } else {
+                has_required[id] = true;
+                required[id] = period;
+            }
         }
         for &idx in completion_order.iter().rev() {
-            let out_name = &topo.net_names[topo.out_net[idx] as usize];
-            let Some(&r_out) = required.get(out_name.as_str()) else {
+            let out_id = topo.out_net[idx] as usize;
+            if !has_required[out_id] {
                 continue; // net drives nothing timed
-            };
-            for &(in_id, delay) in &arc_delays[idx] {
+            }
+            let r_out = required[out_id];
+            for &(in_id, delay) in
+                &arc_data[arc_offsets[idx] as usize..arc_offsets[idx + 1] as usize]
+            {
                 let candidate = r_out - delay;
-                required
-                    .entry(topo.net_names[in_id as usize].clone())
-                    .and_modify(|r| *r = r.min(candidate))
-                    .or_insert(candidate);
+                let i = in_id as usize;
+                if has_required[i] {
+                    required[i] = required[i].min(candidate);
+                } else {
+                    has_required[i] = true;
+                    required[i] = candidate;
+                }
             }
         }
     }
 
-    let report = TimingReport::new(
-        netlist.name().to_string(),
-        nets,
-        netlist.outputs().to_vec(),
+    let report = TimingReport::from_soa(
+        Arc::clone(topo),
         options.mode,
+        arrival,
+        slew,
+        from,
         required,
+        has_required,
     );
     Ok(StaState::new(
         report,
         loads,
         extra_loads,
-        arc_delays,
+        arc_offsets,
+        arc_data,
         completion_order,
-        topo,
+        Arc::clone(topo),
     ))
 }
 
@@ -305,24 +384,61 @@ pub(crate) fn compute_loads(
     Ok((loads, extra))
 }
 
-/// One evaluated instance: its output net id, the timing on that net,
-/// and the per-input arc delays as `(input net id, delay_ns)` pairs.
-pub(crate) type InstanceEval = (u32, NetTiming, Vec<(u32, f64)>);
+/// The number of connected input pins of one bound instance — exactly
+/// the number of arcs its evaluation produces, which makes the CSR arc
+/// layout computable without evaluating anything.
+pub(crate) fn connected_input_pins(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    idx: usize,
+) -> usize {
+    let inst = &netlist.instances()[idx];
+    binding
+        .cell(idx)
+        .pins
+        .iter()
+        .filter(|pin| {
+            pin.capacitance_pf > 0.0 && inst.connections.iter().any(|(p, _)| *p == pin.name)
+        })
+        .count()
+}
+
+/// The timing of one evaluated instance's output net.
+pub(crate) struct EvalOut {
+    pub arrival_ns: f64,
+    pub slew_ns: f64,
+    pub from: FromRef,
+}
+
+/// Reusable evaluation buffer: the `(input net id, delay)` arcs of the
+/// most recent [`evaluate_instance`] call. One buffer serves a whole
+/// pass, so per-instance evaluation performs no allocation once it has
+/// grown to the widest cell.
+#[derive(Default)]
+pub(crate) struct EvalScratch {
+    pub arcs: Vec<(u32, f64)>,
+}
 
 /// Evaluates one instance against resolved upstream net timings: arc
 /// delay/slew lookups, worst-slew merge, and the arrival pick. Pure in
 /// `(binding.cell(idx), upstream timings, loads)` — the incremental
 /// analysis re-runs exactly this function for dirty instances, which is
 /// why cone-limited recomputation is bit-identical to a full pass.
+///
+/// Arcs are left in `eval.arcs` (one per connected input pin, in
+/// `cell.pins` order) for the caller to copy into its CSR slot.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_instance(
     netlist: &MappedNetlist,
     binding: &CellBinding,
     idx: usize,
     topo: &Topology,
     loads: &[f64],
-    nets: &HashMap<String, NetTiming>,
+    arrival: &[f64],
+    slew: &[f64],
     mode: AnalysisMode,
-) -> Result<InstanceEval, StaError> {
+    eval: &mut EvalScratch,
+) -> Result<EvalOut, StaError> {
     let pick = |a: f64, b: f64| match mode {
         AnalysisMode::Late => a.max(b),
         AnalysisMode::Early => a.min(b),
@@ -332,8 +448,8 @@ pub(crate) fn evaluate_instance(
     let out_id = topo.out_net[idx];
     let load = loads[out_id as usize];
 
-    let mut arcs: Vec<(u32, f64)> = Vec::new();
-    let mut best: Option<NetTiming> = None;
+    eval.arcs.clear();
+    let mut best: Option<EvalOut> = None;
     let mut merged_slew: Option<f64> = None;
     for pin in &cell.pins {
         if pin.capacitance_pf <= 0.0 {
@@ -347,45 +463,46 @@ pub(crate) fn evaluate_instance(
                 instance: inst.name.clone(),
                 reason: format!("input pin `{}` unconnected", pin.name),
             })?;
-        let (pin_name, in_net) = &inst.connections[conn];
-        let in_id = topo.conn_ids[idx][conn];
-        let upstream = nets
-            .get(in_net.as_str())
-            .expect("readiness counting guarantees resolved inputs");
+        let (pin_name, _) = &inst.connections[conn];
+        let in_id = topo.conn_ids[idx][conn] as usize;
         let arc = cell
             .arc_from(pin_name)
             .ok_or_else(|| StaError::MissingTiming {
                 instance: inst.name.clone(),
                 reason: format!("no arc from pin `{pin_name}`"),
             })?;
-        let delay = arc.delay.lookup(upstream.slew_ns, load);
-        let slew = arc.output_slew.lookup(upstream.slew_ns, load);
-        let arrival = upstream.arrival_ns + delay;
-        arcs.push((in_id, delay));
+        let delay = arc.delay.lookup(slew[in_id], load);
+        let out_slew = arc.output_slew.lookup(slew[in_id], load);
+        let arc_arrival = arrival[in_id] + delay;
+        eval.arcs
+            .push((u32::try_from(in_id).expect("net count fits u32"), delay));
         // Slew merges independently of the arrival winner (classic
         // worst-slew propagation).
         merged_slew = Some(match merged_slew {
-            None => slew,
-            Some(s) => pick(s, slew),
+            None => out_slew,
+            Some(s) => pick(s, out_slew),
         });
         let replace = match &best {
             None => true,
-            Some(cur) => pick(cur.arrival_ns, arrival) == arrival,
+            Some(cur) => pick(cur.arrival_ns, arc_arrival) == arc_arrival,
         };
         if replace {
-            best = Some(NetTiming {
-                arrival_ns: arrival,
-                slew_ns: slew,
-                from: Some((idx, pin_name.clone(), in_net.clone())),
+            best = Some(EvalOut {
+                arrival_ns: arc_arrival,
+                slew_ns: out_slew,
+                from: FromRef {
+                    inst: u32::try_from(idx).expect("instance count fits u32"),
+                    conn: u32::try_from(conn).expect("connection count fits u32"),
+                },
             });
         }
     }
-    let mut timing = best.ok_or_else(|| StaError::MissingTiming {
+    let mut out = best.ok_or_else(|| StaError::MissingTiming {
         instance: inst.name.clone(),
         reason: "no input pins".into(),
     })?;
-    timing.slew_ns = merged_slew.expect("best implies at least one arc");
-    Ok((out_id, timing, arcs))
+    out.slew_ns = merged_slew.expect("best implies at least one arc");
+    Ok(out)
 }
 
 /// Convenience: nominal-corner analysis straight from a library.
@@ -475,6 +592,44 @@ mod tests {
             r.arrival_of("z").unwrap()
         };
         assert!(d(&heavy) > d(&light), "fanout must add load");
+    }
+
+    #[test]
+    fn shared_topology_reuse_is_bit_identical() {
+        let lib = Library::svt90();
+        let n = generate_benchmark(&BenchmarkProfile::iscas85("c432").unwrap());
+        let m = technology_map(&n, &lib).unwrap();
+        let opts = TimingOptions {
+            clock_period_ns: Some(6.0),
+            ..TimingOptions::default()
+        };
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let topo = SharedTopology::build(&m, &binding).unwrap();
+        let mut scratch = ScratchArena::new();
+        let fresh = analyze_full(&m, &binding, &opts).unwrap();
+        for _ in 0..3 {
+            let warm = analyze_full_in(&m, &binding, &opts, &topo, &scratch).unwrap();
+            assert_eq!(warm, fresh, "warm arena/topology reuse must not drift");
+            scratch.reset();
+        }
+    }
+
+    #[test]
+    fn shared_topology_rejects_a_different_netlist() {
+        let (m, lib) = mapped("# t\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+        let binding = CellBinding::nominal(&m, &lib).unwrap();
+        let topo = SharedTopology::build(&m, &binding).unwrap();
+        let (other, _) = mapped("# u\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n");
+        let other_binding = CellBinding::nominal(&other, &lib).unwrap();
+        let scratch = ScratchArena::new();
+        assert!(analyze_full_in(
+            &other,
+            &other_binding,
+            &TimingOptions::default(),
+            &topo,
+            &scratch
+        )
+        .is_err());
     }
 
     #[test]

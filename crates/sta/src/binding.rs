@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use svt_netlist::MappedNetlist;
 use svt_stdcell::{characterize, CharacterizeOptions, CharacterizedCell, Library};
 
@@ -10,9 +12,14 @@ use crate::StaError;
 /// for each cell based on its placement", paper §4); traditional corner
 /// analysis binds every instance of the same master to the same corner
 /// variant. Either way the timer itself is unchanged.
+///
+/// Variants are held behind [`Arc`] so memoized characterizations can be
+/// shared across bindings (all six sign-off corners of a flow, every
+/// incremental ECO state) without cloning NLDM tables; see
+/// [`CellBinding::new_shared`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellBinding {
-    cells: Vec<CharacterizedCell>,
+    cells: Vec<Arc<CharacterizedCell>>,
 }
 
 impl CellBinding {
@@ -26,6 +33,19 @@ impl CellBinding {
     pub fn new(
         netlist: &MappedNetlist,
         cells: Vec<CharacterizedCell>,
+    ) -> Result<CellBinding, StaError> {
+        Self::new_shared(netlist, cells.into_iter().map(Arc::new).collect())
+    }
+
+    /// [`CellBinding::new`] over already-shared variants — the zero-copy
+    /// path for callers holding memoized characterizations.
+    ///
+    /// # Errors
+    ///
+    /// See [`CellBinding::new`].
+    pub fn new_shared(
+        netlist: &MappedNetlist,
+        cells: Vec<Arc<CharacterizedCell>>,
     ) -> Result<CellBinding, StaError> {
         if cells.len() != netlist.instances().len() {
             return Err(StaError::InvalidBinding {
@@ -124,8 +144,9 @@ impl CellBinding {
         &mut self,
         netlist: &MappedNetlist,
         idx: usize,
-        cell: CharacterizedCell,
+        cell: impl Into<Arc<CharacterizedCell>>,
     ) -> Result<(), StaError> {
+        let cell = cell.into();
         let inst = netlist
             .instances()
             .get(idx)
@@ -156,7 +177,7 @@ impl CellBinding {
 
     /// All bound variants, instance-aligned.
     #[must_use]
-    pub fn cells(&self) -> &[CharacterizedCell] {
+    pub fn cells(&self) -> &[Arc<CharacterizedCell>] {
         &self.cells
     }
 }

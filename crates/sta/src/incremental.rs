@@ -29,12 +29,17 @@
 //!    capacitance slows the *upstream* driver).
 //!
 //! Everything the per-update passes touch repeatedly is integer-keyed:
-//! [`Topology`] interns net names once per full analysis, so the
-//! incremental path does no string hashing beyond an O(connections)
-//! equality sweep that verifies connectivity is unchanged. That keeps
-//! the per-update fixed cost small enough for the `svt-eco` latency
-//! target (a single-cell ECO must re-sign-off ≥ 10× faster than a warm
-//! full rebuild).
+//! [`Topology`] interns net names once per full analysis, and all timing
+//! state lives in flat id-indexed vectors (see
+//! [`TimingReport`]), so the incremental path does no string hashing
+//! beyond an O(connections) equality sweep that verifies connectivity is
+//! unchanged. Per-update temporaries (seed flags, cone marks, the DFS
+//! stack) are carved from a caller-supplied
+//! [`ScratchArena`](svt_exec::ScratchArena) — warm updates through
+//! [`analyze_incremental_in`] touch the heap only for the cloned result
+//! vectors. That keeps the per-update fixed cost small enough for the
+//! `svt-eco` latency target (a single-cell ECO must re-sign-off ≥ 10×
+//! faster than a warm full rebuild).
 //!
 //! The equivalence is enforced by the `svt-eco` differential test, which
 //! compares incremental sessions against full rebuilds bit-for-bit
@@ -43,26 +48,36 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use svt_exec::ScratchArena;
 use svt_netlist::MappedNetlist;
 
-use crate::analysis::{compute_loads, evaluate_instance, validate};
+use crate::analysis::{
+    compute_loads, connected_input_pins, evaluate_instance, validate, EvalScratch,
+};
 use crate::report::TimingReport;
 use crate::{CellBinding, StaError, TimingOptions};
 
 /// The netlist connectivity with every net name interned to a dense id,
 /// plus the instance⇄net relations every timing pass walks. Built once
-/// by [`analyze_full`](crate::analyze_full) and shared (via [`Arc`])
-/// by every state advanced from it — edits that qualify for incremental
-/// analysis never change connectivity, so the topology never goes stale
-/// (and [`Topology::verify`] rejects states whose netlist did change).
+/// (see [`SharedTopology::build`]) and shared (via [`Arc`]) by every
+/// state advanced from it — edits that qualify for incremental analysis
+/// never change connectivity, so the topology never goes stale (and
+/// [`Topology::verify`] rejects states whose netlist did change).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Topology {
+    /// Design name, carried so reports need no netlist back-reference.
+    pub(crate) design: String,
     /// Interned net names; `net_names[id]` is the name of net `id`.
     pub(crate) net_names: Vec<String>,
     /// Net name → id, for mapping externally keyed inputs (wire caps).
     pub(crate) net_ids: HashMap<String, u32>,
+    /// Interned pin names; `pin_names[id]` is the name of pin id `id`.
+    pub(crate) pin_names: Vec<String>,
     /// Per instance, the net id of each `connections` entry, in order.
     pub(crate) conn_ids: Vec<Vec<u32>>,
+    /// Per instance, the pin-name id of each `connections` entry — used
+    /// only to reconstruct path reports without the netlist.
+    pub(crate) conn_pins: Vec<Vec<u16>>,
     /// Per instance, the net id its output pin drives.
     pub(crate) out_net: Vec<u32>,
     /// Per net, the driving instance (`u32::MAX` for primary inputs and
@@ -117,6 +132,25 @@ impl Topology {
             .map(|po| intern(po, &mut net_names))
             .collect();
 
+        // Pin names recur across the whole design (a handful per
+        // library), so a linear probe beats hashing.
+        let mut pin_names: Vec<String> = Vec::new();
+        let mut conn_pins: Vec<Vec<u16>> = Vec::with_capacity(n);
+        for inst in netlist.instances() {
+            conn_pins.push(
+                inst.connections
+                    .iter()
+                    .map(|(pin, _)| match pin_names.iter().position(|p| p == pin) {
+                        Some(i) => u16::try_from(i).expect("pin name count fits u16"),
+                        None => {
+                            pin_names.push(pin.clone());
+                            u16::try_from(pin_names.len() - 1).expect("pin name count fits u16")
+                        }
+                    })
+                    .collect(),
+            );
+        }
+
         let mut out_net: Vec<u32> = Vec::with_capacity(n);
         let mut driver_of: Vec<u32> = vec![u32::MAX; net_names.len()];
         let mut users_of: Vec<Vec<u32>> = vec![Vec::new(); net_names.len()];
@@ -159,14 +193,22 @@ impl Topology {
         }
 
         Ok(Topology {
+            design: netlist.name().to_string(),
             net_names,
             net_ids,
+            pin_names,
             conn_ids,
+            conn_pins,
             out_net,
             driver_of,
             users_of,
             po_ids,
         })
+    }
+
+    /// The pin name of one `connections` entry of one instance.
+    pub(crate) fn conn_pin(&self, inst: u32, conn: u32) -> &str {
+        &self.pin_names[self.conn_pins[inst as usize][conn as usize] as usize]
     }
 
     /// Checks that `netlist`/`binding` still have the connectivity this
@@ -220,10 +262,49 @@ impl Topology {
     }
 }
 
+/// A reusable handle to the interned connectivity of one bound netlist.
+///
+/// Building the topology (string interning, driver/user relations) is
+/// the only string-heavy step of an analysis. Callers that analyze the
+/// same design repeatedly — the sign-off flow runs six corners per
+/// `run()`, ECO sessions re-analyze after every edit — build it once and
+/// pass it to [`analyze_full_in`](crate::analyze_full_in), which only
+/// performs the O(connections) [`verify`](SharedTopology::verify) sweep.
+/// Cloning is an [`Arc`] bump.
+#[derive(Debug, Clone)]
+pub struct SharedTopology(pub(crate) Arc<Topology>);
+
+impl SharedTopology {
+    /// Interns the bound netlist's connectivity.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::MissingTiming`] when a bound variant has no output
+    /// pin or an input/output pin is unconnected.
+    pub fn build(
+        netlist: &MappedNetlist,
+        binding: &CellBinding,
+    ) -> Result<SharedTopology, StaError> {
+        Ok(SharedTopology(Arc::new(Topology::build(netlist, binding)?)))
+    }
+
+    /// Checks that `netlist`/`binding` still match this topology —
+    /// O(connections) string equality, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::InvalidBinding`] when connectivity changed,
+    /// [`StaError::MissingTiming`] when a variant's pin roles are
+    /// inconsistent.
+    pub fn verify(&self, netlist: &MappedNetlist, binding: &CellBinding) -> Result<(), StaError> {
+        self.0.verify(netlist, binding)
+    }
+}
+
 /// A completed analysis plus the internal products needed to advance it
 /// incrementally: the interned net topology, the canonical per-net load
-/// vector, the per-instance arc delays of the backward pass, and the
-/// topological completion order.
+/// vector, the per-instance arc delays of the backward pass (flat CSR
+/// layout), and the topological completion order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StaState {
     pub(crate) report: TimingReport,
@@ -233,8 +314,12 @@ pub struct StaState {
     /// name). No driver can depend on them; kept only so state equality
     /// sees the full load picture.
     pub(crate) extra_loads: Vec<(String, f64)>,
-    /// Per instance, `(input net id, arc delay)` of every evaluated arc.
-    pub(crate) arc_delays: Vec<Vec<(u32, f64)>>,
+    /// CSR offsets into [`Self::arc_data`]: instance `i`'s evaluated
+    /// arcs live at `arc_data[arc_offsets[i]..arc_offsets[i + 1]]`.
+    /// Length `instances + 1`.
+    pub(crate) arc_offsets: Vec<u32>,
+    /// `(input net id, arc delay)` of every evaluated arc, flat.
+    pub(crate) arc_data: Vec<(u32, f64)>,
     pub(crate) completion_order: Vec<usize>,
     pub(crate) topo: Arc<Topology>,
 }
@@ -244,7 +329,8 @@ impl StaState {
         report: TimingReport,
         loads: Vec<f64>,
         extra_loads: Vec<(String, f64)>,
-        arc_delays: Vec<Vec<(u32, f64)>>,
+        arc_offsets: Vec<u32>,
+        arc_data: Vec<(u32, f64)>,
         completion_order: Vec<usize>,
         topo: Arc<Topology>,
     ) -> StaState {
@@ -252,7 +338,8 @@ impl StaState {
             report,
             loads,
             extra_loads,
-            arc_delays,
+            arc_offsets,
+            arc_data,
             completion_order,
             topo,
         }
@@ -332,6 +419,32 @@ pub fn analyze_incremental(
     )
 }
 
+/// [`analyze_incremental`] with caller-provided scratch, so repeated
+/// updates (an ECO session walking many edits) reuse one arena for the
+/// per-update temporaries instead of reallocating them.
+///
+/// # Errors
+///
+/// See [`analyze_incremental`].
+pub fn analyze_incremental_in(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    prev: &StaState,
+    changed_instances: &[usize],
+    scratch: &ScratchArena,
+) -> Result<(StaState, IncrementalStats), StaError> {
+    incremental_soa(
+        netlist,
+        binding,
+        options,
+        &HashMap::new(),
+        prev,
+        changed_instances,
+        scratch,
+    )
+}
+
 /// [`analyze_incremental`] with explicit per-net wire capacitances (pF),
 /// mirroring [`analyze_with_wire_caps`](crate::analyze_with_wire_caps).
 ///
@@ -346,10 +459,32 @@ pub fn analyze_incremental_with_wire_caps(
     prev: &StaState,
     changed_instances: &[usize],
 ) -> Result<(StaState, IncrementalStats), StaError> {
+    let scratch = ScratchArena::new();
+    incremental_soa(
+        netlist,
+        binding,
+        options,
+        wire_caps_pf,
+        prev,
+        changed_instances,
+        &scratch,
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn incremental_soa(
+    netlist: &MappedNetlist,
+    binding: &CellBinding,
+    options: &TimingOptions,
+    wire_caps_pf: &HashMap<String, f64>,
+    prev: &StaState,
+    changed_instances: &[usize],
+    scratch: &ScratchArena,
+) -> Result<(StaState, IncrementalStats), StaError> {
     let _span = svt_obs::span("sta.analyze_incremental");
     validate(netlist, binding, options)?;
     let n = netlist.instances().len();
-    if prev.completion_order.len() != n || prev.arc_delays.len() != n {
+    if prev.completion_order.len() != n || prev.arc_offsets.len() != n + 1 {
         return Err(StaError::InvalidBinding {
             reason: "incremental state does not match the netlist".into(),
         });
@@ -361,62 +496,121 @@ pub fn analyze_incremental_with_wire_caps(
     // Canonical load recompute + bit-diff: a net whose load bits moved
     // re-times its *driver* (delay/slew lookups read the output load).
     let (loads, extra_loads) = compute_loads(netlist, binding, options, wire_caps_pf, topo)?;
-    let mut seeds: Vec<usize> = Vec::new();
-    let mut seeded = vec![false; n];
+    // `dirty` doubles as the seed-dedup set: before the DFS below it
+    // holds exactly the seeds.
+    let dirty: &mut [bool] = scratch.alloc_slice_fill(n, false);
+    let stack: &mut [u32] = scratch.alloc_slice_fill(n, 0u32);
+    let mut stack_len = 0usize;
+    let mut seed_count = 0usize;
     for &idx in changed_instances {
         if idx >= n {
             return Err(StaError::InvalidBinding {
                 reason: format!("changed instance index {idx} out of range"),
             });
         }
-        if !seeded[idx] {
-            seeded[idx] = true;
-            seeds.push(idx);
+        if !dirty[idx] {
+            dirty[idx] = true;
+            stack[stack_len] = u32::try_from(idx).expect("instance count fits u32");
+            stack_len += 1;
+            seed_count += 1;
         }
     }
     for (id, cap) in loads.iter().enumerate() {
         if cap.to_bits() != prev.loads[id].to_bits() {
             let d = topo.driver_of[id];
-            if d != u32::MAX && !seeded[d as usize] {
-                seeded[d as usize] = true;
-                seeds.push(d as usize);
+            if d != u32::MAX && !dirty[d as usize] {
+                dirty[d as usize] = true;
+                stack[stack_len] = d;
+                stack_len += 1;
+                seed_count += 1;
             }
         }
     }
     // `extra_loads` nets are outside the netlist — nothing drives them,
     // so a change there cannot seed anything.
-    let seed_count = seeds.len();
 
     // Forward (fan-out) cone: everything reachable from a seed.
-    let mut dirty = vec![false; n];
-    let mut stack = seeds;
-    while let Some(idx) = stack.pop() {
-        if dirty[idx] {
-            continue;
-        }
-        dirty[idx] = true;
+    // Mark-on-push bounds the stack by the instance count.
+    while stack_len > 0 {
+        stack_len -= 1;
+        let idx = stack[stack_len] as usize;
         for &u in &topo.users_of[topo.out_net[idx] as usize] {
             if !dirty[u as usize] {
-                stack.push(u as usize);
+                dirty[u as usize] = true;
+                stack[stack_len] = u;
+                stack_len += 1;
             }
         }
+    }
+
+    // Clone the previous SoA state; only cone members get overwritten,
+    // so everything outside the cones stays bit-identical.
+    let mut arrival = prev.report.arrival.clone();
+    let mut slew = prev.report.slew.clone();
+    let mut from = prev.report.from.clone();
+    let mut arc_offsets = prev.arc_offsets.clone();
+    let mut arc_data = prev.arc_data.clone();
+
+    // A re-bound variant can change the number of connected input pins
+    // (and therefore its arc count). When that happens the CSR layout is
+    // rebuilt, copying clean instances' slices; dirty slices are written
+    // by the re-evaluation below.
+    let relayout = (0..n).any(|idx| {
+        dirty[idx]
+            && connected_input_pins(netlist, binding, idx)
+                != (arc_offsets[idx + 1] - arc_offsets[idx]) as usize
+    });
+    if relayout {
+        let mut new_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        new_offsets.push(0);
+        for idx in 0..n {
+            let count = if dirty[idx] {
+                u32::try_from(connected_input_pins(netlist, binding, idx))
+                    .expect("arc count fits u32")
+            } else {
+                arc_offsets[idx + 1] - arc_offsets[idx]
+            };
+            new_offsets.push(new_offsets[idx] + count);
+        }
+        let mut new_data: Vec<(u32, f64)> = vec![(u32::MAX, 0.0); new_offsets[n] as usize];
+        for idx in 0..n {
+            if dirty[idx] {
+                continue;
+            }
+            let src = &arc_data[arc_offsets[idx] as usize..arc_offsets[idx + 1] as usize];
+            new_data[new_offsets[idx] as usize..new_offsets[idx + 1] as usize].copy_from_slice(src);
+        }
+        arc_offsets = new_offsets;
+        arc_data = new_data;
     }
 
     // Re-evaluate dirty instances in the stored topological order; every
     // non-dirty instance keeps bit-identical inputs, so its stored
     // timing is already the post-edit answer.
-    let mut nets = prev.report.nets.clone();
-    let mut arc_delays = prev.arc_delays.clone();
+    let mut eval = EvalScratch::default();
     let mut forward_instances = 0usize;
     for &idx in &prev.completion_order {
         if !dirty[idx] {
             continue;
         }
         forward_instances += 1;
-        let (out_id, timing, arcs) =
-            evaluate_instance(netlist, binding, idx, topo, &loads, &nets, options.mode)?;
-        arc_delays[idx] = arcs;
-        nets.insert(topo.net_names[out_id as usize].clone(), timing);
+        let out = evaluate_instance(
+            netlist,
+            binding,
+            idx,
+            topo,
+            &loads,
+            &arrival,
+            &slew,
+            options.mode,
+            &mut eval,
+        )?;
+        arc_data[arc_offsets[idx] as usize..arc_offsets[idx + 1] as usize]
+            .copy_from_slice(&eval.arcs);
+        let out_id = topo.out_net[idx] as usize;
+        arrival[out_id] = out.arrival_ns;
+        slew[out_id] = out.slew_ns;
+        from[out_id] = out.from;
     }
 
     // Backward (fan-in) cone: nets whose required time can change are
@@ -425,12 +619,21 @@ pub fn analyze_incremental_with_wire_caps(
     // before its driver in reversed topological order, so membership is
     // settled before the driver's inputs are considered.
     let mut required = prev.report.required.clone();
+    let mut has_required = prev.report.has_required.clone();
     let mut backward_nets = 0usize;
     if let Some(period) = options.clock_period_ns {
-        let mut in_cone = vec![false; net_count];
+        if required.len() != net_count {
+            // `prev` was analyzed without a clock; start from the empty
+            // boundary condition.
+            required = vec![0.0; net_count];
+            has_required = vec![false; net_count];
+        }
+        let in_cone: &mut [bool] = scratch.alloc_slice_fill(net_count, false);
         for &idx in prev.completion_order.iter().rev() {
             if dirty[idx] || in_cone[topo.out_net[idx] as usize] {
-                for &(in_id, _) in &arc_delays[idx] {
+                for &(in_id, _) in
+                    &arc_data[arc_offsets[idx] as usize..arc_offsets[idx + 1] as usize]
+                {
                     in_cone[in_id as usize] = true;
                 }
             }
@@ -439,7 +642,7 @@ pub fn analyze_incremental_with_wire_caps(
         // Reset cone members to their boundary condition, then replay
         // the min-merge contributions — only into the cone; everything
         // outside it keeps bit-identical contributions.
-        let mut is_po = vec![false; net_count];
+        let is_po: &mut [bool] = scratch.alloc_slice_fill(net_count, false);
         for &po in &topo.po_ids {
             is_po[po as usize] = true;
         }
@@ -448,27 +651,34 @@ pub fn analyze_incremental_with_wire_caps(
                 continue;
             }
             backward_nets += 1;
-            let name = &topo.net_names[id];
             if is_po[id] {
-                required.insert(name.clone(), period);
+                required[id] = period;
+                has_required[id] = true;
             } else {
-                required.remove(name);
+                required[id] = 0.0;
+                has_required[id] = false;
             }
         }
         for &idx in prev.completion_order.iter().rev() {
-            let out_name = &topo.net_names[topo.out_net[idx] as usize];
-            let Some(&r_out) = required.get(out_name) else {
+            let out_id = topo.out_net[idx] as usize;
+            if !has_required[out_id] {
                 continue; // net drives nothing timed
-            };
-            for &(in_id, delay) in &arc_delays[idx] {
-                if !in_cone[in_id as usize] {
+            }
+            let r_out = required[out_id];
+            for &(in_id, delay) in
+                &arc_data[arc_offsets[idx] as usize..arc_offsets[idx + 1] as usize]
+            {
+                let i = in_id as usize;
+                if !in_cone[i] {
                     continue;
                 }
                 let candidate = r_out - delay;
-                required
-                    .entry(topo.net_names[in_id as usize].clone())
-                    .and_modify(|r| *r = r.min(candidate))
-                    .or_insert(candidate);
+                if has_required[i] {
+                    required[i] = required[i].min(candidate);
+                } else {
+                    has_required[i] = true;
+                    required[i] = candidate;
+                }
             }
         }
     }
@@ -477,19 +687,22 @@ pub fn analyze_incremental_with_wire_caps(
     svt_obs::counter!("sta.incremental.forward_instances").add(forward_instances as u64);
     svt_obs::counter!("sta.incremental.backward_nets").add(backward_nets as u64);
 
-    let report = TimingReport::new(
-        prev.report.design.clone(),
-        nets,
-        prev.report.outputs.clone(),
+    let report = TimingReport::from_soa(
+        Arc::clone(topo),
         options.mode,
+        arrival,
+        slew,
+        from,
         required,
+        has_required,
     );
     Ok((
         StaState::new(
             report,
             loads,
             extra_loads,
-            arc_delays,
+            arc_offsets,
+            arc_data,
             prev.completion_order.clone(),
             Arc::clone(topo),
         ),
@@ -514,23 +727,39 @@ mod tests {
     }
 
     fn assert_states_bit_identical(a: &StaState, b: &StaState) {
-        assert_eq!(a.report.nets.len(), b.report.nets.len());
-        for (net, t) in &a.report.nets {
-            let u = b.report.nets.get(net).expect("net present");
+        assert_eq!(a.topo.net_names, b.topo.net_names, "interning order");
+        let nn = a.topo.net_names.len();
+        assert_eq!(a.report.arrival.len(), nn);
+        assert_eq!(b.report.arrival.len(), nn);
+        for id in 0..nn {
+            let net = &a.topo.net_names[id];
             assert_eq!(
-                t.arrival_ns.to_bits(),
-                u.arrival_ns.to_bits(),
+                a.report.arrival[id].to_bits(),
+                b.report.arrival[id].to_bits(),
                 "arrival of `{net}`"
             );
-            assert_eq!(t.slew_ns.to_bits(), u.slew_ns.to_bits(), "slew of `{net}`");
-            assert_eq!(t.from, u.from, "winner arc of `{net}`");
+            assert_eq!(
+                a.report.slew[id].to_bits(),
+                b.report.slew[id].to_bits(),
+                "slew of `{net}`"
+            );
+            assert_eq!(
+                a.report.from[id], b.report.from[id],
+                "winner arc of `{net}`"
+            );
         }
+        assert_eq!(a.report.has_required, b.report.has_required);
         assert_eq!(a.report.required.len(), b.report.required.len());
-        for (net, r) in &a.report.required {
-            let s = b.report.required.get(net).expect("required present");
-            assert_eq!(r.to_bits(), s.to_bits(), "required of `{net}`");
+        for id in 0..a.report.required.len() {
+            if a.report.has_required[id] {
+                assert_eq!(
+                    a.report.required[id].to_bits(),
+                    b.report.required[id].to_bits(),
+                    "required of `{}`",
+                    a.topo.net_names[id]
+                );
+            }
         }
-        assert_eq!(a.topo.net_names, b.topo.net_names, "interning order");
         assert_eq!(a.loads.len(), b.loads.len());
         for (id, l) in a.loads.iter().enumerate() {
             assert_eq!(
@@ -541,13 +770,11 @@ mod tests {
             );
         }
         assert_eq!(a.extra_loads, b.extra_loads);
-        assert_eq!(a.arc_delays.len(), b.arc_delays.len());
-        for (x, y) in a.arc_delays.iter().zip(&b.arc_delays) {
-            assert_eq!(x.len(), y.len());
-            for ((nx, dx), (ny, dy)) in x.iter().zip(y) {
-                assert_eq!(nx, ny);
-                assert_eq!(dx.to_bits(), dy.to_bits());
-            }
+        assert_eq!(a.arc_offsets, b.arc_offsets);
+        assert_eq!(a.arc_data.len(), b.arc_data.len());
+        for ((nx, dx), (ny, dy)) in a.arc_data.iter().zip(&b.arc_data) {
+            assert_eq!(nx, ny);
+            assert_eq!(dx.to_bits(), dy.to_bits());
         }
     }
 
@@ -631,6 +858,35 @@ mod tests {
         let (incr, stats) = analyze_incremental(&m, &binding, &opts, &base, &[]).unwrap();
         assert_states_bit_identical(&incr, &base);
         assert_eq!(stats.forward_instances, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_updates_is_bit_identical() {
+        // The ECO path drives many updates through one arena; warm
+        // reuse must not perturb results.
+        let (m, lib) = c432();
+        let opts = TimingOptions {
+            clock_period_ns: Some(6.0),
+            ..TimingOptions::default()
+        };
+        let mut binding = CellBinding::uniform_scaled(&m, &lib, 90.0).unwrap();
+        let base = analyze_full(&m, &binding, &opts).unwrap();
+        let mut scratch = ScratchArena::new();
+        for idx in [3usize, 17, 101] {
+            let cell_name = m.instances()[idx].cell.clone();
+            let slow = CellBinding::uniform_scaled_cell(&lib, &cell_name, 99.0).unwrap();
+            binding.replace(&m, idx, slow).unwrap();
+            let (incr, _) =
+                analyze_incremental_in(&m, &binding, &opts, &base, &[idx], &scratch).unwrap();
+            let plain = analyze_incremental(&m, &binding, &opts, &base, &[idx])
+                .unwrap()
+                .0;
+            assert_states_bit_identical(&incr, &plain);
+            // Undo for the next round so every step edits from `base`.
+            let nominal = CellBinding::uniform_scaled_cell(&lib, &cell_name, 90.0).unwrap();
+            binding.replace(&m, idx, nominal).unwrap();
+            scratch.reset();
+        }
     }
 
     #[test]

@@ -41,12 +41,13 @@ mod incremental;
 mod report;
 
 pub use analysis::{
-    analyze, analyze_full, analyze_full_with_wire_caps, analyze_nominal, analyze_with_wire_caps,
-    AnalysisMode, TimingOptions,
+    analyze, analyze_full, analyze_full_in, analyze_full_with_wire_caps, analyze_nominal,
+    analyze_with_wire_caps, AnalysisMode, TimingOptions,
 };
 pub use binding::CellBinding;
 pub use error::StaError;
 pub use incremental::{
-    analyze_incremental, analyze_incremental_with_wire_caps, IncrementalStats, StaState,
+    analyze_incremental, analyze_incremental_in, analyze_incremental_with_wire_caps,
+    IncrementalStats, SharedTopology, StaState,
 };
 pub use report::{format_path_report, PathStep, TimingReport};

@@ -1,19 +1,35 @@
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::incremental::Topology;
 use crate::AnalysisMode;
 
-/// Resolved timing of one net.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub(crate) struct NetTiming {
-    /// Arrival time in nanoseconds.
-    pub arrival_ns: f64,
-    /// Transition time in nanoseconds.
-    pub slew_ns: f64,
-    /// `(instance index, input pin, upstream net)` that set the arrival;
-    /// `None` for primary inputs.
-    pub from: Option<(usize, String, String)>,
+/// Sentinel instance id marking "no driving arc" (primary inputs).
+pub(crate) const NO_FROM: u32 = u32::MAX;
+
+/// The winning arc of a net's arrival: the driving instance and the index
+/// of the `connections` entry the path came through. `inst == NO_FROM`
+/// marks a primary input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FromRef {
+    /// Driving instance index (`NO_FROM` for primary inputs).
+    pub inst: u32,
+    /// Index into that instance's `connections` for the input pin.
+    pub conn: u32,
+}
+
+impl FromRef {
+    /// The primary-input marker.
+    pub(crate) const NONE: FromRef = FromRef {
+        inst: NO_FROM,
+        conn: NO_FROM,
+    };
+
+    /// Whether this is the primary-input marker.
+    pub(crate) fn is_none(self) -> bool {
+        self.inst == NO_FROM
+    }
 }
 
 /// One step of a reported timing path, ending on `net`.
@@ -31,6 +47,12 @@ pub struct PathStep {
 
 /// The result of one timing analysis.
 ///
+/// Timing state is stored as flat structure-of-arrays vectors indexed by
+/// the interned net ids of the shared `Topology` — one cache-friendly
+/// `f64` lane per quantity instead of a per-net hash map. The public
+/// accessors translate names to ids at the boundary, so callers are
+/// unaffected by the layout.
+///
 /// # Examples
 ///
 /// ```
@@ -47,37 +69,53 @@ pub struct PathStep {
 /// assert!(slack > 0.0, "an inverter easily makes a 1 ns clock");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {
-    pub(crate) design: String,
-    pub(crate) nets: HashMap<String, NetTiming>,
-    pub(crate) outputs: Vec<String>,
+    /// Interned connectivity the id-indexed lanes below refer to.
+    pub(crate) topo: Arc<Topology>,
     pub(crate) mode: AnalysisMode,
-    /// Required times per net (present when a clock period was given).
-    pub(crate) required: HashMap<String, f64>,
+    /// Arrival time (ns) per net id.
+    pub(crate) arrival: Vec<f64>,
+    /// Transition time (ns) per net id.
+    pub(crate) slew: Vec<f64>,
+    /// Winning arc per net id ([`FromRef::NONE`] for primary inputs).
+    pub(crate) from: Vec<FromRef>,
+    /// Required time (ns) per net id; empty when the analysis ran without
+    /// a clock period. Meaningful only where `has_required` is set.
+    pub(crate) required: Vec<f64>,
+    /// Whether a net has a required time; empty when no clock was given.
+    pub(crate) has_required: Vec<bool>,
 }
 
 impl TimingReport {
-    pub(crate) fn new(
-        design: String,
-        nets: HashMap<String, NetTiming>,
-        outputs: Vec<String>,
+    pub(crate) fn from_soa(
+        topo: Arc<Topology>,
         mode: AnalysisMode,
-        required: HashMap<String, f64>,
+        arrival: Vec<f64>,
+        slew: Vec<f64>,
+        from: Vec<FromRef>,
+        required: Vec<f64>,
+        has_required: Vec<bool>,
     ) -> TimingReport {
         TimingReport {
-            design,
-            nets,
-            outputs,
+            topo,
             mode,
+            arrival,
+            slew,
+            from,
             required,
+            has_required,
         }
+    }
+
+    fn net_id(&self, net: &str) -> Option<usize> {
+        self.topo.net_ids.get(net).map(|&id| id as usize)
     }
 
     /// Design name.
     #[must_use]
     pub fn design(&self) -> &str {
-        &self.design
+        &self.topo.design
     }
 
     /// The analysis mode the report was produced in.
@@ -89,24 +127,25 @@ impl TimingReport {
     /// The arrival time of a net, if it was analyzed.
     #[must_use]
     pub fn arrival_of(&self, net: &str) -> Option<f64> {
-        self.nets.get(net).map(|t| t.arrival_ns)
+        self.net_id(net).map(|id| self.arrival[id])
     }
 
     /// The slew of a net, if it was analyzed.
     #[must_use]
     pub fn slew_of(&self, net: &str) -> Option<f64> {
-        self.nets.get(net).map(|t| t.slew_ns)
+        self.net_id(net).map(|id| self.slew[id])
     }
 
     /// Arrival per primary output, in output order.
     #[must_use]
     pub fn po_arrivals(&self) -> Vec<(String, f64)> {
-        self.outputs
+        self.topo
+            .po_ids
             .iter()
-            .map(|po| {
+            .map(|&po| {
                 (
-                    po.clone(),
-                    self.nets.get(po).map(|t| t.arrival_ns).unwrap_or(0.0),
+                    self.topo.net_names[po as usize].clone(),
+                    self.arrival[po as usize],
                 )
             })
             .collect()
@@ -116,13 +155,10 @@ impl TimingReport {
     /// mode, min in early mode).
     #[must_use]
     pub fn circuit_delay_ns(&self) -> f64 {
-        let arrivals = self.po_arrivals();
+        let arrivals = self.topo.po_ids.iter().map(|&po| self.arrival[po as usize]);
         match self.mode {
-            AnalysisMode::Late => arrivals.iter().map(|(_, a)| *a).fold(0.0, f64::max),
-            AnalysisMode::Early => arrivals
-                .iter()
-                .map(|(_, a)| *a)
-                .fold(f64::INFINITY, f64::min),
+            AnalysisMode::Late => arrivals.fold(0.0, f64::max),
+            AnalysisMode::Early => arrivals.fold(f64::INFINITY, f64::min),
         }
     }
 
@@ -130,31 +166,34 @@ impl TimingReport {
     #[must_use]
     pub fn critical_output(&self) -> Option<String> {
         let target = self.circuit_delay_ns();
-        self.po_arrivals()
-            .into_iter()
-            .find(|(_, a)| (*a - target).abs() < 1e-12)
-            .map(|(po, _)| po)
+        self.topo
+            .po_ids
+            .iter()
+            .find(|&&po| (self.arrival[po as usize] - target).abs() < 1e-12)
+            .map(|&po| self.topo.net_names[po as usize].clone())
     }
 
     /// Walks the critical path backward from the critical output to a
     /// primary input. Steps are returned source-first.
     #[must_use]
     pub fn critical_path(&self) -> Vec<PathStep> {
-        let Some(mut net) = self.critical_output() else {
+        let Some(mut id) = self.critical_output().and_then(|net| self.net_id(&net)) else {
             return Vec::new();
         };
         let mut steps = Vec::new();
-        while let Some(timing) = self.nets.get(&net) {
+        loop {
+            let from = self.from[id];
             steps.push(PathStep {
-                net: net.clone(),
-                instance: timing.from.as_ref().map(|(i, _, _)| *i),
-                through_pin: timing.from.as_ref().map(|(_, p, _)| p.clone()),
-                arrival_ns: timing.arrival_ns,
+                net: self.topo.net_names[id].clone(),
+                instance: (!from.is_none()).then_some(from.inst as usize),
+                through_pin: (!from.is_none())
+                    .then(|| self.topo.conn_pin(from.inst, from.conn).to_string()),
+                arrival_ns: self.arrival[id],
             });
-            match &timing.from {
-                Some((_, _, upstream)) => net = upstream.clone(),
-                None => break,
+            if from.is_none() {
+                break;
             }
+            id = self.topo.conn_ids[from.inst as usize][from.conn as usize] as usize;
         }
         steps.reverse();
         steps
@@ -164,7 +203,12 @@ impl TimingReport {
     /// clock period).
     #[must_use]
     pub fn required_of(&self, net: &str) -> Option<f64> {
-        self.required.get(net).copied()
+        let id = self.net_id(net)?;
+        self.has_required
+            .get(id)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.required[id])
     }
 
     /// The slack of a net: `required − arrival`. `None` when the net has
@@ -172,16 +216,23 @@ impl TimingReport {
     /// timed).
     #[must_use]
     pub fn slack_of(&self, net: &str) -> Option<f64> {
-        Some(self.required_of(net)? - self.arrival_of(net)?)
+        let id = self.net_id(net)?;
+        self.has_required
+            .get(id)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.required[id] - self.arrival[id])
     }
 
     /// The worst (most negative) slack over all nets with required times,
     /// if the analysis ran with a clock period.
     #[must_use]
     pub fn worst_net_slack_ns(&self) -> Option<f64> {
-        self.required
-            .keys()
-            .filter_map(|net| self.slack_of(net))
+        self.has_required
+            .iter()
+            .enumerate()
+            .filter(|&(_, &has)| has)
+            .map(|(id, _)| self.required[id] - self.arrival[id])
             .min_by(f64::total_cmp)
     }
 
@@ -189,13 +240,15 @@ impl TimingReport {
     /// given.
     #[must_use]
     pub fn total_negative_slack_ns(&self) -> Option<f64> {
-        if self.required.is_empty() {
+        if self.has_required.is_empty() {
             return None;
         }
         Some(
-            self.outputs
+            self.topo
+                .po_ids
                 .iter()
-                .filter_map(|po| self.slack_of(po))
+                .filter(|&&po| self.has_required[po as usize])
+                .map(|&po| self.required[po as usize] - self.arrival[po as usize])
                 .filter(|s| *s < 0.0)
                 .sum(),
         )

@@ -1,0 +1,114 @@
+//! Property tests pinning the arena/SoA timing state to the allocating
+//! reference paths, bit for bit.
+//!
+//! The refactored hot path has three entry points that must agree
+//! exactly with a plain from-scratch [`analyze_full`]:
+//!
+//! * [`analyze_full_in`] — cached [`SharedTopology`] plus a reused
+//!   scratch arena,
+//! * [`analyze_incremental`] — cone-limited update of a prior state,
+//! * [`analyze_incremental_in`] — the same through a reused arena.
+//!
+//! Every property runs on randomized generator netlists (seeded, so
+//! failures replay) and compares whole [`svt_sta::StaState`]s with `==`,
+//! which is bit-exact: the state holds raw `f64` vectors and `PartialEq`
+//! on them is IEEE equality (no NaNs arise from finite NLDM tables).
+//!
+//! Thread-count independence: these APIs never touch the worker pool, so
+//! the properties hold under any `SVT_THREADS`; CI's differential matrix
+//! runs this suite under both `SVT_THREADS=1` and the default to pin the
+//! claim end to end.
+
+use proptest::prelude::*;
+
+use svt_exec::ScratchArena;
+use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile, MappedNetlist};
+use svt_sta::{
+    analyze_full, analyze_full_in, analyze_incremental, analyze_incremental_in, CellBinding,
+    SharedTopology, TimingOptions,
+};
+use svt_stdcell::Library;
+
+/// A randomized benchmark profile small enough for ~100 ms cases.
+fn profile_strategy() -> impl Strategy<Value = BenchmarkProfile> {
+    (2usize..10, 1usize..5, 8usize..60, 0u64..u64::MAX).prop_map(|(pi, po, extra, seed)| {
+        // `custom` requires gates >= outputs.
+        BenchmarkProfile::custom("prop", pi, po, po + extra, seed)
+    })
+}
+
+fn mapped(profile: &BenchmarkProfile, lib: &Library) -> MappedNetlist {
+    technology_map(&generate_benchmark(profile), lib).expect("generated netlists map")
+}
+
+/// Timing options with the backward pass on, so required-time state is
+/// part of the comparison too.
+fn options() -> TimingOptions {
+    TimingOptions {
+        clock_period_ns: Some(1.0),
+        ..TimingOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The arena path (shared topology + reused scratch) reproduces the
+    /// allocating path bit-for-bit, including across scratch reuse.
+    #[test]
+    fn arena_full_analysis_matches_the_allocating_path(profile in profile_strategy()) {
+        let lib = Library::svt90();
+        let netlist = mapped(&profile, &lib);
+        let binding = CellBinding::nominal(&netlist, &lib).unwrap();
+        let opts = options();
+
+        let reference = analyze_full(&netlist, &binding, &opts).unwrap();
+
+        let topo = SharedTopology::build(&netlist, &binding).unwrap();
+        let mut scratch = ScratchArena::new();
+        for _ in 0..2 {
+            let state = analyze_full_in(&netlist, &binding, &opts, &topo, &scratch).unwrap();
+            prop_assert_eq!(&state, &reference);
+            scratch.reset();
+        }
+    }
+
+    /// A chain of incremental rebind edits stays bit-identical to a
+    /// from-scratch analysis after every step, through both the plain and
+    /// the arena-backed incremental entry points.
+    #[test]
+    fn incremental_updates_match_full_reruns(
+        profile in profile_strategy(),
+        edits in prop::collection::vec((0usize..1_000_000, 88.0f64..97.0), 1..4),
+    ) {
+        let lib = Library::svt90();
+        let netlist = mapped(&profile, &lib);
+        let mut binding = CellBinding::nominal(&netlist, &lib).unwrap();
+        let opts = options();
+
+        let mut state = analyze_full(&netlist, &binding, &opts).unwrap();
+        let mut scratch = ScratchArena::new();
+        for (pick, length) in edits {
+            let idx = pick % netlist.instances().len();
+            let cell = CellBinding::uniform_scaled_cell(
+                &lib,
+                &netlist.instances()[idx].cell,
+                length,
+            )
+            .unwrap();
+            binding.replace(&netlist, idx, cell).unwrap();
+
+            let (plain, _) =
+                analyze_incremental(&netlist, &binding, &opts, &state, &[idx]).unwrap();
+            let (arena_state, _) =
+                analyze_incremental_in(&netlist, &binding, &opts, &state, &[idx], &scratch)
+                    .unwrap();
+            scratch.reset();
+            let full = analyze_full(&netlist, &binding, &opts).unwrap();
+
+            prop_assert_eq!(&plain, &full);
+            prop_assert_eq!(&arena_state, &full);
+            state = arena_state;
+        }
+    }
+}

@@ -33,7 +33,7 @@ field() { # field <json-line> <key>
 # sign-off — near-deterministic, so an allocation regression is gated
 # like a time regression; peak_rss_mb depends on allocator reuse across
 # the whole process and stays informational.
-metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb)
+metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb signoff_100k_ms)
 
 status=0
 for m in "${metrics[@]}"; do
