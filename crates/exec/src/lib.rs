@@ -15,7 +15,10 @@
 //!   thread-safe checkout pool ([`ScratchPool`]), serving the sign-off
 //!   hot path's per-analysis temporaries without heap traffic.
 //!
-//! Long-running services additionally arm the [`watchdog`], which
+//! Long-running services build on two more pieces: [`service`] — a
+//! *persistent* bounded worker pool ([`service::ServicePool`]) whose
+//! non-blocking `try_submit` hands rejected jobs back for load
+//! shedding — and the [`watchdog`], which
 //! heartbeats every pool task and flags the ones stuck past a deadline;
 //! batch runs leave it disarmed at the cost of one relaxed load per batch.
 //!
@@ -28,6 +31,7 @@ pub mod arena;
 pub mod cache;
 pub mod pool;
 pub mod quant;
+pub mod service;
 pub mod watchdog;
 
 pub use arena::{ScratchArena, ScratchGuard, ScratchPool};
@@ -36,3 +40,4 @@ pub use pool::{
     par_map, par_map_threads, resolve_threads, try_par_chunks, try_par_map, try_par_map_threads,
 };
 pub use quant::{qf64, quantize_f64, unquantize_f64};
+pub use service::{ServicePool, SubmitError};

@@ -58,7 +58,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-pub use metrics::{Counter, Gauge, Histogram, SpanStat};
+pub use metrics::{Counter, Gauge, Histogram, InflightGuard, SpanStat};
 pub use registry::{registry, CacheCounters, HistogramEntry, Registry, Snapshot, SpanEntry};
 pub use render::{parse_prometheus, PromSample};
 

@@ -68,6 +68,38 @@ impl Gauge {
     pub fn reset(&self) {
         self.set(0);
     }
+
+    /// Increments the gauge and returns a guard that decrements it on
+    /// drop — panic-safe in-flight tracking for request handlers and
+    /// queue consumers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let gauge = svt_obs::registry().gauge("doc.inflight");
+    /// {
+    ///     let _guard = gauge.inflight();
+    ///     assert_eq!(gauge.get(), 1);
+    /// }
+    /// assert_eq!(gauge.get(), 0);
+    /// ```
+    pub fn inflight(&'static self) -> InflightGuard {
+        self.add(1);
+        InflightGuard { gauge: self }
+    }
+}
+
+/// RAII guard from [`Gauge::inflight`]: decrements the gauge when
+/// dropped, including on unwind.
+#[derive(Debug)]
+pub struct InflightGuard {
+    gauge: &'static Gauge,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.gauge.add(-1);
+    }
 }
 
 /// Number of power-of-two histogram buckets: bucket `i` counts values `v`

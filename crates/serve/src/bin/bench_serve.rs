@@ -1,0 +1,178 @@
+//! Concurrent load benchmark of the `svtd` service plane.
+//!
+//! Boots an in-process multi-tenant server (designs `builtin` + `c432`,
+//! both pre-warmed), then drives it the way production traffic would:
+//! eight keep-alive reader clients hammering
+//! `GET /designs/c432/timing` while one writer client streams batched
+//! ECOs at the `builtin` design — reads and writes on *different*
+//! designs, so the per-design `RwLock` split is what is actually being
+//! measured. Every response is checked (status 200, parseable body);
+//! per-request wall latencies aggregate into p50/p99.
+//!
+//! Appends `serve_rps` / `serve_p50_ms` / `serve_p99_ms` to
+//! `BENCH_history.jsonl` at the repo root (gated by
+//! `scripts/bench_compare.sh`: p99 like every warm-path latency, rps
+//! with the inverse rule — a throughput *drop* fails) and writes the
+//! full summary to `target/artifacts/bench_serve.json` for CI upload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use svt_bench::repo_root;
+use svt_eco::EcoEdit;
+use svt_serve::http::HttpClient;
+use svt_serve::server::{DesignSpec, Server, ServerOptions, ServiceState};
+use svt_serve::smoke::pick_smoke_edit;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 250;
+const READ_PATH: &str = "/designs/c432/timing";
+
+fn percentile(sorted_ns: &[u64], pct: f64) -> f64 {
+    assert!(!sorted_ns.is_empty());
+    let rank = ((sorted_ns.len() as f64) * pct / 100.0).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] as f64 / 1e6
+}
+
+fn main() {
+    let designs = [DesignSpec::Builtin, DesignSpec::Iscas("c432".into())];
+    let options = ServerOptions {
+        // Long-lived bench connections must not trip the per-connection
+        // request cap mid-measurement.
+        keep_alive_max_requests: 100_000,
+        ..ServerOptions::default()
+    };
+    let workers = options.workers;
+    let queue_capacity = options.queue_capacity;
+    let state = ServiceState::new(&designs, options).expect("service state");
+    eprintln!("bench_serve: warming builtin + c432 ...");
+    let warm_start = Instant::now();
+    for design in &designs {
+        state.warm(design.name()).expect("warm design");
+    }
+    eprintln!(
+        "bench_serve: warm in {:.2}s",
+        warm_start.elapsed().as_secs_f64()
+    );
+    let server = Server::spawn("127.0.0.1:0", state).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // The writer alternates a two-edit batch that always returns the
+    // design to its initial state, so it stays valid indefinitely.
+    let smoke_edit = pick_smoke_edit(
+        svt_serve::server::warm_session(&DesignSpec::Builtin)
+            .expect("mirror")
+            .netlist(),
+    )
+    .expect("builtin has an INVX1");
+    let EcoEdit::ResizeCell { instance, .. } = &smoke_edit else {
+        unreachable!("pick_smoke_edit only resizes");
+    };
+    let batch_body = format!(
+        "[{{\"type\":\"resize_cell\",\"instance\":\"{instance}\",\"new_cell\":\"INVX2\"}},\
+          {{\"type\":\"resize_cell\",\"instance\":\"{instance}\",\"new_cell\":\"INVX1\"}}]"
+    );
+
+    let stop_writer = AtomicBool::new(false);
+    let bench_start = Instant::now();
+    let (latencies, eco_batches) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut client = HttpClient::connect(&addr).expect("writer connect");
+            let mut batches = 0u64;
+            while !stop_writer.load(Ordering::Relaxed) {
+                let (status, body) = client
+                    .send("POST", "/designs/builtin/eco", &batch_body)
+                    .expect("writer request");
+                assert_eq!(status, 200, "eco batch rejected: {body}");
+                batches += 1;
+            }
+            batches
+        });
+        let readers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = HttpClient::connect(&addr).expect("reader connect");
+                    let mut latencies_ns = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        let t = Instant::now();
+                        let (status, body) =
+                            client.send("GET", READ_PATH, "").expect("reader request");
+                        latencies_ns.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(status, 200, "timing read rejected: {body}");
+                        assert!(
+                            body.contains("\"testcase\":\"c432\""),
+                            "wrong design: {body}"
+                        );
+                    }
+                    latencies_ns
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(CLIENTS * REQUESTS_PER_CLIENT);
+        for reader in readers {
+            all.extend(reader.join().expect("reader thread"));
+        }
+        stop_writer.store(true, Ordering::Relaxed);
+        (all, writer.join().expect("writer thread"))
+    });
+    let elapsed = bench_start.elapsed();
+    server.shutdown();
+
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let total_reads = sorted.len();
+    let serve_rps = total_reads as f64 / elapsed.as_secs_f64();
+    let serve_p50_ms = percentile(&sorted, 50.0);
+    let serve_p99_ms = percentile(&sorted, 99.0);
+    let mean_ms = sorted.iter().sum::<u64>() as f64 / total_reads as f64 / 1e6;
+
+    println!("--- bench_serve: {CLIENTS} readers + 1 ECO writer ---");
+    println!("reads                 {total_reads:>9} ({READ_PATH})");
+    println!("eco batches           {eco_batches:>9} (atomic two-edit batches on builtin)");
+    println!("wall time             {:>9.2} s", elapsed.as_secs_f64());
+    println!("read throughput       {serve_rps:>9.0} req/s");
+    println!("read latency p50      {serve_p50_ms:>9.3} ms");
+    println!("read latency p99      {serve_p99_ms:>9.3} ms");
+    println!("read latency mean     {mean_ms:>9.3} ms");
+
+    assert!(
+        eco_batches > 0,
+        "writer must land at least one batch while readers run"
+    );
+
+    let threads_available = std::thread::available_parallelism().map_or(1, usize::from);
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let history_line = format!(
+        "{{\"unix_ts\": {unix_ts}, \"threads_available\": {threads_available}, \
+         \"serve_clients\": {CLIENTS}, \"serve_rps\": {serve_rps:.0}, \
+         \"serve_p50_ms\": {serve_p50_ms:.3}, \"serve_p99_ms\": {serve_p99_ms:.3}}}\n"
+    );
+    let history = repo_root().join("BENCH_history.jsonl");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .expect("open BENCH_history.jsonl");
+    std::io::Write::write_all(&mut log, history_line.as_bytes())
+        .expect("append BENCH_history.jsonl");
+    println!("appended serve numbers to BENCH_history.jsonl");
+
+    // Full summary for the CI artifact.
+    let artifact_dir = repo_root().join("target").join("artifacts");
+    std::fs::create_dir_all(&artifact_dir).expect("create target/artifacts");
+    let artifact = format!(
+        "{{\n  \"unix_ts\": {unix_ts},\n  \"threads_available\": {threads_available},\n  \
+         \"workers\": {workers},\n  \"queue_capacity\": {queue_capacity},\n  \
+         \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \
+         \"read_path\": \"{READ_PATH}\",\n  \"reads\": {total_reads},\n  \
+         \"eco_batches\": {eco_batches},\n  \"wall_seconds\": {:.3},\n  \
+         \"serve_rps\": {serve_rps:.0},\n  \"serve_p50_ms\": {serve_p50_ms:.3},\n  \
+         \"serve_p99_ms\": {serve_p99_ms:.3},\n  \"mean_ms\": {mean_ms:.3}\n}}\n",
+        elapsed.as_secs_f64()
+    );
+    let artifact_path = artifact_dir.join("bench_serve.json");
+    std::fs::write(&artifact_path, artifact).expect("write bench_serve.json");
+    println!("wrote {}", artifact_path.display());
+}

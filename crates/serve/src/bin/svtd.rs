@@ -1,27 +1,34 @@
 //! `svtd` — the svt pipeline daemon.
 //!
-//! Server mode (default): warms the pipeline once, arms the pool
-//! watchdog, switches allocation attribution on, and serves the five
-//! service-plane endpoints until killed:
+//! Server mode (default): registers every `--design`, warms the first
+//! one eagerly (the rest warm lazily, or via `POST /designs/{name}/warm`),
+//! arms the pool watchdog, switches allocation attribution on, and
+//! serves the multi-tenant service plane until `SIGTERM` / `SIGINT` /
+//! `POST /shutdown`, each of which drains gracefully — in-flight
+//! requests finish, new work is refused with `503`:
 //!
 //! ```text
-//! svtd [--addr HOST:PORT] [--design builtin|c432|...] [--watchdog-ms N]
+//! svtd [--addr HOST:PORT] [--design builtin|c432|...]...
+//!      [--workers N] [--queue-depth N]
+//!      [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N]
 //! ```
 //!
 //! Smoke mode: a pure-Rust client that runs the CI smoke sequence
 //! against an already-running fresh daemon and exits non-zero on the
-//! first failed check:
+//! first failed check. `--smoke-deep` adds the backpressure (requires a
+//! daemon booted with `--workers 1 --queue-depth 1`) and
+//! graceful-shutdown checks; the daemon exits afterwards:
 //!
 //! ```text
-//! svtd --smoke HOST:PORT [--design NAME]
+//! svtd --smoke HOST:PORT [--design NAME]... [--smoke-deep]
 //! ```
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use svt_obs::alloc::CountingAlloc;
-use svt_serve::server::{DesignSpec, Server, ServiceState};
-use svt_serve::smoke::run_smoke;
+use svt_serve::server::{DesignSpec, Server, ServerOptions, ServiceState};
+use svt_serve::smoke::{run_smoke_full, SmokeOptions};
 
 // Attribute every allocation in the daemon to the innermost active
 // span; the hook is inert until `alloc::set_active(true)` below.
@@ -31,21 +38,67 @@ static ALLOC: CountingAlloc = CountingAlloc::system();
 const DEFAULT_ADDR: &str = "127.0.0.1:9290";
 const DEFAULT_WATCHDOG_MS: u64 = 30_000;
 
-const USAGE: &str = "usage: svtd [--addr HOST:PORT] [--design builtin|c432|c880|c1355|c1908|c3540] [--watchdog-ms N] [--smoke HOST:PORT]";
+const USAGE: &str =
+    "usage: svtd [--addr HOST:PORT] [--design builtin|c432|c880|c1355|c1908|c3540]... \
+[--workers N] [--queue-depth N] [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N] \
+[--smoke HOST:PORT [--smoke-deep]]";
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes `SIGTERM`/`SIGINT` into a flag the main loop polls, so a
+    /// `kill` drains the plane instead of dropping in-flight requests.
+    /// `std` links libc, so the raw `signal(2)` binding needs no new
+    /// dependency.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    pub fn received() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
 
 struct Args {
     addr: String,
-    design: DesignSpec,
+    designs: Vec<DesignSpec>,
+    options: ServerOptions,
     watchdog_ms: u64,
     smoke: Option<String>,
+    smoke_deep: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: DEFAULT_ADDR.to_string(),
-        design: DesignSpec::Builtin,
+        designs: Vec::new(),
+        options: ServerOptions::default(),
         watchdog_ms: DEFAULT_WATCHDOG_MS,
         smoke: None,
+        smoke_deep: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,19 +106,41 @@ fn parse_args() -> Result<Args, String> {
             it.next()
                 .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
         };
+        let number = |name: &str, raw: &str| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("{name}: `{raw}` is not a number"))
+        };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
-            "--design" => args.design = DesignSpec::parse(&value("--design")?)?,
+            "--design" => args.designs.push(DesignSpec::parse(&value("--design")?)?),
+            "--workers" => {
+                args.options.workers = number("--workers", &value("--workers")?)?.max(1) as usize;
+            }
+            "--queue-depth" => {
+                args.options.queue_capacity =
+                    number("--queue-depth", &value("--queue-depth")?)?.max(1) as usize;
+            }
+            "--keep-alive-requests" => {
+                args.options.keep_alive_max_requests =
+                    number("--keep-alive-requests", &value("--keep-alive-requests")?)?.max(1)
+                        as usize;
+            }
+            "--idle-timeout-ms" => {
+                args.options.idle_timeout = Duration::from_millis(
+                    number("--idle-timeout-ms", &value("--idle-timeout-ms")?)?.max(1),
+                );
+            }
             "--watchdog-ms" => {
-                let raw = value("--watchdog-ms")?;
-                args.watchdog_ms = raw
-                    .parse::<u64>()
-                    .map_err(|_| format!("--watchdog-ms: `{raw}` is not a number"))?;
+                args.watchdog_ms = number("--watchdog-ms", &value("--watchdog-ms")?)?;
             }
             "--smoke" => args.smoke = Some(value("--smoke")?),
+            "--smoke-deep" => args.smoke_deep = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    if args.designs.is_empty() {
+        args.designs.push(DesignSpec::Builtin);
     }
     Ok(args)
 }
@@ -80,7 +155,12 @@ fn main() -> ExitCode {
     };
 
     if let Some(target) = &args.smoke {
-        return match run_smoke(target, &args.design) {
+        let opts = SmokeOptions {
+            designs: args.designs.clone(),
+            backpressure: args.smoke_deep,
+            shutdown: args.smoke_deep,
+        };
+        return match run_smoke_full(target, &opts) {
             Ok(summary) => {
                 println!("{summary}");
                 ExitCode::SUCCESS
@@ -101,17 +181,30 @@ fn main() -> ExitCode {
     if args.watchdog_ms > 0 {
         svt_exec::watchdog::arm(Duration::from_millis(args.watchdog_ms));
     }
+    sig::install();
 
-    let warm_start = Instant::now();
-    eprintln!("svtd: warming design `{}` ...", args.design.name());
-    let state = match ServiceState::new(&args.design) {
+    let state = match ServiceState::new(&args.designs, args.options.clone()) {
         Ok(state) => state,
         Err(e) => {
-            eprintln!("svtd: warm-up failed: {e}");
+            eprintln!("svtd: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("svtd: warm in {:.2}s", warm_start.elapsed().as_secs_f64());
+    // Pay the default design's sign-off before announcing readiness;
+    // the other designs stay cold until asked for.
+    let warm_start = Instant::now();
+    eprintln!("svtd: warming design `{}` ...", args.designs[0].name());
+    if let Err(e) = state.warm(args.designs[0].name()) {
+        eprintln!("svtd: warm-up failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "svtd: warm in {:.2}s ({} designs registered, {} workers, queue {})",
+        warm_start.elapsed().as_secs_f64(),
+        args.designs.len(),
+        args.options.workers,
+        args.options.queue_capacity
+    );
 
     let server = match Server::spawn(&args.addr, state) {
         Ok(server) => server,
@@ -122,6 +215,14 @@ fn main() -> ExitCode {
     };
     // The one line scripts wait for before curling the endpoints.
     println!("svtd: listening on http://{}", server.addr());
-    server.join();
+
+    // Serve until a drain is requested over HTTP or by signal, then
+    // shut down gracefully: every accepted request is answered first.
+    while !server.state().draining() && !sig::received() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("svtd: draining ...");
+    server.shutdown();
+    eprintln!("svtd: drained, exiting");
     ExitCode::SUCCESS
 }

@@ -3,32 +3,51 @@
 //! Everything upstream of this crate runs batch: expand the library,
 //! sign off, print a table, exit. `svt-serve` keeps that state *warm*
 //! inside a long-lived daemon (`svtd`) and exposes it over a
-//! dependency-free HTTP/1.1 server:
+//! dependency-free HTTP/1.1 server. The daemon is **multi-tenant**: it
+//! holds many designs in a [`registry::SessionRegistry`], each behind
+//! its own `RwLock`, so ECO traffic on one design never blocks timing
+//! reads on another. Connections are served by a fixed pool of
+//! persistent handler threads ([`svt_exec::service::ServicePool`])
+//! behind a bounded accept queue — saturation answers `429` +
+//! `Retry-After` instead of buffering unboundedly — and keep-alive is
+//! the default, with pipelining, a per-connection request cap, and an
+//! idle timeout.
 //!
 //! | Endpoint          | Serves |
 //! |-------------------|--------|
-//! | `GET /healthz`    | readiness, design identity, and the pool watchdog verdict (`503` when stalled) |
+//! | `GET /healthz`    | readiness, per-design warmth, queue depth, and the pool watchdog verdict (`503` when stalled) |
 //! | `GET /metrics`    | Prometheus exposition of the global registry, plus per-interval `_delta`/`_rate` series between scrapes |
 //! | `GET /snapshot.json` | the full aggregate [`svt_obs::Snapshot`] as JSON |
 //! | `GET /timeline.json` | the live per-thread event rings as a Chrome `trace_event` document |
-//! | `POST /eco`       | a typed [`svt_eco::EcoEdit`]; responds with the incremental [`svt_eco::DeltaReport`] |
+//! | `GET /designs`    | every registered design with warmth and edit count |
+//! | `GET /designs/{name}` | one design's status |
+//! | `POST /designs/{name}/warm` | eager warm-up (lazy otherwise) |
+//! | `GET /designs/{name}/timing` | the design's multi-corner sign-off summary (read lock — never waits on other designs) |
+//! | `POST /designs/{name}/eco` | one typed [`svt_eco::EcoEdit`] *or* a JSON array applied atomically as a batch |
+//! | `POST /eco`       | same, against the default (first registered) design |
+//! | `POST /shutdown`  | graceful drain: in-flight requests finish, new work gets `503` |
 //!
 //! The HTTP layer is hand-rolled ([`http`]) because the build
 //! environment is offline and the workspace vendors its few external
-//! stand-ins; one request per connection with `Content-Length` framing
-//! is all the plane needs. The [`smoke`] module is the CI gate: a
-//! pure-Rust client that validates every endpoint with the workspace's
-//! own parsers and replays the ECO edit through a local
-//! [`svt_eco::EcoSession`] to prove the served slack deltas bit-exact.
+//! stand-ins; the incremental [`http::RequestParser`] is
+//! property-fuzzed in `tests/http_props.rs`. The [`smoke`] module is
+//! the CI gate: a pure-Rust client that validates every endpoint with
+//! the workspace's own parsers, replays ECO edits through a local
+//! [`svt_eco::EcoSession`] to prove the served slack deltas bit-exact,
+//! and exercises the 429 backpressure and graceful-shutdown paths.
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod registry;
 pub mod server;
 pub mod smoke;
 
-pub use http::{http_request, Request, Response};
+pub use http::{
+    http_request, HttpClient, HttpResponse, ParseError, Request, RequestParser, Response,
+};
+pub use registry::{DesignEntry, RegistryError, SessionRegistry, SlotStatus};
 pub use server::{
-    parse_edit, render_delta_report, route, warm_session, DesignSpec, Server, ServiceState,
-    BUILTIN_NETLIST,
+    parse_eco_request, parse_edit, render_batch_report, render_delta_report, render_timing, route,
+    warm_session, DesignSpec, EcoRequest, Server, ServerOptions, ServiceState, BUILTIN_NETLIST,
 };
 pub use smoke::{pick_smoke_edit, run_smoke};

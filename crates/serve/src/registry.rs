@@ -1,0 +1,319 @@
+//! The multi-tenant session registry: many warm designs, one daemon.
+//!
+//! Each registered design owns an independent `RwLock`-guarded session
+//! slot, so traffic on different designs never serializes: an ECO batch
+//! holding `c432`'s write lock cannot delay a timing read on `c7552`.
+//! Designs start **cold** (registered by name only) and warm lazily on
+//! first use — or eagerly via `POST /designs/{name}/warm` — paying the
+//! per-design map/place/sign-off cost exactly once; the expensive
+//! library expansion is process-wide and shared
+//! (see [`crate::server::warm_session`]).
+//!
+//! # Locking order (invariant)
+//!
+//! 1. The registry map lock is only ever held to look up or insert an
+//!    `Arc<DesignEntry>` — never across a slot lock acquisition, never
+//!    across a warm-up, never across request handling.
+//! 2. Slot locks never nest: a request touches exactly one design.
+//!
+//! With those two rules the plane cannot deadlock and a slow design
+//! (warming, or mid-ECO) cannot block any other design's traffic.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use svt_eco::EcoSession;
+
+use crate::server::{warm_session, DesignSpec};
+
+/// Warmth of one design slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotStatus {
+    /// Registered, not yet signed off.
+    Cold,
+    /// Signed off and serving.
+    Warm,
+    /// Warm-up failed; the message is served to clients.
+    Failed(String),
+}
+
+impl SlotStatus {
+    /// Status keyword as served in JSON (`cold` / `warm` / `failed`).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SlotStatus::Cold => "cold",
+            SlotStatus::Warm => "warm",
+            SlotStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+enum Slot {
+    Cold,
+    Warm(Box<EcoSession<'static>>),
+    Failed(String),
+}
+
+/// One design's slot: the spec it warms from plus the lock every
+/// request on this design goes through.
+pub struct DesignEntry {
+    spec: DesignSpec,
+    slot: RwLock<Slot>,
+}
+
+/// Errors surfaced by registry access, pre-classified into the HTTP
+/// status the router answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The design name was never registered (`404`).
+    UnknownDesign(String),
+    /// The design's warm-up failed (`503` — retrying won't help until
+    /// an operator intervenes, but the design *is* known).
+    WarmupFailed(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownDesign(name) => write!(f, "unknown design `{name}`"),
+            RegistryError::WarmupFailed(msg) => write!(f, "design warm-up failed: {msg}"),
+        }
+    }
+}
+
+impl DesignEntry {
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.spec.name()
+    }
+
+    /// Current warmth without forcing a warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot lock is poisoned (a handler panicked while
+    /// holding it; the daemon treats that as fatal state).
+    #[must_use]
+    pub fn status(&self) -> SlotStatus {
+        match &*self.slot.read().expect("design slot poisoned") {
+            Slot::Cold => SlotStatus::Cold,
+            Slot::Warm(_) => SlotStatus::Warm,
+            Slot::Failed(e) => SlotStatus::Failed(e.clone()),
+        }
+    }
+
+    /// Edits applied so far (0 while cold/failed).
+    #[must_use]
+    pub fn edits_applied(&self) -> usize {
+        match &*self.slot.read().expect("design slot poisoned") {
+            Slot::Warm(session) => session.edits().len(),
+            _ => 0,
+        }
+    }
+
+    /// Ensures the slot is warm, paying the sign-off on first call.
+    /// Concurrent callers serialize on the write lock; losers find the
+    /// slot warm and return immediately. Returns the warm-up wall time
+    /// when *this* call did the work.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::WarmupFailed`] when the pipeline fails; the
+    /// failure is sticky (served to every later request) so a broken
+    /// design cannot re-pay a doomed sign-off per request.
+    pub fn warm(&self) -> Result<Option<f64>, RegistryError> {
+        if matches!(self.status(), SlotStatus::Warm) {
+            return Ok(None);
+        }
+        let mut slot = self.slot.write().expect("design slot poisoned");
+        match &*slot {
+            Slot::Warm(_) => Ok(None),
+            Slot::Failed(e) => Err(RegistryError::WarmupFailed(e.clone())),
+            Slot::Cold => {
+                let started = Instant::now();
+                svt_obs::counter!("serve.warmups").incr();
+                match warm_session(&self.spec) {
+                    Ok(session) => {
+                        *slot = Slot::Warm(Box::new(session));
+                        svt_obs::gauge!("serve.designs_warm").add(1);
+                        Ok(Some(started.elapsed().as_secs_f64()))
+                    }
+                    Err(e) => {
+                        *slot = Slot::Failed(e.clone());
+                        svt_obs::counter!("serve.warmup_failures").incr();
+                        Err(RegistryError::WarmupFailed(e))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` under this design's **read** lock (shared with other
+    /// readers, excluded from writers), warming lazily first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DesignEntry::warm`] failures.
+    pub fn read<R>(&self, f: impl FnOnce(&EcoSession<'static>) -> R) -> Result<R, RegistryError> {
+        loop {
+            {
+                let slot = self.slot.read().expect("design slot poisoned");
+                match &*slot {
+                    Slot::Warm(session) => return Ok(f(session)),
+                    Slot::Failed(e) => return Err(RegistryError::WarmupFailed(e.clone())),
+                    Slot::Cold => {}
+                }
+            }
+            self.warm()?;
+        }
+    }
+
+    /// Runs `f` under this design's **write** lock (exclusive), warming
+    /// lazily first. ECO batches apply here: the whole batch sits under
+    /// one lock hold, so concurrent readers observe either the
+    /// pre-batch or post-batch state, never a half-applied one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DesignEntry::warm`] failures.
+    pub fn write<R>(
+        &self,
+        f: impl FnOnce(&mut EcoSession<'static>) -> R,
+    ) -> Result<R, RegistryError> {
+        loop {
+            {
+                let mut slot = self.slot.write().expect("design slot poisoned");
+                match &mut *slot {
+                    Slot::Warm(session) => return Ok(f(session)),
+                    Slot::Failed(e) => return Err(RegistryError::WarmupFailed(e.clone())),
+                    Slot::Cold => {}
+                }
+            }
+            self.warm()?;
+        }
+    }
+}
+
+/// The set of designs this daemon serves.
+pub struct SessionRegistry {
+    designs: RwLock<HashMap<String, Arc<DesignEntry>>>,
+    /// Registration order, for stable `/designs` listings.
+    order: RwLock<Vec<String>>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> SessionRegistry {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> SessionRegistry {
+        SessionRegistry {
+            designs: RwLock::new(HashMap::new()),
+            order: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a design cold; re-registering the same name is a no-op
+    /// (the existing slot, warm or not, is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map lock is poisoned.
+    pub fn register(&self, spec: &DesignSpec) {
+        let mut designs = self.designs.write().expect("registry map poisoned");
+        if designs.contains_key(spec.name()) {
+            return;
+        }
+        designs.insert(
+            spec.name().to_string(),
+            Arc::new(DesignEntry {
+                spec: spec.clone(),
+                slot: RwLock::new(Slot::Cold),
+            }),
+        );
+        self.order
+            .write()
+            .expect("registry order poisoned")
+            .push(spec.name().to_string());
+    }
+
+    /// Looks up a design. The returned `Arc` outlives the map lock, so
+    /// callers never hold the map lock while touching the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownDesign`] for unregistered names.
+    pub fn entry(&self, name: &str) -> Result<Arc<DesignEntry>, RegistryError> {
+        self.designs
+            .read()
+            .expect("registry map poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownDesign(name.to_string()))
+    }
+
+    /// All entries in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry lock is poisoned.
+    #[must_use]
+    pub fn entries(&self) -> Vec<Arc<DesignEntry>> {
+        let designs = self.designs.read().expect("registry map poisoned");
+        self.order
+            .read()
+            .expect("registry order poisoned")
+            .iter()
+            .filter_map(|name| designs.get(name).cloned())
+            .collect()
+    }
+
+    /// Number of registered designs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.designs.read().expect("registry map poisoned").len()
+    }
+
+    /// Whether no design is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_designs_and_registration_order() {
+        let registry = SessionRegistry::new();
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.entry("c432"),
+            Err(RegistryError::UnknownDesign(name)) if name == "c432"
+        ));
+        registry.register(&DesignSpec::Builtin);
+        registry.register(&DesignSpec::Iscas("c432".into()));
+        registry.register(&DesignSpec::Builtin); // duplicate: no-op
+        assert_eq!(registry.len(), 2);
+        let names: Vec<_> = registry
+            .entries()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
+        assert_eq!(names, ["builtin", "c432"]);
+        assert_eq!(
+            registry.entry("builtin").unwrap().status(),
+            SlotStatus::Cold
+        );
+        assert_eq!(registry.entry("builtin").unwrap().edits_applied(), 0);
+    }
+}

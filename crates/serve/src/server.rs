@@ -1,29 +1,40 @@
-//! The warm pipeline state and the request router.
+//! The warm pipeline state, the request router, and the concurrent
+//! connection plane.
 //!
-//! Startup pays the full cost once — expanding the svt90 library through
-//! litho simulation, mapping and placing the design, and signing it off
-//! into an [`EcoSession`] — and every request after that is served from
-//! the warm state: scrapes read the global telemetry registry, ECO posts
-//! run the *incremental* re-sign-off. The library/expanded-library/flow
-//! stack is interned with `Box::leak` behind a `OnceLock`, giving the
-//! session a `'static` lifetime without self-referential types; the leak
-//! is intentional and bounded (one stack per process).
+//! Startup pays the library expansion once (process-wide, `Box::leak`ed
+//! behind a `OnceLock`); every design registered with the daemon then
+//! warms lazily — map, place, sign off into an
+//! [`EcoSession`] — on first use or an explicit
+//! `POST /designs/{name}/warm`. Requests are served by a fixed pool of
+//! persistent handler threads ([`svt_exec::service::ServicePool`])
+//! behind a bounded accept queue: when the queue is full the accept
+//! loop answers `429 Too Many Requests` + `Retry-After` immediately
+//! instead of buffering unboundedly, and a drain
+//! (`POST /shutdown` / SIGTERM) finishes every accepted request while
+//! refusing new ones with `503`.
+//!
+//! Connections are HTTP/1.1 keep-alive: one handler thread owns a
+//! connection for its lifetime, serving up to
+//! [`ServerOptions::keep_alive_max_requests`] requests (pipelining
+//! included) with an idle timeout between them.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use svt_core::{SignoffFlow, SignoffOptions};
 use svt_eco::{DeltaReport, EcoEdit, EcoError, EcoSession};
+use svt_exec::service::ServicePool;
 use svt_litho::Process;
 use svt_netlist::{bench, technology_map};
 use svt_obs::json::{escape_json, JsonValue};
 use svt_place::{place, PlacementOptions};
 use svt_stdcell::{expand_library, ExpandOptions, Library};
 
-use crate::http::{read_request, write_response, Request, Response};
+use crate::http::{write_response, Request, RequestParser, Response};
+use crate::registry::{RegistryError, SessionRegistry, SlotStatus};
 
 /// The built-in warm-up design: small enough to sign off in well under a
 /// second, rich enough to have multi-corner endpoint deltas. The smoke
@@ -62,7 +73,7 @@ impl DesignSpec {
         ))
     }
 
-    /// The design name reported by `/healthz`.
+    /// The design name used in routes and reports.
     #[must_use]
     pub fn name(&self) -> &str {
         match self {
@@ -73,7 +84,7 @@ impl DesignSpec {
 }
 
 /// The leaked library/expanded/flow stack shared by every session in
-/// this process (daemon session, test mirrors, smoke mirrors).
+/// this process (daemon sessions, test mirrors, smoke mirrors).
 struct WarmStack {
     library: &'static Library,
     flow: &'static SignoffFlow<'static>,
@@ -134,50 +145,107 @@ pub fn warm_session(spec: &DesignSpec) -> Result<EcoSession<'static>, String> {
         .map_err(|e| format!("initial sign-off of `{}`: {e}", spec.name()))
 }
 
-/// Shared state behind the router: the warm session plus the previous
-/// scrape used to derive per-interval rate/delta series.
+/// Tunables of the connection plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Persistent handler threads.
+    pub workers: usize,
+    /// Bounded accept-queue capacity; a full queue answers `429`.
+    pub queue_capacity: usize,
+    /// Requests served on one keep-alive connection before it is closed.
+    pub keep_alive_max_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// Fault injection for the stress tests: an artificial delay before
+    /// each request is handled. `None` in production.
+    pub fault_delay: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            workers: 4,
+            queue_capacity: 64,
+            keep_alive_max_requests: 100,
+            idle_timeout: Duration::from_secs(5),
+            fault_delay: None,
+        }
+    }
+}
+
+/// Shared state behind the router: the design registry plus the
+/// previous scrape used to derive per-interval rate/delta series.
 pub struct ServiceState {
-    design: String,
+    registry: SessionRegistry,
+    default_design: String,
     started: Instant,
-    session: Mutex<EcoSession<'static>>,
+    draining: AtomicBool,
+    options: ServerOptions,
     scrape: Mutex<Option<(Instant, svt_obs::Snapshot)>>,
 }
 
 impl ServiceState {
-    /// Warms the pipeline for `spec` and wraps it for serving.
+    /// Registers `specs` (all cold — warm-up is lazy, or explicit via
+    /// [`ServiceState::warm`] / `POST /designs/{name}/warm`). The first
+    /// spec becomes the default design that bare `POST /eco` targets.
     ///
     /// # Errors
     ///
-    /// Propagates [`warm_session`] failures.
-    pub fn new(spec: &DesignSpec) -> Result<ServiceState, String> {
-        let session = warm_session(spec)?;
+    /// Returns a message when `specs` is empty.
+    pub fn new(specs: &[DesignSpec], options: ServerOptions) -> Result<ServiceState, String> {
+        let first = specs.first().ok_or("at least one design is required")?;
+        let registry = SessionRegistry::new();
+        for spec in specs {
+            registry.register(spec);
+        }
         Ok(ServiceState {
-            design: spec.name().to_string(),
+            registry,
+            default_design: first.name().to_string(),
             started: Instant::now(),
-            session: Mutex::new(session),
+            draining: AtomicBool::new(false),
+            options,
             scrape: Mutex::new(None),
         })
     }
 
-    /// Applies one edit directly to the warm session (the same code path
-    /// `POST /eco` takes, without HTTP in between).
+    /// Warms one design eagerly, returning its warm-up seconds when this
+    /// call paid them.
     ///
     /// # Errors
     ///
-    /// Propagates [`EcoSession::apply`] failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous request panicked while holding the session
-    /// lock.
-    pub fn apply(&self, edit: &EcoEdit) -> Result<DeltaReport, EcoError> {
-        self.session.lock().unwrap().apply(edit)
+    /// Propagates registry lookup / warm-up failures.
+    pub fn warm(&self, name: &str) -> Result<Option<f64>, RegistryError> {
+        self.registry.entry(name)?.warm()
     }
 
-    /// Design name served by `/healthz`.
+    /// The design registry.
     #[must_use]
-    pub fn design(&self) -> &str {
-        &self.design
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// Name of the default (first registered) design.
+    #[must_use]
+    pub fn default_design(&self) -> &str {
+        &self.default_design
+    }
+
+    /// The connection-plane tunables.
+    #[must_use]
+    pub fn options(&self) -> &ServerOptions {
+        &self.options
+    }
+
+    /// Whether a graceful shutdown is in progress.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: new work is refused with `503`, current
+    /// work completes. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
     }
 }
 
@@ -193,9 +261,9 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
-/// Renders a [`DeltaReport`] as the `POST /eco` response body. Floats
-/// are serialized in shortest-round-trip form, so they parse back
-/// bit-exactly; the differential smoke check relies on that.
+/// Renders a [`DeltaReport`] as the single-edit `POST /eco` response
+/// body. Floats are serialized in shortest-round-trip form, so they
+/// parse back bit-exactly; the differential smoke check relies on that.
 #[must_use]
 pub fn render_delta_report(report: &DeltaReport) -> String {
     let mut out = String::with_capacity(512);
@@ -247,22 +315,64 @@ pub fn render_delta_report(report: &DeltaReport) -> String {
     out
 }
 
-/// Parses the `POST /eco` body into a typed edit.
-///
-/// The shape is one flat object selected by `type`:
-///
-/// ```json
-/// {"type": "resize_cell",    "instance": "g3", "new_cell": "INVX2"}
-/// {"type": "swap_cell",      "instance": "g3", "new_cell": "INVX2"}
-/// {"type": "adjust_spacing", "instance": "g3", "dx_nm": -120.0}
-/// {"type": "move_instance",  "instance": "g3", "row": 1, "x_nm": 940.0}
-/// ```
-///
-/// # Errors
-///
-/// Returns a message naming the missing or mistyped field.
-pub fn parse_edit(body: &str) -> Result<EcoEdit, String> {
-    let v = JsonValue::parse(body).map_err(|e| format!("body is not JSON: {e}"))?;
+/// Renders a batched `POST /eco` response: the per-edit reports plus
+/// the batch-level endpoint deltas (first-seen `before` to last-seen
+/// `after` per endpoint/corner, in first-appearance order). Bit-exact
+/// float serialization, same as [`render_delta_report`] — the
+/// concurrency differential test replays batches through a local
+/// session and compares these bodies byte-for-byte.
+#[must_use]
+pub fn render_batch_report(reports: &[DeltaReport]) -> String {
+    let mut merged: Vec<(String, String, f64, f64)> = Vec::new();
+    for report in reports {
+        for d in &report.endpoint_deltas {
+            if let Some(slot) = merged
+                .iter_mut()
+                .find(|(e, c, _, _)| *e == d.endpoint && *c == d.corner)
+            {
+                slot.3 = d.arrival_after_ns;
+            } else {
+                merged.push((
+                    d.endpoint.clone(),
+                    d.corner.clone(),
+                    d.arrival_before_ns,
+                    d.arrival_after_ns,
+                ));
+            }
+        }
+    }
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"edits\":");
+    out.push_str(&reports.len().to_string());
+    out.push_str(",\"reports\":[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_delta_report(report));
+    }
+    out.push_str("],\"endpoint_deltas\":[");
+    for (i, (endpoint, corner, before, after)) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"endpoint\":\"");
+        out.push_str(&escape_json(endpoint));
+        out.push_str("\",\"corner\":\"");
+        out.push_str(&escape_json(corner));
+        out.push_str("\",\"arrival_before_ns\":");
+        out.push_str(&fmt_f64(*before));
+        out.push_str(",\"arrival_after_ns\":");
+        out.push_str(&fmt_f64(*after));
+        out.push_str(",\"slack_delta_ns\":");
+        out.push_str(&fmt_f64(before - after));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn edit_from_json(v: &JsonValue) -> Result<EcoEdit, String> {
     let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
     let string_field = |name: &str| {
         field(name).and_then(|f| {
@@ -305,14 +415,105 @@ pub fn parse_edit(body: &str) -> Result<EcoEdit, String> {
     }
 }
 
+/// Parses a single-edit `POST /eco` body into a typed edit.
+///
+/// The shape is one flat object selected by `type`:
+///
+/// ```json
+/// {"type": "resize_cell",    "instance": "g3", "new_cell": "INVX2"}
+/// {"type": "swap_cell",      "instance": "g3", "new_cell": "INVX2"}
+/// {"type": "adjust_spacing", "instance": "g3", "dx_nm": -120.0}
+/// {"type": "move_instance",  "instance": "g3", "row": 1, "x_nm": 940.0}
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn parse_edit(body: &str) -> Result<EcoEdit, String> {
+    let v = JsonValue::parse(body).map_err(|e| format!("body is not JSON: {e}"))?;
+    edit_from_json(&v)
+}
+
+/// How a `POST /eco` body was shaped, so single-edit responses keep
+/// their original schema while batches get the batch schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoRequest {
+    /// A single flat edit object.
+    Single(EcoEdit),
+    /// A JSON array of edit objects, applied atomically under one write
+    /// lock hold.
+    Batch(Vec<EcoEdit>),
+}
+
+/// Parses a `POST /eco` body: one flat edit object, or a JSON array of
+/// them (the batched form).
+///
+/// # Errors
+///
+/// Returns a message naming the offending element/field; an empty batch
+/// is rejected.
+pub fn parse_eco_request(body: &str) -> Result<EcoRequest, String> {
+    let v = JsonValue::parse(body).map_err(|e| format!("body is not JSON: {e}"))?;
+    if let Some(items) = v.as_array() {
+        if items.is_empty() {
+            return Err("edit batch is empty".to_string());
+        }
+        let edits = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| edit_from_json(item).map_err(|e| format!("edit[{i}]: {e}")))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(EcoRequest::Batch(edits))
+    } else {
+        Ok(EcoRequest::Single(edit_from_json(&v)?))
+    }
+}
+
+fn registry_error_response(e: &RegistryError) -> Response {
+    match e {
+        RegistryError::UnknownDesign(_) => Response::error(404, &e.to_string()),
+        RegistryError::WarmupFailed(_) => Response::error(503, &e.to_string()),
+    }
+}
+
+fn eco_error_response(e: &EcoError) -> Response {
+    match e {
+        EcoError::InvalidEdit { .. } | EcoError::Netlist(_) | EcoError::Place(_) => {
+            Response::error(400, &e.to_string())
+        }
+        _ => Response::error(500, &e.to_string()),
+    }
+}
+
 fn healthz(state: &ServiceState) -> Response {
     let wd = svt_exec::watchdog::status();
-    let edits = state.session.lock().unwrap().edits().len();
+    let mut designs = String::new();
+    let mut total_edits = 0usize;
+    for (i, entry) in state.registry.entries().iter().enumerate() {
+        if i > 0 {
+            designs.push(',');
+        }
+        let edits = entry.edits_applied();
+        total_edits += edits;
+        designs.push_str(&format!(
+            "{{\"name\":\"{}\",\"status\":\"{}\",\"edits_applied\":{edits}}}",
+            escape_json(entry.name()),
+            entry.status().as_str()
+        ));
+    }
+    let status = if !wd.healthy() {
+        "stalled"
+    } else if state.draining() {
+        "draining"
+    } else {
+        "ok"
+    };
     let body = format!(
-        "{{\"status\":\"{}\",\"design\":\"{}\",\"uptime_seconds\":{},\"edits_applied\":{edits},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}}}}",
-        if wd.healthy() { "ok" } else { "stalled" },
-        escape_json(&state.design),
+        "{{\"status\":\"{status}\",\"design\":\"{}\",\"designs\":[{designs}],\"uptime_seconds\":{},\"edits_applied\":{total_edits},\"queue_depth\":{},\"in_flight\":{},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}}}}",
+        escape_json(&state.default_design),
         fmt_f64(state.started.elapsed().as_secs_f64()),
+        svt_obs::registry().gauge("serve.pool.queue_depth").get(),
+        svt_obs::registry().gauge("serve.pool.in_flight").get(),
         wd.armed,
         wd.deadline.as_millis(),
         wd.stalled_now,
@@ -323,6 +524,7 @@ fn healthz(state: &ServiceState) -> Response {
         status: if wd.healthy() { 200 } else { 503 },
         content_type: "application/json",
         body,
+        retry_after: None,
     }
 }
 
@@ -334,7 +536,7 @@ fn metrics(state: &ServiceState) -> Response {
     let now = Instant::now();
     let snap = svt_obs::registry().snapshot();
     let mut body = snap.to_prometheus();
-    let mut scrape = state.scrape.lock().unwrap();
+    let mut scrape = state.scrape.lock().expect("scrape slot poisoned");
     if let Some((prev_at, prev)) = scrape.as_ref() {
         body.push_str(&snap.delta_prometheus(prev, now.duration_since(*prev_at).as_secs_f64()));
     }
@@ -343,21 +545,167 @@ fn metrics(state: &ServiceState) -> Response {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
         body,
+        retry_after: None,
     }
 }
 
-fn eco(state: &ServiceState, req: &Request) -> Response {
-    let edit = match parse_edit(&req.body) {
-        Ok(edit) => edit,
+fn designs_index(state: &ServiceState) -> Response {
+    let mut out = String::from("{\"default\":\"");
+    out.push_str(&escape_json(&state.default_design));
+    out.push_str("\",\"designs\":[");
+    for (i, entry) in state.registry.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let status = entry.status();
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"status\":\"{}\",\"edits_applied\":{}",
+            escape_json(entry.name()),
+            status.as_str(),
+            entry.edits_applied()
+        ));
+        if let SlotStatus::Failed(e) = &status {
+            out.push_str(&format!(",\"error\":\"{}\"", escape_json(e)));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    Response::json(out)
+}
+
+fn design_detail(state: &ServiceState, name: &str) -> Response {
+    let entry = match state.registry.entry(name) {
+        Ok(entry) => entry,
+        Err(e) => return registry_error_response(&e),
+    };
+    let status = entry.status();
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"status\":\"{}\",\"edits_applied\":{}",
+        escape_json(entry.name()),
+        status.as_str(),
+        entry.edits_applied()
+    );
+    if let SlotStatus::Failed(e) = &status {
+        out.push_str(&format!(",\"error\":\"{}\"", escape_json(e)));
+    }
+    out.push('}');
+    Response::json(out)
+}
+
+fn design_warm(state: &ServiceState, name: &str) -> Response {
+    let entry = match state.registry.entry(name) {
+        Ok(entry) => entry,
+        Err(e) => return registry_error_response(&e),
+    };
+    match entry.warm() {
+        Ok(seconds) => Response::json(format!(
+            "{{\"name\":\"{}\",\"status\":\"warm\",\"warmed_now\":{},\"warm_seconds\":{}}}",
+            escape_json(name),
+            seconds.is_some(),
+            seconds.map_or("null".to_string(), fmt_f64)
+        )),
+        Err(e) => registry_error_response(&e),
+    }
+}
+
+/// Renders the read-path timing summary of one design (served under the
+/// design's read lock, so it never waits on other designs' writes).
+#[must_use]
+pub fn render_timing(session: &EcoSession<'_>) -> String {
+    let c = session.comparison();
+    let corners = |t: &svt_core::CornerTiming| {
+        format!(
+            "{{\"bc_ns\":{},\"nom_ns\":{},\"wc_ns\":{},\"spread_ns\":{}}}",
+            fmt_f64(t.bc_ns),
+            fmt_f64(t.nom_ns),
+            fmt_f64(t.wc_ns),
+            fmt_f64(t.spread_ns())
+        )
+    };
+    format!(
+        "{{\"testcase\":\"{}\",\"gates\":{},\"traditional\":{},\"aware\":{},\"uncertainty_reduction_pct\":{},\"edits_applied\":{}}}",
+        escape_json(&c.testcase),
+        c.gates,
+        corners(&c.traditional),
+        corners(&c.aware),
+        fmt_f64(c.uncertainty_reduction_pct()),
+        session.edits().len()
+    )
+}
+
+fn design_timing(state: &ServiceState, name: &str) -> Response {
+    let entry = match state.registry.entry(name) {
+        Ok(entry) => entry,
+        Err(e) => return registry_error_response(&e),
+    };
+    match entry.read(|session| render_timing(session)) {
+        Ok(body) => Response::json(body),
+        Err(e) => registry_error_response(&e),
+    }
+}
+
+fn design_eco(state: &ServiceState, name: &str, req: &Request) -> Response {
+    let request = match parse_eco_request(&req.body) {
+        Ok(request) => request,
         Err(e) => return Response::error(400, &e),
     };
-    match state.apply(&edit) {
-        Ok(report) => Response::json(render_delta_report(&report)),
-        Err(e @ (EcoError::InvalidEdit { .. } | EcoError::Netlist(_) | EcoError::Place(_))) => {
-            Response::error(400, &e.to_string())
+    let entry = match state.registry.entry(name) {
+        Ok(entry) => entry,
+        Err(e) => return registry_error_response(&e),
+    };
+    let _span = svt_obs::span("serve.eco");
+    let applied = entry.write(|session| match &request {
+        EcoRequest::Single(edit) => session.apply(edit).map(|report| vec![report]),
+        EcoRequest::Batch(edits) => {
+            // The whole batch applies under this one write-lock hold:
+            // readers see pre- or post-batch state, nothing in between.
+            // Edits validate before they mutate, so a rejected edit
+            // leaves the session exactly at the previous edit's state;
+            // the error names how many were applied.
+            let mut reports = Vec::with_capacity(edits.len());
+            for (i, edit) in edits.iter().enumerate() {
+                match session.apply(edit) {
+                    Ok(report) => reports.push(report),
+                    Err(e) => {
+                        return Err(EcoError::InvalidEdit {
+                            reason: format!(
+                                "edit[{i}] failed after {} applied: {e}",
+                                reports.len()
+                            ),
+                        })
+                    }
+                }
+            }
+            Ok(reports)
         }
-        Err(e) => Response::error(500, &e.to_string()),
+    });
+    match applied {
+        Ok(Ok(reports)) => match request {
+            EcoRequest::Single(_) => Response::json(render_delta_report(&reports[0])),
+            EcoRequest::Batch(_) => Response::json(render_batch_report(&reports)),
+        },
+        Ok(Err(e)) => eco_error_response(&e),
+        Err(e) => registry_error_response(&e),
     }
+}
+
+/// Per-endpoint in-flight gauge, static names so the telemetry
+/// registry interns once per endpoint class.
+fn inflight_guard(method: &str, path: &str) -> svt_obs::InflightGuard {
+    let gauge = match (method, path) {
+        (_, "/healthz") => svt_obs::gauge!("serve.inflight.healthz"),
+        (_, "/metrics") => svt_obs::gauge!("serve.inflight.metrics"),
+        (_, "/snapshot.json") => svt_obs::gauge!("serve.inflight.snapshot"),
+        (_, "/timeline.json") => svt_obs::gauge!("serve.inflight.timeline"),
+        (_, p) if p == "/eco" || p.ends_with("/eco") => svt_obs::gauge!("serve.inflight.eco"),
+        (_, p) if p.ends_with("/timing") => svt_obs::gauge!("serve.inflight.timing"),
+        (_, p) if p.ends_with("/warm") => svt_obs::gauge!("serve.inflight.warm"),
+        (_, p) if p == "/designs" || p.starts_with("/designs/") => {
+            svt_obs::gauge!("serve.inflight.designs")
+        }
+        _ => svt_obs::gauge!("serve.inflight.other"),
+    };
+    gauge.inflight()
 }
 
 /// Routes one request. Pure with respect to the connection: all I/O
@@ -366,41 +714,146 @@ fn eco(state: &ServiceState, req: &Request) -> Response {
 #[must_use]
 pub fn route(state: &ServiceState, req: &Request) -> Response {
     svt_obs::registry().counter("serve.requests").incr();
-    match (
-        req.method.as_str(),
-        req.path.split('?').next().unwrap_or(""),
-    ) {
+    let path = req.path.split('?').next().unwrap_or("");
+    let _inflight = inflight_guard(&req.method, path);
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
         ("GET", "/snapshot.json") => Response::json(svt_obs::registry().snapshot().to_json()),
         ("GET", "/timeline.json") => Response::json(svt_obs::chrome::render_chrome_trace(
             &svt_obs::timeline::snapshot_all(),
         )),
-        ("POST", "/eco") => {
-            let _span = svt_obs::span("serve.eco");
-            eco(state, req)
+        ("GET", "/designs") => designs_index(state),
+        ("POST", "/eco") => design_eco(state, &state.default_design, req),
+        ("POST", "/shutdown") => {
+            state.begin_drain();
+            Response::json("{\"status\":\"draining\"}".to_string())
         }
-        (_, "/healthz" | "/metrics" | "/snapshot.json" | "/timeline.json" | "/eco") => {
-            Response::error(405, "method not allowed")
+        (method, p) if p.starts_with("/designs/") => {
+            let rest = &p["/designs/".len()..];
+            let (name, action) = match rest.split_once('/') {
+                Some((name, action)) => (name, action),
+                None => (rest, ""),
+            };
+            if name.is_empty() {
+                return Response::error(404, "missing design name");
+            }
+            match (method, action) {
+                ("GET", "") => design_detail(state, name),
+                ("POST", "warm") => design_warm(state, name),
+                ("GET", "timing") => design_timing(state, name),
+                ("POST", "eco") => design_eco(state, name, req),
+                (_, "" | "warm" | "timing" | "eco") => Response::error(405, "method not allowed"),
+                _ => Response::error(404, "no such design endpoint"),
+            }
         }
+        (
+            _,
+            "/healthz" | "/metrics" | "/snapshot.json" | "/timeline.json" | "/eco" | "/designs"
+            | "/shutdown",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
 }
 
-/// A running daemon: the bound address plus the accept-loop thread.
+/// Serves one connection: a keep-alive loop feeding the incremental
+/// parser, bounded by the request cap and the idle timeout, responsive
+/// to drain within one poll tick.
+fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
+    let opts = state.options();
+    // Poll in short ticks so drains are noticed promptly even while the
+    // connection idles between keep-alive requests.
+    let tick = opts
+        .idle_timeout
+        .clamp(Duration::from_millis(1), Duration::from_millis(100));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 8192];
+    let mut served = 0usize;
+    let mut idled = Duration::ZERO;
+    loop {
+        // Drain everything already buffered (pipelined requests) before
+        // touching the socket again.
+        match parser.next_request() {
+            Ok(Some(req)) => {
+                idled = Duration::ZERO;
+                served += 1;
+                if let Some(delay) = opts.fault_delay {
+                    std::thread::sleep(delay);
+                }
+                let draining = state.draining();
+                let response = if draining {
+                    svt_obs::registry().counter("serve.drained_refusals").incr();
+                    Response::error(503, "server is draining, no new work accepted")
+                } else {
+                    // Heartbeat only the bounded handler section — idle
+                    // keep-alive reads are not stalls.
+                    svt_exec::watchdog::task_begin();
+                    let response = route(state, &req);
+                    svt_exec::watchdog::task_end();
+                    response
+                };
+                let close = draining || !req.keep_alive || served >= opts.keep_alive_max_requests;
+                if write_response(&mut stream, &response, close).is_err() {
+                    svt_obs::registry().counter("serve.write_errors").incr();
+                    return;
+                }
+                if close {
+                    return;
+                }
+                continue;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                svt_obs::registry().counter("serve.bad_requests").incr();
+                let _ = write_response(&mut stream, &Response::error(e.status, &e.message), true);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                idled = Duration::ZERO;
+                parser.push(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                idled += tick;
+                // Mid-drain, idle connections close immediately; a
+                // half-received request gets until the idle timeout.
+                if state.draining() && parser.buffered() == 0 {
+                    return;
+                }
+                if idled >= opts.idle_timeout {
+                    svt_obs::registry().counter("serve.idle_closes").incr();
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+use std::io::Read;
+
+/// A running daemon: the bound address plus the accept loop feeding the
+/// persistent handler pool.
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServiceState>,
     stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop on a background thread. Connections are served
-    /// sequentially — the session is a single shared resource and the
-    /// endpoints are all sub-second, so a one-lane loop keeps responses
-    /// deterministic under concurrent scrapes and edits.
+    /// Binds `addr` (use port 0 for an ephemeral port), starts
+    /// [`ServerOptions::workers`] persistent handler threads behind a
+    /// bounded queue of [`ServerOptions::queue_capacity`] connections,
+    /// and starts the accept loop.
     ///
     /// # Errors
     ///
@@ -414,7 +867,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let loop_state = Arc::clone(&state);
         let loop_stop = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
+        let accept = std::thread::Builder::new()
             .name("svtd-accept".into())
             .spawn(move || accept_loop(&listener, &loop_state, &loop_stop))
             .map_err(|e| format!("spawn accept loop: {e}"))?;
@@ -422,7 +875,7 @@ impl Server {
             addr: local,
             state,
             stop,
-            thread: Some(thread),
+            accept: Some(accept),
         })
     }
 
@@ -432,30 +885,27 @@ impl Server {
         self.addr
     }
 
-    /// The shared state, for in-process differential checks.
+    /// The shared state, for in-process differential checks and drain
+    /// polling.
     #[must_use]
-    pub fn state(&self) -> &ServiceState {
+    pub fn state(&self) -> &Arc<ServiceState> {
         &self.state
     }
 
-    /// Blocks until the accept loop exits (it only exits on
-    /// [`Server::shutdown`] from another thread).
-    pub fn join(mut self) {
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-
-    /// Stops the accept loop and joins it.
+    /// Graceful shutdown: begins the drain (current requests finish,
+    /// new ones are refused with `503`), stops the accept loop, waits
+    /// for every accepted connection to be answered, and joins all
+    /// threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
+        self.state.begin_drain();
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept() call with one throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.thread.take() {
+        if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
     }
@@ -463,27 +913,52 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_and_join();
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &ServiceState, stop: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>, stop: &AtomicBool) {
+    let opts = state.options().clone();
+    let handler_state = Arc::clone(state);
+    // The pool is owned by this loop: when the loop exits, dropping the
+    // pool drains it — every accepted connection is answered first.
+    let pool: ServicePool<TcpStream> = ServicePool::spawn(
+        "serve.pool",
+        opts.workers,
+        opts.queue_capacity,
+        move |stream| serve_connection(stream, &handler_state),
+    );
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(mut stream) = conn else { continue };
-        let response = match read_request(&mut stream) {
-            Ok(req) => route(state, &req),
-            Err(e) => {
-                svt_obs::registry().counter("serve.bad_requests").incr();
-                Response::error(400, &e)
-            }
-        };
-        if write_response(&mut stream, &response).is_err() {
-            svt_obs::registry().counter("serve.write_errors").incr();
+        let _ = stream.set_nodelay(true);
+        svt_obs::registry().counter("serve.connections").incr();
+        if state.draining() {
+            svt_obs::registry().counter("serve.drained_refusals").incr();
+            let _ = write_response(
+                &mut stream,
+                &Response::error(503, "server is draining, no new connections accepted"),
+                true,
+            );
+            continue;
+        }
+        if let Err(rejected) = pool.try_submit(stream) {
+            let full = rejected.is_full();
+            let mut stream = rejected.into_job();
+            let response = if full {
+                svt_obs::registry().counter("serve.rejected_busy").incr();
+                Response::too_busy(1)
+            } else {
+                Response::error(503, "server is draining, no new connections accepted")
+            };
+            let _ = write_response(&mut stream, &response, true);
         }
     }
+    pool.drain();
 }
 
 #[cfg(test)]
@@ -547,6 +1022,39 @@ mod tests {
     }
 
     #[test]
+    fn batched_bodies_parse_into_ordered_edit_lists() {
+        let batch = parse_eco_request(
+            "[{\"type\":\"resize_cell\",\"instance\":\"g1\",\"new_cell\":\"INVX2\"},\
+             {\"type\":\"adjust_spacing\",\"instance\":\"g2\",\"dx_nm\":-40.0}]",
+        )
+        .unwrap();
+        let EcoRequest::Batch(edits) = batch else {
+            panic!("array bodies parse as batches");
+        };
+        assert_eq!(edits.len(), 2);
+        assert_eq!(
+            edits[1],
+            EcoEdit::AdjustSpacing {
+                instance: "g2".into(),
+                dx_nm: -40.0
+            }
+        );
+
+        // Element errors carry their index; empty batches are rejected.
+        let err = parse_eco_request("[{\"type\":\"resize_cell\"}]").unwrap_err();
+        assert!(err.contains("edit[0]"), "{err}");
+        assert!(parse_eco_request("[]").unwrap_err().contains("empty"));
+
+        // Objects still parse as singles.
+        assert!(matches!(
+            parse_eco_request(
+                "{\"type\":\"resize_cell\",\"instance\":\"g1\",\"new_cell\":\"INVX2\"}"
+            ),
+            Ok(EcoRequest::Single(_))
+        ));
+    }
+
+    #[test]
     fn design_specs_accept_builtin_and_paper_testcases_only() {
         assert_eq!(DesignSpec::parse("builtin").unwrap(), DesignSpec::Builtin);
         assert_eq!(
@@ -565,5 +1073,68 @@ mod tests {
         }
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn batch_render_merges_endpoint_deltas_first_before_last_after() {
+        use svt_core::CornerTiming;
+        let comparison = svt_core::SignoffComparison {
+            testcase: "t".into(),
+            gates: 1,
+            traditional: CornerTiming {
+                bc_ns: 1.0,
+                nom_ns: 2.0,
+                wc_ns: 3.0,
+            },
+            aware: CornerTiming {
+                bc_ns: 1.5,
+                nom_ns: 2.0,
+                wc_ns: 2.5,
+            },
+        };
+        let report = |before: f64, after: f64| DeltaReport {
+            edit: "e".into(),
+            rows_extracted: vec![],
+            recharacterized: vec![],
+            pitch_rows_invalidated: 0,
+            forward_instances: 0,
+            backward_nets: 0,
+            endpoint_deltas: vec![svt_eco::EndpointDelta {
+                endpoint: "z".into(),
+                corner: "aware-wc".into(),
+                arrival_before_ns: before,
+                arrival_after_ns: after,
+            }],
+            before: comparison.clone(),
+            after: comparison.clone(),
+            delta_audit: svt_obs::audit::DeltaAudit {
+                testcase: "t".into(),
+                baseline_instances: 0,
+                baseline_paths: 0,
+                edits: vec![],
+                corner_delays: vec![],
+                changed_instances: vec![],
+                changed_paths: vec![],
+            },
+        };
+        let rendered = render_batch_report(&[report(1.25, 1.5), report(1.5, 1.125)]);
+        let parsed = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("edits").and_then(JsonValue::as_u64), Some(2));
+        let merged = parsed
+            .get("endpoint_deltas")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(merged.len(), 1, "same endpoint/corner merges");
+        let delta = &merged[0];
+        assert_eq!(
+            delta.get("arrival_before_ns").and_then(JsonValue::as_f64),
+            Some(1.25),
+            "before comes from the first report"
+        );
+        assert_eq!(
+            delta.get("arrival_after_ns").and_then(JsonValue::as_f64),
+            Some(1.125),
+            "after comes from the last report"
+        );
     }
 }

@@ -5,19 +5,30 @@
 //! parsers: the Prometheus exposition must survive
 //! [`svt_obs::parse_prometheus`], the snapshot and ECO responses the
 //! shared [`svt_obs::json`] parser, and the timeline
-//! [`svt_obs::chrome::validate_chrome_trace`]. The ECO check is
+//! [`svt_obs::chrome::validate_chrome_trace`]. The ECO checks are
 //! *differential*: the client rebuilds the daemon's design locally,
-//! applies the identical edit through [`EcoSession::apply`] directly,
-//! and requires the served slack deltas to match bit-for-bit.
+//! applies the identical edits through [`EcoSession::apply`] directly,
+//! and requires the served bodies — single edit *and* atomic batch — to
+//! match bit-for-bit.
+//!
+//! [`run_smoke_full`] layers the multi-tenant and fault checks on top:
+//! second-design warm-up and isolation, rejected-input status codes,
+//! slow-loris saturation answered with `429` + `Retry-After` (the
+//! daemon must run with `--workers 1 --queue-depth 1` for that check to
+//! be deterministic), and the graceful drain on `POST /shutdown`.
 //!
 //! [`EcoSession::apply`]: svt_eco::EcoSession::apply
 
-use svt_eco::EcoEdit;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use svt_eco::{EcoEdit, EcoSession};
 use svt_netlist::MappedNetlist;
 use svt_obs::json::JsonValue;
 
-use crate::http::http_request;
-use crate::server::{render_delta_report, warm_session, DesignSpec};
+use crate::http::{http_request, HttpClient};
+use crate::server::{render_batch_report, render_delta_report, warm_session, DesignSpec};
 
 /// The deterministic edit the smoke check posts: resize the first
 /// `INVX1` instance (netlist order) to `INVX2`. Both the client and any
@@ -39,12 +50,64 @@ pub fn pick_smoke_edit(netlist: &MappedNetlist) -> Result<EcoEdit, String> {
     })
 }
 
+/// What [`run_smoke_full`] exercises beyond the core sequence.
+pub struct SmokeOptions {
+    /// Every design the daemon was booted with, default first. The core
+    /// differential runs on the first; the rest get warm-up and
+    /// isolation checks.
+    pub designs: Vec<DesignSpec>,
+    /// Exercise the bounded-queue `429` path with slow-loris
+    /// connections. Only deterministic against a daemon running
+    /// `--workers 1 --queue-depth 1`.
+    pub backpressure: bool,
+    /// Finish with `POST /shutdown` and verify the drain. The daemon
+    /// exits afterwards, so this must be the last check.
+    pub shutdown: bool,
+}
+
 fn get(addr: &str, path: &str) -> Result<String, String> {
     let (status, body) = http_request(addr, "GET", path, "")?;
     if status != 200 {
         return Err(format!("GET {path}: status {status}, body: {body}"));
     }
     Ok(body)
+}
+
+fn expect_status(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    want: u16,
+) -> Result<(), String> {
+    let (status, response) = http_request(addr, method, path, body)?;
+    if status != want {
+        return Err(format!(
+            "{method} {path}: status {status}, want {want}; body: {response}"
+        ));
+    }
+    Ok(())
+}
+
+fn render_edit(edit: &EcoEdit) -> String {
+    match edit {
+        EcoEdit::ResizeCell { instance, new_cell } => format!(
+            "{{\"type\":\"resize_cell\",\"instance\":\"{instance}\",\"new_cell\":\"{new_cell}\"}}"
+        ),
+        EcoEdit::SwapCell { instance, new_cell } => format!(
+            "{{\"type\":\"swap_cell\",\"instance\":\"{instance}\",\"new_cell\":\"{new_cell}\"}}"
+        ),
+        EcoEdit::AdjustSpacing { instance, dx_nm } => format!(
+            "{{\"type\":\"adjust_spacing\",\"instance\":\"{instance}\",\"dx_nm\":{dx_nm:?}}}"
+        ),
+        EcoEdit::MoveInstance {
+            instance,
+            row,
+            x_nm,
+        } => format!(
+            "{{\"type\":\"move_instance\",\"instance\":\"{instance}\",\"row\":{row},\"x_nm\":{x_nm:?}}}"
+        ),
+    }
 }
 
 /// Runs the full smoke sequence against `addr` (`host:port`).
@@ -57,6 +120,10 @@ fn get(addr: &str, path: &str) -> Result<String, String> {
 ///
 /// Returns the first failed check with enough context to debug it.
 pub fn run_smoke(addr: &str, spec: &DesignSpec) -> Result<String, String> {
+    run_smoke_core(addr, spec).map(|(summary, _mirror)| summary)
+}
+
+fn run_smoke_core(addr: &str, spec: &DesignSpec) -> Result<(String, EcoSession<'static>), String> {
     let mut summary = String::new();
 
     // 1. Readiness, design identity, and the watchdog verdict.
@@ -115,12 +182,7 @@ pub fn run_smoke(addr: &str, spec: &DesignSpec) -> Result<String, String> {
     // bit.
     let mut mirror = warm_session(spec)?;
     let edit = pick_smoke_edit(mirror.netlist())?;
-    let body = match &edit {
-        EcoEdit::ResizeCell { instance, new_cell } => format!(
-            "{{\"type\":\"resize_cell\",\"instance\":\"{instance}\",\"new_cell\":\"{new_cell}\"}}"
-        ),
-        _ => unreachable!("pick_smoke_edit only resizes"),
-    };
+    let body = render_edit(&edit);
     let (status, served) = http_request(addr, "POST", "/eco", &body)?;
     if status != 200 {
         return Err(format!("POST /eco: status {status}, body: {served}"));
@@ -168,7 +230,53 @@ pub fn run_smoke(addr: &str, spec: &DesignSpec) -> Result<String, String> {
         deltas.len()
     ));
 
-    // 6. Second scrape: the per-interval delta/rate series appear now
+    // 6. Batched ECO: a JSON array applies atomically and renders the
+    // merged batch report bit-identically to a local replay. The batch
+    // resizes the smoke instance back and forth, so it is always valid
+    // after step 5.
+    let EcoEdit::ResizeCell { instance, .. } = &edit else {
+        unreachable!("pick_smoke_edit only resizes");
+    };
+    let batch = [
+        EcoEdit::ResizeCell {
+            instance: instance.clone(),
+            new_cell: "INVX1".into(),
+        },
+        EcoEdit::ResizeCell {
+            instance: instance.clone(),
+            new_cell: "INVX2".into(),
+        },
+    ];
+    let body = format!(
+        "[{}]",
+        batch.iter().map(render_edit).collect::<Vec<_>>().join(",")
+    );
+    let (status, served) = http_request(addr, "POST", "/eco", &body)?;
+    if status != 200 {
+        return Err(format!(
+            "POST /eco (batch): status {status}, body: {served}"
+        ));
+    }
+    let mut reports = Vec::new();
+    for edit in &batch {
+        reports.push(
+            mirror
+                .apply(edit)
+                .map_err(|e| format!("mirror batch apply: {e}"))?,
+        );
+    }
+    let expected = render_batch_report(&reports);
+    if served != expected {
+        return Err(format!(
+            "batched eco response diverges from the direct render:\n served: {served}\n direct: {expected}"
+        ));
+    }
+    summary.push_str(&format!(
+        "eco batch: {} edits applied atomically, bit-identical to direct apply\n",
+        batch.len()
+    ));
+
+    // 7. Second scrape: the per-interval delta/rate series appear now
     // that a previous scrape exists.
     let scrape = get(addr, "/metrics")?;
     let samples =
@@ -179,6 +287,192 @@ pub fn run_smoke(addr: &str, spec: &DesignSpec) -> Result<String, String> {
         }
     }
     summary.push_str("metrics deltas: ok\n");
+    summary.push_str("smoke: PASS");
+    Ok((summary, mirror))
+}
+
+fn check_designs(addr: &str, opts: &SmokeOptions) -> Result<String, String> {
+    let mut summary = String::new();
+    let listing = get(addr, "/designs")?;
+    let listing = JsonValue::parse(&listing).map_err(|e| format!("/designs not JSON: {e}"))?;
+    let listed = listing
+        .get("designs")
+        .and_then(JsonValue::as_array)
+        .ok_or("/designs missing designs array")?;
+    if listed.len() != opts.designs.len() {
+        return Err(format!(
+            "/designs lists {} designs, daemon was booted with {}",
+            listed.len(),
+            opts.designs.len()
+        ));
+    }
+    for (entry, spec) in listed.iter().zip(&opts.designs) {
+        let name = entry.get("name").and_then(JsonValue::as_str);
+        if name != Some(spec.name()) {
+            return Err(format!(
+                "/designs order: got {name:?}, want {:?} (registration order)",
+                spec.name()
+            ));
+        }
+    }
+    summary.push_str(&format!("designs: {} listed in order\n", listed.len()));
+
+    // Warm every secondary design eagerly and read its timing under the
+    // per-design read lock; the default design's edit counter must be
+    // untouched by traffic on the others (isolation).
+    for spec in &opts.designs[1..] {
+        let name = spec.name();
+        let (status, body) = http_request(addr, "POST", &format!("/designs/{name}/warm"), "")?;
+        if status != 200 {
+            return Err(format!(
+                "POST /designs/{name}/warm: status {status}: {body}"
+            ));
+        }
+        let timing = get(addr, &format!("/designs/{name}/timing"))?;
+        let timing = JsonValue::parse(&timing).map_err(|e| format!("{name} timing: {e}"))?;
+        let gates = timing.get("gates").and_then(JsonValue::as_u64).unwrap_or(0);
+        if gates == 0 {
+            return Err(format!("/designs/{name}/timing reports 0 gates"));
+        }
+        if timing
+            .get("edits_applied")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(u64::MAX)
+            != 0
+        {
+            return Err(format!("freshly warmed `{name}` reports prior edits"));
+        }
+        summary.push_str(&format!("design {name}: warm, {gates} gates\n"));
+    }
+    let default = get(addr, &format!("/designs/{}", opts.designs[0].name()))?;
+    let default = JsonValue::parse(&default).map_err(|e| format!("default design: {e}"))?;
+    if default.get("edits_applied").and_then(JsonValue::as_u64) != Some(3) {
+        return Err(format!(
+            "default design should hold exactly the 3 smoke edits, got {:?}",
+            default.get("edits_applied").and_then(JsonValue::as_u64)
+        ));
+    }
+    summary.push_str("isolation: default design edit count untouched by other designs\n");
+
+    // Rejected inputs answer with typed client errors, not 500s.
+    expect_status(addr, "GET", "/designs/nope", "", 404)?;
+    expect_status(addr, "DELETE", "/healthz", "", 405)?;
+    expect_status(addr, "POST", "/eco", "not json", 400)?;
+    expect_status(addr, "POST", "/eco", "[]", 400)?;
+    expect_status(addr, "GET", "/nope", "", 404)?;
+    summary.push_str("error paths: 404/405/400 as specified\n");
+    Ok(summary)
+}
+
+/// Opens a connection and sends a deliberately unfinished request head,
+/// pinning whichever handler/queue slot accepts it.
+fn slow_loris(addr: &str) -> Result<TcpStream, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("loris connect: {e}"))?;
+    stream
+        .write_all(b"POST /eco HTTP/1.1\r\n")
+        .map_err(|e| format!("loris write: {e}"))?;
+    Ok(stream)
+}
+
+fn check_backpressure(addr: &str) -> Result<String, String> {
+    // With one worker and a queue of one, two pinned connections leave
+    // no capacity; the next connection must be turned away immediately
+    // with 429 + Retry-After. Scheduling decides which loris lands
+    // where, so keep adding loris connections (bounded) until the probe
+    // sees the rejection.
+    let mut lorises = vec![slow_loris(addr)?, slow_loris(addr)?];
+    for _attempt in 0..40 {
+        let probe = (|| -> Result<Option<String>, String> {
+            let mut client = HttpClient::connect(addr)?;
+            client.set_read_timeout(Duration::from_millis(500))?;
+            let response = client.send_full("GET", "/healthz", "")?;
+            if response.status != 429 {
+                return Ok(None);
+            }
+            let retry_after = response
+                .header("retry-after")
+                .ok_or("429 without Retry-After header")?;
+            retry_after
+                .parse::<u64>()
+                .map_err(|_| format!("Retry-After `{retry_after}` is not seconds"))?;
+            Ok(Some(retry_after.to_string()))
+        })();
+        match probe {
+            Ok(Some(retry_after)) => {
+                let summary = format!(
+                    "backpressure: saturated queue answered 429 with Retry-After: {retry_after}\n"
+                );
+                drop(lorises);
+                // Recovery: with the loris connections gone the plane
+                // must serve normally again within the idle timeout.
+                for _ in 0..100 {
+                    if let Ok((200, _)) = http_request(addr, "GET", "/healthz", "") {
+                        return Ok(summary + "backpressure recovery: healthz 200 after release\n");
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                return Err(
+                    "plane did not recover within 10s of releasing the loris connections"
+                        .to_string(),
+                );
+            }
+            Ok(None) | Err(_) => {
+                if lorises.len() < 6 {
+                    lorises.push(slow_loris(addr)?);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(
+        "never saw a 429 despite saturating workers and queue (is the daemon running \
+         --workers 1 --queue-depth 1?)"
+            .to_string(),
+    )
+}
+
+fn check_shutdown(addr: &str) -> Result<String, String> {
+    let (status, body) = http_request(addr, "POST", "/shutdown", "")?;
+    if status != 200 || !body.contains("draining") {
+        return Err(format!("POST /shutdown: status {status}, body: {body}"));
+    }
+    // New work is refused while the drain completes: either a 503 or a
+    // refused/reset connection once the listener is gone.
+    match http_request(addr, "GET", "/healthz", "") {
+        Ok((503, _)) | Err(_) => {}
+        Ok((status, body)) => {
+            return Err(format!(
+                "post-shutdown request got {status} ({body}), want 503 or refusal"
+            ))
+        }
+    }
+    Ok("shutdown: drain acknowledged, new work refused\n".to_string())
+}
+
+/// Runs [`run_smoke`] plus the multi-tenant, error-path, backpressure,
+/// and graceful-shutdown checks selected in `opts`.
+///
+/// # Errors
+///
+/// Returns the first failed check with enough context to debug it.
+///
+/// # Panics
+///
+/// Panics if `opts.designs` is empty.
+pub fn run_smoke_full(addr: &str, opts: &SmokeOptions) -> Result<String, String> {
+    assert!(
+        !opts.designs.is_empty(),
+        "smoke needs the daemon's design list"
+    );
+    let (mut summary, _mirror) = run_smoke_core(addr, &opts.designs[0])?;
+    summary.truncate(summary.len() - "smoke: PASS".len());
+    summary.push_str(&check_designs(addr, opts)?);
+    if opts.backpressure {
+        summary.push_str(&check_backpressure(addr)?);
+    }
+    if opts.shutdown {
+        summary.push_str(&check_shutdown(addr)?);
+    }
     summary.push_str("smoke: PASS");
     Ok(summary)
 }

@@ -1,0 +1,338 @@
+//! Property/fuzz suite for the hand-rolled HTTP layer.
+//!
+//! The incremental [`RequestParser`] sits on the daemon's accept path
+//! and eats attacker-controlled bytes, so the properties here are the
+//! containment contract: arbitrary byte soup, arbitrary read()
+//! fragmentation, hostile `Content-Length`s, and pipelined streams must
+//! never panic the parser — every outcome is a parsed request or a
+//! typed `400`/`413`. Well-formed traffic must survive *bit-exactly*:
+//! through the parser under every chunking, and over a real socket
+//! through the crate's own [`HttpClient`] against a [`RequestParser`] +
+//! [`write_response`] echo loop (the same pair `svtd` serves with).
+
+use proptest::prelude::*;
+use svt_serve::http::{
+    write_response, HttpClient, RequestParser, Response, MAX_BODY_BYTES, MAX_HEADERS,
+};
+
+const METHODS: &[&str] = &["GET", "POST", "PUT", "DELETE", "PATCH", "OPTIONS"];
+// Characters legal in a request target per the parser's rules (ASCII
+// graphic, starting with '/').
+const PATH_CHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/-_.~%?=&+:@";
+// Body palette: ASCII, whitespace, JSON metacharacters, and multi-byte
+// UTF-8 — bodies are Content-Length framed, so framing must not care.
+const BODY_CHARS: &[char] = &[
+    'a', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\r', '\n', '{', '}', '[', ']', '"', '\\', ':', ',',
+    'é', 'ß', '貓', '🚀',
+];
+
+fn method() -> impl Strategy<Value = &'static str> {
+    (0usize..METHODS.len()).prop_map(|i| METHODS[i])
+}
+
+fn path() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PATH_CHARS.len(), 0..40).prop_map(|idx| {
+        let mut p = String::from("/");
+        for i in idx {
+            p.push(PATH_CHARS[i] as char);
+        }
+        p
+    })
+}
+
+fn body() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..BODY_CHARS.len(), 0..120)
+        .prop_map(|idx| idx.into_iter().map(|i| BODY_CHARS[i]).collect())
+}
+
+/// Serializes a request exactly the way [`HttpClient`] frames one.
+fn wire(method: &str, path: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: props\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes()
+}
+
+/// Pushes `bytes` into `parser` fragmented per `chunk_sizes` (cycled),
+/// modelling arbitrary read() boundaries.
+fn feed(parser: &mut RequestParser, bytes: &[u8], chunk_sizes: &[usize]) {
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < bytes.len() {
+        let take = chunk_sizes
+            .get(i % chunk_sizes.len().max(1))
+            .copied()
+            .unwrap_or(bytes.len())
+            .clamp(1, bytes.len() - offset);
+        parser.push(&bytes[offset..offset + take]);
+        offset += take;
+        i += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup, arbitrarily fragmented: the parser either
+    /// keeps waiting, yields requests, or fails with a typed 400/413 —
+    /// it never panics, and after an error it stays in the error regime
+    /// (the connection would be closed).
+    #[test]
+    fn byte_soup_never_panics(
+        soup in prop::collection::vec(0u16..256, 0..1024),
+        chunks in prop::collection::vec(1usize..64, 1..8),
+    ) {
+        let bytes: Vec<u8> = soup.into_iter().map(|b| b as u8).collect();
+        let mut parser = RequestParser::new();
+        feed(&mut parser, &bytes, &chunks);
+        for _ in 0..64 {
+            match parser.next_request() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(
+                        e.status == 400 || e.status == 413,
+                        "parser errors must be 400 or 413, got {}", e.status
+                    );
+                    prop_assert!(!e.message.is_empty(), "errors must carry a diagnosis");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A well-formed request survives every read() fragmentation
+    /// bit-exactly — method, target, body, and keep-alive flag.
+    #[test]
+    fn well_formed_requests_round_trip_under_any_chunking(
+        method in method(),
+        path in path(),
+        body in body(),
+        keep_alive in 0u8..2,
+        chunks in prop::collection::vec(1usize..16, 1..8),
+    ) {
+        let keep_alive = keep_alive == 1;
+        let bytes = wire(method, &path, &body, keep_alive);
+        let mut parser = RequestParser::new();
+        feed(&mut parser, &bytes, &chunks);
+        let req = parser.next_request().expect("well-formed").expect("complete");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(req.keep_alive, keep_alive);
+        prop_assert!(parser.next_request().expect("clean tail").is_none());
+        prop_assert_eq!(parser.buffered(), 0, "nothing may linger after a full parse");
+    }
+
+    /// Pipelined requests in one TCP segment parse in order, each
+    /// bit-exact, with no bytes lost between them.
+    #[test]
+    fn pipelined_requests_parse_in_order(
+        reqs in prop::collection::vec((method(), path(), body()), 1..5),
+        chunks in prop::collection::vec(1usize..32, 1..6),
+    ) {
+        let mut bytes = Vec::new();
+        for (m, p, b) in &reqs {
+            bytes.extend_from_slice(&wire(m, p, b, true));
+        }
+        let mut parser = RequestParser::new();
+        feed(&mut parser, &bytes, &chunks);
+        for (m, p, b) in &reqs {
+            let req = parser.next_request().expect("well-formed").expect("complete");
+            prop_assert_eq!(&req.method, m);
+            prop_assert_eq!(&req.path, p);
+            prop_assert_eq!(&req.body, b);
+        }
+        prop_assert!(parser.next_request().expect("clean tail").is_none());
+    }
+
+    /// Conflicting duplicate `Content-Length`s are a framing attack →
+    /// 400; identical duplicates are tolerated per RFC 9110 §8.6.
+    #[test]
+    fn duplicate_content_length_only_allowed_when_identical(
+        len_a in 0usize..64,
+        delta in 1usize..64,
+        identical in 0u8..2,
+    ) {
+        let len_b = if identical == 1 { len_a } else { len_a + delta };
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {len_a}\r\nContent-Length: {len_b}\r\n\r\n"
+        );
+        let mut parser = RequestParser::new();
+        parser.push(head.as_bytes());
+        parser.push(&vec![b'y'; len_a.max(len_b)]);
+        match parser.next_request() {
+            Ok(Some(req)) => {
+                prop_assert!(identical == 1, "conflicting lengths must not parse");
+                prop_assert_eq!(req.body.len(), len_a);
+            }
+            Ok(None) => prop_assert!(false, "enough bytes were supplied"),
+            Err(e) => {
+                prop_assert!(identical == 0, "identical duplicates must parse");
+                prop_assert_eq!(e.status, 400);
+            }
+        }
+    }
+
+    /// A declared body beyond [`MAX_BODY_BYTES`] is refused with 413 as
+    /// soon as the head completes — before any body bytes arrive, so a
+    /// claimed size cannot make the daemon buffer it.
+    #[test]
+    fn oversized_content_length_is_413_before_body_bytes(
+        over in 1usize..4096,
+        chunks in prop::collection::vec(1usize..32, 1..6),
+    ) {
+        let head = format!(
+            "POST /big HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + over
+        );
+        let mut parser = RequestParser::new();
+        feed(&mut parser, head.as_bytes(), &chunks);
+        let err = parser.next_request().expect_err("oversized body must be refused");
+        prop_assert_eq!(err.status, 413);
+    }
+
+    /// Malformed request lines — wrong space count, missing pieces, bad
+    /// version tokens — are 400s, never panics, under any chunking.
+    #[test]
+    fn malformed_request_lines_are_400(
+        which in 0usize..8,
+        chunks in prop::collection::vec(1usize..16, 1..6),
+    ) {
+        let line: &[u8] = match which {
+            0 => b"GET/x HTTP/1.1\r\n\r\n",                 // no space
+            1 => b"GET  /x HTTP/1.1\r\n\r\n",               // double space
+            2 => b"GET /x\r\n\r\n",                         // no version
+            3 => b"GET /x HTTP/2.0\r\n\r\n",                // unsupported version
+            4 => b"GET /x HTTP/1.1 extra\r\n\r\n",          // trailing junk
+            5 => b"G\x00T /x HTTP/1.1\r\n\r\n",             // NUL in method
+            6 => b"GET x HTTP/1.1\r\n\r\n",                 // target missing '/'
+            _ => b" GET /x HTTP/1.1\r\n\r\n",               // leading space
+        };
+        let mut parser = RequestParser::new();
+        feed(&mut parser, line, &chunks);
+        let err = parser.next_request().expect_err("malformed line must be refused");
+        prop_assert_eq!(err.status, 400);
+    }
+}
+
+proptest! {
+    // Real sockets per case: keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full-stack round trip through the crate's own client: every
+    /// exchange a server answers via `RequestParser` + `write_response`
+    /// comes back through `HttpClient` with the status and body
+    /// bit-exact, over one keep-alive connection.
+    #[test]
+    fn client_round_trips_bit_exactly_over_a_socket(
+        exchanges in prop::collection::vec((method(), path(), body()), 1..5),
+    ) {
+        use std::io::Read;
+        use std::net::TcpListener;
+
+        let n = exchanges.len();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || -> Result<(), String> {
+            let (mut stream, _) = listener.accept().map_err(|e| e.to_string())?;
+            let mut parser = RequestParser::new();
+            let mut chunk = [0u8; 512];
+            for i in 0..n {
+                let req = loop {
+                    if let Some(req) = parser.next_request().map_err(|e| e.message)? {
+                        break req;
+                    }
+                    let read = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+                    if read == 0 {
+                        return Err("client hung up early".into());
+                    }
+                    parser.push(&chunk[..read]);
+                };
+                // Echo the request back: identity must survive both
+                // directions of the crate's own framing.
+                let echo = format!("{} {}\n{}", req.method, req.path, req.body);
+                write_response(&mut stream, &Response::text(200, echo), i + 1 == n)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        });
+
+        let mut client = HttpClient::connect(&addr).expect("connect");
+        for (m, p, b) in &exchanges {
+            let (status, echoed) = client.send(m, p, b).expect("exchange");
+            prop_assert_eq!(status, 200);
+            prop_assert_eq!(echoed, format!("{m} {p}\n{b}"));
+        }
+        server.join().expect("server thread").expect("server loop");
+    }
+}
+
+/// Header section fragmented at *every* byte boundary — the classic
+/// split-header bug class. Deterministic, exhaustive over one request.
+#[test]
+fn every_single_byte_split_parses_identically() {
+    let bytes = wire("POST", "/designs/c432/eco", "{\"k\":\"v\"}", true);
+    let reference = {
+        let mut parser = RequestParser::new();
+        parser.push(&bytes);
+        parser.next_request().unwrap().unwrap()
+    };
+    for cut in 1..bytes.len() {
+        let mut parser = RequestParser::new();
+        parser.push(&bytes[..cut]);
+        let early = parser.next_request().unwrap_or_else(|e| {
+            panic!("split at {cut} errored: {}", e.message);
+        });
+        if let Some(req) = &early {
+            assert_eq!(req, &reference, "complete parse before full bytes at {cut}");
+        }
+        parser.push(&bytes[cut..]);
+        let req = match early {
+            Some(req) => req,
+            None => parser
+                .next_request()
+                .unwrap_or_else(|e| panic!("split at {cut}: {}", e.message))
+                .unwrap_or_else(|| panic!("split at {cut} never completed")),
+        };
+        assert_eq!(req, reference, "split at byte {cut} diverged");
+    }
+}
+
+/// Absent `Content-Length` means an empty body — and pipelined bytes
+/// after the head belong to the *next* request, not this one's body.
+#[test]
+fn absent_content_length_is_empty_body() {
+    let mut parser = RequestParser::new();
+    parser.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+    let a = parser.next_request().unwrap().unwrap();
+    assert_eq!((a.path.as_str(), a.body.as_str()), ("/a", ""));
+    let b = parser.next_request().unwrap().unwrap();
+    assert_eq!((b.path.as_str(), b.body.as_str()), ("/b", ""));
+}
+
+/// The header *count* bound holds: one more header than [`MAX_HEADERS`]
+/// is a 400, exactly [`MAX_HEADERS`] parses.
+#[test]
+fn header_count_limit_is_exact() {
+    for (count, ok) in [(MAX_HEADERS, true), (MAX_HEADERS + 1, false)] {
+        let mut head = String::from("GET /h HTTP/1.1\r\n");
+        for i in 0..count {
+            head.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut parser = RequestParser::new();
+        parser.push(head.as_bytes());
+        match parser.next_request() {
+            Ok(Some(_)) => assert!(ok, "{count} headers should have been refused"),
+            Err(e) => {
+                assert!(!ok, "{count} headers should have parsed: {}", e.message);
+                assert_eq!(e.status, 400);
+            }
+            Ok(None) => panic!("head was complete"),
+        }
+    }
+}

@@ -33,7 +33,12 @@ field() { # field <json-line> <key>
 # sign-off — near-deterministic, so an allocation regression is gated
 # like a time regression; peak_rss_mb depends on allocator reuse across
 # the whole process and stays informational.
-metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb signoff_100k_ms)
+metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb signoff_100k_ms serve_p99_ms)
+
+# Throughput metrics gate in the opposite direction: a >20 % *drop* is
+# the regression. bench_serve appends serve_rps (keep-alive read
+# throughput under a concurrent ECO writer).
+inverse_metrics=(serve_rps)
 
 status=0
 for m in "${metrics[@]}"; do
@@ -59,6 +64,30 @@ for m in "${metrics[@]}"; do
         status=1
     else
         echo "bench_compare: ok $m: $p -> $l ($regression%)"
+    fi
+done
+
+for m in "${inverse_metrics[@]}"; do
+    prev=$(grep "\"$m\":" "$HISTORY" | tail -n 2 | head -n 1 || true)
+    latest=$(grep "\"$m\":" "$HISTORY" | tail -n 1 || true)
+    if [[ -z "$prev" || -z "$latest" || "$prev" == "$latest" ]]; then
+        echo "bench_compare: fewer than two entries carry $m — nothing to compare"
+        continue
+    fi
+    p=$(field "$prev" "$m")
+    l=$(field "$latest" "$m")
+    if [[ -z "$p" || -z "$l" ]]; then
+        echo "bench_compare: $m missing from an entry — skipping it"
+        continue
+    fi
+    # Drop % = 100 * (prev - latest) / prev: positive means throughput fell.
+    drop=$(awk -v p="$p" -v l="$l" 'BEGIN { printf "%.1f", 100 * (p - l) / p }')
+    over=$(awk -v r="$drop" -v t="$THRESHOLD_PCT" 'BEGIN { print (r > t) ? 1 : 0 }')
+    if [[ "$over" == 1 ]]; then
+        echo "bench_compare: REGRESSION $m: $p -> $l (-$drop% > ${THRESHOLD_PCT}% drop)"
+        status=1
+    else
+        echo "bench_compare: ok $m: $p -> $l (${drop}% drop)"
     fi
 done
 
