@@ -25,17 +25,29 @@
 //! Telemetry (all through `svt-obs`, one handle resolved at spawn):
 //! `{name}.queue_depth` / `{name}.in_flight` gauges,
 //! `{name}.submitted` / `{name}.rejected` / `{name}.completed` /
-//! `{name}.handler_panics` counters. The pool deliberately does *not*
-//! wrap jobs in watchdog heartbeats: a job may legitimately sit in a
-//! blocking read (keep-alive connections), which is idleness, not a
-//! stall. Callers heartbeat the genuinely bounded sections themselves.
+//! `{name}.handler_panics` counters, and a `{name}.queue_wait_ns`
+//! histogram of how long each job sat queued before a worker claimed
+//! it. The pool deliberately does *not* wrap jobs in watchdog
+//! heartbeats: a job may legitimately sit in a blocking read
+//! (keep-alive connections), which is idleness, not a stall. Callers
+//! heartbeat the genuinely bounded sections themselves.
+//!
+//! **Request-context propagation:** [`ServicePool::try_submit`]
+//! snapshots the submitter's [`svt_obs::RequestContext`] (if one is
+//! active) alongside the job, and the claiming worker re-enters it
+//! around the handler — so spans and capsules recorded inside a pool
+//! task carry the trace id of the request that enqueued it. The handler
+//! can read the wait its own job experienced via
+//! [`current_queue_wait_ns`].
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use svt_obs::{Counter, Gauge};
+use svt_obs::{Counter, Gauge, Histogram};
 
 /// Why a job could not be enqueued; the job itself is handed back so
 /// the caller can dispose of it (e.g. answer 429 on the connection).
@@ -62,8 +74,16 @@ impl<T> SubmitError<T> {
     }
 }
 
+/// One enqueued job plus the request context and enqueue timestamp it
+/// was submitted under.
+struct Queued<T> {
+    job: T,
+    ctx: Option<svt_obs::RequestContext>,
+    enqueued: Instant,
+}
+
 struct QueueState<T> {
-    jobs: VecDeque<T>,
+    jobs: VecDeque<Queued<T>>,
     draining: bool,
 }
 
@@ -77,6 +97,20 @@ struct Shared<T> {
     rejected: &'static Counter,
     completed: &'static Counter,
     panics: &'static Counter,
+    queue_wait: &'static Histogram,
+}
+
+thread_local! {
+    /// Queue wait of the job currently running on this worker thread.
+    static QUEUE_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The queue wait (nanoseconds) of the pool job currently executing on
+/// this thread — 0 outside a pool handler. Serving layers fold this
+/// into access-log lines and slow-request capsules.
+#[must_use]
+pub fn current_queue_wait_ns() -> u64 {
+    QUEUE_WAIT_NS.try_with(Cell::get).unwrap_or(0)
 }
 
 /// A fixed-size persistent worker pool over a bounded job queue.
@@ -135,6 +169,7 @@ impl<T: Send + 'static> ServicePool<T> {
             rejected: registry.counter(&format!("{name}.rejected")),
             completed: registry.counter(&format!("{name}.completed")),
             panics: registry.counter(&format!("{name}.handler_panics")),
+            queue_wait: registry.histogram(&format!("{name}.queue_wait_ns")),
         });
         let handler = Arc::new(handler);
         let workers = (0..workers.max(1))
@@ -172,7 +207,11 @@ impl<T: Send + 'static> ServicePool<T> {
             self.shared.rejected.incr();
             return Err(SubmitError::Full(job));
         }
-        state.jobs.push_back(job);
+        state.jobs.push_back(Queued {
+            job,
+            ctx: svt_obs::context::current(),
+            enqueued: Instant::now(),
+        });
         let depth = state.jobs.len();
         drop(state);
         self.shared.submitted.incr();
@@ -255,12 +294,24 @@ fn worker_loop<T, F: Fn(T)>(shared: &Shared<T>, handler: &F) {
                     .expect("service queue poisoned while waiting");
             }
         };
+        let wait_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.queue_wait.record(wait_ns);
+        let _ = QUEUE_WAIT_NS.try_with(|cell| cell.set(wait_ns));
+        // Re-enter the submitter's request context so everything the
+        // handler records is attributed to the originating request.
+        let ctx_guard = job.ctx.map(svt_obs::context::enter);
         shared.inflight_gauge.add(1);
-        let outcome = catch_unwind(AssertUnwindSafe(|| handler(job)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| handler(job.job)));
         shared.inflight_gauge.add(-1);
+        drop(ctx_guard);
+        let _ = QUEUE_WAIT_NS.try_with(|cell| cell.set(0));
         shared.completed.incr();
         if outcome.is_err() {
             shared.panics.incr();
+            // A panicking handler is a flight-recorder trigger: dump the
+            // black box while the evidence is fresh (no-op unless a
+            // post-mortem path is configured).
+            let _ = svt_obs::recorder::post_mortem("handler_panic");
         }
     }
 }
@@ -338,6 +389,69 @@ mod tests {
                 .get()
                 >= 1
         );
+    }
+
+    #[test]
+    fn request_context_propagates_to_the_worker() {
+        let seen = Arc::new(Mutex::new(Vec::<Option<u64>>::new()));
+        let s = Arc::clone(&seen);
+        let pool = ServicePool::spawn("test.svc.ctx", 1, 8, move |_job: u32| {
+            s.lock()
+                .unwrap()
+                .push(svt_obs::context::current().map(|c| c.trace_id));
+        });
+        {
+            let _guard = svt_obs::context::enter(svt_obs::RequestContext {
+                trace_id: 4242,
+                route: "/eco".into(),
+                design: "builtin".into(),
+            });
+            pool.try_submit(1).unwrap();
+        }
+        // Submitted outside any context: the worker must see none.
+        pool.try_submit(2).unwrap();
+        pool.drain();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.as_slice(), &[Some(4242), None]);
+        assert!(
+            svt_obs::context::current().is_none(),
+            "worker context must not leak to the submitter"
+        );
+    }
+
+    #[test]
+    fn queue_wait_is_measured_and_readable_from_the_handler() {
+        assert_eq!(current_queue_wait_ns(), 0, "no pool job on this thread");
+        let waits = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let w = Arc::clone(&waits);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let pool = ServicePool::spawn("test.svc.wait", 1, 8, move |_job: u32| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            w.lock().unwrap().push(current_queue_wait_ns());
+        });
+        // First job occupies the worker; the second queues behind it and
+        // must observe a wait of at least the sleep below.
+        pool.try_submit(1).unwrap();
+        pool.try_submit(2).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.drain();
+        let waits = waits.lock().unwrap();
+        assert_eq!(waits.len(), 2);
+        assert!(
+            waits[1] >= 5_000_000,
+            "queued job must see >= 5ms wait, got {}ns",
+            waits[1]
+        );
+        let hist = svt_obs::registry().histogram("test.svc.wait.queue_wait_ns");
+        assert_eq!(hist.count(), 2, "every claimed job records its wait");
     }
 
     #[test]

@@ -199,6 +199,10 @@ fn scan(deadline_ns: u64) -> u64 {
             STALL_EVENTS.fetch_add(1, Ordering::Relaxed);
             counter!("pool.stall_events").incr();
             svt_obs::instant("pool.stalled");
+            // A stall is a flight-recorder trigger: dump the retained
+            // capsules and a metrics snapshot while the wedge is live
+            // (no-op unless a post-mortem path is configured).
+            let _ = svt_obs::recorder::post_mortem("watchdog_stall");
         }
     }
     STALLED_NOW.store(stalled, Ordering::Relaxed);

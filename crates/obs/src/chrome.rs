@@ -40,6 +40,23 @@ fn escape(s: &str) -> String {
 /// balanced per tid (see the module docs) and instants use scope `t`.
 #[must_use]
 pub fn render_chrome_trace(timelines: &[ThreadTimeline]) -> String {
+    render_trace(timelines, None)
+}
+
+/// Renders one request's timeline slice as a Chrome trace in which every
+/// `B`/`E`/`i` event carries `args.trace_id` — the per-request export
+/// served at `/debug/requests/{trace_id}/trace.json`.
+#[must_use]
+pub fn render_request_trace(timeline: &ThreadTimeline, trace_id: u64) -> String {
+    render_trace(std::slice::from_ref(timeline), Some(trace_id))
+}
+
+fn render_trace(timelines: &[ThreadTimeline], trace_id: Option<u64>) -> String {
+    // Tag appended to every non-metadata record when exporting a single
+    // request's slice; empty for whole-process exports.
+    let tag = trace_id.map_or(String::new(), |id| {
+        format!(", \"args\": {{\"trace_id\": {id}}}")
+    });
     let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
     let mut first = true;
     let mut push = |out: &mut String, record: String| {
@@ -83,7 +100,7 @@ pub fn render_chrome_trace(timelines: &[ThreadTimeline]) -> String {
                         &mut out,
                         format!(
                             "{{\"name\": \"{}\", \"ph\": \"B\", \"pid\": 1, \"tid\": {tid}, \
-                             \"ts\": {}}}",
+                             \"ts\": {}{tag}}}",
                             escape(ev.name),
                             fmt_us(ev.ts_ns)
                         ),
@@ -99,7 +116,7 @@ pub fn render_chrome_trace(timelines: &[ThreadTimeline]) -> String {
                         &mut out,
                         format!(
                             "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \
-                             \"ts\": {}}}",
+                             \"ts\": {}{tag}}}",
                             escape(ev.name),
                             fmt_us(ev.ts_ns)
                         ),
@@ -109,7 +126,7 @@ pub fn render_chrome_trace(timelines: &[ThreadTimeline]) -> String {
                     &mut out,
                     format!(
                         "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \
-                         \"tid\": {tid}, \"ts\": {}}}",
+                         \"tid\": {tid}, \"ts\": {}{tag}}}",
                         escape(ev.name),
                         fmt_us(ev.ts_ns)
                     ),
@@ -122,7 +139,8 @@ pub fn render_chrome_trace(timelines: &[ThreadTimeline]) -> String {
             push(
                 &mut out,
                 format!(
-                    "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \"ts\": {}}}",
+                    "{{\"name\": \"{}\", \"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \
+                     \"ts\": {}{tag}}}",
                     escape(name),
                     fmt_us(last_ts)
                 ),
@@ -144,6 +162,9 @@ pub struct ChromeEvent {
     pub tid: u64,
     /// Timestamp in microseconds (absent on metadata records).
     pub ts_us: Option<f64>,
+    /// `args.trace_id`, present on every event of a per-request export
+    /// ([`render_request_trace`]).
+    pub trace_id: Option<u64>,
 }
 
 /// Schema facts extracted by [`validate_chrome_trace`].
@@ -216,11 +237,16 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
         if matches!(ph.as_str(), "B" | "E" | "i") && ts_us.is_none() {
             return Err(format!("traceEvents[{i}] ({ph}) lacks a `ts`"));
         }
+        let trace_id = ev
+            .get("args")
+            .and_then(|args| args.get("trace_id"))
+            .and_then(JsonValue::as_u64);
         events.push(ChromeEvent {
             name,
             ph,
             tid,
             ts_us,
+            trace_id,
         });
     }
 
@@ -373,6 +399,38 @@ mod tests {
         assert!(validate_chrome_trace(mismatched)
             .unwrap_err()
             .contains("closes open"));
+    }
+
+    #[test]
+    fn request_trace_tags_every_event_with_the_trace_id() {
+        let timeline = tl(
+            4,
+            vec![
+                ev(1_000, "serve.request", Phase::Begin),
+                ev(1_200, "sta.levelize", Phase::Begin),
+                ev(1_300, "cache.miss", Phase::Instant),
+                ev(1_900, "sta.levelize", Phase::End),
+                // `serve.request` left open: the sanitizer closes it, and
+                // the synthesized E must carry the trace id too.
+            ],
+            0,
+        );
+        let json = render_request_trace(&timeline, 77);
+        let stats = validate_chrome_trace(&json).expect("request trace validates");
+        let tagged: Vec<&ChromeEvent> = stats
+            .events
+            .iter()
+            .filter(|e| matches!(e.ph.as_str(), "B" | "E" | "i"))
+            .collect();
+        assert!(!tagged.is_empty());
+        assert!(
+            tagged.iter().all(|e| e.trace_id == Some(77)),
+            "every span event must carry the request's trace id: {tagged:?}"
+        );
+        // Whole-process exports stay untagged.
+        let untagged = render_chrome_trace(std::slice::from_ref(&timeline));
+        let stats = validate_chrome_trace(&untagged).expect("plain trace validates");
+        assert!(stats.events.iter().all(|e| e.trace_id.is_none()));
     }
 
     #[test]

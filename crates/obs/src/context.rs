@@ -1,0 +1,159 @@
+//! Request-scoped context: a process-unique trace id plus the route and
+//! design a request targets, carried in a thread-local cell.
+//!
+//! The aggregation layers ([`mod@crate::registry`], [`mod@crate::timeline`])
+//! are process-global: they answer "how much" and "when", but not *which
+//! request*. A [`RequestContext`] closes that gap. The connection handler
+//! [`enter`]s a context when a request starts; everything recorded until
+//! the guard drops — spans, timeline events, alloc attribution, the slow
+//! request capsules in [`mod@crate::recorder`] — can be tagged with the
+//! context's trace id.
+//!
+//! # Propagation rules
+//!
+//! * The context lives in a **thread-local cell**, not a global: two
+//!   handler threads serve two requests with two independent contexts.
+//! * Crossing a task boundary is **explicit**: `svt-exec`'s `ServicePool`
+//!   snapshots the submitter's context at `try_submit` and re-enters it
+//!   on the worker thread around the handler, so spawned work inherits
+//!   the request identity of whoever enqueued it.
+//! * Guards nest: entering a context while one is active shadows it, and
+//!   dropping the guard restores the outer context (panic-safe — the
+//!   guard restores on unwind too).
+//!
+//! # Cost contract
+//!
+//! Like the rest of `svt-obs`, the off path is free: code that never
+//! enters a context pays nothing, and probes that *read* the context
+//! ([`current_trace_id`]) are one thread-local load. Trace-id allocation
+//! is one relaxed `fetch_add`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one in-flight request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestContext {
+    /// Process-unique monotonic id (1-based; 0 never appears).
+    pub trace_id: u64,
+    /// Route class, e.g. `/designs/{name}/eco` (the template, not the
+    /// concrete path, so label cardinality stays bounded).
+    pub route: String,
+    /// Design the request targets, `-` when none.
+    pub design: String,
+}
+
+/// Monotonic trace-id source. Starts at 1 so 0 can mean "no context" in
+/// packed encodings.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<RequestContext>> = const { RefCell::new(None) };
+}
+
+/// Allocates the next process-unique trace id.
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// RAII guard from [`enter`]: restores the previously active context
+/// (or none) when dropped, including on unwind.
+#[must_use = "the context is active only while the guard lives"]
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: Option<RequestContext>,
+}
+
+/// Makes `ctx` the active request context of this thread until the
+/// returned guard drops. Nested enters shadow and restore.
+pub fn enter(ctx: RequestContext) -> ContextGuard {
+    let prev = CURRENT
+        .try_with(|slot| slot.borrow_mut().replace(ctx))
+        .ok()
+        .flatten();
+    ContextGuard { prev }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        let _ = CURRENT.try_with(|slot| *slot.borrow_mut() = prev);
+    }
+}
+
+/// The active request context of this thread, if any.
+#[must_use]
+pub fn current() -> Option<RequestContext> {
+    CURRENT
+        .try_with(|slot| slot.borrow().clone())
+        .ok()
+        .flatten()
+}
+
+/// The active trace id of this thread, if any — the cheap probe for
+/// tagging events without cloning the whole context.
+#[must_use]
+pub fn current_trace_id() -> Option<u64> {
+    CURRENT
+        .try_with(|slot| slot.borrow().as_ref().map(|c| c.trace_id))
+        .ok()
+        .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(id: u64) -> RequestContext {
+        RequestContext {
+            trace_id: id,
+            route: "/eco".into(),
+            design: "builtin".into(),
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(a > 0 && b > a);
+    }
+
+    #[test]
+    fn enter_shadows_and_restores() {
+        assert!(current().is_none());
+        {
+            let _outer = enter(ctx(10));
+            assert_eq!(current_trace_id(), Some(10));
+            {
+                let _inner = enter(ctx(20));
+                assert_eq!(current_trace_id(), Some(20));
+            }
+            assert_eq!(current_trace_id(), Some(10), "inner guard restores");
+        }
+        assert!(current().is_none(), "outer guard restores to none");
+    }
+
+    #[test]
+    fn guard_restores_on_unwind() {
+        let _outer = enter(ctx(30));
+        let caught = std::panic::catch_unwind(|| {
+            let _inner = enter(ctx(40));
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_trace_id(), Some(30), "unwind restores the outer");
+    }
+
+    #[test]
+    fn contexts_are_thread_local() {
+        let _here = enter(ctx(50));
+        std::thread::spawn(|| {
+            assert!(current().is_none(), "a fresh thread starts with no context");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_trace_id(), Some(50));
+    }
+}

@@ -46,8 +46,11 @@
 pub mod alloc;
 pub mod audit;
 pub mod chrome;
+pub mod context;
+pub mod family;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 mod render;
 pub mod rss;
@@ -58,9 +61,15 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub use context::RequestContext;
+pub use family::{CounterFamily, HistogramFamily};
 pub use metrics::{Counter, Gauge, Histogram, InflightGuard, SpanStat};
-pub use registry::{registry, CacheCounters, HistogramEntry, Registry, Snapshot, SpanEntry};
-pub use render::{parse_prometheus, PromSample};
+pub use recorder::RequestCapsule;
+pub use registry::{
+    registry, CacheCounters, CounterFamilyEntry, HistogramEntry, HistogramFamilyEntry, Registry,
+    Snapshot, SpanEntry,
+};
+pub use render::{build_info_prometheus, parse_prometheus, PromSample};
 
 /// Environment variable selecting the trace mode.
 pub const TRACE_ENV: &str = "SVT_TRACE";
@@ -318,6 +327,30 @@ macro_rules! histogram {
     }};
 }
 
+/// The labeled counter family named by the literal, with the family
+/// handle cached per call site. `.with(&[...])` resolves one child;
+/// see [`mod@family`] for the cardinality budget.
+#[macro_export]
+macro_rules! family_counter {
+    ($name:expr, $keys:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::CounterFamily> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().counter_family($name, $keys))
+    }};
+}
+
+/// The labeled histogram family named by the literal, with the family
+/// handle cached per call site. `.with(&[...])` resolves one child;
+/// see [`mod@family`] for the cardinality budget.
+#[macro_export]
+macro_rules! family_histogram {
+    ($name:expr, $keys:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::HistogramFamily> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().histogram_family($name, $keys))
+    }};
+}
+
 /// Emits the collected telemetry according to the active mode: the summary
 /// tree to stderr for [`TraceMode::Summary`], the JSON snapshot to
 /// [`json_path`] for [`TraceMode::Json`], nothing when off. Binaries call
@@ -461,6 +494,32 @@ mod tests {
             .iter()
             .any(|(n, v)| n == "test.macro.gauge" && *v == 3));
         assert!(snap.histograms.iter().any(|h| h.name == "test.macro.hist"));
+    }
+
+    #[test]
+    fn family_macros_cache_handles() {
+        let _guard = mode_lock();
+        set_mode(TraceMode::Summary);
+        let a = family_counter!("test.macro.family", &["route", "status"]);
+        let b = family_counter!("test.macro.family", &["route", "status"]);
+        assert!(std::ptr::eq(a, b));
+        a.with(&["/eco", "200"]).incr();
+        family_histogram!("test.macro.hfamily", &["route"])
+            .with(&["/eco"])
+            .record(11);
+        set_mode(TraceMode::Off);
+        let snap = registry().snapshot();
+        assert!(snap
+            .counter_families
+            .iter()
+            .any(|f| f.name == "test.macro.family"
+                && f.series
+                    .iter()
+                    .any(|(vs, n)| vs == &["/eco", "200"] && *n >= 1)));
+        assert!(snap
+            .histogram_families
+            .iter()
+            .any(|f| f.name == "test.macro.hfamily"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
+use crate::family::{CounterFamily, HistogramFamily};
 use crate::metrics::{Counter, Gauge, Histogram, SpanStat};
 
 /// Shard count; power of two so hash bits select shards evenly.
@@ -26,6 +27,8 @@ enum Metric {
     Gauge(&'static Gauge),
     Histogram(&'static Histogram),
     Span(&'static SpanStat),
+    CounterFamily(&'static CounterFamily),
+    HistogramFamily(&'static HistogramFamily),
 }
 
 /// Point-in-time cache activity, reported by a registered cache probe.
@@ -164,6 +167,40 @@ impl Registry {
         })
     }
 
+    /// The labeled counter family named `name` with label keys `keys`,
+    /// registering it on first use. See [`crate::family`] for the
+    /// cardinality budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind
+    /// or with different label keys.
+    pub fn counter_family(&self, name: &str, keys: &[&str]) -> &'static CounterFamily {
+        let fam = self.get_or_leak(name, Metric::CounterFamily, |m| match m {
+            Metric::CounterFamily(f) => Some(f),
+            _ => None,
+        });
+        fam.bind(name, keys);
+        fam
+    }
+
+    /// The labeled histogram family named `name` with label keys `keys`,
+    /// registering it on first use. See [`crate::family`] for the
+    /// cardinality budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind
+    /// or with different label keys.
+    pub fn histogram_family(&self, name: &str, keys: &[&str]) -> &'static HistogramFamily {
+        let fam = self.get_or_leak(name, Metric::HistogramFamily, |m| match m {
+            Metric::HistogramFamily(f) => Some(f),
+            _ => None,
+        });
+        fam.bind(name, keys);
+        fam
+    }
+
     /// Registers a named cache probe. Re-registering a name replaces the
     /// probe (the latest cache instance wins), so idempotent registration
     /// from `OnceLock` initializers is safe.
@@ -189,6 +226,8 @@ impl Registry {
                     Metric::Gauge(g) => g.reset(),
                     Metric::Histogram(h) => h.reset(),
                     Metric::Span(s) => s.reset(),
+                    Metric::CounterFamily(f) => f.reset(),
+                    Metric::HistogramFamily(f) => f.reset(),
                 }
             }
         }
@@ -202,6 +241,8 @@ impl Registry {
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
         let mut histograms = Vec::new();
+        let mut counter_families = Vec::new();
+        let mut histogram_families = Vec::new();
         for shard in &self.shards {
             for (name, metric) in lock_recovering(shard).iter() {
                 match metric {
@@ -220,6 +261,16 @@ impl Registry {
                         min_ns: s.min_ns(),
                         max_ns: s.max_ns(),
                     }),
+                    Metric::CounterFamily(f) => counter_families.push(CounterFamilyEntry {
+                        name: name.clone(),
+                        keys: f.keys().to_vec(),
+                        series: f.collect(),
+                    }),
+                    Metric::HistogramFamily(f) => histogram_families.push(HistogramFamilyEntry {
+                        name: name.clone(),
+                        keys: f.keys().to_vec(),
+                        series: f.collect(),
+                    }),
                 }
             }
         }
@@ -231,12 +282,16 @@ impl Registry {
         counters.sort();
         gauges.sort();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        counter_families.sort_by(|a, b| a.name.cmp(&b.name));
+        histogram_families.sort_by(|a, b| a.name.cmp(&b.name));
         caches.sort_by(|a, b| a.0.cmp(&b.0));
         Snapshot {
             spans,
             counters,
             gauges,
             histograms,
+            counter_families,
+            histogram_families,
             caches,
         }
     }
@@ -270,8 +325,33 @@ pub struct HistogramEntry {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// One labeled counter family in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterFamilyEntry {
+    /// Family name.
+    pub name: String,
+    /// Label keys in registration order.
+    pub keys: Vec<String>,
+    /// `(label values, count)` rows sorted by label values; an overflow
+    /// row (every value [`crate::family::OVERFLOW_LABEL`]) appears last
+    /// when the cardinality cap was hit.
+    pub series: Vec<(Vec<String>, u64)>,
+}
+
+/// One labeled histogram family in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramFamilyEntry {
+    /// Family name.
+    pub name: String,
+    /// Label keys in registration order.
+    pub keys: Vec<String>,
+    /// `(label values, count, sum)` rows sorted by label values; an
+    /// overflow row appears last when the cardinality cap was hit.
+    pub series: Vec<(Vec<String>, u64, u64)>,
+}
+
 /// A deterministic, name-sorted view of every registered metric.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
     /// Span aggregates by path.
     pub spans: Vec<SpanEntry>,
@@ -281,6 +361,10 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histograms by name.
     pub histograms: Vec<HistogramEntry>,
+    /// Labeled counter families by name.
+    pub counter_families: Vec<CounterFamilyEntry>,
+    /// Labeled histogram families by name.
+    pub histogram_families: Vec<HistogramFamilyEntry>,
     /// Cache probes by name.
     pub caches: Vec<(String, CacheCounters)>,
 }
@@ -337,6 +421,46 @@ mod tests {
             .expect("cache probe present");
         assert!((cache.1.hit_rate() - 0.9).abs() < 1e-12);
         assert!(snap.spans.iter().any(|s| s.path == "test.snap/span"));
+    }
+
+    #[test]
+    fn family_registration_is_idempotent_and_snapshotted() {
+        let r = registry();
+        let f = r.counter_family("test.reg.family", &["route", "status"]);
+        let again = r.counter_family("test.reg.family", &["route", "status"]);
+        assert!(std::ptr::eq(f, again), "same name returns the same family");
+        f.with(&["/eco", "200"]).incr();
+        r.histogram_family("test.reg.hfamily", &["route"])
+            .with(&["/eco"])
+            .record(40);
+        let snap = r.snapshot();
+        let entry = snap
+            .counter_families
+            .iter()
+            .find(|e| e.name == "test.reg.family")
+            .expect("family in snapshot");
+        assert_eq!(entry.keys, vec!["route", "status"]);
+        assert!(entry
+            .series
+            .iter()
+            .any(|(vs, n)| vs == &["/eco", "200"] && *n >= 1));
+        let hentry = snap
+            .histogram_families
+            .iter()
+            .find(|e| e.name == "test.reg.hfamily")
+            .expect("histogram family in snapshot");
+        assert!(hentry
+            .series
+            .iter()
+            .any(|(vs, n, s)| vs == &["/eco"] && *n >= 1 && *s >= 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn family_kind_mismatch_is_rejected() {
+        let r = registry();
+        let _ = r.counter("test.reg.fam_mismatch");
+        let _ = r.counter_family("test.reg.fam_mismatch", &["k"]);
     }
 
     #[test]

@@ -8,6 +8,16 @@ use std::fmt::Write as _;
 
 use crate::registry::Snapshot;
 
+/// Renders one `key="value",...` label body from parallel key/value
+/// slices, with Prometheus escaping applied to the values.
+fn label_body(keys: &[String], values: &[String]) -> String {
+    keys.iter()
+        .zip(values)
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), escape(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Formats nanoseconds with an adaptive unit.
 fn fmt_ns(ns: u64) -> String {
     #[allow(clippy::cast_precision_loss)]
@@ -89,6 +99,26 @@ impl Snapshot {
                 );
             }
         }
+        if !self.counter_families.is_empty() || !self.histogram_families.is_empty() {
+            out.push_str("families:\n");
+            for f in &self.counter_families {
+                for (values, v) in &f.series {
+                    let label = format!("{}{{{}}}", f.name, label_body(&f.keys, values));
+                    let _ = writeln!(out, "  {label:<48} {v:>14}");
+                }
+            }
+            for f in &self.histogram_families {
+                for (values, count, sum) in &f.series {
+                    let label = format!("{}{{{}}}", f.name, label_body(&f.keys, values));
+                    let mean = sum.checked_div(*count).unwrap_or(0);
+                    let _ = writeln!(
+                        out,
+                        "  {label:<48} {count:>8} samples  mean {:>12}",
+                        fmt_ns(mean)
+                    );
+                }
+            }
+        }
         if !self.caches.is_empty() {
             out.push_str("caches:\n");
             for (name, c) in &self.caches {
@@ -150,6 +180,59 @@ impl Snapshot {
                 buckets.join(", ")
             );
         }
+        out.push_str("\n  },\n  \"counter_families\": {");
+        for (i, f) in self.counter_families.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let keys: Vec<String> = f
+                .keys
+                .iter()
+                .map(|k| format!("\"{}\"", escape(k)))
+                .collect();
+            let series: Vec<String> = f
+                .series
+                .iter()
+                .map(|(vs, n)| {
+                    let vals: Vec<String> =
+                        vs.iter().map(|v| format!("\"{}\"", escape(v))).collect();
+                    format!("{{ \"labels\": [{}], \"value\": {n} }}", vals.join(", "))
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"keys\": [{}], \"series\": [{}] }}",
+                escape(&f.name),
+                keys.join(", "),
+                series.join(", ")
+            );
+        }
+        out.push_str("\n  },\n  \"histogram_families\": {");
+        for (i, f) in self.histogram_families.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let keys: Vec<String> = f
+                .keys
+                .iter()
+                .map(|k| format!("\"{}\"", escape(k)))
+                .collect();
+            let series: Vec<String> = f
+                .series
+                .iter()
+                .map(|(vs, count, sum)| {
+                    let vals: Vec<String> =
+                        vs.iter().map(|v| format!("\"{}\"", escape(v))).collect();
+                    format!(
+                        "{{ \"labels\": [{}], \"count\": {count}, \"sum\": {sum} }}",
+                        vals.join(", ")
+                    )
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"keys\": [{}], \"series\": [{}] }}",
+                escape(&f.name),
+                keys.join(", "),
+                series.join(", ")
+            );
+        }
         out.push_str("\n  },\n  \"caches\": {");
         for (i, (name, c)) in self.caches.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
@@ -204,6 +287,25 @@ impl Snapshot {
                     escape(&h.name),
                     h.count,
                     h.sum
+                );
+            }
+        }
+        for f in &self.counter_families {
+            let n = prom_name(&f.name);
+            let _ = writeln!(out, "# TYPE svt_{n}_total counter");
+            for (values, v) in &f.series {
+                let _ = writeln!(out, "svt_{n}_total{{{}}} {v}", label_body(&f.keys, values));
+            }
+        }
+        for f in &self.histogram_families {
+            let n = prom_name(&f.name);
+            let _ = writeln!(out, "# TYPE svt_{n}_count_total counter");
+            let _ = writeln!(out, "# TYPE svt_{n}_sum_total counter");
+            for (values, count, sum) in &f.series {
+                let body = label_body(&f.keys, values);
+                let _ = writeln!(
+                    out,
+                    "svt_{n}_count_total{{{body}}} {count}\nsvt_{n}_sum_total{{{body}}} {sum}"
                 );
             }
         }
@@ -305,6 +407,38 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// Renders the static identity block served at the top of `/metrics`:
+/// `svt_build_info{version, profile, features}` (always 1, labels carry
+/// the payload, the standard Prometheus build-info idiom) plus
+/// `svt_uptime_seconds` so dashboards can spot restarts.
+#[must_use]
+pub fn build_info_prometheus(uptime_seconds: f64) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut features = Vec::new();
+    if cfg!(feature = "telemetry") {
+        features.push("telemetry");
+    }
+    if cfg!(feature = "alloc-telemetry") {
+        features.push("alloc-telemetry");
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# TYPE svt_build_info gauge\nsvt_build_info{{version=\"{}\",profile=\"{profile}\",features=\"{}\"}} 1",
+        escape(env!("CARGO_PKG_VERSION")),
+        escape(&features.join(","))
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE svt_uptime_seconds gauge\nsvt_uptime_seconds {uptime_seconds}"
+    );
+    out
 }
 
 /// One parsed sample of a Prometheus text exposition.
@@ -433,7 +567,9 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{CacheCounters, HistogramEntry, SpanEntry};
+    use crate::registry::{
+        CacheCounters, CounterFamilyEntry, HistogramEntry, HistogramFamilyEntry, SpanEntry,
+    };
 
     fn sample() -> Snapshot {
         Snapshot {
@@ -461,6 +597,19 @@ mod tests {
                 sum: 84_000,
                 buckets: vec![(1024, 42)],
             }],
+            counter_families: vec![CounterFamilyEntry {
+                name: "serve.requests".into(),
+                keys: vec!["route".into(), "status".into()],
+                series: vec![
+                    (vec!["/eco".into(), "200".into()], 4),
+                    (vec!["/eco".into(), "503".into()], 1),
+                ],
+            }],
+            histogram_families: vec![HistogramFamilyEntry {
+                name: "serve.latency_ns".into(),
+                keys: vec!["route".into()],
+                series: vec![(vec!["/eco".into()], 5, 12_000_000)],
+            }],
             caches: vec![(
                 "litho.cd".into(),
                 CacheCounters {
@@ -485,6 +634,8 @@ mod tests {
             "exec.pool.tasks",
             "gauges:",
             "histograms:",
+            "families:",
+            "serve.requests{route=\"/eco\",status=\"200\"}",
             "caches:",
             "litho.cd",
             "90.0%",
@@ -509,6 +660,10 @@ mod tests {
         assert!(json.contains("weird\\\"name"));
         assert!(json.contains("\"buckets\": [[1024, 42]]"));
         assert!(json.contains("\"hits\": 90"));
+        assert!(json.contains(
+            "\"serve.requests\": { \"keys\": [\"route\", \"status\"], \"series\": [{ \"labels\": [\"/eco\", \"200\"], \"value\": 4 }"
+        ));
+        assert!(json.contains("\"serve.latency_ns\""));
         assert_eq!(json.matches("\"spans\"").count(), 1);
     }
 
@@ -520,6 +675,95 @@ mod tests {
         assert!(text.contains("svt_span_total_ns{span=\"flow/corner\"} 1500000"));
         assert!(text.contains("svt_cache_hits_total{cache=\"litho.cd\"} 90"));
         assert!(text.contains("svt_cache_entries{cache=\"litho.cd\"} 10"));
+    }
+
+    #[test]
+    fn family_exposition_renders_prometheus_labels() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE svt_serve_requests_total counter"));
+        assert!(text.contains("svt_serve_requests_total{route=\"/eco\",status=\"200\"} 4"));
+        assert!(text.contains("svt_serve_requests_total{route=\"/eco\",status=\"503\"} 1"));
+        assert!(text.contains("svt_serve_latency_ns_count_total{route=\"/eco\"} 5"));
+        assert!(text.contains("svt_serve_latency_ns_sum_total{route=\"/eco\"} 12000000"));
+    }
+
+    #[test]
+    fn family_labels_round_trip_with_escapes() {
+        // The full Prometheus escape set (`\\`, `\"`, `\n`) in family
+        // label *values*, alone and mixed, across multiple labels.
+        for odd in [
+            "back\\slash",
+            "qu\"ote",
+            "line\nbreak",
+            "all\\three\"here\n",
+            "trailing\\",
+            "\n",
+        ] {
+            let mut snap = sample();
+            snap.counter_families.push(CounterFamilyEntry {
+                name: "odd.family".into(),
+                keys: vec!["a".into(), "b".into(), "c".into()],
+                series: vec![(vec![odd.into(), "plain".into(), odd.into()], 3)],
+            });
+            let text = snap.to_prometheus();
+            let samples = parse_prometheus(&text)
+                .unwrap_or_else(|e| panic!("family exposition with {odd:?} fails to parse: {e}"));
+            let got = samples
+                .iter()
+                .find(|s| s.name == "svt_odd_family_total")
+                .unwrap_or_else(|| panic!("family sample missing in:\n{text}"));
+            assert_eq!(got.label("a"), Some(odd), "label a did not round-trip");
+            assert_eq!(got.label("b"), Some("plain"));
+            assert_eq!(got.label("c"), Some(odd), "label c did not round-trip");
+            assert_eq!(got.value, 3.0);
+        }
+    }
+
+    #[test]
+    fn family_cardinality_cap_surfaces_as_overflow_series() {
+        // End to end through the live registry: fill a family to the cap,
+        // spill past it, and check the overflow series in the exposition.
+        let fam = crate::registry().counter_family("test.render.capfam", &["k"]);
+        for i in 0..crate::family::MAX_SERIES {
+            fam.with(&[&format!("v{i}")]).incr();
+        }
+        fam.with(&["past-the-cap"]).add(7);
+        let snap = crate::registry().snapshot();
+        let text = snap.to_prometheus();
+        let samples = parse_prometheus(&text).expect("exposition parses");
+        let rows: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name == "svt_test_render_capfam_total")
+            .collect();
+        assert_eq!(
+            rows.len(),
+            crate::family::MAX_SERIES + 1,
+            "cap series plus one overflow row"
+        );
+        let overflow = rows
+            .iter()
+            .find(|s| s.label("k") == Some(crate::family::OVERFLOW_LABEL))
+            .expect("overflow series present");
+        assert_eq!(overflow.value, 7.0);
+    }
+
+    #[test]
+    fn build_info_renders_and_round_trips() {
+        let text = build_info_prometheus(12.5);
+        let samples = parse_prometheus(&text).expect("build info parses");
+        let info = samples
+            .iter()
+            .find(|s| s.name == "svt_build_info")
+            .expect("svt_build_info present");
+        assert_eq!(info.value, 1.0);
+        assert_eq!(info.label("version"), Some(env!("CARGO_PKG_VERSION")));
+        assert!(matches!(info.label("profile"), Some("debug" | "release")));
+        assert!(info.label("features").is_some());
+        let uptime = samples
+            .iter()
+            .find(|s| s.name == "svt_uptime_seconds")
+            .expect("svt_uptime_seconds present");
+        assert_eq!(uptime.value, 12.5);
     }
 
     #[test]
@@ -643,19 +887,10 @@ mod tests {
         // A series absent from `prev` counts from zero; zero interval
         // yields zero rates rather than dividing by zero.
         let fresh = Snapshot {
-            spans: vec![],
             counters: vec![("new.counter".into(), 9)],
-            gauges: vec![],
-            histograms: vec![],
-            caches: vec![],
+            ..Snapshot::default()
         };
-        let empty = Snapshot {
-            spans: vec![],
-            counters: vec![],
-            gauges: vec![],
-            histograms: vec![],
-            caches: vec![],
-        };
+        let empty = Snapshot::default();
         let text = fresh.delta_prometheus(&empty, 0.0);
         let samples = parse_prometheus(&text).expect("fresh delta parses");
         let get = |name: &str| samples.iter().find(|s| s.name == name).unwrap().value;
@@ -681,13 +916,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_renders_cleanly() {
-        let empty = Snapshot {
-            spans: vec![],
-            counters: vec![],
-            gauges: vec![],
-            histograms: vec![],
-            caches: vec![],
-        };
+        let empty = Snapshot::default();
         assert!(empty
             .render_summary()
             .starts_with("== svt trace summary =="));

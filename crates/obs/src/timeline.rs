@@ -298,6 +298,18 @@ pub fn snapshot_all() -> Vec<ThreadTimeline> {
         .collect()
 }
 
+/// Snapshots the ring owned by the *current* thread, if it has recorded
+/// anything. The flight recorder ([`mod@crate::recorder`]) uses this to
+/// slice one request's events out of the handler thread's own timeline
+/// without touching other threads' rings.
+#[must_use]
+pub fn snapshot_current() -> Option<ThreadTimeline> {
+    LOCAL_RING
+        .try_with(|slot| slot.borrow().as_ref().map(|guard| guard.0.snapshot()))
+        .ok()
+        .flatten()
+}
+
 /// Clears every recorded event and drop count (rings and tids survive).
 /// Benchmarks call this between phases they want traced in isolation.
 pub fn reset_all() {
@@ -347,6 +359,21 @@ mod tests {
         let b = intern(other);
         assert_eq!(a, b);
         assert_eq!(name_of(a), "t.intern.same");
+    }
+
+    #[test]
+    fn snapshot_current_sees_only_this_thread() {
+        std::thread::spawn(|| {
+            assert!(
+                snapshot_current().is_none(),
+                "a thread that never recorded has no current timeline"
+            );
+            record(Phase::Instant, "t.current.mark");
+            let tl = snapshot_current().expect("recording created a ring");
+            assert!(tl.events.iter().any(|e| e.name == "t.current.mark"));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Structured JSONL access log with size-based rotation.
+//!
+//! One line per served request, written as the handler finishes. Each
+//! line is a self-contained JSON object carrying the request's trace
+//! id, route class, design, status, latency, queue wait, and the
+//! process-wide allocation delta over the request window — enough to
+//! join a log line against its `/debug/requests/{trace_id}` capsule or
+//! a `/metrics` series without any other context.
+//!
+//! Rotation is size-based: when a write would push the current file
+//! past [`AccessLog::max_bytes`], the file is renamed to `<path>.1`
+//! (replacing any previous rotation) and a fresh file is opened at
+//! `<path>`. At most two generations exist on disk, so a chatty daemon
+//! is bounded at roughly `2 * max_bytes`.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+use svt_obs::json::escape_json;
+
+/// Default rotation threshold: 10 MiB per generation.
+pub const DEFAULT_MAX_BYTES: u64 = 10 * 1024 * 1024;
+
+/// One access-log line, pre-serialization. All durations are
+/// microseconds — coarse enough to stay compact, fine enough to rank
+/// slow requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEntry {
+    /// Milliseconds since the Unix epoch at response time.
+    pub ts_ms: u64,
+    /// The request's process-unique trace id.
+    pub trace_id: u64,
+    /// HTTP method.
+    pub method: String,
+    /// Concrete request path as sent.
+    pub path: String,
+    /// Route class template (e.g. `/designs/{name}/eco`).
+    pub route: String,
+    /// Design the request targeted, `-` when none.
+    pub design: String,
+    /// Response status code.
+    pub status: u16,
+    /// Wall time spent serving the request, microseconds.
+    pub latency_us: u64,
+    /// Time the connection's pool task waited for a worker, microseconds.
+    pub queue_wait_us: u64,
+    /// Bytes allocated process-wide during the request window.
+    pub alloc_bytes: u64,
+    /// Response body size, bytes.
+    pub bytes_out: u64,
+}
+
+/// Renders one entry as its JSONL line (no trailing newline).
+#[must_use]
+pub fn render_entry(e: &AccessEntry) -> String {
+    format!(
+        "{{\"ts_ms\":{},\"trace_id\":{},\"method\":\"{}\",\"path\":\"{}\",\"route\":\"{}\",\
+         \"design\":\"{}\",\"status\":{},\"latency_us\":{},\"queue_wait_us\":{},\
+         \"alloc_bytes\":{},\"bytes_out\":{}}}",
+        e.ts_ms,
+        e.trace_id,
+        escape_json(&e.method),
+        escape_json(&e.path),
+        escape_json(&e.route),
+        escape_json(&e.design),
+        e.status,
+        e.latency_us,
+        e.queue_wait_us,
+        e.alloc_bytes,
+        e.bytes_out
+    )
+}
+
+struct LogFile {
+    file: File,
+    written: u64,
+}
+
+/// The rotating JSONL writer shared by every handler thread. One short
+/// mutex hold per request — the write itself is a single buffered
+/// `write_all` of an already-rendered line.
+pub struct AccessLog {
+    path: String,
+    max_bytes: u64,
+    inner: Mutex<LogFile>,
+}
+
+impl AccessLog {
+    /// Opens (appending) or creates the log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be opened.
+    pub fn open(path: &str, max_bytes: u64) -> Result<AccessLog, String> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open access log `{path}`: {e}"))?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(AccessLog {
+            path: path.to_string(),
+            max_bytes: max_bytes.max(1),
+            inner: Mutex::new(LogFile { file, written }),
+        })
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Rotation threshold, bytes.
+    #[must_use]
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Appends one entry as a JSONL line, rotating first when the line
+    /// would push the current generation past the threshold. Write
+    /// failures increment `serve.access_log_errors` instead of
+    /// propagating — a full disk must not take the service plane down.
+    pub fn log(&self, entry: &AccessEntry) {
+        let mut line = render_entry(entry);
+        line.push('\n');
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.written > 0 && inner.written + line.len() as u64 > self.max_bytes {
+            let rotated = format!("{}.1", self.path);
+            let reopened = std::fs::rename(&self.path, &rotated)
+                .map_err(|e| format!("rotate `{}`: {e}", self.path))
+                .and_then(|()| {
+                    OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&self.path)
+                        .map_err(|e| format!("reopen `{}`: {e}", self.path))
+                });
+            match reopened {
+                Ok(file) => {
+                    inner.file = file;
+                    inner.written = 0;
+                    svt_obs::counter!("serve.access_log_rotations").incr();
+                }
+                Err(e) => {
+                    svt_obs::counter!("serve.access_log_errors").incr();
+                    eprintln!("svtd: access log rotation failed: {e}");
+                }
+            }
+        }
+        match inner.file.write_all(line.as_bytes()) {
+            Ok(()) => {
+                inner.written += line.len() as u64;
+                svt_obs::counter!("serve.access_log_lines").incr();
+            }
+            Err(e) => {
+                svt_obs::counter!("serve.access_log_errors").incr();
+                eprintln!("svtd: access log write failed: {e}");
+            }
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch, for [`AccessEntry::ts_ms`].
+#[must_use]
+pub fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_obs::json::JsonValue;
+
+    fn entry(trace_id: u64) -> AccessEntry {
+        AccessEntry {
+            ts_ms: 1_700_000_000_000,
+            trace_id,
+            method: "POST".into(),
+            path: "/designs/builtin/eco".into(),
+            route: "/designs/{name}/eco".into(),
+            design: "builtin".into(),
+            status: 200,
+            latency_us: 5_100,
+            queue_wait_us: 40,
+            alloc_bytes: 4096,
+            bytes_out: 512,
+        }
+    }
+
+    fn temp_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("svt_access_{tag}_{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .to_string()
+    }
+
+    #[test]
+    fn lines_are_one_parseable_json_object_each() {
+        let path = temp_path("lines");
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path, DEFAULT_MAX_BYTES).expect("open");
+        log.log(&entry(7));
+        log.log(&entry(8));
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, want_id) in lines.iter().zip([7u64, 8]) {
+            let doc = JsonValue::parse(line).expect("line parses");
+            assert_eq!(
+                doc.get("trace_id").and_then(JsonValue::as_u64),
+                Some(want_id)
+            );
+            assert_eq!(
+                doc.get("route").and_then(JsonValue::as_str),
+                Some("/designs/{name}/eco")
+            );
+            assert_eq!(
+                doc.get("latency_us").and_then(JsonValue::as_u64),
+                Some(5_100)
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_renames_the_full_generation_and_keeps_writing() {
+        let path = temp_path("rotate");
+        let rotated = format!("{path}.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        let line_len = render_entry(&entry(1)).len() as u64 + 1;
+        // Threshold of two lines: the third write rotates first.
+        let log = AccessLog::open(&path, 2 * line_len).expect("open");
+        log.log(&entry(1));
+        log.log(&entry(2));
+        log.log(&entry(3));
+        let old = std::fs::read_to_string(&rotated).expect("rotated generation exists");
+        assert_eq!(old.lines().count(), 2, "full generation moved aside");
+        let new = std::fs::read_to_string(&path).expect("fresh generation exists");
+        assert_eq!(new.lines().count(), 1, "writing continued after rotation");
+        assert!(new.contains("\"trace_id\":3"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn reopening_an_existing_log_appends() {
+        let path = temp_path("append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = AccessLog::open(&path, DEFAULT_MAX_BYTES).expect("open");
+            log.log(&entry(1));
+        }
+        let log = AccessLog::open(&path, DEFAULT_MAX_BYTES).expect("reopen");
+        log.log(&entry(2));
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body.lines().count(), 2, "reopen appends, not truncates");
+        let _ = std::fs::remove_file(&path);
+    }
+}

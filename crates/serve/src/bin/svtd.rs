@@ -11,7 +11,15 @@
 //! svtd [--addr HOST:PORT] [--design builtin|c432|...]...
 //!      [--workers N] [--queue-depth N]
 //!      [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N]
+//!      [--access-log PATH] [--slow-ms N] [--post-mortem PATH]
 //! ```
+//!
+//! `--access-log` writes one structured JSONL line per request
+//! (rotating at 10 MiB); `--slow-ms` arms the flight recorder —
+//! requests at or above the threshold are captured as capsules served
+//! at `GET /debug/requests` (`--slow-ms 0` captures everything);
+//! `--post-mortem` configures where a watchdog stall, a handler panic,
+//! or the final drain dumps every capsule plus a metrics snapshot.
 //!
 //! Smoke mode: a pure-Rust client that runs the CI smoke sequence
 //! against an already-running fresh daemon and exits non-zero on the
@@ -19,8 +27,11 @@
 //! daemon booted with `--workers 1 --queue-depth 1`) and
 //! graceful-shutdown checks; the daemon exits afterwards:
 //!
+//! `--smoke-recorder` adds the flight-recorder walk (requires a daemon
+//! booted with `--slow-ms 0` so every smoke request leaves a capsule):
+//!
 //! ```text
-//! svtd --smoke HOST:PORT [--design NAME]... [--smoke-deep]
+//! svtd --smoke HOST:PORT [--design NAME]... [--smoke-deep] [--smoke-recorder]
 //! ```
 
 use std::process::ExitCode;
@@ -41,7 +52,8 @@ const DEFAULT_WATCHDOG_MS: u64 = 30_000;
 const USAGE: &str =
     "usage: svtd [--addr HOST:PORT] [--design builtin|c432|c880|c1355|c1908|c3540]... \
 [--workers N] [--queue-depth N] [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N] \
-[--smoke HOST:PORT [--smoke-deep]]";
+[--access-log PATH] [--slow-ms N] [--post-mortem PATH] \
+[--smoke HOST:PORT [--smoke-deep] [--smoke-recorder]]";
 
 #[cfg(unix)]
 mod sig {
@@ -87,8 +99,10 @@ struct Args {
     designs: Vec<DesignSpec>,
     options: ServerOptions,
     watchdog_ms: u64,
+    post_mortem: Option<String>,
     smoke: Option<String>,
     smoke_deep: bool,
+    smoke_recorder: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,8 +111,10 @@ fn parse_args() -> Result<Args, String> {
         designs: Vec::new(),
         options: ServerOptions::default(),
         watchdog_ms: DEFAULT_WATCHDOG_MS,
+        post_mortem: None,
         smoke: None,
         smoke_deep: false,
+        smoke_recorder: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -133,8 +149,16 @@ fn parse_args() -> Result<Args, String> {
             "--watchdog-ms" => {
                 args.watchdog_ms = number("--watchdog-ms", &value("--watchdog-ms")?)?;
             }
+            "--access-log" => {
+                args.options.access_log_path = Some(value("--access-log")?);
+            }
+            "--slow-ms" => {
+                args.options.slow_ms = Some(number("--slow-ms", &value("--slow-ms")?)?);
+            }
+            "--post-mortem" => args.post_mortem = Some(value("--post-mortem")?),
             "--smoke" => args.smoke = Some(value("--smoke")?),
             "--smoke-deep" => args.smoke_deep = true,
+            "--smoke-recorder" => args.smoke_recorder = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -159,6 +183,7 @@ fn main() -> ExitCode {
             designs: args.designs.clone(),
             backpressure: args.smoke_deep,
             shutdown: args.smoke_deep,
+            recorder: args.smoke_recorder,
         };
         return match run_smoke_full(target, &opts) {
             Ok(summary) => {
@@ -180,6 +205,11 @@ fn main() -> ExitCode {
     svt_obs::alloc::set_active(true);
     if args.watchdog_ms > 0 {
         svt_exec::watchdog::arm(Duration::from_millis(args.watchdog_ms));
+    }
+    // Arm the black box before serving: stalls, handler panics, and the
+    // final drain all dump here once a path is configured.
+    if let Some(path) = &args.post_mortem {
+        svt_obs::recorder::set_post_mortem_path(path);
     }
     sig::install();
 
@@ -223,6 +253,9 @@ fn main() -> ExitCode {
     }
     eprintln!("svtd: draining ...");
     server.shutdown();
+    if let Some(path) = svt_obs::recorder::post_mortem("drain") {
+        eprintln!("svtd: post-mortem written to {path}");
+    }
     eprintln!("svtd: drained, exiting");
     ExitCode::SUCCESS
 }

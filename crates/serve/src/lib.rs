@@ -16,7 +16,7 @@
 //! | Endpoint          | Serves |
 //! |-------------------|--------|
 //! | `GET /healthz`    | readiness, per-design warmth, queue depth, and the pool watchdog verdict (`503` when stalled) |
-//! | `GET /metrics`    | Prometheus exposition of the global registry, plus per-interval `_delta`/`_rate` series between scrapes |
+//! | `GET /metrics`    | Prometheus exposition of the global registry (labeled families, build info), plus per-interval `_delta`/`_rate` series keyed per scraper identity (`?scraper=NAME` or peer IP, bounded LRU) |
 //! | `GET /snapshot.json` | the full aggregate [`svt_obs::Snapshot`] as JSON |
 //! | `GET /timeline.json` | the live per-thread event rings as a Chrome `trace_event` document |
 //! | `GET /designs`    | every registered design with warmth and edit count |
@@ -25,7 +25,15 @@
 //! | `GET /designs/{name}/timing` | the design's multi-corner sign-off summary (read lock — never waits on other designs) |
 //! | `POST /designs/{name}/eco` | one typed [`svt_eco::EcoEdit`] *or* a JSON array applied atomically as a batch |
 //! | `POST /eco`       | same, against the default (first registered) design |
+//! | `GET /debug/requests` | the flight recorder's retained slow-request capsules (index JSON) |
+//! | `GET /debug/requests/{trace_id}` | one capsule: identity, latency, queue wait, alloc delta, timeline slice |
+//! | `GET /debug/requests/{trace_id}/trace.json` | the capsule's window as a per-request Chrome trace, every event tagged with the trace id |
 //! | `POST /shutdown`  | graceful drain: in-flight requests finish, new work gets `503` |
+//!
+//! Every request runs under a fresh [`svt_obs::RequestContext`] and is
+//! measured into labeled metric families; `--access-log` adds one
+//! structured JSONL line per request ([`access_log`]), and `--slow-ms`
+//! arms the flight recorder behind the `/debug/requests` surface.
 //!
 //! The HTTP layer is hand-rolled ([`http`]) because the build
 //! environment is offline and the workspace vendors its few external
@@ -37,17 +45,20 @@
 //! and exercises the 429 backpressure and graceful-shutdown paths.
 #![warn(missing_docs)]
 
+pub mod access_log;
 pub mod http;
 pub mod registry;
 pub mod server;
 pub mod smoke;
 
+pub use access_log::{AccessEntry, AccessLog};
 pub use http::{
     http_request, HttpClient, HttpResponse, ParseError, Request, RequestParser, Response,
 };
 pub use registry::{DesignEntry, RegistryError, SessionRegistry, SlotStatus};
 pub use server::{
     parse_eco_request, parse_edit, render_batch_report, render_delta_report, render_timing, route,
-    warm_session, DesignSpec, EcoRequest, Server, ServerOptions, ServiceState, BUILTIN_NETLIST,
+    route_with_peer, warm_session, DesignSpec, EcoRequest, Server, ServerOptions, ServiceState,
+    BUILTIN_NETLIST, SCRAPE_LRU_CAPACITY,
 };
 pub use smoke::{pick_smoke_edit, run_smoke};

@@ -17,6 +17,15 @@
 //! connection for its lifetime, serving up to
 //! [`ServerOptions::keep_alive_max_requests`] requests (pipelining
 //! included) with an idle timeout between them.
+//!
+//! Every request is served under a fresh [`svt_obs::RequestContext`]
+//! (monotonic trace id + route class + design), measured into labeled
+//! metric families (`serve.requests{route,design,status}`,
+//! `serve.latency_ns{route,design}`, `serve.response_bytes{route,design}`),
+//! optionally logged as one JSONL line ([`crate::access_log`]), and —
+//! when it exceeds [`ServerOptions::slow_ms`] — captured into the
+//! [`svt_obs::recorder`] flight-recorder ring served at
+//! `GET /debug/requests`.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,6 +42,7 @@ use svt_obs::json::{escape_json, JsonValue};
 use svt_place::{place, PlacementOptions};
 use svt_stdcell::{expand_library, ExpandOptions, Library};
 
+use crate::access_log::{AccessEntry, AccessLog};
 use crate::http::{write_response, Request, RequestParser, Response};
 use crate::registry::{RegistryError, SessionRegistry, SlotStatus};
 
@@ -159,6 +169,13 @@ pub struct ServerOptions {
     /// Fault injection for the stress tests: an artificial delay before
     /// each request is handled. `None` in production.
     pub fault_delay: Option<Duration>,
+    /// Structured JSONL access log path (`--access-log`); `None`
+    /// disables request logging.
+    pub access_log_path: Option<String>,
+    /// Flight-recorder threshold (`--slow-ms`): requests at or above
+    /// this latency are captured as [`svt_obs::recorder`] capsules.
+    /// `Some(0)` captures every request; `None` disables the recorder.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerOptions {
@@ -169,19 +186,36 @@ impl Default for ServerOptions {
             keep_alive_max_requests: 100,
             idle_timeout: Duration::from_secs(5),
             fault_delay: None,
+            access_log_path: None,
+            slow_ms: None,
         }
     }
 }
 
+/// Most scraper identities whose previous-scrape snapshots are
+/// retained for per-interval delta series; the least recently seen
+/// scraper is evicted beyond this.
+pub const SCRAPE_LRU_CAPACITY: usize = 8;
+
 /// Shared state behind the router: the design registry plus the
-/// previous scrape used to derive per-interval rate/delta series.
+/// previous scrape per scraper identity, used to derive per-interval
+/// rate/delta series.
+///
+/// Keying the delta state per scraper matters: with one global slot,
+/// two Prometheus instances scraping concurrently would each see
+/// deltas against the *other's* last scrape — intervals halve and
+/// series jitter. Identity is the `?scraper=NAME` query parameter when
+/// present, else the peer IP, else `default`; the map is a bounded LRU
+/// ([`SCRAPE_LRU_CAPACITY`]) so an open endpoint cannot grow state
+/// unboundedly.
 pub struct ServiceState {
     registry: SessionRegistry,
     default_design: String,
     started: Instant,
     draining: AtomicBool,
     options: ServerOptions,
-    scrape: Mutex<Option<(Instant, svt_obs::Snapshot)>>,
+    scrapes: Mutex<Vec<(String, Instant, svt_obs::Snapshot)>>,
+    access_log: Option<AccessLog>,
 }
 
 impl ServiceState {
@@ -191,20 +225,26 @@ impl ServiceState {
     ///
     /// # Errors
     ///
-    /// Returns a message when `specs` is empty.
+    /// Returns a message when `specs` is empty or the configured access
+    /// log cannot be opened.
     pub fn new(specs: &[DesignSpec], options: ServerOptions) -> Result<ServiceState, String> {
         let first = specs.first().ok_or("at least one design is required")?;
         let registry = SessionRegistry::new();
         for spec in specs {
             registry.register(spec);
         }
+        let access_log = match &options.access_log_path {
+            Some(path) => Some(AccessLog::open(path, crate::access_log::DEFAULT_MAX_BYTES)?),
+            None => None,
+        };
         Ok(ServiceState {
             registry,
             default_design: first.name().to_string(),
             started: Instant::now(),
             draining: AtomicBool::new(false),
             options,
-            scrape: Mutex::new(None),
+            scrapes: Mutex::new(Vec::new()),
+            access_log,
         })
     }
 
@@ -528,19 +568,43 @@ fn healthz(state: &ServiceState) -> Response {
     }
 }
 
-fn metrics(state: &ServiceState) -> Response {
+/// Which delta-state slot a `/metrics` request addresses: the
+/// `?scraper=NAME` query parameter when present, else the peer IP, else
+/// `default`. Two concurrent scrapers with distinct identities get
+/// independent previous-scrape snapshots and therefore correct
+/// per-interval deltas.
+fn scraper_identity(req_path: &str, peer: Option<&str>) -> String {
+    if let Some((_, query)) = req_path.split_once('?') {
+        for pair in query.split('&') {
+            if let Some(name) = pair.strip_prefix("scraper=") {
+                if !name.is_empty() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    peer.map_or_else(|| "default".to_string(), str::to_string)
+}
+
+fn metrics(state: &ServiceState, scraper: &str) -> Response {
     // Refresh the pull-style sources right before snapshotting so the
     // scrape reflects this instant, not the last request.
     svt_obs::alloc::publish_gauges();
     svt_obs::rss::publish_gauges();
     let now = Instant::now();
     let snap = svt_obs::registry().snapshot();
-    let mut body = snap.to_prometheus();
-    let mut scrape = state.scrape.lock().expect("scrape slot poisoned");
-    if let Some((prev_at, prev)) = scrape.as_ref() {
-        body.push_str(&snap.delta_prometheus(prev, now.duration_since(*prev_at).as_secs_f64()));
+    let mut body = svt_obs::build_info_prometheus(state.started.elapsed().as_secs_f64());
+    body.push_str(&snap.to_prometheus());
+    let mut scrapes = state.scrapes.lock().expect("scrape slots poisoned");
+    if let Some(pos) = scrapes.iter().position(|(id, _, _)| id == scraper) {
+        let (_, prev_at, prev) = scrapes.remove(pos);
+        body.push_str(&snap.delta_prometheus(&prev, now.duration_since(prev_at).as_secs_f64()));
+    } else if scrapes.len() >= SCRAPE_LRU_CAPACITY {
+        // Front is least recently seen: entries re-push on every scrape.
+        scrapes.remove(0);
+        svt_obs::counter!("serve.scrape_evictions").incr();
     }
-    *scrape = Some((now, snap));
+    scrapes.push((scraper.to_string(), now, snap));
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -708,22 +772,86 @@ fn inflight_guard(method: &str, path: &str) -> svt_obs::InflightGuard {
     gauge.inflight()
 }
 
-/// Routes one request. Pure with respect to the connection: all I/O
-/// stays in the caller, which keeps every endpoint unit-testable without
-/// sockets.
-#[must_use]
-pub fn route(state: &ServiceState, req: &Request) -> Response {
-    svt_obs::registry().counter("serve.requests").incr();
-    let path = req.path.split('?').next().unwrap_or("");
-    let _inflight = inflight_guard(&req.method, path);
+/// Serves the flight-recorder surface under `/debug/requests`:
+/// the capsule index, one capsule by trace id, or its per-request
+/// Chrome trace (`.../{trace_id}/trace.json`).
+fn debug_requests(rest: &str) -> Response {
+    if rest.is_empty() {
+        return Response::json(svt_obs::recorder::render_index(
+            &svt_obs::recorder::capsules(),
+        ));
+    }
+    let (id, want_trace) = match rest.strip_suffix("/trace.json") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(trace_id) = id.parse::<u64>() else {
+        return Response::error(404, &format!("`{id}` is not a trace id"));
+    };
+    let Some(capsule) = svt_obs::recorder::find(trace_id) else {
+        return Response::error(
+            404,
+            &format!("no capsule for trace id {trace_id} (evicted, or never slow enough)"),
+        );
+    };
+    if want_trace {
+        Response::json(svt_obs::recorder::chrome_trace(&capsule))
+    } else {
+        Response::json(svt_obs::recorder::render_capsule(&capsule))
+    }
+}
+
+/// The route-class template and target design of one request, for
+/// metric labels, access-log lines, and capsules. Templates keep label
+/// cardinality bounded: concrete design names collapse into `{name}`
+/// on the route axis and appear only on the closed `design` axis.
+fn classify(state: &ServiceState, method: &str, path: &str) -> (&'static str, String) {
+    match (method, path) {
+        ("GET", "/healthz") => ("/healthz", "-".to_string()),
+        ("GET", "/metrics") => ("/metrics", "-".to_string()),
+        ("GET", "/snapshot.json") => ("/snapshot.json", "-".to_string()),
+        ("GET", "/timeline.json") => ("/timeline.json", "-".to_string()),
+        ("GET", "/designs") => ("/designs", "-".to_string()),
+        ("POST", "/eco") => ("/eco", state.default_design.clone()),
+        ("POST", "/shutdown") => ("/shutdown", "-".to_string()),
+        (_, p) if p == "/debug/requests" || p.starts_with("/debug/requests/") => {
+            ("/debug/requests", "-".to_string())
+        }
+        (_, p) if p.starts_with("/designs/") => {
+            let rest = &p["/designs/".len()..];
+            let (name, action) = rest.split_once('/').unwrap_or((rest, ""));
+            // Only registered designs become label values — an open
+            // endpoint must not mint unbounded design labels.
+            let design = state
+                .registry
+                .entry(name)
+                .map_or_else(|_| "-".to_string(), |entry| entry.name().to_string());
+            match action {
+                "" => ("/designs/{name}", design),
+                "warm" => ("/designs/{name}/warm", design),
+                "timing" => ("/designs/{name}/timing", design),
+                "eco" => ("/designs/{name}/eco", design),
+                _ => ("other", design),
+            }
+        }
+        _ => ("other", "-".to_string()),
+    }
+}
+
+/// The undecorated dispatch: maps one request to its endpoint handler.
+fn dispatch(state: &ServiceState, req: &Request, path: &str, peer: Option<&str>) -> Response {
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => healthz(state),
-        ("GET", "/metrics") => metrics(state),
+        ("GET", "/metrics") => metrics(state, &scraper_identity(&req.path, peer)),
         ("GET", "/snapshot.json") => Response::json(svt_obs::registry().snapshot().to_json()),
         ("GET", "/timeline.json") => Response::json(svt_obs::chrome::render_chrome_trace(
             &svt_obs::timeline::snapshot_all(),
         )),
         ("GET", "/designs") => designs_index(state),
+        ("GET", "/debug/requests") => debug_requests(""),
+        ("GET", p) if p.starts_with("/debug/requests/") => {
+            debug_requests(&p["/debug/requests/".len()..])
+        }
         ("POST", "/eco") => design_eco(state, &state.default_design, req),
         ("POST", "/shutdown") => {
             state.begin_drain();
@@ -752,7 +880,126 @@ pub fn route(state: &ServiceState, req: &Request) -> Response {
             "/healthz" | "/metrics" | "/snapshot.json" | "/timeline.json" | "/eco" | "/designs"
             | "/shutdown",
         ) => Response::error(405, "method not allowed"),
+        (_, p) if p == "/debug/requests" || p.starts_with("/debug/requests/") => {
+            Response::error(405, "method not allowed")
+        }
         _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Routes one request. Pure with respect to the connection: all I/O
+/// stays in the caller, which keeps every endpoint unit-testable without
+/// sockets. Equivalent to [`route_with_peer`] with no peer identity.
+#[must_use]
+pub fn route(state: &ServiceState, req: &Request) -> Response {
+    route_with_peer(state, req, None)
+}
+
+/// [`route`] with the connection's peer IP, and the full per-request
+/// observability decoration around the dispatch:
+///
+/// 1. a fresh [`svt_obs::RequestContext`] (monotonic trace id, route
+///    class, design) entered for the handler's duration, so every span,
+///    pool hop, and log line downstream shares the request's identity;
+/// 2. the `serve.request` span plus the labeled metric families
+///    `serve.requests{route,design,status}`,
+///    `serve.latency_ns{route,design}`, and
+///    `serve.response_bytes{route,design}`;
+/// 3. one JSONL access-log line when the state carries a log;
+/// 4. a flight-recorder capsule (this thread's timeline slice over the
+///    request window, alloc delta, queue wait) when latency reaches
+///    [`ServerOptions::slow_ms`].
+#[must_use]
+pub fn route_with_peer(state: &ServiceState, req: &Request, peer: Option<&str>) -> Response {
+    svt_obs::registry().counter("serve.requests").incr();
+    let path = req.path.split('?').next().unwrap_or("");
+    let _inflight = inflight_guard(&req.method, path);
+    let (route_class, design) = classify(state, req.method.as_str(), path);
+    let trace_id = svt_obs::context::next_trace_id();
+    let _ctx = svt_obs::context::enter(svt_obs::RequestContext {
+        trace_id,
+        route: route_class.to_string(),
+        design: design.clone(),
+    });
+    let started = Instant::now();
+    let start_ns = svt_obs::timeline::now_ns();
+    let (alloc_count_0, alloc_bytes_0) = svt_obs::alloc::totals();
+    let response = {
+        let _span = svt_obs::span("serve.request");
+        dispatch(state, req, path, peer)
+    };
+    let latency = started.elapsed();
+    let latency_ns = latency.as_nanos() as u64;
+    let end_ns = svt_obs::timeline::now_ns();
+    let (alloc_count_1, alloc_bytes_1) = svt_obs::alloc::totals();
+    let labels = [route_class, design.as_str()];
+    svt_obs::family_counter!("serve.requests_by", &["route", "design", "status"])
+        .with(&[route_class, &design, status_class(response.status)])
+        .incr();
+    svt_obs::family_histogram!("serve.latency_ns", &["route", "design"])
+        .with(&labels)
+        .record(latency_ns);
+    svt_obs::family_histogram!("serve.response_bytes", &["route", "design"])
+        .with(&labels)
+        .record(response.body.len() as u64);
+    let queue_wait_ns = svt_exec::service::current_queue_wait_ns();
+    if let Some(log) = &state.access_log {
+        log.log(&AccessEntry {
+            ts_ms: crate::access_log::unix_ms(),
+            trace_id,
+            method: req.method.clone(),
+            path: req.path.clone(),
+            route: route_class.to_string(),
+            design: design.clone(),
+            status: response.status,
+            latency_us: latency.as_micros() as u64,
+            queue_wait_us: queue_wait_ns / 1_000,
+            alloc_bytes: alloc_bytes_1.saturating_sub(alloc_bytes_0),
+            bytes_out: response.body.len() as u64,
+        });
+    }
+    if state
+        .options
+        .slow_ms
+        .is_some_and(|slow| latency >= Duration::from_millis(slow))
+    {
+        // Outside Chrome trace mode there is no per-thread ring; the
+        // capsule still records identity, latency, and alloc deltas.
+        let timeline = svt_obs::timeline::snapshot_current().map_or(
+            svt_obs::timeline::ThreadTimeline {
+                tid: 0,
+                events: Vec::new(),
+                dropped: 0,
+            },
+            |tl| svt_obs::recorder::slice_window(&tl, start_ns, end_ns),
+        );
+        svt_obs::recorder::record(svt_obs::RequestCapsule {
+            trace_id,
+            method: req.method.clone(),
+            path: req.path.clone(),
+            route: route_class.to_string(),
+            design,
+            status: response.status,
+            latency_ns,
+            queue_wait_ns,
+            alloc_count: alloc_count_1.saturating_sub(alloc_count_0),
+            alloc_bytes: alloc_bytes_1.saturating_sub(alloc_bytes_0),
+            start_ns,
+            end_ns,
+            timeline,
+        });
+    }
+    response
+}
+
+/// Collapses status codes into the bounded label set `2xx`/`3xx`/`4xx`/
+/// `5xx` so the status axis cannot grow past four values.
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        _ => "5xx",
     }
 }
 
@@ -761,6 +1008,7 @@ pub fn route(state: &ServiceState, req: &Request) -> Response {
 /// to drain within one poll tick.
 fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
     let opts = state.options();
+    let peer = stream.peer_addr().ok().map(|a| a.ip().to_string());
     // Poll in short ticks so drains are noticed promptly even while the
     // connection idles between keep-alive requests.
     let tick = opts
@@ -791,7 +1039,7 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
                     // Heartbeat only the bounded handler section — idle
                     // keep-alive reads are not stalls.
                     svt_exec::watchdog::task_begin();
-                    let response = route(state, &req);
+                    let response = route_with_peer(state, &req, peer.as_deref());
                     svt_exec::watchdog::task_end();
                     response
                 };
@@ -830,6 +1078,18 @@ fn serve_connection(mut stream: TcpStream, state: &ServiceState) {
                 }
                 if idled >= opts.idle_timeout {
                     svt_obs::registry().counter("serve.idle_closes").incr();
+                    // A reap with bytes buffered means a half-sent head
+                    // never completed — the slow-loris signature; an
+                    // empty buffer is ordinary keep-alive idleness.
+                    let reason = if parser.buffered() > 0 {
+                        "slow_loris"
+                    } else {
+                        "idle"
+                    };
+                    svt_obs::family_counter!("serve.conn_reaped", &["reason"])
+                        .with(&[reason])
+                        .incr();
+                    svt_obs::instant("serve.conn_reaped");
                     return;
                 }
             }
@@ -1073,6 +1333,208 @@ mod tests {
         }
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    // The recorder ring and telemetry registry are process-global;
+    // tests that assert on ring contents serialize here.
+    fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn test_state(options: ServerOptions) -> ServiceState {
+        ServiceState::new(&[DesignSpec::Builtin], options).expect("state")
+    }
+
+    #[test]
+    fn scraper_identity_prefers_query_param_then_peer() {
+        assert_eq!(
+            scraper_identity("/metrics?scraper=prom-a", Some("10.0.0.9")),
+            "prom-a"
+        );
+        assert_eq!(scraper_identity("/metrics?other=1&scraper=b", None), "b");
+        assert_eq!(scraper_identity("/metrics", Some("10.0.0.9")), "10.0.0.9");
+        assert_eq!(scraper_identity("/metrics?scraper=", None), "default");
+        assert_eq!(scraper_identity("/metrics", None), "default");
+    }
+
+    #[test]
+    fn routes_classify_into_bounded_templates() {
+        let state = test_state(ServerOptions::default());
+        assert_eq!(classify(&state, "GET", "/healthz").0, "/healthz");
+        assert_eq!(
+            classify(&state, "POST", "/eco"),
+            ("/eco", "builtin".to_string())
+        );
+        assert_eq!(
+            classify(&state, "POST", "/designs/builtin/eco"),
+            ("/designs/{name}/eco", "builtin".to_string())
+        );
+        assert_eq!(
+            classify(&state, "GET", "/designs/nope/timing"),
+            ("/designs/{name}/timing", "-".to_string()),
+            "unregistered names must not mint design labels"
+        );
+        assert_eq!(
+            classify(&state, "GET", "/debug/requests/42/trace.json").0,
+            "/debug/requests"
+        );
+        assert_eq!(classify(&state, "GET", "/made/up/path").0, "other");
+    }
+
+    #[test]
+    fn status_classes_are_a_closed_set() {
+        assert_eq!(status_class(200), "2xx");
+        assert_eq!(status_class(301), "3xx");
+        assert_eq!(status_class(404), "4xx");
+        assert_eq!(status_class(429), "4xx");
+        assert_eq!(status_class(500), "5xx");
+        assert_eq!(status_class(503), "5xx");
+    }
+
+    #[test]
+    fn concurrent_scrapers_keep_independent_delta_state() {
+        let state = test_state(ServerOptions::default());
+        let probe = svt_obs::registry().counter("serve.scrape_lru_probe");
+        // A's first scrape seeds its slot; B interleaves with its own.
+        let _ = metrics(&state, "prom-a");
+        probe.add(5);
+        let _ = metrics(&state, "prom-b");
+        probe.add(3);
+        // A's second scrape must delta against A's previous snapshot —
+        // +8 total since A1 — unperturbed by B's scrape in between (the
+        // old single-slot design would have reported only +3 here).
+        let body = metrics(&state, "prom-a").body;
+        let samples = svt_obs::parse_prometheus(&body).expect("scrape parses");
+        let delta = samples
+            .iter()
+            .find(|s| s.name == "svt_serve_scrape_lru_probe_delta")
+            .expect("delta series for the probe counter");
+        assert_eq!(delta.value as u64, 8, "A deltas against A's own slot");
+        // And B deltas only what happened since B's own scrape.
+        let body = metrics(&state, "prom-b").body;
+        let samples = svt_obs::parse_prometheus(&body).expect("scrape parses");
+        let delta = samples
+            .iter()
+            .find(|s| s.name == "svt_serve_scrape_lru_probe_delta")
+            .expect("delta series for the probe counter");
+        assert_eq!(delta.value as u64, 3, "B deltas against B's own slot");
+    }
+
+    #[test]
+    fn scrape_lru_evicts_the_least_recent_scraper() {
+        let state = test_state(ServerOptions::default());
+        let _ = metrics(&state, "evict-me");
+        for i in 0..SCRAPE_LRU_CAPACITY {
+            let _ = metrics(&state, &format!("filler-{i}"));
+        }
+        // A retained filler still deltas normally.
+        let body = metrics(&state, "filler-0").body;
+        let samples = svt_obs::parse_prometheus(&body).expect("scrape parses");
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "svt_scrape_interval_seconds"),
+            "retained scraper keeps its delta state"
+        );
+        // `evict-me` fell out of the LRU, so its re-scrape is a first
+        // scrape again: no interval/delta series.
+        let body = metrics(&state, "evict-me").body;
+        let samples = svt_obs::parse_prometheus(&body).expect("scrape parses");
+        assert!(
+            !samples
+                .iter()
+                .any(|s| s.name == "svt_scrape_interval_seconds"),
+            "evicted scraper must be treated as new"
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_carries_build_info_and_uptime() {
+        let state = test_state(ServerOptions::default());
+        let body = metrics(&state, "build-info-probe").body;
+        let samples = svt_obs::parse_prometheus(&body).expect("scrape parses");
+        let build = samples
+            .iter()
+            .find(|s| s.name == "svt_build_info")
+            .expect("svt_build_info gauge");
+        assert_eq!(build.value, 1.0);
+        assert!(build.labels.iter().any(|(k, _)| k == "version"));
+        assert!(samples.iter().any(|s| s.name == "svt_uptime_seconds"));
+    }
+
+    #[test]
+    fn slow_requests_are_captured_as_capsules_with_the_request_trace_id() {
+        let _guard = recorder_lock();
+        svt_obs::recorder::clear();
+        let log_path = std::env::temp_dir()
+            .join(format!("svt_server_access_{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .to_string();
+        let _ = std::fs::remove_file(&log_path);
+        let state = test_state(ServerOptions {
+            slow_ms: Some(0),
+            access_log_path: Some(log_path.clone()),
+            ..ServerOptions::default()
+        });
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: String::new(),
+            keep_alive: true,
+        };
+        let response = route(&state, &req);
+        assert_eq!(response.status, 200);
+        let capsule = svt_obs::recorder::capsules()
+            .pop()
+            .expect("slow-ms 0 captures every request");
+        assert_eq!(capsule.route, "/healthz");
+        assert_eq!(capsule.status, 200);
+        assert!(capsule.latency_ns > 0);
+        // The capsule is addressable through the debug surface…
+        let index = debug_requests("");
+        assert!(index
+            .body
+            .contains(&format!("\"trace_id\": {}", capsule.trace_id)));
+        let one = debug_requests(&capsule.trace_id.to_string());
+        assert_eq!(one.status, 200);
+        let trace = debug_requests(&format!("{}/trace.json", capsule.trace_id));
+        assert_eq!(trace.status, 200);
+        let stats =
+            svt_obs::chrome::validate_chrome_trace(&trace.body).expect("capsule trace validates");
+        assert!(stats
+            .events
+            .iter()
+            .filter(|e| matches!(e.ph.as_str(), "B" | "E" | "i"))
+            .all(|e| e.trace_id == Some(capsule.trace_id)));
+        // …and the access log line carries the same trace id.
+        let log = std::fs::read_to_string(&log_path).expect("access log written");
+        let line = log.lines().last().expect("one line per request");
+        let doc = JsonValue::parse(line).expect("JSONL line parses");
+        assert_eq!(
+            doc.get("trace_id").and_then(JsonValue::as_u64),
+            Some(capsule.trace_id)
+        );
+        assert_eq!(
+            doc.get("route").and_then(JsonValue::as_str),
+            Some("/healthz")
+        );
+        let _ = std::fs::remove_file(&log_path);
+        svt_obs::recorder::clear();
+    }
+
+    #[test]
+    fn debug_requests_unknown_ids_are_404s() {
+        let _guard = recorder_lock();
+        svt_obs::recorder::clear();
+        assert_eq!(debug_requests("not-a-number").status, 404);
+        assert_eq!(debug_requests("12345").status, 404);
+        assert_eq!(debug_requests("12345/trace.json").status, 404);
+        let index = debug_requests("");
+        assert_eq!(index.status, 200);
+        let doc = JsonValue::parse(&index.body).expect("index parses");
+        assert_eq!(doc.get("count").and_then(JsonValue::as_u64), Some(0));
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //!
 //! [`run_smoke_full`] layers the multi-tenant and fault checks on top:
 //! second-design warm-up and isolation, rejected-input status codes,
-//! slow-loris saturation answered with `429` + `Retry-After` (the
-//! daemon must run with `--workers 1 --queue-depth 1` for that check to
-//! be deterministic), and the graceful drain on `POST /shutdown`.
+//! the flight-recorder walk (`/debug/requests` index → capsule →
+//! Chrome-trace export with every span tagged by the request's trace
+//! id; the daemon must run with `--slow-ms 0` so every smoke request
+//! leaves a capsule), slow-loris saturation answered with `429` +
+//! `Retry-After` (the daemon must run with `--workers 1
+//! --queue-depth 1` for that check to be deterministic), and the
+//! graceful drain on `POST /shutdown`.
 //!
 //! [`EcoSession::apply`]: svt_eco::EcoSession::apply
 
@@ -63,6 +67,11 @@ pub struct SmokeOptions {
     /// Finish with `POST /shutdown` and verify the drain. The daemon
     /// exits afterwards, so this must be the last check.
     pub shutdown: bool,
+    /// Walk the flight-recorder surface: `/debug/requests` must retain
+    /// capsules whose per-request Chrome traces validate and carry the
+    /// capsule's trace id on every span event. Requires a daemon booted
+    /// with `--slow-ms 0` so every smoke request is captured.
+    pub recorder: bool,
 }
 
 fn get(addr: &str, path: &str) -> Result<String, String> {
@@ -431,6 +440,83 @@ fn check_backpressure(addr: &str) -> Result<String, String> {
     )
 }
 
+fn check_flight_recorder(addr: &str) -> Result<String, String> {
+    let index = get(addr, "/debug/requests")?;
+    let index = JsonValue::parse(&index).map_err(|e| format!("/debug/requests not JSON: {e}"))?;
+    let count = index
+        .get("count")
+        .and_then(JsonValue::as_u64)
+        .ok_or("/debug/requests missing count")?;
+    let capsules = index
+        .get("capsules")
+        .and_then(JsonValue::as_array)
+        .ok_or("/debug/requests missing capsules array")?;
+    if count == 0 || capsules.is_empty() {
+        return Err(
+            "flight recorder retained no capsules (is the daemon running --slow-ms 0?)".to_string(),
+        );
+    }
+    // Prefer an ECO capsule — the paper's hot path — else take the
+    // newest of whatever the smoke traffic left behind.
+    let capsule = capsules
+        .iter()
+        .rev()
+        .find(|c| {
+            c.get("route")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|r| r.ends_with("/eco") || r == "/eco")
+        })
+        .unwrap_or_else(|| capsules.last().expect("non-empty capsules"));
+    let trace_id = capsule
+        .get("trace_id")
+        .and_then(JsonValue::as_u64)
+        .ok_or("capsule summary missing trace_id")?;
+    let route = capsule
+        .get("route")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?")
+        .to_string();
+
+    let body = get(addr, &format!("/debug/requests/{trace_id}"))?;
+    let full = JsonValue::parse(&body).map_err(|e| format!("capsule {trace_id} not JSON: {e}"))?;
+    if full.get("trace_id").and_then(JsonValue::as_u64) != Some(trace_id) {
+        return Err(format!("capsule {trace_id} echoes a different trace id"));
+    }
+    if full
+        .get("latency_ns")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0)
+        == 0
+    {
+        return Err(format!("capsule {trace_id} has zero latency"));
+    }
+
+    let trace = get(addr, &format!("/debug/requests/{trace_id}/trace.json"))?;
+    let stats = svt_obs::chrome::validate_chrome_trace(&trace)
+        .map_err(|e| format!("capsule {trace_id} trace.json: {e}"))?;
+    let span_events: Vec<_> = stats
+        .events
+        .iter()
+        .filter(|e| matches!(e.ph.as_str(), "B" | "E" | "i"))
+        .collect();
+    if span_events.is_empty() {
+        return Err(format!(
+            "capsule {trace_id} trace has no span events (is the daemon in Chrome trace mode?)"
+        ));
+    }
+    if let Some(stray) = span_events.iter().find(|e| e.trace_id != Some(trace_id)) {
+        return Err(format!(
+            "capsule {trace_id} trace event `{}` tagged {:?}, want {trace_id}",
+            stray.name, stray.trace_id
+        ));
+    }
+    Ok(format!(
+        "flight recorder: {count} capsules; capsule {trace_id} ({route}) trace validates, \
+         {} events all tagged with the trace id\n",
+        span_events.len()
+    ))
+}
+
 fn check_shutdown(addr: &str) -> Result<String, String> {
     let (status, body) = http_request(addr, "POST", "/shutdown", "")?;
     if status != 200 || !body.contains("draining") {
@@ -467,6 +553,9 @@ pub fn run_smoke_full(addr: &str, opts: &SmokeOptions) -> Result<String, String>
     let (mut summary, _mirror) = run_smoke_core(addr, &opts.designs[0])?;
     summary.truncate(summary.len() - "smoke: PASS".len());
     summary.push_str(&check_designs(addr, opts)?);
+    if opts.recorder {
+        summary.push_str(&check_flight_recorder(addr)?);
+    }
     if opts.backpressure {
         summary.push_str(&check_backpressure(addr)?);
     }

@@ -68,7 +68,19 @@ fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
         DesignSpec::Iscas("c432".into()),
         DesignSpec::Iscas("c880".into()),
     ];
-    let state = ServiceState::new(&designs, ServerOptions::default()).expect("state");
+    // Arm the full observability surface: capture every request as a
+    // flight-recorder capsule and log each one to a JSONL access log.
+    let access_log = std::env::temp_dir()
+        .join(format!("svt_e2e_access_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .to_string();
+    let _ = std::fs::remove_file(&access_log);
+    let options = ServerOptions {
+        slow_ms: Some(0),
+        access_log_path: Some(access_log.clone()),
+        ..ServerOptions::default()
+    };
+    let state = ServiceState::new(&designs, options).expect("state");
     let server = Server::spawn("127.0.0.1:0", state).expect("bind an ephemeral port");
     let addr = server.addr().to_string();
 
@@ -81,9 +93,53 @@ fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
         designs: designs.to_vec(),
         backpressure: false,
         shutdown: false,
+        recorder: true,
     };
     let summary = run_smoke_full(&addr, &opts).unwrap_or_else(|e| panic!("smoke failed: {e}"));
     assert!(summary.ends_with("smoke: PASS"), "summary: {summary}");
+    assert!(
+        summary.contains("flight recorder:"),
+        "recorder walk ran: {summary}"
+    );
+
+    // Every access-log line is one JSON object whose trace id resolves
+    // at the flight-recorder surface (slow-ms 0 captures everything the
+    // capsule ring still retains).
+    let log = std::fs::read_to_string(&access_log).expect("access log written");
+    assert!(!log.is_empty(), "smoke traffic must be logged");
+    let mut eco_trace_id = None;
+    for line in log.lines() {
+        let doc = JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("access-log line not JSON ({e}): {line}"));
+        let trace_id = doc
+            .get("trace_id")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("access-log line missing trace_id: {line}"));
+        assert!(trace_id > 0, "trace ids are nonzero");
+        if doc.get("route").and_then(JsonValue::as_str) == Some("/eco") {
+            eco_trace_id = Some(trace_id);
+        }
+    }
+    // The acceptance path: the smoke's POST /eco left a capsule whose
+    // per-request Chrome trace validates and is tagged throughout.
+    let eco_trace_id = eco_trace_id.expect("smoke posted /eco, so the log has its line");
+    let (status, trace) = http_request(
+        &addr,
+        "GET",
+        &format!("/debug/requests/{eco_trace_id}/trace.json"),
+        "",
+    )
+    .unwrap();
+    assert_eq!(status, 200, "eco capsule resolves by its logged trace id");
+    let stats = svt_obs::chrome::validate_chrome_trace(&trace).expect("eco trace validates");
+    assert!(
+        stats
+            .events
+            .iter()
+            .filter(|e| matches!(e.ph.as_str(), "B" | "E" | "i"))
+            .all(|e| e.trace_id == Some(eco_trace_id)),
+        "every span event carries the request's trace id"
+    );
 
     // The smoke posted one single edit and one two-edit batch at the
     // default design; /healthz accounts for all three.
@@ -263,4 +319,5 @@ fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
         Some(v) => std::env::set_var("SVT_THREADS", v),
         None => std::env::remove_var("SVT_THREADS"),
     }
+    let _ = std::fs::remove_file(&access_log);
 }

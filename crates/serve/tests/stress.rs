@@ -48,6 +48,7 @@ fn tiny_pool_options() -> ServerOptions {
         // Widen the in-flight window so the drain test reliably
         // catches a request mid-handling.
         fault_delay: Some(Duration::from_millis(50)),
+        ..ServerOptions::default()
     }
 }
 
