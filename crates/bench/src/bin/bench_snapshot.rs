@@ -1,0 +1,146 @@
+//! Warm-start snapshot benchmark: builds the svt90 stack cold, captures
+//! it into a versioned `svt-snap` container (`docs/SNAPSHOT_FORMAT.md`),
+//! and times a full restore — parse, fingerprint check, cache preloads —
+//! against the cold build it replaces. The restored stack then re-runs
+//! the c432 sign-off and must reproduce the cold comparison and audit
+//! bit-for-bit: a snapshot may only skip work, never change a result.
+//!
+//! Emits `BENCH_snapshot.json` at the repo root and appends
+//! `snapshot_restore_ms` / `snapshot_size_mb` to `BENCH_history.jsonl`,
+//! where `scripts/bench_compare.sh` gates them against regression.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use svt_core::snapshot::{stack_fingerprint, PipelineSnapshot};
+use svt_core::{SignoffFlow, SignoffOptions};
+use svt_litho::{clear_litho_caches, FocusExposureMatrix, Process};
+use svt_stdcell::{clear_expand_caches, expand_library, ExpandOptions, Library};
+
+use svt_bench::repo_root;
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    svt_obs::reinit_from_env();
+    let process = Process::nm90();
+    let sim = process.simulator();
+    let library = Library::svt90();
+    let options = ExpandOptions::fast();
+    let fingerprint = stack_fingerprint(&sim, &library, &options);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"fingerprint\": \"{fingerprint:016x}\",");
+
+    // ---- Cold build: what a snapshot-less boot pays ---------------------
+    println!("[1/4] cold build (expand + FEM + c432 signoff)...");
+    clear_litho_caches();
+    clear_expand_caches();
+    let start = Instant::now();
+    let expanded = expand_library(&library, &sim, &options).expect("expansion succeeds");
+    let cold_expand_ms = ms(start);
+    let focus: Vec<f64> = (-4..=4).map(|i| f64::from(i) * 75.0).collect();
+    let start = Instant::now();
+    let fem =
+        FocusExposureMatrix::build(&sim, 90.0, &[240.0, 320.0, f64::INFINITY], &focus, &[1.0])
+            .expect("FEM build succeeds");
+    let cold_fem_ms = ms(start);
+    let design = svt_bench::build_design(&library, "c432");
+    let flow = SignoffFlow::new(&library, &expanded, SignoffOptions::default());
+    let start = Instant::now();
+    let (cold_cmp, cold_audit) = flow
+        .run_audited(&design.mapped, &design.placement)
+        .expect("cold signoff succeeds");
+    let cold_signoff_ms = ms(start);
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{ \"expand_ms\": {cold_expand_ms:.3}, \"fem_ms\": {cold_fem_ms:.3}, \"signoff_ms\": {cold_signoff_ms:.3} }},"
+    );
+
+    // ---- Capture --------------------------------------------------------
+    println!("[2/4] capture + write container...");
+    let path =
+        std::env::temp_dir().join(format!("svt_bench_snapshot_{}.svtsnap", std::process::id()));
+    let start = Instant::now();
+    let snapshot = PipelineSnapshot::capture(&expanded, Some(&fem), Some(&flow));
+    let size_bytes = snapshot
+        .write_file(&path, fingerprint)
+        .expect("snapshot write succeeds");
+    let capture_ms = ms(start);
+    #[allow(clippy::cast_precision_loss)]
+    let snapshot_size_mb = size_bytes as f64 / (1024.0 * 1024.0);
+    let _ = writeln!(
+        json,
+        "  \"capture\": {{ \"ms\": {capture_ms:.3}, \"size_bytes\": {size_bytes}, \"size_mb\": {snapshot_size_mb:.2} }},"
+    );
+    drop(flow);
+
+    // ---- Restore: what a `svtd --snapshot` boot pays instead ------------
+    // Clearing the process-wide memo caches makes the preloads below do
+    // real insertion work, as they would in a fresh process.
+    println!("[3/4] timed restore (parse + validate + preload)...");
+    clear_expand_caches();
+    let start = Instant::now();
+    let restored =
+        PipelineSnapshot::read_file(&path, fingerprint).expect("snapshot restore succeeds");
+    let expand_entries = restored.preload_expand_caches();
+    let restored_flow = SignoffFlow::new(&library, &restored.expanded, SignoffOptions::default());
+    let flow_entries = restored.preload_flow(&restored_flow);
+    let snapshot_restore_ms = ms(start);
+    assert_eq!(restored.expanded, expanded, "restored library differs");
+    assert_eq!(restored.fem.as_ref(), Some(&fem), "restored FEM differs");
+    assert!(expand_entries > 0, "no expand-cache entries restored");
+    assert!(flow_entries > 0, "no flow-cache entries restored");
+    let _ = writeln!(
+        json,
+        "  \"restore\": {{ \"ms\": {snapshot_restore_ms:.3}, \"expand_entries\": {expand_entries}, \"flow_entries\": {flow_entries}, \"speedup_vs_cold_expand\": {:.1} }},",
+        cold_expand_ms / snapshot_restore_ms
+    );
+
+    // ---- Differential: restored sign-off must be bit-identical ----------
+    println!("[4/4] differential signoff on restored stack...");
+    let start = Instant::now();
+    let (warm_cmp, warm_audit) = restored_flow
+        .run_audited(&design.mapped, &design.placement)
+        .expect("restored signoff succeeds");
+    let warm_signoff_ms = ms(start);
+    assert_eq!(warm_cmp, cold_cmp, "restored signoff diverged from cold");
+    assert_eq!(
+        warm_audit.render_text(),
+        cold_audit.render_text(),
+        "restored audit trail diverged from cold"
+    );
+    let _ = writeln!(
+        json,
+        "  \"differential\": {{ \"warm_signoff_ms\": {warm_signoff_ms:.3}, \"bit_identical\": true }}"
+    );
+    std::fs::remove_file(&path).ok();
+
+    json.push_str("}\n");
+    let out = repo_root().join("BENCH_snapshot.json");
+    std::fs::write(out, &json).expect("write BENCH_snapshot.json");
+    println!("--- BENCH_snapshot.json ---\n{json}");
+
+    // Perf trajectory: restore latency and container size are the two
+    // numbers the warm-start story stands on, so both are gated by
+    // scripts/bench_compare.sh against the last run that carried them.
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let history_line = format!(
+        "{{\"unix_ts\": {unix_ts}, \"snapshot_restore_ms\": {snapshot_restore_ms:.3}, \
+         \"snapshot_size_mb\": {snapshot_size_mb:.2}}}\n"
+    );
+    let history = repo_root().join("BENCH_history.jsonl");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .expect("open BENCH_history.jsonl");
+    std::io::Write::write_all(&mut log, history_line.as_bytes())
+        .expect("append BENCH_history.jsonl");
+    println!("appended snapshot numbers to BENCH_history.jsonl");
+
+    svt_obs::emit_if_enabled();
+}

@@ -350,6 +350,52 @@ impl fmt::Debug for FlowCaches {
     }
 }
 
+/// A portable copy of a flow's characterization memo caches — every
+/// aware-context and traditional-corner [`CharacterizedCell`] the flow
+/// has derived so far. Produced by [`SignoffFlow::export_caches`],
+/// restored by [`SignoffFlow::preload_caches`]; entries are key-sorted so
+/// identical cache contents always serialize to identical bytes.
+///
+/// Not part of the snapshot: the interned topology (rebuilt and verified
+/// per design) and the scratch arenas (transient working memory).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlowCacheSnapshot {
+    aware: Vec<(AwareKey, CharacterizedCell)>,
+    trad: Vec<((u32, u64), CharacterizedCell)>,
+}
+
+impl FlowCacheSnapshot {
+    /// Total number of characterized cells in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.aware.len() + self.trad.len()
+    }
+
+    /// Whether the snapshot carries no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.aware.is_empty() && self.trad.is_empty()
+    }
+}
+
+impl svt_snap::Serialize for FlowCacheSnapshot {
+    fn serialize(&self, out: &mut svt_snap::Serializer) {
+        self.aware.serialize(out);
+        self.trad.serialize(out);
+    }
+}
+
+impl svt_snap::Deserialize for FlowCacheSnapshot {
+    fn deserialize(
+        input: &mut svt_snap::Deserializer<'_>,
+    ) -> Result<FlowCacheSnapshot, svt_snap::SnapError> {
+        Ok(FlowCacheSnapshot {
+            aware: svt_snap::Deserialize::deserialize(input)?,
+            trad: svt_snap::Deserialize::deserialize(input)?,
+        })
+    }
+}
+
 /// Packs per-device iso/dense classes into 2 bits each, low device first.
 /// `None` (memo bypass) for cells beyond 32 devices. Every class code is
 /// non-zero, so packings of different device counts never collide.
@@ -449,6 +495,49 @@ impl<'a> SignoffFlow<'a> {
     #[must_use]
     pub fn library(&self) -> &'a Library {
         self.library
+    }
+
+    /// Exports the flow's characterization memo caches for persistence.
+    /// Keys embed everything the cached tables depend on (cell id,
+    /// context, device classes, corner), so a restored snapshot serves
+    /// exactly the lookups a warm flow would have hit — bit-identically,
+    /// since cached cells are pure functions of their keys.
+    #[must_use]
+    pub fn export_caches(&self) -> FlowCacheSnapshot {
+        let mut aware: Vec<(AwareKey, CharacterizedCell)> = self
+            .caches
+            .aware
+            .export_entries()
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect();
+        aware.sort_unstable_by_key(|a| a.0);
+        let mut trad: Vec<((u32, u64), CharacterizedCell)> = self
+            .caches
+            .trad
+            .export_entries()
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect();
+        trad.sort_unstable_by_key(|a| a.0);
+        FlowCacheSnapshot { aware, trad }
+    }
+
+    /// Preloads the flow's characterization memo caches from a snapshot
+    /// (existing entries win). Returns the number of entries loaded.
+    /// Cache keys are only meaningful relative to the flow's library and
+    /// options, so callers gate preloading on the stack fingerprint (see
+    /// `svt_core::snapshot`).
+    pub fn preload_caches(&self, snapshot: &FlowCacheSnapshot) -> usize {
+        self.caches.aware.preload(
+            snapshot
+                .aware
+                .iter()
+                .map(|(k, v)| (*k, Arc::new(v.clone()))),
+        ) + self
+            .caches
+            .trad
+            .preload(snapshot.trad.iter().map(|(k, v)| (*k, Arc::new(v.clone()))))
     }
 
     /// Runs traditional and systematic-variation aware corner STA on a

@@ -55,6 +55,7 @@ mod classify;
 mod flow;
 mod fullchip;
 mod parasitics;
+pub mod snapshot;
 mod statistical;
 
 pub use arcs::{label_arc, ArcLabel, ArcLabelPolicy};
@@ -62,7 +63,8 @@ pub use budget::{CornerLengths, VariationBudget};
 pub use classify::{classify_device, classify_sites, DeviceClass};
 pub use flow::{
     audit_corner_delays, characterize_corner, classify_device_site, Corner, CornerAnalysis,
-    CornerTiming, FlowError, FlowProvenance, SignoffComparison, SignoffFlow, SignoffOptions,
+    CornerTiming, FlowCacheSnapshot, FlowError, FlowProvenance, SignoffComparison, SignoffFlow,
+    SignoffOptions,
 };
 pub use fullchip::{
     compare_opc_flows, FlowComparison, FullChipOpc, FullChipResult, LibraryAssembledOpc,

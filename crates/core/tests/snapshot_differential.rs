@@ -1,0 +1,132 @@
+//! Differential proof that warm-start snapshots never change results.
+//!
+//! The persistence layer's core contract (see `docs/SNAPSHOT_FORMAT.md`):
+//! a restored stack may only *skip* recomputation, never alter it. This
+//! test builds the full c432 sign-off cold, captures the stack into an
+//! `svt-snap` container, restores it into cleared caches, re-runs the
+//! sign-off, and asserts
+//!
+//! * every corner delay matches the cold run bit-for-bit
+//!   (`f64::to_bits`),
+//! * the audit trail renders to byte-identical text and JSON,
+//! * the container bytes themselves are identical across worker-thread
+//!   counts (serialization is canonical: key-sorted caches, no map
+//!   iteration order leaks), and
+//! * the whole scenario holds for `SVT_THREADS` ∈ {1, default} — a
+//!   snapshot written by a 1-thread build must restore bit-exactly into
+//!   a default-thread server and vice versa.
+//!
+//! All environment mutation lives in this single `#[test]` because
+//! sibling tests in one binary share the process environment.
+
+use svt_core::snapshot::{stack_fingerprint, PipelineSnapshot};
+use svt_core::{SignoffComparison, SignoffFlow, SignoffOptions};
+use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile, MappedNetlist};
+use svt_place::{place, Placement, PlacementOptions};
+use svt_stdcell::{clear_expand_caches, expand_library, ExpandOptions, Library};
+
+/// Corner bits plus rendered audit reports: byte equality here is the
+/// "bit-identical sign-off" claim.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    corner_bits: [u64; 6],
+    audit_text: String,
+    audit_json: String,
+}
+
+fn fingerprint_of(cmp: &SignoffComparison, trail: &svt_obs::audit::AuditTrail) -> Fingerprint {
+    let rendered = svt_obs::audit::render_audit(trail);
+    Fingerprint {
+        corner_bits: [
+            cmp.traditional.bc_ns.to_bits(),
+            cmp.traditional.nom_ns.to_bits(),
+            cmp.traditional.wc_ns.to_bits(),
+            cmp.aware.bc_ns.to_bits(),
+            cmp.aware.nom_ns.to_bits(),
+            cmp.aware.wc_ns.to_bits(),
+        ],
+        audit_text: rendered.text,
+        audit_json: rendered.json,
+    }
+}
+
+fn build_design(library: &Library) -> (MappedNetlist, Placement) {
+    let netlist = generate_benchmark(&BenchmarkProfile::iscas85("c432").expect("profile"));
+    let mapped = technology_map(&netlist, library).expect("techmap");
+    let placement = place(&mapped, library, &PlacementOptions::default()).expect("place");
+    (mapped, placement)
+}
+
+#[test]
+fn restored_signoff_is_bit_identical_across_thread_counts() {
+    let restore_threads = std::env::var("SVT_THREADS").ok();
+    let library = Library::svt90();
+    let sim = svt_litho::Process::nm90().simulator();
+    let options = ExpandOptions::fast();
+    let fp = stack_fingerprint(&sim, &library, &options);
+    let (mapped, placement) = build_design(&library);
+
+    let mut baseline: Option<(String, Fingerprint, Vec<u8>)> = None;
+    for threads in [Some("1"), None] {
+        match threads {
+            Some(v) => std::env::set_var("SVT_THREADS", v),
+            None => std::env::remove_var("SVT_THREADS"),
+        }
+        let label = format!("SVT_THREADS={}", threads.unwrap_or("default"));
+
+        // Cold build: cleared caches, fresh expansion, full sign-off.
+        svt_litho::clear_litho_caches();
+        clear_expand_caches();
+        let expanded = expand_library(&library, &sim, &options).expect("expansion");
+        let flow = SignoffFlow::new(&library, &expanded, SignoffOptions::default());
+        let (cold_cmp, cold_trail) = flow.run_audited(&mapped, &placement).expect("cold signoff");
+        let cold_fp = fingerprint_of(&cold_cmp, &cold_trail);
+
+        // Capture, then restore into a process whose caches are empty
+        // again — the snapshot alone must reconstitute the stack.
+        let bytes = PipelineSnapshot::capture(&expanded, None, Some(&flow)).to_bytes(fp);
+        drop(flow);
+        clear_expand_caches();
+        let restored = PipelineSnapshot::from_bytes(&bytes, fp).expect("restore");
+        assert!(
+            restored.preload_expand_caches() > 0,
+            "{label}: no expand entries"
+        );
+        let warm_flow = SignoffFlow::new(&library, &restored.expanded, SignoffOptions::default());
+        assert!(
+            restored.preload_flow(&warm_flow) > 0,
+            "{label}: no flow entries"
+        );
+        let (warm_cmp, warm_trail) = warm_flow
+            .run_audited(&mapped, &placement)
+            .expect("restored signoff");
+        let warm_fp = fingerprint_of(&warm_cmp, &warm_trail);
+
+        assert_eq!(
+            cold_fp, warm_fp,
+            "{label}: restored sign-off diverged from the cold rebuild"
+        );
+
+        // Cross-thread invariance: both the results AND the container
+        // bytes must match the other configuration exactly.
+        match &baseline {
+            None => baseline = Some((label, cold_fp, bytes)),
+            Some((base_label, base_fp, base_bytes)) => {
+                assert_eq!(
+                    base_fp, &cold_fp,
+                    "{label} results diverged from {base_label}"
+                );
+                assert_eq!(
+                    base_bytes, &bytes,
+                    "{label} snapshot bytes diverged from {base_label}: \
+                     serialization must be canonical"
+                );
+            }
+        }
+    }
+
+    match restore_threads {
+        Some(v) => std::env::set_var("SVT_THREADS", v),
+        None => std::env::remove_var("SVT_THREADS"),
+    }
+}

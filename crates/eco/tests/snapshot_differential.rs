@@ -1,0 +1,116 @@
+//! Differential proof that ECO deltas are identical on a snapshot-restored
+//! stack.
+//!
+//! An `EcoSession` opened over a warm-start restore (`svt-snap`
+//! container, see `docs/SNAPSHOT_FORMAT.md`) must produce bit-identical
+//! [`DeltaReport`]s to a session opened over a cold rebuild: the memo
+//! caches a snapshot preloads are invisible to results by construction,
+//! and an edit applied on either side re-characterizes to the same bits.
+//! Runs under `SVT_THREADS` ∈ {1, default}; all environment mutation
+//! lives in this single `#[test]` because sibling tests in one binary
+//! share the process environment.
+
+use svt_core::snapshot::{stack_fingerprint, PipelineSnapshot};
+use svt_core::{SignoffFlow, SignoffOptions};
+use svt_eco::{DeltaReport, EcoEdit, EcoSession};
+use svt_netlist::{generate_benchmark, technology_map, BenchmarkProfile};
+use svt_place::{place, PlacementOptions};
+use svt_stdcell::{clear_expand_caches, expand_library, ExpandOptions, Library};
+
+/// Deterministic edit candidates touching both re-characterization
+/// (spacing changes shift contexts) and rebinding (cell swaps). Not
+/// every candidate is legal on this placement (spacing moves can
+/// overlap a neighbor); the cold session filters to the ones that
+/// apply, and the warm session replays exactly those.
+fn candidates(netlist: &svt_netlist::MappedNetlist) -> Vec<EcoEdit> {
+    let mut out = Vec::new();
+    for inst in netlist.instances().iter().take(8) {
+        out.push(EcoEdit::AdjustSpacing {
+            instance: inst.name.clone(),
+            dx_nm: 120.0,
+        });
+    }
+    if let Some(inv) = netlist.instances().iter().find(|i| i.cell == "INVX1") {
+        out.push(EcoEdit::SwapCell {
+            instance: inv.name.clone(),
+            new_cell: "INVX2".to_string(),
+        });
+    }
+    out
+}
+
+#[test]
+fn eco_deltas_match_on_restored_stack() {
+    let restore_threads = std::env::var("SVT_THREADS").ok();
+    let library = Library::svt90();
+    let sim = svt_litho::Process::nm90().simulator();
+    let options = ExpandOptions::fast();
+    let fp = stack_fingerprint(&sim, &library, &options);
+
+    let netlist = generate_benchmark(&BenchmarkProfile::iscas85("c432").expect("profile"));
+    let mapped = technology_map(&netlist, &library).expect("techmap");
+    let placement = place(&mapped, &library, &PlacementOptions::default()).expect("place");
+    let sequence = candidates(&mapped);
+
+    for threads in [Some("1"), None] {
+        match threads {
+            Some(v) => std::env::set_var("SVT_THREADS", v),
+            None => std::env::remove_var("SVT_THREADS"),
+        }
+        let label = format!("SVT_THREADS={}", threads.unwrap_or("default"));
+
+        // Cold side: fresh caches, full build, edits applied.
+        svt_litho::clear_litho_caches();
+        clear_expand_caches();
+        let expanded = expand_library(&library, &sim, &options).expect("expansion");
+        let flow = SignoffFlow::new(&library, &expanded, SignoffOptions::default());
+        let mut cold = EcoSession::new(&flow, &mapped, &placement).expect("cold session");
+        let mut applied: Vec<(&EcoEdit, DeltaReport)> = Vec::new();
+        for edit in &sequence {
+            // Illegal draws (overlapping spacing moves) are skipped on
+            // both sides; everything that lands cold must land warm.
+            if let Ok(report) = cold.apply(edit) {
+                applied.push((edit, report));
+            }
+        }
+        assert!(
+            applied.len() >= 2,
+            "{label}: want at least a spacing edit and a swap to land, got {}",
+            applied.len()
+        );
+        let cold_audit = svt_obs::audit::render_audit(cold.audit());
+
+        // Warm side: capture before the edits (a server snapshots its
+        // pristine warm stack), restore into cleared caches, reopen.
+        let bytes = PipelineSnapshot::capture(&expanded, None, Some(&flow)).to_bytes(fp);
+        drop(cold);
+        drop(flow);
+        clear_expand_caches();
+        let restored = PipelineSnapshot::from_bytes(&bytes, fp).expect("restore");
+        restored.preload_expand_caches();
+        let warm_flow = SignoffFlow::new(&library, &restored.expanded, SignoffOptions::default());
+        restored.preload_flow(&warm_flow);
+        let mut warm = EcoSession::new(&warm_flow, &mapped, &placement).expect("warm session");
+        for (i, (edit, cold_report)) in applied.iter().enumerate() {
+            let warm_delta = warm.apply(edit).expect("warm edit applies");
+            assert_eq!(
+                &warm_delta, cold_report,
+                "{label}: delta report {i} diverged on the restored stack"
+            );
+        }
+        let warm_audit = svt_obs::audit::render_audit(warm.audit());
+        assert_eq!(
+            warm_audit.text, cold_audit.text,
+            "{label}: post-edit audit text diverged"
+        );
+        assert_eq!(
+            warm_audit.json, cold_audit.json,
+            "{label}: post-edit audit json diverged"
+        );
+    }
+
+    match restore_threads {
+        Some(v) => std::env::set_var("SVT_THREADS", v),
+        None => std::env::remove_var("SVT_THREADS"),
+    }
+}

@@ -172,6 +172,24 @@ impl FocusExposureMatrix {
     }
 }
 
+impl svt_snap::Serialize for FocusExposureMatrix {
+    fn serialize(&self, out: &mut svt_snap::Serializer) {
+        self.drawn_width_nm.serialize(out);
+        self.families.serialize(out);
+    }
+}
+
+impl svt_snap::Deserialize for FocusExposureMatrix {
+    fn deserialize(
+        input: &mut svt_snap::Deserializer<'_>,
+    ) -> Result<FocusExposureMatrix, svt_snap::SnapError> {
+        Ok(FocusExposureMatrix {
+            drawn_width_nm: svt_snap::Deserialize::deserialize(input)?,
+            families: svt_snap::Deserialize::deserialize(input)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,7 @@ mod metrics;
 mod process;
 mod pupil;
 mod simulator;
+mod snap_impls;
 mod source;
 mod sweep;
 

@@ -1,0 +1,83 @@
+//! `svt-snap` binary encodings of the litho types a warm-start snapshot
+//! carries (Bossung curves and the focus-exposure matrix).
+//!
+//! Field order is the wire format (see `docs/SNAPSHOT_FORMAT.md`); all
+//! CDs round-trip bit-exactly because `svt-snap` stores `f64` as raw
+//! IEEE-754 bits.
+
+use svt_snap::{Deserialize, Deserializer, Serialize, Serializer, SnapError};
+
+use crate::bossung::{BossungCurve, BossungFamily};
+
+impl Serialize for BossungCurve {
+    fn serialize(&self, out: &mut Serializer) {
+        self.dose.serialize(out);
+        self.samples.serialize(out);
+    }
+}
+
+impl Deserialize for BossungCurve {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<BossungCurve, SnapError> {
+        let dose = f64::deserialize(input)?;
+        let samples = Vec::<(f64, f64)>::deserialize(input)?;
+        // The accessors (`cd_at_focus`, `is_smiling`) panic on curves with
+        // fewer than two samples; refuse to materialize one from bytes.
+        if samples.len() < 2 {
+            return Err(SnapError::Malformed {
+                what: format!("Bossung curve with {} samples", samples.len()),
+            });
+        }
+        Ok(BossungCurve { dose, samples })
+    }
+}
+
+impl Serialize for BossungFamily {
+    fn serialize(&self, out: &mut Serializer) {
+        self.drawn_width_nm.serialize(out);
+        self.pitch_nm.serialize(out);
+        self.curves.serialize(out);
+    }
+}
+
+impl Deserialize for BossungFamily {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<BossungFamily, SnapError> {
+        Ok(BossungFamily {
+            drawn_width_nm: f64::deserialize(input)?,
+            pitch_nm: Option::<f64>::deserialize(input)?,
+            curves: Vec::<BossungCurve>::deserialize(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svt_snap::{from_bytes, to_bytes};
+
+    #[test]
+    fn bossung_family_round_trips_bit_exactly() {
+        let fam = BossungFamily {
+            drawn_width_nm: 90.0,
+            pitch_nm: None,
+            curves: vec![BossungCurve {
+                dose: 1.05,
+                samples: vec![(-150.0, 93.25), (0.0, 90.0 + f64::EPSILON), (150.0, 93.5)],
+            }],
+        };
+        let back: BossungFamily = from_bytes(&to_bytes(&fam)).unwrap();
+        assert_eq!(back, fam);
+        assert_eq!(
+            back.curves[0].samples[1].1.to_bits(),
+            (90.0 + f64::EPSILON).to_bits()
+        );
+    }
+
+    #[test]
+    fn short_curves_are_rejected() {
+        let bad = (1.0f64, vec![(0.0f64, 90.0f64)]);
+        assert!(matches!(
+            from_bytes::<BossungCurve>(&to_bytes(&bad)),
+            Err(SnapError::Malformed { .. })
+        ));
+    }
+}

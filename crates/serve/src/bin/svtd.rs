@@ -12,7 +12,16 @@
 //!      [--workers N] [--queue-depth N]
 //!      [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N]
 //!      [--access-log PATH] [--slow-ms N] [--post-mortem PATH]
+//!      [--snapshot PATH]
 //! ```
+//!
+//! `--snapshot PATH` enables millisecond warm starts: the daemon tries
+//! to restore the expanded-library stack from `PATH` (validated by
+//! magic, version, checksum, and build fingerprint — any failure is a
+//! logged cold rebuild, counted on `snap_restore_fallback_total`), and
+//! after a cold warm-up writes `PATH` so the *next* boot restores. The
+//! wire format is specified in `docs/SNAPSHOT_FORMAT.md`;
+//! `POST /snapshot/save` re-captures on demand.
 //!
 //! `--access-log` writes one structured JSONL line per request
 //! (rotating at 10 MiB); `--slow-ms` arms the flight recorder —
@@ -52,7 +61,7 @@ const DEFAULT_WATCHDOG_MS: u64 = 30_000;
 const USAGE: &str =
     "usage: svtd [--addr HOST:PORT] [--design builtin|c432|c880|c1355|c1908|c3540]... \
 [--workers N] [--queue-depth N] [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N] \
-[--access-log PATH] [--slow-ms N] [--post-mortem PATH] \
+[--access-log PATH] [--slow-ms N] [--post-mortem PATH] [--snapshot PATH] \
 [--smoke HOST:PORT [--smoke-deep] [--smoke-recorder]]";
 
 #[cfg(unix)]
@@ -100,6 +109,7 @@ struct Args {
     options: ServerOptions,
     watchdog_ms: u64,
     post_mortem: Option<String>,
+    snapshot: Option<String>,
     smoke: Option<String>,
     smoke_deep: bool,
     smoke_recorder: bool,
@@ -112,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         options: ServerOptions::default(),
         watchdog_ms: DEFAULT_WATCHDOG_MS,
         post_mortem: None,
+        snapshot: None,
         smoke: None,
         smoke_deep: false,
         smoke_recorder: false,
@@ -156,6 +167,7 @@ fn parse_args() -> Result<Args, String> {
                 args.options.slow_ms = Some(number("--slow-ms", &value("--slow-ms")?)?);
             }
             "--post-mortem" => args.post_mortem = Some(value("--post-mortem")?),
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
             "--smoke" => args.smoke = Some(value("--smoke")?),
             "--smoke-deep" => args.smoke_deep = true,
             "--smoke-recorder" => args.smoke_recorder = true,
@@ -212,6 +224,9 @@ fn main() -> ExitCode {
         svt_obs::recorder::set_post_mortem_path(path);
     }
     sig::install();
+    // The snapshot path must be configured before anything warms the
+    // process-wide stack.
+    svt_serve::server::configure_snapshot(args.snapshot.clone());
 
     let state = match ServiceState::new(&args.designs, args.options.clone()) {
         Ok(state) => state,
@@ -235,6 +250,20 @@ fn main() -> ExitCode {
         args.options.workers,
         args.options.queue_capacity
     );
+    let snapshot = svt_serve::server::snapshot_status();
+    match snapshot.mode {
+        "restored" => eprintln!(
+            "svtd: stack restored from snapshot in {:.1}ms ({} bytes)",
+            snapshot.restore_ms, snapshot.size_bytes
+        ),
+        // A configured path with a cold boot (first run, stale
+        // fingerprint, corruption): save now so the next boot is warm.
+        "cold" => match svt_serve::server::save_snapshot() {
+            Ok((path, size)) => eprintln!("svtd: snapshot saved to {path} ({size} bytes)"),
+            Err(e) => eprintln!("svtd: snapshot save failed: {e}"),
+        },
+        _ => {}
+    }
 
     let server = match Server::spawn(&args.addr, state) {
         Ok(server) => server,

@@ -28,6 +28,7 @@
 //! | `GET /debug/requests` | the flight recorder's retained slow-request capsules (index JSON) |
 //! | `GET /debug/requests/{trace_id}` | one capsule: identity, latency, queue wait, alloc delta, timeline slice |
 //! | `GET /debug/requests/{trace_id}/trace.json` | the capsule's window as a per-request Chrome trace, every event tagged with the trace id |
+//! | `POST /snapshot/save` | capture the warm stack into the `--snapshot` file (`409` when no path is configured) |
 //! | `POST /shutdown`  | graceful drain: in-flight requests finish, new work gets `503` |
 //!
 //! Every request runs under a fresh [`svt_obs::RequestContext`] and is
@@ -57,8 +58,9 @@ pub use http::{
 };
 pub use registry::{DesignEntry, RegistryError, SessionRegistry, SlotStatus};
 pub use server::{
-    parse_eco_request, parse_edit, render_batch_report, render_delta_report, render_timing, route,
-    route_with_peer, warm_session, DesignSpec, EcoRequest, Server, ServerOptions, ServiceState,
-    BUILTIN_NETLIST, SCRAPE_LRU_CAPACITY,
+    configure_snapshot, parse_eco_request, parse_edit, render_batch_report, render_delta_report,
+    render_timing, route, route_with_peer, save_snapshot, snapshot_info_prometheus,
+    snapshot_status, warm_session, DesignSpec, EcoRequest, Server, ServerOptions, ServiceState,
+    SnapshotStatus, BUILTIN_NETLIST, SCRAPE_LRU_CAPACITY,
 };
 pub use smoke::{pick_smoke_edit, run_smoke};

@@ -33,6 +33,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use std::path::Path;
+
+use svt_core::snapshot::{restore_or_fallback, stack_fingerprint, PipelineSnapshot};
 use svt_core::{SignoffFlow, SignoffOptions};
 use svt_eco::{DeltaReport, EcoEdit, EcoError, EcoSession};
 use svt_exec::service::ServicePool;
@@ -40,7 +43,7 @@ use svt_litho::Process;
 use svt_netlist::{bench, technology_map};
 use svt_obs::json::{escape_json, JsonValue};
 use svt_place::{place, PlacementOptions};
-use svt_stdcell::{expand_library, ExpandOptions, Library};
+use svt_stdcell::{expand_library, ExpandOptions, ExpandedLibrary, Library};
 
 use crate::access_log::{AccessEntry, AccessLog};
 use crate::http::{write_response, Request, RequestParser, Response};
@@ -97,7 +100,65 @@ impl DesignSpec {
 /// this process (daemon sessions, test mirrors, smoke mirrors).
 struct WarmStack {
     library: &'static Library,
+    expanded: &'static ExpandedLibrary,
     flow: &'static SignoffFlow<'static>,
+    /// [`stack_fingerprint`] of this process's engines/options — the
+    /// gate every snapshot load and save goes through.
+    fingerprint: u64,
+}
+
+/// How this process's warm stack came to be, surfaced on `/healthz` and
+/// as the `svt_snapshot_info` metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotStatus {
+    /// `"disabled"` (no `--snapshot`), `"restored"` (warm boot from the
+    /// file), or `"cold"` (configured but rebuilt — first boot, stale
+    /// fingerprint, or corruption; the fallback reason is on the
+    /// `snap.restore_fallback{reason}` counter family).
+    pub mode: &'static str,
+    /// Configured snapshot path, when any.
+    pub path: Option<String>,
+    /// Milliseconds spent restoring (parse + preload), `0.0` unless
+    /// `mode == "restored"`.
+    pub restore_ms: f64,
+    /// Size of the snapshot file consumed or produced, when known.
+    pub size_bytes: u64,
+    /// The stack fingerprint of this process (0 until the stack warms).
+    pub fingerprint: u64,
+}
+
+fn snapshot_path_slot() -> &'static OnceLock<Option<String>> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    &PATH
+}
+
+fn snapshot_status_slot() -> &'static Mutex<SnapshotStatus> {
+    static STATUS: OnceLock<Mutex<SnapshotStatus>> = OnceLock::new();
+    STATUS.get_or_init(|| {
+        Mutex::new(SnapshotStatus {
+            mode: "disabled",
+            path: None,
+            restore_ms: 0.0,
+            size_bytes: 0,
+            fingerprint: 0,
+        })
+    })
+}
+
+/// Configures the warm-start snapshot path (`svtd --snapshot PATH`).
+/// Must be called before the first session warms; once the stack is
+/// built the path is frozen. Returns whether this call set the path.
+pub fn configure_snapshot(path: Option<String>) -> bool {
+    snapshot_path_slot().set(path).is_ok()
+}
+
+/// The current snapshot status (mode, path, restore time, size).
+#[must_use]
+pub fn snapshot_status() -> SnapshotStatus {
+    snapshot_status_slot()
+        .lock()
+        .expect("snapshot status poisoned")
+        .clone()
 }
 
 fn warm_stack() -> &'static WarmStack {
@@ -106,16 +167,83 @@ fn warm_stack() -> &'static WarmStack {
         let _span = svt_obs::span("serve.warmup.library");
         let library: &'static Library = Box::leak(Box::new(Library::svt90()));
         let sim = Process::nm90().simulator();
-        let expanded = expand_library(library, &sim, &ExpandOptions::fast())
-            .expect("expanding the svt90 library with the calibrated simulator succeeds");
+        let options = ExpandOptions::fast();
+        let fingerprint = stack_fingerprint(&sim, library, &options);
+        let path = snapshot_path_slot().get_or_init(|| None).clone();
+
+        let mut status = SnapshotStatus {
+            mode: "disabled",
+            path: path.clone(),
+            restore_ms: 0.0,
+            size_bytes: 0,
+            fingerprint,
+        };
+        let mut restored: Option<PipelineSnapshot> = None;
+        if let Some(p) = &path {
+            status.mode = "cold";
+            let t0 = Instant::now();
+            if let Some(snap) = restore_or_fallback(Path::new(p), fingerprint) {
+                snap.preload_expand_caches();
+                status.mode = "restored";
+                status.restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+                status.size_bytes = std::fs::metadata(p).map_or(0, |m| m.len());
+                restored = Some(snap);
+            }
+        }
+
+        let expanded = match &restored {
+            Some(snap) => snap.expanded.clone(),
+            None => expand_library(library, &sim, &options)
+                .expect("expanding the svt90 library with the calibrated simulator succeeds"),
+        };
         let expanded = Box::leak(Box::new(expanded));
         let flow = Box::leak(Box::new(SignoffFlow::new(
             library,
             expanded,
             SignoffOptions::default(),
         )));
-        WarmStack { library, flow }
+        if let Some(snap) = &restored {
+            let t0 = Instant::now();
+            snap.preload_flow(flow);
+            status.restore_ms += t0.elapsed().as_secs_f64() * 1e3;
+        }
+        svt_obs::gauge!("snap.restore_ms").set(status.restore_ms as i64);
+        *snapshot_status_slot()
+            .lock()
+            .expect("snapshot status poisoned") = status;
+        WarmStack {
+            library,
+            expanded,
+            flow,
+            fingerprint,
+        }
     })
+}
+
+/// Captures the current warm stack (expanded library plus both memo
+/// cache layers) into the configured snapshot file. Called by `svtd`
+/// after a cold warm-up and by `POST /snapshot/save`.
+///
+/// # Errors
+///
+/// Returns a message when no `--snapshot` path is configured or the
+/// write fails; the daemon keeps serving either way.
+pub fn save_snapshot() -> Result<(String, u64), String> {
+    let Some(path) = snapshot_path_slot().get_or_init(|| None).clone() else {
+        return Err("no snapshot path configured (start svtd with --snapshot PATH)".to_string());
+    };
+    let _span = svt_obs::span("serve.snapshot.save");
+    let stack = warm_stack();
+    let snap = PipelineSnapshot::capture(stack.expanded, None, Some(stack.flow));
+    let size = snap
+        .write_file(Path::new(&path), stack.fingerprint)
+        .map_err(|e| format!("writing snapshot `{path}`: {e}"))?;
+    snapshot_status_slot()
+        .lock()
+        .expect("snapshot status poisoned")
+        .size_bytes = size;
+    svt_obs::counter!("snap.saves").incr();
+    Ok((path, size))
 }
 
 /// Builds a fully signed-off session for the given design.
@@ -548,12 +676,20 @@ fn healthz(state: &ServiceState) -> Response {
     } else {
         "ok"
     };
+    let snap = snapshot_status();
+    let snap_path = snap
+        .path
+        .as_ref()
+        .map_or_else(|| "null".to_string(), |p| format!("\"{}\"", escape_json(p)));
     let body = format!(
-        "{{\"status\":\"{status}\",\"design\":\"{}\",\"designs\":[{designs}],\"uptime_seconds\":{},\"edits_applied\":{total_edits},\"queue_depth\":{},\"in_flight\":{},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}}}}",
+        "{{\"status\":\"{status}\",\"design\":\"{}\",\"designs\":[{designs}],\"uptime_seconds\":{},\"edits_applied\":{total_edits},\"queue_depth\":{},\"in_flight\":{},\"snapshot\":{{\"mode\":\"{}\",\"path\":{snap_path},\"restore_ms\":{},\"size_bytes\":{}}},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}}}}",
         escape_json(&state.default_design),
         fmt_f64(state.started.elapsed().as_secs_f64()),
         svt_obs::registry().gauge("serve.pool.queue_depth").get(),
         svt_obs::registry().gauge("serve.pool.in_flight").get(),
+        snap.mode,
+        fmt_f64(snap.restore_ms),
+        snap.size_bytes,
         wd.armed,
         wd.deadline.as_millis(),
         wd.stalled_now,
@@ -594,6 +730,7 @@ fn metrics(state: &ServiceState, scraper: &str) -> Response {
     let now = Instant::now();
     let snap = svt_obs::registry().snapshot();
     let mut body = svt_obs::build_info_prometheus(state.started.elapsed().as_secs_f64());
+    body.push_str(&snapshot_info_prometheus());
     body.push_str(&snap.to_prometheus());
     let mut scrapes = state.scrapes.lock().expect("scrape slots poisoned");
     if let Some(pos) = scrapes.iter().position(|(id, _, _)| id == scraper) {
@@ -610,6 +747,50 @@ fn metrics(state: &ServiceState, scraper: &str) -> Response {
         content_type: "text/plain; version=0.0.4; charset=utf-8",
         body,
         retry_after: None,
+    }
+}
+
+/// The `svt_snapshot_info` exposition block: one always-1 gauge whose
+/// labels carry the warm-start mode and path (the `svt_build_info`
+/// idiom), plus the restore time as its own series when a restore
+/// happened.
+#[must_use]
+pub fn snapshot_info_prometheus() -> String {
+    let snap = snapshot_status();
+    let path = snap
+        .path
+        .as_deref()
+        .unwrap_or("")
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"");
+    let mut out = format!(
+        "# HELP svt_snapshot_info Warm-start snapshot status of this process (value is always 1).\n\
+         # TYPE svt_snapshot_info gauge\n\
+         svt_snapshot_info{{mode=\"{}\",path=\"{path}\",fingerprint=\"{:016x}\"}} 1\n",
+        snap.mode, snap.fingerprint
+    );
+    if snap.mode == "restored" {
+        out.push_str(&format!(
+            "# HELP svt_snapshot_restore_ms Milliseconds the warm boot spent restoring the snapshot.\n\
+             # TYPE svt_snapshot_restore_ms gauge\n\
+             svt_snapshot_restore_ms {}\n",
+            fmt_f64(snap.restore_ms)
+        ));
+    }
+    out
+}
+
+fn snapshot_save(state: &ServiceState) -> Response {
+    if state.draining() {
+        return Response::error(503, "draining");
+    }
+    match save_snapshot() {
+        Ok((path, size)) => Response::json(format!(
+            "{{\"status\":\"saved\",\"path\":\"{}\",\"size_bytes\":{size}}}",
+            escape_json(&path)
+        )),
+        Err(e) if e.starts_with("no snapshot path") => Response::error(409, &e),
+        Err(e) => Response::error(500, &e),
     }
 }
 
@@ -813,6 +994,7 @@ fn classify(state: &ServiceState, method: &str, path: &str) -> (&'static str, St
         ("GET", "/timeline.json") => ("/timeline.json", "-".to_string()),
         ("GET", "/designs") => ("/designs", "-".to_string()),
         ("POST", "/eco") => ("/eco", state.default_design.clone()),
+        ("POST", "/snapshot/save") => ("/snapshot/save", "-".to_string()),
         ("POST", "/shutdown") => ("/shutdown", "-".to_string()),
         (_, p) if p == "/debug/requests" || p.starts_with("/debug/requests/") => {
             ("/debug/requests", "-".to_string())
@@ -853,6 +1035,7 @@ fn dispatch(state: &ServiceState, req: &Request, path: &str, peer: Option<&str>)
             debug_requests(&p["/debug/requests/".len()..])
         }
         ("POST", "/eco") => design_eco(state, &state.default_design, req),
+        ("POST", "/snapshot/save") => snapshot_save(state),
         ("POST", "/shutdown") => {
             state.begin_drain();
             Response::json("{\"status\":\"draining\"}".to_string())
@@ -878,7 +1061,7 @@ fn dispatch(state: &ServiceState, req: &Request, path: &str, peer: Option<&str>)
         (
             _,
             "/healthz" | "/metrics" | "/snapshot.json" | "/timeline.json" | "/eco" | "/designs"
-            | "/shutdown",
+            | "/shutdown" | "/snapshot/save",
         ) => Response::error(405, "method not allowed"),
         (_, p) if p == "/debug/requests" || p.starts_with("/debug/requests/") => {
             Response::error(405, "method not allowed")

@@ -173,6 +173,26 @@ fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
         "a rejected edit must not mutate any session"
     );
 
+    // No --snapshot path was configured in this process, so persistence
+    // is off: /healthz reports it, the info gauge labels it, and an
+    // on-demand save is refused with 409 (a client error, not a crash).
+    assert_eq!(
+        health
+            .get("snapshot")
+            .and_then(|s| s.get("mode"))
+            .and_then(JsonValue::as_str),
+        Some("disabled"),
+        "healthz snapshot mode: {health:?}"
+    );
+    let (status, body) = http_request(&addr, "POST", "/snapshot/save", "").unwrap();
+    assert_eq!(status, 409, "save without a configured path: {body}");
+    assert!(body.contains("no snapshot path"), "{body}");
+    let (_, metrics) = http_request(&addr, "GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.contains("svt_snapshot_info{mode=\"disabled\""),
+        "metrics must expose the disabled snapshot state"
+    );
+
     // A failing edit mid-batch rolls nothing in: the batch is refused
     // at the offending element and the count stays put.
     let (status, body) = http_request(

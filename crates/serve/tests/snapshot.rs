@@ -1,0 +1,107 @@
+//! Warm-boot test of the service plane's snapshot path: pre-write a
+//! valid `svt-snap` container the way a previous daemon run would have,
+//! configure it before anything warms the process-global stack, boot,
+//! and assert the boot actually restored — status, `/healthz` JSON,
+//! `svt_snapshot_info` exposition, and a served timing read off the
+//! restored stack. `POST /snapshot/save` then re-captures into the same
+//! file and must grow it (the save adds the flow's characterization
+//! cache the pre-written container did not carry).
+//!
+//! Single `#[test]`: the snapshot path slot and warm stack are
+//! process-global `OnceLock`s, so only one scenario fits per process
+//! (the unconfigured/409 path runs in `e2e.rs` for the same reason).
+
+use svt_core::snapshot::{stack_fingerprint, PipelineSnapshot};
+use svt_litho::Process;
+use svt_serve::http::http_request;
+use svt_serve::server::{configure_snapshot, snapshot_status, DesignSpec, Server, ServiceState};
+use svt_stdcell::{expand_library, ExpandOptions, Library};
+
+#[test]
+fn daemon_restores_from_snapshot_and_saves_on_demand() {
+    // What a previous daemon run would have left behind: the svt90
+    // stack under the exact fingerprint warm_stack() computes.
+    let library = Library::svt90();
+    let sim = Process::nm90().simulator();
+    let options = ExpandOptions::fast();
+    let fingerprint = stack_fingerprint(&sim, &library, &options);
+    let expanded = expand_library(&library, &sim, &options).expect("expansion");
+    let path =
+        std::env::temp_dir().join(format!("svt_serve_snapshot_{}.svtsnap", std::process::id()));
+    let written = PipelineSnapshot::capture(&expanded, None, None)
+        .write_file(&path, fingerprint)
+        .expect("write snapshot");
+    assert!(written > 0);
+
+    // Freeze the path before the first warm — exactly what svtd does.
+    assert!(
+        configure_snapshot(Some(path.to_string_lossy().to_string())),
+        "first configure_snapshot call must win the slot"
+    );
+
+    let state = ServiceState::new(&[DesignSpec::Builtin], Default::default()).expect("state");
+    state.warm("builtin").expect("warm-up succeeds");
+
+    let status = snapshot_status();
+    assert_eq!(status.mode, "restored", "boot must have used the file");
+    assert!(status.restore_ms > 0.0, "restore time must be measured");
+    assert_eq!(status.size_bytes, written);
+    assert_eq!(status.fingerprint, fingerprint);
+
+    let server = Server::spawn("127.0.0.1:0", state).expect("bind");
+    let addr = server.addr().to_string();
+
+    // /healthz reports restore-vs-cold so orchestration can tell a warm
+    // boot from a slow one.
+    let (code, body) = http_request(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(code, 200, "healthz: {body}");
+    assert!(
+        body.contains("\"snapshot\":{\"mode\":\"restored\""),
+        "healthz must carry the snapshot mode: {body}"
+    );
+    assert!(
+        body.contains(&format!("\"size_bytes\":{written}")),
+        "{body}"
+    );
+
+    // /metrics carries the info gauge with mode/path/fingerprint labels
+    // and the restore-latency gauge.
+    let (code, metrics) = http_request(&addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(code, 200);
+    assert!(
+        metrics.contains("svt_snapshot_info{mode=\"restored\""),
+        "metrics must expose svt_snapshot_info: {metrics}"
+    );
+    assert!(
+        metrics.contains(&format!("fingerprint=\"{fingerprint:016x}\"")),
+        "metrics must label the stack fingerprint"
+    );
+    assert!(
+        metrics.contains("svt_snapshot_restore_ms"),
+        "restored boots must expose the restore latency"
+    );
+
+    // The restored stack serves timing like any cold one.
+    let (code, timing) = http_request(&addr, "GET", "/designs/builtin/timing", "").expect("timing");
+    assert_eq!(code, 200, "timing: {timing}");
+    assert!(timing.contains("uncertainty_reduction_pct"), "{timing}");
+
+    // On-demand re-capture: now that a flow is warm, the saved container
+    // additionally carries its characterization cache, so it grows.
+    let (code, saved) = http_request(&addr, "POST", "/snapshot/save", "").expect("save");
+    assert_eq!(code, 200, "save: {saved}");
+    assert!(saved.contains("\"status\":\"saved\""), "{saved}");
+    let new_size = std::fs::metadata(&path).expect("saved file").len();
+    assert!(
+        new_size > written,
+        "re-capture with a warm flow must grow the container ({written} -> {new_size})"
+    );
+    assert_eq!(snapshot_status().size_bytes, new_size);
+
+    // The re-captured file round-trips under the same fingerprint.
+    let reread = PipelineSnapshot::read_file(&path, fingerprint).expect("reread");
+    assert!(!reread.flow_caches.is_empty(), "flow cache section filled");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,383 @@
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::de::{Deserialize, Deserializer};
+use crate::error::SnapError;
+use crate::ser::{Serialize, Serializer};
+
+/// First eight bytes of every svt snapshot file.
+pub const MAGIC: [u8; 8] = *b"SVTSNAP\0";
+
+/// Highest snapshot format version this build writes and reads. Files
+/// stamped with a *lower* version remain readable (additive evolution:
+/// readers skip unknown sections); files stamped with a higher version
+/// are rejected with [`SnapError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size in bytes: magic (8) + version (4) + section count
+/// (4) + fingerprint (8) + payload length (8) + checksum (8).
+pub const HEADER_LEN: usize = 40;
+
+/// The FNV-1a 64-bit hash — the snapshot payload checksum.
+///
+/// Chosen for being trivially reimplementable (two constants, one loop)
+/// by a foreign reader; the checksum guards against corruption, not
+/// adversaries.
+///
+/// # Examples
+///
+/// ```
+/// // The well-known FNV-1a test vectors.
+/// assert_eq!(svt_snap::fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_eq!(svt_snap::fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+/// ```
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds a snapshot file: named, typed sections behind a fingerprinted
+/// and checksummed header.
+///
+/// # Examples
+///
+/// ```
+/// use svt_snap::{SnapshotReader, SnapshotWriter};
+///
+/// let mut writer = SnapshotWriter::new(0xfeed);
+/// writer.section("spacings", &vec![200.0f64, 400.0, 700.0]);
+/// let bytes = writer.to_bytes();
+///
+/// let reader = SnapshotReader::from_bytes(&bytes)?;
+/// reader.expect_fingerprint(0xfeed)?;
+/// let spacings: Vec<f64> = reader.section("spacings")?;
+/// assert_eq!(spacings, [200.0, 400.0, 700.0]);
+/// # Ok::<(), svt_snap::SnapError>(())
+/// ```
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    fingerprint: u64,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// A writer stamped with the given build fingerprint.
+    #[must_use]
+    pub fn new(fingerprint: u64) -> SnapshotWriter {
+        SnapshotWriter {
+            fingerprint,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section holding one serialized value. Section names
+    /// must be unique; order is preserved.
+    pub fn section<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        let mut body = Serializer::new();
+        value.serialize(&mut body);
+        self.raw_section(name, body.into_bytes());
+    }
+
+    /// Appends a section of pre-encoded bytes.
+    pub fn raw_section(&mut self, name: &str, body: Vec<u8>) {
+        self.sections.push((name.to_string(), body));
+    }
+
+    /// Number of sections added so far.
+    #[must_use]
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Encodes the whole snapshot: header, then each section as
+    /// `name-length (u32) · name · body-length (u64) · body`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Serializer::new();
+        for (name, body) in &self.sections {
+            payload.write_u32(u32::try_from(name.len()).expect("section name fits u32"));
+            payload.write_bytes(name.as_bytes());
+            payload.write_u64(body.len() as u64);
+            payload.write_bytes(body);
+        }
+        let payload = payload.into_bytes();
+
+        let mut out = Serializer::new();
+        out.write_bytes(&MAGIC);
+        out.write_u32(FORMAT_VERSION);
+        out.write_u32(u32::try_from(self.sections.len()).expect("section count fits u32"));
+        out.write_u64(self.fingerprint);
+        out.write_u64(payload.len() as u64);
+        out.write_u64(fnv1a64(&payload));
+        out.write_bytes(&payload);
+        out.into_bytes()
+    }
+
+    /// Writes the snapshot atomically (`path.tmp` + rename), returning
+    /// the byte size written. A reader can never observe a half-written
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Io`] on any filesystem failure.
+    pub fn write_file(&self, path: &Path) -> Result<u64, SnapError> {
+        let bytes = self.to_bytes();
+        let io_err = |message: String| SnapError::Io {
+            path: path.display().to_string(),
+            message,
+        };
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| io_err(e.to_string()))?;
+            file.write_all(&bytes).map_err(|e| io_err(e.to_string()))?;
+            file.sync_all().map_err(|e| io_err(e.to_string()))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err(e.to_string()))?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// Parses and validates a snapshot, exposing its sections for typed
+/// decoding.
+///
+/// Validation order (each failure is a distinct [`SnapError`] so the
+/// fallback counter can attribute it): header length → magic → version →
+/// payload length → checksum → section directory. The build fingerprint
+/// is *not* checked here — call [`SnapshotReader::expect_fingerprint`]
+/// with the running engine's value.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    version: u32,
+    fingerprint: u64,
+    /// `(name, start, end)` into `payload`.
+    index: Vec<(String, usize, usize)>,
+    payload: Vec<u8>,
+}
+
+impl SnapshotReader {
+    /// Parses `bytes` as a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Any of [`SnapError::Truncated`], [`SnapError::BadMagic`],
+    /// [`SnapError::UnsupportedVersion`], [`SnapError::TrailingBytes`],
+    /// [`SnapError::ChecksumMismatch`], or [`SnapError::Malformed`] for
+    /// a corrupt section directory.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotReader, SnapError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapError::Truncated {
+                needed: HEADER_LEN,
+                remaining: bytes.len(),
+            });
+        }
+        let mut header = Deserializer::new(&bytes[..HEADER_LEN]);
+        let magic: [u8; 8] = header
+            .read_exact(8)?
+            .try_into()
+            .expect("read_exact returned 8 bytes");
+        if magic != MAGIC {
+            return Err(SnapError::BadMagic { found: magic });
+        }
+        let version = header.read_u32()?;
+        if version > FORMAT_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let section_count = header.read_u32()?;
+        let fingerprint = header.read_u64()?;
+        let payload_len =
+            usize::try_from(header.read_u64()?).map_err(|_| SnapError::Malformed {
+                what: "payload length exceeds the address space".into(),
+            })?;
+        let checksum = header.read_u64()?;
+
+        let actual = bytes.len() - HEADER_LEN;
+        if actual < payload_len {
+            return Err(SnapError::Truncated {
+                needed: payload_len,
+                remaining: actual,
+            });
+        }
+        if actual > payload_len {
+            return Err(SnapError::TrailingBytes {
+                count: actual - payload_len,
+            });
+        }
+        let payload = &bytes[HEADER_LEN..];
+        let found = fnv1a64(payload);
+        if found != checksum {
+            return Err(SnapError::ChecksumMismatch {
+                expected: checksum,
+                found,
+            });
+        }
+
+        let mut dir = Deserializer::new(payload);
+        let mut index = Vec::with_capacity(section_count as usize);
+        for _ in 0..section_count {
+            let name_len = dir.read_u32()? as usize;
+            let name = std::str::from_utf8(dir.read_exact(name_len)?)
+                .map_err(|_| SnapError::Malformed {
+                    what: "section name is not valid UTF-8".into(),
+                })?
+                .to_string();
+            let body_len = usize::try_from(dir.read_u64()?).map_err(|_| SnapError::Malformed {
+                what: format!("section `{name}` length exceeds the address space"),
+            })?;
+            let start = payload.len() - dir.remaining();
+            dir.read_exact(body_len)?;
+            index.push((name, start, start + body_len));
+        }
+        dir.finish()?;
+
+        Ok(SnapshotReader {
+            version,
+            fingerprint,
+            index,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Io`] on filesystem failures, else any
+    /// [`SnapshotReader::from_bytes`] error.
+    pub fn read_file(path: &Path) -> Result<SnapshotReader, SnapError> {
+        let bytes = fs::read(path).map_err(|e| SnapError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        SnapshotReader::from_bytes(&bytes)
+    }
+
+    /// Format version stamped in the file.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Build fingerprint stamped in the file.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Total payload size in bytes (excluding the header).
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Section names in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.index.iter().map(|(name, _, _)| name.as_str())
+    }
+
+    /// Whether a section is present.
+    #[must_use]
+    pub fn has_section(&self, name: &str) -> bool {
+        self.index.iter().any(|(n, _, _)| n == name)
+    }
+
+    /// Validates the stamped fingerprint against the running engine's.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::FingerprintMismatch`] when they differ — the file was
+    /// written by a different engine configuration and must be rebuilt.
+    pub fn expect_fingerprint(&self, expected: u64) -> Result<(), SnapError> {
+        if self.fingerprint == expected {
+            Ok(())
+        } else {
+            Err(SnapError::FingerprintMismatch {
+                expected,
+                found: self.fingerprint,
+            })
+        }
+    }
+
+    /// Decodes a section as a `T`, requiring the section body be fully
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::MissingSection`] when absent, else the value's
+    /// decode error.
+    pub fn section<T: Deserialize>(&self, name: &str) -> Result<T, SnapError> {
+        let (_, start, end) = self
+            .index
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| SnapError::MissingSection {
+                name: name.to_string(),
+            })?;
+        let mut input = Deserializer::new(&self.payload[*start..*end]);
+        let value = T::deserialize(&mut input)?;
+        input.finish()?;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout_is_exactly_as_documented() {
+        let mut w = SnapshotWriter::new(0x1122_3344_5566_7788);
+        w.section("a", &1u8);
+        let bytes = w.to_bytes();
+        assert_eq!(&bytes[0..8], b"SVTSNAP\0");
+        assert_eq!(&bytes[8..12], &1u32.to_le_bytes(), "version");
+        assert_eq!(&bytes[12..16], &1u32.to_le_bytes(), "section count");
+        assert_eq!(
+            &bytes[16..24],
+            &0x1122_3344_5566_7788u64.to_le_bytes(),
+            "fingerprint"
+        );
+        let payload_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        assert_eq!(payload_len as usize, bytes.len() - HEADER_LEN);
+        let checksum = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        assert_eq!(checksum, fnv1a64(&bytes[HEADER_LEN..]));
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let bytes = SnapshotWriter::new(7).to_bytes();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let r = SnapshotReader::from_bytes(&bytes).unwrap();
+        assert_eq!(r.fingerprint(), 7);
+        assert_eq!(r.section_names().count(), 0);
+        assert!(matches!(
+            r.section::<u8>("absent"),
+            Err(SnapError::MissingSection { name }) if name == "absent"
+        ));
+    }
+
+    #[test]
+    fn sections_are_independent_and_ordered() {
+        let mut w = SnapshotWriter::new(0);
+        w.section("first", &vec![1u64, 2, 3]);
+        w.section("second", &String::from("hello"));
+        assert_eq!(w.section_count(), 2);
+        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+        let names: Vec<&str> = r.section_names().collect();
+        assert_eq!(names, ["first", "second"]);
+        assert_eq!(r.section::<Vec<u64>>("first").unwrap(), [1, 2, 3]);
+        assert_eq!(r.section::<String>("second").unwrap(), "hello");
+        assert!(r.has_section("first") && !r.has_section("third"));
+        // Reading a section with the wrong type fails cleanly (here: the
+        // string's bytes don't fill a whole number of u64 words).
+        assert!(r.section::<Vec<u64>>("second").is_err());
+    }
+}

@@ -1,0 +1,345 @@
+use std::collections::BTreeMap;
+
+use crate::error::SnapError;
+
+/// A type that can read itself back from a [`Deserializer`].
+///
+/// The field order must mirror the type's [`crate::Serialize`] impl
+/// exactly — the encoding carries no field names or tags.
+pub trait Deserialize: Sized {
+    /// Reads one value.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the input ends mid-value, or
+    /// [`SnapError::Malformed`] when the bytes decode to an invalid
+    /// value (bad enum tag, non-UTF-8 string, failed invariant).
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<Self, SnapError>;
+}
+
+/// Decodes a `T` from `bytes`, requiring the whole input be consumed.
+///
+/// # Errors
+///
+/// Propagates the value's decode error, or [`SnapError::TrailingBytes`]
+/// if input remains after the value.
+///
+/// # Examples
+///
+/// ```
+/// let n: u32 = svt_snap::from_bytes(&[7, 0, 0, 0])?;
+/// assert_eq!(n, 7);
+/// assert!(svt_snap::from_bytes::<u32>(&[7, 0, 0]).is_err(), "truncated");
+/// assert!(svt_snap::from_bytes::<u32>(&[7, 0, 0, 0, 9]).is_err(), "trailing");
+/// # Ok::<(), svt_snap::SnapError>(())
+/// ```
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, SnapError> {
+    let mut input = Deserializer::new(bytes);
+    let value = T::deserialize(&mut input)?;
+    input.finish()?;
+    Ok(value)
+}
+
+/// A bounds-checked little-endian decoder over a byte slice.
+///
+/// Every read validates that enough input remains and returns
+/// [`SnapError::Truncated`] otherwise — a truncated or corrupted file can
+/// never panic or read out of bounds.
+#[derive(Debug)]
+pub struct Deserializer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Deserializer<'a> {
+    /// A decoder over `bytes`, positioned at the start.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Deserializer<'a> {
+        Deserializer { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the input is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::TrailingBytes`] when input remains.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than `n` bytes remain.
+    pub fn read_exact(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at end of input.
+    pub fn read_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.read_exact(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 2 bytes remain.
+    pub fn read_u16(&mut self) -> Result<u16, SnapError> {
+        let b = self.read_exact(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 4 bytes remain.
+    pub fn read_u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.read_exact(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn read_u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.read_exact(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn read_i64(&mut self) -> Result<i64, SnapError> {
+        Ok(self.read_u64()? as i64)
+    }
+
+    /// Reads an `f64` from its exact IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn read_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a collection length and sanity-bounds it against the
+    /// remaining input (each element encodes to at least one byte), so a
+    /// corrupted length can never drive a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the length field is cut short or
+    /// claims more elements than bytes remain.
+    pub fn read_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.read_u64()?;
+        let n = usize::try_from(n).map_err(|_| SnapError::Malformed {
+            what: format!("length {n} exceeds the address space"),
+        })?;
+        if n > self.remaining() {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] on short input, [`SnapError::Malformed`]
+    /// on invalid UTF-8.
+    pub fn read_str(&mut self) -> Result<String, SnapError> {
+        let n = self.read_len()?;
+        let bytes = self.read_exact(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Malformed {
+            what: "string is not valid UTF-8".into(),
+        })
+    }
+}
+
+impl Deserialize for u8 {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<u8, SnapError> {
+        input.read_u8()
+    }
+}
+
+impl Deserialize for u16 {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<u16, SnapError> {
+        input.read_u16()
+    }
+}
+
+impl Deserialize for u32 {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<u32, SnapError> {
+        input.read_u32()
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<u64, SnapError> {
+        input.read_u64()
+    }
+}
+
+impl Deserialize for i64 {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<i64, SnapError> {
+        input.read_i64()
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<usize, SnapError> {
+        let n = input.read_u64()?;
+        usize::try_from(n).map_err(|_| SnapError::Malformed {
+            what: format!("usize {n} exceeds the address space"),
+        })
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<f64, SnapError> {
+        input.read_f64()
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<bool, SnapError> {
+        match input.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapError::Malformed {
+                what: format!("bool tag {other} (expected 0 or 1)"),
+            }),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<String, SnapError> {
+        input.read_str()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<Option<T>, SnapError> {
+        match input.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(input)?)),
+            other => Err(SnapError::Malformed {
+                what: format!("option tag {other} (expected 0 or 1)"),
+            }),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<Vec<T>, SnapError> {
+        let n = input.read_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<[T; N], SnapError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::deserialize(input)?);
+        }
+        out.try_into().map_err(|_| SnapError::Malformed {
+            what: format!("array of {N} failed to materialize"),
+        })
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<BTreeMap<K, V>, SnapError> {
+        let n = input.read_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::deserialize(input)?;
+            let v = V::deserialize(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<(A, B), SnapError> {
+        Ok((A::deserialize(input)?, B::deserialize(input)?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<(A, B, C), SnapError> {
+        Ok((
+            A::deserialize(input)?,
+            B::deserialize(input)?,
+            C::deserialize(input)?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<(A, B, C, D), SnapError> {
+        Ok((
+            A::deserialize(input)?,
+            B::deserialize(input)?,
+            C::deserialize(input)?,
+            D::deserialize(input)?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize, E: Deserialize> Deserialize
+    for (A, B, C, D, E)
+{
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<(A, B, C, D, E), SnapError> {
+        Ok((
+            A::deserialize(input)?,
+            B::deserialize(input)?,
+            C::deserialize(input)?,
+            D::deserialize(input)?,
+            E::deserialize(input)?,
+        ))
+    }
+}

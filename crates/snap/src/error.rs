@@ -1,0 +1,174 @@
+use std::fmt;
+
+/// Everything that can go wrong reading (or writing) a snapshot.
+///
+/// Each variant carries enough context to log a useful message, and
+/// [`SnapError::reason`] collapses the variant to a stable label used by
+/// the `snap.restore_fallback{reason}` counter family, so operators can
+/// see *why* a daemon fell back to a cold rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The input ended before a read completed.
+    Truncated {
+        /// Bytes the failed read needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// Decoding finished with input left over.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        count: usize,
+    },
+    /// The file does not start with [`crate::MAGIC`].
+    BadMagic {
+        /// The eight bytes found instead.
+        found: [u8; 8],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+        /// Highest version this build reads ([`crate::FORMAT_VERSION`]).
+        supported: u32,
+    },
+    /// The file was produced by an engine whose identity hashes differ
+    /// from the running build's — its tables cannot be trusted.
+    FingerprintMismatch {
+        /// Fingerprint the running build expects.
+        expected: u64,
+        /// Fingerprint stamped in the file.
+        found: u64,
+    },
+    /// The payload checksum does not match the header — the file was
+    /// corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum stamped in the header.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        found: u64,
+    },
+    /// Structurally well-formed bytes that decode to an invalid value
+    /// (e.g. a lookup table with a non-increasing axis).
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+    /// A section the reader requires is absent.
+    MissingSection {
+        /// The missing section's name.
+        name: String,
+    },
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl SnapError {
+    /// Stable, low-cardinality label of the failure class — the `reason`
+    /// value of the `snap.restore_fallback{reason}` counter family.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self {
+            SnapError::Truncated { .. } => "truncated",
+            SnapError::TrailingBytes { .. } => "trailing_bytes",
+            SnapError::BadMagic { .. } => "bad_magic",
+            SnapError::UnsupportedVersion { .. } => "version",
+            SnapError::FingerprintMismatch { .. } => "fingerprint",
+            SnapError::ChecksumMismatch { .. } => "checksum",
+            SnapError::Malformed { .. } => "malformed",
+            SnapError::MissingSection { .. } => "missing_section",
+            SnapError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {remaining} left"
+                )
+            }
+            SnapError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the last field")
+            }
+            SnapError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (not an svt snapshot)")
+            }
+            SnapError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format v{found} is newer than the supported v{supported}"
+                )
+            }
+            SnapError::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "build fingerprint {found:#018x} does not match the running engine's {expected:#018x}"
+                )
+            }
+            SnapError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "payload checksum {found:#018x} does not match the header's {expected:#018x}"
+                )
+            }
+            SnapError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+            SnapError::MissingSection { name } => write!(f, "section `{name}` is missing"),
+            SnapError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_are_stable_and_distinct() {
+        let errors = [
+            SnapError::Truncated {
+                needed: 8,
+                remaining: 0,
+            },
+            SnapError::TrailingBytes { count: 3 },
+            SnapError::BadMagic { found: [0; 8] },
+            SnapError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            SnapError::FingerprintMismatch {
+                expected: 1,
+                found: 2,
+            },
+            SnapError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+            SnapError::Malformed { what: "x".into() },
+            SnapError::MissingSection { name: "fem".into() },
+            SnapError::Io {
+                path: "/tmp/x".into(),
+                message: "denied".into(),
+            },
+        ];
+        let reasons: Vec<&str> = errors.iter().map(SnapError::reason).collect();
+        let mut unique = reasons.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), reasons.len(), "labels must be distinct");
+        for (e, r) in errors.iter().zip(&reasons) {
+            assert!(!r.is_empty());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Versioned binary snapshots for the svt pipeline.
+//!
+//! The warm-path speedups of the expansion and FEM caches exist only
+//! within one process; this crate is the persistence layer that carries
+//! them across process boundaries. It is deliberately `std`-only and
+//! knows nothing about the domain types it transports — the domain
+//! crates implement [`Serialize`]/[`Deserialize`] for their own types
+//! and `svt-core` assembles them into a [`SnapshotWriter`] container.
+//!
+//! Three layers, documented byte-for-byte in `docs/SNAPSHOT_FORMAT.md`:
+//!
+//! * [`Serializer`] / [`Deserializer`] — a byte-oriented little-endian
+//!   encoder/decoder pair. Floats round-trip **bit-exactly** (stored as
+//!   [`f64::to_bits`], never formatted), the same guarantee the `/eco`
+//!   JSON float path makes textually.
+//! * [`Serialize`] / [`Deserialize`] — the trait pair implemented by
+//!   every snapshotted type, with blanket impls for primitives, tuples,
+//!   arrays, `String`, `Option`, `Vec`, and `BTreeMap`.
+//! * [`SnapshotWriter`] / [`SnapshotReader`] — the versioned file
+//!   container: magic, format version, build fingerprint, checksummed
+//!   named sections. Every malformation maps to a typed [`SnapError`],
+//!   so a caller can always fall back to a cold rebuild — corruption is
+//!   a recoverable condition, never a crash.
+//!
+//! # Examples
+//!
+//! Round-trip a small struct through the trait pair:
+//!
+//! ```
+//! use svt_snap::{Deserialize, Deserializer, Serialize, Serializer, SnapError};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Sample {
+//!     name: String,
+//!     values: Vec<f64>,
+//! }
+//!
+//! impl Serialize for Sample {
+//!     fn serialize(&self, out: &mut Serializer) {
+//!         self.name.serialize(out);
+//!         self.values.serialize(out);
+//!     }
+//! }
+//!
+//! impl Deserialize for Sample {
+//!     fn deserialize(input: &mut Deserializer<'_>) -> Result<Sample, SnapError> {
+//!         Ok(Sample {
+//!             name: String::deserialize(input)?,
+//!             values: Vec::deserialize(input)?,
+//!         })
+//!     }
+//! }
+//!
+//! let sample = Sample { name: "c432".into(), values: vec![0.1, -0.0, f64::MIN_POSITIVE] };
+//! let bytes = svt_snap::to_bytes(&sample);
+//! let back: Sample = svt_snap::from_bytes(&bytes)?;
+//! assert_eq!(back, sample);
+//! // f64 round-trips are bit-exact, including -0.0 and subnormals.
+//! assert_eq!(back.values[1].to_bits(), (-0.0f64).to_bits());
+//! # Ok::<(), SnapError>(())
+//! ```
+
+mod container;
+mod de;
+mod error;
+mod ser;
+
+pub use container::{fnv1a64, SnapshotReader, SnapshotWriter, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use de::{from_bytes, Deserialize, Deserializer};
+pub use error::SnapError;
+pub use ser::{to_bytes, Serialize, Serializer};

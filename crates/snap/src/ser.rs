@@ -1,0 +1,271 @@
+use std::collections::BTreeMap;
+
+/// A type that can write itself into a [`Serializer`].
+///
+/// Implementations append a fixed, self-describing-by-position byte
+/// sequence — the decoder reads fields back in the same order, so the
+/// pair of impls *is* the schema (and `docs/SNAPSHOT_FORMAT.md` is its
+/// written form).
+pub trait Serialize {
+    /// Appends this value's encoding to `out`.
+    fn serialize(&self, out: &mut Serializer);
+}
+
+/// Encodes `value` as a standalone byte vector.
+///
+/// # Examples
+///
+/// ```
+/// let bytes = svt_snap::to_bytes(&7u32);
+/// assert_eq!(bytes, [7, 0, 0, 0], "u32 is 4 bytes little-endian");
+/// ```
+#[must_use]
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Serializer::new();
+    value.serialize(&mut out);
+    out.into_bytes()
+}
+
+/// A byte-oriented little-endian encoder.
+///
+/// All multi-byte integers are little-endian; `f64` is stored as its
+/// IEEE-754 bit pattern ([`f64::to_bits`]), so every float — including
+/// `-0.0`, subnormals, infinities, and NaN payloads — round-trips
+/// bit-exactly. Lengths are `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use svt_snap::Serializer;
+///
+/// let mut out = Serializer::new();
+/// out.write_u16(0x1234);
+/// out.write_f64(1.5);
+/// assert_eq!(out.len(), 2 + 8);
+/// assert_eq!(&out.into_bytes()[..2], &[0x34, 0x12]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Serializer {
+    buf: Vec<u8>,
+}
+
+impl Serializer {
+    /// An empty serializer.
+    #[must_use]
+    pub fn new() -> Serializer {
+        Serializer::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian two's complement.
+    pub fn write_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its exact IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a collection length as a `u64`.
+    pub fn write_len(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Writes raw bytes with **no** length prefix (container internals;
+    /// typed encodings use [`Serializer::write_str`] or `Vec<u8>`).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+impl Serialize for u8 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u8(*self);
+    }
+}
+
+impl Serialize for u16 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u16(*self);
+    }
+}
+
+impl Serialize for u32 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u32(*self);
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u64(*self);
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_i64(*self);
+    }
+}
+
+impl Serialize for usize {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u64(*self as u64);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_f64(*self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u8(u8::from(*self));
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_str(self);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        match self {
+            None => out.write_u8(0),
+            Some(v) => {
+                out.write_u8(1);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut Serializer) {
+        // Fixed-arity: the length is part of the type, so no prefix.
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, out: &mut Serializer) {
+        self.0.serialize(out);
+        self.1.serialize(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, out: &mut Serializer) {
+        self.0.serialize(out);
+        self.1.serialize(out);
+        self.2.serialize(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize(&self, out: &mut Serializer) {
+        self.0.serialize(out);
+        self.1.serialize(out);
+        self.2.serialize(out);
+        self.3.serialize(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize, E: Serialize> Serialize
+    for (A, B, C, D, E)
+{
+    fn serialize(&self, out: &mut Serializer) {
+        self.0.serialize(out);
+        self.1.serialize(out);
+        self.2.serialize(out);
+        self.3.serialize(out);
+        self.4.serialize(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Serializer) {
+        (*self).serialize(out);
+    }
+}

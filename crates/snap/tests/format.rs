@@ -1,0 +1,211 @@
+//! Corruption-robustness suite of the snapshot container: every way a
+//! file can be damaged must map to a *typed* error (never a panic, never
+//! a wrong value), because the restore path turns each error into a
+//! logged cold-rebuild fallback.
+
+use svt_snap::{
+    from_bytes, to_bytes, SnapError, SnapshotReader, SnapshotWriter, FORMAT_VERSION, HEADER_LEN,
+};
+
+fn sample_snapshot() -> Vec<u8> {
+    let mut w = SnapshotWriter::new(0xdead_beef_cafe_f00d);
+    w.section(
+        "floats",
+        &vec![1.5f64, -0.0, f64::INFINITY, f64::MIN_POSITIVE],
+    );
+    w.section(
+        "names",
+        &vec![String::from("INVX1"), String::from("NAND2X1")],
+    );
+    w.to_bytes()
+}
+
+#[test]
+fn pristine_file_parses_and_round_trips_bit_exactly() {
+    let r = SnapshotReader::from_bytes(&sample_snapshot()).unwrap();
+    r.expect_fingerprint(0xdead_beef_cafe_f00d).unwrap();
+    let floats: Vec<f64> = r.section("floats").unwrap();
+    assert_eq!(floats[0].to_bits(), 1.5f64.to_bits());
+    assert_eq!(floats[1].to_bits(), (-0.0f64).to_bits());
+    assert_eq!(floats[2].to_bits(), f64::INFINITY.to_bits());
+    assert_eq!(floats[3].to_bits(), f64::MIN_POSITIVE.to_bits());
+}
+
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    let bytes = sample_snapshot();
+    // Every strict prefix must fail with Truncated (short header or short
+    // payload) — never panic, never parse.
+    for cut in 0..bytes.len() {
+        let err = SnapshotReader::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapError::Truncated { .. }),
+            "prefix of {cut} bytes gave {err:?}"
+        );
+        assert_eq!(err.reason(), "truncated");
+    }
+}
+
+#[test]
+fn every_flipped_payload_byte_is_caught_by_the_checksum() {
+    let bytes = sample_snapshot();
+    for i in HEADER_LEN..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x01;
+        let err = SnapshotReader::from_bytes(&corrupt).unwrap_err();
+        assert!(
+            matches!(err, SnapError::ChecksumMismatch { .. }),
+            "flipped payload byte {i} gave {err:?}"
+        );
+        assert_eq!(err.reason(), "checksum");
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = sample_snapshot();
+    bytes[0] = b'X';
+    let err = SnapshotReader::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapError::BadMagic { .. }));
+    assert_eq!(err.reason(), "bad_magic");
+    // A JSON file (the classic misconfiguration) is also BadMagic.
+    let err = SnapshotReader::from_bytes(
+        b"{\"status\": \"serving\", \"designs\": [\"builtin\", \"c432\"]}",
+    )
+    .unwrap_err();
+    assert!(matches!(err, SnapError::BadMagic { .. }));
+}
+
+#[test]
+fn future_version_is_rejected_with_both_versions_reported() {
+    let mut bytes = sample_snapshot();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let err = SnapshotReader::from_bytes(&bytes).unwrap_err();
+    assert_eq!(
+        err,
+        SnapError::UnsupportedVersion {
+            found: FORMAT_VERSION + 1,
+            supported: FORMAT_VERSION
+        }
+    );
+    assert_eq!(err.reason(), "version");
+}
+
+#[test]
+fn stale_fingerprint_is_rejected_only_by_the_explicit_gate() {
+    let r = SnapshotReader::from_bytes(&sample_snapshot()).unwrap();
+    // Parsing succeeds — the fingerprint gate is the caller's policy.
+    let err = r.expect_fingerprint(0x1234).unwrap_err();
+    assert_eq!(
+        err,
+        SnapError::FingerprintMismatch {
+            expected: 0x1234,
+            found: 0xdead_beef_cafe_f00d
+        }
+    );
+    assert_eq!(err.reason(), "fingerprint");
+}
+
+#[test]
+fn appended_garbage_is_rejected() {
+    let mut bytes = sample_snapshot();
+    bytes.extend_from_slice(b"garbage");
+    let err = SnapshotReader::from_bytes(&bytes).unwrap_err();
+    assert_eq!(err, SnapError::TrailingBytes { count: 7 });
+    assert_eq!(err.reason(), "trailing_bytes");
+}
+
+#[test]
+fn primitive_round_trips_are_bit_exact() {
+    // Integer extremes.
+    for v in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
+        assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+    }
+    for v in [i64::MIN, -1, 0, i64::MAX] {
+        assert_eq!(from_bytes::<i64>(&to_bytes(&v)).unwrap(), v);
+    }
+    // Float bit patterns, including NaN payloads the value-equality
+    // world cannot even compare.
+    for bits in [
+        0u64,
+        (-0.0f64).to_bits(),
+        f64::NAN.to_bits(),
+        0x7ff8_0000_0000_0001, // NaN with a payload
+        f64::MIN_POSITIVE.to_bits(),
+        1u64, // smallest subnormal
+        f64::MAX.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+    ] {
+        let v = f64::from_bits(bits);
+        let back = from_bytes::<f64>(&to_bytes(&v)).unwrap();
+        assert_eq!(back.to_bits(), bits, "bits {bits:#x}");
+    }
+    // Containers.
+    let nested: Vec<Option<(String, [u64; 3])>> = vec![
+        None,
+        Some(("ctx0121".into(), [1, 2, 3])),
+        Some((String::new(), [0, 0, 0])),
+    ];
+    assert_eq!(
+        from_bytes::<Vec<Option<(String, [u64; 3])>>>(&to_bytes(&nested)).unwrap(),
+        nested
+    );
+    let map: std::collections::BTreeMap<String, Vec<f64>> =
+        [("a".to_string(), vec![1.0, 2.0]), ("b".to_string(), vec![])]
+            .into_iter()
+            .collect();
+    assert_eq!(
+        from_bytes::<std::collections::BTreeMap<String, Vec<f64>>>(&to_bytes(&map)).unwrap(),
+        map
+    );
+}
+
+#[test]
+fn corrupted_lengths_cannot_drive_huge_allocations() {
+    // A Vec claiming u64::MAX elements must fail fast on the length
+    // sanity bound, not attempt a with_capacity explosion.
+    let mut bytes = u64::MAX.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0; 16]);
+    let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+    assert!(matches!(
+        err,
+        SnapError::Truncated { .. } | SnapError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn bad_tags_are_malformed() {
+    assert!(matches!(
+        from_bytes::<bool>(&[2]).unwrap_err(),
+        SnapError::Malformed { .. }
+    ));
+    assert!(matches!(
+        from_bytes::<Option<u8>>(&[7, 0]).unwrap_err(),
+        SnapError::Malformed { .. }
+    ));
+    // Invalid UTF-8 in a string.
+    let mut bytes = 2u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0xff, 0xfe]);
+    assert!(matches!(
+        from_bytes::<String>(&bytes).unwrap_err(),
+        SnapError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn file_round_trip_is_atomic_and_sized() {
+    let dir = std::env::temp_dir().join(format!("svt_snap_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stack.svtsnap");
+    let mut w = SnapshotWriter::new(42);
+    w.section("payload", &vec![1u64; 1000]);
+    let size = w.write_file(&path).unwrap();
+    assert_eq!(size, std::fs::metadata(&path).unwrap().len());
+    let r = SnapshotReader::read_file(&path).unwrap();
+    assert_eq!(r.section::<Vec<u64>>("payload").unwrap(), vec![1u64; 1000]);
+    // No .tmp residue after the atomic rename.
+    assert!(!path.with_extension("tmp").exists());
+    let err = SnapshotReader::read_file(&dir.join("absent.svtsnap")).unwrap_err();
+    assert_eq!(err.reason(), "io");
+    std::fs::remove_dir_all(&dir).ok();
+}

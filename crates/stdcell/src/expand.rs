@@ -189,7 +189,8 @@ impl PitchCdTable {
 
 /// Key of one pitch-table entry: sign-off identity, OPC-engine identity,
 /// and exact bits of (drawn, left spacing, right spacing).
-type PairKey = ([u64; 9], [u64; 15], u64, u64, u64);
+pub type PitchPairKey = ([u64; 9], [u64; 15], u64, u64, u64);
+type PairKey = PitchPairKey;
 
 fn pair_cache() -> &'static MemoCache<PairKey, f64> {
     static CACHE: OnceLock<MemoCache<PairKey, f64>> = OnceLock::new();
@@ -201,7 +202,8 @@ fn pair_cache() -> &'static MemoCache<PairKey, f64> {
 
 /// Key of one library-OPC row: engine identity, exact bits of every gate
 /// `(center, drawn)`, and the cell width (`cell_lo` is always 0 here).
-type RowKey = ([u64; 17], Vec<(u64, u64)>, u64);
+pub type OpcRowKey = ([u64; 17], Vec<(u64, u64)>, u64);
+type RowKey = OpcRowKey;
 
 fn row_cache() -> &'static MemoCache<RowKey, Vec<f64>> {
     static CACHE: OnceLock<MemoCache<RowKey, Vec<f64>>> = OnceLock::new();
@@ -247,6 +249,120 @@ pub fn invalidate_pitch_pairs(spacings_nm: &[f64]) -> usize {
 #[must_use]
 pub fn expand_cache_stats() -> (svt_exec::CacheStats, svt_exec::CacheStats) {
     (pair_cache().stats(), row_cache().stats())
+}
+
+/// A portable copy of the expansion memo caches (pitch-table pairs and
+/// library-OPC row CDs), as produced by [`export_expand_caches`] and
+/// consumed by [`preload_expand_caches`]. Entries are key-sorted, so the
+/// same cache contents always serialize to the same bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExpandCacheSnapshot {
+    /// Pitch-table pair entries (key → printed CD bits).
+    pub pairs: Vec<(PitchPairKey, f64)>,
+    /// Library-OPC row entries (key → per-device printed CDs).
+    pub rows: Vec<(OpcRowKey, Vec<f64>)>,
+}
+
+/// Exports the current contents of the expansion memo caches, key-sorted
+/// for deterministic serialization. Memoized values are pure in their
+/// keys, so an exported snapshot is valid for any process whose engine
+/// identities match the keys.
+#[must_use]
+pub fn export_expand_caches() -> ExpandCacheSnapshot {
+    let mut pairs = pair_cache().export_entries();
+    pairs.sort_unstable_by_key(|a| a.0);
+    let mut rows = row_cache().export_entries();
+    rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    ExpandCacheSnapshot { pairs, rows }
+}
+
+/// Preloads the expansion memo caches from a snapshot (existing entries
+/// win). Returns the number of entries actually loaded. Keys embed the
+/// engine identities, so a snapshot from a different engine build simply
+/// never hits — preloading is always safe, at worst useless.
+pub fn preload_expand_caches(snapshot: &ExpandCacheSnapshot) -> usize {
+    pair_cache().preload(snapshot.pairs.iter().cloned())
+        + row_cache().preload(snapshot.rows.iter().cloned())
+}
+
+impl svt_snap::Serialize for ExpandCacheSnapshot {
+    fn serialize(&self, out: &mut svt_snap::Serializer) {
+        self.pairs.serialize(out);
+        self.rows.serialize(out);
+    }
+}
+
+impl svt_snap::Deserialize for ExpandCacheSnapshot {
+    fn deserialize(
+        input: &mut svt_snap::Deserializer<'_>,
+    ) -> Result<ExpandCacheSnapshot, svt_snap::SnapError> {
+        Ok(ExpandCacheSnapshot {
+            pairs: svt_snap::Deserialize::deserialize(input)?,
+            rows: svt_snap::Deserialize::deserialize(input)?,
+        })
+    }
+}
+
+impl svt_snap::Serialize for PitchCdTable {
+    fn serialize(&self, out: &mut svt_snap::Serializer) {
+        self.spacings_nm.serialize(out);
+        self.cd_nm.serialize(out);
+        self.drawn_cd_nm.serialize(out);
+    }
+}
+
+impl svt_snap::Deserialize for PitchCdTable {
+    fn deserialize(
+        input: &mut svt_snap::Deserializer<'_>,
+    ) -> Result<PitchCdTable, svt_snap::SnapError> {
+        let spacings_nm: Vec<f64> = svt_snap::Deserialize::deserialize(input)?;
+        let cd_nm: Vec<Vec<f64>> = svt_snap::Deserialize::deserialize(input)?;
+        let drawn_cd_nm: f64 = svt_snap::Deserialize::deserialize(input)?;
+        // Re-validate the build invariants so a tampered snapshot cannot
+        // produce a table `cd_at` would index out of bounds.
+        if spacings_nm.len() < 2 || spacings_nm.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(svt_snap::SnapError::Malformed {
+                what: "pitch table spacings must be >= 2 and strictly increasing".into(),
+            });
+        }
+        if cd_nm.len() != spacings_nm.len()
+            || cd_nm.iter().any(|row| row.len() != spacings_nm.len())
+        {
+            return Err(svt_snap::SnapError::Malformed {
+                what: format!(
+                    "pitch table CD matrix must be {n}x{n}",
+                    n = spacings_nm.len()
+                ),
+            });
+        }
+        Ok(PitchCdTable {
+            spacings_nm,
+            cd_nm,
+            drawn_cd_nm,
+        })
+    }
+}
+
+impl svt_snap::Serialize for ExpandedLibrary {
+    fn serialize(&self, out: &mut svt_snap::Serializer) {
+        self.library_name.serialize(out);
+        self.pitch_table.serialize(out);
+        self.base_cds.serialize(out);
+        self.variants.serialize(out);
+    }
+}
+
+impl svt_snap::Deserialize for ExpandedLibrary {
+    fn deserialize(
+        input: &mut svt_snap::Deserializer<'_>,
+    ) -> Result<ExpandedLibrary, svt_snap::SnapError> {
+        Ok(ExpandedLibrary {
+            library_name: svt_snap::Deserialize::deserialize(input)?,
+            pitch_table: svt_snap::Deserialize::deserialize(input)?,
+            base_cds: svt_snap::Deserialize::deserialize(input)?,
+            variants: svt_snap::Deserialize::deserialize(input)?,
+        })
+    }
 }
 
 fn segment(axis: &[f64], x: f64) -> (usize, f64) {
@@ -524,6 +640,7 @@ mod tests {
     use super::*;
     use crate::ContextBin;
     use svt_litho::Process;
+    use svt_snap::Serialize as _;
 
     fn signoff() -> LithoSimulator {
         Process::nm90().simulator()
@@ -698,6 +815,55 @@ mod tests {
             (d_dense - d_iso).abs() > 1e-6,
             "dense {d_dense} vs iso {d_iso} should differ"
         );
+    }
+
+    #[test]
+    fn expanded_library_snapshot_round_trips_bit_exactly() {
+        let lib = small_library();
+        let expanded = expand_library(&lib, &signoff(), &ExpandOptions::fast()).unwrap();
+        let back: ExpandedLibrary = svt_snap::from_bytes(&svt_snap::to_bytes(&expanded)).unwrap();
+        assert_eq!(back, expanded);
+        // PartialEq compares f64 by value; additionally require exact bits
+        // on a boundary-device length, the most derived quantity we store.
+        let ctx = CellContext::uniform(ContextBin::Dense);
+        let a = expanded.variant("NAND2X1", ctx).unwrap();
+        let b = back.variant("NAND2X1", ctx).unwrap();
+        for (x, y) in a.device_lengths_nm.iter().zip(&b.device_lengths_nm) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // The memo caches round-trip the same way, and preloading them into
+        // a warm cache is a no-op (existing entries win).
+        let caches = export_expand_caches();
+        assert!(!caches.pairs.is_empty());
+        let restored: ExpandCacheSnapshot =
+            svt_snap::from_bytes(&svt_snap::to_bytes(&caches)).unwrap();
+        assert_eq!(restored, caches);
+        assert_eq!(preload_expand_caches(&restored), 0);
+    }
+
+    #[test]
+    fn tampered_pitch_table_snapshot_is_rejected() {
+        let sim = signoff();
+        let opc = ModelOpc::with_production_model(&sim, OpcOptions::default());
+        let table = PitchCdTable::build(&sim, &opc, 90.0, &[200.0, 400.0, 700.0]).unwrap();
+        let good = svt_snap::to_bytes(&table);
+        // Shrink the spacing grid to a single entry without touching the
+        // CD matrix: shape validation must reject the decode.
+        let mut bad = svt_snap::Serializer::default();
+        vec![200.0f64].serialize(&mut bad);
+        let mut bytes = bad.into_bytes();
+        bytes.extend_from_slice(&good[to_bytes_len_of_spacings(&table)..]);
+        assert!(matches!(
+            svt_snap::from_bytes::<PitchCdTable>(&bytes),
+            Err(svt_snap::SnapError::Malformed { .. })
+        ));
+    }
+
+    fn to_bytes_len_of_spacings(table: &PitchCdTable) -> usize {
+        let mut s = svt_snap::Serializer::default();
+        table.spacings_nm.serialize(&mut s);
+        s.into_bytes().len()
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod layout;
 pub mod liberty;
 mod library;
 mod nldm;
+mod snap_impls;
 
 pub use arc::TimingArc;
 pub use cell::{Cell, Direction, Pin};
@@ -48,8 +49,9 @@ pub use characterize::{characterize, CharacterizeOptions, CharacterizedCell};
 pub use context::{CellContext, ContextBin};
 pub use error::StdcellError;
 pub use expand::{
-    clear_expand_caches, expand_cache_stats, expand_library, invalidate_pitch_pairs, ExpandOptions,
-    ExpandedLibrary, PitchCdTable,
+    clear_expand_caches, expand_cache_stats, expand_library, export_expand_caches,
+    invalidate_pitch_pairs, preload_expand_caches, variant_name, ExpandCacheSnapshot,
+    ExpandOptions, ExpandedLibrary, OpcRowKey, PitchCdTable, PitchPairKey,
 };
 pub use layout::{BoundarySpacings, CellAbstract, Device, DeviceId, Region};
 pub use library::Library;

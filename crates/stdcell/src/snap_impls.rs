@@ -1,0 +1,250 @@
+//! `svt-snap` binary encodings of the public stdcell types.
+//!
+//! Field order is the wire format (see `docs/SNAPSHOT_FORMAT.md` §
+//! "Per-type encodings") — changing it is a format break and requires a
+//! `FORMAT_VERSION` bump in `svt-snap`. Types with private invariants
+//! (`NldmTable`) re-validate through their public constructors on
+//! decode, so a tampered snapshot can never materialize an invalid
+//! value. Impls for `PitchCdTable` / `ExpandedLibrary` live in
+//! `expand.rs` next to their private fields.
+
+use svt_snap::{Deserialize, Deserializer, Serialize, Serializer, SnapError};
+
+use crate::{
+    CellContext, CharacterizedCell, ContextBin, DeviceId, Direction, NldmTable, Pin, TimingArc,
+};
+
+impl Serialize for Direction {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u8(match self {
+            Direction::Input => 0,
+            Direction::Output => 1,
+        });
+    }
+}
+
+impl Deserialize for Direction {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<Direction, SnapError> {
+        match input.read_u8()? {
+            0 => Ok(Direction::Input),
+            1 => Ok(Direction::Output),
+            other => Err(SnapError::Malformed {
+                what: format!("pin direction tag {other}"),
+            }),
+        }
+    }
+}
+
+impl Serialize for Pin {
+    fn serialize(&self, out: &mut Serializer) {
+        self.name.serialize(out);
+        self.direction.serialize(out);
+        self.capacitance_pf.serialize(out);
+    }
+}
+
+impl Deserialize for Pin {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<Pin, SnapError> {
+        Ok(Pin {
+            name: String::deserialize(input)?,
+            direction: Direction::deserialize(input)?,
+            capacitance_pf: f64::deserialize(input)?,
+        })
+    }
+}
+
+impl Serialize for DeviceId {
+    fn serialize(&self, out: &mut Serializer) {
+        self.0.serialize(out);
+    }
+}
+
+impl Deserialize for DeviceId {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<DeviceId, SnapError> {
+        Ok(DeviceId(usize::deserialize(input)?))
+    }
+}
+
+impl Serialize for ContextBin {
+    fn serialize(&self, out: &mut Serializer) {
+        // The same stable codes as variant names ('0'/'1'/'2'), as u8.
+        out.write_u8(match self {
+            ContextBin::Dense => 0,
+            ContextBin::Medium => 1,
+            ContextBin::Isolated => 2,
+        });
+    }
+}
+
+impl Deserialize for ContextBin {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<ContextBin, SnapError> {
+        match input.read_u8()? {
+            0 => Ok(ContextBin::Dense),
+            1 => Ok(ContextBin::Medium),
+            2 => Ok(ContextBin::Isolated),
+            other => Err(SnapError::Malformed {
+                what: format!("context bin tag {other}"),
+            }),
+        }
+    }
+}
+
+impl Serialize for CellContext {
+    fn serialize(&self, out: &mut Serializer) {
+        self.lt.serialize(out);
+        self.rt.serialize(out);
+        self.lb.serialize(out);
+        self.rb.serialize(out);
+    }
+}
+
+impl Deserialize for CellContext {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<CellContext, SnapError> {
+        Ok(CellContext {
+            lt: ContextBin::deserialize(input)?,
+            rt: ContextBin::deserialize(input)?,
+            lb: ContextBin::deserialize(input)?,
+            rb: ContextBin::deserialize(input)?,
+        })
+    }
+}
+
+impl Serialize for NldmTable {
+    fn serialize(&self, out: &mut Serializer) {
+        self.slew_axis().serialize(out);
+        self.load_axis().serialize(out);
+        out.write_len(self.values().len());
+        for row in self.values() {
+            row.serialize(out);
+        }
+    }
+}
+
+impl Deserialize for NldmTable {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<NldmTable, SnapError> {
+        let slew = Vec::<f64>::deserialize(input)?;
+        let load = Vec::<f64>::deserialize(input)?;
+        let rows = input.read_len()?;
+        let mut values = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            values.push(Vec::<f64>::deserialize(input)?);
+        }
+        // Re-validate through the public constructor: axes must be
+        // strictly increasing and the matrix rectangular.
+        NldmTable::new(slew, load, values).map_err(|e| SnapError::Malformed {
+            what: format!("NLDM table: {e}"),
+        })
+    }
+}
+
+impl Serialize for TimingArc {
+    fn serialize(&self, out: &mut Serializer) {
+        self.from_pin.serialize(out);
+        self.to_pin.serialize(out);
+        self.delay.serialize(out);
+        self.output_slew.serialize(out);
+        self.devices.serialize(out);
+    }
+}
+
+impl Deserialize for TimingArc {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<TimingArc, SnapError> {
+        let from_pin = String::deserialize(input)?;
+        let to_pin = String::deserialize(input)?;
+        let delay = NldmTable::deserialize(input)?;
+        let output_slew = NldmTable::deserialize(input)?;
+        let devices = Vec::<DeviceId>::deserialize(input)?;
+        if devices.is_empty() {
+            return Err(SnapError::Malformed {
+                what: format!("arc {from_pin}->{to_pin} has no devices"),
+            });
+        }
+        Ok(TimingArc {
+            from_pin,
+            to_pin,
+            delay,
+            output_slew,
+            devices,
+        })
+    }
+}
+
+impl Serialize for CharacterizedCell {
+    fn serialize(&self, out: &mut Serializer) {
+        self.cell_name.serialize(out);
+        self.variant_name.serialize(out);
+        self.device_lengths_nm.serialize(out);
+        self.pins.serialize(out);
+        self.arcs.serialize(out);
+    }
+}
+
+impl Deserialize for CharacterizedCell {
+    fn deserialize(input: &mut Deserializer<'_>) -> Result<CharacterizedCell, SnapError> {
+        Ok(CharacterizedCell {
+            cell_name: String::deserialize(input)?,
+            variant_name: String::deserialize(input)?,
+            device_lengths_nm: Vec::<f64>::deserialize(input)?,
+            pins: Vec::<Pin>::deserialize(input)?,
+            arcs: Vec::<TimingArc>::deserialize(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{characterize, CharacterizeOptions, Library};
+    use svt_snap::{from_bytes, to_bytes};
+
+    #[test]
+    fn characterized_cell_round_trips_bit_exactly() {
+        let lib = Library::svt90();
+        let nand = lib.cell("NAND2X1").unwrap();
+        let lengths: Vec<f64> = (0..nand.layout().devices().len())
+            .map(|i| 90.0 + 0.37 * i as f64)
+            .collect();
+        let cell = characterize(
+            nand,
+            &lengths,
+            "NAND2X1_snap",
+            CharacterizeOptions::default(),
+        )
+        .unwrap();
+        let back: CharacterizedCell = from_bytes(&to_bytes(&cell)).unwrap();
+        assert_eq!(back, cell);
+        // PartialEq is value equality; additionally pin down exact bits
+        // of the scaled tables.
+        for (a, b) in cell.arcs.iter().zip(&back.arcs) {
+            for (ra, rb) in a.delay.values().iter().zip(b.delay.values()) {
+                for (va, vb) in ra.iter().zip(rb) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_81_contexts_round_trip() {
+        for ctx in CellContext::enumerate() {
+            let back: CellContext = from_bytes(&to_bytes(&ctx)).unwrap();
+            assert_eq!(back, ctx);
+        }
+    }
+
+    #[test]
+    fn invalid_table_bytes_are_rejected_on_decode() {
+        // A non-increasing slew axis fails NldmTable::new on restore.
+        let bad = (
+            vec![0.2f64, 0.1],
+            vec![0.01f64],
+            1u64, // one row follows
+        );
+        let mut bytes = to_bytes(&bad);
+        bytes.extend_from_slice(&to_bytes(&vec![0.05f64]));
+        assert!(matches!(
+            from_bytes::<NldmTable>(&bytes),
+            Err(SnapError::Malformed { .. })
+        ));
+    }
+}

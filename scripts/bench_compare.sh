@@ -33,7 +33,10 @@ field() { # field <json-line> <key>
 # sign-off — near-deterministic, so an allocation regression is gated
 # like a time regression; peak_rss_mb depends on allocator reuse across
 # the whole process and stays informational.
-metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb signoff_100k_ms serve_p99_ms)
+# snapshot_restore_ms / snapshot_size_mb come from bench_snapshot: the
+# warm-start restore latency and the container footprint — both regress
+# like time metrics (bigger is worse), so both are gated.
+metrics=(aerial_warm_ms expand_8t_warm_ms fem_warm_ms signoff_8t_ms eco_incr_ms signoff_alloc_mb signoff_100k_ms serve_p99_ms snapshot_restore_ms snapshot_size_mb)
 
 # Throughput metrics gate in the opposite direction: a >20 % *drop* is
 # the regression. bench_serve appends serve_rps (keep-alive read

@@ -21,7 +21,7 @@ cargo test --workspace -q --offline
 # documentation gate.
 SVT_PKGS=(-p svt -p svt-geom -p svt-litho -p svt-opc -p svt-stdcell
           -p svt-netlist -p svt-place -p svt-sta -p svt-core -p svt-exec
-          -p svt-obs -p svt-eco -p svt-bench -p svt-serve)
+          -p svt-obs -p svt-eco -p svt-bench -p svt-serve -p svt-snap)
 
 echo "== documentation: runnable doctests"
 cargo test -q --doc --offline "${SVT_PKGS[@]}"
