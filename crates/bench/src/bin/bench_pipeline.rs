@@ -52,7 +52,7 @@ fn main() {
     let sim = process.simulator();
 
     // ---- Aerial image: transfer-table + FFT-plan caches -----------------
-    println!("[1/6] aerial image (cold vs warm transfer tables)...");
+    println!("[1/7] aerial image (cold vs warm transfer tables)...");
     clear_litho_caches();
     let lines: Vec<(f64, f64)> = (-6..=6)
         .map(|k| {
@@ -79,7 +79,7 @@ fn main() {
 
     // ---- Library expansion: pool + CD memo ------------------------------
     // Default ExpandOptions (7-spacing table), 4 cells.
-    println!("[2/6] expand_library, 4 cells, default options...");
+    println!("[2/7] expand_library, 4 cells, default options...");
     let full = Library::svt90();
     let cells: Vec<_> = full
         .cells()
@@ -120,7 +120,7 @@ fn main() {
     );
 
     // ---- Focus-exposure matrix: CD memo ---------------------------------
-    println!("[3/6] focus-exposure matrix (cold vs warm rebuild)...");
+    println!("[3/7] focus-exposure matrix (cold vs warm rebuild)...");
     let focus: Vec<f64> = (-4..=4).map(|i| f64::from(i) * 75.0).collect();
     let pitches = [240.0, 320.0, 480.0, f64::INFINITY];
     let doses = [0.95, 1.0, 1.05];
@@ -142,7 +142,7 @@ fn main() {
     );
 
     // ---- Full signoff ----------------------------------------------------
-    println!("[4/6] full signoff flow on c432...");
+    println!("[4/7] full signoff flow on c432...");
     let expanded = expand_library(&full, &sim, &ExpandOptions::fast()).expect("expansion succeeds");
     let design = svt_bench::build_design(&full, "c432");
     let run_with = |threads: usize| {
@@ -173,7 +173,7 @@ fn main() {
     // residue from earlier sections or the cache-filling cold run. The
     // warm allocation count is near-deterministic, so it is gated in
     // scripts/bench_compare.sh; RSS stays informational.
-    println!("[5/6] memory (alloc totals + peak RSS during warm signoff)...");
+    println!("[5/7] memory (alloc totals + peak RSS during warm signoff)...");
     let flow = SignoffFlow::new(&full, &expanded, SignoffOptions::default());
     let cmp_warmup = flow
         .run(&design.mapped, &design.placement)
@@ -205,7 +205,7 @@ fn main() {
     // The off path must stay within noise of free (a single relaxed atomic
     // load per call site); the measured percentage is recorded so
     // regressions show up in the committed JSON.
-    println!("[6/6] observability overhead (SVT_TRACE=off vs summary)...");
+    println!("[6/7] observability overhead (SVT_TRACE=off vs summary)...");
     let overhead_reps = 10;
     let time_trace = |mode: TraceMode| {
         svt_obs::set_mode(mode);
@@ -224,6 +224,46 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"obs_overhead\": {{ \"workload\": \"signoff_c432\", \"trace_off_ms\": {obs_off_ms:.3}, \"trace_summary_ms\": {obs_summary_ms:.3}, \"summary_overhead_pct\": {obs_overhead_pct:.2} }},"
+    );
+
+    // ---- Continuous profiler + TSDB sampler overhead --------------------
+    // The always-on long-horizon layer: summary tracing PLUS the stack
+    // profiler folding every span and a live sampler scraping the
+    // registry into the tiered rings every 100 ms — the exact
+    // configuration `svtd` ships with. Measured against the summary-only
+    // time above so the percentage isolates what the profiler and
+    // sampler themselves add on top of span collection. Gated by an
+    // absolute threshold in scripts/bench_compare.sh (a relative gate on
+    // a near-zero baseline would trip on timer noise).
+    println!("[7/7] continuous profiler + sampler overhead (vs summary tracing)...");
+    svt_obs::set_mode(TraceMode::Summary);
+    svt_obs::profile::reset();
+    svt_obs::profile::set_enabled(true);
+    let sampler = svt_obs::tsdb::Sampler::spawn(
+        svt_obs::tsdb::global(),
+        std::time::Duration::from_millis(100),
+        vec![],
+    );
+    let start = Instant::now();
+    for _ in 0..overhead_reps {
+        let cmp = flow
+            .run(&design.mapped, &design.placement)
+            .expect("signoff succeeds");
+        assert_eq!(cmp, cmp_1t, "profiler changed signoff results");
+    }
+    let profile_on_ms = ms(start) / f64::from(overhead_reps);
+    sampler.stop();
+    svt_obs::profile::set_enabled(false);
+    let profile_stacks = svt_obs::profile::snapshot().len();
+    svt_obs::set_mode(TraceMode::Off);
+    assert!(
+        profile_stacks > 0,
+        "profiler collected no stacks during the traced runs"
+    );
+    let profile_overhead_pct = 100.0 * (profile_on_ms - obs_summary_ms) / obs_summary_ms;
+    let _ = writeln!(
+        json,
+        "  \"profile_overhead\": {{ \"workload\": \"signoff_c432\", \"summary_ms\": {obs_summary_ms:.3}, \"profile_on_ms\": {profile_on_ms:.3}, \"stacks\": {profile_stacks}, \"profile_overhead_pct\": {profile_overhead_pct:.2} }},"
     );
 
     // One traced sign-off run, snapshotted into the report so the committed
@@ -254,6 +294,7 @@ fn main() {
          \"aerial_warm_ms\": {aerial_warm_ms:.3}, \"expand_8t_warm_ms\": {expand_8t_warm_ms:.3}, \
          \"fem_warm_ms\": {fem_warm_ms:.3}, \"signoff_8t_ms\": {signoff_8t_ms:.3}, \
          \"obs_off_ms\": {obs_off_ms:.3}, \"obs_overhead_pct\": {obs_overhead_pct:.2}, \
+         \"profile_overhead_pct\": {profile_overhead_pct:.2}, \
          \"signoff_alloc_mb\": {signoff_alloc_mb:.1}, \"peak_rss_mb\": {peak_rss_mb:.1}}}\n"
     );
     let history = repo_root().join("BENCH_history.jsonl");

@@ -257,6 +257,16 @@ pub fn status() -> WatchdogStatus {
     }
 }
 
+/// Publishes the watchdog verdict as gauges, so the sampler thread can
+/// put `pool.armed` / `pool.deadline_ms` beside the scan-maintained
+/// `pool.stalled` in the time-series store each tick.
+pub fn publish_status_gauges() {
+    let st = status();
+    gauge!("pool.armed").set(i64::from(st.armed));
+    gauge!("pool.deadline_ms").set(i64::try_from(st.deadline.as_millis()).unwrap_or(i64::MAX));
+    gauge!("pool.stalled").set(i64::try_from(st.stalled_now).unwrap_or(i64::MAX));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,11 +50,13 @@ pub mod context;
 pub mod family;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 mod render;
 pub mod rss;
 pub mod timeline;
+pub mod tsdb;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -63,7 +65,7 @@ use std::time::Instant;
 
 pub use context::RequestContext;
 pub use family::{CounterFamily, HistogramFamily};
-pub use metrics::{Counter, Gauge, Histogram, InflightGuard, SpanStat};
+pub use metrics::{quantile_from_buckets, Counter, Gauge, Histogram, InflightGuard, SpanStat};
 pub use recorder::RequestCapsule;
 pub use registry::{
     registry, CacheCounters, CounterFamilyEntry, HistogramEntry, HistogramFamilyEntry, Registry,
@@ -249,6 +251,11 @@ thread_local! {
 pub struct Span {
     start: Option<Instant>,
     name: &'static str,
+    /// Heap bytes allocated process-wide when the span opened; only
+    /// sampled while the continuous profiler is armed, so the profile
+    /// can attribute allocation to stacks without touching the span's
+    /// disabled path.
+    alloc_start_bytes: u64,
 }
 
 /// Opens a span named `name`, nested under any enclosing spans of this
@@ -257,16 +264,26 @@ pub struct Span {
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { start: None, name };
+        return Span {
+            start: None,
+            name,
+            alloc_start_bytes: 0,
+        };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
     alloc::set_current_span(Some(name));
     if timeline_enabled() {
         timeline::record(timeline::Phase::Begin, name);
     }
+    let alloc_start_bytes = if profile::enabled() {
+        alloc::totals().1
+    } else {
+        0
+    };
     Span {
         start: Some(Instant::now()),
         name,
+        alloc_start_bytes,
     }
 }
 
@@ -286,6 +303,13 @@ impl Drop for Span {
         });
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         registry().span_stat(&path).record(ns);
+        // Profiler-off cost inside an enabled span: one relaxed load.
+        // The SAME ns value feeds both sinks, so the folded profile and
+        // the registry span aggregates agree exactly.
+        if profile::enabled() {
+            let alloc_bytes = alloc::totals().1.saturating_sub(self.alloc_start_bytes);
+            profile::record(&path, ns, alloc_bytes);
+        }
     }
 }
 

@@ -180,6 +180,30 @@ impl Histogram {
         }
     }
 
+    /// Upper bound (exclusive) of bucket with lower bound `lower`:
+    /// bucket 0 holds `{0, 1}`, every other log2 bucket spans
+    /// `[l, 2l)`. The saturating last bucket reuses the same rule as an
+    /// estimate.
+    #[must_use]
+    pub fn bucket_upper_bound(lower: u64) -> u64 {
+        if lower == 0 {
+            2
+        } else {
+            lower.saturating_mul(2)
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) of the recorded
+    /// samples by walking the cumulative bucket counts to the target
+    /// rank and interpolating linearly inside the landing log2 bucket.
+    /// Registry-wide single implementation — `bench_serve`'s p50/p99 and
+    /// the TSDB sampler's derived quantile series both use it. Returns
+    /// 0 with no samples.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.nonzero_buckets(), q)
+    }
+
     /// The non-empty buckets as `(lower_bound, count)` pairs.
     #[must_use]
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -201,6 +225,36 @@ impl Histogram {
             b.store(0, Ordering::Relaxed);
         }
     }
+}
+
+/// Estimates the `q`-quantile from `(bucket lower bound, count)` pairs
+/// (the [`Histogram::nonzero_buckets`] shape, also carried by snapshot
+/// [`crate::HistogramEntry`]s and per-tick bucket deltas). The target
+/// rank is `q · n` clamped to `[1, n]`; within the landing bucket the
+/// estimate interpolates linearly between the log2 bounds, which keeps
+/// the error within one bucket width (≤ 2× at the top of a bucket).
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0);
+    let mut cum = 0u64;
+    for (lower, n) in buckets {
+        let (cum_before, here) = (cum as f64, *n as f64);
+        cum += n;
+        if cum as f64 >= target {
+            let frac = ((target - cum_before) / here).clamp(0.0, 1.0);
+            let lo = *lower as f64;
+            let hi = Histogram::bucket_upper_bound(*lower) as f64;
+            return lo + (hi - lo) * frac;
+        }
+    }
+    buckets.last().map_or(0.0, |(lower, _)| {
+        Histogram::bucket_upper_bound(*lower) as f64
+    })
 }
 
 /// Aggregated timing of one span path: call count, total/min/max duration.
@@ -325,6 +379,38 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram quantiles to 0");
+        // 100 samples of exactly 1000 ns land in bucket [512, 1024).
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (512.0..1024.0).contains(&p50),
+            "p50 {p50} inside the sample's bucket"
+        );
+        assert!(h.quantile(0.99) >= p50, "quantiles are monotone in q");
+        // A bimodal distribution: p99 must land in the slow mode's bucket.
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let p99 = h.quantile(0.99);
+        assert!(p99 < 256.0, "99 of 100 samples are fast: {p99}");
+        let p999 = h.quantile(0.999);
+        assert!(
+            (524_288.0..2_097_152.0).contains(&p999),
+            "tail quantile {p999} reaches the slow bucket"
+        );
+        // The free-function form matches the method on the same buckets.
+        let direct = quantile_from_buckets(&h.nonzero_buckets(), 0.99);
+        assert!((direct - p99).abs() < 1e-9);
     }
 
     #[test]

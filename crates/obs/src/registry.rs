@@ -325,6 +325,19 @@ pub struct HistogramEntry {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramEntry {
+    /// Estimates the `q`-quantile of the snapshotted samples; same
+    /// log2-bucket interpolation as [`Histogram::quantile`]
+    /// (`crate::metrics::quantile_from_buckets`), so live handles and
+    /// snapshots agree.
+    ///
+    /// [`Histogram::quantile`]: crate::Histogram::quantile
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::metrics::quantile_from_buckets(&self.buckets, q)
+    }
+}
+
 /// One labeled counter family in a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CounterFamilyEntry {

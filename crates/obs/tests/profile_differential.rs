@@ -1,0 +1,122 @@
+//! Differential check between the continuous profiler and the registry's
+//! span aggregates.
+//!
+//! `Span::drop` computes the elapsed nanoseconds **once** and feeds the
+//! same value to both sinks — `registry().span_stat(path)` and
+//! `profile::record(path)` — so on a deterministic single-threaded run
+//! the folded profile and the span summary must agree *exactly* per
+//! stack: same completion counts, same total wall nanoseconds. Any drift
+//! means one of the sinks dropped, double-counted, or re-timed a span,
+//! which would make the flame graph lie about where /dashboard latency
+//! comes from. This is the `SVT_THREADS=1` differential from the issue,
+//! run in-process (one test thread *is* one pipeline thread).
+
+use svt_obs::{profile, TraceMode};
+
+#[test]
+fn folded_profile_matches_span_aggregates_exactly() {
+    // Summary mode arms span collection; the profiler rides on top.
+    svt_obs::set_mode(TraceMode::Summary);
+    profile::set_enabled(true);
+    profile::reset();
+
+    // A deterministic nested workload: repeated roots with two children,
+    // one of which recurses one level deeper. Work inside each span is
+    // real (a checksum loop) so wall times are non-zero.
+    let mut checksum = 0u64;
+    for round in 0..25u64 {
+        let _root = svt_obs::span("diff.root");
+        {
+            let _a = svt_obs::span("diff.parse");
+            for i in 0..200 {
+                checksum = checksum
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i);
+            }
+        }
+        {
+            let _b = svt_obs::span("diff.solve");
+            for i in 0..400 {
+                checksum = checksum
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i);
+            }
+            if round % 2 == 0 {
+                let _c = svt_obs::span("diff.refine");
+                for i in 0..100u64 {
+                    checksum ^= i.wrapping_mul(round);
+                }
+            }
+        }
+    }
+    assert_ne!(checksum, 0, "workload optimized away");
+
+    let folded = profile::snapshot();
+    let spans = svt_obs::registry().snapshot().spans;
+
+    // Only this test's stacks: other tests in this binary (there are
+    // none today) or library init could in principle open spans too.
+    let ours: Vec<_> = folded
+        .iter()
+        .filter(|e| e.stack.starts_with("diff.root"))
+        .collect();
+    assert_eq!(
+        ours.len(),
+        4,
+        "expected exactly the four distinct stacks, got {ours:#?}"
+    );
+
+    for entry in &ours {
+        let span = spans
+            .iter()
+            .find(|s| s.path == entry.stack)
+            .unwrap_or_else(|| panic!("no span aggregate for stack {}", entry.stack));
+        assert_eq!(
+            entry.count, span.count,
+            "completion count diverged on {}",
+            entry.stack
+        );
+        assert_eq!(
+            entry.wall_ns, span.total_ns,
+            "wall-ns diverged on {} (profile {} vs spans {})",
+            entry.stack, entry.wall_ns, span.total_ns
+        );
+    }
+
+    // Expected counts from the loop structure.
+    let count_of = |stack: &str| {
+        ours.iter()
+            .find(|e| e.stack == stack)
+            .map_or(0, |e| e.count)
+    };
+    assert_eq!(count_of("diff.root"), 25);
+    assert_eq!(count_of("diff.root/diff.parse"), 25);
+    assert_eq!(count_of("diff.root/diff.solve"), 25);
+    assert_eq!(count_of("diff.root/diff.solve/diff.refine"), 13);
+
+    // Self time of the solve stack excludes the refine child, so the
+    // flame layout's parent≥children invariant holds.
+    let solve = ours
+        .iter()
+        .find(|e| e.stack == "diff.root/diff.solve")
+        .unwrap();
+    let refine = ours
+        .iter()
+        .find(|e| e.stack == "diff.root/diff.solve/diff.refine")
+        .unwrap();
+    assert!(
+        solve.wall_ns >= refine.wall_ns,
+        "child wider than parent: solve {} < refine {}",
+        solve.wall_ns,
+        refine.wall_ns
+    );
+    let flat: Vec<_> = ours.iter().map(|e| (*e).clone()).collect();
+    assert_eq!(
+        profile::self_ns(solve, &flat),
+        solve.wall_ns - refine.wall_ns,
+        "self time must subtract exactly the direct children"
+    );
+
+    profile::set_enabled(false);
+    svt_obs::set_mode(TraceMode::Off);
+}

@@ -1,0 +1,201 @@
+//! Property suite for the embedded TSDB's downsampling algebra.
+//!
+//! The whole long-horizon story rests on three invariants of
+//! [`svt_obs::tsdb::Bin`] and the tier rings built from it: merging
+//! conserves the sample count (nothing is dropped or double-counted when
+//! a coarser tier folds raw points together), the min/max envelope only
+//! ever widens to *contain* the observed values (downsampling never
+//! invents an outlier), and re-merging across a tier boundary is
+//! grouping-independent (the 10-minute ring agrees with the 1-minute
+//! ring folded again). Each property drives the real ingest/query path
+//! with randomized value streams and irregular timestamp gaps.
+
+use proptest::prelude::*;
+use svt_obs::tsdb::{Bin, TierSpec, Tsdb, TsdbConfig};
+
+/// A store with a single tier so a query reads that ring verbatim.
+fn single_tier(width_ms: u64, cap: usize) -> Tsdb {
+    Tsdb::new(TsdbConfig {
+        tiers: vec![TierSpec { width_ms, cap }],
+    })
+}
+
+/// Turns per-sample gaps into absolute timestamps starting at `t0`.
+fn timeline(t0: u64, gaps: &[u64]) -> Vec<u64> {
+    let mut ts = Vec::with_capacity(gaps.len());
+    let mut now = t0;
+    for gap in gaps {
+        now += gap;
+        ts.push(now);
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Folding any value stream into one bin conserves the count and
+    /// keeps the envelope exactly at the observed extremes.
+    #[test]
+    fn merge_conserves_count_and_envelope(
+        vals in prop::collection::vec(-1.0e9f64..1.0e9, 1..200),
+    ) {
+        let mut acc = Bin::of(vals[0]);
+        for v in &vals[1..] {
+            acc.merge(&Bin::of(*v));
+        }
+        prop_assert_eq!(acc.count, vals.len() as u64);
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(acc.min, lo);
+        prop_assert_eq!(acc.max, hi);
+        let exact: f64 = vals.iter().sum();
+        prop_assert!(
+            (acc.sum - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+            "sum drifted: {} vs {}", acc.sum, exact
+        );
+        prop_assert!(acc.min <= acc.avg() && acc.avg() <= acc.max);
+    }
+
+    /// Merging is grouping-independent: folding left-to-right and
+    /// folding an arbitrary two-way split then re-merging agree, so a
+    /// coarse tier built from an intermediate tier equals one built
+    /// straight from raw samples.
+    #[test]
+    fn remerge_is_grouping_independent(
+        vals in prop::collection::vec(-1.0e6f64..1.0e6, 2..150),
+        split_seed in 0usize..1000,
+    ) {
+        let split = 1 + split_seed % (vals.len() - 1);
+        let mut flat = Bin::of(vals[0]);
+        for v in &vals[1..] {
+            flat.merge(&Bin::of(*v));
+        }
+        let mut left = Bin::of(vals[0]);
+        for v in &vals[1..split] {
+            left.merge(&Bin::of(*v));
+        }
+        let mut right = Bin::of(vals[split]);
+        for v in &vals[split + 1..] {
+            right.merge(&Bin::of(*v));
+        }
+        let mut regrouped = left;
+        regrouped.merge(&right);
+        prop_assert_eq!(regrouped.count, flat.count);
+        prop_assert_eq!(regrouped.min, flat.min);
+        prop_assert_eq!(regrouped.max, flat.max);
+        prop_assert!(
+            (regrouped.sum - flat.sum).abs() <= 1e-6 * flat.sum.abs().max(1.0),
+            "re-merge changed the sum: {} vs {}", regrouped.sum, flat.sum
+        );
+    }
+
+    /// The empty bin is the identity element of `merge`.
+    #[test]
+    fn empty_bin_is_merge_identity(v in -1.0e9f64..1.0e9, n in 1u64..1000) {
+        let empty = Bin { count: 0, sum: 123.0, min: 7.0, max: -7.0 };
+        let mut bin = Bin::of(v);
+        bin.count = n;
+        let mut forward = bin;
+        forward.merge(&empty);
+        prop_assert_eq!(forward, bin);
+        let mut backward = empty;
+        backward.merge(&bin);
+        prop_assert_eq!(backward, bin);
+    }
+
+    /// Ingesting the same irregular stream into a coarse tier and into a
+    /// raw tier conserves the total count across the tier boundary, and
+    /// every coarse bucket's envelope contains exactly the raw extremes
+    /// of the samples that landed in it.
+    #[test]
+    fn tier_downsampling_conserves_counts(
+        samples in prop::collection::vec((0u64..5_000, -1.0e6f64..1.0e6), 1..200),
+        width in 1u64..10_000,
+    ) {
+        let gaps: Vec<u64> = samples.iter().map(|(g, _)| *g).collect();
+        let ts = timeline(1_000_000, &gaps);
+        let raw = single_tier(0, 4096);
+        let coarse = single_tier(width, 4096);
+        for (t, (_, v)) in ts.iter().zip(&samples) {
+            raw.ingest("m", *t, *v);
+            coarse.ingest("m", *t, *v);
+        }
+        let now = *ts.last().unwrap() + 1;
+        let range = now; // covers everything back to t=0
+        let raw_q = raw.query("m", range, 0, now).unwrap();
+        let coarse_q = coarse.query("m", range, 0, now).unwrap();
+        let raw_count: u64 = raw_q.points.iter().map(|p| p.bin.count).sum();
+        let coarse_count: u64 = coarse_q.points.iter().map(|p| p.bin.count).sum();
+        prop_assert_eq!(raw_count, samples.len() as u64);
+        prop_assert_eq!(coarse_count, samples.len() as u64);
+        // Per-bucket envelope: recompute each coarse bucket from raw.
+        for p in &coarse_q.points {
+            let in_bucket: Vec<f64> = ts
+                .iter()
+                .zip(&samples)
+                .filter(|(t, _)| **t / width * width == p.ts_ms)
+                .map(|(_, (_, v))| *v)
+                .collect();
+            prop_assert_eq!(p.bin.count, in_bucket.len() as u64);
+            let lo = in_bucket.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = in_bucket.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(p.bin.min, lo);
+            prop_assert_eq!(p.bin.max, hi);
+        }
+    }
+
+    /// Query-time step merging is count-conserving too: aggregating the
+    /// raw ring to an arbitrary step keeps the total count, yields
+    /// step-aligned strictly-increasing buckets, and never widens the
+    /// global envelope.
+    #[test]
+    fn step_merge_conserves_counts(
+        samples in prop::collection::vec((0u64..2_000, -1.0e6f64..1.0e6), 1..200),
+        step in 1u64..20_000,
+    ) {
+        let gaps: Vec<u64> = samples.iter().map(|(g, _)| *g).collect();
+        let ts = timeline(5_000_000, &gaps);
+        let store = single_tier(0, 4096);
+        for (t, (_, v)) in ts.iter().zip(&samples) {
+            store.ingest("m", *t, *v);
+        }
+        let now = *ts.last().unwrap() + 1;
+        let q = store.query("m", now, step, now).unwrap();
+        let total: u64 = q.points.iter().map(|p| p.bin.count).sum();
+        prop_assert_eq!(total, samples.len() as u64);
+        if step > 1 {
+            for pair in q.points.windows(2) {
+                prop_assert!(pair[0].ts_ms < pair[1].ts_ms, "buckets out of order");
+            }
+            for p in &q.points {
+                prop_assert_eq!(p.ts_ms % step, 0, "bucket not step-aligned");
+            }
+        }
+        let lo = samples.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        for p in &q.points {
+            prop_assert!(p.bin.min >= lo && p.bin.max <= hi, "envelope escaped raw range");
+        }
+    }
+
+    /// Rings stay within their configured capacity no matter the stream —
+    /// the fixed-memory guarantee the /healthz bound reports.
+    #[test]
+    fn rings_never_exceed_capacity(
+        gaps in prop::collection::vec(1u64..5_000, 1..300),
+        cap in 1usize..32,
+        width in 0u64..100,
+    ) {
+        let store = single_tier(width, cap);
+        let ts = timeline(0, &gaps);
+        for t in &ts {
+            store.ingest("m", *t, 1.0);
+        }
+        let occ = store.occupancy();
+        prop_assert_eq!(occ.tiers.len(), 1);
+        let (_, total_cap, resident) = occ.tiers[0];
+        prop_assert_eq!(total_cap, cap);
+        prop_assert!(resident <= cap, "ring overflowed: {resident} > {cap}");
+    }
+}

@@ -8,10 +8,12 @@
 //! a `/metrics` series without any other context.
 //!
 //! Rotation is size-based: when a write would push the current file
-//! past [`AccessLog::max_bytes`], the file is renamed to `<path>.1`
-//! (replacing any previous rotation) and a fresh file is opened at
-//! `<path>`. At most two generations exist on disk, so a chatty daemon
-//! is bounded at roughly `2 * max_bytes`.
+//! past [`AccessLog::max_bytes`], existing generations shift up
+//! (`<path>.1` → `<path>.2`, …), the file is renamed to `<path>.1`,
+//! and a fresh file is opened at `<path>`. The number of retained
+//! generations is configurable (`--access-log-rotate N`, default 1),
+//! so a chatty daemon is bounded at roughly
+//! `(generations + 1) * max_bytes` on disk.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -21,6 +23,9 @@ use svt_obs::json::escape_json;
 
 /// Default rotation threshold: 10 MiB per generation.
 pub const DEFAULT_MAX_BYTES: u64 = 10 * 1024 * 1024;
+
+/// Default number of rotated generations kept on disk.
+pub const DEFAULT_GENERATIONS: usize = 1;
 
 /// One access-log line, pre-serialization. All durations are
 /// microseconds — coarse enough to stay compact, fine enough to rank
@@ -83,16 +88,32 @@ struct LogFile {
 pub struct AccessLog {
     path: String,
     max_bytes: u64,
+    generations: usize,
     inner: Mutex<LogFile>,
 }
 
 impl AccessLog {
-    /// Opens (appending) or creates the log at `path`.
+    /// Opens (appending) or creates the log at `path`, keeping
+    /// [`DEFAULT_GENERATIONS`] rotated generation(s).
     ///
     /// # Errors
     ///
     /// Returns a message when the file cannot be opened.
     pub fn open(path: &str, max_bytes: u64) -> Result<AccessLog, String> {
+        AccessLog::open_with_generations(path, max_bytes, DEFAULT_GENERATIONS)
+    }
+
+    /// Opens (appending) or creates the log at `path`, keeping up to
+    /// `generations` rotated files (`<path>.1` … `<path>.N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be opened.
+    pub fn open_with_generations(
+        path: &str,
+        max_bytes: u64,
+        generations: usize,
+    ) -> Result<AccessLog, String> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -102,6 +123,7 @@ impl AccessLog {
         Ok(AccessLog {
             path: path.to_string(),
             max_bytes: max_bytes.max(1),
+            generations: generations.max(1),
             inner: Mutex::new(LogFile { file, written }),
         })
     }
@@ -118,6 +140,12 @@ impl AccessLog {
         self.max_bytes
     }
 
+    /// Number of rotated generations kept beside the live file.
+    #[must_use]
+    pub fn generations(&self) -> usize {
+        self.generations
+    }
+
     /// Appends one entry as a JSONL line, rotating first when the line
     /// would push the current generation past the threshold. Write
     /// failures increment `serve.access_log_errors` instead of
@@ -127,6 +155,13 @@ impl AccessLog {
         line.push('\n');
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.written > 0 && inner.written + line.len() as u64 > self.max_bytes {
+            // Shift older generations up (`.N-1` → `.N`, the oldest
+            // falls off), then move the live file to `.1`.
+            for gen in (1..self.generations).rev() {
+                let from = format!("{}.{gen}", self.path);
+                let to = format!("{}.{}", self.path, gen + 1);
+                let _ = std::fs::rename(&from, &to);
+            }
             let rotated = format!("{}.1", self.path);
             let reopened = std::fs::rename(&self.path, &rotated)
                 .map_err(|e| format!("rotate `{}`: {e}", self.path))
@@ -246,6 +281,43 @@ mod tests {
         assert!(new.contains("\"trace_id\":3"));
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn rotation_keeps_the_configured_generation_count() {
+        let path = temp_path("gens");
+        let gens: Vec<String> = (1..=4).map(|g| format!("{path}.{g}")).collect();
+        let _ = std::fs::remove_file(&path);
+        for g in &gens {
+            let _ = std::fs::remove_file(g);
+        }
+        let line_len = render_entry(&entry(1)).len() as u64 + 1;
+        // One line per generation: every second write rotates.
+        let log = AccessLog::open_with_generations(&path, line_len, 3).expect("open");
+        assert_eq!(log.generations(), 3);
+        for id in 1..=5 {
+            log.log(&entry(id));
+        }
+        // Writes 1..=5 with rotation on 2,3,4,5: live file holds 5,
+        // .1 holds 4, .2 holds 3, .3 holds 2; line 1 fell off.
+        let live = std::fs::read_to_string(&path).expect("live file");
+        assert!(live.contains("\"trace_id\":5"));
+        for (g, want_id) in [(1u32, 4u64), (2, 3), (3, 2)] {
+            let body = std::fs::read_to_string(format!("{path}.{g}"))
+                .unwrap_or_else(|e| panic!("generation .{g}: {e}"));
+            assert!(
+                body.contains(&format!("\"trace_id\":{want_id}")),
+                "generation .{g} holds line {want_id}, got: {body}"
+            );
+        }
+        assert!(
+            !std::path::Path::new(&format!("{path}.4")).exists(),
+            "oldest generation beyond the cap is dropped"
+        );
+        let _ = std::fs::remove_file(&path);
+        for g in &gens {
+            let _ = std::fs::remove_file(g);
+        }
     }
 
     #[test]

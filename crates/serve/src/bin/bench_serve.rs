@@ -7,7 +7,10 @@
 //! ECOs at the `builtin` design — reads and writes on *different*
 //! designs, so the per-design `RwLock` split is what is actually being
 //! measured. Every response is checked (status 200, parseable body);
-//! per-request wall latencies aggregate into p50/p99.
+//! per-request wall latencies aggregate into p50/p99 through the
+//! shared [`svt_obs::Histogram`] quantile estimator — the same
+//! log2-bucket interpolation the dashboard's sampler-derived series
+//! use, so bench numbers and live telemetry agree on methodology.
 //!
 //! Appends `serve_rps` / `serve_p50_ms` / `serve_p99_ms` to
 //! `BENCH_history.jsonl` at the repo root (gated by
@@ -27,12 +30,6 @@ use svt_serve::smoke::pick_smoke_edit;
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 250;
 const READ_PATH: &str = "/designs/c432/timing";
-
-fn percentile(sorted_ns: &[u64], pct: f64) -> f64 {
-    assert!(!sorted_ns.is_empty());
-    let rank = ((sorted_ns.len() as f64) * pct / 100.0).ceil() as usize;
-    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] as f64 / 1e6
-}
 
 fn main() {
     let designs = [DesignSpec::Builtin, DesignSpec::Iscas("c432".into())];
@@ -118,13 +115,15 @@ fn main() {
     let elapsed = bench_start.elapsed();
     server.shutdown();
 
-    let mut sorted = latencies;
-    sorted.sort_unstable();
-    let total_reads = sorted.len();
+    let hist = svt_obs::Histogram::default();
+    for ns in &latencies {
+        hist.record(*ns);
+    }
+    let total_reads = latencies.len();
     let serve_rps = total_reads as f64 / elapsed.as_secs_f64();
-    let serve_p50_ms = percentile(&sorted, 50.0);
-    let serve_p99_ms = percentile(&sorted, 99.0);
-    let mean_ms = sorted.iter().sum::<u64>() as f64 / total_reads as f64 / 1e6;
+    let serve_p50_ms = hist.quantile(0.5) / 1e6;
+    let serve_p99_ms = hist.quantile(0.99) / 1e6;
+    let mean_ms = latencies.iter().sum::<u64>() as f64 / total_reads as f64 / 1e6;
 
     println!("--- bench_serve: {CLIENTS} readers + 1 ECO writer ---");
     println!("reads                 {total_reads:>9} ({READ_PATH})");

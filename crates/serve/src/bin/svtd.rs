@@ -11,8 +11,9 @@
 //! svtd [--addr HOST:PORT] [--design builtin|c432|...]...
 //!      [--workers N] [--queue-depth N]
 //!      [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N]
-//!      [--access-log PATH] [--slow-ms N] [--post-mortem PATH]
-//!      [--snapshot PATH]
+//!      [--access-log PATH] [--access-log-rotate N] [--slow-ms N]
+//!      [--post-mortem PATH] [--snapshot PATH]
+//!      [--sample-ms N] [--slo route=PATH,p99_ms=N,err_pct=N,window=N]...
 //! ```
 //!
 //! `--snapshot PATH` enables millisecond warm starts: the daemon tries
@@ -24,11 +25,21 @@
 //! `POST /snapshot/save` re-captures on demand.
 //!
 //! `--access-log` writes one structured JSONL line per request
-//! (rotating at 10 MiB); `--slow-ms` arms the flight recorder —
-//! requests at or above the threshold are captured as capsules served
-//! at `GET /debug/requests` (`--slow-ms 0` captures everything);
-//! `--post-mortem` configures where a watchdog stall, a handler panic,
-//! or the final drain dumps every capsule plus a metrics snapshot.
+//! (rotating at 10 MiB, keeping `--access-log-rotate` generations);
+//! `--slow-ms` arms the flight recorder — requests at or above the
+//! threshold are captured as capsules served at `GET /debug/requests`
+//! (`--slow-ms 0` captures everything); `--post-mortem` configures
+//! where a watchdog stall, a handler panic, an SLO breach, or the
+//! final drain dumps every capsule plus a metrics snapshot.
+//!
+//! The daemon always runs the long-horizon observability plane: a
+//! sampler thread scrapes the metric registry every `--sample-ms`
+//! (default 1000) into the embedded tiered time-series store behind
+//! `GET /query` and `GET /dashboard`, and the continuous profiler
+//! aggregates every span into the flame graph at
+//! `GET /debug/profile?format=collapsed|json|svg`. `--slo` declares
+//! burn-rate objectives evaluated from those rings each tick; a breach
+//! degrades `/healthz` to 503 and triggers the post-mortem dump.
 //!
 //! Smoke mode: a pure-Rust client that runs the CI smoke sequence
 //! against an already-running fresh daemon and exits non-zero on the
@@ -39,8 +50,14 @@
 //! `--smoke-recorder` adds the flight-recorder walk (requires a daemon
 //! booted with `--slow-ms 0` so every smoke request leaves a capsule):
 //!
+//! `--smoke-obs` adds the long-horizon observability walk (dashboard,
+//! profiler formats, `/query` tier population); `--smoke-slo` runs the
+//! deliberate SLO-breach scenario *instead of* the regular walk
+//! (requires a daemon booted with an unmeetable `--slo`):
+//!
 //! ```text
 //! svtd --smoke HOST:PORT [--design NAME]... [--smoke-deep] [--smoke-recorder]
+//!      [--smoke-obs] [--smoke-slo]
 //! ```
 
 use std::process::ExitCode;
@@ -48,7 +65,7 @@ use std::time::{Duration, Instant};
 
 use svt_obs::alloc::CountingAlloc;
 use svt_serve::server::{DesignSpec, Server, ServerOptions, ServiceState};
-use svt_serve::smoke::{run_smoke_full, SmokeOptions};
+use svt_serve::smoke::{run_smoke_full, run_smoke_slo, SmokeOptions};
 
 // Attribute every allocation in the daemon to the innermost active
 // span; the hook is inert until `alloc::set_active(true)` below.
@@ -58,11 +75,14 @@ static ALLOC: CountingAlloc = CountingAlloc::system();
 const DEFAULT_ADDR: &str = "127.0.0.1:9290";
 const DEFAULT_WATCHDOG_MS: u64 = 30_000;
 
+const DEFAULT_SAMPLE_MS: u64 = 1_000;
+
 const USAGE: &str =
     "usage: svtd [--addr HOST:PORT] [--design builtin|c432|c880|c1355|c1908|c3540]... \
 [--workers N] [--queue-depth N] [--keep-alive-requests N] [--idle-timeout-ms N] [--watchdog-ms N] \
-[--access-log PATH] [--slow-ms N] [--post-mortem PATH] [--snapshot PATH] \
-[--smoke HOST:PORT [--smoke-deep] [--smoke-recorder]]";
+[--access-log PATH] [--access-log-rotate N] [--slow-ms N] [--post-mortem PATH] [--snapshot PATH] \
+[--sample-ms N] [--slo route=PATH,p99_ms=N,err_pct=N,window=N]... \
+[--smoke HOST:PORT [--smoke-deep] [--smoke-recorder] [--smoke-obs] [--smoke-slo]]";
 
 #[cfg(unix)]
 mod sig {
@@ -108,11 +128,14 @@ struct Args {
     designs: Vec<DesignSpec>,
     options: ServerOptions,
     watchdog_ms: u64,
+    sample_ms: u64,
     post_mortem: Option<String>,
     snapshot: Option<String>,
     smoke: Option<String>,
     smoke_deep: bool,
     smoke_recorder: bool,
+    smoke_obs: bool,
+    smoke_slo: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -121,11 +144,14 @@ fn parse_args() -> Result<Args, String> {
         designs: Vec::new(),
         options: ServerOptions::default(),
         watchdog_ms: DEFAULT_WATCHDOG_MS,
+        sample_ms: DEFAULT_SAMPLE_MS,
         post_mortem: None,
         snapshot: None,
         smoke: None,
         smoke_deep: false,
         smoke_recorder: false,
+        smoke_obs: false,
+        smoke_slo: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -163,14 +189,28 @@ fn parse_args() -> Result<Args, String> {
             "--access-log" => {
                 args.options.access_log_path = Some(value("--access-log")?);
             }
+            "--access-log-rotate" => {
+                args.options.access_log_rotate =
+                    number("--access-log-rotate", &value("--access-log-rotate")?)?.max(1) as usize;
+            }
             "--slow-ms" => {
                 args.options.slow_ms = Some(number("--slow-ms", &value("--slow-ms")?)?);
+            }
+            "--sample-ms" => {
+                args.sample_ms = number("--sample-ms", &value("--sample-ms")?)?.max(10);
+            }
+            "--slo" => {
+                args.options
+                    .slo_specs
+                    .push(svt_serve::slo::SloSpec::parse(&value("--slo")?)?);
             }
             "--post-mortem" => args.post_mortem = Some(value("--post-mortem")?),
             "--snapshot" => args.snapshot = Some(value("--snapshot")?),
             "--smoke" => args.smoke = Some(value("--smoke")?),
             "--smoke-deep" => args.smoke_deep = true,
             "--smoke-recorder" => args.smoke_recorder = true,
+            "--smoke-obs" => args.smoke_obs = true,
+            "--smoke-slo" => args.smoke_slo = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -191,11 +231,27 @@ fn main() -> ExitCode {
     };
 
     if let Some(target) = &args.smoke {
+        // The SLO breach scenario is its own sequence: it drives the
+        // daemon into degradation, which would fail every healthz check
+        // in the regular walk.
+        if args.smoke_slo {
+            return match run_smoke_slo(target) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("smoke FAILED: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         let opts = SmokeOptions {
             designs: args.designs.clone(),
             backpressure: args.smoke_deep,
             shutdown: args.smoke_deep,
             recorder: args.smoke_recorder,
+            observability: args.smoke_obs,
         };
         return match run_smoke_full(target, &opts) {
             Ok(summary) => {
@@ -215,6 +271,11 @@ fn main() -> ExitCode {
         svt_obs::set_mode(svt_obs::TraceMode::Chrome);
     }
     svt_obs::alloc::set_active(true);
+    // The daemon keeps the continuous profiler on so /debug/profile
+    // always has stacks; an explicit SVT_PROFILE=0 still wins.
+    if std::env::var_os(svt_obs::profile::PROFILE_ENV).is_none() {
+        svt_obs::profile::set_enabled(true);
+    }
     if args.watchdog_ms > 0 {
         svt_exec::watchdog::arm(Duration::from_millis(args.watchdog_ms));
     }
@@ -272,6 +333,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Long-horizon observability: one sampler thread scrapes the
+    // registry into the tiered time-series store every tick, refreshing
+    // the pull-style gauges first and evaluating the SLO burn rates
+    // from the rings it just wrote.
+    let sampler_state = server.state().clone();
+    let sampler = svt_obs::tsdb::Sampler::spawn(
+        svt_obs::tsdb::global(),
+        Duration::from_millis(args.sample_ms),
+        vec![
+            Box::new(svt_obs::alloc::publish_gauges),
+            Box::new(|| {
+                let _ = svt_obs::rss::publish_gauges();
+            }),
+            Box::new(svt_exec::watchdog::publish_status_gauges),
+            Box::new(move || {
+                sampler_state
+                    .slo()
+                    .tick(svt_obs::tsdb::global(), svt_obs::tsdb::unix_ms());
+            }),
+        ],
+    );
+    if !server.state().slo().is_empty() {
+        for spec in server.state().slo().specs() {
+            eprintln!(
+                "svtd: SLO armed: route {} p99<={}ms budget {}% window {}s",
+                spec.route, spec.p99_ms, spec.err_pct, spec.window_s
+            );
+        }
+    }
+
     // The one line scripts wait for before curling the endpoints.
     println!("svtd: listening on http://{}", server.addr());
 
@@ -281,6 +372,7 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(100));
     }
     eprintln!("svtd: draining ...");
+    sampler.stop();
     server.shutdown();
     if let Some(path) = svt_obs::recorder::post_mortem("drain") {
         eprintln!("svtd: post-mortem written to {path}");

@@ -50,6 +50,7 @@ pub mod access_log;
 pub mod http;
 pub mod registry;
 pub mod server;
+pub mod slo;
 pub mod smoke;
 
 pub use access_log::{AccessEntry, AccessLog};
@@ -63,4 +64,5 @@ pub use server::{
     snapshot_status, warm_session, DesignSpec, EcoRequest, Server, ServerOptions, ServiceState,
     SnapshotStatus, BUILTIN_NETLIST, SCRAPE_LRU_CAPACITY,
 };
+pub use slo::{SloEngine, SloSpec, SloStatus};
 pub use smoke::{pick_smoke_edit, run_smoke};

@@ -284,7 +284,7 @@ pub fn warm_session(spec: &DesignSpec) -> Result<EcoSession<'static>, String> {
 }
 
 /// Tunables of the connection plane.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerOptions {
     /// Persistent handler threads.
     pub workers: usize,
@@ -304,6 +304,12 @@ pub struct ServerOptions {
     /// this latency are captured as [`svt_obs::recorder`] capsules.
     /// `Some(0)` captures every request; `None` disables the recorder.
     pub slow_ms: Option<u64>,
+    /// Rotated access-log generations kept on disk
+    /// (`--access-log-rotate`).
+    pub access_log_rotate: usize,
+    /// Declarative objectives (`--slo`, repeatable) evaluated by the
+    /// [`crate::slo::SloEngine`] against the embedded TSDB.
+    pub slo_specs: Vec<crate::slo::SloSpec>,
 }
 
 impl Default for ServerOptions {
@@ -316,6 +322,8 @@ impl Default for ServerOptions {
             fault_delay: None,
             access_log_path: None,
             slow_ms: None,
+            access_log_rotate: crate::access_log::DEFAULT_GENERATIONS,
+            slo_specs: Vec::new(),
         }
     }
 }
@@ -344,6 +352,7 @@ pub struct ServiceState {
     options: ServerOptions,
     scrapes: Mutex<Vec<(String, Instant, svt_obs::Snapshot)>>,
     access_log: Option<AccessLog>,
+    slo: crate::slo::SloEngine,
 }
 
 impl ServiceState {
@@ -362,9 +371,14 @@ impl ServiceState {
             registry.register(spec);
         }
         let access_log = match &options.access_log_path {
-            Some(path) => Some(AccessLog::open(path, crate::access_log::DEFAULT_MAX_BYTES)?),
+            Some(path) => Some(AccessLog::open_with_generations(
+                path,
+                crate::access_log::DEFAULT_MAX_BYTES,
+                options.access_log_rotate,
+            )?),
             None => None,
         };
+        let slo = crate::slo::SloEngine::new(options.slo_specs.clone());
         Ok(ServiceState {
             registry,
             default_design: first.name().to_string(),
@@ -373,6 +387,7 @@ impl ServiceState {
             options,
             scrapes: Mutex::new(Vec::new()),
             access_log,
+            slo,
         })
     }
 
@@ -402,6 +417,13 @@ impl ServiceState {
     #[must_use]
     pub fn options(&self) -> &ServerOptions {
         &self.options
+    }
+
+    /// The SLO evaluator. The request path feeds it; the sampler
+    /// thread calls [`crate::slo::SloEngine::tick`] through this.
+    #[must_use]
+    pub fn slo(&self) -> &crate::slo::SloEngine {
+        &self.slo
     }
 
     /// Whether a graceful shutdown is in progress.
@@ -669,20 +691,37 @@ fn healthz(state: &ServiceState) -> Response {
             entry.status().as_str()
         ));
     }
+    let slo_breached = state.slo.any_breached();
     let status = if !wd.healthy() {
         "stalled"
+    } else if slo_breached {
+        "degraded"
     } else if state.draining() {
         "draining"
     } else {
         "ok"
     };
+    let slo_block = state
+        .slo
+        .statuses()
+        .iter()
+        .map(crate::slo::SloStatus::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    let occ = svt_obs::tsdb::global().occupancy();
+    let tsdb_tiers = occ
+        .tiers
+        .iter()
+        .map(|(width, cap, len)| format!("{{\"width_ms\":{width},\"cap\":{cap},\"points\":{len}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
     let snap = snapshot_status();
     let snap_path = snap
         .path
         .as_ref()
         .map_or_else(|| "null".to_string(), |p| format!("\"{}\"", escape_json(p)));
     let body = format!(
-        "{{\"status\":\"{status}\",\"design\":\"{}\",\"designs\":[{designs}],\"uptime_seconds\":{},\"edits_applied\":{total_edits},\"queue_depth\":{},\"in_flight\":{},\"snapshot\":{{\"mode\":\"{}\",\"path\":{snap_path},\"restore_ms\":{},\"size_bytes\":{}}},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}}}}",
+        "{{\"status\":\"{status}\",\"design\":\"{}\",\"designs\":[{designs}],\"uptime_seconds\":{},\"edits_applied\":{total_edits},\"queue_depth\":{},\"in_flight\":{},\"snapshot\":{{\"mode\":\"{}\",\"path\":{snap_path},\"restore_ms\":{},\"size_bytes\":{}}},\"watchdog\":{{\"armed\":{},\"deadline_ms\":{},\"stalled_now\":{},\"stall_events\":{},\"healthy\":{}}},\"slo\":[{slo_block}],\"tsdb\":{{\"series\":{},\"memory_bound_bytes\":{},\"tiers\":[{tsdb_tiers}]}}}}",
         escape_json(&state.default_design),
         fmt_f64(state.started.elapsed().as_secs_f64()),
         svt_obs::registry().gauge("serve.pool.queue_depth").get(),
@@ -694,10 +733,16 @@ fn healthz(state: &ServiceState) -> Response {
         wd.deadline.as_millis(),
         wd.stalled_now,
         wd.stall_events,
-        wd.healthy()
+        wd.healthy(),
+        occ.series,
+        occ.memory_bound_bytes
     );
     Response {
-        status: if wd.healthy() { 200 } else { 503 },
+        status: if wd.healthy() && !slo_breached {
+            200
+        } else {
+            503
+        },
         content_type: "application/json",
         body,
         retry_after: None,
@@ -731,6 +776,7 @@ fn metrics(state: &ServiceState, scraper: &str) -> Response {
     let snap = svt_obs::registry().snapshot();
     let mut body = svt_obs::build_info_prometheus(state.started.elapsed().as_secs_f64());
     body.push_str(&snapshot_info_prometheus());
+    body.push_str(&state.slo.to_prometheus());
     body.push_str(&snap.to_prometheus());
     let mut scrapes = state.scrapes.lock().expect("scrape slots poisoned");
     if let Some(pos) = scrapes.iter().position(|(id, _, _)| id == scraper) {
@@ -942,6 +988,9 @@ fn inflight_guard(method: &str, path: &str) -> svt_obs::InflightGuard {
         (_, "/metrics") => svt_obs::gauge!("serve.inflight.metrics"),
         (_, "/snapshot.json") => svt_obs::gauge!("serve.inflight.snapshot"),
         (_, "/timeline.json") => svt_obs::gauge!("serve.inflight.timeline"),
+        (_, "/query") => svt_obs::gauge!("serve.inflight.query"),
+        (_, "/dashboard") => svt_obs::gauge!("serve.inflight.dashboard"),
+        (_, "/debug/profile") => svt_obs::gauge!("serve.inflight.profile"),
         (_, p) if p == "/eco" || p.ends_with("/eco") => svt_obs::gauge!("serve.inflight.eco"),
         (_, p) if p.ends_with("/timing") => svt_obs::gauge!("serve.inflight.timing"),
         (_, p) if p.ends_with("/warm") => svt_obs::gauge!("serve.inflight.warm"),
@@ -982,6 +1031,289 @@ fn debug_requests(rest: &str) -> Response {
     }
 }
 
+/// One query-string parameter from a raw request path, or `None` when
+/// absent/empty. Values are taken verbatim (no percent-decoding): every
+/// value this server accepts — metric names, ranges, formats — is
+/// URL-safe already.
+fn query_param(req_path: &str, key: &str) -> Option<String> {
+    let (_, query) = req_path.split_once('?')?;
+    for pair in query.split('&') {
+        if let Some((k, v)) = pair.split_once('=') {
+            if k == key && !v.is_empty() {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// `GET /query?metric=NAME[&range=SECS][&step=SECS]`: a range query
+/// against the embedded TSDB. `range` defaults to 300 s; `step=0` (the
+/// default) returns the answering tier's native resolution.
+fn tsdb_query(req_path: &str) -> Response {
+    let Some(metric) = query_param(req_path, "metric") else {
+        return Response::error(400, "missing ?metric= parameter");
+    };
+    let range_s = query_param(req_path, "range")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    let step_s = query_param(req_path, "step")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let store = svt_obs::tsdb::global();
+    match store.query(
+        &metric,
+        range_s.saturating_mul(1000),
+        step_s.saturating_mul(1000),
+        svt_obs::tsdb::unix_ms(),
+    ) {
+        Some(result) => Response::json(result.to_json()),
+        None => Response::error(
+            404,
+            &format!(
+                "no series named `{metric}` (the sampler names {} series; try /dashboard)",
+                store.names().len()
+            ),
+        ),
+    }
+}
+
+/// `GET /debug/profile?format=collapsed|json|svg`: the continuous
+/// profiler's aggregated stacks, as folded text (default), JSON, or a
+/// self-contained flame-graph SVG.
+fn debug_profile(req_path: &str) -> Response {
+    let format = query_param(req_path, "format").unwrap_or_else(|| "collapsed".to_string());
+    if !svt_obs::profile::enabled() {
+        return Response::error(
+            503,
+            "profiler disabled (set SVT_PROFILE=1 or run under svtd, which enables it)",
+        );
+    }
+    let entries = svt_obs::profile::snapshot();
+    match format.as_str() {
+        "collapsed" => Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: svt_obs::profile::render_collapsed(&entries),
+            retry_after: None,
+        },
+        "json" => Response::json(svt_obs::profile::to_json(&entries)),
+        "svg" => Response {
+            status: 200,
+            content_type: "image/svg+xml",
+            body: svt_obs::profile::render_flame_svg(&entries),
+            retry_after: None,
+        },
+        other => Response::error(
+            400,
+            &format!("unknown format `{other}` (collapsed|json|svg)"),
+        ),
+    }
+}
+
+/// Picks a display value per point for the dashboard sparklines: the
+/// bin average, which is exact at raw resolution and the
+/// count-weighted mean after downsampling.
+fn series_values(store: &svt_obs::tsdb::Tsdb, metric: &str, range_s: u64) -> Vec<(u64, f64)> {
+    store
+        .query(
+            metric,
+            range_s.saturating_mul(1000),
+            0,
+            svt_obs::tsdb::unix_ms(),
+        )
+        .map(|r| r.points.iter().map(|p| (p.ts_ms, p.bin.avg())).collect())
+        .unwrap_or_default()
+}
+
+/// Successive-difference transform for cumulative series (alloc bytes),
+/// yielding a per-second rate between neighbouring samples.
+fn rate_of(values: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    values
+        .windows(2)
+        .map(|w| {
+            #[allow(clippy::cast_precision_loss)]
+            let dt = (w[1].0.saturating_sub(w[0].0) as f64 / 1e3).max(1e-6);
+            (w[1].0, ((w[1].1 - w[0].1) / dt).max(0.0))
+        })
+        .collect()
+}
+
+/// Compact human form for sparkline value labels.
+fn fmt_compact(v: f64) -> String {
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A dependency-free inline-SVG sparkline for one series.
+fn sparkline_svg(values: &[(u64, f64)]) -> String {
+    const W: f64 = 560.0;
+    const H: f64 = 64.0;
+    const PAD: f64 = 4.0;
+    if values.len() < 2 {
+        return "<p class=\"empty\">collecting\u{2026}</p>".to_string();
+    }
+    let t0 = values[0].0;
+    let t1 = values[values.len() - 1].0;
+    #[allow(clippy::cast_precision_loss)]
+    let t_span = (t1.saturating_sub(t0) as f64).max(1.0);
+    let v_min = values.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+    let v_max = values
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let v_span = (v_max - v_min).max(1e-12);
+    let mut pts = String::with_capacity(values.len() * 12);
+    for (t, v) in values {
+        #[allow(clippy::cast_precision_loss)]
+        let x = PAD + (t.saturating_sub(t0) as f64) / t_span * (W - 2.0 * PAD);
+        let y = H - PAD - (v - v_min) / v_span * (H - 2.0 * PAD);
+        if !pts.is_empty() {
+            pts.push(' ');
+        }
+        pts.push_str(&format!("{x:.1},{y:.1}"));
+    }
+    let last = values[values.len() - 1].1;
+    format!(
+        "<svg width=\"{W:.0}\" height=\"{H:.0}\" viewBox=\"0 0 {W:.0} {H:.0}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <polyline points=\"{pts}\" fill=\"none\" stroke=\"#2a6f97\" stroke-width=\"1.5\"/>\
+         <text x=\"{:.0}\" y=\"12\" font-size=\"11\" fill=\"#444\" text-anchor=\"end\" \
+         font-family=\"monospace\">now {} \u{00b7} min {} \u{00b7} max {}</text></svg>",
+        W - PAD,
+        fmt_compact(last),
+        fmt_compact(v_min),
+        fmt_compact(v_max)
+    )
+}
+
+/// `GET /dashboard`: a self-contained HTML page — no scripts, no
+/// external assets — with sparklines for the headline series, the SLO
+/// table, and the TSDB's ring occupancy. Everything is rendered
+/// server-side from the same rings `/query` serves.
+fn dashboard(state: &ServiceState) -> Response {
+    const RANGE_S: u64 = 600;
+    let store = svt_obs::tsdb::global();
+    let mut panels = String::new();
+    let mut panel = |title: &str, svg: String| {
+        panels.push_str(&format!("<div class=\"panel\"><h2>{title}</h2>{svg}</div>"));
+    };
+    panel(
+        "requests / s",
+        sparkline_svg(&series_values(store, "serve.requests.rate", RANGE_S)),
+    );
+    let p99_ms: Vec<(u64, f64)> = series_values(store, "serve.latency_all_ns.p99", RANGE_S)
+        .into_iter()
+        .map(|(t, v)| (t, v / 1e6))
+        .collect();
+    panel("p99 latency (ms)", sparkline_svg(&p99_ms));
+    panel(
+        "queue depth",
+        sparkline_svg(&series_values(store, "serve.pool.queue_depth", RANGE_S)),
+    );
+    let rss_mib: Vec<(u64, f64)> = series_values(store, "proc.rss_kb", RANGE_S)
+        .into_iter()
+        .map(|(t, v)| (t, v / 1024.0))
+        .collect();
+    panel("RSS (MiB)", sparkline_svg(&rss_mib));
+    let alloc_rate: Vec<(u64, f64)> = rate_of(&series_values(store, "alloc.total.bytes", RANGE_S))
+        .into_iter()
+        .map(|(t, v)| (t, v / (1024.0 * 1024.0)))
+        .collect();
+    panel("alloc rate (MiB/s)", sparkline_svg(&alloc_rate));
+    panel(
+        "pool stalls / s",
+        sparkline_svg(&series_values(store, "pool.stall_events.rate", RANGE_S)),
+    );
+    panel(
+        "reaped connections / s",
+        sparkline_svg(&series_values(store, "serve.conn_reaped.rate", RANGE_S)),
+    );
+    let mut slo_rows = String::new();
+    for s in state.slo.statuses() {
+        slo_rows.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}%</td><td>{}s</td>\
+             <td>{:.2}</td><td>{:.2}</td><td class=\"{}\">{}</td><td>{}</td></tr>",
+            html_escape(&s.spec.route),
+            s.spec.p99_ms,
+            s.spec.err_pct,
+            s.spec.window_s,
+            s.fast_burn,
+            s.slow_burn,
+            if s.breached { "bad" } else { "ok" },
+            if s.breached { "BREACHED" } else { "ok" },
+            s.breaches
+        ));
+    }
+    let slo_table = if slo_rows.is_empty() {
+        "<p class=\"empty\">no objectives configured (start svtd with --slo \
+         route=...,p99_ms=...,err_pct=...,window=...)</p>"
+            .to_string()
+    } else {
+        format!(
+            "<table><tr><th>route</th><th>p99 bound (ms)</th><th>budget</th><th>window</th>\
+             <th>fast burn</th><th>slow burn</th><th>state</th><th>breaches</th></tr>{slo_rows}</table>"
+        )
+    };
+    let occ = store.occupancy();
+    let mut tier_rows = String::new();
+    for (width, cap, len) in &occ.tiers {
+        tier_rows.push_str(&format!(
+            "<tr><td>{}</td><td>{len} / {cap}</td></tr>",
+            if *width == 0 {
+                "raw".to_string()
+            } else {
+                format!("{width} ms")
+            }
+        ));
+    }
+    let body = format!(
+        "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>svtd dashboard</title><style>\
+         body{{font-family:system-ui,sans-serif;margin:24px;color:#222;max-width:1200px}}\
+         h1{{font-size:20px}}h2{{font-size:13px;margin:2px 0;color:#555;font-weight:600}}\
+         .panel{{display:inline-block;margin:8px 16px 8px 0;vertical-align:top}}\
+         table{{border-collapse:collapse;font-size:13px}}\
+         td,th{{border:1px solid #ccc;padding:3px 8px;text-align:left}}\
+         .bad{{color:#b00;font-weight:700}}.ok{{color:#2a7}}\
+         .empty{{color:#999;font-size:12px}}\
+         a{{color:#2a6f97}}</style></head><body>\
+         <h1>svtd \u{2014} long-horizon observability</h1>\
+         <p>design <code>{}</code> \u{00b7} trailing {RANGE_S}s at the finest covering tier \u{00b7} \
+         <a href=\"/healthz\">healthz</a> \u{00b7} <a href=\"/metrics\">metrics</a> \u{00b7} \
+         <a href=\"/debug/profile?format=svg\">flame graph</a> \u{00b7} \
+         <a href=\"/query?metric=serve.requests.rate&range=600\">query API</a></p>\
+         {panels}\
+         <h2>service-level objectives</h2>{slo_table}\
+         <h2>time-series store</h2>\
+         <p class=\"empty\">{} series \u{00b7} resident bound {} KiB</p>\
+         <table><tr><th>tier</th><th>points</th></tr>{tier_rows}</table>\
+         </body></html>",
+        html_escape(&state.default_design),
+        occ.series,
+        occ.memory_bound_bytes / 1024,
+    );
+    Response {
+        status: 200,
+        content_type: "text/html; charset=utf-8",
+        body,
+        retry_after: None,
+    }
+}
+
+/// Minimal HTML text escaping for server-rendered dashboard strings.
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
 /// The route-class template and target design of one request, for
 /// metric labels, access-log lines, and capsules. Templates keep label
 /// cardinality bounded: concrete design names collapse into `{name}`
@@ -993,6 +1325,9 @@ fn classify(state: &ServiceState, method: &str, path: &str) -> (&'static str, St
         ("GET", "/snapshot.json") => ("/snapshot.json", "-".to_string()),
         ("GET", "/timeline.json") => ("/timeline.json", "-".to_string()),
         ("GET", "/designs") => ("/designs", "-".to_string()),
+        ("GET", "/query") => ("/query", "-".to_string()),
+        ("GET", "/dashboard") => ("/dashboard", "-".to_string()),
+        ("GET", "/debug/profile") => ("/debug/profile", "-".to_string()),
         ("POST", "/eco") => ("/eco", state.default_design.clone()),
         ("POST", "/snapshot/save") => ("/snapshot/save", "-".to_string()),
         ("POST", "/shutdown") => ("/shutdown", "-".to_string()),
@@ -1030,6 +1365,9 @@ fn dispatch(state: &ServiceState, req: &Request, path: &str, peer: Option<&str>)
             &svt_obs::timeline::snapshot_all(),
         )),
         ("GET", "/designs") => designs_index(state),
+        ("GET", "/query") => tsdb_query(&req.path),
+        ("GET", "/dashboard") => dashboard(state),
+        ("GET", "/debug/profile") => debug_profile(&req.path),
         ("GET", "/debug/requests") => debug_requests(""),
         ("GET", p) if p.starts_with("/debug/requests/") => {
             debug_requests(&p["/debug/requests/".len()..])
@@ -1061,7 +1399,7 @@ fn dispatch(state: &ServiceState, req: &Request, path: &str, peer: Option<&str>)
         (
             _,
             "/healthz" | "/metrics" | "/snapshot.json" | "/timeline.json" | "/eco" | "/designs"
-            | "/shutdown" | "/snapshot/save",
+            | "/shutdown" | "/snapshot/save" | "/query" | "/dashboard" | "/debug/profile",
         ) => Response::error(405, "method not allowed"),
         (_, p) if p == "/debug/requests" || p.starts_with("/debug/requests/") => {
             Response::error(405, "method not allowed")
@@ -1122,6 +1460,10 @@ pub fn route_with_peer(state: &ServiceState, req: &Request, peer: Option<&str>) 
     svt_obs::family_histogram!("serve.latency_ns", &["route", "design"])
         .with(&labels)
         .record(latency_ns);
+    // Plain (unlabeled) latency histogram: the sampler derives the
+    // dashboard's p50/p99 series from its bucket deltas.
+    svt_obs::histogram!("serve.latency_all_ns").record(latency_ns);
+    state.slo.observe(route_class, response.status, latency_ns);
     svt_obs::family_histogram!("serve.response_bytes", &["route", "design"])
         .with(&labels)
         .record(response.body.len() as u64);

@@ -25,7 +25,7 @@
 
 use std::io::Write;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use svt_eco::{EcoEdit, EcoSession};
 use svt_netlist::MappedNetlist;
@@ -72,6 +72,12 @@ pub struct SmokeOptions {
     /// capsule's trace id on every span event. Requires a daemon booted
     /// with `--slow-ms 0` so every smoke request is captured.
     pub recorder: bool,
+    /// Walk the long-horizon observability surface: `/dashboard`,
+    /// `/debug/profile` in all three formats, and `/query` answering
+    /// with points in at least two downsample tiers. Requires a daemon
+    /// with a running sampler and the continuous profiler on (`svtd`
+    /// arms both by default).
+    pub observability: bool,
 }
 
 fn get(addr: &str, path: &str) -> Result<String, String> {
@@ -517,6 +523,143 @@ fn check_flight_recorder(addr: &str) -> Result<String, String> {
     ))
 }
 
+fn check_observability(addr: &str) -> Result<String, String> {
+    // Dashboard: a standalone HTML document with inline SVG sparklines,
+    // no scripts or external assets to fetch.
+    let dash = get(addr, "/dashboard")?;
+    if !dash.starts_with("<!DOCTYPE html") || !dash.contains("long-horizon observability") {
+        return Err("GET /dashboard is not the expected HTML document".to_string());
+    }
+    // Continuous profiler, all three formats. The smoke traffic above
+    // guarantees serve.request stacks exist.
+    let collapsed = get(addr, "/debug/profile?format=collapsed")?;
+    if !collapsed.contains("serve.request") {
+        return Err(format!(
+            "collapsed profile has no serve.request stack:\n{collapsed}"
+        ));
+    }
+    let json = get(addr, "/debug/profile?format=json")?;
+    let doc = JsonValue::parse(&json).map_err(|e| format!("profile json: {e}"))?;
+    let stacks = doc
+        .get("stacks")
+        .and_then(JsonValue::as_array)
+        .ok_or("profile json missing stacks array")?;
+    if stacks.is_empty() {
+        return Err("profile json has zero stacks".to_string());
+    }
+    let svg = get(addr, "/debug/profile?format=svg")?;
+    if !svg.starts_with("<svg") || !svg.contains("serve.request") {
+        return Err("flame SVG is empty or missing the serve.request frame".to_string());
+    }
+    expect_status(addr, "GET", "/debug/profile?format=nope", "", 400)?;
+
+    // TSDB: the sampler must have filled at least two downsample tiers
+    // for the headline request counter (parallel ingest populates every
+    // tier on each tick, so this converges within one sample interval).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, body) =
+            http_request(addr, "GET", "/query?metric=serve.requests&range=600", "")?;
+        if status == 200 {
+            let doc = JsonValue::parse(&body).map_err(|e| format!("/query: {e}"))?;
+            let tiers = doc
+                .get("tiers")
+                .and_then(JsonValue::as_array)
+                .ok_or("/query response missing tiers")?;
+            let populated = tiers
+                .iter()
+                .filter(|t| t.get("points").and_then(JsonValue::as_u64).unwrap_or(0) > 0)
+                .count();
+            let points = doc
+                .get("points")
+                .and_then(JsonValue::as_array)
+                .map_or(0, <[JsonValue]>::len);
+            if populated >= 2 && points >= 1 {
+                expect_status(addr, "GET", "/query?metric=no.such.series", "", 404)?;
+                expect_status(addr, "GET", "/query", "", 400)?;
+                return Ok(format!(
+                    "observability: dashboard ok; profile {} stacks in 3 formats; \
+                     /query serves {points} points across {populated} populated tiers\n",
+                    stacks.len()
+                ));
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "sampler never populated two tiers for serve.requests within 20s \
+                 (is the daemon running with a sampler? last /query: {status})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// The SLO breach scenario, run as its own smoke mode
+/// (`svtd --smoke HOST:PORT --smoke-slo`) against a daemon booted with
+/// a deliberately unmeetable objective (e.g.
+/// `--slo route=*,p99_ms=0.001,err_pct=1,window=12`) and a fast
+/// sampler. Hammers the plane until the burn-rate engine flips
+/// `/healthz` to degraded/503, then verifies the `svt_slo_*`
+/// exposition reports the breach.
+///
+/// # Errors
+///
+/// Returns the first failed check, or a timeout when no breach is
+/// observed within 30 s.
+pub fn run_smoke_slo(addr: &str) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        // Sustained traffic: every request violates the tiny latency
+        // bound, so the budget burns at both windows.
+        for _ in 0..20 {
+            let _ = http_request(addr, "GET", "/designs", "");
+        }
+        let (status, body) = http_request(addr, "GET", "/healthz", "")?;
+        let doc = JsonValue::parse(&body).map_err(|e| format!("/healthz: {e}"))?;
+        let slo = doc
+            .get("slo")
+            .and_then(JsonValue::as_array)
+            .ok_or("healthz has no slo block (was the daemon booted with --slo?)")?;
+        let breached = slo
+            .iter()
+            .any(|s| s.get("breached").and_then(JsonValue::as_bool) == Some(true));
+        if breached {
+            if status != 503 {
+                return Err(format!(
+                    "SLO breached but /healthz answered {status}, want 503: {body}"
+                ));
+            }
+            if doc.get("status").and_then(JsonValue::as_str) != Some("degraded") {
+                return Err(format!("breached /healthz status is not degraded: {body}"));
+            }
+            let (m_status, metrics) = http_request(addr, "GET", "/metrics", "")?;
+            if m_status != 200 {
+                return Err(format!(
+                    "/metrics must stay 200 during a breach: {m_status}"
+                ));
+            }
+            for needle in [
+                "svt_slo_breached",
+                "svt_slo_burn_rate",
+                "svt_slo_breaches_total",
+            ] {
+                if !metrics.contains(needle) {
+                    return Err(format!("{needle} missing from /metrics during breach"));
+                }
+            }
+            return Ok(
+                "slo: deliberate breach degraded /healthz to 503 and exposed svt_slo_* families\n\
+                 smoke: PASS"
+                    .to_string(),
+            );
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("no SLO breach within 30s — burn rates: {body}"));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
 fn check_shutdown(addr: &str) -> Result<String, String> {
     let (status, body) = http_request(addr, "POST", "/shutdown", "")?;
     if status != 200 || !body.contains("draining") {
@@ -555,6 +698,9 @@ pub fn run_smoke_full(addr: &str, opts: &SmokeOptions) -> Result<String, String>
     summary.push_str(&check_designs(addr, opts)?);
     if opts.recorder {
         summary.push_str(&check_flight_recorder(addr)?);
+    }
+    if opts.observability {
+        summary.push_str(&check_observability(addr)?);
     }
     if opts.backpressure {
         summary.push_str(&check_backpressure(addr)?);

@@ -58,10 +58,22 @@ fn resize_batch(instance: &str) -> ([svt_eco::EcoEdit; 2], String) {
 #[test]
 fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
     // Mirror the daemon's defaults: live timeline, allocation
-    // attribution, armed watchdog.
+    // attribution, armed watchdog, continuous profiler, and a sampler
+    // feeding the embedded time-series store.
     svt_obs::set_mode(svt_obs::TraceMode::Chrome);
     svt_obs::alloc::set_active(true);
     svt_exec::watchdog::arm(Duration::from_secs(30));
+    svt_obs::profile::set_enabled(true);
+    let sampler = svt_obs::tsdb::Sampler::spawn(
+        svt_obs::tsdb::global(),
+        Duration::from_millis(100),
+        vec![
+            Box::new(svt_obs::alloc::publish_gauges),
+            Box::new(|| {
+                let _ = svt_obs::rss::publish_gauges();
+            }),
+        ],
+    );
 
     let designs = [
         DesignSpec::Builtin,
@@ -94,6 +106,7 @@ fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
         backpressure: false,
         shutdown: false,
         recorder: true,
+        observability: true,
     };
     let summary = run_smoke_full(&addr, &opts).unwrap_or_else(|e| panic!("smoke failed: {e}"));
     assert!(summary.ends_with("smoke: PASS"), "summary: {summary}");
@@ -312,6 +325,7 @@ fn daemon_serves_multi_tenant_traffic_with_bit_exact_eco_deltas() {
 
     // Drain before replaying: the replay below flips SVT_THREADS, and
     // the process environment must not change under live pool workers.
+    sampler.stop();
     server.shutdown();
     assert!(
         svt_exec::watchdog::status().healthy(),

@@ -94,6 +94,32 @@ for m in "${inverse_metrics[@]}"; do
     fi
 done
 
+# Absolute-threshold metrics: gated on the latest value alone, not the
+# delta. profile_overhead_pct (bench_pipeline section 7) is what the
+# always-on continuous profiler + TSDB sampler add on top of summary
+# tracing; its healthy baseline is ~0 %, so a relative gate would trip on
+# pure timer noise — instead the latest measurement simply must stay
+# under an absolute ceiling. The value can be slightly negative (noise),
+# hence the sign-aware extraction.
+PROFILE_OVERHEAD_CEILING_PCT="${BENCH_PROFILE_OVERHEAD_PCT:-15}"
+latest=$(grep '"profile_overhead_pct":' "$HISTORY" | tail -n 1 || true)
+if [[ -z "$latest" ]]; then
+    echo "bench_compare: no entry carries profile_overhead_pct yet — nothing to gate"
+else
+    v=$(printf '%s\n' "$latest" | sed -n 's/.*"profile_overhead_pct": *\(-\{0,1\}[0-9.][0-9.]*\).*/\1/p')
+    if [[ -z "$v" ]]; then
+        echo "bench_compare: profile_overhead_pct malformed in latest entry — skipping it"
+    else
+        over=$(awk -v r="$v" -v t="$PROFILE_OVERHEAD_CEILING_PCT" 'BEGIN { print (r > t) ? 1 : 0 }')
+        if [[ "$over" == 1 ]]; then
+            echo "bench_compare: REGRESSION profile_overhead_pct: $v% > ${PROFILE_OVERHEAD_CEILING_PCT}% absolute ceiling"
+            status=1
+        else
+            echo "bench_compare: ok profile_overhead_pct: $v% (ceiling ${PROFILE_OVERHEAD_CEILING_PCT}%)"
+        fi
+    fi
+fi
+
 if (( status != 0 )); then
     echo "bench_compare: warm-path regression above ${THRESHOLD_PCT}% — failing"
 fi
